@@ -1,0 +1,56 @@
+//! Algorithm-overhead benchmarks on a cheap analytic objective: measures
+//! the proposal cost of each search strategy (ablation for DESIGN.md's
+//! algorithm-choice discussion), including the GP fit inside Bayesian
+//! optimization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use simcal_calib::{
+    calibrate_with_workers, BayesianOpt, Budget, Calibrator, CoordinateDescent, FnObjective,
+    GradientDescent, GridSearch, NelderMead, ParamSpace, RandomSearch, SimulatedAnnealing,
+};
+
+fn make(name: &str) -> Box<dyn Calibrator> {
+    match name {
+        "RANDOM" => Box::new(RandomSearch::new(3)),
+        "GRID" => Box::new(GridSearch::new()),
+        "GDFix" => Box::new(GradientDescent::fixed(3)),
+        "GDDyn" => Box::new(GradientDescent::dynamic(3)),
+        "ANNEAL" => Box::new(SimulatedAnnealing::new(3)),
+        "NELDER-MEAD" => Box::new(NelderMead::new(3)),
+        "COORD" => Box::new(CoordinateDescent::new(3)),
+        "BAYESOPT" => Box::new(BayesianOpt::new(3)),
+        other => unreachable!("unknown algorithm {other}"),
+    }
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let space = ParamSpace::paper(&["a", "b", "c", "d"]);
+    let mut group = c.benchmark_group("algorithm_overhead_200evals");
+    group.sample_size(10).measurement_time(Duration::from_secs(6));
+    for name in
+        ["RANDOM", "GRID", "GDFix", "GDDyn", "ANNEAL", "NELDER-MEAD", "COORD", "BAYESOPT"]
+    {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, &name| {
+            b.iter(|| {
+                let obj =
+                    FnObjective(|v: &[f64]| v.iter().map(|x| (x.log2() - 28.0).abs()).sum());
+                let mut algo = make(name);
+                let r = calibrate_with_workers(
+                    algo.as_mut(),
+                    &obj,
+                    &space,
+                    Budget::Evaluations(200),
+                    Some(1),
+                );
+                black_box(r.best_error)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Figure 2 bench: a short MAE-objective calibration producing a
+//! convergence curve per algorithm (the unit of work behind the error-vs-
+//! time figure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use simcal_bench::reduced_case;
+use simcal_calib::{calibrate_with_workers, Budget, Calibrator};
+use simcal_platform::PlatformKind;
+use simcal_storage::XRootDConfig;
+use simcal_study::{param_space, CaseObjective, Metric};
+
+fn bench_fig2(c: &mut Criterion) {
+    let case = reduced_case();
+    let space = param_space();
+
+    let mut group = c.benchmark_group("fig2_curve");
+    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    for name in ["GRID", "GDFix", "RANDOM"] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, &name| {
+            b.iter(|| {
+                let mut algo: Box<dyn Calibrator> = match name {
+                    "GRID" => Box::new(simcal_calib::GridSearch::new()),
+                    "GDFix" => Box::new(simcal_calib::GradientDescent::fixed(7)),
+                    _ => Box::new(simcal_calib::RandomSearch::new(7)),
+                };
+                let obj = CaseObjective::full(&case, PlatformKind::Fcsn, XRootDConfig::paper_1s())
+                    .with_metric(Metric::MaeSeconds);
+                let r = calibrate_with_workers(
+                    algo.as_mut(),
+                    &obj,
+                    &space,
+                    Budget::Evaluations(25),
+                    Some(1),
+                );
+                black_box(r.curve.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Kernel microbenchmarks: max–min solver and engine event throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use simcal_des::{solve_max_min, Engine, FlowInput, FlowSpec, ResourceInput, ResourceSpec, Tag};
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_min_solver");
+    for &(n_res, n_flows) in &[(4usize, 16usize), (8, 64), (8, 256)] {
+        let resources: Vec<ResourceInput> =
+            (0..n_res).map(|i| ResourceInput { capacity: 10.0 + i as f64 }).collect();
+        let flows: Vec<FlowInput> = (0..n_flows)
+            .map(|i| FlowInput {
+                route: vec![i % n_res, (i / 2) % n_res],
+                cap: if i % 3 == 0 { Some(1.5) } else { None },
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n_res}r_{n_flows}f")),
+            &(resources, flows),
+            |b, (resources, flows)| {
+                let mut rates = Vec::new();
+                b.iter(|| {
+                    solve_max_min(black_box(resources), black_box(flows), &mut rates);
+                    black_box(rates.len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_engine_events(c: &mut Criterion) {
+    c.bench_function("engine_100k_events", |b| {
+        b.iter(|| {
+            let mut e = Engine::new();
+            let r = e.add_resource(ResourceSpec::constant(100.0));
+            // 32 streams of sequential unit flows: ~100k completions.
+            let mut remaining = vec![3125u32; 32];
+            for i in 0..32 {
+                e.start_flow(FlowSpec::new(1.0, &[r], Tag(i)));
+            }
+            let mut n = 0u64;
+            while let Some(ev) = e.next() {
+                n += 1;
+                let i = ev.tag().0 as usize;
+                if remaining[i] > 0 {
+                    remaining[i] -= 1;
+                    e.start_flow(FlowSpec::new(1.0, &[r], Tag(i as u64)));
+                }
+            }
+            black_box(n)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_solver, bench_engine_events
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Simulator benchmark: one CMS-workload execution per paper granularity.
+//!
+//! The measured times are the per-simulation costs behind the paper's
+//! Table VI "Sim. time" column (1 s / 3 s / 30 s / 5 min on the authors'
+//! machine; proportionally scaled here).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use simcal_platform::{catalog, HardwareParams};
+use simcal_sim::{simulate, SimConfig};
+use simcal_storage::{CachePlan, XRootDConfig};
+use simcal_units as units;
+use simcal_workload::cms_workload;
+
+fn bench_granularities(c: &mut Criterion) {
+    let workload = cms_workload();
+    let cache = CachePlan::new(&workload, 0.5, 1);
+    let platform = catalog::fcsn();
+    let mut hw = HardwareParams::defaults();
+    hw.core_speed = units::mflops(1970.0);
+    hw.disk_bw = units::mbytes_per_sec(17.0);
+    hw.page_cache_bw = units::gbytes_per_sec(10.0);
+    hw.wan_bw = units::mbps(1150.0);
+
+    let mut group = c.benchmark_group("cms_simulation");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    for (label, g) in [
+        ("paper_1s", XRootDConfig::paper_1s()),
+        ("paper_3s", XRootDConfig::paper_3s()),
+        ("paper_30s", XRootDConfig::paper_30s()),
+    ] {
+        let cfg = SimConfig::new(hw, g);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            b.iter(|| black_box(simulate(&platform, &workload, &cache, cfg)).makespan());
+        });
+    }
+    group.finish();
+
+    // The 5-minute setting is too slow for statistical sampling; measure a
+    // single run so the Table VI cost ratios are still on record.
+    let mut slow = c.benchmark_group("cms_simulation_slow");
+    slow.sample_size(10).measurement_time(Duration::from_secs(20));
+    let cfg = SimConfig::new(hw, XRootDConfig::paper_5min());
+    slow.bench_function("paper_5min", |b| {
+        b.iter(|| black_box(simulate(&platform, &workload, &cache, &cfg)).makespan());
+    });
+    slow.finish();
+}
+
+criterion_group!(benches, bench_granularities);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Table I bench: survey dataset construction and aggregation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_dataset_and_aggregate", |b| {
+        b.iter(|| {
+            let pubs = simcal_survey::dataset();
+            let t = simcal_survey::aggregate(black_box(&pubs));
+            black_box((t.total, t.simulation_only, t.calibration_documented))
+        });
+    });
+    c.bench_function("table1_render", |b| {
+        let t = simcal_survey::table_i();
+        b.iter(|| black_box(simcal_survey::render(&t).len()));
+    });
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Table III bench: one budget-bounded calibration per method on the
+//! reduced case study (the unit of work Table III repeats 12 times).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use simcal_bench::reduced_case;
+use simcal_calib::{calibrate_with_workers, Budget, Calibrator};
+use simcal_platform::PlatformKind;
+use simcal_storage::XRootDConfig;
+use simcal_study::{param_space, CaseObjective, HumanCalibration};
+
+fn bench_table3(c: &mut Criterion) {
+    let case = reduced_case();
+    let space = param_space();
+    let g = XRootDConfig::paper_1s();
+
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10).measurement_time(Duration::from_secs(10));
+
+    group.bench_function("human_score_fcsn", |b| {
+        let human = HumanCalibration::perform(&case);
+        let obj = CaseObjective::full(&case, PlatformKind::Fcsn, g);
+        b.iter(|| black_box(obj.score_hardware(&human.hardware(PlatformKind::Fcsn))));
+    });
+
+    for name in ["RANDOM", "GRID", "GDFix"] {
+        group.bench_with_input(
+            BenchmarkId::new("calibrate_fcsn_30evals", name),
+            &name,
+            |b, &name| {
+                b.iter(|| {
+                    let mut algo: Box<dyn Calibrator> = match name {
+                        "RANDOM" => Box::new(simcal_calib::RandomSearch::new(1)),
+                        "GRID" => Box::new(simcal_calib::GridSearch::new()),
+                        _ => Box::new(simcal_calib::GradientDescent::fixed(1)),
+                    };
+                    let obj = CaseObjective::full(&case, PlatformKind::Fcsn, g);
+                    let r = calibrate_with_workers(
+                        algo.as_mut(),
+                        &obj,
+                        &space,
+                        Budget::Evaluations(30),
+                        Some(1),
+                    );
+                    black_box(r.best_error)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Table IV bench: the SCSN objective evaluation (the unit of work behind
+//! the calibrated-parameter-values table) at truth-like and perturbed
+//! parameter points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use simcal_bench::reduced_case;
+use simcal_calib::Objective;
+use simcal_platform::PlatformKind;
+use simcal_storage::XRootDConfig;
+use simcal_study::CaseObjective;
+use simcal_units as units;
+
+fn bench_table4(c: &mut Criterion) {
+    let case = reduced_case();
+    let obj = CaseObjective::full(&case, PlatformKind::Scsn, XRootDConfig::paper_1s());
+
+    let near_truth = [
+        case.truth.core_speed,
+        units::mbytes_per_sec(17.0),
+        case.truth.lan_bw,
+        case.truth.wan_bw(PlatformKind::Scsn),
+    ];
+    // A non-bottleneck perturbation (the paper: WAN value barely matters).
+    let mut perturbed = near_truth;
+    perturbed[3] *= 20.0;
+
+    let mut group = c.benchmark_group("table4_objective_eval");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    for (label, point) in [("near_truth", near_truth), ("wan_perturbed", perturbed)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &point, |b, point| {
+            b.iter(|| black_box(obj.evaluate(point)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

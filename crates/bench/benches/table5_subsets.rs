@@ -1,0 +1,42 @@
+//! Table V bench: objective evaluation cost vs number of calibration ICD
+//! values — the n'/n simulator-invocation saving that makes reduced
+//! ground-truth calibration explore more within the same time budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use simcal_bench::reduced_case;
+use simcal_calib::Objective;
+use simcal_platform::PlatformKind;
+use simcal_storage::XRootDConfig;
+use simcal_study::CaseObjective;
+
+fn bench_table5(c: &mut Criterion) {
+    let case = reduced_case();
+    let g = XRootDConfig::paper_1s();
+    let point = [
+        case.truth.core_speed,
+        case.truth.page_cache_bw,
+        case.truth.lan_bw,
+        case.truth.wan_bw(PlatformKind::Fcsn),
+    ];
+
+    let mut group = c.benchmark_group("table5_eval_cost_by_icd_count");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    let subsets: [(&str, Vec<f64>); 3] = [
+        ("1_icd", vec![0.5]),
+        ("3_icds", vec![0.3, 0.5, 1.0]),
+        ("11_icds", (0..=10).map(|i| i as f64 / 10.0).collect()),
+    ];
+    for (label, icds) in subsets {
+        let obj = CaseObjective::new(&case, PlatformKind::Fcsn, &icds, g);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &obj, |b, obj| {
+            b.iter(|| black_box(obj.evaluate(&point)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table5);
+criterion_main!(benches);

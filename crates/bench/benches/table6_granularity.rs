@@ -1,0 +1,39 @@
+//! Table VI bench: objective evaluation cost at the four granularity
+//! settings — the "Sim. time" dimension of the speed/accuracy trade-off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use simcal_bench::reduced_case;
+use simcal_calib::Objective;
+use simcal_platform::PlatformKind;
+use simcal_storage::XRootDConfig;
+use simcal_study::CaseObjective;
+
+fn bench_table6(c: &mut Criterion) {
+    let case = reduced_case();
+    let point = [
+        case.truth.core_speed,
+        case.truth.page_cache_bw,
+        case.truth.lan_bw,
+        case.truth.wan_bw(PlatformKind::Fcsn),
+    ];
+
+    let mut group = c.benchmark_group("table6_eval_cost_by_granularity");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    for (label, g) in [
+        ("paper_1s", XRootDConfig::paper_1s()),
+        ("paper_3s", XRootDConfig::paper_3s()),
+        ("paper_30s", XRootDConfig::paper_30s()),
+    ] {
+        let obj = CaseObjective::full(&case, PlatformKind::Fcsn, g);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &obj, |b, obj| {
+            b.iter(|| black_box(obj.evaluate(&point)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table6);
+criterion_main!(benches);

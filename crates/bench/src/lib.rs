@@ -1,0 +1,34 @@
+//! Shared fixtures for the Criterion benchmark suite.
+//!
+//! Every table/figure of the paper has a bench target regenerating (a
+//! scaled-down instance of) its computation; see DESIGN.md §5 for the
+//! mapping. Benches use the reduced case study so `cargo bench` finishes in
+//! minutes; the `simcal-exp` binary runs the full-scale experiments.
+
+use std::sync::{Arc, OnceLock};
+
+use simcal_study::{CaseStudy, ExperimentContext};
+
+/// The reduced case study, generated once per process.
+pub fn reduced_case() -> Arc<CaseStudy> {
+    static CASE: OnceLock<Arc<CaseStudy>> = OnceLock::new();
+    CASE.get_or_init(|| Arc::new(CaseStudy::generate_reduced())).clone()
+}
+
+/// A quick-scale experiment context over the reduced case study.
+pub fn quick_context() -> ExperimentContext {
+    ExperimentContext::quick(reduced_case())
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    #[test]
+    fn fixtures_build() {
+        let case = super::reduced_case();
+        assert_eq!(case.ground_truth.len(), 4);
+        // Second call reuses the cached instance.
+        assert!(Arc::ptr_eq(&case, &super::reduced_case()));
+    }
+}

@@ -1,0 +1,96 @@
+//! Simulated annealing (extension beyond the paper's three algorithms).
+//!
+//! Standard Metropolis annealing in the log-scaled unit cube: Gaussian
+//! neighbourhood moves, geometric cooling, restart when frozen. Included as
+//! an ablation point between RANDOM and the structured searches.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use super::Calibrator;
+use crate::runner::Evaluator;
+
+/// Metropolis simulated annealing with restarts.
+#[derive(Debug, Clone)]
+pub struct SimulatedAnnealing {
+    /// Neighbourhood standard deviation in unit-cube coordinates.
+    pub sigma: f64,
+    /// Geometric cooling factor per accepted/rejected step.
+    pub cooling: f64,
+    /// Restart once the temperature falls below this fraction of T0.
+    pub freeze_ratio: f64,
+    seed: u64,
+}
+
+impl SimulatedAnnealing {
+    /// Annealing with conventional defaults.
+    pub fn new(seed: u64) -> Self {
+        Self { sigma: 0.08, cooling: 0.97, freeze_ratio: 1e-3, seed }
+    }
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    // Box–Muller, cosine branch.
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+impl Calibrator for SimulatedAnnealing {
+    fn name(&self) -> String {
+        "ANNEAL".to_string()
+    }
+
+    fn run(&mut self, eval: &Evaluator<'_>) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let space = eval.space();
+        loop {
+            let mut x = space.sample_unit(&mut rng);
+            let Some(mut fx) = eval.eval_one(&x) else { return };
+            // Scale the initial temperature to the objective magnitude so
+            // early acceptance is permissive regardless of units.
+            let t0 = (fx.abs() * 0.5).max(1e-6);
+            let mut temp = t0;
+            while temp > t0 * self.freeze_ratio {
+                let mut y = x.clone();
+                for v in y.iter_mut() {
+                    *v = (*v + self.sigma * gaussian(&mut rng)).clamp(0.0, 1.0);
+                }
+                let Some(fy) = eval.eval_one(&y) else { return };
+                let accept = fy <= fx || {
+                    let p = (-(fy - fx) / temp).exp();
+                    rng.random::<f64>() < p
+                };
+                if accept {
+                    x = y;
+                    fx = fy;
+                }
+                temp *= self.cooling;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::run_on_sphere;
+    use super::*;
+
+    #[test]
+    fn converges_on_smooth_objective() {
+        let r = run_on_sphere(&mut SimulatedAnnealing::new(2), 2, 400);
+        assert!(r.best_error < 2.0, "best={}", r.best_error);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = run_on_sphere(&mut SimulatedAnnealing::new(8), 2, 80);
+        let b = run_on_sphere(&mut SimulatedAnnealing::new(8), 2, 80);
+        assert_eq!(a.best_values, b.best_values);
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(SimulatedAnnealing::new(0).name(), "ANNEAL");
+    }
+}

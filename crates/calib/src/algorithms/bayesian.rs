@@ -1,0 +1,140 @@
+//! Bayesian optimization (the paper's stated future-work direction).
+//!
+//! "Bayesian Optimization is an attractive proposition as it is highly
+//! effective for optimizing black-box functions that are relatively
+//! expensive to evaluate, such as simulation accuracy metrics whose
+//! evaluation entails invoking a simulator." (§V)
+//!
+//! Implementation: Gaussian-process surrogate ([`crate::gp`]) refit each
+//! iteration on the (capped) observation set, expected-improvement
+//! acquisition maximized over a random candidate pool plus local
+//! perturbations of the incumbent.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use super::Calibrator;
+use crate::gp::Gp;
+use crate::runner::Evaluator;
+
+/// GP-EI Bayesian optimization.
+#[derive(Debug, Clone)]
+pub struct BayesianOpt {
+    /// Initial random (space-filling) evaluations before the first fit.
+    pub init_evals: usize,
+    /// Acquisition candidate pool size per iteration.
+    pub candidates: usize,
+    /// Cap on observations used to fit the GP (keeps the fit O(cap^3)).
+    pub max_observations: usize,
+    seed: u64,
+    observations: Vec<(Vec<f64>, f64)>,
+}
+
+impl BayesianOpt {
+    /// Bayesian optimization with sensible small-budget defaults.
+    pub fn new(seed: u64) -> Self {
+        Self { init_evals: 12, candidates: 256, max_observations: 250, seed, observations: Vec::new() }
+    }
+
+    /// Observations used for the surrogate, best-first truncated to the cap.
+    fn surrogate_set(&self) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut obs: Vec<&(Vec<f64>, f64)> =
+            self.observations.iter().filter(|(_, y)| y.is_finite()).collect();
+        obs.sort_by(|a, b| a.1.total_cmp(&b.1));
+        obs.truncate(self.max_observations);
+        (obs.iter().map(|(x, _)| x.clone()).collect(), obs.iter().map(|(_, y)| *y).collect())
+    }
+}
+
+impl Calibrator for BayesianOpt {
+    fn name(&self) -> String {
+        "BAYESOPT".to_string()
+    }
+
+    fn run(&mut self, eval: &Evaluator<'_>) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let space = eval.space();
+        self.observations.clear();
+
+        // Space-filling initialization.
+        let init: Vec<Vec<f64>> =
+            (0..self.init_evals).map(|_| space.sample_unit(&mut rng)).collect();
+        let ys = eval.eval_batch(&init);
+        for (x, y) in init.into_iter().zip(ys) {
+            let Some(y) = y else { return };
+            self.observations.push((x, y));
+        }
+
+        loop {
+            let (xs, ys) = self.surrogate_set();
+            let incumbent =
+                ys.iter().copied().fold(f64::INFINITY, f64::min);
+            let Some(gp) = Gp::fit(&xs, &ys) else {
+                // Degenerate surrogate: fall back to a random probe.
+                let p = space.sample_unit(&mut rng);
+                let Some(y) = eval.eval_one(&p) else { return };
+                self.observations.push((p, y));
+                continue;
+            };
+
+            // Candidate pool: global uniform + local Gaussian perturbations
+            // of the incumbent (exploitation).
+            let best_x = xs[0].clone();
+            let mut best_cand: Option<(Vec<f64>, f64)> = None;
+            for k in 0..self.candidates {
+                let cand = if k % 4 == 0 {
+                    let mut c = best_x.clone();
+                    for v in c.iter_mut() {
+                        let u: f64 = rng.random::<f64>();
+                        *v = (*v + 0.05 * (u - 0.5)).clamp(0.0, 1.0);
+                    }
+                    c
+                } else {
+                    space.sample_unit(&mut rng)
+                };
+                let ei = gp.expected_improvement(&cand, incumbent);
+                if best_cand.as_ref().map(|(_, b)| ei > *b).unwrap_or(true) {
+                    best_cand = Some((cand, ei));
+                }
+            }
+            let (next, _) = best_cand.expect("candidate pool is non-empty");
+            let Some(y) = eval.eval_one(&next) else { return };
+            self.observations.push((next, y));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::run_on_sphere;
+    use super::*;
+
+    #[test]
+    fn beats_random_initialization_phase() {
+        let r = run_on_sphere(&mut BayesianOpt::new(3), 2, 60);
+        // 60 evals of GP-EI on a smooth 2-D bowl should get close.
+        assert!(r.best_error < 2.0, "best={}", r.best_error);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = run_on_sphere(&mut BayesianOpt::new(5), 2, 30);
+        let b = run_on_sphere(&mut BayesianOpt::new(5), 2, 30);
+        assert_eq!(a.best_values, b.best_values);
+    }
+
+    #[test]
+    fn sample_efficiency_exceeds_random_search() {
+        use crate::algorithms::RandomSearch;
+        // Same tiny budget; BO should do at least as well on a smooth bowl
+        // (ties possible on lucky random seeds, so compare with slack).
+        let bo = run_on_sphere(&mut BayesianOpt::new(1), 3, 50);
+        let rs = run_on_sphere(&mut RandomSearch::new(1), 3, 50);
+        assert!(
+            bo.best_error <= rs.best_error * 1.5 + 0.5,
+            "bo={} rs={}",
+            bo.best_error,
+            rs.best_error
+        );
+    }
+}

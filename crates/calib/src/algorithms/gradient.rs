@@ -1,0 +1,187 @@
+//! Gradient descent with finite differences and backtracking line search.
+//!
+//! "This algorithm uses a random starting point in the parameter space. At
+//! each iteration the gradient is approximated by sampling points a distance
+//! δ away along each dimension. A standard backtracking line search is then
+//! used to compute the 'learning rate' ... When the change in the objective
+//! function between two iterations is less than ϵ, the current search path
+//! is terminated, and a new starting point is randomly selected."
+//!
+//! The paper's two variants: **GDFIX** keeps δ constant; **GDDYN** updates δ
+//! to the learning rate found by the line search. δ and steps live in log2
+//! units (the paper's parameter representation); the defaults are the
+//! paper's δ = 0.0001 and ϵ = 0.01.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use super::Calibrator;
+use crate::runner::Evaluator;
+
+/// Finite-difference gradient descent with multi-restart.
+#[derive(Debug, Clone)]
+pub struct GradientDescent {
+    /// Finite-difference step in log2 units (paper: 0.0001).
+    pub delta_log2: f64,
+    /// Per-path termination threshold on objective improvement (paper: 0.01).
+    pub epsilon: f64,
+    /// GDDYN when true: δ tracks the learning rate.
+    pub dynamic: bool,
+    /// Initial line-search step in log2 units.
+    pub initial_step_log2: f64,
+    seed: u64,
+}
+
+impl GradientDescent {
+    /// GDFIX with the paper's δ = 0.0001 and ϵ = 0.01.
+    pub fn fixed(seed: u64) -> Self {
+        Self { delta_log2: 1e-4, epsilon: 0.01, dynamic: false, initial_step_log2: 4.0, seed }
+    }
+
+    /// GDDYN: δ is updated to the learning rate after each line search.
+    pub fn dynamic(seed: u64) -> Self {
+        Self { dynamic: true, ..Self::fixed(seed) }
+    }
+
+    /// Override δ (log2 units).
+    pub fn with_delta(mut self, delta_log2: f64) -> Self {
+        assert!(delta_log2 > 0.0);
+        self.delta_log2 = delta_log2;
+        self
+    }
+}
+
+impl Calibrator for GradientDescent {
+    fn name(&self) -> String {
+        if self.dynamic { "GDDyn".to_string() } else { "GDFix".to_string() }
+    }
+
+    fn run(&mut self, eval: &Evaluator<'_>) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let space = eval.space();
+        let dim = space.dim();
+        // Per-dimension unit-cube equivalent of one log2 unit.
+        let unit_per_log2: Vec<f64> =
+            space.specs().iter().map(|s| 1.0 / s.log2_width().max(1e-12)).collect();
+
+        'restart: loop {
+            let mut delta_log2 = self.delta_log2;
+            let mut x = space.sample_unit(&mut rng);
+            let Some(mut fx) = eval.eval_one(&x) else { return };
+
+            loop {
+                // Finite-difference gradient: one probe per dimension,
+                // evaluated as a batch (the paper runs them in parallel).
+                let mut probes = Vec::with_capacity(dim);
+                let mut signs = Vec::with_capacity(dim);
+                for i in 0..dim {
+                    let step = delta_log2 * unit_per_log2[i];
+                    // Backward difference at the upper boundary.
+                    let sign = if x[i] + step <= 1.0 { 1.0 } else { -1.0 };
+                    let mut p = x.clone();
+                    p[i] = (p[i] + sign * step).clamp(0.0, 1.0);
+                    probes.push(p);
+                    signs.push(sign);
+                }
+                let results = eval.eval_batch(&probes);
+                let mut grad = vec![0.0; dim];
+                for i in 0..dim {
+                    let Some(fi) = results[i] else { return };
+                    let h = delta_log2 * unit_per_log2[i] * signs[i];
+                    grad[i] = (fi - fx) / h;
+                }
+                let norm = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+                if !norm.is_finite() || norm == 0.0 {
+                    // Flat (the paper's non-bottleneck plateau): restart.
+                    continue 'restart;
+                }
+
+                // Backtracking line search along -grad (Armijo condition).
+                let dir: Vec<f64> = grad.iter().map(|g| -g / norm).collect();
+                let mut step_log2 = self.initial_step_log2;
+                let mut accepted: Option<(Vec<f64>, f64, f64)> = None;
+                for _ in 0..12 {
+                    let mut y = x.clone();
+                    for i in 0..dim {
+                        y[i] =
+                            (y[i] + dir[i] * step_log2 * unit_per_log2[i]).clamp(0.0, 1.0);
+                    }
+                    let Some(fy) = eval.eval_one(&y) else { return };
+                    if fy < fx - 1e-4 * step_log2 * norm {
+                        accepted = Some((y, fy, step_log2));
+                        break;
+                    }
+                    step_log2 *= 0.5;
+                }
+
+                let Some((y, fy, learned_step)) = accepted else {
+                    continue 'restart;
+                };
+                if self.dynamic {
+                    delta_log2 = learned_step.max(1e-8);
+                }
+                let improvement = fx - fy;
+                x = y;
+                fx = fy;
+                if improvement < self.epsilon {
+                    continue 'restart;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{bottleneck, run_on_sphere};
+    use super::*;
+    use crate::algorithms::calibrate_with_workers;
+    use crate::budget::Budget;
+    use crate::space::ParamSpace;
+
+    #[test]
+    fn names_distinguish_variants() {
+        assert_eq!(GradientDescent::fixed(0).name(), "GDFix");
+        assert_eq!(GradientDescent::dynamic(0).name(), "GDDyn");
+    }
+
+    #[test]
+    fn descends_the_sphere() {
+        let r = run_on_sphere(&mut GradientDescent::fixed(11), 2, 300);
+        assert!(r.best_error < 1.0, "best={}", r.best_error);
+    }
+
+    #[test]
+    fn dynamic_variant_also_descends() {
+        let r = run_on_sphere(&mut GradientDescent::dynamic(11), 2, 300);
+        assert!(r.best_error < 1.0, "best={}", r.best_error);
+    }
+
+    #[test]
+    fn variants_reach_similar_accuracy() {
+        // The paper: "these two variants lead to almost always identical
+        // simulation accuracy".
+        let fx = run_on_sphere(&mut GradientDescent::fixed(3), 3, 400);
+        let dy = run_on_sphere(&mut GradientDescent::dynamic(3), 3, 400);
+        assert!((fx.best_error - dy.best_error).abs() < 1.0);
+    }
+
+    #[test]
+    fn survives_flat_dimensions() {
+        // Objective depends on the first parameter only; GD must restart
+        // through the plateau without stalling and still use its budget.
+        let space = ParamSpace::paper(&["a", "b", "c"]);
+        let obj = bottleneck();
+        let mut algo = GradientDescent::fixed(5);
+        let r = calibrate_with_workers(&mut algo, &obj, &space, Budget::Evaluations(200), Some(1));
+        assert_eq!(r.evaluations, 200);
+        assert!(r.best_error < 1.0, "best={}", r.best_error);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = run_on_sphere(&mut GradientDescent::fixed(9), 2, 100);
+        let b = run_on_sphere(&mut GradientDescent::fixed(9), 2, 100);
+        assert_eq!(a.best_values, b.best_values);
+    }
+}

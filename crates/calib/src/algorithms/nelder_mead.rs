@@ -1,0 +1,157 @@
+//! Nelder–Mead downhill simplex (extension).
+//!
+//! Derivative-free simplex search in the log-scaled unit cube with random
+//! restarts when the simplex collapses. Standard coefficients: reflection 1,
+//! expansion 2, contraction 0.5, shrink 0.5.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use super::Calibrator;
+use crate::runner::Evaluator;
+
+/// Nelder–Mead with restarts.
+#[derive(Debug, Clone)]
+pub struct NelderMead {
+    /// Initial simplex edge length in unit coordinates.
+    pub initial_size: f64,
+    /// Restart when the simplex diameter falls below this.
+    pub tolerance: f64,
+    seed: u64,
+}
+
+impl NelderMead {
+    /// Standard-coefficient Nelder–Mead.
+    pub fn new(seed: u64) -> Self {
+        Self { initial_size: 0.2, tolerance: 1e-4, seed }
+    }
+}
+
+struct Vertex {
+    x: Vec<f64>,
+    f: f64,
+}
+
+impl Calibrator for NelderMead {
+    fn name(&self) -> String {
+        "NELDER-MEAD".to_string()
+    }
+
+    fn run(&mut self, eval: &Evaluator<'_>) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let space = eval.space();
+        let dim = space.dim();
+
+        'restart: loop {
+            // Random initial simplex: a base point plus one offset per axis.
+            let base = space.sample_unit(&mut rng);
+            let mut points = vec![base.clone()];
+            for i in 0..dim {
+                let mut p = base.clone();
+                p[i] = if p[i] + self.initial_size <= 1.0 {
+                    p[i] + self.initial_size
+                } else {
+                    p[i] - self.initial_size
+                };
+                points.push(p);
+            }
+            let fs = eval.eval_batch(&points);
+            let mut simplex: Vec<Vertex> = Vec::with_capacity(dim + 1);
+            for (x, f) in points.into_iter().zip(fs) {
+                let Some(f) = f else { return };
+                simplex.push(Vertex { x, f });
+            }
+
+            loop {
+                simplex.sort_by(|a, b| a.f.total_cmp(&b.f));
+                let diameter = simplex
+                    .iter()
+                    .skip(1)
+                    .map(|v| {
+                        v.x.iter()
+                            .zip(&simplex[0].x)
+                            .map(|(a, b)| (a - b).abs())
+                            .fold(0.0f64, f64::max)
+                    })
+                    .fold(0.0f64, f64::max);
+                if diameter < self.tolerance {
+                    continue 'restart;
+                }
+
+                // Centroid of all but the worst vertex.
+                let centroid: Vec<f64> = (0..dim)
+                    .map(|i| {
+                        simplex[..dim].iter().map(|v| v.x[i]).sum::<f64>() / dim as f64
+                    })
+                    .collect();
+                let worst = simplex[dim].f;
+                let best = simplex[0].f;
+                let second_worst = simplex[dim - 1].f;
+
+                let blend = |coef: f64| -> Vec<f64> {
+                    (0..dim)
+                        .map(|i| {
+                            (centroid[i] + coef * (centroid[i] - simplex[dim].x[i]))
+                                .clamp(0.0, 1.0)
+                        })
+                        .collect()
+                };
+
+                let xr = blend(1.0); // reflection
+                let Some(fr) = eval.eval_one(&xr) else { return };
+
+                if fr < best {
+                    let xe = blend(2.0); // expansion
+                    let Some(fe) = eval.eval_one(&xe) else { return };
+                    simplex[dim] =
+                        if fe < fr { Vertex { x: xe, f: fe } } else { Vertex { x: xr, f: fr } };
+                } else if fr < second_worst {
+                    simplex[dim] = Vertex { x: xr, f: fr };
+                } else {
+                    let xc = blend(if fr < worst { 0.5 } else { -0.5 }); // contraction
+                    let Some(fc) = eval.eval_one(&xc) else { return };
+                    if fc < worst.min(fr) {
+                        simplex[dim] = Vertex { x: xc, f: fc };
+                    } else {
+                        // Shrink toward the best vertex (batched).
+                        let shrunk: Vec<Vec<f64>> = simplex[1..]
+                            .iter()
+                            .map(|v| {
+                                (0..dim)
+                                    .map(|i| {
+                                        (simplex[0].x[i] + 0.5 * (v.x[i] - simplex[0].x[i]))
+                                            .clamp(0.0, 1.0)
+                                    })
+                                    .collect()
+                            })
+                            .collect();
+                        let fs = eval.eval_batch(&shrunk);
+                        for (k, (x, f)) in shrunk.into_iter().zip(fs).enumerate() {
+                            let Some(f) = f else { return };
+                            simplex[k + 1] = Vertex { x, f };
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::run_on_sphere;
+    use super::*;
+
+    #[test]
+    fn converges_on_smooth_objective() {
+        let r = run_on_sphere(&mut NelderMead::new(4), 3, 300);
+        assert!(r.best_error < 0.5, "best={}", r.best_error);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = run_on_sphere(&mut NelderMead::new(6), 2, 70);
+        let b = run_on_sphere(&mut NelderMead::new(6), 2, 70);
+        assert_eq!(a.best_values, b.best_values);
+    }
+}

@@ -1,0 +1,91 @@
+//! Accuracy/discrepancy measures between metric vectors.
+//!
+//! The case study's objective is the **Mean Relative Error** in percent over
+//! 33 metrics ([`mre_percent`]); Figure 2 plots the **mean absolute error**
+//! ([`mae`]). The others are provided for user-defined objectives.
+
+fn check(sim: &[f64], truth: &[f64]) {
+    assert_eq!(sim.len(), truth.len(), "metric vectors differ in length");
+    assert!(!sim.is_empty(), "empty metric vectors");
+}
+
+/// Mean Relative Error in percent: `100/n * sum |sim_i - truth_i| / truth_i`.
+pub fn mre_percent(sim: &[f64], truth: &[f64]) -> f64 {
+    check(sim, truth);
+    let n = sim.len() as f64;
+    100.0
+        * sim
+            .iter()
+            .zip(truth)
+            .map(|(&s, &t)| {
+                assert!(t != 0.0, "relative error undefined for zero truth");
+                (s - t).abs() / t.abs()
+            })
+            .sum::<f64>()
+        / n
+}
+
+/// Mean Absolute Percentage Error — synonym of [`mre_percent`] kept for
+/// readers used to the MAPE name.
+pub fn mape(sim: &[f64], truth: &[f64]) -> f64 {
+    mre_percent(sim, truth)
+}
+
+/// Mean absolute error in metric units.
+pub fn mae(sim: &[f64], truth: &[f64]) -> f64 {
+    check(sim, truth);
+    sim.iter().zip(truth).map(|(&s, &t)| (s - t).abs()).sum::<f64>() / sim.len() as f64
+}
+
+/// Root mean squared error in metric units.
+pub fn rmse(sim: &[f64], truth: &[f64]) -> f64 {
+    check(sim, truth);
+    (sim.iter().zip(truth).map(|(&s, &t)| (s - t) * (s - t)).sum::<f64>() / sim.len() as f64)
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mre_is_percentage() {
+        // 10% and 30% off -> mean 20%.
+        assert!((mre_percent(&[110.0, 70.0], &[100.0, 100.0]) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_match_is_zero() {
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(mre_percent(&v, &v), 0.0);
+        assert_eq!(mae(&v, &v), 0.0);
+        assert_eq!(rmse(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn mae_and_rmse() {
+        let s = [1.0, 5.0];
+        let t = [2.0, 2.0];
+        assert!((mae(&s, &t) - 2.0).abs() < 1e-12);
+        assert!((rmse(&s, &t) - (5.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_is_alias() {
+        let s = [110.0];
+        let t = [100.0];
+        assert_eq!(mre_percent(&s, &t), mape(&s, &t));
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn length_mismatch_rejected() {
+        mre_percent(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero truth")]
+    fn zero_truth_rejected() {
+        mre_percent(&[1.0], &[0.0]);
+    }
+}

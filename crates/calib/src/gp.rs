@@ -1,0 +1,186 @@
+//! Gaussian-process regression with an RBF kernel.
+//!
+//! Supports the [`crate::algorithms::BayesianOpt`] extension. Deliberately
+//! simple: fixed hyperparameters chosen by standard heuristics (median
+//! pairwise distance for the length scale, sample variance for the signal
+//! variance) rather than marginal-likelihood optimization — adequate for a
+//! 4-dimensional unit cube and a few hundred observations.
+
+use crate::linalg::{dist_sq, dot, Matrix};
+
+/// A fitted Gaussian process over unit-cube inputs.
+#[derive(Debug, Clone)]
+pub struct Gp {
+    xs: Vec<Vec<f64>>,
+    alpha: Vec<f64>,
+    chol: crate::linalg::Cholesky,
+    length_scale: f64,
+    signal_var: f64,
+    y_mean: f64,
+}
+
+impl Gp {
+    /// Fit a GP to observations `(xs, ys)`.
+    ///
+    /// Returns `None` when there are fewer than 2 points or the kernel
+    /// matrix is numerically singular (e.g. many duplicated points).
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64]) -> Option<Gp> {
+        assert_eq!(xs.len(), ys.len());
+        let n = xs.len();
+        if n < 2 {
+            return None;
+        }
+
+        // Median pairwise distance heuristic for the length scale (on a
+        // subsample to stay O(n) for large histories).
+        let mut dists: Vec<f64> = Vec::new();
+        let stride = (n / 64).max(1);
+        for i in (0..n).step_by(stride) {
+            for j in ((i + 1)..n).step_by(stride) {
+                dists.push(dist_sq(&xs[i], &xs[j]).sqrt());
+            }
+        }
+        dists.retain(|d| *d > 0.0);
+        if dists.is_empty() {
+            return None;
+        }
+        dists.sort_by(f64::total_cmp);
+        let length_scale = dists[dists.len() / 2].max(1e-3);
+
+        let y_mean = ys.iter().sum::<f64>() / n as f64;
+        let signal_var = (ys.iter().map(|y| (y - y_mean) * (y - y_mean)).sum::<f64>()
+            / n as f64)
+            .max(1e-12);
+        let noise_var = signal_var * 1e-4 + 1e-10;
+
+        let mut k = Matrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                let v = signal_var
+                    * (-dist_sq(&xs[i], &xs[j]) / (2.0 * length_scale * length_scale)).exp();
+                k.set(i, j, if i == j { v + noise_var } else { v });
+            }
+        }
+        let chol = k.cholesky()?;
+        let centered: Vec<f64> = ys.iter().map(|y| y - y_mean).collect();
+        let alpha = chol.solve(&centered);
+        Some(Gp { xs: xs.to_vec(), alpha, chol, length_scale, signal_var, y_mean })
+    }
+
+    /// Kernel vector between `x` and the training inputs.
+    fn k_vec(&self, x: &[f64]) -> Vec<f64> {
+        self.xs
+            .iter()
+            .map(|xi| {
+                self.signal_var
+                    * (-dist_sq(x, xi) / (2.0 * self.length_scale * self.length_scale)).exp()
+            })
+            .collect()
+    }
+
+    /// Posterior mean and variance at `x`.
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let k = self.k_vec(x);
+        let mean = self.y_mean + dot(&k, &self.alpha);
+        let v = self.chol.solve_lower(&k);
+        let var = (self.signal_var - dot(&v, &v)).max(1e-12);
+        (mean, var)
+    }
+
+    /// Expected improvement (for minimization) at `x` over incumbent
+    /// `y_best`.
+    pub fn expected_improvement(&self, x: &[f64], y_best: f64) -> f64 {
+        let (mu, var) = self.predict(x);
+        let sigma = var.sqrt();
+        if sigma < 1e-12 {
+            return (y_best - mu).max(0.0);
+        }
+        let z = (y_best - mu) / sigma;
+        (y_best - mu) * phi_cdf(z) + sigma * phi_pdf(z)
+    }
+
+    /// Fitted length scale (for inspection/tests).
+    pub fn length_scale(&self) -> f64 {
+        self.length_scale
+    }
+}
+
+/// Standard normal density.
+fn phi_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation
+/// (max absolute error ~1.5e-7 — ample for acquisition ranking).
+fn phi_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_1d(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect()
+    }
+
+    #[test]
+    fn interpolates_training_points() {
+        let xs = grid_1d(6);
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0] - 0.3).powi(2)).collect();
+        let gp = Gp::fit(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            let (mu, var) = gp.predict(x);
+            assert!((mu - y).abs() < 0.02, "mu={mu} y={y}");
+            assert!(var < 0.05);
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let xs = vec![vec![0.0], vec![0.1]];
+        let ys = vec![1.0, 1.1];
+        let gp = Gp::fit(&xs, &ys).unwrap();
+        let (_, v_near) = gp.predict(&[0.05]);
+        let (_, v_far) = gp.predict(&[0.9]);
+        assert!(v_far > v_near);
+    }
+
+    #[test]
+    fn ei_prefers_promising_regions() {
+        // y decreases toward x=1; EI at x beyond the data should beat EI in
+        // the well-sampled flat region.
+        let xs = grid_1d(5);
+        let ys = vec![1.0, 0.9, 0.8, 0.7, 0.6];
+        let gp = Gp::fit(&xs, &ys).unwrap();
+        let ei_explore = gp.expected_improvement(&[0.95], 0.6);
+        let ei_known = gp.expected_improvement(&[0.0], 0.6);
+        assert!(ei_explore > ei_known);
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_inputs() {
+        assert!(Gp::fit(&[vec![0.5]], &[1.0]).is_none());
+        let same = vec![vec![0.5], vec![0.5], vec![0.5]];
+        assert!(Gp::fit(&same, &[1.0, 1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn normal_helpers_are_sane() {
+        assert!((phi_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!(phi_cdf(3.0) > 0.99);
+        assert!(phi_cdf(-3.0) < 0.01);
+        assert!((phi_pdf(0.0) - 0.398_942_280).abs() < 1e-6);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,181 @@
+//! Minimal dense linear algebra: symmetric positive-definite solves via
+//! Cholesky decomposition. Just enough for the Gaussian process in [`crate::gp`];
+//! implemented in-repo to keep the dependency set to the approved list.
+
+/// Row-major dense square matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// An `n x n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Self { n, data: vec![0.0; n * n] }
+    }
+
+    /// Build from a row-major slice.
+    pub fn from_rows(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * n, "data length must be n^2");
+        Self { n, data }
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+    }
+
+    /// Cholesky factorization `A = L L^T` for symmetric positive-definite
+    /// `A`. Returns `None` if the matrix is not (numerically) SPD.
+    pub fn cholesky(&self) -> Option<Cholesky> {
+        let n = self.n;
+        let mut l = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self.get(i, j);
+                for k in 0..j {
+                    sum -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return None;
+                    }
+                    l[i * n + i] = sum.sqrt();
+                } else {
+                    l[i * n + j] = sum / l[j * n + j];
+                }
+            }
+        }
+        Some(Cholesky { n, l })
+    }
+}
+
+/// Lower-triangular Cholesky factor with solve routines.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    n: usize,
+    /// Row-major lower-triangular factor.
+    l: Vec<f64>,
+}
+
+impl Cholesky {
+    /// Solve `L y = b` (forward substitution).
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n);
+        let n = self.n;
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[i * n + k] * y[k];
+            }
+            y[i] = sum / self.l[i * n + i];
+        }
+        y
+    }
+
+    /// Solve `A x = b` where `A = L L^T`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.n;
+        let y = self.solve_lower(b);
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.l[k * n + i] * x[k];
+            }
+            x[i] = sum / self.l[i * n + i];
+        }
+        x
+    }
+}
+
+/// Dot product.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Squared Euclidean distance.
+pub fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cholesky_of_identity() {
+        let mut a = Matrix::zeros(3);
+        for i in 0..3 {
+            a.set(i, i, 1.0);
+        }
+        let ch = a.cholesky().unwrap();
+        let x = ch.solve(&[1.0, 2.0, 3.0]);
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_known_spd_system() {
+        // A = [[4,2],[2,3]], b = [1, 2] -> x = [-1/8, 3/4].
+        let a = Matrix::from_rows(2, vec![4.0, 2.0, 2.0, 3.0]);
+        let ch = a.cholesky().unwrap();
+        let x = ch.solve(&[1.0, 2.0]);
+        assert!((x[0] + 0.125).abs() < 1e-12);
+        assert!((x[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_spd() {
+        let a = Matrix::from_rows(2, vec![1.0, 2.0, 2.0, 1.0]); // indefinite
+        assert!(a.cholesky().is_none());
+    }
+
+    #[test]
+    fn solve_matches_reconstruction() {
+        // Random-ish SPD: A = M^T M + I.
+        let m = [[1.0, 2.0, 0.5], [0.0, 1.5, -1.0], [2.0, 0.1, 1.0f64]];
+        let mut a = Matrix::zeros(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut s = if i == j { 1.0 } else { 0.0 };
+                for k in 0..3 {
+                    s += m[k][i] * m[k][j];
+                }
+                a.set(i, j, s);
+            }
+        }
+        let ch = a.cholesky().unwrap();
+        let b = [3.0, -1.0, 2.0];
+        let x = ch.solve(&b);
+        // Check A x = b.
+        for i in 0..3 {
+            let mut got = 0.0;
+            for j in 0..3 {
+                got += a.get(i, j) * x[j];
+            }
+            assert!((got - b[i]).abs() < 1e-9, "row {i}");
+        }
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(dist_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! The objective trait: what calibration minimizes.
+
+/// A calibration objective: maps natural parameter values to a discrepancy
+/// (lower is better). Implementations must be thread-safe — the evaluator
+/// calls `evaluate` concurrently from its worker pool.
+pub trait Objective: Sync {
+    /// Evaluate the discrepancy at the given natural parameter values.
+    ///
+    /// For the case study this runs the simulator once per ground-truth ICD
+    /// value and returns the MRE against the ground-truth metrics.
+    fn evaluate(&self, values: &[f64]) -> f64;
+}
+
+/// Wrap a plain function/closure as an objective (tests, toy problems).
+pub struct FnObjective<F: Fn(&[f64]) -> f64 + Sync>(pub F);
+
+impl<F: Fn(&[f64]) -> f64 + Sync> Objective for FnObjective<F> {
+    fn evaluate(&self, values: &[f64]) -> f64 {
+        (self.0)(values)
+    }
+}
+
+impl<T: Objective + ?Sized> Objective for &T {
+    fn evaluate(&self, values: &[f64]) -> f64 {
+        (**self).evaluate(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_objective_delegates() {
+        let o = FnObjective(|v: &[f64]| v.iter().sum());
+        assert_eq!(o.evaluate(&[1.0, 2.0]), 3.0);
+    }
+
+    #[test]
+    fn reference_forwards() {
+        let o = FnObjective(|v: &[f64]| v[0]);
+        let r = &o;
+        assert_eq!(Objective::evaluate(&r, &[7.0]), 7.0);
+    }
+}

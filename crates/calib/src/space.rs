@@ -1,0 +1,208 @@
+//! Parameter spaces with logarithmic (base-2) sampling.
+//!
+//! Algorithms work in the **unit cube** `[0, 1]^d`; coordinate `x_i` maps to
+//! the natural parameter value `2^(log2(min_i) + x_i * (log2(max_i) -
+//! log2(min_i)))`. Linear moves in the unit cube are therefore linear moves
+//! in log2 space — exactly the paper's representation.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// One calibration parameter: a name and a positive value range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSpec {
+    /// Parameter name (used in reports and named lookups).
+    pub name: String,
+    /// Minimum value (inclusive, > 0 — log sampling requires positivity).
+    pub min: f64,
+    /// Maximum value (inclusive).
+    pub max: f64,
+}
+
+impl ParamSpec {
+    /// A named parameter with range `[min, max]`.
+    pub fn new(name: impl Into<String>, min: f64, max: f64) -> Self {
+        let s = Self { name: name.into(), min, max };
+        s.validate();
+        s
+    }
+
+    /// The paper's case-study range for all four parameters: `2^20..2^36`.
+    pub fn paper_range(name: impl Into<String>) -> Self {
+        Self::new(name, (2.0f64).powi(20), (2.0f64).powi(36))
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.min.is_finite() && self.min > 0.0,
+            "{}: min must be positive for log sampling",
+            self.name
+        );
+        assert!(self.max.is_finite() && self.max >= self.min, "{}: bad range", self.name);
+    }
+
+    /// Width of the range in log2 units.
+    pub fn log2_width(&self) -> f64 {
+        self.max.log2() - self.min.log2()
+    }
+
+    /// Map a unit coordinate to a natural value.
+    pub fn value_of(&self, unit: f64) -> f64 {
+        let x = unit.clamp(0.0, 1.0);
+        (self.min.log2() + x * self.log2_width()).exp2()
+    }
+
+    /// Map a natural value to a unit coordinate.
+    pub fn unit_of(&self, value: f64) -> f64 {
+        if self.log2_width() == 0.0 {
+            return 0.0;
+        }
+        ((value.log2() - self.min.log2()) / self.log2_width()).clamp(0.0, 1.0)
+    }
+}
+
+/// An ordered set of parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSpace {
+    specs: Vec<ParamSpec>,
+}
+
+impl ParamSpace {
+    /// A space over the given parameters.
+    pub fn new(specs: Vec<ParamSpec>) -> Self {
+        assert!(!specs.is_empty(), "empty parameter space");
+        let mut names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), specs.len(), "duplicate parameter names");
+        Self { specs }
+    }
+
+    /// The case-study space: the given names, all with the paper's
+    /// `2^20..2^36` range.
+    pub fn paper(names: &[&str]) -> Self {
+        Self::new(names.iter().map(|n| ParamSpec::paper_range(*n)).collect())
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// The parameter specs, in order.
+    pub fn specs(&self) -> &[ParamSpec] {
+        &self.specs
+    }
+
+    /// Index of a parameter by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.specs.iter().position(|s| s.name == name)
+    }
+
+    /// Map a unit-cube point to natural values.
+    pub fn values_of(&self, unit: &[f64]) -> Vec<f64> {
+        assert_eq!(unit.len(), self.dim());
+        unit.iter().zip(&self.specs).map(|(&x, s)| s.value_of(x)).collect()
+    }
+
+    /// Map natural values to a unit-cube point.
+    pub fn unit_of(&self, values: &[f64]) -> Vec<f64> {
+        assert_eq!(values.len(), self.dim());
+        values.iter().zip(&self.specs).map(|(&v, s)| s.unit_of(v)).collect()
+    }
+
+    /// Clamp a unit point into the cube (in place).
+    pub fn clamp_unit(&self, unit: &mut [f64]) {
+        for x in unit.iter_mut() {
+            *x = x.clamp(0.0, 1.0);
+        }
+    }
+
+    /// Sample a uniform point in the unit cube (= log-uniform in values).
+    pub fn sample_unit(&self, rng: &mut StdRng) -> Vec<f64> {
+        (0..self.dim()).map(|_| rng.random::<f64>()).collect()
+    }
+
+    /// The centre of the cube.
+    pub fn center(&self) -> Vec<f64> {
+        vec![0.5; self.dim()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_range_bounds() {
+        let s = ParamSpec::paper_range("x");
+        assert_eq!(s.min, 1_048_576.0);
+        assert_eq!(s.max, 68_719_476_736.0);
+        assert_eq!(s.log2_width(), 16.0);
+    }
+
+    #[test]
+    fn unit_value_round_trip() {
+        let s = ParamSpec::new("bw", 1e6, 1e10);
+        for &u in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+            let v = s.value_of(u);
+            assert!((s.unit_of(v) - u).abs() < 1e-9, "u={u}");
+        }
+        assert!((s.value_of(0.0) - 1e6).abs() < 1e-3);
+        assert!((s.value_of(1.0) - 1e10).abs() < 1e-1);
+    }
+
+    #[test]
+    fn log_sampling_midpoint_is_geometric_mean() {
+        let s = ParamSpec::new("bw", 1e2, 1e6);
+        assert!((s.value_of(0.5) - 1e4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn space_maps_vectors() {
+        let sp = ParamSpace::paper(&["a", "b"]);
+        let v = sp.values_of(&[0.0, 1.0]);
+        assert_eq!(v, vec![2.0f64.powi(20), 2.0f64.powi(36)]);
+        let u = sp.unit_of(&v);
+        assert!((u[0] - 0.0).abs() < 1e-12 && (u[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_is_in_cube_and_deterministic() {
+        let sp = ParamSpace::paper(&["a", "b", "c", "d"]);
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        let p1 = sp.sample_unit(&mut r1);
+        let p2 = sp.sample_unit(&mut r2);
+        assert_eq!(p1, p2);
+        assert!(p1.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn index_of_finds_names() {
+        let sp = ParamSpace::paper(&["core", "disk", "lan", "wan"]);
+        assert_eq!(sp.index_of("lan"), Some(2));
+        assert_eq!(sp.index_of("nope"), None);
+    }
+
+    #[test]
+    fn clamp_limits_coordinates() {
+        let sp = ParamSpace::paper(&["a"]);
+        let mut p = vec![1.7];
+        sp.clamp_unit(&mut p);
+        assert_eq!(p, vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_names_rejected() {
+        ParamSpace::paper(&["a", "a"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_min_rejected() {
+        ParamSpec::new("x", 0.0, 1.0);
+    }
+}

@@ -1,0 +1,538 @@
+//! The simulation engine: virtual clock, flow table, rate recomputation,
+//! and the caller-driven event loop.
+
+use crate::flow::{FlowSpec, FlowState, FlowStatus};
+use crate::ids::{FlowId, ResourceId, Tag, TimerId};
+use crate::resource::ResourceSpec;
+use crate::sharing::{solve_max_min, FlowInput, ResourceInput};
+use crate::stats::Stats;
+use crate::timer::{TimerKind, TimerQueue};
+
+/// An event delivered to the caller by [`Engine::next`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A flow served its full demand.
+    FlowCompleted {
+        /// The completed flow.
+        flow: FlowId,
+        /// The tag the flow was started with.
+        tag: Tag,
+    },
+    /// A user timer fired.
+    TimerFired {
+        /// The fired timer.
+        timer: TimerId,
+        /// The tag the timer was set with.
+        tag: Tag,
+    },
+}
+
+impl Event {
+    /// The user tag carried by this event.
+    pub fn tag(&self) -> Tag {
+        match *self {
+            Event::FlowCompleted { tag, .. } | Event::TimerFired { tag, .. } => tag,
+        }
+    }
+}
+
+/// State for the single-flow swap fast path. See the field docs on
+/// [`Engine::swap_candidate`].
+#[derive(Debug, Clone)]
+struct SwapCandidate {
+    route: Vec<ResourceId>,
+    rate_cap: Option<f64>,
+    rate: f64,
+}
+
+/// Fluid discrete-event simulation engine. See the crate docs for the model.
+#[derive(Debug)]
+pub struct Engine {
+    time: f64,
+    resources: Vec<ResourceSpec>,
+    flows: Vec<FlowState>,
+    /// Ids of flows in `Pending` or `Active` state (maintained incrementally).
+    live: Vec<FlowId>,
+    timers: TimerQueue,
+    dirty: bool,
+    /// Fast path: when the only change since the last rate computation is
+    /// the completion of one flow, a newly started flow with an identical
+    /// (route, cap) signature can inherit its rate — the max–min allocation
+    /// depends only on the multiset of (route, cap) pairs, and both changes
+    /// happen at the same instant so the intermediate allocation never
+    /// integrates over time. This is the steady-state pattern of pipelined
+    /// chunk streams and cuts most recomputations.
+    swap_candidate: Option<SwapCandidate>,
+    stats: Stats,
+    /// Scratch buffers reused across rate recomputations.
+    scratch_resources: Vec<ResourceInput>,
+    scratch_flows: Vec<FlowInput>,
+    scratch_rates: Vec<f64>,
+    scratch_live_idx: Vec<usize>,
+    scratch_counts: Vec<usize>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// A fresh engine at time 0 with no resources or flows.
+    pub fn new() -> Self {
+        Self {
+            time: 0.0,
+            resources: Vec::new(),
+            flows: Vec::new(),
+            live: Vec::new(),
+            timers: TimerQueue::new(),
+            dirty: false,
+            swap_candidate: None,
+            stats: Stats::default(),
+            scratch_resources: Vec::new(),
+            scratch_flows: Vec::new(),
+            scratch_rates: Vec::new(),
+            scratch_live_idx: Vec::new(),
+            scratch_counts: Vec::new(),
+        }
+    }
+
+    /// Current simulated time in seconds.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.time
+    }
+
+    /// Engine statistics so far.
+    #[inline]
+    pub fn stats(&self) -> Stats {
+        self.stats
+    }
+
+    /// Register a resource.
+    pub fn add_resource(&mut self, spec: ResourceSpec) -> ResourceId {
+        let id = ResourceId(u32::try_from(self.resources.len()).expect("too many resources"));
+        self.resources.push(spec);
+        self.stats.resources += 1;
+        id
+    }
+
+    /// Start a flow; returns its id. The flow begins consuming bandwidth
+    /// after its latency (if any) elapses.
+    pub fn start_flow(&mut self, spec: FlowSpec) -> FlowId {
+        spec.validate();
+        for r in &spec.route {
+            assert!(r.index() < self.resources.len(), "unknown resource in route");
+        }
+        let id = FlowId(u32::try_from(self.flows.len()).expect("too many flows"));
+        let state = FlowState::from_spec(&spec);
+        let pending = state.status == FlowStatus::Pending;
+        self.flows.push(state);
+        self.live.push(id);
+        self.stats.flows_started += 1;
+        if pending {
+            // A pending flow does not change the current allocation.
+            self.timers
+                .schedule(self.time + spec.latency, TimerKind::ActivateFlow(id));
+        } else if self.dirty {
+            // Swap fast path: inherit the rate of the just-completed flow
+            // when the (route, cap) signature matches exactly.
+            match self.swap_candidate.take() {
+                Some(c) if c.route == spec.route && c.rate_cap == spec.rate_cap => {
+                    self.flows[id.index()].rate = c.rate;
+                    self.dirty = false;
+                }
+                _ => {}
+            }
+        } else {
+            self.dirty = true;
+            self.swap_candidate = None;
+        }
+        id
+    }
+
+    /// Cancel a live flow. Completed/cancelled flows are ignored.
+    pub fn cancel_flow(&mut self, id: FlowId) {
+        let f = &mut self.flows[id.index()];
+        if matches!(f.status, FlowStatus::Active | FlowStatus::Pending) {
+            // Progress must be settled before the rate vector changes.
+            self.settle();
+            let f = &mut self.flows[id.index()];
+            f.status = FlowStatus::Cancelled;
+            f.rate = 0.0;
+            self.live.retain(|&x| x != id);
+            self.stats.flows_cancelled += 1;
+            self.dirty = true;
+            self.swap_candidate = None;
+        }
+    }
+
+    /// Set a timer firing `delay` seconds from now.
+    pub fn set_timer(&mut self, delay: f64, tag: Tag) -> TimerId {
+        assert!(delay.is_finite() && delay >= 0.0, "timer delay must be non-negative");
+        self.timers.schedule(self.time + delay, TimerKind::User(tag))
+    }
+
+    /// Cancel a timer (no-op if already fired).
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.timers.cancel(id);
+    }
+
+    /// Remaining demand of a flow (0 for completed flows).
+    pub fn flow_remaining(&self, id: FlowId) -> f64 {
+        self.flows[id.index()].remaining.max(0.0)
+    }
+
+    /// Current rate of a flow.
+    pub fn flow_rate(&self, id: FlowId) -> f64 {
+        self.flows[id.index()].rate
+    }
+
+    /// Status of a flow.
+    pub fn flow_status(&self, id: FlowId) -> FlowStatus {
+        self.flows[id.index()].status
+    }
+
+    /// Number of live (pending or active) flows.
+    pub fn live_flows(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Advance simulated time to the next event and return it, or `None`
+    /// when no flows or timers remain.
+    pub fn next(&mut self) -> Option<Event> {
+        loop {
+            if self.dirty {
+                self.recompute_rates();
+            }
+
+            // Earliest flow completion.
+            let mut t_flow = f64::INFINITY;
+            let mut next_flow: Option<FlowId> = None;
+            for &id in &self.live {
+                let f = &self.flows[id.index()];
+                if f.status != FlowStatus::Active {
+                    continue;
+                }
+                let t = if f.is_done() {
+                    self.time
+                } else if f.rate > 0.0 {
+                    self.time + f.remaining / f.rate
+                } else {
+                    f64::INFINITY
+                };
+                if t < t_flow {
+                    t_flow = t;
+                    next_flow = Some(id);
+                }
+            }
+
+            let t_timer = self.timers.peek_time().unwrap_or(f64::INFINITY);
+
+            if t_flow.is_infinite() && t_timer.is_infinite() {
+                debug_assert!(
+                    self.live.iter().all(|&id| {
+                        self.flows[id.index()].status != FlowStatus::Active
+                            || self.flows[id.index()].rate > 0.0
+                            || self.flows[id.index()].is_done()
+                    }) || self.live.is_empty(),
+                    "deadlock: active flows with zero rate and no timers"
+                );
+                return None;
+            }
+
+            if t_timer <= t_flow {
+                self.advance_to(t_timer);
+                let (timer, _, kind) = self.timers.pop().expect("peeked non-empty");
+                match kind {
+                    TimerKind::User(tag) => {
+                        self.stats.timer_firings += 1;
+                        return Some(Event::TimerFired { timer, tag });
+                    }
+                    TimerKind::ActivateFlow(id) => {
+                        let f = &mut self.flows[id.index()];
+                        if f.status == FlowStatus::Pending {
+                            f.status = FlowStatus::Active;
+                            self.dirty = true;
+                            self.swap_candidate = None;
+                        }
+                        continue;
+                    }
+                }
+            } else {
+                let id = next_flow.expect("finite completion implies a flow");
+                self.advance_to(t_flow);
+                let f = &mut self.flows[id.index()];
+                let rate = f.rate;
+                f.remaining = 0.0;
+                f.rate = 0.0;
+                f.status = FlowStatus::Completed;
+                let tag = f.tag;
+                let route = std::mem::take(&mut self.flows[id.index()].route);
+                self.live.retain(|&x| x != id);
+                self.swap_candidate = if self.dirty {
+                    None
+                } else {
+                    Some(SwapCandidate { rate_cap: self.flows[id.index()].rate_cap, route, rate })
+                };
+                self.dirty = true;
+                self.stats.flow_completions += 1;
+                return Some(Event::FlowCompleted { flow: id, tag });
+            }
+        }
+    }
+
+    /// Run the simulation to completion, discarding events. Returns the
+    /// final time. Mostly useful in tests.
+    pub fn drain(&mut self) -> f64 {
+        while self.next().is_some() {}
+        self.time
+    }
+
+    /// Settle flow progress up to the current time (no time change).
+    fn settle(&mut self) {
+        // Progress is settled implicitly by `advance_to`; nothing to do at
+        // the current instant. Kept as an explicit hook for cancel_flow.
+    }
+
+    fn advance_to(&mut self, t: f64) {
+        debug_assert!(t >= self.time - 1e-12, "time went backwards: {} -> {t}", self.time);
+        let dt = (t - self.time).max(0.0);
+        if dt > 0.0 {
+            for &id in &self.live {
+                let f = &mut self.flows[id.index()];
+                if f.status == FlowStatus::Active && f.rate > 0.0 {
+                    f.remaining = (f.remaining - f.rate * dt).max(0.0);
+                }
+            }
+        }
+        self.time = t;
+    }
+
+    fn recompute_rates(&mut self) {
+        self.dirty = false;
+        self.swap_candidate = None;
+        self.stats.rate_recomputes += 1;
+
+        self.scratch_resources.clear();
+        self.scratch_resources.reserve(self.resources.len());
+        // Effective capacities need per-resource flow counts first.
+        self.scratch_counts.clear();
+        self.scratch_counts.resize(self.resources.len(), 0);
+        self.scratch_live_idx.clear();
+        let mut n_active = 0usize;
+        for &id in &self.live {
+            let f = &self.flows[id.index()];
+            if f.status != FlowStatus::Active {
+                continue;
+            }
+            self.scratch_live_idx.push(id.index());
+            for r in &f.route {
+                self.scratch_counts[r.index()] += 1;
+            }
+            // Reuse FlowInput entries (and their route Vec allocations)
+            // across recomputations: this path runs once per event.
+            if n_active < self.scratch_flows.len() {
+                let slot = &mut self.scratch_flows[n_active];
+                slot.route.clear();
+                slot.route.extend(f.route.iter().map(|r| r.index()));
+                slot.cap = f.rate_cap;
+            } else {
+                self.scratch_flows.push(FlowInput {
+                    route: f.route.iter().map(|r| r.index()).collect(),
+                    cap: f.rate_cap,
+                });
+            }
+            n_active += 1;
+        }
+        for (spec, &n) in self.resources.iter().zip(&self.scratch_counts) {
+            self.scratch_resources.push(ResourceInput { capacity: spec.capacity.effective(n) });
+        }
+
+        // Slice rather than truncate so spare FlowInput slots keep their
+        // route-buffer allocations for the next recomputation.
+        solve_max_min(
+            &self.scratch_resources,
+            &self.scratch_flows[..n_active],
+            &mut self.scratch_rates,
+        );
+
+        for (k, &fi) in self.scratch_live_idx.iter().enumerate() {
+            self.flows[fi].rate = self.scratch_rates[k];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::ResourceSpec;
+
+    #[test]
+    fn single_flow_duration_is_demand_over_capacity() {
+        let mut e = Engine::new();
+        let r = e.add_resource(ResourceSpec::constant(10.0));
+        e.start_flow(FlowSpec::new(100.0, &[r], Tag(1)));
+        let ev = e.next().unwrap();
+        assert_eq!(ev.tag(), Tag(1));
+        assert!((e.now() - 10.0).abs() < 1e-9);
+        assert!(e.next().is_none());
+    }
+
+    #[test]
+    fn two_flows_share_then_speed_up() {
+        // Flow A: 100 units, flow B: 50 units on a 10-capacity resource.
+        // Phase 1: both at rate 5 until B finishes at t=10.
+        // Phase 2: A at rate 10 for its remaining 50 units -> done at t=15.
+        let mut e = Engine::new();
+        let r = e.add_resource(ResourceSpec::constant(10.0));
+        e.start_flow(FlowSpec::new(100.0, &[r], Tag(0xA)));
+        e.start_flow(FlowSpec::new(50.0, &[r], Tag(0xB)));
+        let ev1 = e.next().unwrap();
+        assert_eq!(ev1.tag(), Tag(0xB));
+        assert!((e.now() - 10.0).abs() < 1e-9);
+        let ev2 = e.next().unwrap();
+        assert_eq!(ev2.tag(), Tag(0xA));
+        assert!((e.now() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_delays_start() {
+        let mut e = Engine::new();
+        let r = e.add_resource(ResourceSpec::constant(10.0));
+        e.start_flow(FlowSpec::new(100.0, &[r], Tag(1)).with_latency(2.5));
+        e.next().unwrap();
+        assert!((e.now() - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_cap_limits_single_flow() {
+        let mut e = Engine::new();
+        let r = e.add_resource(ResourceSpec::constant(100.0));
+        e.start_flow(FlowSpec::new(100.0, &[r], Tag(1)).with_cap(4.0));
+        e.next().unwrap();
+        assert!((e.now() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timers_interleave_with_flows() {
+        let mut e = Engine::new();
+        let r = e.add_resource(ResourceSpec::constant(10.0));
+        e.start_flow(FlowSpec::new(100.0, &[r], Tag(1)));
+        e.set_timer(4.0, Tag(99));
+        let ev = e.next().unwrap();
+        assert_eq!(ev.tag(), Tag(99));
+        assert!((e.now() - 4.0).abs() < 1e-9);
+        let ev = e.next().unwrap();
+        assert_eq!(ev.tag(), Tag(1));
+        assert!((e.now() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flow_added_midway_shares_remaining() {
+        // A starts alone at rate 10. At t=5, B (50 units) arrives; both run
+        // at 5. A has 50 left at t=5 -> both finish at t=15.
+        let mut e = Engine::new();
+        let r = e.add_resource(ResourceSpec::constant(10.0));
+        e.start_flow(FlowSpec::new(100.0, &[r], Tag(0xA)));
+        e.set_timer(5.0, Tag(0));
+        let ev = e.next().unwrap();
+        assert_eq!(ev.tag(), Tag(0));
+        e.start_flow(FlowSpec::new(50.0, &[r], Tag(0xB)));
+        let t1 = e.next().unwrap();
+        let t2 = e.next().unwrap();
+        assert!((e.now() - 15.0).abs() < 1e-9);
+        let tags = [t1.tag().0, t2.tag().0];
+        assert!(tags.contains(&0xA) && tags.contains(&0xB));
+    }
+
+    #[test]
+    fn cancel_flow_frees_bandwidth() {
+        let mut e = Engine::new();
+        let r = e.add_resource(ResourceSpec::constant(10.0));
+        let a = e.start_flow(FlowSpec::new(100.0, &[r], Tag(0xA)));
+        e.start_flow(FlowSpec::new(100.0, &[r], Tag(0xB)));
+        e.set_timer(2.0, Tag(0));
+        e.next().unwrap(); // timer at t=2; both flows have 90 left
+        e.cancel_flow(a);
+        let ev = e.next().unwrap();
+        assert_eq!(ev.tag(), Tag(0xB));
+        // B had 90 left at t=2, now alone at rate 10 -> finishes at t=11.
+        assert!((e.now() - 11.0).abs() < 1e-9, "now={}", e.now());
+        assert_eq!(e.flow_status(a), FlowStatus::Cancelled);
+    }
+
+    #[test]
+    fn zero_demand_flow_completes_immediately() {
+        let mut e = Engine::new();
+        let r = e.add_resource(ResourceSpec::constant(10.0));
+        e.start_flow(FlowSpec::new(0.0, &[r], Tag(1)));
+        let ev = e.next().unwrap();
+        assert_eq!(ev.tag(), Tag(1));
+        assert_eq!(e.now(), 0.0);
+    }
+
+    #[test]
+    fn degrading_resource_slows_under_load() {
+        // base 20, alpha 1.0: two flows -> aggregate 20*2/3 = 13.33, each 6.67.
+        let mut e = Engine::new();
+        let r = e.add_resource(ResourceSpec::degrading(20.0, 1.0));
+        e.start_flow(FlowSpec::new(100.0, &[r], Tag(1)));
+        e.start_flow(FlowSpec::new(100.0, &[r], Tag(2)));
+        e.next().unwrap();
+        let expected = 100.0 / (20.0 * 2.0 / 3.0 / 2.0);
+        assert!((e.now() - expected).abs() < 1e-6, "now={} expected={expected}", e.now());
+    }
+
+    #[test]
+    fn multi_resource_route_bound_by_tightest() {
+        let mut e = Engine::new();
+        let fast = e.add_resource(ResourceSpec::constant(100.0));
+        let slow = e.add_resource(ResourceSpec::constant(10.0));
+        e.start_flow(FlowSpec::new(100.0, &[fast, slow], Tag(1)));
+        e.next().unwrap();
+        assert!((e.now() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drain_returns_final_time() {
+        let mut e = Engine::new();
+        let r = e.add_resource(ResourceSpec::constant(1.0));
+        e.start_flow(FlowSpec::new(3.0, &[r], Tag(1)));
+        e.start_flow(FlowSpec::new(5.0, &[r], Tag(2)));
+        let t = e.drain();
+        assert!((t - 8.0).abs() < 1e-9); // work-conserving: total 8 units at rate 1
+    }
+
+    #[test]
+    fn stats_count_events() {
+        let mut e = Engine::new();
+        let r = e.add_resource(ResourceSpec::constant(1.0));
+        e.start_flow(FlowSpec::new(1.0, &[r], Tag(1)));
+        e.set_timer(0.5, Tag(2));
+        e.drain();
+        let s = e.stats();
+        assert_eq!(s.flow_completions, 1);
+        assert_eq!(s.timer_firings, 1);
+        assert_eq!(s.flows_started, 1);
+        assert_eq!(s.resources, 1);
+        assert_eq!(s.events(), 2);
+    }
+
+    #[test]
+    fn simultaneous_completions_all_delivered() {
+        let mut e = Engine::new();
+        let r = e.add_resource(ResourceSpec::constant(10.0));
+        for i in 0..4 {
+            e.start_flow(FlowSpec::new(25.0, &[r], Tag(i)));
+        }
+        let mut tags = Vec::new();
+        while let Some(ev) = e.next() {
+            assert!((e.now() - 10.0).abs() < 1e-9);
+            tags.push(ev.tag().0);
+        }
+        tags.sort_unstable();
+        assert_eq!(tags, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Flow specifications and runtime state.
+
+use crate::ids::{ResourceId, Tag};
+
+/// Lifecycle of a flow inside the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowStatus {
+    /// Waiting for its start latency to elapse; holds no bandwidth.
+    Pending,
+    /// Progressing; holds a max–min fair share of every route resource.
+    Active,
+    /// Demand fully served; the completion event has been delivered.
+    Completed,
+    /// Cancelled by the caller before completion.
+    Cancelled,
+}
+
+/// Specification of a flow to start on the engine.
+#[derive(Debug, Clone)]
+pub struct FlowSpec {
+    /// Total demand: bytes for data flows, flops for compute flows.
+    pub demand: f64,
+    /// Resources used *simultaneously* while the flow progresses.
+    pub route: Vec<ResourceId>,
+    /// Opaque payload returned with the completion event.
+    pub tag: Tag,
+    /// Optional per-flow rate cap (e.g. a per-connection limit).
+    pub rate_cap: Option<f64>,
+    /// Delay before the flow starts consuming bandwidth (network latency,
+    /// disk seek, protocol overhead). The completion event therefore fires
+    /// at `start + latency + demand / harmonic-mean-rate`.
+    pub latency: f64,
+}
+
+impl FlowSpec {
+    /// A plain flow: no cap, no latency.
+    pub fn new(demand: f64, route: &[ResourceId], tag: Tag) -> Self {
+        Self { demand, route: route.to_vec(), tag, rate_cap: None, latency: 0.0 }
+    }
+
+    /// Set a per-flow rate cap.
+    pub fn with_cap(mut self, cap: f64) -> Self {
+        assert!(cap.is_finite() && cap > 0.0, "rate cap must be positive");
+        self.rate_cap = Some(cap);
+        self
+    }
+
+    /// Set a start latency.
+    pub fn with_latency(mut self, latency: f64) -> Self {
+        assert!(latency.is_finite() && latency >= 0.0, "latency must be non-negative");
+        self.latency = latency;
+        self
+    }
+
+    pub(crate) fn validate(&self) {
+        assert!(
+            self.demand.is_finite() && self.demand >= 0.0,
+            "flow demand must be non-negative and finite, got {}",
+            self.demand
+        );
+    }
+}
+
+/// Internal runtime state of a flow.
+#[derive(Debug, Clone)]
+pub(crate) struct FlowState {
+    pub demand: f64,
+    pub remaining: f64,
+    pub rate: f64,
+    pub route: Vec<ResourceId>,
+    pub tag: Tag,
+    pub rate_cap: Option<f64>,
+    pub status: FlowStatus,
+}
+
+impl FlowState {
+    pub fn from_spec(spec: &FlowSpec) -> Self {
+        Self {
+            demand: spec.demand,
+            remaining: spec.demand,
+            rate: 0.0,
+            route: spec.route.clone(),
+            tag: spec.tag,
+            rate_cap: spec.rate_cap,
+            status: if spec.latency > 0.0 { FlowStatus::Pending } else { FlowStatus::Active },
+        }
+    }
+
+    /// Whether the remaining demand is numerically zero.
+    #[inline]
+    pub fn is_done(&self) -> bool {
+        self.remaining <= crate::ABS_EPS.max(self.demand * crate::REL_EPS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_fields() {
+        let spec = FlowSpec::new(100.0, &[ResourceId(0)], Tag(7))
+            .with_cap(10.0)
+            .with_latency(0.5);
+        assert_eq!(spec.demand, 100.0);
+        assert_eq!(spec.rate_cap, Some(10.0));
+        assert_eq!(spec.latency, 0.5);
+        assert_eq!(spec.tag, Tag(7));
+    }
+
+    #[test]
+    fn latency_makes_flow_pending() {
+        let spec = FlowSpec::new(1.0, &[], Tag(0)).with_latency(1.0);
+        assert_eq!(FlowState::from_spec(&spec).status, FlowStatus::Pending);
+        let spec = FlowSpec::new(1.0, &[], Tag(0));
+        assert_eq!(FlowState::from_spec(&spec).status, FlowStatus::Active);
+    }
+
+    #[test]
+    fn done_uses_relative_epsilon() {
+        let spec = FlowSpec::new(1e12, &[], Tag(0));
+        let mut st = FlowState::from_spec(&spec);
+        st.remaining = 100.0; // 1e-10 of demand: below REL_EPS * demand = 1000
+        assert!(st.is_done());
+        st.remaining = 1e6;
+        assert!(!st.is_done());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_demand_rejected() {
+        FlowSpec::new(-1.0, &[], Tag(0)).validate();
+    }
+}

@@ -1,0 +1,272 @@
+//! Progressive-filling max–min fair bandwidth sharing.
+//!
+//! This is the fluid allocation at the core of SimGrid-style flow-level
+//! models: given a set of resources with (effective) capacities and a set of
+//! flows, each using a subset of the resources simultaneously and optionally
+//! carrying a private rate cap, compute the max–min fair rate vector.
+//!
+//! The algorithm repeatedly finds the most constrained element — either a
+//! resource (its remaining capacity divided by its number of unfrozen flows)
+//! or a capped flow — freezes the corresponding flows at that rate, subtracts
+//! the frozen bandwidth from every resource on their routes, and iterates
+//! until all flows are frozen.
+//!
+//! The solver is a pure function over plain inputs so it can be exercised
+//! directly by property tests (feasibility, saturation, bottleneck fairness).
+
+/// Rate assigned to flows that are constrained by nothing at all
+/// (empty route, no cap). Finite so downstream arithmetic stays NaN-free.
+pub const MAX_RATE: f64 = 1e30;
+
+/// A resource as seen by the solver: just an effective capacity.
+#[derive(Debug, Clone, Copy)]
+pub struct ResourceInput {
+    /// Effective capacity (already adjusted for contention degradation).
+    pub capacity: f64,
+}
+
+/// A flow as seen by the solver.
+#[derive(Debug, Clone)]
+pub struct FlowInput {
+    /// Indices into the resource slice this flow uses simultaneously.
+    pub route: Vec<usize>,
+    /// Optional private rate cap.
+    pub cap: Option<f64>,
+}
+
+/// Compute max–min fair rates.
+///
+/// `rates` is cleared and filled with one rate per flow, in order.
+///
+/// # Panics
+/// Panics if a route references a resource index out of bounds.
+pub fn solve_max_min(resources: &[ResourceInput], flows: &[FlowInput], rates: &mut Vec<f64>) {
+    rates.clear();
+    rates.resize(flows.len(), 0.0);
+    if flows.is_empty() {
+        return;
+    }
+
+    let mut remaining: Vec<f64> = resources.iter().map(|r| r.capacity).collect();
+    let mut unfrozen_on: Vec<u32> = vec![0; resources.len()];
+    for f in flows {
+        for &r in &f.route {
+            assert!(r < resources.len(), "route references unknown resource {r}");
+            unfrozen_on[r] += 1;
+        }
+    }
+
+    let mut frozen: Vec<bool> = vec![false; flows.len()];
+    let mut n_frozen = 0usize;
+
+    // Pre-pass: flows with empty routes share nothing — their rate is their
+    // cap (or unbounded). Freezing them here keeps the main loop's iteration
+    // count proportional to the number of *saturated resources*, not flows;
+    // this matters because simulators model dedicated per-core compute as
+    // exactly such route-less capped flows (one per running job).
+    for (i, f) in flows.iter().enumerate() {
+        if f.route.is_empty() {
+            frozen[i] = true;
+            n_frozen += 1;
+            rates[i] = f.cap.unwrap_or(MAX_RATE);
+        }
+    }
+
+    while n_frozen < flows.len() {
+        // Most-constrained resource.
+        let mut best_share = f64::INFINITY;
+        let mut best_resource: Option<usize> = None;
+        for (r, &n) in unfrozen_on.iter().enumerate() {
+            if n > 0 {
+                let share = (remaining[r].max(0.0)) / n as f64;
+                if share < best_share {
+                    best_share = share;
+                    best_resource = Some(r);
+                }
+            }
+        }
+        // Most-constrained capped flow.
+        let mut best_cap = f64::INFINITY;
+        let mut best_capped: Option<usize> = None;
+        for (i, f) in flows.iter().enumerate() {
+            if !frozen[i] {
+                if let Some(c) = f.cap {
+                    if c < best_cap {
+                        best_cap = c;
+                        best_capped = Some(i);
+                    }
+                }
+            }
+        }
+
+        if best_capped.is_some() && best_cap <= best_share {
+            // Freeze the single most-constrained capped flow at its cap.
+            let i = best_capped.expect("checked above");
+            frozen[i] = true;
+            n_frozen += 1;
+            rates[i] = best_cap;
+            for &r in &flows[i].route {
+                remaining[r] = (remaining[r] - best_cap).max(0.0);
+                unfrozen_on[r] -= 1;
+            }
+        } else if let Some(r0) = best_resource {
+            // Freeze every unfrozen flow crossing the bottleneck resource.
+            for i in 0..flows.len() {
+                if frozen[i] || !flows[i].route.contains(&r0) {
+                    continue;
+                }
+                frozen[i] = true;
+                n_frozen += 1;
+                rates[i] = best_share;
+                for &r in &flows[i].route {
+                    remaining[r] = (remaining[r] - best_share).max(0.0);
+                    unfrozen_on[r] -= 1;
+                }
+            }
+        } else {
+            // Remaining flows have no resources and no caps: unconstrained.
+            for i in 0..flows.len() {
+                if !frozen[i] {
+                    frozen[i] = true;
+                    n_frozen += 1;
+                    rates[i] = MAX_RATE;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(resources: &[f64], flows: &[(&[usize], Option<f64>)]) -> Vec<f64> {
+        let rs: Vec<ResourceInput> =
+            resources.iter().map(|&c| ResourceInput { capacity: c }).collect();
+        let fs: Vec<FlowInput> = flows
+            .iter()
+            .map(|(route, cap)| FlowInput { route: route.to_vec(), cap: *cap })
+            .collect();
+        let mut rates = Vec::new();
+        solve_max_min(&rs, &fs, &mut rates);
+        rates
+    }
+
+    #[test]
+    fn single_flow_gets_full_capacity() {
+        let rates = solve(&[100.0], &[(&[0], None)]);
+        assert_eq!(rates, vec![100.0]);
+    }
+
+    #[test]
+    fn equal_flows_split_evenly() {
+        let rates = solve(&[90.0], &[(&[0], None), (&[0], None), (&[0], None)]);
+        assert_eq!(rates, vec![30.0, 30.0, 30.0]);
+    }
+
+    #[test]
+    fn cap_binds_before_fair_share() {
+        let rates = solve(&[100.0], &[(&[0], Some(10.0)), (&[0], None)]);
+        assert_eq!(rates, vec![10.0, 90.0]);
+    }
+
+    #[test]
+    fn cap_above_fair_share_is_inert() {
+        let rates = solve(&[100.0], &[(&[0], Some(80.0)), (&[0], None)]);
+        assert_eq!(rates, vec![50.0, 50.0]);
+    }
+
+    #[test]
+    fn multi_resource_flow_is_bound_by_tightest() {
+        // Flow 0 crosses both resources; resource 1 is tight.
+        let rates = solve(&[100.0, 10.0], &[(&[0, 1], None), (&[0], None)]);
+        assert_eq!(rates, vec![10.0, 90.0]);
+    }
+
+    #[test]
+    fn classic_three_flow_line_network() {
+        // Two links of capacity 10; flow A uses both, flows B and C one each.
+        // Max–min: A = 5, B = 5, C = 5.
+        let rates = solve(&[10.0, 10.0], &[(&[0, 1], None), (&[0], None), (&[1], None)]);
+        assert_eq!(rates, vec![5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn asymmetric_line_network() {
+        // Link 0: cap 10 shared by A and B; link 1: cap 100 shared by A and C.
+        // A and B get 5 from link 0; C then gets 95 from link 1.
+        let rates = solve(&[10.0, 100.0], &[(&[0, 1], None), (&[0], None), (&[1], None)]);
+        assert_eq!(rates, vec![5.0, 5.0, 95.0]);
+    }
+
+    #[test]
+    fn unconstrained_flow_gets_max_rate() {
+        let rates = solve(&[], &[(&[], None)]);
+        assert_eq!(rates, vec![MAX_RATE]);
+    }
+
+    #[test]
+    fn capped_routeless_flow_gets_cap() {
+        let rates = solve(&[], &[(&[], Some(3.0))]);
+        assert_eq!(rates, vec![3.0]);
+    }
+
+    #[test]
+    fn no_flows_is_fine() {
+        let rates = solve(&[10.0], &[]);
+        assert!(rates.is_empty());
+    }
+
+    #[test]
+    fn repeated_resource_in_route_counts_twice() {
+        // Pathological but must not panic: flow listed twice on a resource
+        // consumes two shares.
+        let rates = solve(&[10.0], &[(&[0, 0], None)]);
+        assert_eq!(rates, vec![5.0]);
+    }
+
+    fn assert_feasible(resources: &[f64], flows: &[(&[usize], Option<f64>)], rates: &[f64]) {
+        for (r, &cap) in resources.iter().enumerate() {
+            let used: f64 = flows
+                .iter()
+                .zip(rates)
+                .map(|((route, _), &rate)| {
+                    route.iter().filter(|&&x| x == r).count() as f64 * rate
+                })
+                .sum();
+            assert!(
+                used <= cap * (1.0 + 1e-9) + 1e-9,
+                "resource {r} oversubscribed: {used} > {cap}"
+            );
+        }
+        for ((_, cap), &rate) in flows.iter().zip(rates) {
+            if let Some(c) = cap {
+                assert!(rate <= c * (1.0 + 1e-9), "cap violated");
+            }
+            assert!(rate >= 0.0 && rate.is_finite());
+        }
+    }
+
+    #[test]
+    fn feasibility_on_fixed_mesh() {
+        let resources = [10.0, 20.0, 5.0];
+        let flows: Vec<(&[usize], Option<f64>)> = vec![
+            (&[0, 1], None),
+            (&[1, 2], Some(2.0)),
+            (&[0], None),
+            (&[2], None),
+            (&[0, 1, 2], None),
+        ];
+        let rates = solve(&resources, &flows);
+        assert_feasible(&resources, &flows, &rates);
+    }
+
+    #[test]
+    fn bottleneck_resource_is_saturated() {
+        let resources = [10.0];
+        let flows: Vec<(&[usize], Option<f64>)> = vec![(&[0], None), (&[0], None)];
+        let rates = solve(&resources, &flows);
+        let used: f64 = rates.iter().sum();
+        assert!((used - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,141 @@
+//! Timer queue: a binary heap of (time, sequence) entries with lazy
+//! cancellation. Sequence numbers break ties deterministically so runs are
+//! reproducible regardless of allocation order.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::ids::{FlowId, Tag, TimerId};
+
+/// What a timer does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TimerKind {
+    /// Deliver a [`crate::Event::TimerFired`] to the caller.
+    User(Tag),
+    /// Internal: a pending flow's latency elapsed; activate it.
+    ActivateFlow(FlowId),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    time: f64,
+    seq: u64,
+    kind: TimerKind,
+}
+
+// Ordering for the max-heap (wrapped in Reverse for min-heap behaviour):
+// earlier time first, then lower sequence number.
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+/// Min-heap of timers with lazy cancellation.
+#[derive(Debug, Default)]
+pub(crate) struct TimerQueue {
+    heap: BinaryHeap<Reverse<Entry>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl TimerQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn schedule(&mut self, time: f64, kind: TimerKind) -> TimerId {
+        assert!(time.is_finite(), "timer time must be finite");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, kind }));
+        TimerId(seq)
+    }
+
+    pub fn cancel(&mut self, id: TimerId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// Earliest pending (non-cancelled) fire time.
+    pub fn peek_time(&mut self) -> Option<f64> {
+        self.drop_cancelled();
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Pop the earliest pending timer.
+    pub fn pop(&mut self) -> Option<(TimerId, f64, TimerKind)> {
+        self.drop_cancelled();
+        self.heap.pop().map(|Reverse(e)| (TimerId(e.seq), e.time, e.kind))
+    }
+
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+
+    fn drop_cancelled(&mut self) {
+        while let Some(Reverse(e)) = self.heap.peek() {
+            if self.cancelled.remove(&e.seq) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = TimerQueue::new();
+        q.schedule(3.0, TimerKind::User(Tag(3)));
+        q.schedule(1.0, TimerKind::User(Tag(1)));
+        q.schedule(2.0, TimerKind::User(Tag(2)));
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop().map(|(_, t, _)| t)).collect();
+        assert_eq!(order, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = TimerQueue::new();
+        let a = q.schedule(1.0, TimerKind::User(Tag(10)));
+        let b = q.schedule(1.0, TimerKind::User(Tag(20)));
+        assert_eq!(q.pop().unwrap().0, a);
+        assert_eq!(q.pop().unwrap().0, b);
+    }
+
+    #[test]
+    fn cancellation_is_lazy_but_effective() {
+        let mut q = TimerQueue::new();
+        let a = q.schedule(1.0, TimerKind::User(Tag(1)));
+        q.schedule(2.0, TimerKind::User(Tag(2)));
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(2.0));
+        let (_, t, kind) = q.pop().unwrap();
+        assert_eq!(t, 2.0);
+        assert_eq!(kind, TimerKind::User(Tag(2)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn empty_queue_behaves() {
+        let mut q = TimerQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None.map(|x: (TimerId, f64, TimerKind)| x));
+    }
+}

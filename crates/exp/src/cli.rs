@@ -1,0 +1,376 @@
+//! Argument parsing and experiment dispatch.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use simcal_calib::Budget;
+use simcal_storage::XRootDConfig;
+use simcal_study::experiments::{ablation, fig2, generalization, table1, table2, table3, table4, table5, table6};
+use simcal_study::report::write_csv;
+use simcal_study::{CaseStudy, ExperimentContext};
+
+/// Parsed command line.
+pub struct Options {
+    pub command: String,
+    pub scale: String,
+    pub evals: Option<u64>,
+    pub granularity: Option<XRootDConfig>,
+    pub t5_cost: Option<f64>,
+    pub t6_cost: Option<f64>,
+    pub fig2_cost: Option<f64>,
+    pub seed: Option<u64>,
+    pub workers: Option<usize>,
+    pub data_dir: PathBuf,
+    pub out: Option<PathBuf>,
+    pub reduced: bool,
+}
+
+impl Options {
+    /// Parse a raw argument list.
+    pub fn parse(args: &[String]) -> Result<Options, String> {
+        let mut opts = Options {
+            command: String::new(),
+            scale: "default".to_string(),
+            evals: None,
+            granularity: None,
+            t5_cost: None,
+            t6_cost: None,
+            fig2_cost: None,
+            seed: None,
+            workers: None,
+            data_dir: PathBuf::from("data/groundtruth"),
+            out: None,
+            reduced: false,
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let mut take = |name: &str| -> Result<String, String> {
+                it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+            };
+            match a.as_str() {
+                "--scale" => opts.scale = take("--scale")?,
+                "--evals" => {
+                    opts.evals =
+                        Some(take("--evals")?.parse().map_err(|e| format!("--evals: {e}"))?)
+                }
+                "--granularity" => {
+                    opts.granularity = Some(parse_granularity(&take("--granularity")?)?)
+                }
+                "--t5-cost" => {
+                    opts.t5_cost =
+                        Some(take("--t5-cost")?.parse().map_err(|e| format!("--t5-cost: {e}"))?)
+                }
+                "--t6-cost" => {
+                    opts.t6_cost =
+                        Some(take("--t6-cost")?.parse().map_err(|e| format!("--t6-cost: {e}"))?)
+                }
+                "--fig2-cost" => {
+                    opts.fig2_cost = Some(
+                        take("--fig2-cost")?.parse().map_err(|e| format!("--fig2-cost: {e}"))?,
+                    )
+                }
+                "--seed" => {
+                    opts.seed = Some(take("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?)
+                }
+                "--workers" => {
+                    opts.workers =
+                        Some(take("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?)
+                }
+                "--data-dir" => opts.data_dir = PathBuf::from(take("--data-dir")?),
+                "--out" => opts.out = Some(PathBuf::from(take("--out")?)),
+                "--reduced" => opts.reduced = true,
+                cmd if opts.command.is_empty() && !cmd.starts_with('-') => {
+                    opts.command = cmd.to_string()
+                }
+                other => return Err(format!("unknown argument {other:?}")),
+            }
+        }
+        if opts.command.is_empty() {
+            opts.command = "help".to_string();
+        }
+        Ok(opts)
+    }
+
+    /// Build the experiment context this invocation asks for.
+    pub fn context(&self) -> Result<ExperimentContext, String> {
+        let case = if self.reduced {
+            Arc::new(CaseStudy::generate_reduced())
+        } else {
+            Arc::new(
+                CaseStudy::load_or_generate(&self.data_dir)
+                    .map_err(|e| format!("ground truth: {e}"))?,
+            )
+        };
+        let mut ctx = match self.scale.as_str() {
+            "quick" => ExperimentContext::quick(case),
+            "default" => ExperimentContext::new(case),
+            "full" => ExperimentContext::full(case),
+            other => return Err(format!("unknown scale {other:?}")),
+        };
+        if let Some(n) = self.evals {
+            ctx.budget = Budget::Evaluations(n);
+        }
+        if let Some(g) = self.granularity {
+            ctx.granularity = g;
+        }
+        if let Some(c) = self.t5_cost {
+            ctx.t5_cost_secs = c;
+        }
+        if let Some(c) = self.t6_cost {
+            ctx.t6_cost_secs = c;
+        }
+        if let Some(c) = self.fig2_cost {
+            ctx.fig2_cost_secs = c;
+        }
+        if let Some(s) = self.seed {
+            ctx.seed = s;
+        }
+        if let Some(w) = self.workers {
+            ctx.workers = Some(w);
+        }
+        Ok(ctx)
+    }
+}
+
+fn parse_granularity(s: &str) -> Result<XRootDConfig, String> {
+    match s {
+        "1s" => Ok(XRootDConfig::paper_1s()),
+        "3s" => Ok(XRootDConfig::paper_3s()),
+        "30s" => Ok(XRootDConfig::paper_30s()),
+        "5min" => Ok(XRootDConfig::paper_5min()),
+        other => Err(format!("unknown granularity {other:?} (use 1s|3s|30s|5min)")),
+    }
+}
+
+const HELP: &str = "\
+simcal-exp — regenerate the tables and figures of
+\"Automated Calibration of Parallel and Distributed Computing Simulators\"
+
+Usage: simcal-exp <table1|table2|table3|table4|table5|table6|fig2|ablation|generalization|all|gt> [options]
+
+Options:
+  --scale quick|default|full    scale preset (budgets, granularity)
+  --evals N                     Table III/IV evaluation budget
+  --granularity 1s|3s|30s|5min  simulator granularity for Tables III-V
+  --t5-cost S                   Table V per-calibration cost budget (s)
+  --t6-cost S                   Table VI per-calibration cost budget (s)
+  --fig2-cost S                 Figure 2 per-calibration cost budget (s)
+  --seed N                      algorithm RNG seed
+  --workers N                   parallel evaluation workers
+  --data-dir PATH               ground-truth CSV cache (default data/groundtruth)
+  --out DIR                     also write CSV artifacts to DIR
+  --reduced                     reduced-scale case study (fast smoke runs)
+";
+
+/// Entry point used by `main`.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(args)?;
+    match opts.command.as_str() {
+        "help" | "--help" | "-h" => {
+            println!("{HELP}");
+            return Ok(());
+        }
+        "table1" => {
+            // No simulation needed.
+            println!("{}", table1::render(&table1::run()));
+            return Ok(());
+        }
+        "table2" => {
+            println!("{}", table2::render(&table2::run()));
+            return Ok(());
+        }
+        _ => {}
+    }
+
+    let t0 = Instant::now();
+    let ctx = opts.context()?;
+    eprintln!("[simcal-exp] case study ready in {:.1?}", t0.elapsed());
+
+    let run_one = |name: &str, ctx: &ExperimentContext| -> Result<(), String> {
+        let t = Instant::now();
+        match name {
+            "table3" => {
+                let r = table3::run(ctx);
+                println!("{}", table3::render(&r));
+                if let Some(dir) = &opts.out {
+                    let headers: Vec<String> = std::iter::once("method".to_string())
+                        .chain(r.platforms.iter().map(|p| p.label().to_lowercase()))
+                        .collect();
+                    let rows: Vec<Vec<String>> = r
+                        .methods
+                        .iter()
+                        .zip(&r.mre)
+                        .map(|(m, row)| {
+                            std::iter::once(m.clone())
+                                .chain(row.iter().map(|v| format!("{v:.4}")))
+                                .collect()
+                        })
+                        .collect();
+                    write_csv(&dir.join("table3.csv"), &headers, &rows)
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+            "table4" => {
+                let r = table4::run(ctx);
+                println!("{}", table4::render(&r));
+                if let Some(dir) = &opts.out {
+                    let headers: Vec<String> =
+                        ["method", "core_speed", "local_read_bw", "lan_bw", "wan_bw", "mre"]
+                            .map(String::from)
+                            .to_vec();
+                    let rows: Vec<Vec<String>> = r
+                        .rows
+                        .iter()
+                        .map(|row| {
+                            vec![
+                                row.method.clone(),
+                                format!("{:.1}", row.values[0]),
+                                format!("{:.1}", row.values[1]),
+                                format!("{:.1}", row.values[2]),
+                                format!("{:.1}", row.values[3]),
+                                format!("{:.4}", row.mre),
+                            ]
+                        })
+                        .collect();
+                    write_csv(&dir.join("table4.csv"), &headers, &rows)
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+            "table5" => {
+                let r = table5::run(ctx);
+                println!("{}", table5::render(&r));
+                if let Some(dir) = &opts.out {
+                    let headers: Vec<String> =
+                        ["icds", "full_mre"].map(String::from).to_vec();
+                    let rows: Vec<Vec<String>> = r
+                        .subsets
+                        .iter()
+                        .map(|s| {
+                            vec![
+                                s.icds
+                                    .iter()
+                                    .map(|x| x.to_string())
+                                    .collect::<Vec<_>>()
+                                    .join(";"),
+                                format!("{:.4}", s.full_mre),
+                            ]
+                        })
+                        .collect();
+                    write_csv(&dir.join("table5.csv"), &headers, &rows)
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+            "table6" => {
+                let r = table6::run(ctx);
+                println!("{}", table6::render(&r));
+                if let Some(dir) = &opts.out {
+                    let headers: Vec<String> =
+                        ["block_size", "buffer_size", "mean_sim_s", "method", "mre", "evals"]
+                            .map(String::from)
+                            .to_vec();
+                    let mut rows = Vec::new();
+                    for row in &r.rows {
+                        for c in &row.cells {
+                            rows.push(vec![
+                                format!("{:.0}", row.granularity.block_size),
+                                format!("{:.0}", row.granularity.buffer_size),
+                                format!("{:.4}", row.mean_sim_seconds),
+                                c.method.clone(),
+                                format!("{:.4}", c.mre),
+                                c.evaluations.to_string(),
+                            ]);
+                        }
+                    }
+                    write_csv(&dir.join("table6.csv"), &headers, &rows)
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+            "ablation" => {
+                let r = ablation::run(ctx);
+                println!("{}", ablation::render(&r));
+            }
+            "generalization" => {
+                let r = generalization::run(ctx);
+                println!("{}", generalization::render(&r));
+            }
+            "fig2" => {
+                let r = fig2::run(ctx);
+                println!("{}", fig2::render(&r));
+                if let Some(dir) = &opts.out {
+                    let (headers, rows) = fig2::to_csv(&r);
+                    write_csv(&dir.join("fig2.csv"), &headers, &rows)
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+            other => return Err(format!("unknown command {other:?}")),
+        }
+        eprintln!("[simcal-exp] {name} done in {:.1?}", t.elapsed());
+        Ok(())
+    };
+
+    match opts.command.as_str() {
+        "gt" => {
+            // Context construction above already generated + cached it.
+            println!(
+                "ground truth for 4 platforms x {} ICD values written to {}",
+                ctx.case.ground_truth[0].points.len(),
+                opts.data_dir.display()
+            );
+            Ok(())
+        }
+        "all" => {
+            println!("{}", table1::render(&table1::run()));
+            println!("{}", table2::render(&table2::run()));
+            for name in ["table3", "table4", "table5", "table6", "fig2"] {
+                run_one(name, &ctx)?;
+            }
+            Ok(())
+        }
+        name => run_one(name, &ctx),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        Options::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let o = parse(&["table3", "--evals", "50", "--seed", "7", "--reduced"]).unwrap();
+        assert_eq!(o.command, "table3");
+        assert_eq!(o.evals, Some(50));
+        assert_eq!(o.seed, Some(7));
+        assert!(o.reduced);
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        assert!(parse(&["table3", "--bogus"]).is_err());
+        assert!(parse(&["table3", "--evals"]).is_err());
+        assert!(parse(&["table3", "--evals", "abc"]).is_err());
+    }
+
+    #[test]
+    fn granularity_names() {
+        assert_eq!(parse_granularity("1s").unwrap(), XRootDConfig::paper_1s());
+        assert_eq!(parse_granularity("5min").unwrap(), XRootDConfig::paper_5min());
+        assert!(parse_granularity("2s").is_err());
+    }
+
+    #[test]
+    fn empty_args_mean_help() {
+        assert_eq!(parse(&[]).unwrap().command, "help");
+    }
+
+    #[test]
+    fn quick_reduced_context_builds() {
+        let o = parse(&["table2", "--scale", "quick", "--reduced"]).unwrap();
+        let ctx = o.context().unwrap();
+        assert_eq!(ctx.case.ground_truth.len(), 4);
+    }
+}

@@ -1,0 +1,36 @@
+//! `simcal-exp` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! simcal-exp <command> [options]
+//!
+//! Commands:
+//!   table1 | table2 | table3 | table4 | table5 | table6 | fig2 | all | gt
+//!
+//! Options:
+//!   --scale quick|default|full   Experiment scale preset (default: default)
+//!   --evals N                    Override the Table III/IV budget
+//!   --granularity 1s|3s|30s|5min Simulator granularity for Tables III-V
+//!   --t5-cost S / --t6-cost S / --fig2-cost S
+//!                                Cost budgets (seconds of simulation time)
+//!   --seed N                     Algorithm seed (default 42)
+//!   --workers N                  Evaluator workers (default: all cores)
+//!   --data-dir PATH              Ground-truth cache dir (default data/groundtruth)
+//!   --out DIR                    Also write CSV artifacts there
+//!   --reduced                    Use the reduced-scale case study
+//! ```
+
+mod cli;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("simcal-exp: {e}");
+            eprintln!("run `simcal-exp help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Ground-truth datasets: the metrics calibration compares against.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use simcal_platform::PlatformKind;
+
+/// Ground truth for one (platform, ICD) execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroundTruthPoint {
+    /// The ICD value of the execution.
+    pub icd: f64,
+    /// Mean job execution time per node (the case-study metrics).
+    pub node_means: Vec<f64>,
+    /// Sample standard deviation of job times per node (reported by the
+    /// paper as high at high ICD on HDD platforms; kept for inspection).
+    pub node_stds: Vec<f64>,
+    /// Workload makespan of the execution.
+    pub makespan: f64,
+}
+
+/// The full ground truth for one platform: one point per ICD value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroundTruthSet {
+    /// The platform the traces were "collected" on.
+    pub platform: PlatformKind,
+    /// Points in increasing-ICD order.
+    pub points: Vec<GroundTruthPoint>,
+}
+
+impl GroundTruthSet {
+    /// The ICD values present.
+    pub fn icds(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.icd).collect()
+    }
+
+    /// Number of nodes in the metric vectors.
+    pub fn n_nodes(&self) -> usize {
+        self.points.first().map(|p| p.node_means.len()).unwrap_or(0)
+    }
+
+    /// The point for an ICD value (1e-9 tolerance).
+    pub fn point(&self, icd: f64) -> Option<&GroundTruthPoint> {
+        self.points.iter().find(|p| (p.icd - icd).abs() < 1e-9)
+    }
+
+    /// Restrict to a subset of ICD values (the paper's Table V study).
+    ///
+    /// Panics if a requested ICD is absent.
+    pub fn subset(&self, icds: &[f64]) -> GroundTruthSet {
+        let points = icds
+            .iter()
+            .map(|&icd| {
+                self.point(icd)
+                    .unwrap_or_else(|| panic!("no ground truth for ICD {icd}"))
+                    .clone()
+            })
+            .collect();
+        GroundTruthSet { platform: self.platform, points }
+    }
+
+    /// Flatten the per-node means into the accuracy-metric vector, in
+    /// (ICD-major, node-minor) order. For the full 11-ICD set on the
+    /// 3-node platform this is the paper's 33-metric vector.
+    pub fn metric_vector(&self) -> Vec<f64> {
+        self.points.iter().flat_map(|p| p.node_means.iter().copied()).collect()
+    }
+
+    /// Serialize as CSV (`icd,node,mean,std,makespan`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("icd,node,mean_job_time_s,std_job_time_s,makespan_s\n");
+        for p in &self.points {
+            for (node, (&m, &s)) in p.node_means.iter().zip(&p.node_stds).enumerate() {
+                let _ = writeln!(out, "{},{},{},{},{}", p.icd, node, m, s, p.makespan);
+            }
+        }
+        out
+    }
+
+    /// Parse the CSV produced by [`Self::to_csv`].
+    pub fn from_csv(platform: PlatformKind, csv: &str) -> Result<GroundTruthSet, String> {
+        let mut points: Vec<GroundTruthPoint> = Vec::new();
+        for (lineno, line) in csv.lines().enumerate().skip(1) {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let cols: Vec<&str> = line.split(',').collect();
+            if cols.len() != 5 {
+                return Err(format!("line {}: expected 5 columns", lineno + 1));
+            }
+            let parse = |s: &str| -> Result<f64, String> {
+                s.trim().parse().map_err(|e| format!("line {}: {e}", lineno + 1))
+            };
+            let icd = parse(cols[0])?;
+            let node = parse(cols[1])? as usize;
+            let mean = parse(cols[2])?;
+            let std = parse(cols[3])?;
+            let makespan = parse(cols[4])?;
+            let point = match points.last_mut() {
+                Some(p) if (p.icd - icd).abs() < 1e-9 => p,
+                _ => {
+                    points.push(GroundTruthPoint {
+                        icd,
+                        node_means: Vec::new(),
+                        node_stds: Vec::new(),
+                        makespan,
+                    });
+                    points.last_mut().expect("just pushed")
+                }
+            };
+            if node != point.node_means.len() {
+                return Err(format!("line {}: nodes out of order", lineno + 1));
+            }
+            point.node_means.push(mean);
+            point.node_stds.push(std);
+        }
+        if points.is_empty() {
+            return Err("no data rows".to_string());
+        }
+        Ok(GroundTruthSet { platform, points })
+    }
+
+    /// Write the CSV to a file.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+
+    /// Load a CSV file.
+    pub fn load(platform: PlatformKind, path: &Path) -> Result<GroundTruthSet, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        Self::from_csv(platform, &text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GroundTruthSet {
+        GroundTruthSet {
+            platform: PlatformKind::Fcsn,
+            points: vec![
+                GroundTruthPoint {
+                    icd: 0.0,
+                    node_means: vec![100.0, 101.0, 102.0],
+                    node_stds: vec![1.0, 1.1, 1.2],
+                    makespan: 150.0,
+                },
+                GroundTruthPoint {
+                    icd: 0.5,
+                    node_means: vec![80.0, 81.0, 82.0],
+                    node_stds: vec![2.0, 2.1, 2.2],
+                    makespan: 120.0,
+                },
+                GroundTruthPoint {
+                    icd: 1.0,
+                    node_means: vec![60.0, 61.0, 62.0],
+                    node_stds: vec![3.0, 3.1, 3.2],
+                    makespan: 90.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn metric_vector_flattens_in_order() {
+        let v = sample().metric_vector();
+        assert_eq!(v.len(), 9);
+        assert_eq!(v[0], 100.0);
+        assert_eq!(v[3], 80.0);
+        assert_eq!(v[8], 62.0);
+    }
+
+    #[test]
+    fn subset_selects_icds() {
+        let s = sample().subset(&[0.0, 1.0]);
+        assert_eq!(s.icds(), vec![0.0, 1.0]);
+        assert_eq!(s.metric_vector().len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "no ground truth for ICD")]
+    fn subset_rejects_unknown_icd() {
+        sample().subset(&[0.25]);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let s = sample();
+        let parsed = GroundTruthSet::from_csv(PlatformKind::Fcsn, &s.to_csv()).unwrap();
+        assert_eq!(parsed.icds(), s.icds());
+        assert_eq!(parsed.metric_vector(), s.metric_vector());
+        assert_eq!(parsed.points[1].node_stds, s.points[1].node_stds);
+        assert_eq!(parsed.points[2].makespan, s.points[2].makespan);
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        assert!(GroundTruthSet::from_csv(PlatformKind::Scfn, "header\n1,2\n").is_err());
+        assert!(GroundTruthSet::from_csv(PlatformKind::Scfn, "header only\n").is_err());
+        assert!(GroundTruthSet::from_csv(PlatformKind::Scfn, "h\n0.0,0,x,1,1\n").is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("simcal-gt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fcsn.csv");
+        let s = sample();
+        s.save(&path).unwrap();
+        let loaded = GroundTruthSet::load(PlatformKind::Fcsn, &path).unwrap();
+        assert_eq!(loaded.metric_vector(), s.metric_vector());
+        std::fs::remove_file(&path).ok();
+    }
+}

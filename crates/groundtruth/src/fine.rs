@@ -1,0 +1,64 @@
+//! Assembling the fine-grained emulator configuration.
+
+use simcal_platform::PlatformKind;
+use simcal_sim::{NoiseConfig, SimConfig};
+use simcal_storage::CachePlan;
+use simcal_workload::Workload;
+
+use crate::noise::compute_factors;
+use crate::truth::TruthParams;
+
+/// The [`SimConfig`] that emulates the real system on one platform.
+pub fn ground_truth_config(kind: PlatformKind, truth: &TruthParams, n_jobs: usize) -> SimConfig {
+    let mut cfg = SimConfig::new(truth.hardware(kind), truth.granularity);
+    cfg.cache_write_through = true;
+    cfg.noise = NoiseConfig {
+        compute_factors: compute_factors(n_jobs, truth.compute_noise_sigma, truth.seed),
+        read_jitter_sigma: truth.read_jitter_sigma,
+        seed: truth.seed ^ (kind as u64),
+    };
+    cfg
+}
+
+/// The canonical cache plan for an ICD value.
+///
+/// The initially-cached-data placement is part of the *scenario*, known to
+/// both the real system and the simulator (the operator pre-populated the
+/// caches) — so the ground-truth generator and the calibration objective
+/// must use the same plan. The seed is a pure function of the ICD value.
+pub fn cache_plan_for(workload: &Workload, icd: f64) -> CachePlan {
+    let seed = 7_700 + (icd * 1000.0).round() as u64;
+    CachePlan::new(workload, icd, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcal_workload::scaled_cms_workload;
+
+    #[test]
+    fn config_is_noisy_and_fine_grained() {
+        let cfg = ground_truth_config(PlatformKind::Fcsn, &TruthParams::case_study(), 48);
+        assert!(cfg.noise.is_noisy());
+        assert_eq!(cfg.noise.compute_factors.len(), 48);
+        assert!(cfg.granularity.block_size < 1e8);
+        cfg.validate();
+    }
+
+    #[test]
+    fn per_platform_seeds_differ() {
+        let a = ground_truth_config(PlatformKind::Scfn, &TruthParams::case_study(), 4);
+        let b = ground_truth_config(PlatformKind::Fcsn, &TruthParams::case_study(), 4);
+        assert_ne!(a.noise.seed, b.noise.seed);
+    }
+
+    #[test]
+    fn cache_plan_is_icd_deterministic() {
+        let w = scaled_cms_workload(4, 10, 1e6);
+        let a = cache_plan_for(&w, 0.5);
+        let b = cache_plan_for(&w, 0.5);
+        assert_eq!(a, b);
+        let c = cache_plan_for(&w, 0.6);
+        assert_ne!(a, c);
+    }
+}

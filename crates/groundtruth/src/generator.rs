@@ -1,0 +1,137 @@
+//! Ground-truth generation: run the fine-grained emulator over the ICD grid.
+
+use simcal_platform::PlatformKind;
+use simcal_sim::simulate;
+use simcal_storage::CachePlan;
+use simcal_workload::Workload;
+
+use crate::dataset::{GroundTruthPoint, GroundTruthSet};
+use crate::fine::{cache_plan_for, ground_truth_config};
+use crate::truth::TruthParams;
+
+/// Generate the ground truth for one platform over the given ICD values
+/// (pass [`CachePlan::paper_icd_values`] for the paper's 11-value grid).
+pub fn generate(
+    kind: PlatformKind,
+    workload: &Workload,
+    truth: &TruthParams,
+    icds: &[f64],
+) -> GroundTruthSet {
+    assert!(!icds.is_empty(), "need at least one ICD value");
+    let platform = kind.spec();
+    let config = ground_truth_config(kind, truth, workload.len());
+    let points = icds
+        .iter()
+        .map(|&icd| {
+            let cache = cache_plan_for(workload, icd);
+            let trace = simulate(&platform, workload, &cache, &config);
+            GroundTruthPoint {
+                icd,
+                node_means: trace.mean_job_time_by_node(),
+                node_stds: (0..platform.node_count())
+                    .map(|n| trace.job_time_std_dev_on_node(n))
+                    .collect(),
+                makespan: trace.makespan(),
+            }
+        })
+        .collect();
+    GroundTruthSet { platform: kind, points }
+}
+
+/// Per-job ground-truth durations for one platform (ICD-major, job-minor).
+///
+/// Supports the temporal-structure accuracy metric the paper proposes in
+/// §IV-C2: discrepancies over individual activity durations rather than
+/// per-node aggregates.
+pub fn generate_job_times(
+    kind: PlatformKind,
+    workload: &Workload,
+    truth: &TruthParams,
+    icds: &[f64],
+) -> Vec<f64> {
+    let platform = kind.spec();
+    let config = ground_truth_config(kind, truth, workload.len());
+    let mut out = Vec::with_capacity(icds.len() * workload.len());
+    for &icd in icds {
+        let cache = cache_plan_for(workload, icd);
+        let trace = simulate(&platform, workload, &cache, &config);
+        out.extend(trace.jobs.iter().map(|j| j.duration()));
+    }
+    out
+}
+
+/// Generate ground truth for all four Table II platforms over the paper's
+/// 11 ICD values.
+pub fn generate_all(workload: &Workload, truth: &TruthParams) -> Vec<GroundTruthSet> {
+    let icds = CachePlan::paper_icd_values();
+    PlatformKind::ALL.iter().map(|&k| generate(k, workload, truth, &icds)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcal_workload::scaled_cms_workload;
+
+    fn small() -> (Workload, TruthParams) {
+        let mut truth = TruthParams::case_study();
+        // Keep tests fast: coarser emulator granularity on a small workload.
+        truth.granularity = simcal_storage::XRootDConfig::new(5e6, 1e6);
+        (scaled_cms_workload(6, 4, 20e6), truth)
+    }
+
+    #[test]
+    fn produces_one_point_per_icd() {
+        let (w, t) = small();
+        let gt = generate(PlatformKind::Fcsn, &w, &t, &[0.0, 0.5, 1.0]);
+        assert_eq!(gt.points.len(), 3);
+        assert_eq!(gt.n_nodes(), 3);
+        for p in &gt.points {
+            assert!(p.makespan > 0.0);
+            // 6 jobs fill only node 0 of the 48-core site; unused nodes
+            // report NaN by contract.
+            assert!(p.node_means[0].is_finite() && p.node_means[0] > 0.0);
+        }
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let (w, t) = small();
+        let a = generate(PlatformKind::Scsn, &w, &t, &[0.5]);
+        let b = generate(PlatformKind::Scsn, &w, &t, &[0.5]);
+        // Compare through CSV: NaN (unused nodes) breaks direct equality.
+        assert_eq!(a.to_csv(), b.to_csv());
+    }
+
+    #[test]
+    fn fc_platforms_benefit_from_caching() {
+        let (w, t) = small();
+        let gt = generate(PlatformKind::Fcfn, &w, &t, &[0.0, 1.0]);
+        // Page cache at 10 GBps: fully cached runs must not be slower.
+        let t0 = gt.point(0.0).unwrap().node_means[0];
+        let t1 = gt.point(1.0).unwrap().node_means[0];
+        assert!(t1 <= t0 * 1.05, "icd1 {t1} vs icd0 {t0}");
+    }
+
+    #[test]
+    fn sc_platforms_show_hdd_variance_at_high_icd() {
+        let (w, t) = small();
+        let gt = generate(PlatformKind::Scsn, &w, &t, &[1.0]);
+        // Jitter + contention: the paper observes nonzero variance across
+        // job times on the HDD.
+        let p = gt.point(1.0).unwrap();
+        assert!(p.node_stds.iter().any(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn generate_all_covers_four_platforms() {
+        let (w, mut t) = small();
+        t.granularity = simcal_storage::XRootDConfig::new(10e6, 5e6);
+        let all = generate_all(&w, &t);
+        assert_eq!(all.len(), 4);
+        let kinds: Vec<PlatformKind> = all.iter().map(|g| g.platform).collect();
+        assert_eq!(kinds, PlatformKind::ALL.to_vec());
+        for g in &all {
+            assert_eq!(g.points.len(), 11);
+        }
+    }
+}

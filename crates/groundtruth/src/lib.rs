@@ -1,0 +1,34 @@
+//! # simcal-groundtruth — the synthetic "real-world" system
+//!
+//! The paper calibrates against traces collected on WLCG. We have no WLCG,
+//! so this crate plays its role (see DESIGN.md §2): a **fine-grained,
+//! stochastic emulator** built on the same fluid kernel but deliberately
+//! *outside* the calibrated simulator's model family:
+//!
+//! * hidden "true" hardware parameters ([`truth::TruthParams`]) — chosen to
+//!   mirror the effective values the paper reports (1,970 Mflops cores,
+//!   ~17 MBps HDDs, ~10x-faster-than-assumed page cache, 1.15/11.5 Gbps
+//!   effective WANs);
+//! * much finer data-movement granularity than any calibrated-simulator
+//!   setting (near XRootD's real block size), so pipelining is nearly
+//!   perfect, as in the real system;
+//! * HDD seek-contention degradation and per-block read jitter — "HDD
+//!   effects (e.g., seek times) are not modeled by the simulator, and as a
+//!   result the simulator does not produce the same variance" (§IV-B);
+//! * per-job compute-speed variation.
+//!
+//! [`generate`] produces a [`GroundTruthSet`] per platform — the 11-ICD
+//! grid of per-node mean job execution times that defines the case study's
+//! 33 accuracy metrics — and [`dataset`] provides CSV persistence and ICD
+//! subsetting (for the paper's reduced-ground-truth study, Table V).
+
+pub mod dataset;
+pub mod fine;
+pub mod generator;
+pub mod noise;
+pub mod truth;
+
+pub use dataset::{GroundTruthPoint, GroundTruthSet};
+pub use fine::{cache_plan_for, ground_truth_config};
+pub use generator::{generate, generate_all, generate_job_times};
+pub use truth::TruthParams;

@@ -1,0 +1,43 @@
+//! Stochastic-realism sampling for the ground-truth emulator.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use simcal_workload::Distribution;
+
+/// Per-job compute-speed factors: log-normal around 1.0 with the given
+/// sigma, deterministic in the seed. An empty result (sigma = 0) means
+/// "no variation".
+pub fn compute_factors(n_jobs: usize, sigma: f64, seed: u64) -> Vec<f64> {
+    if sigma <= 0.0 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc0_0f_fa_c7);
+    let dist = Distribution::log_normal_median(1.0, sigma);
+    (0..n_jobs).map(|_| dist.sample(&mut rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_sigma_yields_empty() {
+        assert!(compute_factors(10, 0.0, 1).is_empty());
+    }
+
+    #[test]
+    fn factors_cluster_around_one() {
+        let f = compute_factors(2000, 0.05, 7);
+        assert_eq!(f.len(), 2000);
+        let mean = f.iter().sum::<f64>() / f.len() as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean={mean}");
+        assert!(f.iter().all(|&x| x > 0.5 && x < 2.0));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(compute_factors(5, 0.1, 3), compute_factors(5, 0.1, 3));
+        assert_ne!(compute_factors(5, 0.1, 3), compute_factors(5, 0.1, 4));
+    }
+}

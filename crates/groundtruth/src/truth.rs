@@ -1,0 +1,140 @@
+//! The hidden "true" hardware parameters of the emulated real system.
+
+use simcal_platform::{HardwareParams, PlatformKind};
+use simcal_storage::XRootDConfig;
+use simcal_units as units;
+
+/// Ground-truth system parameters. Calibration never sees these — it only
+/// sees the traces they generate. The values mirror what the paper reports
+/// the calibrations (manual and automated) converged to, so that a correct
+/// reproduction recovers recognisable numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TruthParams {
+    /// Per-core speed (flop/s). Paper's HUMAN calibration: 1,970 Mflops.
+    pub core_speed: f64,
+    /// HDD bandwidth seen by a single reader (bytes/s). Under concurrent
+    /// load the effective value degrades toward the ~16-17 MBps the paper's
+    /// calibrations all found.
+    pub disk_bw: f64,
+    /// HDD contention coefficient (see `simcal_des::CapacityModel::Degrading`).
+    pub disk_contention_alpha: f64,
+    /// Page-cache read bandwidth (bytes/s) — the value the domain scientist
+    /// under-assumed by ~10x (1 GBps assumed, ~10 GBps effective).
+    pub page_cache_bw: f64,
+    /// Node NIC bandwidth (bytes/s).
+    pub lan_bw: f64,
+    /// Effective WAN bandwidth on slow-network (1 Gbps NIC) platforms —
+    /// the paper's HUMAN found 1.15 Gbps.
+    pub wan_bw_slow: f64,
+    /// Effective WAN bandwidth on fast-network (10 Gbps NIC) platforms.
+    pub wan_bw_fast: f64,
+    /// Remote storage service aggregate bandwidth (bytes/s).
+    pub remote_storage_bw: f64,
+    /// Seek-ish latency per HDD block read (seconds).
+    pub disk_latency: f64,
+    /// WAN latency per transfer chunk (seconds).
+    pub wan_latency: f64,
+    /// Log-normal sigma of per-block HDD read jitter.
+    pub read_jitter_sigma: f64,
+    /// Log-normal sigma of per-job compute-speed variation.
+    pub compute_noise_sigma: f64,
+    /// Real-system data-movement granularity (finer than any calibrated
+    /// simulator setting).
+    pub granularity: XRootDConfig,
+    /// Master seed for all ground-truth stochastic draws.
+    pub seed: u64,
+}
+
+impl TruthParams {
+    /// The case-study ground truth.
+    pub fn case_study() -> Self {
+        Self {
+            core_speed: units::mflops(1970.0),
+            disk_bw: units::mbytes_per_sec(20.0),
+            disk_contention_alpha: 0.25,
+            page_cache_bw: units::gbytes_per_sec(10.0),
+            lan_bw: units::gbps(10.0),
+            wan_bw_slow: units::gbps(1.15),
+            wan_bw_fast: units::gbps(11.5),
+            remote_storage_bw: units::gbytes_per_sec(2.5),
+            disk_latency: 5e-3,
+            wan_latency: 1e-3,
+            read_jitter_sigma: 0.12,
+            compute_noise_sigma: 0.03,
+            granularity: XRootDConfig::ground_truth(),
+            seed: 0x5ca1_ab1e,
+        }
+    }
+
+    /// A deterministic variant (no jitter/noise) for tests that need exact
+    /// reproducibility of derived quantities.
+    pub fn deterministic() -> Self {
+        Self { read_jitter_sigma: 0.0, compute_noise_sigma: 0.0, ..Self::case_study() }
+    }
+
+    /// The true effective WAN bandwidth for a platform.
+    pub fn wan_bw(&self, kind: PlatformKind) -> f64 {
+        match kind {
+            PlatformKind::Scfn | PlatformKind::Fcfn => self.wan_bw_fast,
+            PlatformKind::Scsn | PlatformKind::Fcsn => self.wan_bw_slow,
+        }
+    }
+
+    /// The true hardware parameter set for a platform.
+    pub fn hardware(&self, kind: PlatformKind) -> HardwareParams {
+        HardwareParams {
+            core_speed: self.core_speed,
+            disk_bw: self.disk_bw,
+            page_cache_bw: self.page_cache_bw,
+            lan_bw: self.lan_bw,
+            wan_bw: self.wan_bw(kind),
+            remote_storage_bw: self.remote_storage_bw,
+            disk_contention_alpha: self.disk_contention_alpha,
+            wan_latency: self.wan_latency,
+            disk_latency: self.disk_latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wan_depends_on_network_flavour() {
+        let t = TruthParams::case_study();
+        assert_eq!(t.wan_bw(PlatformKind::Scsn), units::gbps(1.15));
+        assert_eq!(t.wan_bw(PlatformKind::Fcsn), units::gbps(1.15));
+        assert_eq!(t.wan_bw(PlatformKind::Scfn), units::gbps(11.5));
+        assert_eq!(t.wan_bw(PlatformKind::Fcfn), units::gbps(11.5));
+    }
+
+    #[test]
+    fn hardware_validates() {
+        for kind in PlatformKind::ALL {
+            TruthParams::case_study().hardware(kind).validate();
+        }
+    }
+
+    #[test]
+    fn effective_disk_bw_matches_paper_findings() {
+        // Under 12 concurrent readers the degrading HDD model should yield
+        // the ~16-17 MBps all the paper's calibrations converged to.
+        let t = TruthParams::case_study();
+        let model = simcal_des::CapacityModel::Degrading {
+            base: t.disk_bw,
+            alpha: t.disk_contention_alpha,
+        };
+        let eff = model.effective(12);
+        assert!(
+            (16e6..18e6).contains(&eff),
+            "effective disk bw {eff} outside the paper's 16-17 MBps"
+        );
+    }
+
+    #[test]
+    fn page_cache_is_10x_the_human_assumption() {
+        let t = TruthParams::case_study();
+        assert!((t.page_cache_bw / 1e9 - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,109 @@
+//! Fluent builder for custom platforms (used by the examples and by users
+//! modelling their own systems).
+
+use crate::node::NodeSpec;
+use crate::spec::PlatformSpec;
+use simcal_units as units;
+
+/// Builder for [`PlatformSpec`].
+///
+/// ```
+/// use simcal_platform::PlatformBuilder;
+///
+/// let platform = PlatformBuilder::new("my-cluster")
+///     .node("head", 8)
+///     .node("worker-1", 32)
+///     .node("worker-2", 32)
+///     .page_cache(true)
+///     .wan_gbps(10.0)
+///     .build();
+/// assert_eq!(platform.total_cores(), 72);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlatformBuilder {
+    name: String,
+    nodes: Vec<NodeSpec>,
+    page_cache_enabled: bool,
+    nominal_wan_bw: f64,
+}
+
+impl PlatformBuilder {
+    /// Start a builder for a platform with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            nodes: Vec::new(),
+            page_cache_enabled: false,
+            nominal_wan_bw: units::gbps(10.0),
+        }
+    }
+
+    /// Add a compute node.
+    pub fn node(mut self, name: impl Into<String>, cores: u32) -> Self {
+        self.nodes.push(NodeSpec::new(name, cores));
+        self
+    }
+
+    /// Add `count` identical nodes named `{prefix}-{i}`.
+    pub fn nodes(mut self, prefix: &str, count: usize, cores: u32) -> Self {
+        for i in 0..count {
+            self.nodes.push(NodeSpec::new(format!("{prefix}-{i}"), cores));
+        }
+        self
+    }
+
+    /// Enable or disable the RAM page cache.
+    pub fn page_cache(mut self, enabled: bool) -> Self {
+        self.page_cache_enabled = enabled;
+        self
+    }
+
+    /// Set the nominal WAN interface speed in Gbps.
+    pub fn wan_gbps(mut self, gbps: f64) -> Self {
+        self.nominal_wan_bw = units::gbps(gbps);
+        self
+    }
+
+    /// Set the nominal WAN interface speed in bytes/s.
+    pub fn wan_bytes_per_sec(mut self, bw: f64) -> Self {
+        self.nominal_wan_bw = bw;
+        self
+    }
+
+    /// Finish and validate the platform.
+    pub fn build(self) -> PlatformSpec {
+        let spec = PlatformSpec {
+            name: self.name,
+            nodes: self.nodes,
+            page_cache_enabled: self.page_cache_enabled,
+            nominal_wan_bw: self.nominal_wan_bw,
+        };
+        spec.validate();
+        spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_custom_platform() {
+        let p = PlatformBuilder::new("edge")
+            .nodes("w", 4, 16)
+            .page_cache(true)
+            .wan_gbps(1.0)
+            .build();
+        assert_eq!(p.node_count(), 4);
+        assert_eq!(p.total_cores(), 64);
+        assert!(p.page_cache_enabled);
+        assert_eq!(p.nominal_wan_bw, units::gbps(1.0));
+        assert_eq!(p.nodes[2].name, "w-2");
+    }
+
+    #[test]
+    #[should_panic(expected = "no compute nodes")]
+    fn empty_build_panics() {
+        PlatformBuilder::new("empty").build();
+    }
+}

@@ -1,0 +1,155 @@
+//! The paper's platform catalog (Figure 1 topology, Table II configurations).
+//!
+//! The compute site hosts three homogeneous nodes — two with 12 cores and
+//! one with 24 cores — each with a local HDD cache, behind a local network;
+//! the remote storage site holds all initial input data across a WAN.
+
+use crate::node::NodeSpec;
+use crate::spec::PlatformSpec;
+use simcal_units as units;
+
+/// The four Table II hardware platform configurations.
+///
+/// `SC`/`FC` = slow/fast cache (Linux page cache disabled/enabled);
+/// `SN`/`FN` = slow/fast network (1 Gbps / 10 Gbps WAN interface).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlatformKind {
+    /// Slow cache, fast network: page cache disabled, 10 Gbps WAN.
+    Scfn,
+    /// Fast cache, fast network: page cache enabled, 10 Gbps WAN.
+    Fcfn,
+    /// Slow cache, slow network: page cache disabled, 1 Gbps WAN.
+    Scsn,
+    /// Fast cache, slow network: page cache enabled, 1 Gbps WAN.
+    Fcsn,
+}
+
+impl PlatformKind {
+    /// All four configurations in Table II order.
+    pub const ALL: [PlatformKind; 4] =
+        [PlatformKind::Scfn, PlatformKind::Fcfn, PlatformKind::Scsn, PlatformKind::Fcsn];
+
+    /// The paper's label (e.g. `"SCFN"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            PlatformKind::Scfn => "SCFN",
+            PlatformKind::Fcfn => "FCFN",
+            PlatformKind::Scsn => "SCSN",
+            PlatformKind::Fcsn => "FCSN",
+        }
+    }
+
+    /// Whether the RAM page cache is enabled (the `FC` configurations).
+    pub fn page_cache_enabled(self) -> bool {
+        matches!(self, PlatformKind::Fcfn | PlatformKind::Fcsn)
+    }
+
+    /// Nominal WAN interface speed, bytes/s (10 Gbps for `FN`, 1 Gbps for `SN`).
+    pub fn nominal_wan_bw(self) -> f64 {
+        match self {
+            PlatformKind::Scfn | PlatformKind::Fcfn => units::gbps(10.0),
+            PlatformKind::Scsn | PlatformKind::Fcsn => units::gbps(1.0),
+        }
+    }
+
+    /// Build the [`PlatformSpec`] for this configuration.
+    pub fn spec(self) -> PlatformSpec {
+        cms_site(self)
+    }
+
+    /// Parse a label like `"fcsn"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "scfn" => Some(PlatformKind::Scfn),
+            "fcfn" => Some(PlatformKind::Fcfn),
+            "scsn" => Some(PlatformKind::Scsn),
+            "fcsn" => Some(PlatformKind::Fcsn),
+            _ => None,
+        }
+    }
+}
+
+/// The case-study compute site: 12 + 12 + 24 cores, local HDD caches.
+fn cms_site(kind: PlatformKind) -> PlatformSpec {
+    let spec = PlatformSpec {
+        name: kind.label().to_string(),
+        nodes: vec![
+            NodeSpec::new("node-12a", 12),
+            NodeSpec::new("node-12b", 12),
+            NodeSpec::new("node-24", 24),
+        ],
+        page_cache_enabled: kind.page_cache_enabled(),
+        nominal_wan_bw: kind.nominal_wan_bw(),
+    };
+    spec.validate();
+    spec
+}
+
+/// SCFN: page cache disabled, 10 Gbps WAN.
+pub fn scfn() -> PlatformSpec {
+    PlatformKind::Scfn.spec()
+}
+
+/// FCFN: page cache enabled, 10 Gbps WAN.
+pub fn fcfn() -> PlatformSpec {
+    PlatformKind::Fcfn.spec()
+}
+
+/// SCSN: page cache disabled, 1 Gbps WAN.
+pub fn scsn() -> PlatformSpec {
+    PlatformKind::Scsn.spec()
+}
+
+/// FCSN: page cache enabled, 1 Gbps WAN.
+pub fn fcsn() -> PlatformSpec {
+    PlatformKind::Fcsn.spec()
+}
+
+/// All four Table II platforms, in table order.
+pub fn all_platforms() -> Vec<PlatformSpec> {
+    PlatformKind::ALL.iter().map(|k| k.spec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_flags() {
+        assert!(!scfn().page_cache_enabled);
+        assert!(fcfn().page_cache_enabled);
+        assert!(!scsn().page_cache_enabled);
+        assert!(fcsn().page_cache_enabled);
+        assert_eq!(scfn().nominal_wan_bw, units::gbps(10.0));
+        assert_eq!(fcfn().nominal_wan_bw, units::gbps(10.0));
+        assert_eq!(scsn().nominal_wan_bw, units::gbps(1.0));
+        assert_eq!(fcsn().nominal_wan_bw, units::gbps(1.0));
+    }
+
+    #[test]
+    fn site_matches_figure_1() {
+        for p in all_platforms() {
+            assert_eq!(p.node_count(), 3);
+            assert_eq!(p.total_cores(), 48);
+            let mut cores: Vec<u32> = p.nodes.iter().map(|n| n.cores).collect();
+            cores.sort_unstable();
+            assert_eq!(cores, vec![12, 12, 24]);
+        }
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for k in PlatformKind::ALL {
+            assert_eq!(PlatformKind::parse(k.label()), Some(k));
+            assert_eq!(PlatformKind::parse(&k.label().to_lowercase()), Some(k));
+        }
+        assert_eq!(PlatformKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn total_concurrency_fits_workload() {
+        // The ground-truth workload has 48 jobs; the site has exactly 48
+        // cores, so all jobs run concurrently (the paper's setting).
+        assert_eq!(scfn().total_cores(), 48);
+    }
+}

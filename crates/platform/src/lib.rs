@@ -1,0 +1,28 @@
+//! # simcal-platform — hardware platform descriptions
+//!
+//! Describes the *target system* being simulated: compute sites with
+//! multi-core nodes and local caches, a remote storage site, and the
+//! networks connecting them — together with the **hardware parameter set**
+//! ([`HardwareParams`]) that configures the simulation models built on top.
+//!
+//! The split mirrors the paper's calibration problem statement: the
+//! *topology* ([`PlatformSpec`]) is known (number of nodes, cores, whether
+//! the Linux page cache is enabled, the nominal NIC speed — Table II), while
+//! the *effective* hardware parameter values (core speed, disk bandwidth,
+//! LAN/WAN bandwidth, page-cache speed) are exactly what calibration must
+//! determine.
+//!
+//! [`catalog`] reconstructs the paper's execution platform (Figure 1) and
+//! its four configurations SCFN / FCFN / SCSN / FCSN (Table II).
+
+pub mod builder;
+pub mod catalog;
+pub mod hardware;
+pub mod node;
+pub mod spec;
+
+pub use builder::PlatformBuilder;
+pub use catalog::{all_platforms, fcfn, fcsn, scfn, scsn, PlatformKind};
+pub use hardware::HardwareParams;
+pub use node::NodeSpec;
+pub use spec::PlatformSpec;

@@ -1,0 +1,36 @@
+//! Compute node descriptions.
+
+/// A multi-core compute node hosting a local cache device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSpec {
+    /// Human-readable name used in traces and reports (e.g. `"node-24c"`).
+    pub name: String,
+    /// Number of cores. Each core runs at most one job at a time.
+    pub cores: u32,
+}
+
+impl NodeSpec {
+    /// A named node with the given core count.
+    pub fn new(name: impl Into<String>, cores: u32) -> Self {
+        assert!(cores > 0, "a node must have at least one core");
+        Self { name: name.into(), cores }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructs() {
+        let n = NodeSpec::new("node-a", 12);
+        assert_eq!(n.name, "node-a");
+        assert_eq!(n.cores, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        NodeSpec::new("bad", 0);
+    }
+}

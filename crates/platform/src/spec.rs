@@ -1,0 +1,109 @@
+//! The platform specification: topology plus configuration flags.
+
+use crate::node::NodeSpec;
+use simcal_units as units;
+
+/// A platform: one compute site (a set of nodes behind a LAN) connected to a
+/// remote storage site over a WAN — the paper's Figure 1 topology.
+///
+/// `page_cache_enabled` and `nominal_wan_bw` are the two Table II toggles
+/// distinguishing SCFN / FCFN / SCSN / FCSN. The *nominal* WAN bandwidth is
+/// the spec-sheet NIC speed (1 or 10 Gbps); the *effective* bandwidth used
+/// in simulation lives in [`crate::HardwareParams::wan_bw`] and is what
+/// calibration determines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformSpec {
+    /// Platform name (e.g. `"FCSN"`).
+    pub name: String,
+    /// Compute nodes at the compute site.
+    pub nodes: Vec<NodeSpec>,
+    /// Whether the Linux page cache is enabled on the compute nodes
+    /// ("fast cache" configurations).
+    pub page_cache_enabled: bool,
+    /// Spec-sheet WAN interface speed, bytes/s (Table II: 1 or 10 Gbps).
+    pub nominal_wan_bw: f64,
+}
+
+impl PlatformSpec {
+    /// Total core count over all nodes — the workload concurrency bound.
+    pub fn total_cores(&self) -> u32 {
+        self.nodes.iter().map(|n| n.cores).sum()
+    }
+
+    /// Number of compute nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Table II row label for the RAM page cache column.
+    pub fn page_cache_label(&self) -> &'static str {
+        if self.page_cache_enabled {
+            "enabled"
+        } else {
+            "disabled"
+        }
+    }
+
+    /// Table II row label for the WAN interface column.
+    pub fn wan_label(&self) -> String {
+        units::format_rate(self.nominal_wan_bw)
+    }
+
+    /// Panic if the spec is structurally invalid.
+    pub fn validate(&self) {
+        assert!(!self.nodes.is_empty(), "platform has no compute nodes");
+        assert!(
+            self.nominal_wan_bw.is_finite() && self.nominal_wan_bw > 0.0,
+            "nominal WAN bandwidth must be positive"
+        );
+        let mut names: Vec<&str> = self.nodes.iter().map(|n| n.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), self.nodes.len(), "duplicate node names");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PlatformSpec {
+        PlatformSpec {
+            name: "TEST".into(),
+            nodes: vec![NodeSpec::new("a", 12), NodeSpec::new("b", 24)],
+            page_cache_enabled: true,
+            nominal_wan_bw: units::gbps(1.0),
+        }
+    }
+
+    #[test]
+    fn totals() {
+        let p = sample();
+        assert_eq!(p.total_cores(), 36);
+        assert_eq!(p.node_count(), 2);
+        p.validate();
+    }
+
+    #[test]
+    fn labels() {
+        let p = sample();
+        assert_eq!(p.page_cache_label(), "enabled");
+        assert_eq!(p.wan_label(), "1.00 Gbps");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node names")]
+    fn duplicate_names_rejected() {
+        let mut p = sample();
+        p.nodes[1].name = "a".into();
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "no compute nodes")]
+    fn empty_platform_rejected() {
+        let mut p = sample();
+        p.nodes.clear();
+        p.validate();
+    }
+}

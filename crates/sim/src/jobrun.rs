@@ -1,0 +1,415 @@
+//! Per-job execution state machine.
+//!
+//! Each running job owns at most one in-flight flow per activity kind:
+//! one compute block, one local-read block, one server-side chunk read, one
+//! network chunk, one output network chunk, one output server write. The
+//! machine advances when any of them completes. This "one in flight per
+//! stage" structure *is* the pipelining: the read of block k+1 overlaps the
+//! compute of block k (double buffering), and within a remote transfer the
+//! server read of chunk c+1 overlaps the network transfer of chunk c.
+
+use rand::rngs::StdRng;
+
+use simcal_des::{Engine, FlowSpec};
+use simcal_storage::CachePlan;
+use simcal_workload::{Distribution, JobSpec};
+
+use crate::config::SimConfig;
+use crate::resources::PlatformResources;
+use crate::tags::{encode, Kind};
+
+/// Byte-scale numerical slack for position comparisons.
+const SLACK: f64 = 1e-3;
+
+/// Everything a job needs to issue flows.
+pub(crate) struct Ctx<'a> {
+    pub engine: &'a mut Engine,
+    pub res: &'a PlatformResources,
+    pub cfg: &'a SimConfig,
+    pub rng: &'a mut StdRng,
+}
+
+/// Job lifecycle phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Reading/processing input files.
+    Reading,
+    /// Writing the output file to remote storage.
+    Output,
+    /// Finished.
+    Done,
+}
+
+/// Runtime state of one job on its core.
+#[derive(Debug)]
+pub(crate) struct JobRun {
+    pub job: usize,
+    pub node: usize,
+    pub core: u32,
+    pub start: f64,
+    pub end: f64,
+
+    /// Input file sizes, in processing order.
+    file_sizes: Vec<f64>,
+    /// Whether each input file starts in the node-local cache.
+    cached_flags: Vec<bool>,
+    /// Effective compute volume per byte (spec value x noise factor).
+    fpb_eff: f64,
+    output_bytes: f64,
+
+    phase: Phase,
+    file_idx: usize,
+    file_size: f64,
+    cached: bool,
+
+    // Streaming positions within the current file (bytes from file start).
+    // `*_pos` fields advance at flow *issue*; the matching `delivered` /
+    // `computed` / `server_done` fields advance at flow *completion*. With
+    // one in-flight flow per stage, completion value = issue position.
+    read_pos: f64,
+    server_done: f64,
+    net_pos: f64,
+    delivered: f64,
+    compute_pos: f64,
+    computed: f64,
+
+    local_busy: bool,
+    server_busy: bool,
+    net_busy: bool,
+    compute_busy: bool,
+
+    // Output pipeline positions.
+    out_net_pos: f64,
+    out_net_done: f64,
+    out_srv_pos: f64,
+    out_srv_done: f64,
+    out_net_busy: bool,
+    out_srv_busy: bool,
+
+    /// Write-through state: at most one in-flight cache write per job;
+    /// chunks arriving while it is busy are dropped (write coalescing).
+    cache_write_busy: bool,
+    /// Size of the most recently delivered network chunk.
+    last_net_chunk: f64,
+}
+
+impl JobRun {
+    pub fn new(
+        job: usize,
+        node: usize,
+        core: u32,
+        spec: &JobSpec,
+        cache: &CachePlan,
+        compute_factor: f64,
+    ) -> Self {
+        Self {
+            job,
+            node,
+            core,
+            start: 0.0,
+            end: 0.0,
+            file_sizes: spec.input_files.iter().map(|f| f.size).collect(),
+            cached_flags: (0..spec.input_files.len())
+                .map(|f| cache.is_cached(job, f))
+                .collect(),
+            fpb_eff: spec.flops_per_byte * compute_factor,
+            output_bytes: spec.output_bytes,
+            phase: Phase::Reading,
+            file_idx: 0,
+            file_size: 0.0,
+            cached: false,
+            read_pos: 0.0,
+            server_done: 0.0,
+            net_pos: 0.0,
+            delivered: 0.0,
+            compute_pos: 0.0,
+            computed: 0.0,
+            local_busy: false,
+            server_busy: false,
+            net_busy: false,
+            compute_busy: false,
+            out_net_pos: 0.0,
+            out_net_done: 0.0,
+            out_srv_pos: 0.0,
+            out_srv_done: 0.0,
+            out_net_busy: false,
+            out_srv_busy: false,
+            cache_write_busy: false,
+            last_net_chunk: 0.0,
+        }
+    }
+
+    /// Start executing: record the start time and issue the first flows.
+    pub fn begin(&mut self, ctx: &mut Ctx<'_>) {
+        self.start = ctx.engine.now();
+        self.load_file(0);
+        self.advance(ctx);
+    }
+
+    fn load_file(&mut self, idx: usize) {
+        self.file_idx = idx;
+        self.file_size = self.file_sizes[idx];
+        self.cached = self.cached_flags[idx];
+        self.read_pos = 0.0;
+        self.server_done = 0.0;
+        self.net_pos = 0.0;
+        self.delivered = 0.0;
+        self.compute_pos = 0.0;
+        self.computed = 0.0;
+    }
+
+    /// Handle a completed flow of the given kind. Returns `true` when the
+    /// job finished (its output write completed).
+    pub fn on_event(&mut self, kind: Kind, ctx: &mut Ctx<'_>) -> bool {
+        let was_done = self.phase == Phase::Done;
+        match kind {
+            Kind::Compute => {
+                self.computed = self.compute_pos;
+                self.compute_busy = false;
+                // Same-signature reissue first: lets the kernel's swap fast
+                // path keep the allocation untouched.
+                self.try_start_compute(ctx);
+                if self.computed + SLACK >= self.file_size {
+                    self.finish_file(ctx);
+                }
+            }
+            Kind::LocalRead => {
+                self.delivered = self.read_pos;
+                self.local_busy = false;
+                self.try_start_local(ctx);
+            }
+            Kind::ServerChunk => {
+                self.server_done = self.read_pos;
+                self.server_busy = false;
+                self.try_start_server(ctx);
+                self.try_start_net(ctx);
+            }
+            Kind::NetChunk => {
+                self.last_net_chunk = self.net_pos - self.delivered;
+                self.delivered = self.net_pos;
+                self.net_busy = false;
+                self.try_start_net(ctx);
+                self.try_start_cache_write(ctx);
+            }
+            Kind::CacheWrite => {
+                // Fire-and-forget: nothing waits on this; it may even
+                // complete after the job finished.
+                self.cache_write_busy = false;
+            }
+            Kind::OutNet => {
+                self.out_net_done = self.out_net_pos;
+                self.out_net_busy = false;
+                self.try_start_out_net(ctx);
+                self.try_start_out_srv(ctx);
+            }
+            Kind::OutServer => {
+                self.out_srv_done = self.out_srv_pos;
+                self.out_srv_busy = false;
+                if self.out_srv_done + SLACK >= self.output_bytes {
+                    self.finish(ctx);
+                } else {
+                    self.try_start_out_srv(ctx);
+                }
+            }
+        }
+        self.advance(ctx);
+        !was_done && self.phase == Phase::Done
+    }
+
+    /// All compute for the current file is done: move to the next file or
+    /// to the output phase.
+    fn finish_file(&mut self, ctx: &mut Ctx<'_>) {
+        debug_assert!(
+            self.delivered + 1.0 >= self.file_size,
+            "job {}: file {} computed before delivery ({} < {})",
+            self.job,
+            self.file_idx,
+            self.delivered,
+            self.file_size
+        );
+        debug_assert!(!self.local_busy && !self.server_busy && !self.net_busy);
+        if self.file_idx + 1 < self.file_sizes.len() {
+            self.load_file(self.file_idx + 1);
+        } else {
+            self.phase = Phase::Output;
+            if self.output_bytes <= 0.0 {
+                self.finish(ctx);
+            }
+        }
+    }
+
+    fn finish(&mut self, ctx: &mut Ctx<'_>) {
+        self.phase = Phase::Done;
+        self.end = ctx.engine.now();
+    }
+
+    /// Issue every flow the current state allows.
+    fn advance(&mut self, ctx: &mut Ctx<'_>) {
+        match self.phase {
+            Phase::Reading => {
+                self.try_start_compute(ctx);
+                if self.cached {
+                    self.try_start_local(ctx);
+                } else {
+                    self.try_start_server(ctx);
+                    self.try_start_net(ctx);
+                }
+            }
+            Phase::Output => {
+                self.try_start_out_net(ctx);
+                self.try_start_out_srv(ctx);
+            }
+            Phase::Done => {}
+        }
+    }
+
+    /// Start computing the next block if its bytes have been delivered.
+    fn try_start_compute(&mut self, ctx: &mut Ctx<'_>) {
+        if self.phase != Phase::Reading
+            || self.compute_busy
+            || self.compute_pos + SLACK >= self.file_size
+        {
+            return;
+        }
+        let end = (self.compute_pos + ctx.cfg.granularity.block_size).min(self.file_size);
+        if self.delivered + SLACK < end {
+            return;
+        }
+        let demand = (end - self.compute_pos) * self.fpb_eff;
+        ctx.engine.start_flow(
+            FlowSpec::new(demand, &[], encode(Kind::Compute, self.job))
+                .with_cap(ctx.cfg.hardware.core_speed),
+        );
+        self.compute_pos = end;
+        self.compute_busy = true;
+    }
+
+    /// Double-buffer window: reads may run at most two blocks ahead of
+    /// compute.
+    fn read_window_open(&self, block_size: f64) -> bool {
+        self.read_pos < self.computed + 2.0 * block_size - SLACK
+    }
+
+    /// Start reading the next block from the node-local cache device.
+    fn try_start_local(&mut self, ctx: &mut Ctx<'_>) {
+        if self.local_busy
+            || self.read_pos + SLACK >= self.file_size
+            || !self.read_window_open(ctx.cfg.granularity.block_size)
+        {
+            return;
+        }
+        let end = (self.read_pos + ctx.cfg.granularity.block_size).min(self.file_size);
+        let mut demand = end - self.read_pos;
+        let sigma = ctx.cfg.noise.read_jitter_sigma;
+        if sigma > 0.0 {
+            // HDD seek/position variance: the block "costs" more or fewer
+            // effective bytes at the device.
+            demand *= Distribution::log_normal_median(1.0, sigma).sample(ctx.rng);
+        }
+        ctx.engine.start_flow(
+            FlowSpec::new(demand, &[ctx.res.local_dev[self.node]], encode(Kind::LocalRead, self.job))
+                .with_latency(ctx.cfg.hardware.disk_latency),
+        );
+        self.read_pos = end;
+        self.local_busy = true;
+    }
+
+    /// Start the server-side read of the next chunk at remote storage.
+    fn try_start_server(&mut self, ctx: &mut Ctx<'_>) {
+        if self.server_busy
+            || self.read_pos + SLACK >= self.file_size
+            || !self.read_window_open(ctx.cfg.granularity.block_size)
+        {
+            return;
+        }
+        let end = (self.read_pos + ctx.cfg.granularity.buffer_size).min(self.file_size);
+        let mut spec = FlowSpec::new(
+            end - self.read_pos,
+            &[ctx.res.storage],
+            encode(Kind::ServerChunk, self.job),
+        );
+        if let Some(cap) = ctx.cfg.per_connection_cap {
+            spec = spec.with_cap(cap);
+        }
+        ctx.engine.start_flow(spec);
+        self.read_pos = end;
+        self.server_busy = true;
+    }
+
+    /// Start the network transfer of the next server-completed chunk.
+    fn try_start_net(&mut self, ctx: &mut Ctx<'_>) {
+        if self.net_busy || self.net_pos + SLACK >= self.server_done {
+            return;
+        }
+        let end = (self.net_pos + ctx.cfg.granularity.buffer_size).min(self.server_done);
+        ctx.engine.start_flow(
+            FlowSpec::new(
+                end - self.net_pos,
+                &[ctx.res.wan, ctx.res.node_link[self.node]],
+                encode(Kind::NetChunk, self.job),
+            )
+            .with_latency(ctx.cfg.hardware.wan_latency),
+        );
+        self.net_pos = end;
+        self.net_busy = true;
+    }
+
+    /// Write the just-delivered chunk through to the local cache device
+    /// (ground truth only). Dropped when the writer is already busy —
+    /// real caches coalesce under pressure, and this bounds the per-job
+    /// flow count.
+    fn try_start_cache_write(&mut self, ctx: &mut Ctx<'_>) {
+        if !ctx.cfg.cache_write_through || self.cache_write_busy || self.last_net_chunk <= 0.0 {
+            return;
+        }
+        ctx.engine.start_flow(FlowSpec::new(
+            self.last_net_chunk,
+            &[ctx.res.local_dev[self.node]],
+            encode(Kind::CacheWrite, self.job),
+        ));
+        self.cache_write_busy = true;
+    }
+
+    /// Start sending the next output chunk toward remote storage.
+    fn try_start_out_net(&mut self, ctx: &mut Ctx<'_>) {
+        if self.phase != Phase::Output
+            || self.out_net_busy
+            || self.out_net_pos + SLACK >= self.output_bytes
+        {
+            return;
+        }
+        let end = (self.out_net_pos + ctx.cfg.granularity.buffer_size).min(self.output_bytes);
+        ctx.engine.start_flow(
+            FlowSpec::new(
+                end - self.out_net_pos,
+                &[ctx.res.node_link[self.node], ctx.res.wan],
+                encode(Kind::OutNet, self.job),
+            )
+            .with_latency(ctx.cfg.hardware.wan_latency),
+        );
+        self.out_net_pos = end;
+        self.out_net_busy = true;
+    }
+
+    /// Start the server-side write of the next received output chunk.
+    fn try_start_out_srv(&mut self, ctx: &mut Ctx<'_>) {
+        if self.phase != Phase::Output
+            || self.out_srv_busy
+            || self.out_srv_pos + SLACK >= self.out_net_done
+        {
+            return;
+        }
+        let end = (self.out_srv_pos + ctx.cfg.granularity.buffer_size).min(self.out_net_done);
+        let mut spec = FlowSpec::new(
+            end - self.out_srv_pos,
+            &[ctx.res.storage],
+            encode(Kind::OutServer, self.job),
+        );
+        if let Some(cap) = ctx.cfg.per_connection_cap {
+            spec = spec.with_cap(cap);
+        }
+        ctx.engine.start_flow(spec);
+        self.out_srv_pos = end;
+        self.out_srv_busy = true;
+    }
+}

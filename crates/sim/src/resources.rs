@@ -1,0 +1,92 @@
+//! Mapping a platform description onto kernel resources.
+
+use simcal_des::{Engine, ResourceId, ResourceSpec};
+use simcal_platform::{HardwareParams, PlatformSpec};
+
+/// Kernel resource ids for one platform instantiation.
+///
+/// Cores are *not* resources: a core is dedicated to one job at a time, so
+/// compute is modelled as a route-less flow capped at the core speed (see
+/// `simcal_des::sharing`), which the kernel freezes in O(1).
+#[derive(Debug, Clone)]
+pub struct PlatformResources {
+    /// Per-node local read device: the page cache on FC platforms, the HDD
+    /// on SC platforms.
+    pub local_dev: Vec<ResourceId>,
+    /// Per-node NIC / local-network link.
+    pub node_link: Vec<ResourceId>,
+    /// The wide-area network shared by the whole compute site.
+    pub wan: ResourceId,
+    /// The remote storage service.
+    pub storage: ResourceId,
+}
+
+impl PlatformResources {
+    /// Register the platform's resources on an engine.
+    pub fn build(engine: &mut Engine, platform: &PlatformSpec, hw: &HardwareParams) -> Self {
+        platform.validate();
+        hw.validate();
+        let local_spec = if platform.page_cache_enabled {
+            // Cached reads are served from RAM through the page cache.
+            ResourceSpec::constant(hw.page_cache_bw)
+        } else if hw.disk_contention_alpha > 0.0 {
+            // Ground-truth HDD with seek contention.
+            ResourceSpec::degrading(hw.disk_bw, hw.disk_contention_alpha)
+        } else {
+            ResourceSpec::constant(hw.disk_bw)
+        };
+        let local_dev =
+            platform.nodes.iter().map(|_| engine.add_resource(local_spec)).collect();
+        let node_link = platform
+            .nodes
+            .iter()
+            .map(|_| engine.add_resource(ResourceSpec::constant(hw.lan_bw)))
+            .collect();
+        let wan = engine.add_resource(ResourceSpec::constant(hw.wan_bw));
+        let storage = engine.add_resource(ResourceSpec::constant(hw.remote_storage_bw));
+        Self { local_dev, node_link, wan, storage }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcal_platform::catalog;
+
+    #[test]
+    fn builds_one_device_and_link_per_node() {
+        let mut e = Engine::new();
+        let hw = HardwareParams::defaults();
+        let r = PlatformResources::build(&mut e, &catalog::scsn(), &hw);
+        assert_eq!(r.local_dev.len(), 3);
+        assert_eq!(r.node_link.len(), 3);
+        assert_eq!(e.stats().resources, 8);
+    }
+
+    #[test]
+    fn fc_platform_uses_page_cache_bandwidth() {
+        // Verified behaviourally: a flow on the local device of an FC
+        // platform should progress at page-cache speed.
+        use simcal_des::{FlowSpec, Tag};
+        let mut e = Engine::new();
+        let mut hw = HardwareParams::defaults();
+        hw.page_cache_bw = 4.0e9;
+        hw.disk_bw = 17e6;
+        let r = PlatformResources::build(&mut e, &catalog::fcsn(), &hw);
+        e.start_flow(FlowSpec::new(4.0e9, &[r.local_dev[0]], Tag(0)));
+        e.next().unwrap();
+        assert!((e.now() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sc_platform_uses_disk_bandwidth() {
+        use simcal_des::{FlowSpec, Tag};
+        let mut e = Engine::new();
+        let mut hw = HardwareParams::defaults();
+        hw.disk_bw = 17e6;
+        let r = PlatformResources::build(&mut e, &catalog::scsn(), &hw);
+        e.start_flow(FlowSpec::new(17e6, &[r.local_dev[0]], Tag(0)));
+        e.next().unwrap();
+        assert!((e.now() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,120 @@
+//! Greedy FCFS job scheduler (the HTCondor-like runtime system).
+//!
+//! Jobs are dispatched in submission order to the lowest-numbered free
+//! (node, core) slot. With the case-study workload (48 jobs, 48 cores) every
+//! job starts at t = 0; the scheduler still handles general workloads where
+//! jobs queue for cores.
+
+use std::collections::{BinaryHeap, VecDeque};
+
+/// FCFS scheduler over the (node, core) slots of a platform.
+#[derive(Debug)]
+pub struct Scheduler {
+    /// Min-heap of free slots (deterministic lowest-slot-first assignment).
+    free: BinaryHeap<std::cmp::Reverse<(usize, u32)>>,
+    /// Jobs waiting for a slot, in submission order.
+    queue: VecDeque<usize>,
+    total_slots: usize,
+}
+
+impl Scheduler {
+    /// A scheduler over the given per-node core counts.
+    pub fn new(cores_per_node: &[u32]) -> Self {
+        let mut free = BinaryHeap::new();
+        let mut total = 0usize;
+        for (node, &cores) in cores_per_node.iter().enumerate() {
+            for core in 0..cores {
+                free.push(std::cmp::Reverse((node, core)));
+                total += 1;
+            }
+        }
+        assert!(total > 0, "platform has no cores");
+        Self { free, queue: VecDeque::new(), total_slots: total }
+    }
+
+    /// Submit a job; returns the slot it starts on immediately, or `None`
+    /// if it queued.
+    pub fn submit(&mut self, job: usize) -> Option<(usize, u32)> {
+        if self.queue.is_empty() {
+            if let Some(std::cmp::Reverse(slot)) = self.free.pop() {
+                return Some(slot);
+            }
+        }
+        self.queue.push_back(job);
+        None
+    }
+
+    /// Release a slot; returns the next queued job (if any) together with
+    /// the slot it should start on.
+    pub fn release(&mut self, node: usize, core: u32) -> Option<(usize, (usize, u32))> {
+        if let Some(job) = self.queue.pop_front() {
+            // Hand the freed slot straight to the next job.
+            Some((job, (node, core)))
+        } else {
+            self.free.push(std::cmp::Reverse((node, core)));
+            None
+        }
+    }
+
+    /// Number of currently free slots.
+    pub fn free_slots(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Number of queued jobs.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total slots on the platform.
+    pub fn total_slots(&self) -> usize {
+        self.total_slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_nodes_in_order() {
+        let mut s = Scheduler::new(&[2, 2]);
+        assert_eq!(s.submit(0), Some((0, 0)));
+        assert_eq!(s.submit(1), Some((0, 1)));
+        assert_eq!(s.submit(2), Some((1, 0)));
+        assert_eq!(s.submit(3), Some((1, 1)));
+        assert_eq!(s.submit(4), None);
+        assert_eq!(s.queued(), 1);
+    }
+
+    #[test]
+    fn released_slot_goes_to_queued_job() {
+        let mut s = Scheduler::new(&[1]);
+        assert_eq!(s.submit(0), Some((0, 0)));
+        assert_eq!(s.submit(1), None);
+        assert_eq!(s.release(0, 0), Some((1, (0, 0))));
+        assert_eq!(s.release(0, 0), None);
+        assert_eq!(s.free_slots(), 1);
+    }
+
+    #[test]
+    fn case_study_platform_runs_all_jobs_at_once() {
+        let mut s = Scheduler::new(&[12, 12, 24]);
+        assert_eq!(s.total_slots(), 48);
+        let mut nodes = Vec::new();
+        for j in 0..48 {
+            let slot = s.submit(j).expect("48 cores for 48 jobs");
+            nodes.push(slot.0);
+        }
+        // Jobs 0-11 on node 0, 12-23 on node 1, 24-47 on node 2.
+        assert!(nodes[..12].iter().all(|&n| n == 0));
+        assert!(nodes[12..24].iter().all(|&n| n == 1));
+        assert!(nodes[24..].iter().all(|&n| n == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "no cores")]
+    fn empty_platform_rejected() {
+        Scheduler::new(&[]);
+    }
+}

@@ -1,0 +1,281 @@
+//! The top-level simulation loop.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use simcal_des::{Engine, Event};
+use simcal_platform::PlatformSpec;
+use simcal_storage::CachePlan;
+use simcal_workload::{ExecutionTrace, JobRecord, Workload};
+
+use crate::config::SimConfig;
+use crate::jobrun::{Ctx, JobRun};
+use crate::resources::PlatformResources;
+use crate::scheduler::Scheduler;
+use crate::tags;
+
+/// Simulate one execution of `workload` on `platform` with the given
+/// initially-cached-data plan and configuration; returns the trace.
+///
+/// The simulation is deterministic for a deterministic configuration
+/// (no noise), and deterministic given `config.noise.seed` otherwise.
+pub fn simulate(
+    platform: &PlatformSpec,
+    workload: &Workload,
+    cache: &CachePlan,
+    config: &SimConfig,
+) -> ExecutionTrace {
+    let wall_start = Instant::now();
+    config.validate();
+    platform.validate();
+    workload.validate();
+    assert_eq!(
+        cache.total_files(),
+        workload.total_files(),
+        "cache plan does not match workload"
+    );
+
+    let mut engine = Engine::new();
+    let resources = PlatformResources::build(&mut engine, platform, &config.hardware);
+    let cores: Vec<u32> = platform.nodes.iter().map(|n| n.cores).collect();
+    let mut scheduler = Scheduler::new(&cores);
+    let mut rng = StdRng::seed_from_u64(config.noise.seed);
+
+    let mut runs: Vec<Option<JobRun>> = (0..workload.len()).map(|_| None).collect();
+    let mut records: Vec<JobRecord> = Vec::with_capacity(workload.len());
+
+    // Submit every job; those that get a core start immediately.
+    for job in 0..workload.len() {
+        if let Some((node, core)) = scheduler.submit(job) {
+            let mut run = JobRun::new(
+                job,
+                node,
+                core,
+                &workload.jobs[job],
+                cache,
+                config.noise.compute_factor(job),
+            );
+            run.begin(&mut Ctx {
+                engine: &mut engine,
+                res: &resources,
+                cfg: config,
+                rng: &mut rng,
+            });
+            runs[job] = Some(run);
+        }
+    }
+
+    while let Some(event) = engine.next() {
+        let Event::FlowCompleted { tag, .. } = event else {
+            unreachable!("the simulator sets no user timers");
+        };
+        let (kind, job) = tags::decode(tag);
+        let run = runs[job].as_mut().unwrap_or_else(|| panic!("event for unstarted job {job}"));
+        let finished = run.on_event(
+            kind,
+            &mut Ctx { engine: &mut engine, res: &resources, cfg: config, rng: &mut rng },
+        );
+        if finished {
+            let (node, core) = (run.node, run.core);
+            records.push(JobRecord {
+                job,
+                node,
+                core,
+                start: run.start,
+                end: run.end,
+            });
+            if let Some((next_job, (n_node, n_core))) = scheduler.release(node, core) {
+                let mut run = JobRun::new(
+                    next_job,
+                    n_node,
+                    n_core,
+                    &workload.jobs[next_job],
+                    cache,
+                    config.noise.compute_factor(next_job),
+                );
+                run.begin(&mut Ctx {
+                    engine: &mut engine,
+                    res: &resources,
+                    cfg: config,
+                    rng: &mut rng,
+                });
+                runs[next_job] = Some(run);
+            }
+        }
+    }
+
+    assert_eq!(
+        records.len(),
+        workload.len(),
+        "simulation ended with unfinished jobs (deadlock?)"
+    );
+    records.sort_by_key(|r| r.job);
+
+    let trace = ExecutionTrace {
+        jobs: records,
+        n_nodes: platform.node_count(),
+        engine_events: engine.stats().events(),
+        wall_seconds: wall_start.elapsed().as_secs_f64(),
+    };
+    trace.validate();
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcal_platform::{catalog, HardwareParams};
+    use simcal_storage::XRootDConfig;
+    use simcal_units as units;
+    use simcal_workload::{scaled_cms_workload, WorkloadSpec};
+
+    fn small_workload() -> Workload {
+        scaled_cms_workload(6, 4, 10e6)
+    }
+
+    fn config() -> SimConfig {
+        let mut hw = HardwareParams::defaults();
+        hw.core_speed = units::mflops(1970.0);
+        hw.disk_bw = units::mbytes_per_sec(17.0);
+        hw.page_cache_bw = units::gbytes_per_sec(10.0);
+        hw.wan_bw = units::mbps(1150.0);
+        SimConfig::new(hw, XRootDConfig::new(5e6, 1e6))
+    }
+
+    #[test]
+    fn all_jobs_complete_with_positive_durations() {
+        let w = small_workload();
+        let cache = CachePlan::new(&w, 0.5, 1);
+        let trace = simulate(&catalog::scsn(), &w, &cache, &config());
+        assert_eq!(trace.jobs.len(), 6);
+        for j in &trace.jobs {
+            assert!(j.duration() > 0.0);
+            assert_eq!(j.start, 0.0, "48-core site: every job starts at t=0");
+        }
+    }
+
+    #[test]
+    fn deterministic_without_noise() {
+        let w = small_workload();
+        let cache = CachePlan::new(&w, 0.3, 1);
+        let a = simulate(&catalog::fcsn(), &w, &cache, &config());
+        let b = simulate(&catalog::fcsn(), &w, &cache, &config());
+        assert_eq!(a.jobs, b.jobs);
+    }
+
+    #[test]
+    fn compute_bound_job_matches_analytic_time() {
+        // One job, one cached file, fast everything except the core:
+        // duration ~ file * fpb / core_speed + output time (tiny).
+        let w = WorkloadSpec::constant(1, 1, 100e6, 10.0, 1.0).generate(0);
+        let cache = CachePlan::new(&w, 1.0, 0);
+        let mut cfg = config();
+        cfg.hardware.core_speed = 1e9;
+        cfg.hardware.page_cache_bw = 1e12;
+        cfg.granularity = XRootDConfig::new(1e6, 1e5);
+        let trace = simulate(&catalog::fcfn(), &w, &cache, &cfg);
+        let expected = 100e6 * 10.0 / 1e9; // 1 s of compute
+        let d = trace.jobs[0].duration();
+        // Pipeline bubble: one block read at the front; output of 1 byte.
+        assert!(
+            d >= expected && d < expected * 1.05,
+            "duration {d} not within 5% above {expected}"
+        );
+    }
+
+    #[test]
+    fn io_bound_job_matches_analytic_time() {
+        // One job, one cached file on an SC platform: disk-bound.
+        let w = WorkloadSpec::constant(1, 1, 170e6, 0.001, 1.0).generate(0);
+        let cache = CachePlan::new(&w, 1.0, 0);
+        let mut cfg = config();
+        cfg.hardware.disk_bw = 17e6; // 10 s to read the file
+        cfg.granularity = XRootDConfig::new(10e6, 1e6);
+        let trace = simulate(&catalog::scfn(), &w, &cache, &cfg);
+        let d = trace.jobs[0].duration();
+        assert!(d >= 10.0 && d < 10.5, "duration {d} should be ~10 s");
+    }
+
+    #[test]
+    fn remote_job_is_wan_bound_on_slow_network() {
+        // ICD 0: everything crosses the 1.15 Gbps WAN.
+        let w = WorkloadSpec::constant(1, 2, 143.75e6, 0.001, 1.0).generate(0);
+        let cache = CachePlan::new(&w, 0.0, 0);
+        let cfg = config(); // wan = 1150 Mbps = 143.75 MB/s
+        let trace = simulate(&catalog::scsn(), &w, &cache, &cfg);
+        let d = trace.jobs[0].duration();
+        // 287.5 MB over 143.75 MB/s = 2 s + pipeline bubbles.
+        assert!(d >= 2.0 && d < 2.3, "duration {d} should be ~2 s");
+    }
+
+    #[test]
+    fn higher_icd_shifts_load_from_wan_to_disk() {
+        let w = small_workload();
+        let cfg = config();
+        let t0 = simulate(&catalog::scsn(), &w, &CachePlan::new(&w, 0.0, 1), &cfg);
+        let t1 = simulate(&catalog::scsn(), &w, &CachePlan::new(&w, 1.0, 1), &cfg);
+        // On SCSN the 17 MB/s per-node HDD shared by concurrent jobs is far
+        // slower than the WAN share: fully-cached runs are *slower* (the
+        // paper's SC-platform regime).
+        assert!(
+            t1.makespan() > t0.makespan(),
+            "icd1 {} <= icd0 {}",
+            t1.makespan(),
+            t0.makespan()
+        );
+    }
+
+    #[test]
+    fn fc_platform_speeds_up_cached_reads() {
+        let w = small_workload();
+        let cfg = config();
+        let sc = simulate(&catalog::scsn(), &w, &CachePlan::new(&w, 1.0, 1), &cfg);
+        let fc = simulate(&catalog::fcsn(), &w, &CachePlan::new(&w, 1.0, 1), &cfg);
+        assert!(fc.makespan() < sc.makespan() / 2.0);
+    }
+
+    #[test]
+    fn event_count_scales_with_granularity() {
+        let w = small_workload();
+        let cache = CachePlan::new(&w, 0.0, 1);
+        let mut coarse = config();
+        coarse.granularity = XRootDConfig::new(10e6, 2e6);
+        let mut fine = config();
+        fine.granularity = XRootDConfig::new(2.5e6, 0.5e6);
+        let tc = simulate(&catalog::scsn(), &w, &cache, &coarse);
+        let tf = simulate(&catalog::scsn(), &w, &cache, &fine);
+        let ratio = tf.engine_events as f64 / tc.engine_events as f64;
+        // 4x finer granularity in both B and b -> ~4x the events.
+        assert!(ratio > 3.0 && ratio < 5.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn queued_jobs_run_after_cores_free() {
+        // 2 jobs on a 1-core platform must serialize.
+        use simcal_platform::PlatformBuilder;
+        let p = PlatformBuilder::new("tiny").node("n", 1).wan_gbps(10.0).build();
+        let w = WorkloadSpec::constant(2, 1, 10e6, 1.0, 1.0).generate(0);
+        let cache = CachePlan::new(&w, 1.0, 0);
+        let trace = simulate(&p, &w, &cache, &config());
+        assert_eq!(trace.jobs.len(), 2);
+        let (a, b) = (&trace.jobs[0], &trace.jobs[1]);
+        assert!(b.start >= a.end - 1e-9, "second job must wait for the core");
+    }
+
+    #[test]
+    fn noise_perturbs_but_seed_reproduces() {
+        let w = small_workload();
+        let cache = CachePlan::new(&w, 1.0, 1);
+        let mut cfg = config();
+        cfg.noise.read_jitter_sigma = 0.3;
+        cfg.noise.seed = 9;
+        let a = simulate(&catalog::scsn(), &w, &cache, &cfg);
+        let b = simulate(&catalog::scsn(), &w, &cache, &cfg);
+        assert_eq!(a.jobs, b.jobs);
+        cfg.noise.seed = 10;
+        let c = simulate(&catalog::scsn(), &w, &cache, &cfg);
+        assert_ne!(a.jobs, c.jobs);
+    }
+}

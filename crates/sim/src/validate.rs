@@ -1,0 +1,91 @@
+//! Post-simulation consistency checks.
+
+use simcal_platform::PlatformSpec;
+use simcal_workload::{ExecutionTrace, Workload};
+
+/// Panic unless `trace` is a plausible execution of `workload` on
+/// `platform`: every job appears exactly once, runs on a valid (node, core)
+/// slot, has a positive duration, and per-node concurrency never exceeds the
+/// node's core count.
+pub fn check_trace(trace: &ExecutionTrace, workload: &Workload, platform: &PlatformSpec) {
+    trace.validate();
+    assert_eq!(trace.jobs.len(), workload.len(), "job count mismatch");
+    assert_eq!(trace.n_nodes, platform.node_count(), "node count mismatch");
+
+    let mut seen = vec![false; workload.len()];
+    for r in &trace.jobs {
+        assert!(!seen[r.job], "job {} appears twice", r.job);
+        seen[r.job] = true;
+        assert!(r.duration() > 0.0, "job {} has non-positive duration", r.job);
+        let node = &platform.nodes[r.node];
+        assert!(r.core < node.cores, "job {} on invalid core {}", r.job, r.core);
+    }
+
+    // Concurrency check: sweep start/end events per node.
+    for (node_idx, node) in platform.nodes.iter().enumerate() {
+        let mut events: Vec<(f64, i32)> = Vec::new();
+        for r in trace.jobs.iter().filter(|r| r.node == node_idx) {
+            events.push((r.start, 1));
+            events.push((r.end, -1));
+        }
+        // Ends before starts at equal times (a freed core is reusable).
+        events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut load = 0i32;
+        for (t, d) in events {
+            load += d;
+            assert!(
+                load <= node.cores as i32,
+                "node {node_idx} oversubscribed at t={t}: {load} > {}",
+                node.cores
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate, SimConfig};
+    use simcal_platform::catalog;
+    use simcal_storage::CachePlan;
+    use simcal_workload::scaled_cms_workload;
+
+    #[test]
+    fn accepts_simulator_output() {
+        let w = scaled_cms_workload(6, 3, 5e6);
+        let cache = CachePlan::new(&w, 0.5, 0);
+        let p = catalog::scfn();
+        let trace = simulate(&p, &w, &cache, &SimConfig::default());
+        check_trace(&trace, &w, &p);
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn rejects_duplicate_jobs() {
+        let w = scaled_cms_workload(2, 2, 5e6);
+        let cache = CachePlan::new(&w, 0.5, 0);
+        let p = catalog::scfn();
+        let mut trace = simulate(&p, &w, &cache, &SimConfig::default());
+        trace.jobs[1].job = 0;
+        check_trace(&trace, &w, &p);
+    }
+
+    #[test]
+    #[should_panic(expected = "oversubscribed")]
+    fn rejects_core_oversubscription() {
+        use simcal_platform::PlatformBuilder;
+        use simcal_workload::{ExecutionTrace, JobRecord, WorkloadSpec};
+        let p = PlatformBuilder::new("t").node("n", 1).build();
+        let w = WorkloadSpec::constant(2, 1, 1e6, 1.0, 0.0).generate(0);
+        let trace = ExecutionTrace {
+            jobs: vec![
+                JobRecord { job: 0, node: 0, core: 0, start: 0.0, end: 10.0 },
+                JobRecord { job: 1, node: 0, core: 0, start: 5.0, end: 15.0 },
+            ],
+            n_nodes: 1,
+            engine_events: 0,
+            wall_seconds: 0.0,
+        };
+        check_trace(&trace, &w, &p);
+    }
+}

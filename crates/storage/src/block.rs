@@ -1,0 +1,95 @@
+//! Block/chunk partitioning arithmetic.
+//!
+//! Files are split into *pieces* (blocks of size `B` or chunks of size `b`);
+//! the last piece may be short. Sizes are `f64` bytes to match the fluid
+//! simulation kernel; counts are exact integers.
+
+/// Number of pieces of size `piece` needed to cover `total` bytes.
+///
+/// `total == 0` yields one (empty) piece so every transfer produces at least
+/// one event.
+pub fn piece_count(total: f64, piece: f64) -> usize {
+    assert!(piece > 0.0 && piece.is_finite(), "piece size must be positive");
+    assert!(total >= 0.0 && total.is_finite(), "total must be non-negative");
+    if total == 0.0 {
+        return 1;
+    }
+    (total / piece).ceil() as usize
+}
+
+/// Size of piece `idx` (0-based) when covering `total` bytes with pieces of
+/// size `piece`. The last piece is the remainder.
+pub fn piece_size_at(total: f64, piece: f64, idx: usize) -> f64 {
+    let n = piece_count(total, piece);
+    assert!(idx < n, "piece index {idx} out of range (count {n})");
+    if idx + 1 < n {
+        piece
+    } else {
+        let rem = total - piece * (n - 1) as f64;
+        // Guard against FP cancellation producing a tiny negative.
+        rem.max(0.0)
+    }
+}
+
+/// All piece sizes covering `total` bytes.
+pub fn piece_sizes(total: f64, piece: f64) -> Vec<f64> {
+    (0..piece_count(total, piece)).map(|i| piece_size_at(total, piece, i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division() {
+        assert_eq!(piece_count(100.0, 25.0), 4);
+        assert_eq!(piece_sizes(100.0, 25.0), vec![25.0; 4]);
+    }
+
+    #[test]
+    fn remainder_on_last_piece() {
+        assert_eq!(piece_count(110.0, 25.0), 5);
+        let sizes = piece_sizes(110.0, 25.0);
+        assert_eq!(sizes, vec![25.0, 25.0, 25.0, 25.0, 10.0]);
+    }
+
+    #[test]
+    fn single_oversized_piece() {
+        assert_eq!(piece_count(100.0, 1e9), 1);
+        assert_eq!(piece_sizes(100.0, 1e9), vec![100.0]);
+    }
+
+    #[test]
+    fn zero_total_is_one_empty_piece() {
+        assert_eq!(piece_count(0.0, 10.0), 1);
+        assert_eq!(piece_size_at(0.0, 10.0, 0), 0.0);
+    }
+
+    #[test]
+    fn sizes_sum_to_total() {
+        for &(total, piece) in
+            &[(427e6, 2e6), (427e6, 1e8), (1.0, 3.0), (1e10, 7e6), (123.456, 10.0)]
+        {
+            let sum: f64 = piece_sizes(total, piece).iter().sum();
+            assert!(
+                (sum - total).abs() < 1e-6 * total.max(1.0),
+                "sum {sum} != total {total} for piece {piece}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_block_counts() {
+        // 427 MB file with the paper's four block sizes.
+        assert_eq!(piece_count(427e6, 1e10), 1);
+        assert_eq!(piece_count(427e6, 1e9), 1);
+        assert_eq!(piece_count(427e6, 1e8), 5);
+        assert_eq!(piece_count(427e6, 1e7), 43);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_bounds_checked() {
+        piece_size_at(100.0, 25.0, 4);
+    }
+}

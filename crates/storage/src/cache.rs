@@ -1,0 +1,168 @@
+//! Proxy-cache pre-population: the ICD (Initially Cached Data) model.
+//!
+//! The simulator "takes as input a number between 0 and 1, called the ICD,
+//! that denotes the fraction of input files that are initially stored in
+//! these caches". A [`CachePlan`] materializes that fraction into a
+//! deterministic per-(job, file) cached/remote decision.
+//!
+//! Within each job, `round(ICD * n_files)` files are cached, and *which*
+//! files is decided by a seeded shuffle — so ICD = 0.5 does not always cache
+//! the first half, yet the plan is reproducible. Cache misses are **not**
+//! written back: every job owns its input files (they are never re-read), so
+//! write-through would only add device load without future hits; the paper's
+//! pre-populated-ICD design matches this.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use simcal_workload::Workload;
+
+/// Deterministic initially-cached-data placement for one workload execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachePlan {
+    /// `cached[job][file]` — whether that input file starts in the local
+    /// cache of the node the job runs on.
+    cached: Vec<Vec<bool>>,
+    /// The ICD fraction the plan was built from.
+    icd: f64,
+}
+
+impl CachePlan {
+    /// Build a plan for `workload` with the given ICD fraction and seed.
+    pub fn new(workload: &Workload, icd: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&icd), "ICD must be in [0, 1], got {icd}");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1cd0_cace);
+        let cached = workload
+            .jobs
+            .iter()
+            .map(|job| {
+                let n = job.input_files.len();
+                let n_cached = (icd * n as f64).round() as usize;
+                let mut idx: Vec<usize> = (0..n).collect();
+                idx.shuffle(&mut rng);
+                let mut flags = vec![false; n];
+                for &i in idx.iter().take(n_cached) {
+                    flags[i] = true;
+                }
+                flags
+            })
+            .collect();
+        Self { cached, icd }
+    }
+
+    /// Whether input file `file` of job `job` starts cached.
+    #[inline]
+    pub fn is_cached(&self, job: usize, file: usize) -> bool {
+        self.cached[job][file]
+    }
+
+    /// The ICD fraction this plan was built from.
+    pub fn icd(&self) -> f64 {
+        self.icd
+    }
+
+    /// Total number of initially cached files.
+    pub fn cached_files(&self) -> usize {
+        self.cached.iter().map(|j| j.iter().filter(|&&c| c).count()).sum()
+    }
+
+    /// Total number of files covered by the plan.
+    pub fn total_files(&self) -> usize {
+        self.cached.iter().map(Vec::len).sum()
+    }
+
+    /// Initially cached bytes for one job of the workload the plan was
+    /// built for.
+    pub fn cached_bytes(&self, workload: &Workload, job: usize) -> f64 {
+        workload.jobs[job]
+            .input_files
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.is_cached(job, *i))
+            .map(|(_, f)| f.size)
+            .sum()
+    }
+
+    /// The paper's 11 ICD values: 0.0 to 1.0 in 0.1 increments.
+    pub fn paper_icd_values() -> Vec<f64> {
+        (0..=10).map(|i| i as f64 / 10.0).collect()
+    }
+
+    /// The 5-element ICD set used by the reduced-ground-truth study
+    /// (Table V): {0.0, 0.3, 0.5, 0.7, 1.0}.
+    pub fn table_v_icd_values() -> Vec<f64> {
+        vec![0.0, 0.3, 0.5, 0.7, 1.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcal_workload::WorkloadSpec;
+
+    fn workload() -> Workload {
+        WorkloadSpec::constant(8, 20, 1e6, 1.0, 1e5).generate(0)
+    }
+
+    #[test]
+    fn extreme_icds() {
+        let w = workload();
+        let none = CachePlan::new(&w, 0.0, 1);
+        assert_eq!(none.cached_files(), 0);
+        let all = CachePlan::new(&w, 1.0, 1);
+        assert_eq!(all.cached_files(), all.total_files());
+    }
+
+    #[test]
+    fn fraction_is_exact_per_job() {
+        let w = workload();
+        for &icd in &[0.1, 0.3, 0.5, 0.7, 0.9] {
+            let plan = CachePlan::new(&w, icd, 7);
+            for (j, _) in w.jobs.iter().enumerate() {
+                let cached = (0..20).filter(|&f| plan.is_cached(j, f)).count();
+                assert_eq!(cached, (icd * 20.0).round() as usize, "icd={icd} job={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let w = workload();
+        assert_eq!(CachePlan::new(&w, 0.5, 3), CachePlan::new(&w, 0.5, 3));
+        assert_ne!(CachePlan::new(&w, 0.5, 3), CachePlan::new(&w, 0.5, 4));
+    }
+
+    #[test]
+    fn selection_is_shuffled_not_prefix() {
+        let w = workload();
+        let plan = CachePlan::new(&w, 0.5, 3);
+        // At least one job must cache a file outside the first half.
+        let any_late = (0..w.len())
+            .any(|j| (10..20).any(|f| plan.is_cached(j, f)));
+        assert!(any_late, "ICD selection looks like a prefix");
+    }
+
+    #[test]
+    fn cached_bytes_counts_sizes() {
+        let w = workload();
+        let plan = CachePlan::new(&w, 0.5, 3);
+        assert_eq!(plan.cached_bytes(&w, 0), 10.0 * 1e6);
+    }
+
+    #[test]
+    fn paper_icd_grid() {
+        let v = CachePlan::paper_icd_values();
+        assert_eq!(v.len(), 11);
+        assert_eq!(v[0], 0.0);
+        assert_eq!(v[10], 1.0);
+        assert!((v[3] - 0.3).abs() < 1e-12);
+        assert_eq!(CachePlan::table_v_icd_values(), vec![0.0, 0.3, 0.5, 0.7, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ICD must be in")]
+    fn icd_out_of_range_rejected() {
+        CachePlan::new(&workload(), 1.5, 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! # simcal-storage — storage, caching, and data-movement granularity
+//!
+//! Models the storage side of the case study:
+//!
+//! * **XRootD-like data access** ([`xrootd`]): files are partitioned into
+//!   blocks of size `B` processed in a pipelined fashion, and storage
+//!   services use an internal buffer of size `b` to pipeline I/O and network
+//!   operations. `B` and `b` drive the number of simulated events —
+//!   O(s/B + s/b) per job — and therefore the simulation-speed side of the
+//!   paper's Table VI trade-off.
+//! * **Proxy caches** ([`cache`]): each compute node's local cache is
+//!   pre-populated with a fraction **ICD** (Initially Cached Data) of the
+//!   input files, exactly as the simulator input described in §IV-B.
+//! * **Storage services** ([`service`]) and the node-local **page cache**
+//!   ([`pagecache`]).
+
+pub mod block;
+pub mod cache;
+pub mod pagecache;
+pub mod service;
+pub mod xrootd;
+
+pub use block::{piece_count, piece_size_at, piece_sizes};
+pub use cache::CachePlan;
+pub use pagecache::PageCache;
+pub use service::StorageService;
+pub use xrootd::XRootDConfig;

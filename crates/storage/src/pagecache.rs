@@ -1,0 +1,53 @@
+//! Linux page-cache model.
+//!
+//! On "fast cache" (FC) platforms the compute nodes serve cached input
+//! files from RAM through the page cache; on "slow cache" (SC) platforms
+//! the page cache is disabled and cached reads hit the local HDD. The paper
+//! notes the domain scientist *assumed* a page-cache speed of 1 GBps, which
+//! turned out ~10x too slow — the root cause of HUMAN's poor FCFN/FCSN
+//! accuracy (Table III).
+
+/// Page-cache configuration for a compute node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageCache {
+    /// Whether the page cache is enabled (the FC platforms of Table II).
+    pub enabled: bool,
+    /// Aggregate read bandwidth when enabled, bytes/s.
+    pub bandwidth: f64,
+}
+
+impl PageCache {
+    /// An enabled page cache with the given bandwidth.
+    pub fn enabled(bandwidth: f64) -> Self {
+        assert!(bandwidth.is_finite() && bandwidth > 0.0, "bandwidth must be positive");
+        Self { enabled: true, bandwidth }
+    }
+
+    /// A disabled page cache (reads fall through to the HDD).
+    pub fn disabled() -> Self {
+        Self { enabled: false, bandwidth: 0.0 }
+    }
+
+    /// The 1 GBps value the paper's domain scientist assumed.
+    pub fn human_assumed() -> Self {
+        Self::enabled(1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn states() {
+        assert!(PageCache::enabled(1e9).enabled);
+        assert!(!PageCache::disabled().enabled);
+        assert_eq!(PageCache::human_assumed().bandwidth, 1e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_bandwidth_when_enabled() {
+        PageCache::enabled(0.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Remote storage service description.
+
+/// A storage service: an aggregate-bandwidth server (the storage site in
+/// Figure 1) that all initial input data is read from and job outputs are
+/// written to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageService {
+    /// Aggregate read/write bandwidth, bytes/s, shared by all connections.
+    pub bandwidth: f64,
+    /// Per-connection bandwidth cap, bytes/s (None = unlimited). Models the
+    /// per-stream limits production storage systems impose.
+    pub per_connection_cap: Option<f64>,
+}
+
+impl StorageService {
+    /// A service with the given aggregate bandwidth and no per-connection cap.
+    pub fn new(bandwidth: f64) -> Self {
+        assert!(bandwidth.is_finite() && bandwidth > 0.0, "bandwidth must be positive");
+        Self { bandwidth, per_connection_cap: None }
+    }
+
+    /// Add a per-connection cap.
+    pub fn with_connection_cap(mut self, cap: f64) -> Self {
+        assert!(cap.is_finite() && cap > 0.0, "cap must be positive");
+        self.per_connection_cap = Some(cap);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds() {
+        let s = StorageService::new(2.5e9).with_connection_cap(1e8);
+        assert_eq!(s.bandwidth, 2.5e9);
+        assert_eq!(s.per_connection_cap, Some(1e8));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_bandwidth() {
+        StorageService::new(-1.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! XRootD-like data-access configuration: the two granularity parameters.
+//!
+//! `B` (block size) — "each file in XRootD, like in most storage systems, is
+//! partitioned into blocks. The jobs in the workload process input files
+//! block by block, so that reading and processing data is done in a
+//! pipelined fashion."
+//!
+//! `b` (buffer size) — "the internal buffer size used by a storage service,
+//! for the purpose of pipelining I/O and network operations."
+//!
+//! Together they determine the number of simulated events per job,
+//! O(s/B + s/b), and therefore simulation speed (Table VI).
+
+/// Granularity configuration of the simulated storage stack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct XRootDConfig {
+    /// Block size `B` in bytes: compute/read pipelining granularity.
+    pub block_size: f64,
+    /// Buffer size `b` in bytes: storage/network pipelining granularity.
+    pub buffer_size: f64,
+}
+
+impl XRootDConfig {
+    /// A validated configuration.
+    pub fn new(block_size: f64, buffer_size: f64) -> Self {
+        let c = Self { block_size, buffer_size };
+        c.validate();
+        c
+    }
+
+    /// Paper Table VI "~1 sec" setting: `B = 10^10`, `b = 10^8`.
+    pub fn paper_1s() -> Self {
+        Self::new(1e10, 1e8)
+    }
+
+    /// Paper Table VI "~3 sec" setting: `B = 10^9`, `b = 10^7`.
+    pub fn paper_3s() -> Self {
+        Self::new(1e9, 1e7)
+    }
+
+    /// Paper default ("~30 sec") setting: `B = 10^8`, `b = 10^6` — used for
+    /// all experiments except the speed/accuracy trade-off.
+    pub fn paper_30s() -> Self {
+        Self::new(1e8, 1e6)
+    }
+
+    /// Paper Table VI "~5 min" setting: `B = 10^7`, `b = 10^5`.
+    pub fn paper_5min() -> Self {
+        Self::new(1e7, 1e5)
+    }
+
+    /// The four Table VI settings, fastest first.
+    pub fn table_vi() -> [Self; 4] {
+        [Self::paper_1s(), Self::paper_3s(), Self::paper_30s(), Self::paper_5min()]
+    }
+
+    /// Real-world-ish granularity used by the ground-truth emulator:
+    /// near the XRootD default block size (finer-grained pipelining than
+    /// any calibrated-simulator setting, as in the real system).
+    pub fn ground_truth() -> Self {
+        Self::new(16e6, 2e6)
+    }
+
+    /// Expected number of simulated events for a job reading `s` bytes of
+    /// which `s_remote` come over the network: s/B block completions +
+    /// compute completions, plus two chunk events per remote chunk.
+    pub fn expected_events(&self, s: f64, s_remote: f64) -> f64 {
+        2.0 * (s / self.block_size).ceil() + 2.0 * (s_remote / self.buffer_size).ceil()
+    }
+
+    /// Panic unless the configuration is sane.
+    pub fn validate(&self) {
+        assert!(
+            self.block_size.is_finite() && self.block_size > 0.0,
+            "block size must be positive"
+        );
+        assert!(
+            self.buffer_size.is_finite() && self.buffer_size > 0.0,
+            "buffer size must be positive"
+        );
+        assert!(
+            self.buffer_size <= self.block_size,
+            "buffer size {} must not exceed block size {}",
+            self.buffer_size,
+            self.block_size
+        );
+    }
+}
+
+impl Default for XRootDConfig {
+    fn default() -> Self {
+        Self::paper_30s()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_settings() {
+        assert_eq!(XRootDConfig::paper_1s(), XRootDConfig::new(1e10, 1e8));
+        assert_eq!(XRootDConfig::paper_3s(), XRootDConfig::new(1e9, 1e7));
+        assert_eq!(XRootDConfig::paper_30s(), XRootDConfig::new(1e8, 1e6));
+        assert_eq!(XRootDConfig::paper_5min(), XRootDConfig::new(1e7, 1e5));
+        assert_eq!(XRootDConfig::default(), XRootDConfig::paper_30s());
+    }
+
+    #[test]
+    fn table_vi_is_fastest_first() {
+        let cfgs = XRootDConfig::table_vi();
+        for w in cfgs.windows(2) {
+            assert!(w[0].block_size > w[1].block_size);
+        }
+    }
+
+    #[test]
+    fn event_count_scales_inversely_with_granularity() {
+        let s = 8.54e9;
+        let coarse = XRootDConfig::paper_1s().expected_events(s, s);
+        let fine = XRootDConfig::paper_5min().expected_events(s, s);
+        assert!(fine > 100.0 * coarse, "fine={fine} coarse={coarse}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn buffer_larger_than_block_rejected() {
+        XRootDConfig::new(1e6, 1e7);
+    }
+}

@@ -1,0 +1,156 @@
+//! Ablation experiments beyond the paper's tables, probing the design
+//! choices its discussion sections call out:
+//!
+//! * **GDFIX vs GDDYN** (§III-B): the paper reports "almost always
+//!   identical simulation accuracy" and omits GDDYN from its tables; we
+//!   measure both.
+//! * **Extension algorithms** (§V future work): simulated annealing,
+//!   Nelder–Mead, coordinate descent, and Bayesian optimization on the
+//!   same calibration problem and budget.
+//! * **Accuracy metric richness** (§IV-C2): the paper's aggregate
+//!   33-metric MRE only constrains bottleneck-resource parameters; a
+//!   per-job (temporal-structure) metric should constrain more. We compare
+//!   how well each metric pins down the *non-bottleneck* WAN parameter on
+//!   SCSN.
+
+use simcal_calib::algorithms::calibrate_with_workers;
+use simcal_calib::{
+    BayesianOpt, Calibrator, CoordinateDescent, GradientDescent, NelderMead, RandomSearch,
+    SimulatedAnnealing,
+};
+use simcal_groundtruth::generate_job_times;
+use simcal_platform::PlatformKind;
+
+use crate::context::ExperimentContext;
+use crate::objective::{param_space, CaseObjective};
+use crate::report::ascii_table;
+
+/// One algorithm-comparison row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlgoRow {
+    /// Algorithm name.
+    pub method: String,
+    /// Best MRE (%) on the FCSN problem.
+    pub mre: f64,
+    /// Evaluations used.
+    pub evaluations: u64,
+}
+
+/// Metric-richness comparison result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricRichness {
+    /// Relative error (log2 units) of the calibrated WAN parameter vs the
+    /// true effective value, under the aggregate per-node metric.
+    pub wan_log2_error_aggregate: f64,
+    /// Same, under the per-job temporal metric.
+    pub wan_log2_error_per_job: f64,
+}
+
+/// Ablation results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ablation {
+    /// Algorithm comparison on FCSN (paper trio + extensions).
+    pub algorithms: Vec<AlgoRow>,
+    /// Metric-richness comparison on SCSN.
+    pub metric_richness: MetricRichness,
+}
+
+/// Run the ablation suite.
+pub fn run(ctx: &ExperimentContext) -> Ablation {
+    let space = param_space();
+    let kind = PlatformKind::Fcsn;
+
+    // Algorithm roster: the paper's trio plus GDDYN and the extensions.
+    let algos: Vec<Box<dyn Calibrator>> = vec![
+        Box::new(RandomSearch::new(ctx.seed)),
+        Box::new(simcal_calib::GridSearch::new()),
+        Box::new(GradientDescent::fixed(ctx.seed)),
+        Box::new(GradientDescent::dynamic(ctx.seed)),
+        Box::new(SimulatedAnnealing::new(ctx.seed)),
+        Box::new(NelderMead::new(ctx.seed)),
+        Box::new(CoordinateDescent::new(ctx.seed)),
+        Box::new(BayesianOpt::new(ctx.seed)),
+    ];
+    let mut algorithms = Vec::new();
+    for mut algo in algos {
+        let obj = CaseObjective::full(&ctx.case, kind, ctx.granularity);
+        let r = calibrate_with_workers(algo.as_mut(), &obj, &space, ctx.budget, ctx.workers);
+        algorithms.push(AlgoRow {
+            method: r.algorithm.clone(),
+            mre: r.best_error,
+            evaluations: r.evaluations,
+        });
+    }
+
+    // Metric richness on SCSN (disk-bottlenecked: WAN is weakly
+    // identified by the aggregate metric).
+    let scsn = PlatformKind::Scsn;
+    let icds = ctx.case.gt(scsn).icds();
+    let truth_wan = ctx.case.truth.wan_bw(scsn);
+
+    let aggregate_obj = CaseObjective::full(&ctx.case, scsn, ctx.granularity);
+    let mut gd = GradientDescent::fixed(ctx.seed);
+    let r_agg =
+        calibrate_with_workers(&mut gd, &aggregate_obj, &space, ctx.budget, ctx.workers);
+
+    let job_truth = generate_job_times(scsn, &ctx.case.workload, &ctx.case.truth, &icds);
+    let per_job_obj = CaseObjective::full(&ctx.case, scsn, ctx.granularity)
+        .with_per_job_truth(job_truth);
+    let mut gd = GradientDescent::fixed(ctx.seed);
+    let r_job =
+        calibrate_with_workers(&mut gd, &per_job_obj, &space, ctx.budget, ctx.workers);
+
+    let log2_err = |v: f64| (v / truth_wan).log2().abs();
+    Ablation {
+        algorithms,
+        metric_richness: MetricRichness {
+            wan_log2_error_aggregate: log2_err(r_agg.best_values[3]),
+            wan_log2_error_per_job: log2_err(r_job.best_values[3]),
+        },
+    }
+}
+
+/// Render the ablation report.
+pub fn render(a: &Ablation) -> String {
+    let mut out = String::from("ABLATION: algorithms on FCSN (same budget)\n");
+    out.push_str(&ascii_table(
+        &["Algorithm".into(), "MRE".into(), "Evals".into()],
+        &a.algorithms
+            .iter()
+            .map(|r| {
+                vec![r.method.clone(), format!("{:.2}%", r.mre), r.evaluations.to_string()]
+            })
+            .collect::<Vec<_>>(),
+    ));
+    out.push_str(&format!(
+        "\nMetric richness (SCSN, non-bottleneck WAN recovery, log2 error):\n  \
+         aggregate per-node metric: {:.2}\n  per-job temporal metric:   {:.2}\n",
+        a.metric_richness.wan_log2_error_aggregate, a.metric_richness.wan_log2_error_per_job
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::CaseStudy;
+    use std::sync::Arc;
+
+    #[test]
+    fn quick_run_covers_all_algorithms() {
+        let ctx = ExperimentContext::quick(Arc::new(CaseStudy::generate_reduced()));
+        let a = run(&ctx);
+        let names: Vec<&str> = a.algorithms.iter().map(|r| r.method.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["RANDOM", "GRID", "GDFix", "GDDyn", "ANNEAL", "NELDER-MEAD", "COORD", "BAYESOPT"]
+        );
+        for r in &a.algorithms {
+            assert!(r.mre.is_finite() && r.mre >= 0.0);
+            assert!(r.evaluations > 0);
+        }
+        assert!(a.metric_richness.wan_log2_error_aggregate.is_finite());
+        assert!(a.metric_richness.wan_log2_error_per_job.is_finite());
+        assert!(render(&a).contains("ABLATION"));
+    }
+}

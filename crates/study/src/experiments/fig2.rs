@@ -1,0 +1,135 @@
+//! Figure 2: absolute simulation error vs. calibration time (FCSN).
+//!
+//! Best-so-far mean-absolute-error curves for GRID, GDFIX, and RANDOM under
+//! a simulated-cost budget. The paper's observations: all curves are
+//! non-increasing with a sharp initial drop; RANDOM converges fastest and
+//! lowest, GRID worst, GDFIX in between.
+
+use simcal_calib::algorithms::calibrate_with_workers;
+use simcal_calib::Budget;
+use simcal_platform::PlatformKind;
+
+use crate::context::ExperimentContext;
+use crate::objective::{param_space, CaseObjective, Metric};
+use crate::report::ascii_plot;
+
+/// One convergence curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2Curve {
+    /// Algorithm name.
+    pub method: String,
+    /// Best-so-far (cumulative cost s, MAE s) points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Figure 2 results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2 {
+    /// One curve per algorithm, in GRID, GDFIX, RANDOM order (the paper's
+    /// legend order).
+    pub curves: Vec<Fig2Curve>,
+}
+
+impl Fig2 {
+    /// Final (lowest) error of a method's curve.
+    pub fn final_error(&self, method: &str) -> Option<f64> {
+        self.curves
+            .iter()
+            .find(|c| c.method == method)
+            .and_then(|c| c.points.last())
+            .map(|&(_, e)| e)
+    }
+}
+
+/// Run the Figure 2 experiment.
+pub fn run(ctx: &ExperimentContext) -> Fig2 {
+    let kind = PlatformKind::Fcsn;
+    let space = param_space();
+    // The paper's legend order: Grid, GDFix, Random.
+    let mut algos = ctx.paper_algorithms();
+    algos.swap(0, 1); // RANDOM, GRID, GD -> GRID, RANDOM, GD
+    algos.swap(1, 2); // -> GRID, GD, RANDOM
+    let curves = algos
+        .into_iter()
+        .map(|mut algo| {
+            let obj = CaseObjective::full(&ctx.case, kind, ctx.granularity)
+                .with_metric(Metric::MaeSeconds);
+            let result = calibrate_with_workers(
+                algo.as_mut(),
+                &obj,
+                &space,
+                Budget::SimulatedCost(ctx.fig2_cost_secs),
+                ctx.workers,
+            );
+            Fig2Curve { method: result.algorithm.clone(), points: result.curve }
+        })
+        .collect();
+    Fig2 { curves }
+}
+
+/// Render as an ASCII plot plus the final errors.
+pub fn render(f: &Fig2) -> String {
+    let mut out = String::from(
+        "FIGURE 2: Absolute simulation error vs. time for platform FCSN\n(best-so-far mean absolute error, seconds)\n\n",
+    );
+    let named: Vec<(String, Vec<(f64, f64)>)> =
+        f.curves.iter().map(|c| (c.method.clone(), c.points.clone())).collect();
+    out.push_str(&ascii_plot(&named, 64, 16));
+    out.push('\n');
+    for c in &f.curves {
+        if let Some(&(cost, err)) = c.points.last() {
+            out.push_str(&format!(
+                "  {:<8} final MAE {err:>10.2} s after {cost:.2} s of simulation ({} evals)\n",
+                c.method,
+                c.points.len()
+            ));
+        }
+    }
+    out
+}
+
+/// The curves as CSV rows (`method,cost_s,best_mae_s`).
+pub fn to_csv(f: &Fig2) -> (Vec<String>, Vec<Vec<String>>) {
+    let headers = vec!["method".to_string(), "cost_s".to_string(), "best_mae_s".to_string()];
+    let rows = f
+        .curves
+        .iter()
+        .flat_map(|c| {
+            c.points
+                .iter()
+                .map(|&(cost, err)| {
+                    vec![c.method.clone(), format!("{cost:.6}"), format!("{err:.6}")]
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    (headers, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::CaseStudy;
+    use std::sync::Arc;
+
+    #[test]
+    fn curves_are_nonincreasing_and_ordered() {
+        let ctx = ExperimentContext::quick(Arc::new(CaseStudy::generate_reduced()));
+        let f = run(&ctx);
+        assert_eq!(f.curves.len(), 3);
+        let names: Vec<&str> = f.curves.iter().map(|c| c.method.as_str()).collect();
+        assert_eq!(names, vec!["GRID", "GDFix", "RANDOM"]);
+        for c in &f.curves {
+            assert!(!c.points.is_empty(), "{} produced no points", c.method);
+            for w in c.points.windows(2) {
+                assert!(w[1].1 <= w[0].1 + 1e-9, "{} curve increased", c.method);
+                assert!(w[1].0 >= w[0].0, "{} cost went backwards", c.method);
+            }
+        }
+        let out = render(&f);
+        assert!(out.contains("FIGURE 2"));
+        let (h, rows) = to_csv(&f);
+        assert_eq!(h.len(), 3);
+        assert!(!rows.is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! Generalizability of calibrations (the paper's §IV-C2 discussion).
+//!
+//! "The calibrated simulator is valid only to simulate the execution of
+//! workloads that would experience the same performance bottleneck as the
+//! ground-truth workload. Specifically, our calibrated simulator ... is
+//! only valid for simulating the execution of workloads with the same
+//! ratio of compute to data volumes ... For these workloads, the simulator
+//! is useful as it produces valid results for simulating configurations
+//! with more or fewer jobs."
+//!
+//! This experiment calibrates on the CMS(-like) workload, then *predicts*
+//! executions of (a) a same-ratio workload with a different job count and
+//! (b) a 10x-compute-ratio workload, comparing each prediction against
+//! freshly generated ground truth.
+
+use simcal_calib::algorithms::calibrate_with_workers;
+use simcal_calib::{mre_percent, GradientDescent};
+use simcal_groundtruth::{cache_plan_for, generate};
+use simcal_platform::PlatformKind;
+use simcal_sim::{simulate, SimConfig};
+use simcal_workload::{Workload, WorkloadSpec};
+
+use crate::context::ExperimentContext;
+use crate::objective::{param_space, CaseObjective};
+
+/// Generalization results: full-grid MRE of the *transferred* calibration
+/// on each probe workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Generalization {
+    /// MRE on the calibration workload itself (baseline).
+    pub mre_calibration_workload: f64,
+    /// MRE predicting a same-compute-data-ratio workload of different size.
+    pub mre_same_ratio: f64,
+    /// MRE predicting a 10x-compute-ratio workload.
+    pub mre_different_ratio: f64,
+}
+
+/// Evaluate transferred parameter values on a probe workload: generate
+/// fresh ground truth for it and compare simulated per-node means.
+fn transfer_mre(
+    ctx: &ExperimentContext,
+    kind: PlatformKind,
+    workload: &Workload,
+    values: &[f64],
+) -> f64 {
+    let icds = [0.0, 0.3, 0.5, 0.7, 1.0];
+    let gt = generate(kind, workload, &ctx.case.truth, &icds);
+    // Simulate with the transferred calibration at the context granularity.
+    let template = CaseObjective::full(&ctx.case, kind, ctx.granularity);
+    let config = SimConfig::new(template.hardware_from(values), ctx.granularity);
+    let platform = kind.spec();
+    let mut sim = Vec::new();
+    let mut truth = Vec::new();
+    for (point, &icd) in gt.points.iter().zip(icds.iter()) {
+        let plan = cache_plan_for(workload, icd);
+        let trace = simulate(&platform, workload, &plan, &config);
+        let means = trace.mean_job_time_by_node();
+        for (node, &t) in point.node_means.iter().enumerate() {
+            if t.is_finite() {
+                sim.push(means[node]);
+                truth.push(t);
+            }
+        }
+    }
+    mre_percent(&sim, &truth)
+}
+
+/// Run the generalization experiment on SCSN (the paper's Table IV
+/// platform, where the disk bottleneck drives identifiability).
+pub fn run(ctx: &ExperimentContext) -> Generalization {
+    let kind = PlatformKind::Scsn;
+    let space = param_space();
+    let obj = CaseObjective::full(&ctx.case, kind, ctx.granularity);
+    let mut algo = GradientDescent::fixed(ctx.seed);
+    let result = calibrate_with_workers(&mut algo, &obj, &space, ctx.budget, ctx.workers);
+
+    let base = &ctx.case.workload;
+    let jobs0 = base.jobs.first().expect("non-empty workload");
+    let file_size = jobs0.input_files[0].size;
+    let fpb = jobs0.flops_per_byte;
+
+    // Same ratio, different scale: 60% of the jobs, more files each.
+    let same_ratio = WorkloadSpec::constant(
+        (base.len() * 3 / 5).max(1),
+        jobs0.input_files.len() + 2,
+        file_size,
+        fpb,
+        jobs0.output_bytes,
+    )
+    .generate(1);
+
+    // Different ratio: 10x the compute per byte (compute-bound regime).
+    let diff_ratio = WorkloadSpec::constant(
+        base.len(),
+        jobs0.input_files.len(),
+        file_size,
+        fpb * 10.0,
+        jobs0.output_bytes,
+    )
+    .generate(1);
+
+    Generalization {
+        mre_calibration_workload: result.best_error,
+        mre_same_ratio: transfer_mre(ctx, kind, &same_ratio, &result.best_values),
+        mre_different_ratio: transfer_mre(ctx, kind, &diff_ratio, &result.best_values),
+    }
+}
+
+/// Render the generalization report.
+pub fn render(g: &Generalization) -> String {
+    format!(
+        "GENERALIZATION (SCSN): transferring one calibration across workloads\n\
+           calibration workload MRE:          {:>8.2}%\n\
+           same compute/data ratio, resized:  {:>8.2}%\n\
+           10x compute/data ratio:            {:>8.2}%\n\
+         Calibrations transfer to same-ratio workloads but not across\n\
+         bottleneck changes — the paper's §IV-C2 validity boundary.\n",
+        g.mre_calibration_workload, g.mre_same_ratio, g.mre_different_ratio
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::CaseStudy;
+    use crate::context::ExperimentContext;
+    use std::sync::Arc;
+
+    #[test]
+    fn quick_run_produces_finite_mres() {
+        let ctx = ExperimentContext::quick(Arc::new(CaseStudy::generate_reduced()));
+        let g = run(&ctx);
+        assert!(g.mre_calibration_workload.is_finite());
+        assert!(g.mre_same_ratio.is_finite() && g.mre_same_ratio >= 0.0);
+        assert!(g.mre_different_ratio.is_finite() && g.mre_different_ratio >= 0.0);
+        assert!(render(&g).contains("GENERALIZATION"));
+    }
+}

@@ -1,0 +1,11 @@
+//! One module per table/figure of the paper's evaluation.
+
+pub mod ablation;
+pub mod fig2;
+pub mod generalization;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;

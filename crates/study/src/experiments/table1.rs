@@ -1,0 +1,30 @@
+//! Table I: the literature-survey aggregates (delegates to `simcal-survey`).
+
+pub use simcal_survey::TableI;
+
+/// Compute the Table I aggregates from the synthesized survey dataset.
+pub fn run() -> TableI {
+    simcal_survey::table_i()
+}
+
+/// Render in the paper's layout.
+pub fn render(t: &TableI) -> String {
+    simcal_survey::render(t)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reproduces_the_paper_counts() {
+        let t = super::run();
+        assert_eq!(
+            (t.total, t.simulation_only, t.both),
+            (114, 85, 29)
+        );
+        assert_eq!(
+            (t.no_comparison, t.calibration_mentioned_at_best, t.calibration_documented),
+            (4, 15, 10)
+        );
+        assert!(super::render(&t).contains("TABLE I"));
+    }
+}

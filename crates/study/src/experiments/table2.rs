@@ -1,0 +1,69 @@
+//! Table II: hardware platform configuration specifications.
+
+use simcal_platform::PlatformKind;
+
+use crate::report::ascii_table;
+
+/// One Table II row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table2Row {
+    /// Platform label.
+    pub platform: String,
+    /// RAM page cache column.
+    pub page_cache: String,
+    /// WAN interface column.
+    pub wan: String,
+}
+
+/// Regenerate Table II from the platform catalog.
+pub fn run() -> Vec<Table2Row> {
+    PlatformKind::ALL
+        .iter()
+        .map(|k| {
+            let spec = k.spec();
+            Table2Row {
+                platform: spec.name.clone(),
+                page_cache: spec.page_cache_label().to_string(),
+                wan: spec.wan_label(),
+            }
+        })
+        .collect()
+}
+
+/// Render in the paper's layout.
+pub fn render(rows: &[Table2Row]) -> String {
+    let mut out = String::from("TABLE II: Hardware platform configuration specifications\n");
+    out.push_str(&ascii_table(
+        &["Platform".into(), "RAM page cache".into(), "WAN interface".into()],
+        &rows
+            .iter()
+            .map(|r| vec![r.platform.clone(), r.page_cache.clone(), r.wan.clone()])
+            .collect::<Vec<_>>(),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_paper() {
+        let rows = run();
+        assert_eq!(rows.len(), 4);
+        let find = |name: &str| rows.iter().find(|r| r.platform == name).unwrap();
+        assert_eq!(find("SCFN").page_cache, "disabled");
+        assert_eq!(find("SCFN").wan, "10.00 Gbps");
+        assert_eq!(find("FCFN").page_cache, "enabled");
+        assert_eq!(find("SCSN").wan, "1.00 Gbps");
+        assert_eq!(find("FCSN").page_cache, "enabled");
+        assert_eq!(find("FCSN").wan, "1.00 Gbps");
+    }
+
+    #[test]
+    fn renders() {
+        let out = render(&run());
+        assert!(out.contains("TABLE II"));
+        assert!(out.contains("FCSN"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Table III: MRE for calibration methods and platforms.
+//!
+//! For each of the four platforms: score the HUMAN calibration, then run
+//! each automated algorithm (RANDOM, GRID, GDFIX) under the context budget
+//! and report the best MRE it found. The paper's headline result: automated
+//! calibration is on par with HUMAN on the slow-cache platforms and beats
+//! it by >150 points on the fast-cache platforms (where HUMAN's 1 GBps
+//! page-cache assumption is ~10x off).
+
+use simcal_calib::algorithms::calibrate_with_workers;
+use simcal_platform::PlatformKind;
+
+use crate::context::ExperimentContext;
+use crate::human::HumanCalibration;
+use crate::objective::{param_space, CaseObjective};
+use crate::report::ascii_table;
+
+/// Table III results: `mre[method][platform]` in percent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3 {
+    /// Method names, HUMAN first.
+    pub methods: Vec<String>,
+    /// Platforms in Table II order.
+    pub platforms: [PlatformKind; 4],
+    /// MRE (%) per method per platform.
+    pub mre: Vec<[f64; 4]>,
+}
+
+impl Table3 {
+    /// MRE for a (method, platform) pair.
+    pub fn mre_of(&self, method: &str, platform: PlatformKind) -> Option<f64> {
+        let m = self.methods.iter().position(|x| x == method)?;
+        let p = self.platforms.iter().position(|&x| x == platform)?;
+        Some(self.mre[m][p])
+    }
+}
+
+/// Run the Table III experiment.
+pub fn run(ctx: &ExperimentContext) -> Table3 {
+    let platforms = PlatformKind::ALL;
+    let space = param_space();
+    let mut methods = vec!["HUMAN".to_string()];
+    let mut mre: Vec<[f64; 4]> = Vec::new();
+
+    // HUMAN row.
+    let human = HumanCalibration::perform(&ctx.case);
+    let mut row = [0.0; 4];
+    for (i, &kind) in platforms.iter().enumerate() {
+        let obj = CaseObjective::full(&ctx.case, kind, ctx.granularity);
+        row[i] = obj.score_hardware(&human.hardware(kind));
+    }
+    mre.push(row);
+
+    // Automated rows.
+    let n_algos = ctx.paper_algorithms().len();
+    for a in 0..n_algos {
+        let mut row = [0.0; 4];
+        let mut name = String::new();
+        for (i, &kind) in platforms.iter().enumerate() {
+            // Fresh algorithm instance per platform (independent runs).
+            let mut algo = ctx.paper_algorithms().remove(a);
+            let obj = CaseObjective::full(&ctx.case, kind, ctx.granularity);
+            let result =
+                calibrate_with_workers(algo.as_mut(), &obj, &space, ctx.budget, ctx.workers);
+            name = result.algorithm.clone();
+            row[i] = result.best_error;
+        }
+        methods.push(name);
+        mre.push(row);
+    }
+
+    Table3 { methods, platforms, mre }
+}
+
+/// Render in the paper's layout.
+pub fn render(t: &Table3) -> String {
+    let mut out = String::from("TABLE III: MRE for calibration methods and platforms\n");
+    let headers: Vec<String> = std::iter::once("Method".to_string())
+        .chain(t.platforms.iter().map(|p| p.label().to_string()))
+        .collect();
+    let rows: Vec<Vec<String>> = t
+        .methods
+        .iter()
+        .zip(&t.mre)
+        .map(|(m, row)| {
+            std::iter::once(m.clone())
+                .chain(row.iter().map(|v| format!("{v:.2}%")))
+                .collect()
+        })
+        .collect();
+    out.push_str(&ascii_table(&headers, &rows));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::CaseStudy;
+    use std::sync::Arc;
+
+    #[test]
+    fn quick_run_is_structurally_complete() {
+        // Budget-starved quick run: only structure is asserted here; the
+        // paper's headline shape (automated beats HUMAN on FC platforms) is
+        // asserted by the `table_iii_shape` integration test at a budget
+        // where the algorithms can actually converge.
+        let ctx = ExperimentContext::quick(Arc::new(CaseStudy::generate_reduced()));
+        let t = run(&ctx);
+        assert_eq!(t.methods, vec!["HUMAN", "RANDOM", "GRID", "GDFix"]);
+        for row in &t.mre {
+            assert!(row.iter().all(|m| m.is_finite() && *m >= 0.0));
+        }
+        assert!(t.mre_of("HUMAN", PlatformKind::Fcfn).unwrap() > 0.0);
+        let rendered = render(&t);
+        assert!(rendered.contains("HUMAN"));
+        assert!(rendered.contains("SCFN"));
+    }
+}

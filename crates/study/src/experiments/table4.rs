@@ -1,0 +1,140 @@
+//! Table IV: calibrated parameter values for platform SCSN.
+//!
+//! The paper's identifiability result: every method agrees on the
+//! *bottleneck* parameter (disk bandwidth, 16-17 MBps) and wildly disagrees
+//! on the others (WAN estimates spanning 0.27-57 Gbps), because parameters
+//! of non-bottleneck resources barely affect the metrics.
+
+use simcal_calib::algorithms::calibrate_with_workers;
+use simcal_platform::PlatformKind;
+use simcal_units as units;
+
+use crate::context::ExperimentContext;
+use crate::human::HumanCalibration;
+use crate::objective::{param_space, CaseObjective};
+use crate::report::ascii_table;
+
+/// One Table IV row: a method and its four calibrated values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4Row {
+    /// Method name.
+    pub method: String,
+    /// `[core_speed, local_read_bw, lan_bw, wan_bw]` in natural units.
+    pub values: [f64; 4],
+    /// The MRE the values achieve (context for comparisons).
+    pub mre: f64,
+}
+
+/// Table IV results (plus the hidden truth for reference).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4 {
+    /// Rows: HUMAN then the automated methods.
+    pub rows: Vec<Table4Row>,
+    /// The ground truth's effective values (the paper can only say "the
+    /// actual value is likely around 1 Gbps"; we know ours exactly).
+    pub truth: [f64; 4],
+}
+
+/// Run the Table IV experiment (platform SCSN).
+pub fn run(ctx: &ExperimentContext) -> Table4 {
+    let kind = PlatformKind::Scsn;
+    let space = param_space();
+    let obj = CaseObjective::full(&ctx.case, kind, ctx.granularity);
+    let mut rows = Vec::new();
+
+    let human = HumanCalibration::perform(&ctx.case);
+    let hw = human.hardware(kind);
+    rows.push(Table4Row {
+        method: "HUMAN".to_string(),
+        values: [hw.core_speed, hw.disk_bw, hw.lan_bw, hw.wan_bw],
+        mre: obj.score_hardware(&hw),
+    });
+
+    for mut algo in ctx.paper_algorithms() {
+        let result =
+            calibrate_with_workers(algo.as_mut(), &obj, &space, ctx.budget, ctx.workers);
+        rows.push(Table4Row {
+            method: result.algorithm.clone(),
+            values: [
+                result.best_values[0],
+                result.best_values[1],
+                result.best_values[2],
+                result.best_values[3],
+            ],
+            mre: result.best_error,
+        });
+    }
+
+    let truth = &ctx.case.truth;
+    // Effective HDD bandwidth under the ground truth's typical per-node
+    // load (12 concurrent readers), matching what calibration can observe.
+    let disk_eff = simcal_des::CapacityModel::Degrading {
+        base: truth.disk_bw,
+        alpha: truth.disk_contention_alpha,
+    }
+    .effective(12);
+    Table4 {
+        rows,
+        truth: [truth.core_speed, disk_eff, truth.lan_bw, truth.wan_bw(kind)],
+    }
+}
+
+fn format_row(values: &[f64; 4]) -> Vec<String> {
+    vec![
+        format!("{:.0} Mflops", units::to_mflops(values[0])),
+        format!("{:.0} MBps", units::to_mbytes_per_sec(values[1])),
+        format!("{:.1} Gbps", units::to_gbps(values[2])),
+        format!("{:.2} Gbps", units::to_gbps(values[3])),
+    ]
+}
+
+/// Render in the paper's layout.
+pub fn render(t: &Table4) -> String {
+    let mut out =
+        String::from("TABLE IV: Calibrated parameter values for platform SCSN\n");
+    let headers: Vec<String> = vec![
+        "Method".into(),
+        "Core speed".into(),
+        "Disk bandwidth".into(),
+        "LAN bandwidth".into(),
+        "WAN bandwidth".into(),
+    ];
+    let mut rows: Vec<Vec<String>> = t
+        .rows
+        .iter()
+        .map(|r| {
+            std::iter::once(r.method.clone()).chain(format_row(&r.values)).collect()
+        })
+        .collect();
+    rows.push(
+        std::iter::once("(actual)".to_string()).chain(format_row(&t.truth)).collect(),
+    );
+    out.push_str(&ascii_table(&headers, &rows));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::CaseStudy;
+    use std::sync::Arc;
+
+    #[test]
+    fn quick_run_is_structurally_complete() {
+        // Bottleneck-agreement shape is asserted by the `table_iv_shape`
+        // integration test at a realistic budget; here only structure.
+        let ctx = ExperimentContext::quick(Arc::new(CaseStudy::generate_reduced()));
+        let t = run(&ctx);
+        assert_eq!(t.rows.len(), 4);
+        assert_eq!(t.rows[0].method, "HUMAN");
+        for r in &t.rows {
+            assert!(r.values.iter().all(|v| v.is_finite() && *v > 0.0));
+            assert!(r.mre.is_finite());
+        }
+        // The truth row reports the effective (contended) disk bandwidth.
+        assert!(t.truth[1] < ctx.case.truth.disk_bw);
+        let rendered = render(&t);
+        assert!(rendered.contains("TABLE IV"));
+        assert!(rendered.contains("(actual)"));
+    }
+}

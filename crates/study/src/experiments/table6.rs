@@ -1,0 +1,134 @@
+//! Table VI: MRE vs. average simulation time (the speed/accuracy trade-off).
+//!
+//! FCSN, four (B, b) granularity settings spanning ~2.5 orders of magnitude
+//! of simulation cost, three algorithms, all under the *same* simulated-cost
+//! budget. Faster simulations let the search explore more of the parameter
+//! space, which (the paper's key observation) more than compensates for the
+//! coarser data-movement model: the best MRE is achieved at the fastest
+//! setting.
+
+use simcal_calib::algorithms::calibrate_with_workers;
+use simcal_calib::Budget;
+use simcal_platform::PlatformKind;
+use simcal_storage::XRootDConfig;
+
+use crate::context::ExperimentContext;
+use crate::objective::{param_space, CaseObjective};
+use crate::report::ascii_table;
+
+/// One Table VI cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table6Cell {
+    /// Algorithm name.
+    pub method: String,
+    /// Best MRE (%) under the cost budget.
+    pub mre: f64,
+    /// Evaluations completed within the budget.
+    pub evaluations: u64,
+}
+
+/// One Table VI row: a granularity setting and its per-algorithm results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table6Row {
+    /// The granularity setting.
+    pub granularity: XRootDConfig,
+    /// Measured mean wall-clock seconds per simulation at this setting.
+    pub mean_sim_seconds: f64,
+    /// Results per algorithm (RANDOM, GRID, GDFIX order).
+    pub cells: Vec<Table6Cell>,
+}
+
+/// Table VI results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table6 {
+    /// Rows fastest-granularity first, as in the paper.
+    pub rows: Vec<Table6Row>,
+}
+
+/// Run the Table VI experiment.
+pub fn run(ctx: &ExperimentContext) -> Table6 {
+    let kind = PlatformKind::Fcsn;
+    let space = param_space();
+    let mut rows = Vec::new();
+    for granularity in XRootDConfig::table_vi() {
+        let obj = CaseObjective::full(&ctx.case, kind, granularity);
+        let n_icds = obj.truth_metrics().len() / 3;
+        let mut cells = Vec::new();
+        let mut total_cost = 0.0;
+        let mut total_evals = 0u64;
+        for mut algo in ctx.paper_algorithms() {
+            let result = calibrate_with_workers(
+                algo.as_mut(),
+                &obj,
+                &space,
+                Budget::SimulatedCost(ctx.t6_cost_secs),
+                ctx.workers,
+            );
+            total_cost += result.curve.last().map(|&(c, _)| c).unwrap_or(0.0);
+            total_evals += result.evaluations;
+            cells.push(Table6Cell {
+                method: result.algorithm.clone(),
+                mre: result.best_error,
+                evaluations: result.evaluations,
+            });
+        }
+        let mean_sim_seconds = if total_evals == 0 {
+            0.0
+        } else {
+            total_cost / (total_evals as f64 * n_icds as f64)
+        };
+        rows.push(Table6Row { granularity, mean_sim_seconds, cells });
+    }
+    Table6 { rows }
+}
+
+/// Render in the paper's layout (methods as columns).
+pub fn render(t: &Table6) -> String {
+    let mut out = String::from(
+        "TABLE VI: MRE vs. average simulation time for platform FCSN\n(equal simulated-cost budget per calibration)\n",
+    );
+    let mut headers: Vec<String> = vec!["B / b (bytes)".into(), "Sim. time".into()];
+    if let Some(first) = t.rows.first() {
+        headers.extend(first.cells.iter().map(|c| c.method.clone()));
+    }
+    let rows: Vec<Vec<String>> = t
+        .rows
+        .iter()
+        .map(|r| {
+            let mut cols = vec![
+                format!("{:.0e} / {:.0e}", r.granularity.block_size, r.granularity.buffer_size),
+                format!("{:.3}s", r.mean_sim_seconds),
+            ];
+            cols.extend(r.cells.iter().map(|c| format!("{:.2}% ({} ev)", c.mre, c.evaluations)));
+            cols
+        })
+        .collect();
+    out.push_str(&ascii_table(&headers, &rows));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::CaseStudy;
+    use std::sync::Arc;
+
+    #[test]
+    fn cost_budget_yields_fewer_evals_at_finer_granularity() {
+        let ctx = ExperimentContext::quick(Arc::new(CaseStudy::generate_reduced()));
+        let t = run(&ctx);
+        assert_eq!(t.rows.len(), 4);
+        // Simulation gets slower down the rows...
+        for w in t.rows.windows(2) {
+            assert!(w[1].mean_sim_seconds > w[0].mean_sim_seconds * 0.8);
+        }
+        // ...so the same cost budget affords fewer evaluations.
+        let evals_fast: u64 = t.rows[0].cells.iter().map(|c| c.evaluations).sum();
+        let evals_slow: u64 = t.rows[3].cells.iter().map(|c| c.evaluations).sum();
+        assert!(
+            evals_fast > 2 * evals_slow,
+            "fast {evals_fast} vs slow {evals_slow} evaluations"
+        );
+        assert!(render(&t).contains("TABLE VI"));
+    }
+}

@@ -1,0 +1,176 @@
+//! The domain-scientist (HUMAN) calibration, re-enacted programmatically.
+//!
+//! The paper documents the manual procedure precisely (§IV-B):
+//!
+//! 1. core compute speed calibrated from **FCFN** ground truth (minimal
+//!    network/IO overhead) — found 1,970 Mflops;
+//! 2. external (WAN) bandwidth calibrated from the slow-network platforms —
+//!    found 1.15 Gbps — and *assumed* to scale 10x for the fast-network
+//!    platforms (11.5 Gbps);
+//! 3. HDD cache bandwidth calibrated from **SCFN** — found 17 MBps;
+//! 4. internal network set to 10 Gbps and Linux page-cache speed *assumed*
+//!    to be 1 GBps from knowledge/benchmarks — the assumption that turns
+//!    out ~10x too slow and ruins FCFN/FCSN accuracy (Table III).
+//!
+//! Each step derives a parameter from the ground-truth executions where the
+//! targeted resource dominates, exactly as an expert fitting numbers to
+//! observations would.
+
+use simcal_platform::{HardwareParams, PlatformKind};
+use simcal_units as units;
+
+use crate::case::CaseStudy;
+
+/// The parameter values produced by the manual calibration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HumanCalibration {
+    /// Step 1: fitted core speed (flop/s).
+    pub core_speed: f64,
+    /// Step 2: fitted effective WAN bandwidth on SN platforms (bytes/s).
+    pub wan_bw_slow: f64,
+    /// Step 2: assumed 10x scaling for FN platforms (bytes/s).
+    pub wan_bw_fast: f64,
+    /// Step 3: fitted HDD bandwidth (bytes/s).
+    pub disk_bw: f64,
+    /// Step 4: assumed LAN bandwidth (bytes/s).
+    pub lan_bw: f64,
+    /// Step 4: assumed page-cache speed (bytes/s) — the 1 GBps mistake.
+    pub page_cache_bw: f64,
+}
+
+impl HumanCalibration {
+    /// Re-enact the documented manual procedure on the case-study ground
+    /// truth.
+    pub fn perform(case: &CaseStudy) -> Self {
+        let workload = &case.workload;
+        let n_jobs = workload.len() as f64;
+        let job_input_bytes = workload.jobs[0].input_bytes();
+        let job_flops = workload.jobs[0].total_flops();
+        let job_output_bytes = workload.jobs[0].output_bytes;
+
+        // Step 1 — core speed from FCFN at full caching: with the page
+        // cache and a fast WAN, job time ~ pure compute, so
+        // core = flops / mean job time.
+        let fcfn = case.gt(PlatformKind::Fcfn);
+        let t_compute = mean(&fcfn.point(1.0).expect("ICD 1.0 in ground truth").node_means);
+        let core_speed = job_flops / t_compute;
+
+        // Step 2 — WAN from SCSN at ICD 0: every byte crosses the WAN and
+        // the WAN is the bottleneck, so effective bandwidth = total bytes
+        // moved / mean job time.
+        let scsn = case.gt(PlatformKind::Scsn);
+        let t_wan = mean(&scsn.point(0.0).expect("ICD 0.0 in ground truth").node_means);
+        let wan_bw_slow = n_jobs * (job_input_bytes + job_output_bytes) / t_wan;
+        let wan_bw_fast = 10.0 * wan_bw_slow;
+
+        // Step 3 — HDD bandwidth from SCFN at full caching: each node's
+        // jobs share its HDD, so per-node disk = jobs_on_node * input /
+        // mean job time; average the per-node estimates.
+        let scfn = case.gt(PlatformKind::Scfn);
+        let point = scfn.point(1.0).expect("ICD 1.0 in ground truth");
+        let platform = PlatformKind::Scfn.spec();
+        let jobs_per_node = jobs_per_node(workload.len(), &platform);
+        let mut estimates = Vec::new();
+        for (node, &t) in point.node_means.iter().enumerate() {
+            if t.is_finite() && jobs_per_node[node] > 0 {
+                estimates.push(jobs_per_node[node] as f64 * job_input_bytes / t);
+            }
+        }
+        let disk_bw = mean(&estimates);
+
+        Self {
+            core_speed,
+            wan_bw_slow,
+            wan_bw_fast,
+            disk_bw,
+            lan_bw: units::gbps(10.0),
+            page_cache_bw: units::gbytes_per_sec(1.0),
+        }
+    }
+
+    /// The full hardware parameter set the human uses for a platform.
+    pub fn hardware(&self, kind: PlatformKind) -> HardwareParams {
+        let mut hw = HardwareParams::defaults();
+        hw.core_speed = self.core_speed;
+        hw.disk_bw = self.disk_bw;
+        hw.page_cache_bw = self.page_cache_bw;
+        hw.lan_bw = self.lan_bw;
+        hw.wan_bw = match kind {
+            PlatformKind::Scfn | PlatformKind::Fcfn => self.wan_bw_fast,
+            PlatformKind::Scsn | PlatformKind::Fcsn => self.wan_bw_slow,
+        };
+        hw
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    let finite: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+    assert!(!finite.is_empty(), "no finite values to average");
+    finite.iter().sum::<f64>() / finite.len() as f64
+}
+
+/// Jobs assigned to each node by the FCFS scheduler (fill nodes in order).
+fn jobs_per_node(n_jobs: usize, platform: &simcal_platform::PlatformSpec) -> Vec<usize> {
+    let mut remaining = n_jobs;
+    platform
+        .nodes
+        .iter()
+        .map(|n| {
+            let take = remaining.min(n.cores as usize);
+            remaining -= take;
+            take
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::CaseStudy;
+
+    #[test]
+    fn recovers_paper_like_values_on_reduced_study() {
+        let case = CaseStudy::generate_reduced();
+        let h = HumanCalibration::perform(&case);
+        // Core speed within ~15% of the true 1,970 Mflops (compute is not
+        // perfectly dominant, so the fit absorbs some I/O time).
+        assert!(
+            (h.core_speed - case.truth.core_speed).abs() / case.truth.core_speed < 0.15,
+            "core {}",
+            h.core_speed
+        );
+        // WAN estimate within ~25% of the true effective 1.15 Gbps.
+        assert!(
+            (h.wan_bw_slow - case.truth.wan_bw_slow).abs() / case.truth.wan_bw_slow < 0.25,
+            "wan {}",
+            units::format_rate(h.wan_bw_slow)
+        );
+        // Disk estimate in the paper's 14-20 MBps ballpark.
+        assert!(
+            (14e6..22e6).contains(&h.disk_bw),
+            "disk {}",
+            units::to_mbytes_per_sec(h.disk_bw)
+        );
+        // The deliberate mistakes.
+        assert_eq!(h.page_cache_bw, 1e9);
+        assert_eq!(h.lan_bw, units::gbps(10.0));
+        assert_eq!(h.wan_bw_fast, 10.0 * h.wan_bw_slow);
+    }
+
+    #[test]
+    fn hardware_selects_wan_by_platform() {
+        let case = CaseStudy::generate_reduced();
+        let h = HumanCalibration::perform(&case);
+        assert_eq!(h.hardware(PlatformKind::Scsn).wan_bw, h.wan_bw_slow);
+        assert_eq!(h.hardware(PlatformKind::Fcfn).wan_bw, h.wan_bw_fast);
+        h.hardware(PlatformKind::Fcsn).validate();
+    }
+
+    #[test]
+    fn jobs_per_node_follows_scheduler() {
+        let p = PlatformKind::Scfn.spec();
+        assert_eq!(jobs_per_node(48, &p), vec![12, 12, 24]);
+        assert_eq!(jobs_per_node(30, &p), vec![12, 12, 6]);
+        assert_eq!(jobs_per_node(5, &p), vec![5, 0, 0]);
+    }
+}

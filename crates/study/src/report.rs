@@ -1,0 +1,161 @@
+//! Plain-text report rendering: ASCII tables, CSV files, and a minimal
+//! line plot for convergence curves.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Render an ASCII table: a header row plus data rows, columns padded to
+/// the widest cell, first column left-aligned, the rest right-aligned.
+pub fn ascii_table(headers: &[String], rows: &[Vec<String>]) -> String {
+    let n_cols = headers.len();
+    for (i, r) in rows.iter().enumerate() {
+        assert_eq!(r.len(), n_cols, "row {i} has wrong arity");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+    for r in rows {
+        for (w, cell) in widths.iter_mut().zip(r) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], out: &mut String| {
+        for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+            if i == 0 {
+                let _ = write!(out, "{cell:<w$}");
+            } else {
+                let _ = write!(out, "  {cell:>w$}");
+            }
+        }
+        out.push('\n');
+    };
+    render_row(headers, &mut out);
+    let total: usize = widths.iter().sum::<usize>() + 2 * (n_cols - 1);
+    let _ = writeln!(out, "{}", "-".repeat(total));
+    for r in rows {
+        render_row(r, &mut out);
+    }
+    out
+}
+
+/// Write rows as CSV (no quoting — callers use numeric/simple cells).
+pub fn write_csv(path: &Path, headers: &[String], rows: &[Vec<String>]) -> std::io::Result<()> {
+    let mut text = headers.join(",");
+    text.push('\n');
+    for r in rows {
+        text.push_str(&r.join(","));
+        text.push('\n');
+    }
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, text)
+}
+
+/// Render a set of named curves as an ASCII plot (x = cost, y = error).
+/// Each curve gets a distinct marker; the y-axis is linear.
+pub fn ascii_plot(curves: &[(String, Vec<(f64, f64)>)], width: usize, height: usize) -> String {
+    const MARKERS: [char; 6] = ['*', '+', 'o', 'x', '#', '@'];
+    let all: Vec<(f64, f64)> =
+        curves.iter().flat_map(|(_, c)| c.iter().copied()).collect();
+    if all.is_empty() {
+        return "(no data)\n".to_string();
+    }
+    let x_max = all.iter().map(|p| p.0).fold(0.0f64, f64::max).max(1e-12);
+    let y_max = all
+        .iter()
+        .map(|p| p.1)
+        .filter(|y| y.is_finite())
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (k, (_, curve)) in curves.iter().enumerate() {
+        let marker = MARKERS[k % MARKERS.len()];
+        // Step-interpolate the best-so-far curve across the x range.
+        let mut idx = 0;
+        for col in 0..width {
+            let x = x_max * (col as f64 + 0.5) / width as f64;
+            while idx + 1 < curve.len() && curve[idx + 1].0 <= x {
+                idx += 1;
+            }
+            if curve.is_empty() || curve[idx].0 > x {
+                continue;
+            }
+            let y = curve[idx].1;
+            if !y.is_finite() {
+                continue;
+            }
+            let row = ((1.0 - (y / y_max).min(1.0)) * (height - 1) as f64).round() as usize;
+            grid[row.min(height - 1)][col] = marker;
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{y_max:>10.1} |");
+    for row in &grid {
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{:>10} |{line}", "");
+    }
+    let _ = writeln!(out, "{:>10} +{}", 0.0, "-".repeat(width));
+    let _ = writeln!(out, "{:>10}  0{:>w$.1}s (cumulative simulation cost)", "", x_max, w = width - 1);
+    for (k, (name, _)) in curves.iter().enumerate() {
+        let _ = writeln!(out, "{:>12} {}", MARKERS[k % MARKERS.len()], name);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let out = ascii_table(
+            &s(&["Method", "SCFN", "FCFN"]),
+            &[s(&["HUMAN", "23.21%", "274.20%"]), s(&["RANDOM", "22.07%", "1.02%"])],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Method"));
+        assert!(lines[2].starts_with("HUMAN"));
+        // All rows same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong arity")]
+    fn mismatched_rows_rejected() {
+        ascii_table(&s(&["a", "b"]), &[s(&["only-one"])]);
+    }
+
+    #[test]
+    fn csv_round_trip_on_disk() {
+        let path = std::env::temp_dir().join("simcal-report-test/t.csv");
+        write_csv(&path, &s(&["a", "b"]), &[s(&["1", "2"]), s(&["3", "4"])]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "a,b\n1,2\n3,4\n");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn plot_renders_markers_and_legend() {
+        let curves = vec![
+            ("Random".to_string(), vec![(0.1, 100.0), (1.0, 40.0), (2.0, 10.0)]),
+            ("Grid".to_string(), vec![(0.2, 120.0), (1.5, 80.0)]),
+        ];
+        let out = ascii_plot(&curves, 40, 10);
+        assert!(out.contains('*'));
+        assert!(out.contains('+'));
+        assert!(out.contains("Random"));
+        assert!(out.contains("Grid"));
+    }
+
+    #[test]
+    fn empty_plot_is_graceful() {
+        assert_eq!(ascii_plot(&[], 10, 5), "(no data)\n");
+    }
+}

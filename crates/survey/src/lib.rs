@@ -1,0 +1,271 @@
+//! # simcal-survey — the paper's literature survey (Table I)
+//!
+//! The paper examines the 114 peer-reviewed 2017-2022 publications from the
+//! SimGrid usage list and classifies how each handles simulator calibration.
+//! Only the aggregate counts are published; this crate synthesizes a
+//! record-level dataset consistent with every aggregate the paper reports
+//! and provides the aggregation that regenerates Table I (plus the
+//! narrative counts of §II-B).
+
+use std::fmt::Write as _;
+
+/// How a publication relates simulation results to real-world results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RealWorldUse {
+    /// Simulation results only.
+    SimulationOnly,
+    /// Includes both, but no comparison between them is performed/possible.
+    BothNoComparison,
+    /// Includes both and compares them.
+    BothCompared,
+}
+
+/// The calibration practice evidenced by a publication that compares
+/// simulation to the real world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalibrationPractice {
+    /// No calibration procedure detailed; at best a mention that better
+    /// parameters improve accuracy.
+    MentionedAtBest,
+    /// Calibration performed and documented: a manual painstaking procedure
+    /// based on comparing logs/metrics (and sometimes source inspection).
+    DocumentedManual,
+    /// Documented, additionally using simple statistical techniques
+    /// (regressions).
+    DocumentedStatistical,
+}
+
+/// One synthesized publication record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Publication {
+    /// Synthetic identifier (`P001`...).
+    pub id: String,
+    /// Publication year within the surveyed window.
+    pub year: u16,
+    /// Real-world-results relationship.
+    pub real_world: RealWorldUse,
+    /// Calibration practice (only meaningful for `BothCompared`).
+    pub practice: Option<CalibrationPractice>,
+    /// Whether the paper's main contribution is a novel simulation model
+    /// (8 of the 10 documented-calibration works).
+    pub contribution_is_simulation_model: bool,
+}
+
+/// The aggregate counts of Table I and §II-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableI {
+    /// Total publications examined.
+    pub total: usize,
+    /// Publications that only include simulation results.
+    pub simulation_only: usize,
+    /// Publications that include both simulation and real-world results.
+    pub both: usize,
+    /// Of `both`: no comparison of the two.
+    pub no_comparison: usize,
+    /// Of `both`: calibration perhaps performed or at best mentioned.
+    pub calibration_mentioned_at_best: usize,
+    /// Of `both`: calibration performed and documented.
+    pub calibration_documented: usize,
+    /// Of documented: purely manual procedures.
+    pub documented_manual: usize,
+    /// Of documented: procedures also using simple statistics.
+    pub documented_statistical: usize,
+    /// Of documented: works whose main contribution is a simulation model.
+    pub documented_on_simulation_model_papers: usize,
+    /// Non-simulation-topic works with solid documented calibration.
+    pub solid_calibration_on_other_topics: usize,
+}
+
+/// The survey dataset: 114 records consistent with the paper's aggregates.
+pub fn dataset() -> Vec<Publication> {
+    let mut pubs = Vec::with_capacity(114);
+    let mut id = 0usize;
+    let mut push = |real_world: RealWorldUse,
+                    practice: Option<CalibrationPractice>,
+                    sim_model: bool,
+                    pubs: &mut Vec<Publication>| {
+        id += 1;
+        // Spread records across the 2017-2022 window deterministically.
+        let year = 2017 + ((id * 7) % 6) as u16;
+        pubs.push(Publication {
+            id: format!("P{id:03}"),
+            year,
+            real_world,
+            practice,
+            contribution_is_simulation_model: sim_model,
+        });
+    };
+
+    // 85 simulation-only works.
+    for _ in 0..85 {
+        push(RealWorldUse::SimulationOnly, None, false, &mut pubs);
+    }
+    // 4 with both kinds of results but no comparison.
+    for _ in 0..4 {
+        push(RealWorldUse::BothNoComparison, None, false, &mut pubs);
+    }
+    // 15 comparing works with calibration at best mentioned.
+    for _ in 0..15 {
+        push(
+            RealWorldUse::BothCompared,
+            Some(CalibrationPractice::MentionedAtBest),
+            false,
+            &mut pubs,
+        );
+    }
+    // 10 documented calibrations: half manual, half with regressions;
+    // 8 of the 10 are simulation-model contributions.
+    for i in 0..10 {
+        let practice = if i < 5 {
+            CalibrationPractice::DocumentedManual
+        } else {
+            CalibrationPractice::DocumentedStatistical
+        };
+        push(RealWorldUse::BothCompared, Some(practice), i < 8, &mut pubs);
+    }
+    assert_eq!(pubs.len(), 114);
+    pubs
+}
+
+/// Aggregate a record set into the Table I counts.
+pub fn aggregate(pubs: &[Publication]) -> TableI {
+    let simulation_only =
+        pubs.iter().filter(|p| p.real_world == RealWorldUse::SimulationOnly).count();
+    let both = pubs.len() - simulation_only;
+    let no_comparison =
+        pubs.iter().filter(|p| p.real_world == RealWorldUse::BothNoComparison).count();
+    let mentioned = pubs
+        .iter()
+        .filter(|p| p.practice == Some(CalibrationPractice::MentionedAtBest))
+        .count();
+    let documented_manual = pubs
+        .iter()
+        .filter(|p| p.practice == Some(CalibrationPractice::DocumentedManual))
+        .count();
+    let documented_statistical = pubs
+        .iter()
+        .filter(|p| p.practice == Some(CalibrationPractice::DocumentedStatistical))
+        .count();
+    let documented = documented_manual + documented_statistical;
+    let documented_on_sim_model = pubs
+        .iter()
+        .filter(|p| {
+            p.contribution_is_simulation_model
+                && matches!(
+                    p.practice,
+                    Some(
+                        CalibrationPractice::DocumentedManual
+                            | CalibrationPractice::DocumentedStatistical
+                    )
+                )
+        })
+        .count();
+    TableI {
+        total: pubs.len(),
+        simulation_only,
+        both,
+        no_comparison,
+        calibration_mentioned_at_best: mentioned,
+        calibration_documented: documented,
+        documented_manual,
+        documented_statistical,
+        documented_on_simulation_model_papers: documented_on_sim_model,
+        solid_calibration_on_other_topics: documented - documented_on_sim_model,
+    }
+}
+
+/// Render the counts as the paper's Table I.
+pub fn render(t: &TableI) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "TABLE I: Examination of {} research publications (2017-2022) with SimGrid results",
+        t.total
+    );
+    let _ = writeln!(s, "  # Publications that only include simulation results   {:>4}", t.simulation_only);
+    let _ = writeln!(s, "  # Publications that include both sim and real-world   {:>4}", t.both);
+    let _ = writeln!(s, "      No comparison thereof                              {:>4}", t.no_comparison);
+    let _ = writeln!(
+        s,
+        "      Calibration perhaps performed or at best mentioned {:>4}",
+        t.calibration_mentioned_at_best
+    );
+    let _ = writeln!(
+        s,
+        "      Calibration performed and documented               {:>4}",
+        t.calibration_documented
+    );
+    s
+}
+
+/// Convenience: the Table I counts of the synthesized dataset.
+pub fn table_i() -> TableI {
+    aggregate(&dataset())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_match_the_paper() {
+        let t = table_i();
+        assert_eq!(t.total, 114);
+        assert_eq!(t.simulation_only, 85);
+        assert_eq!(t.both, 29);
+        assert_eq!(t.no_comparison, 4);
+        assert_eq!(t.calibration_mentioned_at_best, 15);
+        assert_eq!(t.calibration_documented, 10);
+    }
+
+    #[test]
+    fn narrative_counts_match_section_ii() {
+        let t = table_i();
+        // "Half of these describe manual painstaking procedures ... The
+        // other half ... also rely on simple statistical techniques."
+        assert_eq!(t.documented_manual, 5);
+        assert_eq!(t.documented_statistical, 5);
+        // "for 8 of these 10 works, the main research contribution is a
+        // novel simulation model".
+        assert_eq!(t.documented_on_simulation_model_papers, 8);
+        // "among the 106 publications that target a non-simulation-related
+        // research topic, we found only 2" with solid calibration.
+        assert_eq!(t.solid_calibration_on_other_topics, 2);
+    }
+
+    #[test]
+    fn both_categories_are_consistent() {
+        let t = table_i();
+        assert_eq!(t.both, t.no_comparison + t.calibration_mentioned_at_best + t.calibration_documented);
+        assert_eq!(t.total, t.simulation_only + t.both);
+    }
+
+    #[test]
+    fn years_span_the_survey_window() {
+        let pubs = dataset();
+        assert!(pubs.iter().all(|p| (2017..=2022).contains(&p.year)));
+        // All six years appear.
+        for y in 2017..=2022 {
+            assert!(pubs.iter().any(|p| p.year == y), "missing year {y}");
+        }
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let pubs = dataset();
+        let mut ids: Vec<&str> = pubs.iter().map(|p| p.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 114);
+    }
+
+    #[test]
+    fn render_mentions_key_counts() {
+        let out = render(&table_i());
+        assert!(out.contains("114"));
+        assert!(out.contains("85"));
+        assert!(out.contains("29"));
+        assert!(out.contains("15"));
+        assert!(out.contains("10"));
+    }
+}

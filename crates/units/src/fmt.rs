@@ -1,0 +1,94 @@
+//! Human-readable formatting of quantities for reports and logs.
+
+use crate::{BITS_PER_BYTE, GB, KB, MB, TB};
+
+/// Format a byte count with an SI suffix, e.g. `427.0 MB`.
+pub fn format_bytes(bytes: f64) -> String {
+    let b = bytes.abs();
+    if b >= TB {
+        format!("{:.2} TB", bytes / TB)
+    } else if b >= GB {
+        format!("{:.2} GB", bytes / GB)
+    } else if b >= MB {
+        format!("{:.1} MB", bytes / MB)
+    } else if b >= KB {
+        format!("{:.1} KB", bytes / KB)
+    } else {
+        format!("{bytes:.0} B")
+    }
+}
+
+/// Format a data rate (bytes/s) as bits/s with an SI suffix, e.g. `1.15 Gbps`.
+pub fn format_rate(bytes_per_sec: f64) -> String {
+    let bits = bytes_per_sec * BITS_PER_BYTE;
+    let a = bits.abs();
+    if a >= GB {
+        format!("{:.2} Gbps", bits / GB)
+    } else if a >= MB {
+        format!("{:.1} Mbps", bits / MB)
+    } else if a >= KB {
+        format!("{:.1} Kbps", bits / KB)
+    } else {
+        format!("{bits:.0} bps")
+    }
+}
+
+/// Format a compute rate (flop/s), e.g. `1970 Mflops`.
+pub fn format_flops_rate(flops_per_sec: f64) -> String {
+    let a = flops_per_sec.abs();
+    if a >= 1e9 {
+        format!("{:.2} Gflops", flops_per_sec / 1e9)
+    } else if a >= 1e6 {
+        format!("{:.0} Mflops", flops_per_sec / 1e6)
+    } else {
+        format!("{flops_per_sec:.0} flops")
+    }
+}
+
+/// Format a duration in seconds adaptively (`ms`, `s`, `min`, `h`).
+pub fn format_duration(seconds: f64) -> String {
+    let a = seconds.abs();
+    if a < 1.0 {
+        format!("{:.1} ms", seconds * 1e3)
+    } else if a < 120.0 {
+        format!("{seconds:.1} s")
+    } else if a < 2.0 * 3600.0 {
+        format!("{:.1} min", seconds / 60.0)
+    } else {
+        format!("{:.1} h", seconds / 3600.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_pick_suffix() {
+        assert_eq!(format_bytes(427e6), "427.0 MB");
+        assert_eq!(format_bytes(1.5e9), "1.50 GB");
+        assert_eq!(format_bytes(12.0), "12 B");
+        assert_eq!(format_bytes(2e3), "2.0 KB");
+        assert_eq!(format_bytes(3e12), "3.00 TB");
+    }
+
+    #[test]
+    fn rates_are_reported_in_bits() {
+        assert_eq!(format_rate(125e6), "1.00 Gbps");
+        assert_eq!(format_rate(17e6), "136.0 Mbps");
+    }
+
+    #[test]
+    fn flops_rates() {
+        assert_eq!(format_flops_rate(1.97e9), "1.97 Gflops");
+        assert_eq!(format_flops_rate(823e6), "823 Mflops");
+    }
+
+    #[test]
+    fn durations_scale() {
+        assert_eq!(format_duration(0.0301), "30.1 ms");
+        assert_eq!(format_duration(30.0), "30.0 s");
+        assert_eq!(format_duration(300.0), "5.0 min");
+        assert_eq!(format_duration(21600.0), "6.0 h");
+    }
+}

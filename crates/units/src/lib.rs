@@ -1,0 +1,197 @@
+//! Unit constants, conversions, parsing, and formatting for simcal.
+//!
+//! All simulator quantities are plain `f64`s in base SI units:
+//! * data sizes in **bytes**,
+//! * data rates in **bytes per second**,
+//! * compute volumes in **flops** (really application-defined work units),
+//! * compute rates in **flops per second**,
+//! * times in **seconds**.
+//!
+//! This crate provides named constructors (`gbps`, `mib`, `mflops`, ...),
+//! parsing of human-readable strings (`"10 Gbps"`, `"427MB"`), and
+//! human-readable formatting used by the experiment reports.
+
+pub mod fmt;
+pub mod parse;
+
+pub use fmt::{format_bytes, format_duration, format_flops_rate, format_rate};
+pub use parse::{parse_bytes, parse_rate, ParseUnitError};
+
+/// One kilobyte (SI, 10^3 bytes).
+pub const KB: f64 = 1e3;
+/// One megabyte (SI, 10^6 bytes).
+pub const MB: f64 = 1e6;
+/// One gigabyte (SI, 10^9 bytes).
+pub const GB: f64 = 1e9;
+/// One terabyte (SI, 10^12 bytes).
+pub const TB: f64 = 1e12;
+/// One petabyte (SI, 10^15 bytes).
+pub const PB: f64 = 1e15;
+
+/// One kibibyte (2^10 bytes).
+pub const KIB: f64 = 1024.0;
+/// One mebibyte (2^20 bytes).
+pub const MIB: f64 = 1024.0 * 1024.0;
+/// One gibibyte (2^30 bytes).
+pub const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+/// Bits per byte.
+pub const BITS_PER_BYTE: f64 = 8.0;
+
+/// Kilobytes to bytes.
+#[inline]
+pub fn kb(v: f64) -> f64 {
+    v * KB
+}
+
+/// Megabytes to bytes.
+#[inline]
+pub fn mb(v: f64) -> f64 {
+    v * MB
+}
+
+/// Gigabytes to bytes.
+#[inline]
+pub fn gb(v: f64) -> f64 {
+    v * GB
+}
+
+/// Kibibytes to bytes.
+#[inline]
+pub fn kib(v: f64) -> f64 {
+    v * KIB
+}
+
+/// Mebibytes to bytes.
+#[inline]
+pub fn mib(v: f64) -> f64 {
+    v * MIB
+}
+
+/// Gibibytes to bytes.
+#[inline]
+pub fn gib(v: f64) -> f64 {
+    v * GIB
+}
+
+/// Kilobits per second to bytes per second.
+#[inline]
+pub fn kbps(v: f64) -> f64 {
+    v * KB / BITS_PER_BYTE
+}
+
+/// Megabits per second to bytes per second.
+#[inline]
+pub fn mbps(v: f64) -> f64 {
+    v * MB / BITS_PER_BYTE
+}
+
+/// Gigabits per second to bytes per second.
+#[inline]
+pub fn gbps(v: f64) -> f64 {
+    v * GB / BITS_PER_BYTE
+}
+
+/// Megabytes per second to bytes per second.
+#[inline]
+pub fn mbytes_per_sec(v: f64) -> f64 {
+    v * MB
+}
+
+/// Gigabytes per second to bytes per second.
+#[inline]
+pub fn gbytes_per_sec(v: f64) -> f64 {
+    v * GB
+}
+
+/// Megaflops (10^6 flop/s) to flop/s.
+#[inline]
+pub fn mflops(v: f64) -> f64 {
+    v * 1e6
+}
+
+/// Gigaflops (10^9 flop/s) to flop/s.
+#[inline]
+pub fn gflops(v: f64) -> f64 {
+    v * 1e9
+}
+
+/// Bytes per second to megabits per second (for display).
+#[inline]
+pub fn to_mbps(bytes_per_sec: f64) -> f64 {
+    bytes_per_sec * BITS_PER_BYTE / MB
+}
+
+/// Bytes per second to gigabits per second (for display).
+#[inline]
+pub fn to_gbps(bytes_per_sec: f64) -> f64 {
+    bytes_per_sec * BITS_PER_BYTE / GB
+}
+
+/// Bytes per second to megabytes per second (for display).
+#[inline]
+pub fn to_mbytes_per_sec(bytes_per_sec: f64) -> f64 {
+    bytes_per_sec / MB
+}
+
+/// Flop/s to Mflop/s (for display).
+#[inline]
+pub fn to_mflops(flops_per_sec: f64) -> f64 {
+    flops_per_sec / 1e6
+}
+
+/// Minutes to seconds.
+#[inline]
+pub fn minutes(v: f64) -> f64 {
+    v * 60.0
+}
+
+/// Hours to seconds.
+#[inline]
+pub fn hours(v: f64) -> f64 {
+    v * 3600.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn si_constants_scale_by_1000() {
+        assert_eq!(KB * 1000.0, MB);
+        assert_eq!(MB * 1000.0, GB);
+        assert_eq!(GB * 1000.0, TB);
+        assert_eq!(TB * 1000.0, PB);
+    }
+
+    #[test]
+    fn binary_constants_scale_by_1024() {
+        assert_eq!(KIB * 1024.0, MIB);
+        assert_eq!(MIB * 1024.0, GIB);
+    }
+
+    #[test]
+    fn rate_conversions_round_trip() {
+        let r = gbps(10.0);
+        assert!((to_gbps(r) - 10.0).abs() < 1e-12);
+        let r = mbps(115.0);
+        assert!((to_mbps(r) - 115.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gbps_is_125_mbytes_per_sec() {
+        assert!((gbps(1.0) - 125e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mflops_scale() {
+        assert_eq!(mflops(1970.0), 1.97e9);
+        assert!((to_mflops(1.97e9) - 1970.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_helpers() {
+        assert_eq!(minutes(5.0), 300.0);
+        assert_eq!(hours(6.0), 21600.0);
+    }
+}

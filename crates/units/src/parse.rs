@@ -1,0 +1,129 @@
+//! Parsing of human-readable quantity strings.
+//!
+//! Accepted forms (case-insensitive, optional whitespace between number and
+//! unit): sizes `B`, `KB`, `MB`, `GB`, `TB`, `KiB`, `MiB`, `GiB`; rates
+//! `bps`, `Kbps`, `Mbps`, `Gbps` (bits) and `B/s`, `KB/s`, `MB/s`, `GB/s`
+//! (bytes). Used by the `simcal-exp` CLI for `--block-size 1e8` style and
+//! `"10 Gbps"` style arguments alike.
+
+use std::fmt;
+
+/// Error produced when a quantity string cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseUnitError {
+    input: String,
+    reason: &'static str,
+}
+
+impl ParseUnitError {
+    fn new(input: &str, reason: &'static str) -> Self {
+        Self { input: input.to_string(), reason }
+    }
+}
+
+impl fmt::Display for ParseUnitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot parse {:?}: {}", self.input, self.reason)
+    }
+}
+
+impl std::error::Error for ParseUnitError {}
+
+fn split_number_suffix(s: &str) -> Result<(f64, String), ParseUnitError> {
+    let t = s.trim();
+    if t.is_empty() {
+        return Err(ParseUnitError::new(s, "empty string"));
+    }
+    let idx = t
+        .char_indices()
+        .find(|(_, c)| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .map(|(i, _)| i)
+        .unwrap_or(t.len());
+    // Handle scientific notation where the exponent marker 'e'/'E' was eaten
+    // by the numeric scan but the suffix starts right after a bare 'e', as in
+    // "1eGB" (malformed) — the f64 parse below rejects those.
+    let (num_str, suffix) = t.split_at(idx);
+    let value: f64 = num_str
+        .trim()
+        .parse()
+        .map_err(|_| ParseUnitError::new(s, "invalid number"))?;
+    Ok((value, suffix.trim().to_ascii_lowercase()))
+}
+
+/// Parse a data size into bytes. A bare number is taken as bytes.
+pub fn parse_bytes(s: &str) -> Result<f64, ParseUnitError> {
+    let (v, suffix) = split_number_suffix(s)?;
+    let mult = match suffix.as_str() {
+        "" | "b" => 1.0,
+        "kb" => crate::KB,
+        "mb" => crate::MB,
+        "gb" => crate::GB,
+        "tb" => crate::TB,
+        "kib" => crate::KIB,
+        "mib" => crate::MIB,
+        "gib" => crate::GIB,
+        _ => return Err(ParseUnitError::new(s, "unknown size suffix")),
+    };
+    Ok(v * mult)
+}
+
+/// Parse a data rate into bytes per second. A bare number is taken as B/s.
+/// `bps`-family suffixes are interpreted as bits per second.
+pub fn parse_rate(s: &str) -> Result<f64, ParseUnitError> {
+    let (v, suffix) = split_number_suffix(s)?;
+    let bytes_per_sec = match suffix.as_str() {
+        "" | "b/s" | "bps_bytes" => v,
+        "bps" => v / crate::BITS_PER_BYTE,
+        "kbps" => v * crate::KB / crate::BITS_PER_BYTE,
+        "mbps" => v * crate::MB / crate::BITS_PER_BYTE,
+        "gbps" => v * crate::GB / crate::BITS_PER_BYTE,
+        "kb/s" => v * crate::KB,
+        "mb/s" => v * crate::MB,
+        "gb/s" => v * crate::GB,
+        _ => return Err(ParseUnitError::new(s, "unknown rate suffix")),
+    };
+    Ok(bytes_per_sec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sizes() {
+        assert_eq!(parse_bytes("427MB").unwrap(), 427e6);
+        assert_eq!(parse_bytes("427 mb").unwrap(), 427e6);
+        assert_eq!(parse_bytes("2MiB").unwrap(), 2.0 * 1024.0 * 1024.0);
+        assert_eq!(parse_bytes("1e8").unwrap(), 1e8);
+        assert_eq!(parse_bytes("12").unwrap(), 12.0);
+    }
+
+    #[test]
+    fn parses_rates() {
+        assert_eq!(parse_rate("10Gbps").unwrap(), 1.25e9);
+        assert_eq!(parse_rate("1 Gbps").unwrap(), 1.25e8);
+        assert_eq!(parse_rate("17 MB/s").unwrap(), 17e6);
+        assert_eq!(parse_rate("1e9").unwrap(), 1e9);
+    }
+
+    #[test]
+    fn scientific_notation_sizes() {
+        assert_eq!(parse_bytes("1e10").unwrap(), 1e10);
+        assert_eq!(parse_bytes("2.5e7 B").unwrap(), 2.5e7);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_bytes("").is_err());
+        assert!(parse_bytes("abc").is_err());
+        assert!(parse_bytes("12 parsecs").is_err());
+        assert!(parse_rate("10 Gbph").is_err());
+    }
+
+    #[test]
+    fn error_displays_input() {
+        let e = parse_bytes("12 parsecs").unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("parsecs"));
+    }
+}

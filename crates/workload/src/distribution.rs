@@ -1,0 +1,195 @@
+//! Probability distributions for workload volumes.
+//!
+//! Samplers are implemented in-repo (inverse-CDF and Box–Muller) on top of
+//! a uniform `rand::Rng`, so the only external dependency is `rand` itself.
+
+use rand::{Rng, RngExt};
+
+/// A probability distribution over non-negative volumes (bytes, flops).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// Always the same value.
+    Constant(f64),
+    /// Uniform over `[lo, hi)`.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (exclusive).
+        hi: f64,
+    },
+    /// Normal with the given mean and standard deviation, truncated below
+    /// at `floor` (resampling would bias the mean; we clamp, which is what
+    /// workload generators typically do for near-positive distributions).
+    Normal {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation.
+        std_dev: f64,
+        /// Values below this are clamped up to it.
+        floor: f64,
+    },
+    /// Log-normal: `exp(N(mu, sigma))` where `mu`/`sigma` are the
+    /// parameters of the underlying normal.
+    LogNormal {
+        /// Mean of the underlying normal.
+        mu: f64,
+        /// Standard deviation of the underlying normal.
+        sigma: f64,
+    },
+    /// Exponential with the given rate (mean `1/rate`).
+    Exponential {
+        /// Rate parameter (> 0).
+        rate: f64,
+    },
+}
+
+impl Distribution {
+    /// A log-normal parameterized by its *multiplicative* spirit: median
+    /// `median` and shape `sigma` (useful for noise factors around 1.0).
+    pub fn log_normal_median(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0 && sigma >= 0.0);
+        Distribution::LogNormal { mu: median.ln(), sigma }
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            Distribution::Constant(v) => v,
+            Distribution::Uniform { lo, hi } => {
+                if lo == hi {
+                    lo
+                } else {
+                    rng.random_range(lo..hi)
+                }
+            }
+            Distribution::Normal { mean, std_dev, floor } => {
+                (mean + std_dev * standard_normal(rng)).max(floor)
+            }
+            Distribution::LogNormal { mu, sigma } => (mu + sigma * standard_normal(rng)).exp(),
+            Distribution::Exponential { rate } => {
+                let u: f64 = rng.random::<f64>();
+                // Guard against ln(0).
+                -(1.0 - u).max(f64::MIN_POSITIVE).ln() / rate
+            }
+        }
+    }
+
+    /// The distribution's mean (exact, not sampled).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Distribution::Constant(v) => v,
+            Distribution::Uniform { lo, hi } => 0.5 * (lo + hi),
+            // Truncation shifts the mean slightly; we report the untruncated
+            // mean, which is what the generator targets.
+            Distribution::Normal { mean, .. } => mean,
+            Distribution::LogNormal { mu, sigma } => (mu + 0.5 * sigma * sigma).exp(),
+            Distribution::Exponential { rate } => 1.0 / rate,
+        }
+    }
+
+    /// Panic if parameters are invalid.
+    pub fn validate(&self) {
+        match *self {
+            Distribution::Constant(v) => assert!(v.is_finite() && v >= 0.0),
+            Distribution::Uniform { lo, hi } => {
+                assert!(lo.is_finite() && hi.is_finite() && lo <= hi && lo >= 0.0)
+            }
+            Distribution::Normal { mean, std_dev, floor } => {
+                assert!(mean.is_finite() && std_dev >= 0.0 && floor >= 0.0)
+            }
+            Distribution::LogNormal { mu, sigma } => {
+                assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0)
+            }
+            Distribution::Exponential { rate } => assert!(rate.is_finite() && rate > 0.0),
+        }
+    }
+}
+
+/// One standard-normal sample via Box–Muller.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so ln(u1) is finite.
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_n(d: Distribution, n: usize) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(42);
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    fn mean(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let xs = sample_n(Distribution::Constant(427e6), 10);
+        assert!(xs.iter().all(|&x| x == 427e6));
+        assert_eq!(Distribution::Constant(427e6).mean(), 427e6);
+    }
+
+    #[test]
+    fn uniform_within_bounds_and_mean() {
+        let d = Distribution::Uniform { lo: 10.0, hi: 20.0 };
+        let xs = sample_n(d, 20_000);
+        assert!(xs.iter().all(|&x| (10.0..20.0).contains(&x)));
+        assert!((mean(&xs) - 15.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn normal_mean_and_floor() {
+        let d = Distribution::Normal { mean: 100.0, std_dev: 10.0, floor: 0.0 };
+        let xs = sample_n(d, 20_000);
+        assert!((mean(&xs) - 100.0).abs() < 0.5);
+        let d = Distribution::Normal { mean: 0.0, std_dev: 1.0, floor: 0.0 };
+        assert!(sample_n(d, 1000).iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn lognormal_median_parameterization() {
+        let d = Distribution::log_normal_median(1.0, 0.1);
+        let xs = sample_n(d, 20_000);
+        // Median ~1.0; mean = exp(sigma^2/2) ~ 1.005.
+        let mut sorted = xs.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[sorted.len() / 2];
+        assert!((median - 1.0).abs() < 0.02, "median={median}");
+        assert!((d.mean() - 1.005).abs() < 1e-3);
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let d = Distribution::Exponential { rate: 0.1 };
+        let xs = sample_n(d, 50_000);
+        assert!((mean(&xs) - 10.0).abs() < 0.3, "mean={}", mean(&xs));
+        assert!(xs.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_under_seed() {
+        let a = sample_n(Distribution::Exponential { rate: 1.0 }, 10);
+        let b = sample_n(Distribution::Exponential { rate: 1.0 }, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_degenerate_interval() {
+        let d = Distribution::Uniform { lo: 5.0, hi: 5.0 };
+        assert_eq!(sample_n(d, 3), vec![5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn validation_catches_bad_params() {
+        use std::panic::catch_unwind;
+        assert!(catch_unwind(|| Distribution::Exponential { rate: 0.0 }.validate()).is_err());
+        assert!(catch_unwind(|| Distribution::Uniform { lo: 2.0, hi: 1.0 }.validate()).is_err());
+        Distribution::Constant(0.0).validate();
+    }
+}

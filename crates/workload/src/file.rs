@@ -1,0 +1,34 @@
+//! Input/output file descriptions.
+
+/// An input file read by a job. Files are private to their job (the CMS
+/// workload partitions collision events into per-job chunks), so identity
+/// is the (job index, file index) pair; only the size lives here.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FileSpec {
+    /// File size in bytes.
+    pub size: f64,
+}
+
+impl FileSpec {
+    /// A file of the given size in bytes.
+    pub fn new(size: f64) -> Self {
+        assert!(size.is_finite() && size > 0.0, "file size must be positive, got {size}");
+        Self { size }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructs() {
+        assert_eq!(FileSpec::new(427e6).size, 427e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_size() {
+        FileSpec::new(0.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! The High Energy Physics case-study workload.
+//!
+//! The paper's ground-truth workload "comprises 48 jobs, where each job
+//! takes 20 files as input, each of size ~427 MB". Per-byte compute volume
+//! and output size are not published; we pick values that make the FCFN
+//! configuration compute-bound at ~1,970 Mflops per core (the core speed
+//! the domain scientist calibrated), so the HUMAN re-enactment recovers the
+//! paper's numbers. See DESIGN.md §4.
+
+use crate::job::Workload;
+use crate::spec::WorkloadSpec;
+use simcal_units as units;
+
+/// Number of jobs in the case-study workload.
+pub const CMS_JOBS: usize = 48;
+/// Input files per job.
+pub const CMS_FILES_PER_JOB: usize = 20;
+/// Input file size (bytes): ~427 MB.
+pub const CMS_FILE_BYTES: f64 = 427e6;
+/// Compute volume per input byte (work units / byte).
+pub const CMS_FLOPS_PER_BYTE: f64 = 6.0;
+/// Output file size (bytes): ~10% of one input file.
+pub const CMS_OUTPUT_BYTES: f64 = 42.7e6;
+
+/// The CMS case-study workload: 48 jobs × 20 × 427 MB.
+pub fn cms_workload() -> Workload {
+    WorkloadSpec::constant(
+        CMS_JOBS,
+        CMS_FILES_PER_JOB,
+        CMS_FILE_BYTES,
+        CMS_FLOPS_PER_BYTE,
+        CMS_OUTPUT_BYTES,
+    )
+    .generate(0)
+}
+
+/// A scaled-down variant of the CMS workload preserving its compute-to-data
+/// ratio, for fast tests and examples (`scale` jobs per node-group slot,
+/// smaller files).
+pub fn scaled_cms_workload(n_jobs: usize, files_per_job: usize, file_bytes: f64) -> Workload {
+    WorkloadSpec::constant(
+        n_jobs,
+        files_per_job,
+        file_bytes,
+        CMS_FLOPS_PER_BYTE,
+        file_bytes * 0.1,
+    )
+    .generate(0)
+}
+
+/// Expected compute time of one CMS job on one core, seconds — a sanity
+/// reference for tests: total flops divided by the core speed.
+pub fn cms_compute_seconds(core_speed: f64) -> f64 {
+    CMS_FILES_PER_JOB as f64 * CMS_FILE_BYTES * CMS_FLOPS_PER_BYTE / core_speed
+}
+
+/// The core speed the paper's domain scientist calibrated (1,970 Mflops).
+pub fn human_core_speed() -> f64 {
+    units::mflops(1970.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_shape() {
+        let w = cms_workload();
+        assert_eq!(w.len(), 48);
+        assert_eq!(w.total_files(), 960);
+        assert_eq!(w.jobs[0].input_files[0].size, 427e6);
+        // ~8.54 GB input per job.
+        assert!((w.jobs[0].input_bytes() - 8.54e9).abs() < 1e6);
+    }
+
+    #[test]
+    fn compute_seconds_reference() {
+        // 8.54e9 B * 6 flop/B / 1.97e9 flop/s ~ 26.0 s.
+        let t = cms_compute_seconds(human_core_speed());
+        assert!((t - 26.01).abs() < 0.1, "t={t}");
+    }
+
+    #[test]
+    fn scaled_workload_preserves_ratio() {
+        let full = cms_workload();
+        let small = scaled_cms_workload(6, 4, 10e6);
+        assert!((full.compute_data_ratio() - small.compute_data_ratio()).abs() < 1e-12);
+        assert_eq!(small.len(), 6);
+    }
+}

@@ -1,0 +1,144 @@
+//! Job and workload descriptions.
+
+use crate::file::FileSpec;
+
+/// One independent job: read input files, compute per byte, write output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Input files, processed sequentially in order.
+    pub input_files: Vec<FileSpec>,
+    /// Compute volume per input byte (flop/byte — work units per byte).
+    pub flops_per_byte: f64,
+    /// Output file size in bytes, written to remote storage after the last
+    /// input file is processed.
+    pub output_bytes: f64,
+}
+
+impl JobSpec {
+    /// Total input volume in bytes.
+    pub fn input_bytes(&self) -> f64 {
+        self.input_files.iter().map(|f| f.size).sum()
+    }
+
+    /// Total compute volume in flops.
+    pub fn total_flops(&self) -> f64 {
+        self.input_bytes() * self.flops_per_byte
+    }
+
+    /// Panic if structurally invalid.
+    pub fn validate(&self) {
+        assert!(!self.input_files.is_empty(), "job has no input files");
+        assert!(
+            self.flops_per_byte.is_finite() && self.flops_per_byte >= 0.0,
+            "flops_per_byte must be non-negative"
+        );
+        assert!(
+            self.output_bytes.is_finite() && self.output_bytes >= 0.0,
+            "output_bytes must be non-negative"
+        );
+    }
+}
+
+/// A set of independent jobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// The jobs, in submission order.
+    pub jobs: Vec<JobSpec>,
+}
+
+impl Workload {
+    /// Wrap a job list (validates each job).
+    pub fn new(jobs: Vec<JobSpec>) -> Self {
+        let w = Self { jobs };
+        w.validate();
+        w
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Total input volume over all jobs, bytes.
+    pub fn total_input_bytes(&self) -> f64 {
+        self.jobs.iter().map(|j| j.input_bytes()).sum()
+    }
+
+    /// Total compute volume over all jobs, flops.
+    pub fn total_flops(&self) -> f64 {
+        self.jobs.iter().map(|j| j.total_flops()).sum()
+    }
+
+    /// Total number of input files over all jobs.
+    pub fn total_files(&self) -> usize {
+        self.jobs.iter().map(|j| j.input_files.len()).sum()
+    }
+
+    /// The workload's compute-to-data ratio (flop per byte, aggregate).
+    ///
+    /// The paper's §IV-C2 observes that a calibration computed from one
+    /// workload is only valid for workloads with the same such ratio — this
+    /// accessor is what the examples use to check that precondition.
+    pub fn compute_data_ratio(&self) -> f64 {
+        self.total_flops() / self.total_input_bytes()
+    }
+
+    /// Panic if structurally invalid.
+    pub fn validate(&self) {
+        assert!(!self.jobs.is_empty(), "workload has no jobs");
+        for j in &self.jobs {
+            j.validate();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(files: usize, size: f64, fpb: f64) -> JobSpec {
+        JobSpec {
+            input_files: (0..files).map(|_| FileSpec::new(size)).collect(),
+            flops_per_byte: fpb,
+            output_bytes: 1e6,
+        }
+    }
+
+    #[test]
+    fn totals() {
+        let w = Workload::new(vec![job(2, 100.0, 10.0), job(3, 50.0, 10.0)]);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.total_files(), 5);
+        assert_eq!(w.total_input_bytes(), 350.0);
+        assert_eq!(w.total_flops(), 3500.0);
+        assert_eq!(w.compute_data_ratio(), 10.0);
+    }
+
+    #[test]
+    fn job_totals() {
+        let j = job(20, 427e6, 10.0);
+        assert_eq!(j.input_bytes(), 20.0 * 427e6);
+        assert_eq!(j.total_flops(), 20.0 * 427e6 * 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no input files")]
+    fn job_without_files_rejected() {
+        Workload::new(vec![JobSpec {
+            input_files: vec![],
+            flops_per_byte: 1.0,
+            output_bytes: 0.0,
+        }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no jobs")]
+    fn empty_workload_rejected() {
+        Workload::new(vec![]);
+    }
+}

@@ -1,0 +1,28 @@
+//! # simcal-workload — application workloads and execution traces
+//!
+//! The paper defines an application workload as "a set of independent jobs,
+//! where each job consists in reading input files of given sizes, performing
+//! some volume of computation per byte of input, and writing an output file
+//! of a given size", with data and compute volumes given "either as constant
+//! values or as probability distributions from which values are sampled".
+//!
+//! This crate provides exactly that: [`JobSpec`]/[`Workload`] descriptions,
+//! a distribution-driven [`WorkloadSpec`] generator, the CMS case-study
+//! workload ([`hep`]: 48 jobs × 20 files × ~427 MB), and the
+//! [`ExecutionTrace`] type produced by simulators together with the metric
+//! extraction the calibration objective consumes (mean job execution time
+//! per compute node).
+
+pub mod distribution;
+pub mod file;
+pub mod hep;
+pub mod job;
+pub mod spec;
+pub mod trace;
+
+pub use distribution::Distribution;
+pub use file::FileSpec;
+pub use hep::{cms_workload, scaled_cms_workload};
+pub use job::{JobSpec, Workload};
+pub use spec::WorkloadSpec;
+pub use trace::{ExecutionTrace, JobRecord};

@@ -1,0 +1,107 @@
+//! Distribution-driven workload generation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::distribution::Distribution;
+use crate::file::FileSpec;
+use crate::job::{JobSpec, Workload};
+
+/// A generative workload specification: volumes are either constants or
+/// probability distributions, exactly as the paper's simulator accepts.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Number of jobs.
+    pub n_jobs: usize,
+    /// Input files per job.
+    pub files_per_job: usize,
+    /// Distribution of input file sizes (bytes).
+    pub file_size: Distribution,
+    /// Distribution of per-byte compute volume (flop/byte).
+    pub flops_per_byte: Distribution,
+    /// Distribution of output file sizes (bytes).
+    pub output_bytes: Distribution,
+}
+
+impl WorkloadSpec {
+    /// A fully-constant specification.
+    pub fn constant(
+        n_jobs: usize,
+        files_per_job: usize,
+        file_size: f64,
+        flops_per_byte: f64,
+        output_bytes: f64,
+    ) -> Self {
+        Self {
+            n_jobs,
+            files_per_job,
+            file_size: Distribution::Constant(file_size),
+            flops_per_byte: Distribution::Constant(flops_per_byte),
+            output_bytes: Distribution::Constant(output_bytes),
+        }
+    }
+
+    /// Sample a concrete [`Workload`] deterministically from a seed.
+    pub fn generate(&self, seed: u64) -> Workload {
+        assert!(self.n_jobs > 0 && self.files_per_job > 0, "degenerate workload spec");
+        self.file_size.validate();
+        self.flops_per_byte.validate();
+        self.output_bytes.validate();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let jobs = (0..self.n_jobs)
+            .map(|_| JobSpec {
+                input_files: (0..self.files_per_job)
+                    .map(|_| FileSpec::new(self.file_size.sample(&mut rng).max(1.0)))
+                    .collect(),
+                flops_per_byte: self.flops_per_byte.sample(&mut rng),
+                output_bytes: self.output_bytes.sample(&mut rng),
+            })
+            .collect();
+        Workload::new(jobs)
+    }
+
+    /// Expected total input volume (bytes), from distribution means.
+    pub fn expected_input_bytes(&self) -> f64 {
+        self.n_jobs as f64 * self.files_per_job as f64 * self.file_size.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_spec_generates_exact_volumes() {
+        let w = WorkloadSpec::constant(4, 3, 100.0, 2.0, 10.0).generate(1);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.total_files(), 12);
+        assert_eq!(w.total_input_bytes(), 1200.0);
+        assert_eq!(w.jobs[0].flops_per_byte, 2.0);
+        assert_eq!(w.jobs[0].output_bytes, 10.0);
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let spec = WorkloadSpec {
+            n_jobs: 5,
+            files_per_job: 2,
+            file_size: Distribution::Uniform { lo: 1e6, hi: 2e6 },
+            flops_per_byte: Distribution::Normal { mean: 10.0, std_dev: 1.0, floor: 0.0 },
+            output_bytes: Distribution::Exponential { rate: 1e-6 },
+        };
+        assert_eq!(spec.generate(7), spec.generate(7));
+        assert_ne!(spec.generate(7), spec.generate(8));
+    }
+
+    #[test]
+    fn expected_input_matches_constant() {
+        let spec = WorkloadSpec::constant(48, 20, 427e6, 10.0, 42.7e6);
+        assert_eq!(spec.expected_input_bytes(), 48.0 * 20.0 * 427e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_jobs_rejected() {
+        WorkloadSpec::constant(0, 1, 1.0, 1.0, 1.0).generate(0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Execution traces and metric extraction.
+//!
+//! A simulated (or ground-truth) execution produces one [`JobRecord`] per
+//! job. The calibration accuracy metric in the case study is built from
+//! **mean job execution time per compute node** (3 nodes × 11 ICD values =
+//! 33 metrics); [`ExecutionTrace::mean_job_time_by_node`] computes the
+//! per-node means for one trace.
+
+/// Timing record for one completed job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobRecord {
+    /// Job index within the workload.
+    pub job: usize,
+    /// Index of the node the job ran on.
+    pub node: usize,
+    /// Core index within the node.
+    pub core: u32,
+    /// Start time (s) — when the job began executing on its core.
+    pub start: f64,
+    /// End time (s) — when the job's output write completed.
+    pub end: f64,
+}
+
+impl JobRecord {
+    /// Job execution time in seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// A complete execution trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionTrace {
+    /// One record per job, in job-index order.
+    pub jobs: Vec<JobRecord>,
+    /// Number of compute nodes on the platform the trace came from.
+    pub n_nodes: usize,
+    /// Simulation engine events processed to produce this trace (the
+    /// simulation-cost proxy used by the speed/accuracy experiments).
+    pub engine_events: u64,
+    /// Wall-clock seconds the simulator took to produce this trace.
+    pub wall_seconds: f64,
+}
+
+impl ExecutionTrace {
+    /// Workload makespan: last completion minus first start.
+    pub fn makespan(&self) -> f64 {
+        let start = self.jobs.iter().map(|j| j.start).fold(f64::INFINITY, f64::min);
+        let end = self.jobs.iter().map(|j| j.end).fold(f64::NEG_INFINITY, f64::max);
+        (end - start).max(0.0)
+    }
+
+    /// Mean job execution time for each node, indexed by node id.
+    ///
+    /// Nodes that ran no jobs get `f64::NAN` (callers must not include them
+    /// in accuracy metrics; the case-study scheduler always uses all nodes).
+    pub fn mean_job_time_by_node(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.n_nodes];
+        let mut counts = vec![0u32; self.n_nodes];
+        for j in &self.jobs {
+            sums[j.node] += j.duration();
+            counts[j.node] += 1;
+        }
+        sums.iter()
+            .zip(&counts)
+            .map(|(&s, &c)| if c == 0 { f64::NAN } else { s / c as f64 })
+            .collect()
+    }
+
+    /// Mean job execution time over all jobs.
+    pub fn mean_job_time(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return f64::NAN;
+        }
+        self.jobs.iter().map(|j| j.duration()).sum::<f64>() / self.jobs.len() as f64
+    }
+
+    /// Sample standard deviation of job execution times on one node.
+    pub fn job_time_std_dev_on_node(&self, node: usize) -> f64 {
+        let times: Vec<f64> =
+            self.jobs.iter().filter(|j| j.node == node).map(|j| j.duration()).collect();
+        if times.len() < 2 {
+            return 0.0;
+        }
+        let m = times.iter().sum::<f64>() / times.len() as f64;
+        let var = times.iter().map(|t| (t - m) * (t - m)).sum::<f64>() / (times.len() - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Panic unless the trace is well-formed: every job has `end >= start`
+    /// and a valid node index.
+    pub fn validate(&self) {
+        for j in &self.jobs {
+            assert!(j.end >= j.start, "job {} ends before it starts", j.job);
+            assert!(j.node < self.n_nodes, "job {} on unknown node {}", j.job, j.node);
+            assert!(j.start.is_finite() && j.end.is_finite());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> ExecutionTrace {
+        ExecutionTrace {
+            jobs: vec![
+                JobRecord { job: 0, node: 0, core: 0, start: 0.0, end: 10.0 },
+                JobRecord { job: 1, node: 0, core: 1, start: 0.0, end: 20.0 },
+                JobRecord { job: 2, node: 1, core: 0, start: 5.0, end: 11.0 },
+            ],
+            n_nodes: 2,
+            engine_events: 100,
+            wall_seconds: 0.01,
+        }
+    }
+
+    #[test]
+    fn makespan_spans_first_start_last_end() {
+        assert_eq!(trace().makespan(), 20.0);
+    }
+
+    #[test]
+    fn per_node_means() {
+        let m = trace().mean_job_time_by_node();
+        assert_eq!(m, vec![15.0, 6.0]);
+    }
+
+    #[test]
+    fn overall_mean() {
+        assert!((trace().mean_job_time() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn std_dev_on_node() {
+        let t = trace();
+        // Node 0 times: 10, 20 -> sd = sqrt(50) ~ 7.071.
+        assert!((t.job_time_std_dev_on_node(0) - 50f64.sqrt()).abs() < 1e-12);
+        // Single job -> 0.
+        assert_eq!(t.job_time_std_dev_on_node(1), 0.0);
+    }
+
+    #[test]
+    fn empty_node_is_nan() {
+        let mut t = trace();
+        t.n_nodes = 3;
+        let m = t.mean_job_time_by_node();
+        assert!(m[2].is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "ends before it starts")]
+    fn validate_catches_negative_duration() {
+        let mut t = trace();
+        t.jobs[0].end = -1.0;
+        t.validate();
+    }
+}

@@ -1,0 +1,125 @@
+//! Calibrating a simulator of a *custom* platform and workload — the
+//! workflow a user with their own system would follow:
+//!
+//! 1. describe the platform topology and the workload;
+//! 2. obtain ground-truth executions (here: the fine-grained emulator);
+//! 3. define the parameter space and accuracy metric;
+//! 4. run an automated calibration and validate.
+//!
+//! ```sh
+//! cargo run --release --example calibrate_custom
+//! ```
+
+use std::sync::Arc;
+
+use simcal::calib::{calibrate, Budget, NelderMead, Objective, ParamSpace, ParamSpec};
+use simcal::groundtruth::cache_plan_for;
+use simcal::platform::{HardwareParams, PlatformBuilder};
+use simcal::sim::{simulate, NoiseConfig, SimConfig};
+use simcal::storage::XRootDConfig;
+use simcal::units;
+use simcal::workload::{Distribution, Workload, WorkloadSpec};
+
+/// A user-defined objective: relative makespan difference (the "simplest
+/// simulation accuracy metric" of the paper's problem statement), averaged
+/// over three cache ratios.
+struct MakespanObjective {
+    platform: simcal::platform::PlatformSpec,
+    workload: Arc<Workload>,
+    truth_makespans: Vec<(f64, f64)>,
+    granularity: XRootDConfig,
+}
+
+impl Objective for MakespanObjective {
+    fn evaluate(&self, values: &[f64]) -> f64 {
+        let mut hw = HardwareParams::defaults();
+        hw.core_speed = values[0];
+        hw.disk_bw = values[1];
+        hw.wan_bw = values[2];
+        let config = SimConfig::new(hw, self.granularity);
+        let mut total = 0.0;
+        for &(icd, truth) in &self.truth_makespans {
+            let plan = cache_plan_for(&self.workload, icd);
+            let trace = simulate(&self.platform, &self.workload, &plan, &config);
+            total += (trace.makespan() - truth).abs() / truth;
+        }
+        100.0 * total / self.truth_makespans.len() as f64
+    }
+}
+
+fn main() {
+    // 1. A custom edge cluster: 4 x 16-core nodes, no page cache, 1 Gbps.
+    let platform = PlatformBuilder::new("edge-cluster")
+        .nodes("worker", 4, 16)
+        .page_cache(false)
+        .wan_gbps(1.0)
+        .build();
+
+    // A workload with stochastic volumes, as the paper's simulator accepts.
+    let workload = Arc::new(
+        WorkloadSpec {
+            n_jobs: 64,
+            files_per_job: 6,
+            file_size: Distribution::Normal { mean: 80e6, std_dev: 10e6, floor: 1e6 },
+            flops_per_byte: Distribution::Constant(8.0),
+            output_bytes: Distribution::Exponential { rate: 1.0 / 8e6 },
+        }
+        .generate(7),
+    );
+
+    // 2. "Real" executions: a hidden-parameter emulator run.
+    let mut true_hw = HardwareParams::defaults();
+    true_hw.core_speed = units::gflops(2.4);
+    true_hw.disk_bw = units::mbytes_per_sec(55.0);
+    true_hw.wan_bw = units::mbps(870.0); // effective < nominal 1 Gbps
+    true_hw.disk_contention_alpha = 0.2;
+    let mut true_cfg = SimConfig::new(true_hw, XRootDConfig::ground_truth());
+    true_cfg.cache_write_through = true;
+    true_cfg.noise = NoiseConfig {
+        compute_factors: vec![],
+        read_jitter_sigma: 0.05,
+        seed: 99,
+    };
+    let icds = [0.0, 0.5, 1.0];
+    let truth_makespans: Vec<(f64, f64)> = icds
+        .iter()
+        .map(|&icd| {
+            let plan = cache_plan_for(&workload, icd);
+            let trace = simulate(&platform, &workload, &plan, &true_cfg);
+            (icd, trace.makespan())
+        })
+        .collect();
+    println!("ground-truth makespans:");
+    for (icd, m) in &truth_makespans {
+        println!("  ICD {icd:.1}: {}", units::format_duration(*m));
+    }
+
+    // 3. Parameter space: three parameters with user-chosen ranges.
+    let space = ParamSpace::new(vec![
+        ParamSpec::new("core_speed", 1e8, 1e11),
+        ParamSpec::new("disk_bw", 1e6, 1e9),
+        ParamSpec::new("wan_bw", 1e6, 1e10),
+    ]);
+
+    let objective = MakespanObjective {
+        platform,
+        workload,
+        truth_makespans,
+        granularity: XRootDConfig::new(20e6, 4e6),
+    };
+
+    // 4. Calibrate with Nelder-Mead (any `Calibrator` works here).
+    let result =
+        calibrate(&mut NelderMead::new(3), &objective, &space, Budget::Evaluations(250));
+    println!(
+        "\n{}: mean relative makespan error {:.2}% after {} evaluations",
+        result.algorithm, result.best_error, result.evaluations
+    );
+    println!("  core_speed = {}", units::format_flops_rate(result.best_values[0]));
+    println!("  disk_bw    = {}", units::format_rate(result.best_values[1]));
+    println!("  wan_bw     = {}", units::format_rate(result.best_values[2]));
+    println!("  (true:      {}, {}, {})",
+        units::format_flops_rate(true_hw.core_speed),
+        units::format_rate(true_hw.disk_bw),
+        units::format_rate(true_hw.wan_bw));
+}

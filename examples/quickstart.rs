@@ -1,0 +1,54 @@
+//! Quickstart: calibrate the simulator for one platform and inspect the
+//! result.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use simcal::calib::{calibrate, Budget, GradientDescent};
+use simcal::platform::PlatformKind;
+use simcal::storage::XRootDConfig;
+use simcal::study::{param_space, CaseObjective, CaseStudy, HumanCalibration, PARAM_NAMES};
+use simcal::units;
+
+fn main() {
+    // Ground truth: the synthetic stand-in for real-world executions
+    // (4 platforms x 11 ICD values x per-node mean job times).
+    println!("generating ground truth (48 jobs x 20 files x 427 MB)...");
+    let case = Arc::new(CaseStudy::generate_full());
+
+    let kind = PlatformKind::Fcsn;
+    let granularity = XRootDConfig::paper_1s();
+    let space = param_space();
+
+    // The domain scientist's calibration, for reference.
+    let human = HumanCalibration::perform(&case);
+    let objective = CaseObjective::full(&case, kind, granularity);
+    let human_mre = objective.score_hardware(&human.hardware(kind));
+    println!("HUMAN calibration on {}: MRE {human_mre:.2}%", kind.label());
+
+    // Automated calibration: gradient descent, 400 evaluations.
+    let mut algo = GradientDescent::fixed(42);
+    let result = calibrate(&mut algo, &objective, &space, Budget::Evaluations(400));
+
+    println!(
+        "{} calibration on {}: MRE {:.2}% after {} evaluations",
+        result.algorithm,
+        kind.label(),
+        result.best_error,
+        result.evaluations
+    );
+    for (name, value) in PARAM_NAMES.iter().zip(&result.best_values) {
+        let pretty = match *name {
+            "core_speed" => units::format_flops_rate(*value),
+            _ => units::format_rate(*value),
+        };
+        println!("  {name:<14} = {pretty}");
+    }
+    println!(
+        "\nautomated vs human: {:.1}x better",
+        human_mre / result.best_error.max(1e-9)
+    );
+}

@@ -1,0 +1,53 @@
+//! The speed/accuracy trade-off (a scaled-down Table VI).
+//!
+//! Calibrates the FCSN platform at all four paper granularity settings
+//! under the same simulated-cost budget and prints MRE, evaluation counts,
+//! and measured per-simulation times — demonstrating the paper's key
+//! observation that the *fastest* simulator calibrates best within a fixed
+//! time budget.
+//!
+//! ```sh
+//! cargo run --release --example speed_accuracy
+//! ```
+
+use std::sync::Arc;
+
+use simcal::calib::{calibrate, Budget, RandomSearch};
+use simcal::platform::PlatformKind;
+use simcal::storage::XRootDConfig;
+use simcal::study::{param_space, CaseObjective, CaseStudy};
+
+fn main() {
+    println!("generating ground truth...");
+    let case = Arc::new(CaseStudy::generate_full());
+    let space = param_space();
+    let budget_secs = 20.0;
+
+    println!(
+        "\n{:<16} {:>12} {:>8} {:>10}",
+        "B / b", "sim time", "evals", "MRE"
+    );
+    for granularity in XRootDConfig::table_vi() {
+        let objective = CaseObjective::full(&case, PlatformKind::Fcsn, granularity);
+        let result = calibrate(
+            &mut RandomSearch::new(42),
+            &objective,
+            &space,
+            Budget::SimulatedCost(budget_secs),
+        );
+        let total_cost = result.curve.last().map(|&(c, _)| c).unwrap_or(0.0);
+        let sims = result.evaluations as f64 * 11.0;
+        println!(
+            "{:<16} {:>10.1}ms {:>8} {:>9.2}%",
+            format!("{:.0e}/{:.0e}", granularity.block_size, granularity.buffer_size),
+            1e3 * total_cost / sims.max(1.0),
+            result.evaluations,
+            result.best_error
+        );
+    }
+    println!(
+        "\nSame budget ({budget_secs} s of simulation) at every granularity: the \
+         coarser/faster settings afford more evaluations and find better \
+         calibrations — the paper's Table VI."
+    );
+}

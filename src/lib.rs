@@ -1,0 +1,64 @@
+//! # simcal — automated calibration of PDC simulators
+//!
+//! A from-scratch Rust reproduction of *"Automated Calibration of Parallel
+//! and Distributed Computing Simulators: A Case Study"* (McDonald, Horzela,
+//! Suter, Casanova — 2024, arXiv:2403.13918): a fluid discrete-event
+//! simulation kernel, a WRENCH-like simulator of HEP data-processing
+//! workloads on cached multi-site platforms, a synthetic ground-truth
+//! emulator standing in for the paper's WLCG traces, and a generic
+//! black-box calibration framework with the paper's algorithms (grid
+//! search, random search, gradient descent) plus extensions (simulated
+//! annealing, Nelder–Mead, coordinate descent, Bayesian optimization).
+//!
+//! This facade crate re-exports the whole workspace. Start with
+//! [`study::CaseStudy`] and the `examples/` directory:
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use simcal::calib::{calibrate, Budget, RandomSearch};
+//! use simcal::platform::PlatformKind;
+//! use simcal::storage::XRootDConfig;
+//! use simcal::study::{param_space, CaseObjective, CaseStudy};
+//!
+//! // 1. Ground truth (stands in for real-world traces).
+//! let case = Arc::new(CaseStudy::generate_full());
+//!
+//! // 2. The objective: MRE over 33 metrics (3 nodes x 11 ICD values).
+//! let objective =
+//!     CaseObjective::full(&case, PlatformKind::Fcsn, XRootDConfig::paper_1s());
+//!
+//! // 3. Calibrate.
+//! let result = calibrate(
+//!     &mut RandomSearch::new(42),
+//!     &objective,
+//!     &param_space(),
+//!     Budget::Evaluations(500),
+//! );
+//! println!("best MRE: {:.2}%", result.best_error);
+//! ```
+
+pub use simcal_calib as calib;
+pub use simcal_des as des;
+pub use simcal_groundtruth as groundtruth;
+pub use simcal_platform as platform;
+pub use simcal_sim as sim;
+pub use simcal_storage as storage;
+pub use simcal_study as study;
+pub use simcal_survey as survey;
+pub use simcal_units as units;
+pub use simcal_workload as workload;
+
+/// Re-export of the calibration entry points at the crate root for
+/// convenience.
+pub use simcal_calib::algorithms::{calibrate, calibrate_with_workers};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        let _space = crate::study::param_space();
+        let _platforms = crate::platform::all_platforms();
+        let _survey = crate::survey::table_i();
+        assert_eq!(_platforms.len(), 4);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests of the fluid kernel through the public API:
+//! max–min fairness invariants and engine conservation laws.
+
+use proptest::prelude::*;
+
+use simcal::des::{
+    solve_max_min, Engine, FlowInput, FlowSpec, ResourceInput, ResourceSpec, Tag,
+};
+
+/// Strategy: a random sharing problem with up to 6 resources and 20 flows.
+fn sharing_problem() -> impl Strategy<Value = (Vec<f64>, Vec<(Vec<usize>, Option<f64>)>)> {
+    (1usize..=6).prop_flat_map(|n_res| {
+        let caps = proptest::collection::vec(1.0f64..1000.0, n_res);
+        let flows = proptest::collection::vec(
+            (
+                proptest::collection::btree_set(0..n_res, 0..=n_res.min(3)),
+                proptest::option::of(0.5f64..500.0),
+            ),
+            1..20,
+        );
+        (caps, flows).prop_map(|(caps, flows)| {
+            let flows = flows
+                .into_iter()
+                .map(|(route, cap)| (route.into_iter().collect::<Vec<_>>(), cap))
+                .collect();
+            (caps, flows)
+        })
+    })
+}
+
+fn solve(caps: &[f64], flows: &[(Vec<usize>, Option<f64>)]) -> Vec<f64> {
+    let rs: Vec<ResourceInput> = caps.iter().map(|&c| ResourceInput { capacity: c }).collect();
+    let fs: Vec<FlowInput> = flows
+        .iter()
+        .map(|(route, cap)| FlowInput { route: route.clone(), cap: *cap })
+        .collect();
+    let mut rates = Vec::new();
+    solve_max_min(&rs, &fs, &mut rates);
+    rates
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Feasibility: no resource is oversubscribed, no cap is violated,
+    /// and all rates are non-negative.
+    #[test]
+    fn max_min_allocation_is_feasible((caps, flows) in sharing_problem()) {
+        let rates = solve(&caps, &flows);
+        prop_assert_eq!(rates.len(), flows.len());
+        for (r, &cap) in caps.iter().enumerate() {
+            let used: f64 = flows
+                .iter()
+                .zip(&rates)
+                .map(|((route, _), &rate)| route.iter().filter(|&&x| x == r).count() as f64 * rate)
+                .sum();
+            prop_assert!(used <= cap * (1.0 + 1e-6) + 1e-6, "resource {} oversubscribed", r);
+        }
+        for ((_, cap), &rate) in flows.iter().zip(&rates) {
+            prop_assert!(rate >= 0.0);
+            if let Some(c) = cap {
+                prop_assert!(rate <= c * (1.0 + 1e-9));
+            }
+        }
+    }
+
+    /// Every flow is bottlenecked: it runs at its cap, at the solver's
+    /// unconstrained maximum, or crosses at least one saturated resource.
+    #[test]
+    fn every_flow_has_a_bottleneck((caps, flows) in sharing_problem()) {
+        let rates = solve(&caps, &flows);
+        let used: Vec<f64> = (0..caps.len())
+            .map(|r| {
+                flows
+                    .iter()
+                    .zip(&rates)
+                    .map(|((route, _), &rate)| {
+                        route.iter().filter(|&&x| x == r).count() as f64 * rate
+                    })
+                    .sum()
+            })
+            .collect();
+        for ((route, cap), &rate) in flows.iter().zip(&rates) {
+            let at_cap = cap.map(|c| rate >= c * (1.0 - 1e-9)).unwrap_or(false);
+            let unconstrained = route.is_empty();
+            let saturated = route
+                .iter()
+                .any(|&r| used[r] >= caps[r] * (1.0 - 1e-6));
+            prop_assert!(
+                at_cap || unconstrained || saturated,
+                "flow with rate {} has no bottleneck",
+                rate
+            );
+        }
+    }
+
+    /// Pareto efficiency on a single resource: uncapped flows saturate it.
+    #[test]
+    fn single_resource_is_work_conserving(
+        cap in 1.0f64..1000.0,
+        n_flows in 1usize..20,
+    ) {
+        let flows: Vec<(Vec<usize>, Option<f64>)> =
+            (0..n_flows).map(|_| (vec![0], None)).collect();
+        let rates = solve(&[cap], &flows);
+        let used: f64 = rates.iter().sum();
+        prop_assert!((used - cap).abs() < 1e-6 * cap);
+        // And fairness: all equal.
+        for &r in &rates {
+            prop_assert!((r - cap / n_flows as f64).abs() < 1e-6 * cap);
+        }
+    }
+
+    /// Engine conservation: total service time for sequential flows on one
+    /// resource equals total demand / capacity regardless of arrival mix.
+    #[test]
+    fn engine_conserves_work(
+        demands in proptest::collection::vec(1.0f64..100.0, 1..12),
+        cap in 1.0f64..50.0,
+    ) {
+        let mut engine = Engine::new();
+        let r = engine.add_resource(ResourceSpec::constant(cap));
+        for (i, &d) in demands.iter().enumerate() {
+            engine.start_flow(FlowSpec::new(d, &[r], Tag(i as u64)));
+        }
+        let end = engine.drain();
+        let expected = demands.iter().sum::<f64>() / cap;
+        prop_assert!((end - expected).abs() < 1e-6 * expected.max(1.0),
+            "end {} vs expected {}", end, expected);
+    }
+
+    /// Engine monotonicity: events are delivered at non-decreasing times.
+    #[test]
+    fn engine_time_is_monotone(
+        demands in proptest::collection::vec(1.0f64..100.0, 1..10),
+        latencies in proptest::collection::vec(0.0f64..5.0, 1..10),
+    ) {
+        let mut engine = Engine::new();
+        let r = engine.add_resource(ResourceSpec::constant(10.0));
+        for (i, (&d, &l)) in demands.iter().zip(&latencies).enumerate() {
+            engine.start_flow(FlowSpec::new(d, &[r], Tag(i as u64)).with_latency(l));
+        }
+        let mut last = 0.0;
+        while engine.next().is_some() {
+            prop_assert!(engine.now() >= last - 1e-12);
+            last = engine.now();
+        }
+    }
+}
