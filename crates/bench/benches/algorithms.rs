@@ -30,13 +30,10 @@ fn bench_algorithms(c: &mut Criterion) {
     let space = ParamSpace::paper(&["a", "b", "c", "d"]);
     let mut group = c.benchmark_group("algorithm_overhead_200evals");
     group.sample_size(10).measurement_time(Duration::from_secs(6));
-    for name in
-        ["RANDOM", "GRID", "GDFix", "GDDyn", "ANNEAL", "NELDER-MEAD", "COORD", "BAYESOPT"]
-    {
+    for name in ["RANDOM", "GRID", "GDFix", "GDDyn", "ANNEAL", "NELDER-MEAD", "COORD", "BAYESOPT"] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, &name| {
             b.iter(|| {
-                let obj =
-                    FnObjective(|v: &[f64]| v.iter().map(|x| (x.log2() - 28.0).abs()).sum());
+                let obj = FnObjective(|v: &[f64]| v.iter().map(|x| (x.log2() - 28.0).abs()).sum());
                 let mut algo = make(name);
                 let r = calibrate_with_workers(
                     algo.as_mut(),

@@ -37,7 +37,7 @@ fn bench_engine_events(c: &mut Criterion) {
             let mut e = Engine::new();
             let r = e.add_resource(ResourceSpec::constant(100.0));
             // 32 streams of sequential unit flows: ~100k completions.
-            let mut remaining = vec![3125u32; 32];
+            let mut remaining = [3125u32; 32];
             for i in 0..32 {
                 e.start_flow(FlowSpec::new(1.0, &[r], Tag(i)));
             }
@@ -55,9 +55,59 @@ fn bench_engine_events(c: &mut Criterion) {
     });
 }
 
+/// The incremental path's sweet spot: many disjoint components (one per
+/// "node"), each hosting a pipelined stream plus a route-less capped
+/// compute flow. A global-recompute engine re-solves every flow on every
+/// event; the component-scoped engine touches one node's flows at a time.
+fn bench_engine_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_components");
+    for &n_nodes in &[4usize, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n_nodes}n")),
+            &n_nodes,
+            |b, &n_nodes| {
+                b.iter(|| {
+                    let mut e = Engine::new();
+                    let nodes: Vec<_> = (0..n_nodes)
+                        .map(|_| e.add_resource(ResourceSpec::constant(100.0)))
+                        .collect();
+                    // Per node: one chunk stream + one capped compute flow.
+                    let mut remaining = vec![2000u32 / n_nodes as u32; 2 * n_nodes];
+                    for (i, &r) in nodes.iter().enumerate() {
+                        e.start_flow(FlowSpec::new(1.0, &[r], Tag(i as u64)));
+                        e.start_flow(
+                            FlowSpec::new(1.0, &[], Tag((n_nodes + i) as u64)).with_cap(50.0),
+                        );
+                    }
+                    let mut n = 0u64;
+                    while let Some(ev) = e.next() {
+                        n += 1;
+                        let i = ev.tag().0 as usize;
+                        if remaining[i] > 0 {
+                            remaining[i] -= 1;
+                            let (route, cap) = if i < n_nodes {
+                                (vec![nodes[i]], None)
+                            } else {
+                                (Vec::new(), Some(50.0))
+                            };
+                            let mut spec = FlowSpec::new(1.0, &route, Tag(i as u64));
+                            if let Some(cp) = cap {
+                                spec = spec.with_cap(cp);
+                            }
+                            e.start_flow(spec);
+                        }
+                    }
+                    black_box((n, e.stats().flows_resolved))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_solver, bench_engine_events
+    targets = bench_solver, bench_engine_events, bench_engine_components
 }
 criterion_main!(benches);

@@ -33,7 +33,13 @@ pub struct BayesianOpt {
 impl BayesianOpt {
     /// Bayesian optimization with sensible small-budget defaults.
     pub fn new(seed: u64) -> Self {
-        Self { init_evals: 12, candidates: 256, max_observations: 250, seed, observations: Vec::new() }
+        Self {
+            init_evals: 12,
+            candidates: 256,
+            max_observations: 250,
+            seed,
+            observations: Vec::new(),
+        }
     }
 
     /// Observations used for the surrogate, best-first truncated to the cap.
@@ -67,8 +73,7 @@ impl Calibrator for BayesianOpt {
 
         loop {
             let (xs, ys) = self.surrogate_set();
-            let incumbent =
-                ys.iter().copied().fold(f64::INFINITY, f64::min);
+            let incumbent = ys.iter().copied().fold(f64::INFINITY, f64::min);
             let Some(gp) = Gp::fit(&xs, &ys) else {
                 // Degenerate surrogate: fall back to a random probe.
                 let p = space.sample_unit(&mut rng);

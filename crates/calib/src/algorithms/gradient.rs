@@ -53,7 +53,11 @@ impl GradientDescent {
 
 impl Calibrator for GradientDescent {
     fn name(&self) -> String {
-        if self.dynamic { "GDDyn".to_string() } else { "GDFix".to_string() }
+        if self.dynamic {
+            "GDDyn".to_string()
+        } else {
+            "GDFix".to_string()
+        }
     }
 
     fn run(&mut self, eval: &Evaluator<'_>) {
@@ -103,8 +107,7 @@ impl Calibrator for GradientDescent {
                 for _ in 0..12 {
                     let mut y = x.clone();
                     for i in 0..dim {
-                        y[i] =
-                            (y[i] + dir[i] * step_log2 * unit_per_log2[i]).clamp(0.0, 1.0);
+                        y[i] = (y[i] + dir[i] * step_log2 * unit_per_log2[i]).clamp(0.0, 1.0);
                     }
                     let Some(fy) = eval.eval_one(&y) else { return };
                     if fy < fx - 1e-4 * step_log2 * norm {

@@ -80,9 +80,7 @@ impl Calibrator for NelderMead {
 
                 // Centroid of all but the worst vertex.
                 let centroid: Vec<f64> = (0..dim)
-                    .map(|i| {
-                        simplex[..dim].iter().map(|v| v.x[i]).sum::<f64>() / dim as f64
-                    })
+                    .map(|i| simplex[..dim].iter().map(|v| v.x[i]).sum::<f64>() / dim as f64)
                     .collect();
                 let worst = simplex[dim].f;
                 let best = simplex[0].f;
@@ -91,8 +89,7 @@ impl Calibrator for NelderMead {
                 let blend = |coef: f64| -> Vec<f64> {
                     (0..dim)
                         .map(|i| {
-                            (centroid[i] + coef * (centroid[i] - simplex[dim].x[i]))
-                                .clamp(0.0, 1.0)
+                            (centroid[i] + coef * (centroid[i] - simplex[dim].x[i])).clamp(0.0, 1.0)
                         })
                         .collect()
                 };

@@ -40,8 +40,7 @@ pub fn mae(sim: &[f64], truth: &[f64]) -> f64 {
 /// Root mean squared error in metric units.
 pub fn rmse(sim: &[f64], truth: &[f64]) -> f64 {
     check(sim, truth);
-    (sim.iter().zip(truth).map(|(&s, &t)| (s - t) * (s - t)).sum::<f64>() / sim.len() as f64)
-        .sqrt()
+    (sim.iter().zip(truth).map(|(&s, &t)| (s - t) * (s - t)).sum::<f64>() / sim.len() as f64).sqrt()
 }
 
 #[cfg(test)]

@@ -48,9 +48,8 @@ impl Gp {
         let length_scale = dists[dists.len() / 2].max(1e-3);
 
         let y_mean = ys.iter().sum::<f64>() / n as f64;
-        let signal_var = (ys.iter().map(|y| (y - y_mean) * (y - y_mean)).sum::<f64>()
-            / n as f64)
-            .max(1e-12);
+        let signal_var =
+            (ys.iter().map(|y| (y - y_mean) * (y - y_mean)).sum::<f64>() / n as f64).max(1e-12);
         let noise_var = signal_var * 1e-4 + 1e-10;
 
         let mut k = Matrix::zeros(n);
@@ -122,7 +121,8 @@ fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 

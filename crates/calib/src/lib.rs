@@ -40,13 +40,13 @@ pub mod runner;
 pub mod space;
 
 pub use algorithms::{
-    calibrate, calibrate_with_workers, BayesianOpt, Calibrator, CoordinateDescent, GradientDescent, GridSearch, NelderMead,
-    RandomSearch, SimulatedAnnealing,
+    calibrate, calibrate_with_workers, BayesianOpt, Calibrator, CoordinateDescent, GradientDescent,
+    GridSearch, NelderMead, RandomSearch, SimulatedAnnealing,
 };
 pub use budget::{Budget, BudgetTracker};
 pub use error::{mae, mape, mre_percent, rmse};
 pub use history::{EvalRecord, History};
-pub use objective::{FnObjective, Objective};
+pub use objective::{EvalContext, FnObjective, Objective, ResettableObjective};
 pub use result::CalibrationResult;
 pub use runner::Evaluator;
 pub use space::{ParamSpace, ParamSpec};

@@ -73,6 +73,7 @@ pub struct Cholesky {
 
 impl Cholesky {
     /// Solve `L y = b` (forward substitution).
+    #[allow(clippy::needless_range_loop)] // triangular index arithmetic
     pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
         assert_eq!(b.len(), self.n);
         let n = self.n;
@@ -88,6 +89,7 @@ impl Cholesky {
     }
 
     /// Solve `A x = b` where `A = L L^T`.
+    #[allow(clippy::needless_range_loop)] // triangular index arithmetic
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         let n = self.n;
         let y = self.solve_lower(b);
@@ -147,6 +149,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn solve_matches_reconstruction() {
         // Random-ish SPD: A = M^T M + I.
         let m = [[1.0, 2.0, 0.5], [0.0, 1.5, -1.0], [2.0, 0.1, 1.0f64]];

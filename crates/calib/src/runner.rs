@@ -5,34 +5,44 @@
 //! scoped crossbeam worker pool pulls candidate points from a shared queue,
 //! claims budget per point, evaluates, and records every result (with its
 //! cumulative cost) in the shared [`History`].
+//!
+//! Each worker owns a reusable [`EvalContext`]: objectives that park
+//! expensive state there (e.g. a simulator session) pay its build cost
+//! once per worker, not once per point. Contexts persist across batches in
+//! a pool on the evaluator, so iterative algorithms (which evaluate many
+//! small batches) amortize across their whole run.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
+use parking_lot::Mutex;
+
 use crate::budget::BudgetTracker;
 use crate::history::History;
-use crate::objective::Objective;
+use crate::objective::{EvalContext, ResettableObjective};
 use crate::space::ParamSpace;
 
 /// Budget-aware, history-recording parallel evaluator.
 pub struct Evaluator<'a> {
-    objective: &'a dyn Objective,
+    objective: &'a dyn ResettableObjective,
     space: &'a ParamSpace,
     budget: &'a BudgetTracker,
     history: &'a History,
     workers: usize,
+    /// Idle per-worker contexts, reused across batches.
+    contexts: Mutex<Vec<EvalContext>>,
 }
 
 impl<'a> Evaluator<'a> {
     /// An evaluator using one worker per available core.
     pub fn new(
-        objective: &'a dyn Objective,
+        objective: &'a dyn ResettableObjective,
         space: &'a ParamSpace,
         budget: &'a BudgetTracker,
         history: &'a History,
     ) -> Self {
         let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        Self { objective, space, budget, history, workers }
+        Self { objective, space, budget, history, workers, contexts: Mutex::new(Vec::new()) }
     }
 
     /// Override the worker count (1 = fully deterministic record order).
@@ -66,7 +76,10 @@ impl<'a> Evaluator<'a> {
         }
         let n_workers = self.workers.min(unit_points.len());
         if n_workers <= 1 {
-            return unit_points.iter().map(|p| self.eval_claimed(p)).collect();
+            let mut ctx = self.checkout_context();
+            let out = unit_points.iter().map(|p| self.eval_claimed(&mut ctx, p)).collect();
+            self.return_context(ctx);
+            return out;
         }
 
         let next = AtomicUsize::new(0);
@@ -76,18 +89,20 @@ impl<'a> Evaluator<'a> {
                 let tx = tx.clone();
                 let next = &next;
                 scope.spawn(move |_| {
+                    let mut ctx = self.checkout_context();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= unit_points.len() {
                             break;
                         }
-                        let r = self.eval_claimed(&unit_points[i]);
+                        let r = self.eval_claimed(&mut ctx, &unit_points[i]);
                         let out_of_budget = r.is_none();
                         tx.send((i, r)).expect("collector alive");
                         if out_of_budget {
                             break;
                         }
                     }
+                    self.return_context(ctx);
                 });
             }
             drop(tx);
@@ -100,17 +115,27 @@ impl<'a> Evaluator<'a> {
         .expect("evaluation worker panicked")
     }
 
-    /// Claim budget and evaluate a single point.
-    fn eval_claimed(&self, unit: &[f64]) -> Option<f64> {
+    /// Claim budget and evaluate a single point with a worker context.
+    fn eval_claimed(&self, ctx: &mut EvalContext, unit: &[f64]) -> Option<f64> {
         if !self.budget.try_claim() {
             return None;
         }
         let values = self.space.values_of(unit);
         let t0 = Instant::now();
-        let error = self.objective.evaluate(&values);
+        let error = self.objective.evaluate_with(ctx, &values);
         let cumulative = self.budget.charge(t0.elapsed().as_secs_f64());
         self.history.push(cumulative, values, error);
         Some(error)
+    }
+
+    /// Pop an idle context (or build a fresh one).
+    fn checkout_context(&self) -> EvalContext {
+        self.contexts.lock().pop().unwrap_or_default()
+    }
+
+    /// Park a context for the next batch's workers.
+    fn return_context(&self, ctx: EvalContext) {
+        self.contexts.lock().push(ctx);
     }
 }
 
@@ -118,14 +143,12 @@ impl<'a> Evaluator<'a> {
 mod tests {
     use super::*;
     use crate::budget::Budget;
-    use crate::objective::FnObjective;
+    use crate::objective::{FnObjective, Objective};
     use crate::space::ParamSpace;
 
     fn sphere() -> FnObjective<impl Fn(&[f64]) -> f64 + Sync> {
         // Minimum at 2^28 (unit 0.5) in the paper range.
-        FnObjective(|v: &[f64]| {
-            v.iter().map(|x| (x.log2() - 28.0).powi(2)).sum::<f64>()
-        })
+        FnObjective(|v: &[f64]| v.iter().map(|x| (x.log2() - 28.0).powi(2)).sum::<f64>())
     }
 
     #[test]
@@ -171,8 +194,7 @@ mod tests {
 
         let b2 = BudgetTracker::new(Budget::Evaluations(100));
         let h2 = History::new();
-        let parallel =
-            Evaluator::new(&obj, &space, &b2, &h2).with_workers(4).eval_batch(&points);
+        let parallel = Evaluator::new(&obj, &space, &b2, &h2).with_workers(4).eval_batch(&points);
 
         assert_eq!(serial, parallel);
         assert_eq!(h1.len(), h2.len());
@@ -188,5 +210,57 @@ mod tests {
         let ev = Evaluator::new(&obj, &space, &budget, &history);
         assert!(ev.eval_one(&[0.5]).is_some());
         assert!(ev.eval_one(&[0.5]).is_none());
+    }
+
+    #[test]
+    fn worker_contexts_persist_across_batches() {
+        // An objective that counts evaluations through its worker context:
+        // with one worker, the same context must see every point of both
+        // batches.
+        struct Counting;
+        impl Objective for Counting {
+            fn evaluate(&self, _v: &[f64]) -> f64 {
+                unreachable!("evaluator must use evaluate_with")
+            }
+            fn evaluate_with(&self, ctx: &mut crate::EvalContext, _v: &[f64]) -> f64 {
+                let n = ctx.get_or_insert_with(|| 0u64);
+                *n += 1;
+                *n as f64
+            }
+        }
+        let obj = Counting;
+        let space = ParamSpace::paper(&["a"]);
+        let budget = BudgetTracker::new(Budget::Evaluations(100));
+        let history = History::new();
+        let ev = Evaluator::new(&obj, &space, &budget, &history).with_workers(1);
+        let batch: Vec<Vec<f64>> = (0..3).map(|i| vec![i as f64 / 3.0]).collect();
+        assert_eq!(ev.eval_batch(&batch), vec![Some(1.0), Some(2.0), Some(3.0)]);
+        // Second batch continues the same context, proving reuse.
+        assert_eq!(ev.eval_batch(&batch), vec![Some(4.0), Some(5.0), Some(6.0)]);
+    }
+
+    #[test]
+    fn parallel_workers_each_get_a_context() {
+        struct Marking;
+        impl Objective for Marking {
+            fn evaluate(&self, _v: &[f64]) -> f64 {
+                0.0
+            }
+            fn evaluate_with(&self, ctx: &mut crate::EvalContext, _v: &[f64]) -> f64 {
+                // Uses the slot; several threads must never share one.
+                let n = ctx.get_or_insert_with(|| 0u64);
+                *n += 1;
+                0.0
+            }
+        }
+        let obj = Marking;
+        let space = ParamSpace::paper(&["a"]);
+        let budget = BudgetTracker::new(Budget::Evaluations(64));
+        let history = History::new();
+        let ev = Evaluator::new(&obj, &space, &budget, &history).with_workers(4);
+        let batch: Vec<Vec<f64>> = (0..32).map(|i| vec![i as f64 / 32.0]).collect();
+        let out = ev.eval_batch(&batch);
+        assert!(out.iter().all(Option::is_some));
+        assert_eq!(history.len(), 32);
     }
 }

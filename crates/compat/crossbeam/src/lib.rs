@@ -1,0 +1,91 @@
+//! Minimal stand-in for the `crossbeam` crate (offline build).
+//!
+//! Provides the two facilities the workspace uses — `channel::unbounded`
+//! and `thread::scope` — implemented on `std::sync::mpsc` and
+//! `std::thread::scope`. See `crates/compat/README.md`.
+
+pub mod channel {
+    //! MPMC-flavoured channel API over `std::sync::mpsc`.
+    //!
+    //! The workspace only ever clones the *sender* and consumes the
+    //! receiver from one thread, which `std::sync::mpsc` supports directly.
+
+    pub use std::sync::mpsc::{Receiver, SendError, Sender};
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+pub mod thread {
+    //! Scoped threads with crossbeam's `Result`-returning API.
+
+    use std::any::Any;
+
+    /// The error half of [`scope`]'s result: the payload of a panicked
+    /// child thread.
+    pub type ScopeError = Box<dyn Any + Send + 'static>;
+
+    /// A handle for spawning threads tied to a scope. The spawn closure
+    /// receives the scope again (crossbeam's signature) so nested spawns
+    /// are possible.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread guaranteed to join before the scope returns.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope in which spawned threads may borrow from the
+    /// enclosing stack frame; all threads are joined before this returns.
+    /// Returns `Err` with the panic payload if `f` or any child panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_workers_drain_a_channel() {
+        let items: Vec<u64> = (0..100).collect();
+        let (tx, rx) = crate::channel::unbounded::<u64>();
+        let total: u64 = crate::thread::scope(|scope| {
+            for chunk in items.chunks(25) {
+                let tx = tx.clone();
+                scope.spawn(move |_| {
+                    for &x in chunk {
+                        tx.send(x * 2).expect("receiver alive");
+                    }
+                });
+            }
+            drop(tx);
+            rx.iter().sum()
+        })
+        .expect("no worker panicked");
+        assert_eq!(total, 2 * (0..100u64).sum::<u64>());
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = crate::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

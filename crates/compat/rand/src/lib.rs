@@ -1,0 +1,317 @@
+//! Minimal, deterministic stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the small slice of the `rand` API the codebase uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], [`Rng`]/[`RngExt`] with `random` and
+//! `random_range`, and [`seq::SliceRandom::shuffle`].
+//!
+//! `StdRng` here is xoshiro256++ seeded via SplitMix64 — a high-quality,
+//! fast, fully deterministic generator. It is **not** the cryptographic
+//! ChaCha generator of the real crate; nothing in this workspace needs
+//! cryptographic randomness, only reproducible streams.
+
+use std::ops::Range;
+
+/// A random number generator: the base trait, `rand`-style.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Types samplable uniformly from an RNG's raw bits.
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges samplable uniformly from an RNG.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draw one value uniformly from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f64::from_rng(rng);
+        self.start + (self.end - self.start) * u
+    }
+}
+
+/// Unbiased integer in `[0, span)` (`span >= 1`): multiply-shift bounded
+/// sampling (Lemire); the tiny modulo bias of the plain variant is
+/// irrelevant for simulation seeds but cheap to avoid.
+#[inline]
+fn bounded<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span >= 1);
+    let mut x = rng.next_u64();
+    let mut m = (x as u128).wrapping_mul(span as u128);
+    let mut lo = m as u64;
+    if lo < span {
+        let t = span.wrapping_neg() % span;
+        while lo < t {
+            x = rng.next_u64();
+            m = (x as u128).wrapping_mul(span as u128);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+// `$wide` is an intermediate type whose subtraction cannot overflow for
+// the corresponding `$t` (i64 for 32-bit types; bit-cast-to-u64 wrapping
+// subtraction is exact for 64-bit types since the true distance fits).
+macro_rules! int_sample_range {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                self.start.wrapping_add(bounded(rng, span) as $t)
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let delta = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if delta == u64::MAX {
+                    // Full-width range: every bit pattern is valid.
+                    return lo.wrapping_add(rng.next_u64() as $t);
+                }
+                lo.wrapping_add(bounded(rng, delta + 1) as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_range!(usize => u64, u64 => u64, i64 => u64, u32 => i64, i32 => i64);
+
+/// Convenience sampling methods, auto-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// A uniformly random value of `T` (e.g. `f64` in `[0, 1)`).
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// A value uniformly distributed over `range`.
+    #[inline]
+    fn random_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        range.sample_from(self)
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// RNGs constructible from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard deterministic RNG: xoshiro256++ seeded via
+    /// SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence helpers.
+
+    use super::{Rng, RngExt};
+
+    /// Slice shuffling and choosing, `rand`-style.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.random_range(0..self.len()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<f64> = (0..8).map(|_| a.random::<f64>()).collect();
+        let ys: Vec<f64> = (0..8).map(|_| b.random::<f64>()).collect();
+        let zs: Vec<f64> = (0..8).map(|_| c.random::<f64>()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_sampling_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let x = r.random_range(3..13usize);
+            assert!((3..13).contains(&x));
+            seen[x - 3] = true;
+            let y = r.random_range(-4.0..9.0f64);
+            assert!((-4.0..9.0).contains(&y));
+        }
+        assert!(seen.iter().all(|&s| s), "all values hit in 1000 draws");
+    }
+
+    #[test]
+    fn extreme_ranges_do_not_overflow() {
+        let mut r = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let _: u64 = r.random_range(0..=u64::MAX);
+            let _: i64 = r.random_range(i64::MIN..=i64::MAX);
+            let x = r.random_range(i64::MIN..i64::MAX);
+            assert!(x < i64::MAX);
+            let y = r.random_range(i32::MIN..=i32::MAX);
+            let _ = y;
+            let z = r.random_range(-5i32..=5);
+            assert!((-5..=5).contains(&z));
+            assert_eq!(r.random_range(7u32..=7), 7);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements almost surely move");
+    }
+}

@@ -1,10 +1,47 @@
-//! The simulation engine: virtual clock, flow table, rate recomputation,
-//! and the caller-driven event loop.
+//! The simulation engine: virtual clock, flow table, incremental rate
+//! recomputation, and the caller-driven event loop.
+//!
+//! ## Incremental max–min recomputation
+//!
+//! The engine maintains a **resource ↔ flow incidence index**
+//! (`flows_on[r]` = the active flows crossing resource `r`). When flows
+//! start, complete, or are cancelled, only the resources on the touched
+//! routes are marked dirty. Before the next event is computed, the engine
+//! re-solves the max–min allocation **per connected component** of the
+//! dirty resources in the flow/resource bipartite graph: rates in
+//! untouched components are provably unchanged (max–min fair allocations
+//! decompose across connected components), so they are not recomputed.
+//!
+//! Route-less flows (the simulator's dedicated-core compute blocks) form
+//! singleton components and are assigned their cap in O(1), so the
+//! steady-state pattern of pipelined compute/chunk streams never triggers
+//! a global solve.
+//!
+//! The old global "swap candidate" fast path survives as the degenerate
+//! case of this machinery: when a flow completes and the very next
+//! incidence change is the start of a flow with an identical (route, cap)
+//! signature, the max–min allocation is unchanged — the new flow inherits
+//! the completed flow's rate and the completion's dirty marks are
+//! cancelled, so the steady state costs no solve at all. Unlike the old
+//! engine, the candidate here is scoped to the *routed* incidence state:
+//! route-less compute churn between the pair no longer invalidates it.
+//!
+//! ## Event-list completions and lazy progress
+//!
+//! A flow's completion time `t0 + remaining/rate` is constant while its
+//! rate is constant, so completions live in a lazy min-heap: one entry is
+//! pushed per *rate change* (epoch-stamped; stale entries are discarded on
+//! pop) instead of scanning every live flow per event. Flow progress is
+//! settled lazily for the same reason: `remaining` is only brought up to
+//! date when a flow's rate changes or the flow is observed — advancing
+//! the clock touches no per-flow state at all. Together these make the
+//! per-event cost proportional to the *touched component*, not to the
+//! number of live flows.
 
 use crate::flow::{FlowSpec, FlowState, FlowStatus};
 use crate::ids::{FlowId, ResourceId, Tag, TimerId};
 use crate::resource::ResourceSpec;
-use crate::sharing::{solve_max_min, FlowInput, ResourceInput};
+use crate::sharing::{solve_max_min, FlowInput, ResourceInput, MAX_RATE};
 use crate::stats::Stats;
 use crate::timer::{TimerKind, TimerQueue};
 
@@ -36,66 +73,98 @@ impl Event {
     }
 }
 
-/// State for the single-flow swap fast path. See the field docs on
-/// [`Engine::swap_candidate`].
-#[derive(Debug, Clone)]
+/// The identical-signature swap fast path (see the module docs). Valid
+/// only while no incidence change other than the candidate's completion
+/// has happened; any attach/detach clears it.
+#[derive(Debug)]
 struct SwapCandidate {
     route: Vec<ResourceId>,
     rate_cap: Option<f64>,
     rate: f64,
 }
 
+/// A scheduled completion in the lazy event list. Stale entries (the flow
+/// completed, was cancelled, or changed rate since the push) are detected
+/// by the epoch stamp and dropped on pop.
+#[derive(Debug, Clone, Copy)]
+struct CompletionEntry {
+    time: f64,
+    flow: FlowId,
+    epoch: u32,
+}
+
+impl PartialEq for CompletionEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.flow == other.flow
+    }
+}
+impl Eq for CompletionEntry {}
+impl PartialOrd for CompletionEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for CompletionEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Earliest first; FlowId breaks ties deterministically (matching
+        // the old scan, which kept the lowest-id flow among equals).
+        self.time.total_cmp(&other.time).then_with(|| self.flow.cmp(&other.flow))
+    }
+}
+
 /// Fluid discrete-event simulation engine. See the crate docs for the model.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct Engine {
     time: f64,
     resources: Vec<ResourceSpec>,
     flows: Vec<FlowState>,
-    /// Ids of flows in `Pending` or `Active` state (maintained incrementally).
-    live: Vec<FlowId>,
+    /// Number of flows in `Pending` or `Active` state.
+    live_count: usize,
     timers: TimerQueue,
-    dirty: bool,
-    /// Fast path: when the only change since the last rate computation is
-    /// the completion of one flow, a newly started flow with an identical
-    /// (route, cap) signature can inherit its rate — the max–min allocation
-    /// depends only on the multiset of (route, cap) pairs, and both changes
-    /// happen at the same instant so the intermediate allocation never
-    /// integrates over time. This is the steady-state pattern of pipelined
-    /// chunk streams and cuts most recomputations.
-    swap_candidate: Option<SwapCandidate>,
     stats: Stats,
-    /// Scratch buffers reused across rate recomputations.
+
+    /// Incidence index: active flows crossing each resource. A flow whose
+    /// route lists a resource `k` times appears `k` times (it consumes `k`
+    /// shares, and the count feeds [`crate::CapacityModel::effective`]).
+    flows_on: Vec<Vec<FlowId>>,
+    /// Resources whose flow set changed since the last recomputation.
+    dirty_queue: Vec<ResourceId>,
+    dirty_res: Vec<bool>,
+    /// Newly-activated route-less flows awaiting their O(1) rate.
+    dirty_routeless: Vec<FlowId>,
+    /// Pending identical-signature swap (set on completion, consumed by
+    /// the next start, cleared by any other incidence change).
+    swap: Option<SwapCandidate>,
+    /// Lazy completion event list: one entry per rate assignment.
+    completions: std::collections::BinaryHeap<std::cmp::Reverse<CompletionEntry>>,
+    /// Current epoch of each flow's heap entries (bumped on rate change).
+    flow_epoch: Vec<u32>,
+    /// Number of currently active flows with a non-empty route (used to
+    /// classify component solves as full/partial in [`Stats`]).
+    n_active_routed: usize,
+
+    // Generation-stamped visit marks for the component walk (no clearing
+    // between recomputations).
+    visit_gen: u64,
+    flow_mark: Vec<u64>,
+    res_mark: Vec<u64>,
+    /// Local solver index of each component resource (valid under
+    /// `res_mark[r] == visit_gen`).
+    res_local: Vec<usize>,
+
+    // Scratch buffers reused across recomputations.
+    comp_stack: Vec<ResourceId>,
+    comp_resources: Vec<ResourceId>,
+    comp_flows: Vec<FlowId>,
     scratch_resources: Vec<ResourceInput>,
     scratch_flows: Vec<FlowInput>,
     scratch_rates: Vec<f64>,
-    scratch_live_idx: Vec<usize>,
-    scratch_counts: Vec<usize>,
-}
-
-impl Default for Engine {
-    fn default() -> Self {
-        Self::new()
-    }
 }
 
 impl Engine {
     /// A fresh engine at time 0 with no resources or flows.
     pub fn new() -> Self {
-        Self {
-            time: 0.0,
-            resources: Vec::new(),
-            flows: Vec::new(),
-            live: Vec::new(),
-            timers: TimerQueue::new(),
-            dirty: false,
-            swap_candidate: None,
-            stats: Stats::default(),
-            scratch_resources: Vec::new(),
-            scratch_flows: Vec::new(),
-            scratch_rates: Vec::new(),
-            scratch_live_idx: Vec::new(),
-            scratch_counts: Vec::new(),
-        }
+        Self::default()
     }
 
     /// Current simulated time in seconds.
@@ -110,11 +179,42 @@ impl Engine {
         self.stats
     }
 
+    /// Clear all simulation state — flows, timers, resources, clock, and
+    /// statistics — while keeping every internal allocation, so a reused
+    /// engine pays no warm-up cost. This is the kernel half of the
+    /// session-reuse machinery (`simcal-sim`'s `SimSession`).
+    pub fn reset(&mut self) {
+        self.time = 0.0;
+        self.resources.clear();
+        self.flows.clear();
+        self.live_count = 0;
+        self.timers.clear();
+        self.stats = Stats::default();
+        for v in &mut self.flows_on {
+            v.clear();
+        }
+        self.dirty_queue.clear();
+        self.dirty_res.clear();
+        self.dirty_routeless.clear();
+        self.swap = None;
+        self.completions.clear();
+        self.flow_epoch.clear();
+        self.n_active_routed = 0;
+        self.flow_mark.clear();
+        // res_mark/res_local stay valid: marks are generation-stamped.
+    }
+
     /// Register a resource.
     pub fn add_resource(&mut self, spec: ResourceSpec) -> ResourceId {
         let id = ResourceId(u32::try_from(self.resources.len()).expect("too many resources"));
         self.resources.push(spec);
         self.stats.resources += 1;
+        if self.flows_on.len() < self.resources.len() {
+            self.flows_on.push(Vec::new());
+            self.res_mark.push(0);
+            self.res_local.push(0);
+        }
+        self.dirty_res.resize(self.resources.len().max(self.dirty_res.len()), false);
         id
     }
 
@@ -126,45 +226,60 @@ impl Engine {
             assert!(r.index() < self.resources.len(), "unknown resource in route");
         }
         let id = FlowId(u32::try_from(self.flows.len()).expect("too many flows"));
-        let state = FlowState::from_spec(&spec);
+        let latency = spec.latency;
+        let mut state = FlowState::from_spec(spec);
+        state.last_settled = self.time;
         let pending = state.status == FlowStatus::Pending;
         self.flows.push(state);
-        self.live.push(id);
+        self.flow_mark.push(0);
+        self.flow_epoch.push(0);
+        self.live_count += 1;
         self.stats.flows_started += 1;
         if pending {
             // A pending flow does not change the current allocation.
-            self.timers
-                .schedule(self.time + spec.latency, TimerKind::ActivateFlow(id));
-        } else if self.dirty {
-            // Swap fast path: inherit the rate of the just-completed flow
-            // when the (route, cap) signature matches exactly.
-            match self.swap_candidate.take() {
-                Some(c) if c.route == spec.route && c.rate_cap == spec.rate_cap => {
-                    self.flows[id.index()].rate = c.rate;
-                    self.dirty = false;
-                }
-                _ => {}
-            }
+            self.timers.schedule(self.time + latency, TimerKind::ActivateFlow(id));
+        } else if self.swap.as_ref().is_some_and(|c| {
+            c.route == self.flows[id.index()].route && c.rate_cap == self.flows[id.index()].rate_cap
+        }) {
+            // Identical-signature swap: the allocation depends only on the
+            // multiset of (route, cap) pairs, which is unchanged — inherit
+            // the completed flow's rate and cancel its dirty marks. A
+            // mismatched start must NOT consume the candidate here: if it
+            // is route-less it leaves the routed multiset untouched, and
+            // if it is routed, `attach` below invalidates the candidate.
+            let c = self.swap.take().expect("checked above");
+            self.flows[id.index()].rate = c.rate;
+            self.swap_attach(id);
+            self.schedule_completion(id);
+            self.stats.swap_inherits += 1;
         } else {
-            self.dirty = true;
-            self.swap_candidate = None;
+            self.attach(id);
         }
         id
     }
 
     /// Cancel a live flow. Completed/cancelled flows are ignored.
     pub fn cancel_flow(&mut self, id: FlowId) {
-        let f = &mut self.flows[id.index()];
-        if matches!(f.status, FlowStatus::Active | FlowStatus::Pending) {
-            // Progress must be settled before the rate vector changes.
-            self.settle();
-            let f = &mut self.flows[id.index()];
-            f.status = FlowStatus::Cancelled;
-            f.rate = 0.0;
-            self.live.retain(|&x| x != id);
-            self.stats.flows_cancelled += 1;
-            self.dirty = true;
-            self.swap_candidate = None;
+        match self.flows[id.index()].status {
+            FlowStatus::Active => {
+                // Freeze progress as of now before the rate disappears.
+                self.settle_progress(id);
+                let f = &mut self.flows[id.index()];
+                f.status = FlowStatus::Cancelled;
+                f.rate = 0.0;
+                self.flow_epoch[id.index()] = self.flow_epoch[id.index()].wrapping_add(1);
+                self.detach(id);
+                self.live_count -= 1;
+                self.stats.flows_cancelled += 1;
+            }
+            FlowStatus::Pending => {
+                let f = &mut self.flows[id.index()];
+                f.status = FlowStatus::Cancelled;
+                f.rate = 0.0;
+                self.live_count -= 1;
+                self.stats.flows_cancelled += 1;
+            }
+            _ => {}
         }
     }
 
@@ -179,12 +294,21 @@ impl Engine {
         self.timers.cancel(id);
     }
 
-    /// Remaining demand of a flow (0 for completed flows).
+    /// Remaining demand of a flow (0 for completed flows). Progress is
+    /// settled lazily, so this derives the up-to-date value from the
+    /// flow's rate and last settlement time.
     pub fn flow_remaining(&self, id: FlowId) -> f64 {
-        self.flows[id.index()].remaining.max(0.0)
+        let f = &self.flows[id.index()];
+        if f.status == FlowStatus::Active && f.rate > 0.0 {
+            (f.remaining - f.rate * (self.time - f.last_settled)).max(0.0)
+        } else {
+            f.remaining.max(0.0)
+        }
     }
 
-    /// Current rate of a flow.
+    /// Current rate of a flow. Rates are settled lazily before each event;
+    /// call [`Engine::settle_rates`] first to observe a consistent
+    /// allocation mid-update.
     pub fn flow_rate(&self, id: FlowId) -> f64 {
         self.flows[id.index()].rate
     }
@@ -196,47 +320,48 @@ impl Engine {
 
     /// Number of live (pending or active) flows.
     pub fn live_flows(&self) -> usize {
-        self.live.len()
+        self.live_count
+    }
+
+    /// Re-solve the allocation for every dirty component now, so that
+    /// [`Engine::flow_rate`] reflects the current max–min fair shares.
+    /// Called automatically by [`Engine::next`]; public so callers (and
+    /// the differential property tests) can observe settled rates without
+    /// advancing time.
+    pub fn settle_rates(&mut self) {
+        if !self.dirty_routeless.is_empty() || !self.dirty_queue.is_empty() {
+            self.recompute_rates();
+        }
     }
 
     /// Advance simulated time to the next event and return it, or `None`
     /// when no flows or timers remain.
+    #[allow(clippy::should_implement_trait)] // established kernel API name
     pub fn next(&mut self) -> Option<Event> {
         loop {
-            if self.dirty {
-                self.recompute_rates();
-            }
+            self.settle_rates();
 
-            // Earliest flow completion.
-            let mut t_flow = f64::INFINITY;
-            let mut next_flow: Option<FlowId> = None;
-            for &id in &self.live {
-                let f = &self.flows[id.index()];
-                if f.status != FlowStatus::Active {
-                    continue;
+            // Earliest valid completion from the lazy event list.
+            let t_flow = loop {
+                match self.completions.peek() {
+                    None => break f64::INFINITY,
+                    Some(std::cmp::Reverse(e)) => {
+                        let f = &self.flows[e.flow.index()];
+                        if f.status == FlowStatus::Active
+                            && self.flow_epoch[e.flow.index()] == e.epoch
+                        {
+                            break e.time;
+                        }
+                        self.completions.pop();
+                    }
                 }
-                let t = if f.is_done() {
-                    self.time
-                } else if f.rate > 0.0 {
-                    self.time + f.remaining / f.rate
-                } else {
-                    f64::INFINITY
-                };
-                if t < t_flow {
-                    t_flow = t;
-                    next_flow = Some(id);
-                }
-            }
+            };
 
             let t_timer = self.timers.peek_time().unwrap_or(f64::INFINITY);
 
             if t_flow.is_infinite() && t_timer.is_infinite() {
                 debug_assert!(
-                    self.live.iter().all(|&id| {
-                        self.flows[id.index()].status != FlowStatus::Active
-                            || self.flows[id.index()].rate > 0.0
-                            || self.flows[id.index()].is_done()
-                    }) || self.live.is_empty(),
+                    self.flows.iter().all(|f| f.status != FlowStatus::Active || f.rate > 0.0),
                     "deadlock: active flows with zero rate and no timers"
                 );
                 return None;
@@ -251,32 +376,35 @@ impl Engine {
                         return Some(Event::TimerFired { timer, tag });
                     }
                     TimerKind::ActivateFlow(id) => {
-                        let f = &mut self.flows[id.index()];
-                        if f.status == FlowStatus::Pending {
-                            f.status = FlowStatus::Active;
-                            self.dirty = true;
-                            self.swap_candidate = None;
+                        if self.flows[id.index()].status == FlowStatus::Pending {
+                            self.flows[id.index()].status = FlowStatus::Active;
+                            self.flows[id.index()].last_settled = t_timer;
+                            self.attach(id);
                         }
                         continue;
                     }
                 }
             } else {
-                let id = next_flow.expect("finite completion implies a flow");
-                self.advance_to(t_flow);
+                let std::cmp::Reverse(entry) =
+                    self.completions.pop().expect("valid entry peeked above");
+                let id = entry.flow;
+                self.advance_to(entry.time);
                 let f = &mut self.flows[id.index()];
                 let rate = f.rate;
                 f.remaining = 0.0;
+                f.last_settled = entry.time;
                 f.rate = 0.0;
                 f.status = FlowStatus::Completed;
                 let tag = f.tag;
+                let rate_cap = f.rate_cap;
+                self.flow_epoch[id.index()] = self.flow_epoch[id.index()].wrapping_add(1);
+                self.detach(id);
+                // Offer the completed flow as a swap candidate: rates were
+                // settled at the top of the loop, so the only dirty marks
+                // now present are this completion's own route.
                 let route = std::mem::take(&mut self.flows[id.index()].route);
-                self.live.retain(|&x| x != id);
-                self.swap_candidate = if self.dirty {
-                    None
-                } else {
-                    Some(SwapCandidate { rate_cap: self.flows[id.index()].rate_cap, route, rate })
-                };
-                self.dirty = true;
+                self.swap = Some(SwapCandidate { route, rate_cap, rate });
+                self.live_count -= 1;
                 self.stats.flow_completions += 1;
                 return Some(Event::FlowCompleted { flow: id, tag });
             }
@@ -290,76 +418,258 @@ impl Engine {
         self.time
     }
 
-    /// Settle flow progress up to the current time (no time change).
-    fn settle(&mut self) {
-        // Progress is settled implicitly by `advance_to`; nothing to do at
-        // the current instant. Kept as an explicit hook for cancel_flow.
-    }
-
-    fn advance_to(&mut self, t: f64) {
-        debug_assert!(t >= self.time - 1e-12, "time went backwards: {} -> {t}", self.time);
-        let dt = (t - self.time).max(0.0);
-        if dt > 0.0 {
-            for &id in &self.live {
-                let f = &mut self.flows[id.index()];
-                if f.status == FlowStatus::Active && f.rate > 0.0 {
-                    f.remaining = (f.remaining - f.rate * dt).max(0.0);
-                }
+    /// Hook a newly-active flow into the incidence index *without* marking
+    /// anything dirty, cancelling the matched completion's marks instead:
+    /// the swap guarantees the allocation is unchanged.
+    fn swap_attach(&mut self, id: FlowId) {
+        let route = std::mem::take(&mut self.flows[id.index()].route);
+        if !route.is_empty() {
+            self.n_active_routed += 1;
+            // Candidate validity means every dirty mark present came from
+            // the completed twin's route — exactly this route.
+            for r in self.dirty_queue.drain(..) {
+                self.dirty_res[r.index()] = false;
+            }
+            for &r in &route {
+                self.flows_on[r.index()].push(id);
             }
         }
-        self.time = t;
+        self.flows[id.index()].route = route;
+    }
+
+    /// Hook a newly-active flow into the incidence index and mark the
+    /// touched part of the allocation dirty.
+    fn attach(&mut self, id: FlowId) {
+        debug_assert_eq!(self.flows[id.index()].status, FlowStatus::Active);
+        if self.flows[id.index()].route.is_empty() {
+            // A route-less flow shares nothing, so it cannot change the
+            // routed multiset: a pending swap candidate stays valid.
+            self.dirty_routeless.push(id);
+            return;
+        }
+        self.swap = None;
+        self.n_active_routed += 1;
+        let route = std::mem::take(&mut self.flows[id.index()].route);
+        for &r in &route {
+            self.flows_on[r.index()].push(id);
+            self.mark_dirty(r);
+        }
+        self.flows[id.index()].route = route;
+    }
+
+    /// Remove a no-longer-active flow from the incidence index and mark
+    /// the resources it released dirty.
+    fn detach(&mut self, id: FlowId) {
+        let route = std::mem::take(&mut self.flows[id.index()].route);
+        if !route.is_empty() {
+            // Route-less detaches (like attaches) leave the routed
+            // multiset untouched and preserve any swap candidate.
+            self.swap = None;
+            self.n_active_routed -= 1;
+        }
+        for &r in &route {
+            let on = &mut self.flows_on[r.index()];
+            let pos = on.iter().position(|&x| x == id).expect("flow indexed on its route");
+            on.swap_remove(pos);
+            self.mark_dirty(r);
+        }
+        self.flows[id.index()].route = route;
+    }
+
+    #[inline]
+    fn mark_dirty(&mut self, r: ResourceId) {
+        if !self.dirty_res[r.index()] {
+            self.dirty_res[r.index()] = true;
+            self.dirty_queue.push(r);
+        }
+    }
+
+    /// Advance the clock. Flow progress is settled lazily (see the module
+    /// docs), so this touches no per-flow state.
+    fn advance_to(&mut self, t: f64) {
+        debug_assert!(t >= self.time - 1e-12, "time went backwards: {} -> {t}", self.time);
+        self.time = self.time.max(t);
+    }
+
+    /// Bring a flow's `remaining` up to date with the clock.
+    fn settle_progress(&mut self, id: FlowId) {
+        let t = self.time;
+        let f = &mut self.flows[id.index()];
+        if f.rate > 0.0 && t > f.last_settled {
+            f.remaining = (f.remaining - f.rate * (t - f.last_settled)).max(0.0);
+        }
+        f.last_settled = t;
+    }
+
+    /// Assign a flow's rate, settling its progress and (re)scheduling its
+    /// completion. Skips entirely when the rate is unchanged: the
+    /// completion prediction `last_settled + remaining/rate` is invariant
+    /// under clock advances at a constant rate.
+    fn set_rate(&mut self, id: FlowId, rate: f64) {
+        if self.flows[id.index()].rate == rate {
+            return;
+        }
+        self.settle_progress(id);
+        self.flows[id.index()].rate = rate;
+        self.schedule_completion(id);
+    }
+
+    /// Push a fresh completion entry for an active flow with its current
+    /// (settled) remaining and rate, invalidating any previous entry.
+    fn schedule_completion(&mut self, id: FlowId) {
+        let f = &self.flows[id.index()];
+        debug_assert_eq!(f.status, FlowStatus::Active);
+        debug_assert_eq!(f.last_settled, self.time, "schedule requires settled progress");
+        if f.rate <= 0.0 {
+            return;
+        }
+        let remaining = if f.is_done() { 0.0 } else { f.remaining };
+        let time = self.time + remaining / f.rate;
+        let epoch = self.flow_epoch[id.index()].wrapping_add(1);
+        self.flow_epoch[id.index()] = epoch;
+        self.completions.push(std::cmp::Reverse(CompletionEntry { time, flow: id, epoch }));
     }
 
     fn recompute_rates(&mut self) {
-        self.dirty = false;
-        self.swap_candidate = None;
         self.stats.rate_recomputes += 1;
+        // Settling consumes the dirty marks a swap would cancel; a
+        // candidate surviving past here would inherit a stale rate.
+        self.swap = None;
+
+        // Route-less flows are singleton components: rate = cap (or the
+        // solver's unconstrained maximum), assigned in O(1).
+        while let Some(id) = self.dirty_routeless.pop() {
+            if self.flows[id.index()].status == FlowStatus::Active {
+                let rate = self.flows[id.index()].rate_cap.unwrap_or(MAX_RATE);
+                self.set_rate(id, rate);
+                self.stats.routeless_assigns += 1;
+            }
+        }
+
+        // Walk each dirty connected component once and re-solve it.
+        self.visit_gen += 1;
+        let gen = self.visit_gen;
+        while let Some(r0) = self.dirty_queue.pop() {
+            self.dirty_res[r0.index()] = false;
+            if self.res_mark[r0.index()] == gen {
+                continue; // already solved as part of an earlier component
+            }
+            let has_cap = self.collect_component(r0, gen);
+            if self.comp_resources.len() == 1 && !has_cap {
+                self.solve_single_resource();
+            } else {
+                self.solve_component(gen);
+            }
+        }
+    }
+
+    /// Closed-form max–min for the most common component shape: one
+    /// resource, no caps. Every flow is frozen by the single bottleneck at
+    /// `effective_capacity / n_shares` — exactly what progressive filling
+    /// computes, without the solver machinery.
+    fn solve_single_resource(&mut self) {
+        self.stats.component_solves += 1;
+        self.stats.flows_resolved += self.comp_flows.len() as u64;
+        if self.comp_flows.len() >= self.n_active_routed {
+            self.stats.full_solves += 1;
+        }
+        let r = self.comp_resources[0];
+        let n = self.flows_on[r.index()].len();
+        if n == 0 {
+            return;
+        }
+        // `n` counts route occurrences: a flow listing the resource twice
+        // consumes two shares but still runs at one share's rate, exactly
+        // as in `solve_max_min`.
+        let share = self.resources[r.index()].capacity.effective(n).max(0.0) / n as f64;
+        for k in 0..self.comp_flows.len() {
+            let fid = self.comp_flows[k];
+            self.set_rate(fid, share);
+        }
+    }
+
+    /// Breadth-first walk of the flow/resource bipartite graph from `r0`,
+    /// filling `comp_resources` / `comp_flows` with the connected
+    /// component and stamping visit marks with `gen`. Returns whether any
+    /// component flow carries a rate cap.
+    fn collect_component(&mut self, r0: ResourceId, gen: u64) -> bool {
+        self.comp_resources.clear();
+        self.comp_flows.clear();
+        self.comp_stack.clear();
+        self.comp_stack.push(r0);
+        self.res_mark[r0.index()] = gen;
+        let mut has_cap = false;
+        while let Some(r) = self.comp_stack.pop() {
+            self.res_local[r.index()] = self.comp_resources.len();
+            self.comp_resources.push(r);
+            for k in 0..self.flows_on[r.index()].len() {
+                let fid = self.flows_on[r.index()][k];
+                if self.flow_mark[fid.index()] == gen {
+                    continue;
+                }
+                self.flow_mark[fid.index()] = gen;
+                self.comp_flows.push(fid);
+                has_cap |= self.flows[fid.index()].rate_cap.is_some();
+                let route = std::mem::take(&mut self.flows[fid.index()].route);
+                for &r2 in &route {
+                    if self.res_mark[r2.index()] != gen {
+                        self.res_mark[r2.index()] = gen;
+                        self.comp_stack.push(r2);
+                    }
+                }
+                self.flows[fid.index()].route = route;
+            }
+        }
+        has_cap
+    }
+
+    /// Max–min solve restricted to the collected component, writing the
+    /// resulting rates back into the flow table.
+    fn solve_component(&mut self, gen: u64) {
+        self.stats.component_solves += 1;
+        self.stats.flows_resolved += self.comp_flows.len() as u64;
+        if self.comp_flows.len() >= self.n_active_routed {
+            self.stats.full_solves += 1;
+        }
 
         self.scratch_resources.clear();
-        self.scratch_resources.reserve(self.resources.len());
-        // Effective capacities need per-resource flow counts first.
-        self.scratch_counts.clear();
-        self.scratch_counts.resize(self.resources.len(), 0);
-        self.scratch_live_idx.clear();
-        let mut n_active = 0usize;
-        for &id in &self.live {
-            let f = &self.flows[id.index()];
-            if f.status != FlowStatus::Active {
-                continue;
-            }
-            self.scratch_live_idx.push(id.index());
-            for r in &f.route {
-                self.scratch_counts[r.index()] += 1;
-            }
-            // Reuse FlowInput entries (and their route Vec allocations)
-            // across recomputations: this path runs once per event.
-            if n_active < self.scratch_flows.len() {
-                let slot = &mut self.scratch_flows[n_active];
+        for &r in &self.comp_resources {
+            let n = self.flows_on[r.index()].len();
+            self.scratch_resources
+                .push(ResourceInput { capacity: self.resources[r.index()].capacity.effective(n) });
+        }
+
+        let mut n_comp = 0usize;
+        for &fid in &self.comp_flows {
+            let f = &self.flows[fid.index()];
+            debug_assert!(f.route.iter().all(|r| self.res_mark[r.index()] == gen));
+            // Reuse FlowInput slots (and their route Vec allocations).
+            if n_comp < self.scratch_flows.len() {
+                let slot = &mut self.scratch_flows[n_comp];
                 slot.route.clear();
-                slot.route.extend(f.route.iter().map(|r| r.index()));
+                slot.route.extend(f.route.iter().map(|r| self.res_local[r.index()]));
                 slot.cap = f.rate_cap;
             } else {
                 self.scratch_flows.push(FlowInput {
-                    route: f.route.iter().map(|r| r.index()).collect(),
+                    route: f.route.iter().map(|r| self.res_local[r.index()]).collect(),
                     cap: f.rate_cap,
                 });
             }
-            n_active += 1;
-        }
-        for (spec, &n) in self.resources.iter().zip(&self.scratch_counts) {
-            self.scratch_resources.push(ResourceInput { capacity: spec.capacity.effective(n) });
+            n_comp += 1;
         }
 
         // Slice rather than truncate so spare FlowInput slots keep their
-        // route-buffer allocations for the next recomputation.
+        // route-buffer allocations for the next solve.
         solve_max_min(
             &self.scratch_resources,
-            &self.scratch_flows[..n_active],
+            &self.scratch_flows[..n_comp],
             &mut self.scratch_rates,
         );
 
-        for (k, &fi) in self.scratch_live_idx.iter().enumerate() {
-            self.flows[fi].rate = self.scratch_rates[k];
+        for k in 0..self.comp_flows.len() {
+            let fid = self.comp_flows[k];
+            let rate = self.scratch_rates[k];
+            self.set_rate(fid, rate);
         }
     }
 }
@@ -464,6 +774,19 @@ mod tests {
     }
 
     #[test]
+    fn cancel_pending_flow_never_activates() {
+        let mut e = Engine::new();
+        let r = e.add_resource(ResourceSpec::constant(10.0));
+        let a = e.start_flow(FlowSpec::new(100.0, &[r], Tag(0xA)).with_latency(1.0));
+        e.start_flow(FlowSpec::new(100.0, &[r], Tag(0xB)));
+        e.cancel_flow(a);
+        let ev = e.next().unwrap();
+        assert_eq!(ev.tag(), Tag(0xB));
+        assert!((e.now() - 10.0).abs() < 1e-9, "B alone at rate 10, now={}", e.now());
+        assert_eq!(e.flow_status(a), FlowStatus::Cancelled);
+    }
+
+    #[test]
     fn zero_demand_flow_completes_immediately() {
         let mut e = Engine::new();
         let r = e.add_resource(ResourceSpec::constant(10.0));
@@ -534,5 +857,187 @@ mod tests {
         }
         tags.sort_unstable();
         assert_eq!(tags, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn disjoint_components_solve_independently() {
+        // Two resources with no shared flows: completing a flow on one must
+        // re-solve only that component.
+        let mut e = Engine::new();
+        let r1 = e.add_resource(ResourceSpec::constant(10.0));
+        let r2 = e.add_resource(ResourceSpec::constant(10.0));
+        e.start_flow(FlowSpec::new(100.0, &[r1], Tag(1)));
+        e.start_flow(FlowSpec::new(100.0, &[r1], Tag(2)));
+        e.start_flow(FlowSpec::new(50.0, &[r2], Tag(3)));
+        e.settle_rates();
+        let s0 = e.stats();
+        // One settle pass; r1 and r2 are separate components.
+        assert_eq!(s0.component_solves, 2);
+        assert_eq!(s0.full_solves, 0, "neither component spans all routed flows");
+
+        // Completing the r2 flow (t=5) must only re-solve r2's component.
+        let ev = e.next().unwrap();
+        assert_eq!(ev.tag(), Tag(3));
+        e.settle_rates();
+        let s1 = e.stats();
+        assert_eq!(s1.component_solves - s0.component_solves, 1);
+        assert_eq!(s1.flows_resolved - s0.flows_resolved, 0, "r2's component is now empty");
+        // r1's flows kept their old rate without a solve.
+        assert!((e.flow_rate(FlowId(0)) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn routeless_flows_never_trigger_component_solves() {
+        let mut e = Engine::new();
+        for i in 0..8 {
+            e.start_flow(FlowSpec::new(10.0, &[], Tag(i)).with_cap(1.0 + i as f64));
+        }
+        e.settle_rates();
+        let s = e.stats();
+        assert_eq!(s.component_solves, 0);
+        assert_eq!(s.routeless_assigns, 8);
+        assert!((e.flow_rate(FlowId(0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncapped_routeless_flow_completes_instantly() {
+        let mut e = Engine::new();
+        e.start_flow(FlowSpec::new(1e9, &[], Tag(7)));
+        let ev = e.next().unwrap();
+        assert_eq!(ev.tag(), Tag(7));
+        assert!(e.now() < 1e-9, "MAX_RATE makes the duration negligible");
+    }
+
+    #[test]
+    fn shared_resource_merges_components() {
+        // f1 on {a}, f2 on {a, b}, f3 on {b}: one component through f2.
+        let mut e = Engine::new();
+        let a = e.add_resource(ResourceSpec::constant(10.0));
+        let b = e.add_resource(ResourceSpec::constant(10.0));
+        e.start_flow(FlowSpec::new(100.0, &[a], Tag(1)));
+        e.start_flow(FlowSpec::new(100.0, &[a, b], Tag(2)));
+        e.start_flow(FlowSpec::new(100.0, &[b], Tag(3)));
+        e.settle_rates();
+        let s = e.stats();
+        assert_eq!(s.component_solves, 1);
+        assert_eq!(s.full_solves, 1);
+        assert_eq!(s.flows_resolved, 3);
+        for i in 0..3 {
+            assert!((e.flow_rate(FlowId(i)) - 5.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reset_clears_state_but_reuses_allocations() {
+        let mut e = Engine::new();
+        let r = e.add_resource(ResourceSpec::constant(10.0));
+        e.start_flow(FlowSpec::new(100.0, &[r], Tag(1)));
+        e.set_timer(1000.0, Tag(9));
+        e.drain();
+        assert!(e.now() > 0.0);
+
+        e.reset();
+        assert_eq!(e.now(), 0.0);
+        assert_eq!(e.live_flows(), 0);
+        assert_eq!(e.stats(), Stats::default());
+
+        // A fresh run on the reused engine behaves like a new engine.
+        let r = e.add_resource(ResourceSpec::constant(10.0));
+        e.start_flow(FlowSpec::new(100.0, &[r], Tag(2)));
+        let ev = e.next().unwrap();
+        assert_eq!(ev.tag(), Tag(2));
+        assert!((e.now() - 10.0).abs() < 1e-9);
+        assert!(e.next().is_none());
+    }
+
+    #[test]
+    fn reset_with_fewer_resources_is_sound() {
+        let mut e = Engine::new();
+        let r1 = e.add_resource(ResourceSpec::constant(10.0));
+        let r2 = e.add_resource(ResourceSpec::constant(20.0));
+        e.start_flow(FlowSpec::new(10.0, &[r1, r2], Tag(1)));
+        e.drain();
+        e.reset();
+        let r = e.add_resource(ResourceSpec::constant(5.0));
+        e.start_flow(FlowSpec::new(50.0, &[r], Tag(2)));
+        e.next().unwrap();
+        assert!((e.now() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipelined_reissue_stays_component_scoped() {
+        // The pattern that motivated the old swap fast path: a stream of
+        // identical flows on one resource, reissued on completion, while an
+        // unrelated resource hosts its own flows. The unrelated component
+        // must never be re-solved.
+        let mut e = Engine::new();
+        let hot = e.add_resource(ResourceSpec::constant(10.0));
+        let cold = e.add_resource(ResourceSpec::constant(1.0));
+        e.start_flow(FlowSpec::new(1e6, &[cold], Tag(999)));
+        e.start_flow(FlowSpec::new(10.0, &[hot], Tag(0)));
+        e.settle_rates();
+        let base = e.stats();
+        for k in 1..=50 {
+            let ev = e.next().unwrap();
+            assert_eq!(ev.tag(), Tag(k - 1));
+            e.start_flow(FlowSpec::new(10.0, &[hot], Tag(k)));
+        }
+        e.settle_rates();
+        let s = e.stats();
+        // Every reissue hit the identical-signature swap: no solver work
+        // at all, and the cold component was never touched.
+        assert_eq!(s.swap_inherits - base.swap_inherits, 50);
+        assert_eq!(s.flows_resolved, base.flows_resolved);
+        assert_eq!(s.full_solves, base.full_solves);
+    }
+
+    #[test]
+    fn swap_survives_routeless_churn() {
+        // The documented steady state: a chunk completes, a route-less
+        // compute block starts, then the identical chunk is reissued. The
+        // compute start must not invalidate the swap candidate.
+        let mut e = Engine::new();
+        let r = e.add_resource(ResourceSpec::constant(10.0));
+        e.start_flow(FlowSpec::new(10.0, &[r], Tag(0)));
+        e.start_flow(FlowSpec::new(1e4, &[r], Tag(9)));
+        e.next().unwrap(); // Tag(0) completes; candidate = its signature
+        e.start_flow(FlowSpec::new(5.0, &[], Tag(50)).with_cap(2.0)); // route-less churn
+        e.start_flow(FlowSpec::new(10.0, &[r], Tag(1))); // identical twin
+        assert_eq!(e.stats().swap_inherits, 1, "candidate survived the route-less start");
+        e.settle_rates();
+        assert!((e.flow_rate(FlowId(3)) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn swap_requires_identical_signature() {
+        let mut e = Engine::new();
+        let r = e.add_resource(ResourceSpec::constant(10.0));
+        e.start_flow(FlowSpec::new(10.0, &[r], Tag(0)).with_cap(3.0));
+        e.start_flow(FlowSpec::new(100.0, &[r], Tag(9)));
+        e.next().unwrap(); // capped flow completes
+                           // Different cap: must NOT inherit; a real solve gives it the full
+                           // remaining share.
+        e.start_flow(FlowSpec::new(10.0, &[r], Tag(1)).with_cap(8.0));
+        e.settle_rates();
+        assert_eq!(e.stats().swap_inherits, 0);
+        assert!((e.flow_rate(FlowId(2)) - 5.0).abs() < 1e-9, "fair share, not old cap");
+    }
+
+    #[test]
+    fn swap_candidate_dies_on_settle() {
+        // A settle between the completion and the identical start consumes
+        // the dirty marks; the start must trigger a fresh solve, not
+        // inherit a stale rate.
+        let mut e = Engine::new();
+        let r = e.add_resource(ResourceSpec::constant(10.0));
+        e.start_flow(FlowSpec::new(10.0, &[r], Tag(0)));
+        e.start_flow(FlowSpec::new(100.0, &[r], Tag(9)));
+        e.next().unwrap(); // Tag(0) completes at t=2 (rate 5 each)
+        e.settle_rates(); // Tag(9) re-solved alone: rate 10
+        e.start_flow(FlowSpec::new(10.0, &[r], Tag(1)));
+        e.settle_rates();
+        assert_eq!(e.stats().swap_inherits, 0);
+        assert!((e.flow_rate(FlowId(2)) - 5.0).abs() < 1e-9);
+        assert!((e.flow_rate(FlowId(1)) - 5.0).abs() < 1e-9);
     }
 }

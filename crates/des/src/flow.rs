@@ -62,11 +62,18 @@ impl FlowSpec {
 }
 
 /// Internal runtime state of a flow.
+///
+/// Progress is settled lazily: `remaining` is the demand left as of
+/// `last_settled`; the true remaining at engine time `t` is
+/// `remaining - rate * (t - last_settled)`. The engine settles a flow
+/// whenever its rate changes or it is observed.
 #[derive(Debug, Clone)]
 pub(crate) struct FlowState {
     pub demand: f64,
     pub remaining: f64,
     pub rate: f64,
+    /// Engine time at which `remaining` was last brought up to date.
+    pub last_settled: f64,
     pub route: Vec<ResourceId>,
     pub tag: Tag,
     pub rate_cap: Option<f64>,
@@ -74,12 +81,14 @@ pub(crate) struct FlowState {
 }
 
 impl FlowState {
-    pub fn from_spec(spec: &FlowSpec) -> Self {
+    /// Consume a spec, moving its route buffer into the runtime state.
+    pub fn from_spec(spec: FlowSpec) -> Self {
         Self {
             demand: spec.demand,
             remaining: spec.demand,
             rate: 0.0,
-            route: spec.route.clone(),
+            last_settled: 0.0,
+            route: spec.route,
             tag: spec.tag,
             rate_cap: spec.rate_cap,
             status: if spec.latency > 0.0 { FlowStatus::Pending } else { FlowStatus::Active },
@@ -99,9 +108,7 @@ mod tests {
 
     #[test]
     fn builder_sets_fields() {
-        let spec = FlowSpec::new(100.0, &[ResourceId(0)], Tag(7))
-            .with_cap(10.0)
-            .with_latency(0.5);
+        let spec = FlowSpec::new(100.0, &[ResourceId(0)], Tag(7)).with_cap(10.0).with_latency(0.5);
         assert_eq!(spec.demand, 100.0);
         assert_eq!(spec.rate_cap, Some(10.0));
         assert_eq!(spec.latency, 0.5);
@@ -111,15 +118,15 @@ mod tests {
     #[test]
     fn latency_makes_flow_pending() {
         let spec = FlowSpec::new(1.0, &[], Tag(0)).with_latency(1.0);
-        assert_eq!(FlowState::from_spec(&spec).status, FlowStatus::Pending);
+        assert_eq!(FlowState::from_spec(spec.clone()).status, FlowStatus::Pending);
         let spec = FlowSpec::new(1.0, &[], Tag(0));
-        assert_eq!(FlowState::from_spec(&spec).status, FlowStatus::Active);
+        assert_eq!(FlowState::from_spec(spec.clone()).status, FlowStatus::Active);
     }
 
     #[test]
     fn done_uses_relative_epsilon() {
         let spec = FlowSpec::new(1e12, &[], Tag(0));
-        let mut st = FlowState::from_spec(&spec);
+        let mut st = FlowState::from_spec(spec.clone());
         st.remaining = 100.0; // 1e-10 of demand: below REL_EPS * demand = 1000
         assert!(st.is_done());
         st.remaining = 1e6;

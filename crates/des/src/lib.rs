@@ -51,7 +51,7 @@ pub use engine::{Engine, Event};
 pub use flow::{FlowSpec, FlowStatus};
 pub use ids::{FlowId, ResourceId, Tag, TimerId};
 pub use resource::{CapacityModel, ResourceSpec};
-pub use sharing::{solve_max_min, FlowInput, ResourceInput};
+pub use sharing::{solve_max_min, FlowInput, ResourceInput, MAX_RATE};
 pub use stats::Stats;
 
 /// Relative numerical tolerance used when deciding a flow's demand is done.

@@ -99,9 +99,8 @@ pub fn solve_max_min(resources: &[ResourceInput], flows: &[FlowInput], rates: &m
             }
         }
 
-        if best_capped.is_some() && best_cap <= best_share {
+        if let (Some(i), true) = (best_capped, best_cap <= best_share) {
             // Freeze the single most-constrained capped flow at its cap.
-            let i = best_capped.expect("checked above");
             frozen[i] = true;
             n_frozen += 1;
             rates[i] = best_cap;
@@ -230,9 +229,7 @@ mod tests {
             let used: f64 = flows
                 .iter()
                 .zip(rates)
-                .map(|((route, _), &rate)| {
-                    route.iter().filter(|&&x| x == r).count() as f64 * rate
-                })
+                .map(|((route, _), &rate)| route.iter().filter(|&&x| x == r).count() as f64 * rate)
                 .sum();
             assert!(
                 used <= cap * (1.0 + 1e-9) + 1e-9,

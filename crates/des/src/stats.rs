@@ -16,8 +16,26 @@ pub struct Stats {
     pub flows_started: u64,
     /// Flows cancelled before completion.
     pub flows_cancelled: u64,
-    /// Full max–min rate recomputations performed.
+    /// Rate-settling passes (each may solve several dirty components).
     pub rate_recomputes: u64,
+    /// Component-scoped max–min solves (one per dirty connected component
+    /// per settling pass).
+    pub component_solves: u64,
+    /// Component solves whose component spanned *every* active routed
+    /// flow — i.e. solves that were effectively global. A healthy
+    /// incremental workload keeps this far below `component_solves`.
+    pub full_solves: u64,
+    /// Route-less flows assigned their cap rate in O(1), bypassing the
+    /// solver entirely.
+    pub routeless_assigns: u64,
+    /// Identical-signature swap fast paths taken: a flow started right
+    /// after an identically-shaped completion inherited its rate, with no
+    /// solve at all (the steady state of pipelined chunk streams).
+    pub swap_inherits: u64,
+    /// Cumulative flows handed to the max–min solver across all component
+    /// solves (the actual work done; a global-recompute engine would
+    /// accumulate live-flows x events here).
+    pub flows_resolved: u64,
     /// Resources registered.
     pub resources: u64,
 }

@@ -38,9 +38,7 @@ impl PartialOrd for Entry {
 }
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time
-            .total_cmp(&other.time)
-            .then_with(|| self.seq.cmp(&other.seq))
+        self.time.total_cmp(&other.time).then_with(|| self.seq.cmp(&other.seq))
     }
 }
 
@@ -53,8 +51,17 @@ pub(crate) struct TimerQueue {
 }
 
 impl TimerQueue {
+    #[cfg(test)]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Drop every scheduled timer, keeping allocations. Sequence numbers
+    /// keep increasing so stale [`TimerId`]s from before the clear can
+    /// never cancel a new timer.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.cancelled.clear();
     }
 
     pub fn schedule(&mut self, time: f64, kind: TimerKind) -> TimerId {
@@ -81,11 +88,17 @@ impl TimerQueue {
         self.heap.pop().map(|Reverse(e)| (TimerId(e.seq), e.time, e.kind))
     }
 
+    #[cfg(test)]
     pub fn is_empty(&mut self) -> bool {
         self.peek_time().is_none()
     }
 
     fn drop_cancelled(&mut self) {
+        // Fast path: engines that never cancel timers (the simulator) pay
+        // nothing here.
+        if self.cancelled.is_empty() {
+            return;
+        }
         while let Some(Reverse(e)) = self.heap.peek() {
             if self.cancelled.remove(&e.seq) {
                 self.heap.pop();

@@ -6,7 +6,9 @@ use std::time::Instant;
 
 use simcal_calib::Budget;
 use simcal_storage::XRootDConfig;
-use simcal_study::experiments::{ablation, fig2, generalization, table1, table2, table3, table4, table5, table6};
+use simcal_study::experiments::{
+    ablation, fig2, generalization, table1, table2, table3, table4, table5, table6,
+};
 use simcal_study::report::write_csv;
 use simcal_study::{CaseStudy, ExperimentContext};
 
@@ -241,18 +243,13 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 let r = table5::run(ctx);
                 println!("{}", table5::render(&r));
                 if let Some(dir) = &opts.out {
-                    let headers: Vec<String> =
-                        ["icds", "full_mre"].map(String::from).to_vec();
+                    let headers: Vec<String> = ["icds", "full_mre"].map(String::from).to_vec();
                     let rows: Vec<Vec<String>> = r
                         .subsets
                         .iter()
                         .map(|s| {
                             vec![
-                                s.icds
-                                    .iter()
-                                    .map(|x| x.to_string())
-                                    .collect::<Vec<_>>()
-                                    .join(";"),
+                                s.icds.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(";"),
                                 format!("{:.4}", s.full_mre),
                             ]
                         })
@@ -299,8 +296,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 println!("{}", fig2::render(&r));
                 if let Some(dir) = &opts.out {
                     let (headers, rows) = fig2::to_csv(&r);
-                    write_csv(&dir.join("fig2.csv"), &headers, &rows)
-                        .map_err(|e| e.to_string())?;
+                    write_csv(&dir.join("fig2.csv"), &headers, &rows).map_err(|e| e.to_string())?;
                 }
             }
             other => return Err(format!("unknown command {other:?}")),

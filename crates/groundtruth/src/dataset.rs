@@ -51,9 +51,7 @@ impl GroundTruthSet {
         let points = icds
             .iter()
             .map(|&icd| {
-                self.point(icd)
-                    .unwrap_or_else(|| panic!("no ground truth for ICD {icd}"))
-                    .clone()
+                self.point(icd).unwrap_or_else(|| panic!("no ground truth for ICD {icd}")).clone()
             })
             .collect();
         GroundTruthSet { platform: self.platform, points }

@@ -89,11 +89,8 @@ mod tests {
 
     #[test]
     fn builds_custom_platform() {
-        let p = PlatformBuilder::new("edge")
-            .nodes("w", 4, 16)
-            .page_cache(true)
-            .wan_gbps(1.0)
-            .build();
+        let p =
+            PlatformBuilder::new("edge").nodes("w", 4, 16).page_cache(true).wan_gbps(1.0).build();
         assert_eq!(p.node_count(), 4);
         assert_eq!(p.total_cores(), 64);
         assert!(p.page_cache_enabled);

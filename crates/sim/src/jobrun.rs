@@ -109,9 +109,7 @@ impl JobRun {
             start: 0.0,
             end: 0.0,
             file_sizes: spec.input_files.iter().map(|f| f.size).collect(),
-            cached_flags: (0..spec.input_files.len())
-                .map(|f| cache.is_cached(job, f))
-                .collect(),
+            cached_flags: (0..spec.input_files.len()).map(|f| cache.is_cached(job, f)).collect(),
             fpb_eff: spec.flops_per_byte * compute_factor,
             output_bytes: spec.output_bytes,
             phase: Phase::Reading,
@@ -307,8 +305,12 @@ impl JobRun {
             demand *= Distribution::log_normal_median(1.0, sigma).sample(ctx.rng);
         }
         ctx.engine.start_flow(
-            FlowSpec::new(demand, &[ctx.res.local_dev[self.node]], encode(Kind::LocalRead, self.job))
-                .with_latency(ctx.cfg.hardware.disk_latency),
+            FlowSpec::new(
+                demand,
+                &[ctx.res.local_dev[self.node]],
+                encode(Kind::LocalRead, self.job),
+            )
+            .with_latency(ctx.cfg.hardware.disk_latency),
         );
         self.read_pos = end;
         self.local_busy = true;

@@ -56,5 +56,5 @@ pub mod validate;
 pub use config::{NoiseConfig, SimConfig};
 pub use resources::PlatformResources;
 pub use scheduler::Scheduler;
-pub use simulator::simulate;
+pub use simulator::{simulate, try_simulate, SimError, SimSession};
 pub use validate::check_trace;

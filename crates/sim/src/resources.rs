@@ -35,8 +35,7 @@ impl PlatformResources {
         } else {
             ResourceSpec::constant(hw.disk_bw)
         };
-        let local_dev =
-            platform.nodes.iter().map(|_| engine.add_resource(local_spec)).collect();
+        let local_dev = platform.nodes.iter().map(|_| engine.add_resource(local_spec)).collect();
         let node_link = platform
             .nodes
             .iter()

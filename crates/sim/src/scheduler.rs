@@ -20,16 +20,25 @@ pub struct Scheduler {
 impl Scheduler {
     /// A scheduler over the given per-node core counts.
     pub fn new(cores_per_node: &[u32]) -> Self {
-        let mut free = BinaryHeap::new();
+        let mut s = Self { free: BinaryHeap::new(), queue: VecDeque::new(), total_slots: 0 };
+        s.reset(cores_per_node);
+        s
+    }
+
+    /// Reinitialize for a fresh run over (possibly different) core counts,
+    /// reusing the heap and queue allocations.
+    pub fn reset(&mut self, cores_per_node: &[u32]) {
+        self.free.clear();
+        self.queue.clear();
         let mut total = 0usize;
         for (node, &cores) in cores_per_node.iter().enumerate() {
             for core in 0..cores {
-                free.push(std::cmp::Reverse((node, core)));
+                self.free.push(std::cmp::Reverse((node, core)));
                 total += 1;
             }
         }
         assert!(total > 0, "platform has no cores");
-        Self { free, queue: VecDeque::new(), total_slots: total }
+        self.total_slots = total;
     }
 
     /// Submit a job; returns the slot it starts on immediately, or `None`

@@ -1,11 +1,19 @@
-//! The top-level simulation loop.
+//! The top-level simulation loop: reusable sessions and the one-shot
+//! [`simulate`] wrapper.
+//!
+//! A [`SimSession`] owns the engine, the scheduler, and the per-run
+//! arenas. Its [`run`](SimSession::run) method clears state **without
+//! freeing allocations**, so callers that evaluate many configurations —
+//! the calibration framework above all — pay the arena-building cost once
+//! per worker instead of once per simulation. [`simulate`] stays as the
+//! thin cold-build wrapper for one-off use.
 
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use simcal_des::{Engine, Event};
+use simcal_des::{Engine, Event, Tag};
 use simcal_platform::PlatformSpec;
 use simcal_storage::CachePlan;
 use simcal_workload::{ExecutionTrace, JobRecord, Workload};
@@ -16,111 +24,229 @@ use crate::resources::PlatformResources;
 use crate::scheduler::Scheduler;
 use crate::tags;
 
+/// A structured simulation failure.
+///
+/// The simulator's event loop has exactly one event vocabulary today
+/// (flow completions); anything else is a logic error that previously
+/// crashed with `unreachable!` in release builds. These variants let
+/// embedding layers (calibration fleets, services) report the failure
+/// instead of aborting the process.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The engine delivered a user-timer event, but the simulator sets no
+    /// user timers. A future feature that introduces timers must extend
+    /// the event dispatch in [`SimSession::try_run`].
+    UnexpectedTimer {
+        /// The tag carried by the rogue timer.
+        tag: Tag,
+        /// Simulated time at which it fired.
+        at: f64,
+    },
+    /// The event loop drained with jobs still unfinished (a scheduling or
+    /// pipelining deadlock).
+    UnfinishedJobs {
+        /// Jobs that did finish.
+        finished: usize,
+        /// Jobs in the workload.
+        total: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            SimError::UnexpectedTimer { tag, at } => write!(
+                f,
+                "unexpected user timer (tag {tag:?}) fired at t={at}: the simulator sets no user timers"
+            ),
+            SimError::UnfinishedJobs { finished, total } => write!(
+                f,
+                "simulation ended with unfinished jobs: {finished}/{total} completed (deadlock?)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A reusable simulation context: engine + scheduler + run arenas.
+///
+/// ```
+/// use simcal_platform::catalog;
+/// use simcal_storage::CachePlan;
+/// use simcal_sim::{SimConfig, SimSession};
+/// use simcal_workload::scaled_cms_workload;
+///
+/// let workload = scaled_cms_workload(6, 4, 10e6);
+/// let cache = CachePlan::new(&workload, 0.5, 42);
+/// let mut session = SimSession::new();
+/// // Every `run` reuses the buffers grown by the previous one.
+/// for _ in 0..3 {
+///     let trace = session.run(&catalog::scsn(), &workload, &cache, &SimConfig::default());
+///     assert_eq!(trace.jobs.len(), 6);
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct SimSession {
+    engine: Engine,
+    scheduler: Option<Scheduler>,
+    runs: Vec<Option<JobRun>>,
+}
+
+impl SimSession {
+    /// A fresh session with empty arenas.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Simulate one execution, panicking on [`SimError`] (which indicates
+    /// a simulator logic error, not bad input).
+    pub fn run(
+        &mut self,
+        platform: &PlatformSpec,
+        workload: &Workload,
+        cache: &CachePlan,
+        config: &SimConfig,
+    ) -> ExecutionTrace {
+        self.try_run(platform, workload, cache, config)
+            .unwrap_or_else(|e| panic!("simulation failed: {e}"))
+    }
+
+    /// Simulate one execution of `workload` on `platform` with the given
+    /// initially-cached-data plan and configuration; returns the trace.
+    ///
+    /// The simulation is deterministic for a deterministic configuration
+    /// (no noise), and deterministic given `config.noise.seed` otherwise.
+    /// Reuses all internal allocations from previous runs.
+    pub fn try_run(
+        &mut self,
+        platform: &PlatformSpec,
+        workload: &Workload,
+        cache: &CachePlan,
+        config: &SimConfig,
+    ) -> Result<ExecutionTrace, SimError> {
+        let wall_start = Instant::now();
+        config.validate();
+        platform.validate();
+        workload.validate();
+        assert_eq!(
+            cache.total_files(),
+            workload.total_files(),
+            "cache plan does not match workload"
+        );
+
+        let engine = &mut self.engine;
+        engine.reset();
+        let resources = PlatformResources::build(engine, platform, &config.hardware);
+        let cores: Vec<u32> = platform.nodes.iter().map(|n| n.cores).collect();
+        let scheduler = match self.scheduler.as_mut() {
+            Some(s) => {
+                s.reset(&cores);
+                s
+            }
+            None => self.scheduler.insert(Scheduler::new(&cores)),
+        };
+        let mut rng = StdRng::seed_from_u64(config.noise.seed);
+
+        self.runs.clear();
+        self.runs.resize_with(workload.len(), || None);
+        let runs = &mut self.runs;
+        let mut records: Vec<JobRecord> = Vec::with_capacity(workload.len());
+
+        // Submit every job; those that get a core start immediately.
+        #[allow(clippy::needless_range_loop)] // `job` is an id, not just an index
+        for job in 0..workload.len() {
+            if let Some((node, core)) = scheduler.submit(job) {
+                let mut run = JobRun::new(
+                    job,
+                    node,
+                    core,
+                    &workload.jobs[job],
+                    cache,
+                    config.noise.compute_factor(job),
+                );
+                run.begin(&mut Ctx { engine, res: &resources, cfg: config, rng: &mut rng });
+                runs[job] = Some(run);
+            }
+        }
+
+        while let Some(event) = engine.next() {
+            let Event::FlowCompleted { tag, .. } = event else {
+                let Event::TimerFired { tag, .. } = event else { unreachable!() };
+                debug_assert!(false, "the simulator sets no user timers (tag {tag:?})");
+                return Err(SimError::UnexpectedTimer { tag, at: engine.now() });
+            };
+            let (kind, job) = tags::decode(tag);
+            let run = runs[job].as_mut().unwrap_or_else(|| panic!("event for unstarted job {job}"));
+            let finished = run
+                .on_event(kind, &mut Ctx { engine, res: &resources, cfg: config, rng: &mut rng });
+            if finished {
+                let (node, core) = (run.node, run.core);
+                records.push(JobRecord { job, node, core, start: run.start, end: run.end });
+                if let Some((next_job, (n_node, n_core))) = scheduler.release(node, core) {
+                    let mut run = JobRun::new(
+                        next_job,
+                        n_node,
+                        n_core,
+                        &workload.jobs[next_job],
+                        cache,
+                        config.noise.compute_factor(next_job),
+                    );
+                    run.begin(&mut Ctx { engine, res: &resources, cfg: config, rng: &mut rng });
+                    runs[next_job] = Some(run);
+                }
+            }
+        }
+
+        if records.len() != workload.len() {
+            return Err(SimError::UnfinishedJobs {
+                finished: records.len(),
+                total: workload.len(),
+            });
+        }
+        records.sort_by_key(|r| r.job);
+
+        let trace = ExecutionTrace {
+            jobs: records,
+            n_nodes: platform.node_count(),
+            engine_events: engine.stats().events(),
+            wall_seconds: wall_start.elapsed().as_secs_f64(),
+        };
+        trace.validate();
+        Ok(trace)
+    }
+
+    /// Kernel statistics of the most recent run (component-vs-global solve
+    /// counters and event totals).
+    pub fn engine_stats(&self) -> simcal_des::Stats {
+        self.engine.stats()
+    }
+}
+
 /// Simulate one execution of `workload` on `platform` with the given
 /// initially-cached-data plan and configuration; returns the trace.
 ///
-/// The simulation is deterministic for a deterministic configuration
-/// (no noise), and deterministic given `config.noise.seed` otherwise.
+/// One-shot wrapper over [`SimSession`]: builds a fresh session, runs it
+/// once, and drops it. Callers evaluating many configurations should hold
+/// a session instead and amortize the arena building.
 pub fn simulate(
     platform: &PlatformSpec,
     workload: &Workload,
     cache: &CachePlan,
     config: &SimConfig,
 ) -> ExecutionTrace {
-    let wall_start = Instant::now();
-    config.validate();
-    platform.validate();
-    workload.validate();
-    assert_eq!(
-        cache.total_files(),
-        workload.total_files(),
-        "cache plan does not match workload"
-    );
+    SimSession::new().run(platform, workload, cache, config)
+}
 
-    let mut engine = Engine::new();
-    let resources = PlatformResources::build(&mut engine, platform, &config.hardware);
-    let cores: Vec<u32> = platform.nodes.iter().map(|n| n.cores).collect();
-    let mut scheduler = Scheduler::new(&cores);
-    let mut rng = StdRng::seed_from_u64(config.noise.seed);
-
-    let mut runs: Vec<Option<JobRun>> = (0..workload.len()).map(|_| None).collect();
-    let mut records: Vec<JobRecord> = Vec::with_capacity(workload.len());
-
-    // Submit every job; those that get a core start immediately.
-    for job in 0..workload.len() {
-        if let Some((node, core)) = scheduler.submit(job) {
-            let mut run = JobRun::new(
-                job,
-                node,
-                core,
-                &workload.jobs[job],
-                cache,
-                config.noise.compute_factor(job),
-            );
-            run.begin(&mut Ctx {
-                engine: &mut engine,
-                res: &resources,
-                cfg: config,
-                rng: &mut rng,
-            });
-            runs[job] = Some(run);
-        }
-    }
-
-    while let Some(event) = engine.next() {
-        let Event::FlowCompleted { tag, .. } = event else {
-            unreachable!("the simulator sets no user timers");
-        };
-        let (kind, job) = tags::decode(tag);
-        let run = runs[job].as_mut().unwrap_or_else(|| panic!("event for unstarted job {job}"));
-        let finished = run.on_event(
-            kind,
-            &mut Ctx { engine: &mut engine, res: &resources, cfg: config, rng: &mut rng },
-        );
-        if finished {
-            let (node, core) = (run.node, run.core);
-            records.push(JobRecord {
-                job,
-                node,
-                core,
-                start: run.start,
-                end: run.end,
-            });
-            if let Some((next_job, (n_node, n_core))) = scheduler.release(node, core) {
-                let mut run = JobRun::new(
-                    next_job,
-                    n_node,
-                    n_core,
-                    &workload.jobs[next_job],
-                    cache,
-                    config.noise.compute_factor(next_job),
-                );
-                run.begin(&mut Ctx {
-                    engine: &mut engine,
-                    res: &resources,
-                    cfg: config,
-                    rng: &mut rng,
-                });
-                runs[next_job] = Some(run);
-            }
-        }
-    }
-
-    assert_eq!(
-        records.len(),
-        workload.len(),
-        "simulation ended with unfinished jobs (deadlock?)"
-    );
-    records.sort_by_key(|r| r.job);
-
-    let trace = ExecutionTrace {
-        jobs: records,
-        n_nodes: platform.node_count(),
-        engine_events: engine.stats().events(),
-        wall_seconds: wall_start.elapsed().as_secs_f64(),
-    };
-    trace.validate();
-    trace
+/// As [`simulate`], but reporting simulator logic errors as [`SimError`]
+/// instead of panicking.
+pub fn try_simulate(
+    platform: &PlatformSpec,
+    workload: &Workload,
+    cache: &CachePlan,
+    config: &SimConfig,
+) -> Result<ExecutionTrace, SimError> {
+    SimSession::new().try_run(platform, workload, cache, config)
 }
 
 #[cfg(test)]
@@ -166,6 +292,46 @@ mod tests {
     }
 
     #[test]
+    fn session_reuse_reproduces_cold_build_traces() {
+        // The load-bearing property of SimSession: a reused session is
+        // bit-identical to a cold build, across different platforms,
+        // cache plans, and hardware configurations.
+        let w = small_workload();
+        let mut session = SimSession::new();
+        let cfgs = [config(), {
+            let mut c = config();
+            c.hardware.wan_bw = units::mbps(5000.0);
+            c
+        }];
+        for cfg in &cfgs {
+            for icd in [0.0, 0.5, 1.0] {
+                let cache = CachePlan::new(&w, icd, 3);
+                for platform in [catalog::scsn(), catalog::fcfn()] {
+                    let cold = simulate(&platform, &w, &cache, cfg);
+                    let warm = session.run(&platform, &w, &cache, cfg);
+                    assert_eq!(cold.jobs, warm.jobs, "icd={icd}");
+                    assert_eq!(cold.engine_events, warm.engine_events);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn session_reuse_with_noise_matches_cold_build() {
+        let w = small_workload();
+        let cache = CachePlan::new(&w, 0.7, 2);
+        let mut cfg = config();
+        cfg.noise.read_jitter_sigma = 0.25;
+        cfg.noise.seed = 11;
+        let mut session = SimSession::new();
+        let warm1 = session.run(&catalog::scsn(), &w, &cache, &cfg);
+        let warm2 = session.run(&catalog::scsn(), &w, &cache, &cfg);
+        let cold = simulate(&catalog::scsn(), &w, &cache, &cfg);
+        assert_eq!(warm1.jobs, cold.jobs, "seeded noise restarts per run");
+        assert_eq!(warm1.jobs, warm2.jobs);
+    }
+
+    #[test]
     fn compute_bound_job_matches_analytic_time() {
         // One job, one cached file, fast everything except the core:
         // duration ~ file * fpb / core_speed + output time (tiny).
@@ -195,7 +361,7 @@ mod tests {
         cfg.granularity = XRootDConfig::new(10e6, 1e6);
         let trace = simulate(&catalog::scfn(), &w, &cache, &cfg);
         let d = trace.jobs[0].duration();
-        assert!(d >= 10.0 && d < 10.5, "duration {d} should be ~10 s");
+        assert!((10.0..10.5).contains(&d), "duration {d} should be ~10 s");
     }
 
     #[test]
@@ -207,7 +373,7 @@ mod tests {
         let trace = simulate(&catalog::scsn(), &w, &cache, &cfg);
         let d = trace.jobs[0].duration();
         // 287.5 MB over 143.75 MB/s = 2 s + pipeline bubbles.
-        assert!(d >= 2.0 && d < 2.3, "duration {d} should be ~2 s");
+        assert!((2.0..2.3).contains(&d), "duration {d} should be ~2 s");
     }
 
     #[test]
@@ -219,12 +385,7 @@ mod tests {
         // On SCSN the 17 MB/s per-node HDD shared by concurrent jobs is far
         // slower than the WAN share: fully-cached runs are *slower* (the
         // paper's SC-platform regime).
-        assert!(
-            t1.makespan() > t0.makespan(),
-            "icd1 {} <= icd0 {}",
-            t1.makespan(),
-            t0.makespan()
-        );
+        assert!(t1.makespan() > t0.makespan(), "icd1 {} <= icd0 {}", t1.makespan(), t0.makespan());
     }
 
     #[test]
@@ -277,5 +438,13 @@ mod tests {
         cfg.noise.seed = 10;
         let c = simulate(&catalog::scsn(), &w, &cache, &cfg);
         assert_ne!(a.jobs, c.jobs);
+    }
+
+    #[test]
+    fn sim_error_displays_helpfully() {
+        let e = SimError::UnfinishedJobs { finished: 3, total: 5 };
+        assert!(e.to_string().contains("3/5"));
+        let t = SimError::UnexpectedTimer { tag: Tag(7), at: 1.5 };
+        assert!(t.to_string().contains("timer"));
     }
 }

@@ -138,8 +138,7 @@ mod tests {
         let w = workload();
         let plan = CachePlan::new(&w, 0.5, 3);
         // At least one job must cache a file outside the first half.
-        let any_late = (0..w.len())
-            .any(|j| (10..20).any(|f| plan.is_cached(j, f)));
+        let any_late = (0..w.len()).any(|j| (10..20).any(|f| plan.is_cached(j, f)));
         assert!(any_late, "ICD selection looks like a prefix");
     }
 

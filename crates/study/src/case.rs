@@ -52,10 +52,8 @@ impl CaseStudy {
 
     /// Ground truth for a platform.
     pub fn gt(&self, kind: PlatformKind) -> &Arc<GroundTruthSet> {
-        &self.ground_truth[PlatformKind::ALL
-            .iter()
-            .position(|&k| k == kind)
-            .expect("all kinds present")]
+        &self.ground_truth
+            [PlatformKind::ALL.iter().position(|&k| k == kind).expect("all kinds present")]
     }
 
     /// Load ground truth from `dir` (one `<platform>.csv` per platform) if

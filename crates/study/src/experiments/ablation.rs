@@ -90,15 +90,13 @@ pub fn run(ctx: &ExperimentContext) -> Ablation {
 
     let aggregate_obj = CaseObjective::full(&ctx.case, scsn, ctx.granularity);
     let mut gd = GradientDescent::fixed(ctx.seed);
-    let r_agg =
-        calibrate_with_workers(&mut gd, &aggregate_obj, &space, ctx.budget, ctx.workers);
+    let r_agg = calibrate_with_workers(&mut gd, &aggregate_obj, &space, ctx.budget, ctx.workers);
 
     let job_truth = generate_job_times(scsn, &ctx.case.workload, &ctx.case.truth, &icds);
-    let per_job_obj = CaseObjective::full(&ctx.case, scsn, ctx.granularity)
-        .with_per_job_truth(job_truth);
+    let per_job_obj =
+        CaseObjective::full(&ctx.case, scsn, ctx.granularity).with_per_job_truth(job_truth);
     let mut gd = GradientDescent::fixed(ctx.seed);
-    let r_job =
-        calibrate_with_workers(&mut gd, &per_job_obj, &space, ctx.budget, ctx.workers);
+    let r_job = calibrate_with_workers(&mut gd, &per_job_obj, &space, ctx.budget, ctx.workers);
 
     let log2_err = |v: f64| (v / truth_wan).log2().abs();
     Ablation {
@@ -117,9 +115,7 @@ pub fn render(a: &Ablation) -> String {
         &["Algorithm".into(), "MRE".into(), "Evals".into()],
         &a.algorithms
             .iter()
-            .map(|r| {
-                vec![r.method.clone(), format!("{:.2}%", r.mre), r.evaluations.to_string()]
-            })
+            .map(|r| vec![r.method.clone(), format!("{:.2}%", r.mre), r.evaluations.to_string()])
             .collect::<Vec<_>>(),
     ));
     out.push_str(&format!(

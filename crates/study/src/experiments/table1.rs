@@ -17,10 +17,7 @@ mod tests {
     #[test]
     fn reproduces_the_paper_counts() {
         let t = super::run();
-        assert_eq!(
-            (t.total, t.simulation_only, t.both),
-            (114, 85, 29)
-        );
+        assert_eq!((t.total, t.simulation_only, t.both), (114, 85, 29));
         assert_eq!(
             (t.no_comparison, t.calibration_mentioned_at_best, t.calibration_documented),
             (4, 15, 10)

@@ -83,9 +83,7 @@ pub fn render(t: &Table3) -> String {
         .iter()
         .zip(&t.mre)
         .map(|(m, row)| {
-            std::iter::once(m.clone())
-                .chain(row.iter().map(|v| format!("{v:.2}%")))
-                .collect()
+            std::iter::once(m.clone()).chain(row.iter().map(|v| format!("{v:.2}%"))).collect()
         })
         .collect();
     out.push_str(&ascii_table(&headers, &rows));

@@ -51,8 +51,7 @@ pub fn run(ctx: &ExperimentContext) -> Table4 {
     });
 
     for mut algo in ctx.paper_algorithms() {
-        let result =
-            calibrate_with_workers(algo.as_mut(), &obj, &space, ctx.budget, ctx.workers);
+        let result = calibrate_with_workers(algo.as_mut(), &obj, &space, ctx.budget, ctx.workers);
         rows.push(Table4Row {
             method: result.algorithm.clone(),
             values: [
@@ -73,10 +72,7 @@ pub fn run(ctx: &ExperimentContext) -> Table4 {
         alpha: truth.disk_contention_alpha,
     }
     .effective(12);
-    Table4 {
-        rows,
-        truth: [truth.core_speed, disk_eff, truth.lan_bw, truth.wan_bw(kind)],
-    }
+    Table4 { rows, truth: [truth.core_speed, disk_eff, truth.lan_bw, truth.wan_bw(kind)] }
 }
 
 fn format_row(values: &[f64; 4]) -> Vec<String> {
@@ -90,8 +86,7 @@ fn format_row(values: &[f64; 4]) -> Vec<String> {
 
 /// Render in the paper's layout.
 pub fn render(t: &Table4) -> String {
-    let mut out =
-        String::from("TABLE IV: Calibrated parameter values for platform SCSN\n");
+    let mut out = String::from("TABLE IV: Calibrated parameter values for platform SCSN\n");
     let headers: Vec<String> = vec![
         "Method".into(),
         "Core speed".into(),
@@ -102,13 +97,9 @@ pub fn render(t: &Table4) -> String {
     let mut rows: Vec<Vec<String>> = t
         .rows
         .iter()
-        .map(|r| {
-            std::iter::once(r.method.clone()).chain(format_row(&r.values)).collect()
-        })
+        .map(|r| std::iter::once(r.method.clone()).chain(format_row(&r.values)).collect())
         .collect();
-    rows.push(
-        std::iter::once("(actual)".to_string()).chain(format_row(&t.truth)).collect(),
-    );
+    rows.push(std::iter::once("(actual)".to_string()).chain(format_row(&t.truth)).collect());
     out.push_str(&ascii_table(&headers, &rows));
     out
 }

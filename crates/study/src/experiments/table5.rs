@@ -83,7 +83,7 @@ pub fn run(ctx: &ExperimentContext) -> Table5 {
     let mut subsets: Vec<SubsetResult> = Vec::new();
     let mut rows: Vec<Table5Row> = Vec::new();
 
-    let mut run_subset = |icds: &[f64]| -> f64 {
+    let run_subset = |icds: &[f64]| -> f64 {
         let obj = CaseObjective::new(&ctx.case, kind, icds, ctx.granularity);
         let mut algo = GradientDescent::fixed(ctx.seed);
         let result = calibrate_with_workers(
@@ -129,8 +129,13 @@ pub fn render(t: &Table5) -> String {
     let mut out = String::from(
         "TABLE V: Best, median, and worst MRE when calibrating using subsets of the ICD values\n(GDFix, platform FCSN; scored on the full 11-ICD grid)\n",
     );
-    let headers: Vec<String> =
-        vec!["# ICD values".into(), "# Subsets".into(), "Best".into(), "Median".into(), "Worst".into()];
+    let headers: Vec<String> = vec![
+        "# ICD values".into(),
+        "# Subsets".into(),
+        "Best".into(),
+        "Median".into(),
+        "Worst".into(),
+    ];
     let rows: Vec<Vec<String>> = t
         .rows
         .iter()

@@ -72,11 +72,8 @@ pub fn run(ctx: &ExperimentContext) -> Table6 {
                 evaluations: result.evaluations,
             });
         }
-        let mean_sim_seconds = if total_evals == 0 {
-            0.0
-        } else {
-            total_cost / (total_evals as f64 * n_icds as f64)
-        };
+        let mean_sim_seconds =
+            if total_evals == 0 { 0.0 } else { total_cost / (total_evals as f64 * n_icds as f64) };
         rows.push(Table6Row { granularity, mean_sim_seconds, cells });
     }
     Table6 { rows }
@@ -125,10 +122,7 @@ mod tests {
         // ...so the same cost budget affords fewer evaluations.
         let evals_fast: u64 = t.rows[0].cells.iter().map(|c| c.evaluations).sum();
         let evals_slow: u64 = t.rows[3].cells.iter().map(|c| c.evaluations).sum();
-        assert!(
-            evals_fast > 2 * evals_slow,
-            "fast {evals_fast} vs slow {evals_slow} evaluations"
-        );
+        assert!(evals_fast > 2 * evals_slow, "fast {evals_fast} vs slow {evals_slow} evaluations");
         assert!(render(&t).contains("TABLE VI"));
     }
 }

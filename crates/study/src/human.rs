@@ -146,11 +146,7 @@ mod tests {
             units::format_rate(h.wan_bw_slow)
         );
         // Disk estimate in the paper's 14-20 MBps ballpark.
-        assert!(
-            (14e6..22e6).contains(&h.disk_bw),
-            "disk {}",
-            units::to_mbytes_per_sec(h.disk_bw)
-        );
+        assert!((14e6..22e6).contains(&h.disk_bw), "disk {}", units::to_mbytes_per_sec(h.disk_bw));
         // The deliberate mistakes.
         assert_eq!(h.page_cache_bw, 1e9);
         assert_eq!(h.lan_bw, units::gbps(10.0));

@@ -10,10 +10,10 @@
 
 use std::sync::Arc;
 
-use simcal_calib::{mae, mre_percent, Objective, ParamSpace};
+use simcal_calib::{mae, mre_percent, EvalContext, Objective, ParamSpace};
 use simcal_groundtruth::{cache_plan_for, GroundTruthSet};
 use simcal_platform::{HardwareParams, PlatformKind, PlatformSpec};
-use simcal_sim::{simulate, SimConfig};
+use simcal_sim::{SimConfig, SimSession};
 use simcal_storage::{CachePlan, XRootDConfig};
 use simcal_workload::Workload;
 
@@ -87,8 +87,7 @@ impl CaseObjective {
         granularity: XRootDConfig,
     ) -> Self {
         let subset = gt.subset(icds);
-        let plans =
-            icds.iter().map(|&icd| (icd, cache_plan_for(&workload, icd))).collect();
+        let plans = icds.iter().map(|&icd| (icd, cache_plan_for(&workload, icd))).collect();
         Self {
             kind,
             platform: kind.spec(),
@@ -158,10 +157,21 @@ impl CaseObjective {
     /// hardware parameter set (used to score the HUMAN calibration, which
     /// fixes non-calibrated parameters to its own assumptions).
     pub fn simulate_metrics_hw(&self, hw: &HardwareParams) -> Vec<f64> {
+        self.simulate_metrics_session(&mut SimSession::new(), hw)
+    }
+
+    /// As [`simulate_metrics_hw`](Self::simulate_metrics_hw) on a caller
+    /// owned session, reusing its arenas across the per-ICD simulations
+    /// (and across calls).
+    pub fn simulate_metrics_session(
+        &self,
+        session: &mut SimSession,
+        hw: &HardwareParams,
+    ) -> Vec<f64> {
         let config = SimConfig::new(*hw, self.granularity);
         let mut out = Vec::with_capacity(self.truth_metrics.len());
         for (_, plan) in &self.plans {
-            let trace = simulate(&self.platform, &self.workload, plan, &config);
+            let trace = session.run(&self.platform, &self.workload, plan, &config);
             out.extend(trace.mean_job_time_by_node());
         }
         out
@@ -175,13 +185,29 @@ impl CaseObjective {
 
     /// Run the simulator and return per-job durations (ICD-major).
     pub fn simulate_job_times(&self, values: &[f64]) -> Vec<f64> {
+        self.simulate_job_times_session(&mut SimSession::new(), values)
+    }
+
+    /// As [`simulate_job_times`](Self::simulate_job_times) on a caller
+    /// owned session.
+    pub fn simulate_job_times_session(&self, session: &mut SimSession, values: &[f64]) -> Vec<f64> {
         let config = SimConfig::new(self.hardware_from(values), self.granularity);
         let mut out = Vec::with_capacity(self.plans.len() * self.workload.len());
         for (_, plan) in &self.plans {
-            let trace = simulate(&self.platform, &self.workload, plan, &config);
+            let trace = session.run(&self.platform, &self.workload, plan, &config);
             out.extend(trace.jobs.iter().map(|j| j.duration()));
         }
         out
+    }
+
+    /// Evaluate at `values` on a caller-owned session.
+    pub fn evaluate_session(&self, session: &mut SimSession, values: &[f64]) -> f64 {
+        if self.metric == Metric::PerJobMrePercent {
+            let sim = self.simulate_job_times_session(session, values);
+            return mre_percent(&sim, &self.truth_job_times);
+        }
+        let sim = self.simulate_metrics_session(session, &self.hardware_from(values));
+        self.discrepancy(&sim)
     }
 
     fn discrepancy(&self, sim: &[f64]) -> f64 {
@@ -195,12 +221,16 @@ impl CaseObjective {
 
 impl Objective for CaseObjective {
     fn evaluate(&self, values: &[f64]) -> f64 {
-        if self.metric == Metric::PerJobMrePercent {
-            let sim = self.simulate_job_times(values);
-            return mre_percent(&sim, &self.truth_job_times);
-        }
-        let sim = self.simulate_metrics(values);
-        self.discrepancy(&sim)
+        self.evaluate_session(&mut SimSession::new(), values)
+    }
+
+    /// The calibration hot path: the evaluator threads each worker's
+    /// [`EvalContext`] through here, so the `SimSession` parked in it is
+    /// built once per worker and reused for every candidate point (and
+    /// every per-ICD simulation within a point).
+    fn evaluate_with(&self, ctx: &mut EvalContext, values: &[f64]) -> f64 {
+        let session = ctx.get_or_insert_with(SimSession::new);
+        self.evaluate_session(session, values)
     }
 }
 
@@ -261,11 +291,27 @@ mod tests {
     }
 
     #[test]
+    fn session_evaluation_matches_cold_evaluation() {
+        // The calibration hot path (reused per-worker SimSession) must be
+        // numerically identical to one-shot evaluation.
+        let case = reduced();
+        let g = XRootDConfig::paper_1s();
+        let obj = CaseObjective::new(&case, PlatformKind::Scsn, &[0.0, 1.0], g);
+        let v = [2e9, 17e6, 1.25e9, 1.4e8];
+        let cold = obj.evaluate(&v);
+        let mut ctx = EvalContext::new();
+        let warm1 = Objective::evaluate_with(&obj, &mut ctx, &v);
+        let warm2 = Objective::evaluate_with(&obj, &mut ctx, &v);
+        assert_eq!(cold.to_bits(), warm1.to_bits());
+        assert_eq!(warm1.to_bits(), warm2.to_bits());
+        assert!(ctx.holds::<SimSession>(), "session parked in the worker context");
+    }
+
+    #[test]
     fn mae_metric_reports_seconds() {
         let case = reduced();
         let g = XRootDConfig::paper_1s();
-        let obj = CaseObjective::full(&case, PlatformKind::Scsn, g)
-            .with_metric(Metric::MaeSeconds);
+        let obj = CaseObjective::full(&case, PlatformKind::Scsn, g).with_metric(Metric::MaeSeconds);
         let v = [2e9, 17e6, 1.25e9, 1.4e8];
         let e = obj.evaluate(&v);
         assert!(e.is_finite() && e >= 0.0);

@@ -53,20 +53,15 @@ pub fn write_csv(path: &Path, headers: &[String], rows: &[Vec<String>]) -> std::
 
 /// Render a set of named curves as an ASCII plot (x = cost, y = error).
 /// Each curve gets a distinct marker; the y-axis is linear.
+#[allow(clippy::needless_range_loop)] // column index doubles as x coordinate
 pub fn ascii_plot(curves: &[(String, Vec<(f64, f64)>)], width: usize, height: usize) -> String {
     const MARKERS: [char; 6] = ['*', '+', 'o', 'x', '#', '@'];
-    let all: Vec<(f64, f64)> =
-        curves.iter().flat_map(|(_, c)| c.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = curves.iter().flat_map(|(_, c)| c.iter().copied()).collect();
     if all.is_empty() {
         return "(no data)\n".to_string();
     }
     let x_max = all.iter().map(|p| p.0).fold(0.0f64, f64::max).max(1e-12);
-    let y_max = all
-        .iter()
-        .map(|p| p.1)
-        .filter(|y| y.is_finite())
-        .fold(0.0f64, f64::max)
-        .max(1e-12);
+    let y_max = all.iter().map(|p| p.1).filter(|y| y.is_finite()).fold(0.0f64, f64::max).max(1e-12);
 
     let mut grid = vec![vec![' '; width]; height];
     for (k, (_, curve)) in curves.iter().enumerate() {
@@ -97,7 +92,8 @@ pub fn ascii_plot(curves: &[(String, Vec<(f64, f64)>)], width: usize, height: us
         let _ = writeln!(out, "{:>10} |{line}", "");
     }
     let _ = writeln!(out, "{:>10} +{}", 0.0, "-".repeat(width));
-    let _ = writeln!(out, "{:>10}  0{:>w$.1}s (cumulative simulation cost)", "", x_max, w = width - 1);
+    let _ =
+        writeln!(out, "{:>10}  0{:>w$.1}s (cumulative simulation cost)", "", x_max, w = width - 1);
     for (k, (name, _)) in curves.iter().enumerate() {
         let _ = writeln!(out, "{:>12} {}", MARKERS[k % MARKERS.len()], name);
     }

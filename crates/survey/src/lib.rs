@@ -134,14 +134,10 @@ pub fn aggregate(pubs: &[Publication]) -> TableI {
     let both = pubs.len() - simulation_only;
     let no_comparison =
         pubs.iter().filter(|p| p.real_world == RealWorldUse::BothNoComparison).count();
-    let mentioned = pubs
-        .iter()
-        .filter(|p| p.practice == Some(CalibrationPractice::MentionedAtBest))
-        .count();
-    let documented_manual = pubs
-        .iter()
-        .filter(|p| p.practice == Some(CalibrationPractice::DocumentedManual))
-        .count();
+    let mentioned =
+        pubs.iter().filter(|p| p.practice == Some(CalibrationPractice::MentionedAtBest)).count();
+    let documented_manual =
+        pubs.iter().filter(|p| p.practice == Some(CalibrationPractice::DocumentedManual)).count();
     let documented_statistical = pubs
         .iter()
         .filter(|p| p.practice == Some(CalibrationPractice::DocumentedStatistical))
@@ -182,9 +178,17 @@ pub fn render(t: &TableI) -> String {
         "TABLE I: Examination of {} research publications (2017-2022) with SimGrid results",
         t.total
     );
-    let _ = writeln!(s, "  # Publications that only include simulation results   {:>4}", t.simulation_only);
+    let _ = writeln!(
+        s,
+        "  # Publications that only include simulation results   {:>4}",
+        t.simulation_only
+    );
     let _ = writeln!(s, "  # Publications that include both sim and real-world   {:>4}", t.both);
-    let _ = writeln!(s, "      No comparison thereof                              {:>4}", t.no_comparison);
+    let _ = writeln!(
+        s,
+        "      No comparison thereof                              {:>4}",
+        t.no_comparison
+    );
     let _ = writeln!(
         s,
         "      Calibration perhaps performed or at best mentioned {:>4}",
@@ -236,7 +240,10 @@ mod tests {
     #[test]
     fn both_categories_are_consistent() {
         let t = table_i();
-        assert_eq!(t.both, t.no_comparison + t.calibration_mentioned_at_best + t.calibration_documented);
+        assert_eq!(
+            t.both,
+            t.no_comparison + t.calibration_mentioned_at_best + t.calibration_documented
+        );
         assert_eq!(t.total, t.simulation_only + t.both);
     }
 

@@ -43,10 +43,8 @@ fn split_number_suffix(s: &str) -> Result<(f64, String), ParseUnitError> {
     // by the numeric scan but the suffix starts right after a bare 'e', as in
     // "1eGB" (malformed) — the f64 parse below rejects those.
     let (num_str, suffix) = t.split_at(idx);
-    let value: f64 = num_str
-        .trim()
-        .parse()
-        .map_err(|_| ParseUnitError::new(s, "invalid number"))?;
+    let value: f64 =
+        num_str.trim().parse().map_err(|_| ParseUnitError::new(s, "invalid number"))?;
     Ok((value, suffix.trim().to_ascii_lowercase()))
 }
 

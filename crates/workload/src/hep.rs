@@ -38,14 +38,8 @@ pub fn cms_workload() -> Workload {
 /// ratio, for fast tests and examples (`scale` jobs per node-group slot,
 /// smaller files).
 pub fn scaled_cms_workload(n_jobs: usize, files_per_job: usize, file_bytes: f64) -> Workload {
-    WorkloadSpec::constant(
-        n_jobs,
-        files_per_job,
-        file_bytes,
-        CMS_FLOPS_PER_BYTE,
-        file_bytes * 0.1,
-    )
-    .generate(0)
+    WorkloadSpec::constant(n_jobs, files_per_job, file_bytes, CMS_FLOPS_PER_BYTE, file_bytes * 0.1)
+        .generate(0)
 }
 
 /// Expected compute time of one CMS job on one core, seconds — a sanity

@@ -14,8 +14,8 @@
 use std::sync::Arc;
 
 use simcal::calib::{
-    calibrate, BayesianOpt, Budget, Calibrator, CoordinateDescent, GradientDescent,
-    NelderMead, RandomSearch, SimulatedAnnealing,
+    calibrate, BayesianOpt, Budget, Calibrator, CoordinateDescent, GradientDescent, NelderMead,
+    RandomSearch, SimulatedAnnealing,
 };
 use simcal::platform::PlatformKind;
 use simcal::storage::XRootDConfig;
@@ -40,17 +40,14 @@ fn main() {
     println!("{:<14} {:>10} {:>8}", "algorithm", "MRE", "evals");
     let mut results: Vec<(String, f64)> = Vec::new();
     for mut algo in algos {
-        let objective =
-            CaseObjective::full(&case, PlatformKind::Fcsn, XRootDConfig::paper_1s());
+        let objective = CaseObjective::full(&case, PlatformKind::Fcsn, XRootDConfig::paper_1s());
         let r = calibrate(algo.as_mut(), &objective, &space, budget);
         println!("{:<14} {:>9.2}% {:>8}", r.algorithm, r.best_error, r.evaluations);
         results.push((r.algorithm, r.best_error));
     }
 
-    let best = results
-        .iter()
-        .min_by(|a, b| a.1.total_cmp(&b.1))
-        .expect("at least one algorithm ran");
+    let best =
+        results.iter().min_by(|a, b| a.1.total_cmp(&b.1)).expect("at least one algorithm ran");
     println!(
         "\nBest at this budget: {} ({:.2}%). At tight budgets, model-based \
          and structured searches typically beat uniform sampling — the \

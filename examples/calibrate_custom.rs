@@ -75,11 +75,7 @@ fn main() {
     true_hw.disk_contention_alpha = 0.2;
     let mut true_cfg = SimConfig::new(true_hw, XRootDConfig::ground_truth());
     true_cfg.cache_write_through = true;
-    true_cfg.noise = NoiseConfig {
-        compute_factors: vec![],
-        read_jitter_sigma: 0.05,
-        seed: 99,
-    };
+    true_cfg.noise = NoiseConfig { compute_factors: vec![], read_jitter_sigma: 0.05, seed: 99 };
     let icds = [0.0, 0.5, 1.0];
     let truth_makespans: Vec<(f64, f64)> = icds
         .iter()
@@ -109,8 +105,7 @@ fn main() {
     };
 
     // 4. Calibrate with Nelder-Mead (any `Calibrator` works here).
-    let result =
-        calibrate(&mut NelderMead::new(3), &objective, &space, Budget::Evaluations(250));
+    let result = calibrate(&mut NelderMead::new(3), &objective, &space, Budget::Evaluations(250));
     println!(
         "\n{}: mean relative makespan error {:.2}% after {} evaluations",
         result.algorithm, result.best_error, result.evaluations
@@ -118,8 +113,10 @@ fn main() {
     println!("  core_speed = {}", units::format_flops_rate(result.best_values[0]));
     println!("  disk_bw    = {}", units::format_rate(result.best_values[1]));
     println!("  wan_bw     = {}", units::format_rate(result.best_values[2]));
-    println!("  (true:      {}, {}, {})",
+    println!(
+        "  (true:      {}, {}, {})",
         units::format_flops_rate(true_hw.core_speed),
         units::format_rate(true_hw.disk_bw),
-        units::format_rate(true_hw.wan_bw));
+        units::format_rate(true_hw.wan_bw)
+    );
 }

@@ -47,8 +47,5 @@ fn main() {
         };
         println!("  {name:<14} = {pretty}");
     }
-    println!(
-        "\nautomated vs human: {:.1}x better",
-        human_mre / result.best_error.max(1e-9)
-    );
+    println!("\nautomated vs human: {:.1}x better", human_mre / result.best_error.max(1e-9));
 }

@@ -23,10 +23,7 @@ fn main() {
     let space = param_space();
     let budget_secs = 20.0;
 
-    println!(
-        "\n{:<16} {:>12} {:>8} {:>10}",
-        "B / b", "sim time", "evals", "MRE"
-    );
+    println!("\n{:<16} {:>12} {:>8} {:>10}", "B / b", "sim time", "evals", "MRE");
     for granularity in XRootDConfig::table_vi() {
         let objective = CaseObjective::full(&case, PlatformKind::Fcsn, granularity);
         let result = calibrate(

@@ -28,8 +28,7 @@ fn table_iii_shape_automated_beats_human_on_fc_platforms() {
         let obj = CaseObjective::full(&case, kind, G());
         let human_mre = obj.score_hardware(&human.hardware(kind));
         let mut algo = GradientDescent::fixed(42);
-        let r =
-            calibrate_with_workers(&mut algo, &obj, &space, Budget::Evaluations(250), Some(1));
+        let r = calibrate_with_workers(&mut algo, &obj, &space, Budget::Evaluations(250), Some(1));
         assert!(
             r.best_error < human_mre,
             "{}: GDFix {:.2}% should beat HUMAN {:.2}%",

@@ -1,0 +1,215 @@
+//! Differential oracle for the incremental component-scoped rate solver.
+//!
+//! The engine recomputes max–min rates per dirty connected component; a
+//! correct implementation is indistinguishable from re-solving the whole
+//! allocation globally after every change. This test drives randomized
+//! flow/resource topologies through the engine — starts (with latencies,
+//! caps, duplicate route entries, empty routes), completions, and
+//! cancellations — and after every step compares every active flow's rate
+//! against a fresh **global** `solve_max_min` over the full live set.
+//!
+//! Well over 1000 randomized cases run per invocation.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use simcal::des::{
+    solve_max_min, Engine, FlowId, FlowInput, FlowSpec, FlowStatus, ResourceId, ResourceInput,
+    ResourceSpec, Tag,
+};
+
+/// The flow id carried by an event (completions only in these scenarios).
+fn ev_flow_id(ev: &simcal::des::Event) -> FlowId {
+    match *ev {
+        simcal::des::Event::FlowCompleted { flow, .. } => flow,
+        simcal::des::Event::TimerFired { .. } => unreachable!("no user timers in this test"),
+    }
+}
+
+/// Test-side record of a started flow (the oracle's view of the topology).
+struct FlowRecord {
+    id: FlowId,
+    /// Route as indices into the test's resource table.
+    route: Vec<usize>,
+    cap: Option<f64>,
+}
+
+/// Global max–min oracle over all currently-active flows, reproducing the
+/// engine's effective-capacity computation (per-resource active flow
+/// counts, duplicates included).
+fn oracle_rates(
+    engine: &Engine,
+    specs: &[ResourceSpec],
+    flows: &[FlowRecord],
+) -> Vec<(FlowId, f64)> {
+    let active: Vec<&FlowRecord> =
+        flows.iter().filter(|f| engine.flow_status(f.id) == FlowStatus::Active).collect();
+    let mut counts = vec![0usize; specs.len()];
+    for f in &active {
+        for &r in &f.route {
+            counts[r] += 1;
+        }
+    }
+    let resources: Vec<ResourceInput> = specs
+        .iter()
+        .zip(&counts)
+        .map(|(s, &n)| ResourceInput { capacity: s.capacity.effective(n) })
+        .collect();
+    let inputs: Vec<FlowInput> =
+        active.iter().map(|f| FlowInput { route: f.route.clone(), cap: f.cap }).collect();
+    let mut rates = Vec::new();
+    solve_max_min(&resources, &inputs, &mut rates);
+    active.into_iter().map(|f| f.id).zip(rates).collect()
+}
+
+fn assert_rates_match(
+    engine: &Engine,
+    specs: &[ResourceSpec],
+    flows: &[FlowRecord],
+    context: &str,
+) {
+    for (id, expected) in oracle_rates(engine, specs, flows) {
+        let got = engine.flow_rate(id);
+        let tol = 1e-9 * expected.abs().max(1.0);
+        assert!(
+            (got - expected).abs() <= tol,
+            "{context}: flow {id:?} rate {got} != oracle {expected}"
+        );
+    }
+}
+
+fn check_case(case: u64, rng: &mut StdRng) {
+    let mut engine = Engine::new();
+    let n_res = rng.random_range(0..6usize);
+    let mut specs: Vec<ResourceSpec> = Vec::new();
+    let mut res_ids: Vec<ResourceId> = Vec::new();
+    for _ in 0..n_res {
+        let cap = rng.random_range(1.0..1000.0f64);
+        let spec = if rng.random::<f64>() < 0.3 {
+            ResourceSpec::degrading(cap, rng.random_range(0.0..2.0f64))
+        } else {
+            ResourceSpec::constant(cap)
+        };
+        res_ids.push(engine.add_resource(spec));
+        specs.push(spec);
+    }
+
+    let mut flows: Vec<FlowRecord> = Vec::new();
+    let n_ops = rng.random_range(4..40usize);
+    for op in 0..n_ops {
+        let roll: f64 = rng.random();
+        if roll < 0.55 || flows.is_empty() {
+            // Start a flow: random route (possibly empty, possibly with a
+            // duplicated resource), optional cap, optional latency.
+            let route_len = if n_res == 0 { 0 } else { rng.random_range(0..=n_res.min(3)) };
+            let mut route: Vec<usize> =
+                (0..route_len).map(|_| rng.random_range(0..n_res)).collect();
+            if route.len() > 1 && rng.random::<f64>() < 0.15 {
+                route[1] = route[0]; // duplicate entry: consumes two shares
+            }
+            let cap = if rng.random::<f64>() < 0.4 {
+                Some(rng.random_range(0.5..500.0f64))
+            } else {
+                None
+            };
+            let demand =
+                if rng.random::<f64>() < 0.05 { 0.0 } else { rng.random_range(1.0..500.0f64) };
+            let ids: Vec<ResourceId> = route.iter().map(|&r| res_ids[r]).collect();
+            let mut spec = FlowSpec::new(demand, &ids, Tag(op as u64));
+            if let Some(c) = cap {
+                spec = spec.with_cap(c);
+            }
+            if rng.random::<f64>() < 0.25 {
+                spec = spec.with_latency(rng.random_range(0.0..3.0f64));
+            }
+            let id = engine.start_flow(spec);
+            flows.push(FlowRecord { id, route, cap });
+        } else if roll < 0.8 {
+            // Advance one event; after a completion, sometimes immediately
+            // reissue an identically-shaped flow (the pipelined steady
+            // state), exercising the swap fast path against the oracle.
+            if let Some(ev) = engine.next() {
+                let completed = flows.iter().position(|f| {
+                    engine.flow_status(f.id) == FlowStatus::Completed && f.id == ev_flow_id(&ev)
+                });
+                if let Some(i) = completed {
+                    if rng.random::<f64>() < 0.4 {
+                        let route = flows[i].route.clone();
+                        let cap = flows[i].cap;
+                        let ids: Vec<ResourceId> = route.iter().map(|&r| res_ids[r]).collect();
+                        let mut spec = FlowSpec::new(
+                            rng.random_range(1.0..200.0f64),
+                            &ids,
+                            Tag(1000 + op as u64),
+                        );
+                        if let Some(c) = cap {
+                            spec = spec.with_cap(c);
+                        }
+                        let id = engine.start_flow(spec);
+                        flows.push(FlowRecord { id, route, cap });
+                    }
+                }
+            }
+        } else {
+            // Cancel a random flow (possibly already finished: no-op).
+            let i = rng.random_range(0..flows.len());
+            engine.cancel_flow(flows[i].id);
+        }
+
+        // Differential check: settled incremental rates == global solve.
+        engine.settle_rates();
+        assert_rates_match(&engine, &specs, &flows, &format!("case {case} op {op}"));
+    }
+
+    // Drain to completion: the engine must terminate and keep matching the
+    // oracle at every completion.
+    let mut guard = 0usize;
+    while engine.next().is_some() {
+        engine.settle_rates();
+        assert_rates_match(&engine, &specs, &flows, &format!("case {case} drain"));
+        guard += 1;
+        assert!(guard < 10_000, "case {case}: drain did not terminate");
+    }
+}
+
+#[test]
+fn incremental_solver_matches_global_oracle_on_1500_random_topologies() {
+    let mut rng = StdRng::seed_from_u64(0x1ec0_5eed);
+    for case in 0..1500 {
+        check_case(case, &mut rng);
+    }
+}
+
+/// Deterministic regression of the subsumed swap fast path: pipelined
+/// identical start/complete pairs interleaved with a foreign component.
+#[test]
+fn pipelined_chunk_stream_matches_oracle() {
+    let mut engine = Engine::new();
+    let specs = [ResourceSpec::constant(100.0), ResourceSpec::degrading(50.0, 1.0)];
+    let hot = engine.add_resource(specs[0]);
+    let cold = engine.add_resource(specs[1]);
+    let mut flows: Vec<FlowRecord> = Vec::new();
+
+    // Two long-lived flows on the degrading resource.
+    for _ in 0..2 {
+        let id = engine.start_flow(FlowSpec::new(1e5, &[cold], Tag(99)));
+        flows.push(FlowRecord { id, route: vec![1], cap: None });
+    }
+    // A pipelined stream of identical capped chunks on the hot resource.
+    let id = engine.start_flow(FlowSpec::new(10.0, &[hot], Tag(0)).with_cap(25.0));
+    flows.push(FlowRecord { id, route: vec![0], cap: Some(25.0) });
+    for k in 1..200u64 {
+        let ev = engine.next().expect("stream continues");
+        if ev.tag() == Tag(99) {
+            break; // the cold flows only finish long after the stream
+        }
+        let id = engine.start_flow(FlowSpec::new(10.0, &[hot], Tag(k)).with_cap(25.0));
+        flows.push(FlowRecord { id, route: vec![0], cap: Some(25.0) });
+        engine.settle_rates();
+        assert_rates_match(&engine, &specs, &flows, &format!("step {k}"));
+    }
+    // The whole stream ran component-scoped: every solve touched only the
+    // hot component's single flow, never the cold pair.
+    let s = engine.stats();
+    assert!(s.full_solves <= 1, "at most the initial settle may span everything");
+}

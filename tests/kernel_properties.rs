@@ -3,11 +3,10 @@
 
 use proptest::prelude::*;
 
-use simcal::des::{
-    solve_max_min, Engine, FlowInput, FlowSpec, ResourceInput, ResourceSpec, Tag,
-};
+use simcal::des::{solve_max_min, Engine, FlowInput, FlowSpec, ResourceInput, ResourceSpec, Tag};
 
 /// Strategy: a random sharing problem with up to 6 resources and 20 flows.
+#[allow(clippy::type_complexity)]
 fn sharing_problem() -> impl Strategy<Value = (Vec<f64>, Vec<(Vec<usize>, Option<f64>)>)> {
     (1usize..=6).prop_flat_map(|n_res| {
         let caps = proptest::collection::vec(1.0f64..1000.0, n_res);
@@ -30,10 +29,8 @@ fn sharing_problem() -> impl Strategy<Value = (Vec<f64>, Vec<(Vec<usize>, Option
 
 fn solve(caps: &[f64], flows: &[(Vec<usize>, Option<f64>)]) -> Vec<f64> {
     let rs: Vec<ResourceInput> = caps.iter().map(|&c| ResourceInput { capacity: c }).collect();
-    let fs: Vec<FlowInput> = flows
-        .iter()
-        .map(|(route, cap)| FlowInput { route: route.clone(), cap: *cap })
-        .collect();
+    let fs: Vec<FlowInput> =
+        flows.iter().map(|(route, cap)| FlowInput { route: route.clone(), cap: *cap }).collect();
     let mut rates = Vec::new();
     solve_max_min(&rs, &fs, &mut rates);
     rates
