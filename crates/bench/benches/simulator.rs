@@ -12,7 +12,7 @@ use simcal_platform::{catalog, HardwareParams};
 use simcal_sim::{simulate, SimConfig};
 use simcal_storage::{CachePlan, XRootDConfig};
 use simcal_units as units;
-use simcal_workload::cms_workload;
+use simcal_workload::{cms_workload, scaled_cms_workload};
 
 fn bench_granularities(c: &mut Criterion) {
     let workload = cms_workload();
@@ -36,6 +36,18 @@ fn bench_granularities(c: &mut Criterion) {
             b.iter(|| black_box(simulate(&platform, &workload, &cache, cfg)).makespan());
         });
     }
+
+    // The reduced-scale case the calibration tests sweep (30 jobs x 4
+    // files x 40 MB at coarse granularity): a few hundred kernel events
+    // per run, so fixed per-event and per-solve machinery costs dominate.
+    // PR 1 left this class ~25% slower than the seed engine; this entry
+    // keeps the tiny-simulation regression observable.
+    let reduced_wl = scaled_cms_workload(30, 4, 40e6);
+    let reduced_cache = CachePlan::new(&reduced_wl, 0.5, 1);
+    let reduced_cfg = SimConfig::new(hw, XRootDConfig::new(8e6, 2e6));
+    group.bench_with_input(BenchmarkId::from_parameter("reduced"), &reduced_cfg, |b, cfg| {
+        b.iter(|| black_box(simulate(&platform, &reduced_wl, &reduced_cache, cfg)).makespan());
+    });
     group.finish();
 
     // The 5-minute setting is too slow for statistical sampling; measure a

@@ -178,9 +178,18 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// CI smoke mode: `SIMCAL_BENCH_QUICK=1` clamps every benchmark to two
+/// tiny samples — enough to prove the bench targets still build and run —
+/// and suppresses the JSON report so committed results are not clobbered
+/// by throwaway numbers.
+fn quick_mode() -> bool {
+    static QUICK: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *QUICK.get_or_init(|| std::env::var("SIMCAL_BENCH_QUICK").is_ok_and(|v| v != "0"))
+}
+
 fn run_benchmark<F: FnMut(&mut Bencher)>(
     id: &str,
-    config: Config,
+    mut config: Config,
     filter: &Option<String>,
     mut f: F,
 ) {
@@ -188,6 +197,11 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
         if !id.contains(pat.as_str()) {
             return;
         }
+    }
+    if quick_mode() {
+        config.sample_size = 2;
+        config.measurement_time = Duration::from_millis(40);
+        config.warm_up_time = Duration::from_millis(5);
     }
 
     // Warm-up: run single iterations until the warm-up time elapses, and
@@ -264,6 +278,10 @@ fn json_escape(s: &str) -> String {
 pub fn write_json_results() {
     let results = RESULTS.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     if results.is_empty() {
+        return;
+    }
+    if quick_mode() {
+        println!("quick mode: skipping JSON report ({} results discarded)", results.len());
         return;
     }
     let path = std::env::var("SIMCAL_BENCH_JSON").unwrap_or_else(|_| {

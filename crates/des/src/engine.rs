@@ -17,14 +17,30 @@
 //! steady-state pattern of pipelined compute/chunk streams never triggers
 //! a global solve.
 //!
-//! The old global "swap candidate" fast path survives as the degenerate
-//! case of this machinery: when a flow completes and the very next
-//! incidence change is the start of a flow with an identical (route, cap)
-//! signature, the max–min allocation is unchanged — the new flow inherits
-//! the completed flow's rate and the completion's dirty marks are
-//! cancelled, so the steady state costs no solve at all. Unlike the old
-//! engine, the candidate here is scoped to the *routed* incidence state:
-//! route-less compute churn between the pair no longer invalidates it.
+//! ## Same-timestamp settle batching
+//!
+//! Chunk-pipelined workloads finish many flows at the same instant. The
+//! event loop therefore pops **every** valid completion sharing the
+//! earliest timestamp in one gulp: all of them are marked completed and
+//! detached up front, the events are delivered one per [`Engine::next`]
+//! call from an internal buffer, and the allocation is settled **once**
+//! for the whole batch — at most one solve per (component, timestamp)
+//! instead of one per event. Same-instant flow *activations* (latency
+//! timers expiring together) are gulped the same way. This is sound
+//! because zero simulated time passes inside a batch: no flow makes
+//! progress between the batched changes, so only the final allocation is
+//! ever observable.
+//!
+//! Each batched completion is also offered as an **identical-signature
+//! swap candidate**: when the caller reacts to a completion by starting a
+//! flow with the same (route, cap) signature — the steady state of
+//! pipelined block/chunk streams — the allocation is provably unchanged,
+//! and the new flow inherits the completed twin's rate. If *every*
+//! candidate of a batch is matched this way and nothing else touched the
+//! routed incidence, the batch's dirty marks are discarded at the next
+//! settle with **no solve at all** (the generalisation of the classic
+//! single-flow swap fast path, which remains the size-1 case). Route-less
+//! churn between the pair does not invalidate candidates.
 //!
 //! ## Event-list completions and lazy progress
 //!
@@ -37,11 +53,24 @@
 //! the clock touches no per-flow state at all. Together these make the
 //! per-event cost proportional to the *touched component*, not to the
 //! number of live flows.
+//!
+//! ## Component solve fast paths
+//!
+//! Dirty components are dispatched by shape: one resource (with or
+//! without caps) and two uncapped resources take closed forms; a
+//! multi-resource component whose previous solve froze everything against
+//! a single bottleneck takes a **warm-start re-fill** — the uniform share
+//! is recomputed for the new membership and verified feasible in one
+//! pass, which is the steady state of the big shared WAN/storage
+//! component whose flow set changes by ±k flows per timestamp. Everything
+//! else runs the allocation-free [`SolveScratch`] solver.
 
+use crate::eventlist::{CompletionEntry, EventList};
 use crate::flow::{FlowSpec, FlowState, FlowStatus};
 use crate::ids::{FlowId, ResourceId, Tag, TimerId};
 use crate::resource::ResourceSpec;
-use crate::sharing::{solve_max_min, FlowInput, ResourceInput, MAX_RATE};
+use crate::route::Route;
+use crate::sharing::{SolveScratch, MAX_RATE};
 use crate::stats::Stats;
 use crate::timer::{TimerKind, TimerQueue};
 
@@ -66,6 +95,7 @@ pub enum Event {
 
 impl Event {
     /// The user tag carried by this event.
+    #[inline]
     pub fn tag(&self) -> Tag {
         match *self {
             Event::FlowCompleted { tag, .. } | Event::TimerFired { tag, .. } => tag,
@@ -73,43 +103,32 @@ impl Event {
     }
 }
 
-/// The identical-signature swap fast path (see the module docs). Valid
-/// only while no incidence change other than the candidate's completion
-/// has happened; any attach/detach clears it.
+/// An identical-signature swap candidate: one completion of the current
+/// same-timestamp batch (see the module docs). Candidates live until the
+/// next settle; a start matching (route, cap) inherits `rate`.
 #[derive(Debug)]
 struct SwapCandidate {
-    route: Vec<ResourceId>,
-    rate_cap: Option<f64>,
+    route: Route,
+    /// Sentinel form: `f64::INFINITY` = uncapped.
+    rate_cap: f64,
     rate: f64,
 }
 
-/// A scheduled completion in the lazy event list. Stale entries (the flow
-/// completed, was cancelled, or changed rate since the push) are detected
-/// by the epoch stamp and dropped on pop.
-#[derive(Debug, Clone, Copy)]
-struct CompletionEntry {
-    time: f64,
-    flow: FlowId,
-    epoch: u32,
+/// Shape summary of a collected component, gathered during the walk.
+struct CompInfo {
+    /// Whether any component flow carries a rate cap.
+    has_cap: bool,
+    /// Smallest cap among component flows (`INFINITY` when none).
+    min_cap: f64,
 }
 
-impl PartialEq for CompletionEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.flow == other.flow
-    }
-}
-impl Eq for CompletionEntry {}
-impl PartialOrd for CompletionEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for CompletionEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Earliest first; FlowId breaks ties deterministically (matching
-        // the old scan, which kept the lowest-id flow among equals).
-        self.time.total_cmp(&other.time).then_with(|| self.flow.cmp(&other.flow))
-    }
+/// One incidence entry: a flow crossing a resource via its `hop`-th route
+/// element. Carrying the hop lets `detach` maintain the per-flow position
+/// table under `swap_remove` moves, making removal O(route length).
+#[derive(Debug, Clone, Copy)]
+struct OnEntry {
+    flow: FlowId,
+    hop: u32,
 }
 
 /// Fluid discrete-event simulation engine. See the crate docs for the model.
@@ -118,6 +137,15 @@ pub struct Engine {
     time: f64,
     resources: Vec<ResourceSpec>,
     flows: Vec<FlowState>,
+    /// Slots of finished (completed/cancelled) flows available for reuse.
+    /// Recycling keeps the flow table sized by the number of *live* flows
+    /// — cache-resident — instead of growing by every flow ever started.
+    free_slots: Vec<u32>,
+    /// Current generation of each slot (bumped when a slot is recycled);
+    /// ids carry the generation they were issued under, so queries with
+    /// ids of recycled flows read as retired instead of aliasing the
+    /// slot's new occupant.
+    slot_gen: Vec<u32>,
     /// Number of flows in `Pending` or `Active` state.
     live_count: usize,
     timers: TimerQueue,
@@ -126,17 +154,32 @@ pub struct Engine {
     /// Incidence index: active flows crossing each resource. A flow whose
     /// route lists a resource `k` times appears `k` times (it consumes `k`
     /// shares, and the count feeds [`crate::CapacityModel::effective`]).
-    flows_on: Vec<Vec<FlowId>>,
-    /// Resources whose flow set changed since the last recomputation.
-    dirty_queue: Vec<ResourceId>,
-    dirty_res: Vec<bool>,
+    flows_on: Vec<Vec<OnEntry>>,
+    /// Position of each flow's first [`Route::INLINE`] incidence entries
+    /// inside `flows_on` (indexed by slot), so detaching needs no scan;
+    /// hops beyond the inline window fall back to a scan (spilled routes
+    /// are rare).
+    flow_pos: Vec<[u32; Route::INLINE]>,
+    /// Two-tier dirty state per resource: 0 = clean, 1 = *weak* (touched
+    /// only by batched completions, each held as a swap candidate — an
+    /// allocation-neutral change if the candidate is matched), 2 = *strong*
+    /// (touched by a foreign attach/cancel or an unmatched candidate; its
+    /// component must be re-solved).
+    dirty_res: Vec<u8>,
+    weak_queue: Vec<ResourceId>,
+    strong_queue: Vec<ResourceId>,
     /// Newly-activated route-less flows awaiting their O(1) rate.
     dirty_routeless: Vec<FlowId>,
-    /// Pending identical-signature swap (set on completion, consumed by
-    /// the next start, cleared by any other incidence change).
-    swap: Option<SwapCandidate>,
+    /// Swap candidates of the current same-timestamp batch (consumed by
+    /// matching starts; unmatched ones escalate their weak marks to strong
+    /// at the next settle, which also clears the list).
+    batch_candidates: Vec<SwapCandidate>,
+    /// Completion events of the current batch not yet handed to the
+    /// caller, delivered before anything else by [`Engine::next`].
+    pending_events: Vec<Event>,
+    pending_head: usize,
     /// Lazy completion event list: one entry per rate assignment.
-    completions: std::collections::BinaryHeap<std::cmp::Reverse<CompletionEntry>>,
+    completions: EventList,
     /// Current epoch of each flow's heap entries (bumped on rate change).
     flow_epoch: Vec<u32>,
     /// Number of currently active flows with a non-empty route (used to
@@ -151,14 +194,16 @@ pub struct Engine {
     /// Local solver index of each component resource (valid under
     /// `res_mark[r] == visit_gen`).
     res_local: Vec<usize>,
+    /// Per-resource warm-start flag: the last solve of a component
+    /// containing this resource froze every flow against it alone.
+    warm_bneck: Vec<bool>,
 
     // Scratch buffers reused across recomputations.
     comp_stack: Vec<ResourceId>,
     comp_resources: Vec<ResourceId>,
     comp_flows: Vec<FlowId>,
-    scratch_resources: Vec<ResourceInput>,
-    scratch_flows: Vec<FlowInput>,
-    scratch_rates: Vec<f64>,
+    scratch: SolveScratch,
+    cap_sort: Vec<(f64, u32)>,
 }
 
 impl Engine {
@@ -187,20 +232,29 @@ impl Engine {
         self.time = 0.0;
         self.resources.clear();
         self.flows.clear();
+        self.free_slots.clear();
+        self.slot_gen.clear();
         self.live_count = 0;
         self.timers.clear();
         self.stats = Stats::default();
         for v in &mut self.flows_on {
             v.clear();
         }
-        self.dirty_queue.clear();
+        self.weak_queue.clear();
+        self.strong_queue.clear();
         self.dirty_res.clear();
         self.dirty_routeless.clear();
-        self.swap = None;
+        self.batch_candidates.clear();
+        self.pending_events.clear();
+        self.pending_head = 0;
         self.completions.clear();
         self.flow_epoch.clear();
         self.n_active_routed = 0;
         self.flow_mark.clear();
+        self.flow_pos.clear();
+        for w in &mut self.warm_bneck {
+            *w = false;
+        }
         // res_mark/res_local stay valid: marks are generation-stamped.
     }
 
@@ -213,8 +267,9 @@ impl Engine {
             self.flows_on.push(Vec::new());
             self.res_mark.push(0);
             self.res_local.push(0);
+            self.warm_bneck.push(false);
         }
-        self.dirty_res.resize(self.resources.len().max(self.dirty_res.len()), false);
+        self.dirty_res.resize(self.resources.len().max(self.dirty_res.len()), 0);
         id
     }
 
@@ -222,44 +277,95 @@ impl Engine {
     /// after its latency (if any) elapses.
     pub fn start_flow(&mut self, spec: FlowSpec) -> FlowId {
         spec.validate();
-        for r in &spec.route {
+        for r in spec.route.as_slice() {
             assert!(r.index() < self.resources.len(), "unknown resource in route");
         }
-        let id = FlowId(u32::try_from(self.flows.len()).expect("too many flows"));
         let latency = spec.latency;
         let mut state = FlowState::from_spec(spec);
         state.last_settled = self.time;
         let pending = state.status == FlowStatus::Pending;
-        self.flows.push(state);
-        self.flow_mark.push(0);
-        self.flow_epoch.push(0);
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                // Recycle a finished flow's slot in place; bumping the
+                // generation retires every id issued for it before.
+                self.slot_gen[s as usize] += 1;
+                self.flows[s as usize] = state;
+                s
+            }
+            None => {
+                let s = u32::try_from(self.flows.len()).expect("too many flows");
+                self.flows.push(state);
+                self.flow_mark.push(0);
+                self.flow_epoch.push(0);
+                self.slot_gen.push(0);
+                self.flow_pos.push([0; Route::INLINE]);
+                s
+            }
+        };
+        let id = FlowId::compose(slot, self.slot_gen[slot as usize]);
         self.live_count += 1;
         self.stats.flows_started += 1;
         if pending {
             // A pending flow does not change the current allocation.
             self.timers.schedule(self.time + latency, TimerKind::ActivateFlow(id));
-        } else if self.swap.as_ref().is_some_and(|c| {
-            c.route == self.flows[id.index()].route && c.rate_cap == self.flows[id.index()].rate_cap
-        }) {
-            // Identical-signature swap: the allocation depends only on the
-            // multiset of (route, cap) pairs, which is unchanged — inherit
-            // the completed flow's rate and cancel its dirty marks. A
-            // mismatched start must NOT consume the candidate here: if it
-            // is route-less it leaves the routed multiset untouched, and
-            // if it is routed, `attach` below invalidates the candidate.
-            let c = self.swap.take().expect("checked above");
+        } else if let Some(k) = self.match_candidate(id) {
+            // Identical-signature swap: if nothing else touched this
+            // component, the allocation depends only on the multiset of
+            // (route, cap) pairs, which is unchanged — inherit the
+            // completed twin's rate. The twin's weak dirty marks stay in
+            // place, so if something *did* change the component, the next
+            // settle re-solves it (via the strong marks of that change)
+            // and overwrites the provisional rate. A fully-matched batch
+            // leaves only weak marks, which settle discards with no solve.
+            let c = self.batch_candidates.swap_remove(k);
             self.flows[id.index()].rate = c.rate;
-            self.swap_attach(id);
+            self.inherit_attach(id);
             self.schedule_completion(id);
             self.stats.swap_inherits += 1;
+            if self.batch_candidates.is_empty() && self.strong_queue.is_empty() {
+                // Eager clean verdict: every batched completion has been
+                // matched and nothing foreign touched the routed
+                // incidence — drop the weak marks now and skip the settle
+                // entirely (the steady state of pipelined streams costs
+                // no recompute pass at all).
+                self.discard_weak_marks();
+            }
         } else {
             self.attach(id);
         }
         id
     }
 
-    /// Cancel a live flow. Completed/cancelled flows are ignored.
+    /// Index of a batch candidate with this flow's exact (route, cap)
+    /// signature. Identical signatures always receive identical max–min
+    /// rates, so any match is valid.
+    fn match_candidate(&self, id: FlowId) -> Option<usize> {
+        if self.batch_candidates.is_empty() {
+            return None;
+        }
+        let f = &self.flows[id.index()];
+        if f.route.is_empty() {
+            return None;
+        }
+        self.batch_candidates.iter().position(|c| c.rate_cap == f.rate_cap && c.route == f.route)
+    }
+
+    /// Whether `id`'s slot still belongs to the flow it was issued for
+    /// (its state — including a terminal status — is still readable).
+    #[inline]
+    fn is_live_id(&self, id: FlowId) -> bool {
+        let s = id.index();
+        s < self.slot_gen.len() && self.slot_gen[s] == id.generation()
+    }
+
+    /// Cancel a live flow. Completed/cancelled flows are ignored — in
+    /// particular a flow whose completion was already batched at the
+    /// current instant (its event is still pending delivery) stays
+    /// completed: the completion happened at this timestamp.
     pub fn cancel_flow(&mut self, id: FlowId) {
+        if !self.is_live_id(id) {
+            return;
+        }
         match self.flows[id.index()].status {
             FlowStatus::Active => {
                 // Freeze progress as of now before the rate disappears.
@@ -268,7 +374,8 @@ impl Engine {
                 f.status = FlowStatus::Cancelled;
                 f.rate = 0.0;
                 self.flow_epoch[id.index()] = self.flow_epoch[id.index()].wrapping_add(1);
-                self.detach(id);
+                self.detach(id, false);
+                self.free_slots.push(id.index() as u32);
                 self.live_count -= 1;
                 self.stats.flows_cancelled += 1;
             }
@@ -276,6 +383,7 @@ impl Engine {
                 let f = &mut self.flows[id.index()];
                 f.status = FlowStatus::Cancelled;
                 f.rate = 0.0;
+                self.free_slots.push(id.index() as u32);
                 self.live_count -= 1;
                 self.stats.flows_cancelled += 1;
             }
@@ -298,6 +406,9 @@ impl Engine {
     /// settled lazily, so this derives the up-to-date value from the
     /// flow's rate and last settlement time.
     pub fn flow_remaining(&self, id: FlowId) -> f64 {
+        if !self.is_live_id(id) {
+            return 0.0;
+        }
         let f = &self.flows[id.index()];
         if f.status == FlowStatus::Active && f.rate > 0.0 {
             (f.remaining - f.rate * (self.time - f.last_settled)).max(0.0)
@@ -306,19 +417,32 @@ impl Engine {
         }
     }
 
-    /// Current rate of a flow. Rates are settled lazily before each event;
-    /// call [`Engine::settle_rates`] first to observe a consistent
-    /// allocation mid-update.
+    /// Current rate of a flow (0 for retired flows). Rates are settled
+    /// lazily before each event; call [`Engine::settle_rates`] first to
+    /// observe a consistent allocation mid-update.
     pub fn flow_rate(&self, id: FlowId) -> f64 {
-        self.flows[id.index()].rate
+        if self.is_live_id(id) {
+            self.flows[id.index()].rate
+        } else {
+            0.0
+        }
     }
 
-    /// Status of a flow.
+    /// Status of a flow. Terminal states stay exact until the flow's slot
+    /// is recycled by a later start; after that, the flow reads as
+    /// [`FlowStatus::Completed`] (cancelled-then-recycled flows collapse
+    /// into it — callers needing the distinction must query before
+    /// starting new flows).
     pub fn flow_status(&self, id: FlowId) -> FlowStatus {
-        self.flows[id.index()].status
+        if self.is_live_id(id) {
+            self.flows[id.index()].status
+        } else {
+            FlowStatus::Completed
+        }
     }
 
-    /// Number of live (pending or active) flows.
+    /// Number of live (pending or active) flows. Completions batched at
+    /// the current instant but not yet delivered are already excluded.
     pub fn live_flows(&self) -> usize {
         self.live_count
     }
@@ -329,7 +453,10 @@ impl Engine {
     /// the differential property tests) can observe settled rates without
     /// advancing time.
     pub fn settle_rates(&mut self) {
-        if !self.dirty_routeless.is_empty() || !self.dirty_queue.is_empty() {
+        if !self.dirty_routeless.is_empty()
+            || !self.weak_queue.is_empty()
+            || !self.strong_queue.is_empty()
+        {
             self.recompute_rates();
         }
     }
@@ -338,6 +465,34 @@ impl Engine {
     /// when no flows or timers remain.
     #[allow(clippy::should_implement_trait)] // established kernel API name
     pub fn next(&mut self) -> Option<Event> {
+        // Deliver the rest of the current same-timestamp batch first. A
+        // timer the caller set at exactly this instant fires before the
+        // remaining completions, preserving the `t_timer <= t_flow` tie
+        // rule of sequential delivery.
+        while self.pending_head < self.pending_events.len() {
+            match self.timers.peek_time() {
+                Some(tt) if tt <= self.time => {
+                    let (timer, _, kind) = self.timers.pop().expect("peeked non-empty");
+                    match kind {
+                        TimerKind::User(tag) => {
+                            self.stats.timer_firings += 1;
+                            return Some(Event::TimerFired { timer, tag });
+                        }
+                        TimerKind::ActivateFlow(id) => self.activate_flow(id, self.time),
+                    }
+                }
+                _ => {
+                    let ev = self.pending_events[self.pending_head];
+                    self.pending_head += 1;
+                    if self.pending_head == self.pending_events.len() {
+                        self.pending_events.clear();
+                        self.pending_head = 0;
+                    }
+                    return Some(ev);
+                }
+            }
+        }
+
         loop {
             self.settle_rates();
 
@@ -345,7 +500,7 @@ impl Engine {
             let t_flow = loop {
                 match self.completions.peek() {
                     None => break f64::INFINITY,
-                    Some(std::cmp::Reverse(e)) => {
+                    Some(e) => {
                         let f = &self.flows[e.flow.index()];
                         if f.status == FlowStatus::Active
                             && self.flow_epoch[e.flow.index()] == e.epoch
@@ -376,37 +531,48 @@ impl Engine {
                         return Some(Event::TimerFired { timer, tag });
                     }
                     TimerKind::ActivateFlow(id) => {
-                        if self.flows[id.index()].status == FlowStatus::Pending {
-                            self.flows[id.index()].status = FlowStatus::Active;
-                            self.flows[id.index()].last_settled = t_timer;
-                            self.attach(id);
+                        self.activate_flow(id, t_timer);
+                        // Gulp every further activation at this exact
+                        // instant into the same settle pass (latency
+                        // timers of simultaneous chunk reissues expire
+                        // together).
+                        while let Some(id2) = self.timers.pop_activation_at(t_timer) {
+                            self.activate_flow(id2, t_timer);
+                            self.stats.batched_activations += 1;
                         }
                         continue;
                     }
                 }
             } else {
-                let std::cmp::Reverse(entry) =
-                    self.completions.pop().expect("valid entry peeked above");
-                let id = entry.flow;
-                self.advance_to(entry.time);
-                let f = &mut self.flows[id.index()];
-                let rate = f.rate;
-                f.remaining = 0.0;
-                f.last_settled = entry.time;
-                f.rate = 0.0;
-                f.status = FlowStatus::Completed;
-                let tag = f.tag;
-                let rate_cap = f.rate_cap;
-                self.flow_epoch[id.index()] = self.flow_epoch[id.index()].wrapping_add(1);
-                self.detach(id);
-                // Offer the completed flow as a swap candidate: rates were
-                // settled at the top of the loop, so the only dirty marks
-                // now present are this completion's own route.
-                let route = std::mem::take(&mut self.flows[id.index()].route);
-                self.swap = Some(SwapCandidate { route, rate_cap, rate });
-                self.live_count -= 1;
-                self.stats.flow_completions += 1;
-                return Some(Event::FlowCompleted { flow: id, tag });
+                // Batch-pop every valid completion at this timestamp: the
+                // first is returned directly (so size-1 batches — the tiny-
+                // simulation steady state — bypass the buffer entirely),
+                // the rest are delivered by subsequent calls.
+                let first = self.completions.pop().expect("valid entry peeked above");
+                self.advance_to(first.time);
+                let t = first.time;
+                let tag = self.complete_flow(first.flow, t);
+                let first_ev = Event::FlowCompleted { flow: first.flow, tag };
+                let mut extra = 0u64;
+                loop {
+                    let e = match self.completions.peek() {
+                        Some(&e) if e.time == t => e,
+                        _ => break,
+                    };
+                    self.completions.pop();
+                    let f = &self.flows[e.flow.index()];
+                    if f.status == FlowStatus::Active && self.flow_epoch[e.flow.index()] == e.epoch
+                    {
+                        let tag = self.complete_flow(e.flow, t);
+                        self.pending_events.push(Event::FlowCompleted { flow: e.flow, tag });
+                        extra += 1;
+                    }
+                }
+                if extra > 0 {
+                    self.stats.batched_settles += 1;
+                    self.stats.batched_completions += extra + 1;
+                }
+                return Some(first_ev);
             }
         }
     }
@@ -418,69 +584,154 @@ impl Engine {
         self.time
     }
 
-    /// Hook a newly-active flow into the incidence index *without* marking
-    /// anything dirty, cancelling the matched completion's marks instead:
-    /// the swap guarantees the allocation is unchanged.
-    fn swap_attach(&mut self, id: FlowId) {
+    /// Transition a pending flow to active at `t` (its latency elapsed)
+    /// and hook it into the allocation. Cancelled (possibly recycled)
+    /// flows are skipped.
+    fn activate_flow(&mut self, id: FlowId, t: f64) {
+        if self.is_live_id(id) && self.flows[id.index()].status == FlowStatus::Pending {
+            self.flows[id.index()].status = FlowStatus::Active;
+            self.flows[id.index()].last_settled = t;
+            self.attach(id);
+        }
+    }
+
+    /// Finalize a flow whose completion time arrived: settle it at zero
+    /// remaining, detach it, and offer it as a swap candidate for the
+    /// current batch. Returns the flow's tag for event delivery.
+    fn complete_flow(&mut self, id: FlowId, t: f64) -> Tag {
+        let f = &mut self.flows[id.index()];
+        debug_assert_eq!(f.status, FlowStatus::Active);
+        let rate = f.rate;
+        f.remaining = 0.0;
+        f.last_settled = t;
+        f.rate = 0.0;
+        f.status = FlowStatus::Completed;
+        let tag = f.tag;
+        let rate_cap = f.rate_cap;
+        self.flow_epoch[id.index()] = self.flow_epoch[id.index()].wrapping_add(1);
+        self.detach(id, true);
         let route = std::mem::take(&mut self.flows[id.index()].route);
         if !route.is_empty() {
-            self.n_active_routed += 1;
-            // Candidate validity means every dirty mark present came from
-            // the completed twin's route — exactly this route.
-            for r in self.dirty_queue.drain(..) {
-                self.dirty_res[r.index()] = false;
-            }
-            for &r in &route {
-                self.flows_on[r.index()].push(id);
-            }
+            // Route-less completions leave no dirty marks and their
+            // reissues are O(1) anyway; only routed ones need candidates.
+            self.batch_candidates.push(SwapCandidate { route, rate_cap, rate });
+        }
+        self.free_slots.push(id.index() as u32);
+        self.live_count -= 1;
+        self.stats.flow_completions += 1;
+        tag
+    }
+
+    /// Hook a flow inheriting a swap candidate's rate into the incidence
+    /// index *without* marking anything dirty: the candidate guarantees
+    /// the allocation is unchanged, and its twin's dirty marks remain in
+    /// place until the batch verdict at the next settle.
+    fn inherit_attach(&mut self, id: FlowId) {
+        let route = std::mem::take(&mut self.flows[id.index()].route);
+        debug_assert!(!route.is_empty());
+        self.n_active_routed += 1;
+        for (hop, &r) in route.as_slice().iter().enumerate() {
+            self.index_on(id, hop, r);
         }
         self.flows[id.index()].route = route;
     }
 
+    /// Append one incidence entry, recording its position for O(1) removal.
+    #[inline]
+    fn index_on(&mut self, id: FlowId, hop: usize, r: ResourceId) {
+        let on = &mut self.flows_on[r.index()];
+        if hop < Route::INLINE {
+            self.flow_pos[id.index()][hop] = on.len() as u32;
+        }
+        on.push(OnEntry { flow: id, hop: hop as u32 });
+    }
+
     /// Hook a newly-active flow into the incidence index and mark the
-    /// touched part of the allocation dirty.
+    /// touched part of the allocation strongly dirty.
     fn attach(&mut self, id: FlowId) {
         debug_assert_eq!(self.flows[id.index()].status, FlowStatus::Active);
         if self.flows[id.index()].route.is_empty() {
             // A route-less flow shares nothing, so it cannot change the
-            // routed multiset: a pending swap candidate stays valid.
+            // routed multiset: pending swap candidates stay valid.
             self.dirty_routeless.push(id);
             return;
         }
-        self.swap = None;
         self.n_active_routed += 1;
         let route = std::mem::take(&mut self.flows[id.index()].route);
-        for &r in &route {
-            self.flows_on[r.index()].push(id);
-            self.mark_dirty(r);
+        for (hop, &r) in route.as_slice().iter().enumerate() {
+            self.index_on(id, hop, r);
+            self.mark_strong(r);
         }
         self.flows[id.index()].route = route;
     }
 
-    /// Remove a no-longer-active flow from the incidence index and mark
-    /// the resources it released dirty.
-    fn detach(&mut self, id: FlowId) {
+    /// Remove a no-longer-active flow from the incidence index. Batched
+    /// completions mark their resources *weakly* (`weak: true`) — the
+    /// change is allocation-neutral if the flow's swap candidate gets
+    /// matched; cancellations mark strongly.
+    fn detach(&mut self, id: FlowId, weak: bool) {
         let route = std::mem::take(&mut self.flows[id.index()].route);
         if !route.is_empty() {
-            // Route-less detaches (like attaches) leave the routed
-            // multiset untouched and preserve any swap candidate.
-            self.swap = None;
             self.n_active_routed -= 1;
         }
-        for &r in &route {
+        for (hop, &r) in route.as_slice().iter().enumerate() {
+            let pos = if hop < Route::INLINE {
+                self.flow_pos[id.index()][hop] as usize
+            } else {
+                // Spilled long routes: positions beyond the inline window
+                // are not tracked; fall back to a scan.
+                self.flows_on[r.index()]
+                    .iter()
+                    .position(|e| e.flow == id && e.hop as usize == hop)
+                    .expect("flow indexed on its route")
+            };
             let on = &mut self.flows_on[r.index()];
-            let pos = on.iter().position(|&x| x == id).expect("flow indexed on its route");
+            debug_assert!(on[pos].flow == id && on[pos].hop as usize == hop);
             on.swap_remove(pos);
-            self.mark_dirty(r);
+            if pos < on.len() {
+                let moved = on[pos];
+                if (moved.hop as usize) < Route::INLINE {
+                    self.flow_pos[moved.flow.index()][moved.hop as usize] = pos as u32;
+                }
+            }
+            if weak {
+                self.mark_weak(r);
+            } else {
+                self.mark_strong(r);
+            }
         }
         self.flows[id.index()].route = route;
+    }
+
+    /// Drop all weak dirty marks without solving, counting one clean-batch
+    /// settle. Callers must have established that every weak mark belongs
+    /// to a matched completion/reissue pair (no strong marks, no unmatched
+    /// candidates): the allocation is provably unchanged.
+    fn discard_weak_marks(&mut self) {
+        debug_assert!(self.strong_queue.is_empty() && self.batch_candidates.is_empty());
+        if !self.weak_queue.is_empty() {
+            self.stats.clean_batch_settles += 1;
+            for k in 0..self.weak_queue.len() {
+                let r = self.weak_queue[k];
+                self.dirty_res[r.index()] = 0;
+            }
+            self.weak_queue.clear();
+        }
     }
 
     #[inline]
-    fn mark_dirty(&mut self, r: ResourceId) {
-        if !self.dirty_res[r.index()] {
-            self.dirty_res[r.index()] = true;
-            self.dirty_queue.push(r);
+    fn mark_weak(&mut self, r: ResourceId) {
+        if self.dirty_res[r.index()] == 0 {
+            self.dirty_res[r.index()] = 1;
+            self.weak_queue.push(r);
+        }
+    }
+
+    #[inline]
+    fn mark_strong(&mut self, r: ResourceId) {
+        if self.dirty_res[r.index()] != 2 {
+            self.dirty_res[r.index()] = 2;
+            self.strong_queue.push(r);
         }
     }
 
@@ -527,91 +778,266 @@ impl Engine {
         let time = self.time + remaining / f.rate;
         let epoch = self.flow_epoch[id.index()].wrapping_add(1);
         self.flow_epoch[id.index()] = epoch;
-        self.completions.push(std::cmp::Reverse(CompletionEntry { time, flow: id, epoch }));
+        self.completions.push(CompletionEntry { time, flow: id, epoch });
     }
 
     fn recompute_rates(&mut self) {
         self.stats.rate_recomputes += 1;
-        // Settling consumes the dirty marks a swap would cancel; a
-        // candidate surviving past here would inherit a stale rate.
-        self.swap = None;
 
         // Route-less flows are singleton components: rate = cap (or the
         // solver's unconstrained maximum), assigned in O(1).
         while let Some(id) = self.dirty_routeless.pop() {
-            if self.flows[id.index()].status == FlowStatus::Active {
-                let rate = self.flows[id.index()].rate_cap.unwrap_or(MAX_RATE);
+            if self.is_live_id(id) && self.flows[id.index()].status == FlowStatus::Active {
+                let cap = self.flows[id.index()].rate_cap;
+                let rate = if cap.is_finite() { cap } else { MAX_RATE };
                 self.set_rate(id, rate);
                 self.stats.routeless_assigns += 1;
             }
         }
 
-        // Walk each dirty connected component once and re-solve it.
-        self.visit_gen += 1;
-        let gen = self.visit_gen;
-        while let Some(r0) = self.dirty_queue.pop() {
-            self.dirty_res[r0.index()] = false;
-            if self.res_mark[r0.index()] == gen {
-                continue; // already solved as part of an earlier component
+        // Unmatched candidates are completions that really changed the
+        // allocation: escalate their weak marks to strong. (Settling also
+        // consumes the candidates — one surviving past here would inherit
+        // a stale rate.)
+        if !self.batch_candidates.is_empty() {
+            let mut cands = std::mem::take(&mut self.batch_candidates);
+            for c in cands.drain(..) {
+                for &r in c.route.as_slice() {
+                    self.mark_strong(r);
+                }
             }
-            let has_cap = self.collect_component(r0, gen);
-            if self.comp_resources.len() == 1 && !has_cap {
-                self.solve_single_resource();
-            } else {
-                self.solve_component(gen);
-            }
+            self.batch_candidates = cands; // keep the allocation
         }
-    }
 
-    /// Closed-form max–min for the most common component shape: one
-    /// resource, no caps. Every flow is frozen by the single bottleneck at
-    /// `effective_capacity / n_shares` — exactly what progressive filling
-    /// computes, without the solver machinery.
-    fn solve_single_resource(&mut self) {
-        self.stats.component_solves += 1;
-        self.stats.flows_resolved += self.comp_flows.len() as u64;
-        if self.comp_flows.len() >= self.n_active_routed {
-            self.stats.full_solves += 1;
-        }
-        let r = self.comp_resources[0];
-        let n = self.flows_on[r.index()].len();
-        if n == 0 {
+        if self.strong_queue.is_empty() {
+            // Every mark is weak: a fully-matched batch. The allocation is
+            // provably unchanged — discard the marks with no solve.
+            self.discard_weak_marks();
             return;
         }
+
+        // Walk each strongly-dirty connected component once and re-solve
+        // it. Weak marks inside those components are consumed by the walk;
+        // weak marks elsewhere are allocation-neutral and dropped after.
+        self.visit_gen += 1;
+        let gen = self.visit_gen;
+        while let Some(r0) = self.strong_queue.pop() {
+            if self.dirty_res[r0.index()] == 0 {
+                continue; // already solved as part of an earlier component
+            }
+            let info = self.collect_component(r0, gen);
+            for k in 0..self.comp_resources.len() {
+                self.dirty_res[self.comp_resources[k].index()] = 0;
+            }
+            self.stats.component_solves += 1;
+            self.stats.flows_resolved += self.comp_flows.len() as u64;
+            if self.comp_flows.len() >= self.n_active_routed {
+                self.stats.full_solves += 1;
+            }
+            if self.comp_flows.is_empty() {
+                continue;
+            }
+            if self.comp_resources.len() == 1 && self.solve_single_resource(&info) {
+                continue;
+            }
+            if self.comp_resources.len() > 1 {
+                if self.try_warm_refill(&info) {
+                    continue;
+                }
+                if self.comp_resources.len() == 2 && !info.has_cap && self.try_two_resource() {
+                    continue;
+                }
+            }
+            self.solve_general(gen);
+        }
+
+        // Remaining weak marks belong to matched completion/reissue pairs
+        // in components no strong change reached: allocation-neutral.
+        for k in 0..self.weak_queue.len() {
+            let r = self.weak_queue[k];
+            self.dirty_res[r.index()] = 0;
+        }
+        self.weak_queue.clear();
+    }
+
+    /// Closed-form max–min for the most common component shape: a single
+    /// resource. Without binding caps every flow runs at
+    /// `effective_capacity / n_shares`; with caps, a sorted sweep freezes
+    /// capped flows in ascending order exactly as progressive filling
+    /// would. Returns `false` (punting to the general solver) only for the
+    /// pathological duplicate-route-entry case with binding caps.
+    fn solve_single_resource(&mut self, info: &CompInfo) -> bool {
+        let r = self.comp_resources[0];
+        let n = self.flows_on[r.index()].len();
+        debug_assert!(n > 0, "non-empty component has flows on its resource");
         // `n` counts route occurrences: a flow listing the resource twice
         // consumes two shares but still runs at one share's rate, exactly
-        // as in `solve_max_min`.
+        // as in the general solver.
         let share = self.resources[r.index()].capacity.effective(n).max(0.0) / n as f64;
+        if info.min_cap >= share {
+            // No cap binds: the uniform fair share.
+            self.stats.closed_form_solves += 1;
+            for k in 0..self.comp_flows.len() {
+                let fid = self.comp_flows[k];
+                self.set_rate(fid, share);
+            }
+            return true;
+        }
+        if n != self.comp_flows.len() {
+            return false; // duplicate entries with binding caps: general solver
+        }
+        // Sorted cap sweep: freeze caps below the running share (each such
+        // freeze only raises the share), then give the rest the remainder.
+        self.stats.closed_form_solves += 1;
+        self.cap_sort.clear();
+        for (k, &fid) in self.comp_flows.iter().enumerate() {
+            self.cap_sort.push((self.flows[fid.index()].rate_cap, k as u32));
+        }
+        self.cap_sort.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut rem = self.resources[r.index()].capacity.effective(n);
+        let mut left = n;
+        let mut i = 0usize;
+        while i < self.cap_sort.len() {
+            let share = rem.max(0.0) / left as f64;
+            let (c, k) = self.cap_sort[i];
+            if c > share {
+                break;
+            }
+            self.set_rate(self.comp_flows[k as usize], c);
+            rem = (rem - c).max(0.0);
+            left -= 1;
+            i += 1;
+        }
+        if i < self.cap_sort.len() {
+            let share = rem.max(0.0) / left as f64;
+            for j in i..self.cap_sort.len() {
+                let (_, k) = self.cap_sort[j];
+                self.set_rate(self.comp_flows[k as usize], share);
+            }
+        }
+        true
+    }
+
+    /// Warm-start re-fill: if some component resource was the sole
+    /// bottleneck of its previous solve, try the uniform allocation
+    /// `share = eff / n` against it and verify in one pass that (a) every
+    /// component flow crosses it exactly once, (b) no cap binds, and
+    /// (c) every other resource stays feasible. When the verification
+    /// holds, that allocation *is* the max–min (all rates equal and a
+    /// common saturated bottleneck), assigned without progressive filling.
+    /// This is the ±k-flow steady state of the big shared WAN component.
+    fn try_warm_refill(&mut self, info: &CompInfo) -> bool {
+        let mut cand = None;
+        for &r in &self.comp_resources {
+            if self.warm_bneck[r.index()] {
+                cand = Some(r);
+                break;
+            }
+        }
+        let Some(r) = cand else { return false };
+        let n = self.flows_on[r.index()].len();
+        if n != self.comp_flows.len() {
+            return false;
+        }
+        for &fid in &self.comp_flows {
+            let hits = self.flows[fid.index()].route.as_slice().iter().filter(|&&h| h == r).count();
+            if hits != 1 {
+                return false;
+            }
+        }
+        let share = self.resources[r.index()].capacity.effective(n).max(0.0) / n as f64;
+        if info.min_cap < share {
+            return false;
+        }
+        for &q in &self.comp_resources {
+            if q == r {
+                continue;
+            }
+            let m = self.flows_on[q.index()].len();
+            if share * m as f64 > self.resources[q.index()].capacity.effective(m) {
+                return false;
+            }
+        }
+        self.stats.warm_refills += 1;
         for k in 0..self.comp_flows.len() {
             let fid = self.comp_flows[k];
             self.set_rate(fid, share);
         }
+        true
+    }
+
+    /// Closed-form max–min for an uncapped two-resource component with no
+    /// duplicate route entries: at most two progressive-filling rounds,
+    /// solved directly. Returns `false` to punt odd shapes to the general
+    /// solver.
+    fn try_two_resource(&mut self) -> bool {
+        let a = self.comp_resources[0];
+        let b = self.comp_resources[1];
+        let na = self.flows_on[a.index()].len();
+        let nb = self.flows_on[b.index()].len();
+        if na == 0 || nb == 0 {
+            return false;
+        }
+        let mut n_both = 0usize;
+        for &fid in &self.comp_flows {
+            match *self.flows[fid.index()].route.as_slice() {
+                [x] if x == a || x == b => {}
+                [x, y] if (x == a && y == b) || (x == b && y == a) => n_both += 1,
+                _ => return false, // duplicates or foreign hops
+            }
+        }
+        self.stats.closed_form_solves += 1;
+        let eff_a = self.resources[a.index()].capacity.effective(na);
+        let eff_b = self.resources[b.index()].capacity.effective(nb);
+        let sa = eff_a.max(0.0) / na as f64;
+        let sb = eff_b.max(0.0) / nb as f64;
+        // First bottleneck: the smaller share; ties pick `a`, matching the
+        // general solver's strict-less argmin over local indices.
+        let (s1, second, eff2, n2_entries) =
+            if sb < sa { (sb, a, eff_a, na) } else { (sa, b, eff_b, nb) };
+        // Round 2 share for flows only on `second`, after the crossing
+        // flows' frozen bandwidth is released (clamped per subtraction,
+        // as the general solver does).
+        let n2_only = n2_entries - n_both;
+        let mut rem2 = eff2;
+        for _ in 0..n_both {
+            rem2 = (rem2 - s1).max(0.0);
+        }
+        let s2 = if n2_only > 0 { rem2.max(0.0) / n2_only as f64 } else { 0.0 };
+        for k in 0..self.comp_flows.len() {
+            let fid = self.comp_flows[k];
+            let only_second = matches!(*self.flows[fid.index()].route.as_slice(),
+                [x] if x == second);
+            let rate = if only_second { s2 } else { s1 };
+            self.set_rate(fid, rate);
+        }
+        true
     }
 
     /// Breadth-first walk of the flow/resource bipartite graph from `r0`,
     /// filling `comp_resources` / `comp_flows` with the connected
-    /// component and stamping visit marks with `gen`. Returns whether any
-    /// component flow carries a rate cap.
-    fn collect_component(&mut self, r0: ResourceId, gen: u64) -> bool {
+    /// component and stamping visit marks with `gen`. Returns the
+    /// component's shape summary.
+    fn collect_component(&mut self, r0: ResourceId, gen: u64) -> CompInfo {
         self.comp_resources.clear();
         self.comp_flows.clear();
         self.comp_stack.clear();
         self.comp_stack.push(r0);
         self.res_mark[r0.index()] = gen;
-        let mut has_cap = false;
+        let mut info = CompInfo { has_cap: false, min_cap: f64::INFINITY };
         while let Some(r) = self.comp_stack.pop() {
             self.res_local[r.index()] = self.comp_resources.len();
             self.comp_resources.push(r);
             for k in 0..self.flows_on[r.index()].len() {
-                let fid = self.flows_on[r.index()][k];
+                let fid = self.flows_on[r.index()][k].flow;
                 if self.flow_mark[fid.index()] == gen {
                     continue;
                 }
                 self.flow_mark[fid.index()] = gen;
                 self.comp_flows.push(fid);
-                has_cap |= self.flows[fid.index()].rate_cap.is_some();
+                info.min_cap = info.min_cap.min(self.flows[fid.index()].rate_cap);
                 let route = std::mem::take(&mut self.flows[fid.index()].route);
-                for &r2 in &route {
+                for &r2 in route.as_slice() {
                     if self.res_mark[r2.index()] != gen {
                         self.res_mark[r2.index()] = gen;
                         self.comp_stack.push(r2);
@@ -620,55 +1046,49 @@ impl Engine {
                 self.flows[fid.index()].route = route;
             }
         }
-        has_cap
+        info.has_cap = info.min_cap < f64::INFINITY;
+        info
     }
 
-    /// Max–min solve restricted to the collected component, writing the
-    /// resulting rates back into the flow table.
-    fn solve_component(&mut self, gen: u64) {
-        self.stats.component_solves += 1;
-        self.stats.flows_resolved += self.comp_flows.len() as u64;
-        if self.comp_flows.len() >= self.n_active_routed {
-            self.stats.full_solves += 1;
-        }
-
-        self.scratch_resources.clear();
-        for &r in &self.comp_resources {
-            let n = self.flows_on[r.index()].len();
-            self.scratch_resources
-                .push(ResourceInput { capacity: self.resources[r.index()].capacity.effective(n) });
-        }
-
-        let mut n_comp = 0usize;
-        for &fid in &self.comp_flows {
-            let f = &self.flows[fid.index()];
-            debug_assert!(f.route.iter().all(|r| self.res_mark[r.index()] == gen));
-            // Reuse FlowInput slots (and their route Vec allocations).
-            if n_comp < self.scratch_flows.len() {
-                let slot = &mut self.scratch_flows[n_comp];
-                slot.route.clear();
-                slot.route.extend(f.route.iter().map(|r| self.res_local[r.index()]));
-                slot.cap = f.rate_cap;
-            } else {
-                self.scratch_flows.push(FlowInput {
-                    route: f.route.iter().map(|r| self.res_local[r.index()]).collect(),
-                    cap: f.rate_cap,
-                });
+    /// General max–min solve restricted to the collected component via the
+    /// allocation-free scratch solver, writing the resulting rates back
+    /// into the flow table and updating the warm-start flags.
+    fn solve_general(&mut self, gen: u64) {
+        {
+            let Engine {
+                ref mut scratch,
+                ref flows,
+                ref flows_on,
+                ref resources,
+                ref comp_resources,
+                ref comp_flows,
+                ref res_local,
+                ref res_mark,
+                ..
+            } = *self;
+            scratch.clear();
+            for &r in comp_resources {
+                let n = flows_on[r.index()].len();
+                scratch.push_resource(resources[r.index()].capacity.effective(n));
             }
-            n_comp += 1;
+            for &fid in comp_flows {
+                let f = &flows[fid.index()];
+                debug_assert!(f.route.as_slice().iter().all(|r| res_mark[r.index()] == gen));
+                scratch.push_flow_raw(
+                    f.rate_cap,
+                    f.route.as_slice().iter().map(|r| res_local[r.index()]),
+                );
+            }
+            scratch.solve();
         }
-
-        // Slice rather than truncate so spare FlowInput slots keep their
-        // route-buffer allocations for the next solve.
-        solve_max_min(
-            &self.scratch_resources,
-            &self.scratch_flows[..n_comp],
-            &mut self.scratch_rates,
-        );
-
+        let sole = self.scratch.sole_bottleneck();
+        for local in 0..self.comp_resources.len() {
+            let r = self.comp_resources[local];
+            self.warm_bneck[r.index()] = Some(local) == sole;
+        }
         for k in 0..self.comp_flows.len() {
             let fid = self.comp_flows[k];
-            let rate = self.scratch_rates[k];
+            let rate = self.scratch.rates[k];
             self.set_rate(fid, rate);
         }
     }
@@ -857,6 +1277,142 @@ mod tests {
         }
         tags.sort_unstable();
         assert_eq!(tags, vec![0, 1, 2, 3]);
+        // The four simultaneous completions were drained as one batch.
+        let s = e.stats();
+        assert_eq!(s.batched_settles, 1);
+        assert_eq!(s.batched_completions, 4);
+    }
+
+    #[test]
+    fn fully_matched_batch_settles_without_solve() {
+        let mut e = Engine::new();
+        let r = e.add_resource(ResourceSpec::constant(10.0));
+        for i in 0..4 {
+            e.start_flow(FlowSpec::new(25.0, &[r], Tag(i)));
+        }
+        e.settle_rates();
+        let base = e.stats();
+        // All four complete at t=10; reissue an identical flow per event.
+        for _ in 0..4 {
+            let ev = e.next().unwrap();
+            e.start_flow(FlowSpec::new(25.0, &[r], Tag(10 + ev.tag().0)));
+        }
+        e.settle_rates();
+        let s = e.stats();
+        assert_eq!(s.swap_inherits, 4, "every reissue inherited its twin's rate");
+        assert_eq!(s.batched_settles - base.batched_settles, 1);
+        assert_eq!(s.clean_batch_settles, 1, "matched batch settled with no solve");
+        assert_eq!(s.component_solves, base.component_solves);
+    }
+
+    #[test]
+    fn simultaneous_activations_share_one_settle() {
+        let mut e = Engine::new();
+        let r = e.add_resource(ResourceSpec::constant(12.0));
+        for i in 0..3 {
+            e.start_flow(FlowSpec::new(12.0, &[r], Tag(i)).with_latency(1.0));
+        }
+        // All three activate at t=1 (rate 4 each) and finish at t=4.
+        let ev = e.next().unwrap();
+        assert!((e.now() - 4.0).abs() < 1e-9, "now={}", e.now());
+        let s = e.stats();
+        assert_eq!(s.batched_activations, 2, "two activations gulped with the first");
+        assert_eq!(s.component_solves, 1, "one solve for the whole activation burst");
+        let _ = ev;
+    }
+
+    #[test]
+    fn warm_refill_serves_stable_bottleneck_component() {
+        // WAN-like shape: a shared bottleneck plus per-node links.
+        let mut e = Engine::new();
+        let wan = e.add_resource(ResourceSpec::constant(10.0));
+        let l1 = e.add_resource(ResourceSpec::constant(100.0));
+        let l2 = e.add_resource(ResourceSpec::constant(100.0));
+        e.start_flow(FlowSpec::new(50.0, &[wan, l1], Tag(1)));
+        e.start_flow(FlowSpec::new(80.0, &[wan, l2], Tag(2)));
+        e.settle_rates(); // full solve; wan detected as sole bottleneck
+        assert_eq!(e.stats().warm_refills, 0);
+        // Membership changes by +1 flow: the next solve is a warm re-fill.
+        e.start_flow(FlowSpec::new(80.0, &[wan, l2], Tag(3)));
+        e.settle_rates();
+        let s = e.stats();
+        assert_eq!(s.warm_refills, 1);
+        for i in 0..3 {
+            assert!((e.flow_rate(FlowId(i)) - 10.0 / 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn warm_refill_bails_when_link_becomes_bottleneck() {
+        let mut e = Engine::new();
+        let wan = e.add_resource(ResourceSpec::constant(10.0));
+        let l1 = e.add_resource(ResourceSpec::constant(4.0));
+        let l2 = e.add_resource(ResourceSpec::constant(100.0));
+        e.start_flow(FlowSpec::new(50.0, &[wan, l2], Tag(1)));
+        e.start_flow(FlowSpec::new(80.0, &[wan, l2], Tag(2)));
+        e.settle_rates(); // wan flagged as sole bottleneck (5 each)
+                          // The newcomer crosses the tiny l1: uniform share 10/3 would
+                          // exceed l1's capacity 4? No - 3.33 < 4. Use a smaller l1 share:
+                          // two flows through l1 at share 10/4=2.5 each... keep it simple:
+                          // add two flows on l1 so l1's load at wan-uniform share busts it.
+        e.start_flow(FlowSpec::new(80.0, &[wan, l1], Tag(3)));
+        e.start_flow(FlowSpec::new(80.0, &[wan, l1], Tag(4)));
+        e.settle_rates();
+        // Uniform share would be 10/4 = 2.5; l1 load 2*2.5 = 5 > 4, so the
+        // warm path must bail and the full solver give l1's flows 2 each.
+        let s = e.stats();
+        assert_eq!(s.warm_refills, 0);
+        assert!((e.flow_rate(FlowId(2)) - 2.0).abs() < 1e-9);
+        assert!((e.flow_rate(FlowId(3)) - 2.0).abs() < 1e-9);
+        assert!((e.flow_rate(FlowId(0)) - 3.0).abs() < 1e-9, "rest split the remaining wan");
+        assert!((e.flow_rate(FlowId(1)) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_resource_component_closed_form() {
+        let mut e = Engine::new();
+        let a = e.add_resource(ResourceSpec::constant(10.0));
+        let b = e.add_resource(ResourceSpec::constant(100.0));
+        e.start_flow(FlowSpec::new(1e3, &[a, b], Tag(1)));
+        e.start_flow(FlowSpec::new(1e3, &[a], Tag(2)));
+        e.start_flow(FlowSpec::new(1e3, &[b], Tag(3)));
+        e.settle_rates();
+        let s = e.stats();
+        assert_eq!(s.closed_form_solves, 1);
+        assert!((e.flow_rate(FlowId(0)) - 5.0).abs() < 1e-9);
+        assert!((e.flow_rate(FlowId(1)) - 5.0).abs() < 1e-9);
+        assert!((e.flow_rate(FlowId(2)) - 95.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capped_single_resource_closed_form() {
+        let mut e = Engine::new();
+        let r = e.add_resource(ResourceSpec::constant(30.0));
+        e.start_flow(FlowSpec::new(100.0, &[r], Tag(1)).with_cap(3.0));
+        e.start_flow(FlowSpec::new(100.0, &[r], Tag(2)).with_cap(50.0));
+        e.start_flow(FlowSpec::new(100.0, &[r], Tag(3)));
+        e.settle_rates();
+        let s = e.stats();
+        assert_eq!(s.closed_form_solves, 1);
+        assert_eq!(s.component_solves, 1);
+        assert!((e.flow_rate(FlowId(0)) - 3.0).abs() < 1e-12, "tight cap binds");
+        assert!((e.flow_rate(FlowId(1)) - 13.5).abs() < 1e-9, "(30-3)/2 each");
+        assert!((e.flow_rate(FlowId(2)) - 13.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_caps_bind_in_closed_form() {
+        // The storage-service shape: one resource, equal per-connection caps.
+        let mut e = Engine::new();
+        let r = e.add_resource(ResourceSpec::constant(100.0));
+        for i in 0..4 {
+            e.start_flow(FlowSpec::new(10.0, &[r], Tag(i)).with_cap(5.0));
+        }
+        e.settle_rates();
+        for i in 0..4 {
+            assert!((e.flow_rate(FlowId(i)) - 5.0).abs() < 1e-12);
+        }
+        assert_eq!(e.stats().closed_form_solves, 1);
     }
 
     #[test]
@@ -1002,10 +1558,10 @@ mod tests {
         e.start_flow(FlowSpec::new(1e4, &[r], Tag(9)));
         e.next().unwrap(); // Tag(0) completes; candidate = its signature
         e.start_flow(FlowSpec::new(5.0, &[], Tag(50)).with_cap(2.0)); // route-less churn
-        e.start_flow(FlowSpec::new(10.0, &[r], Tag(1))); // identical twin
+        let twin = e.start_flow(FlowSpec::new(10.0, &[r], Tag(1))); // identical twin
         assert_eq!(e.stats().swap_inherits, 1, "candidate survived the route-less start");
         e.settle_rates();
-        assert!((e.flow_rate(FlowId(3)) - 5.0).abs() < 1e-9);
+        assert!((e.flow_rate(twin) - 5.0).abs() < 1e-9);
     }
 
     #[test]
@@ -1017,10 +1573,10 @@ mod tests {
         e.next().unwrap(); // capped flow completes
                            // Different cap: must NOT inherit; a real solve gives it the full
                            // remaining share.
-        e.start_flow(FlowSpec::new(10.0, &[r], Tag(1)).with_cap(8.0));
+        let newcomer = e.start_flow(FlowSpec::new(10.0, &[r], Tag(1)).with_cap(8.0));
         e.settle_rates();
         assert_eq!(e.stats().swap_inherits, 0);
-        assert!((e.flow_rate(FlowId(2)) - 5.0).abs() < 1e-9, "fair share, not old cap");
+        assert!((e.flow_rate(newcomer) - 5.0).abs() < 1e-9, "fair share, not old cap");
     }
 
     #[test]
@@ -1031,13 +1587,55 @@ mod tests {
         let mut e = Engine::new();
         let r = e.add_resource(ResourceSpec::constant(10.0));
         e.start_flow(FlowSpec::new(10.0, &[r], Tag(0)));
-        e.start_flow(FlowSpec::new(100.0, &[r], Tag(9)));
+        let long = e.start_flow(FlowSpec::new(100.0, &[r], Tag(9)));
         e.next().unwrap(); // Tag(0) completes at t=2 (rate 5 each)
         e.settle_rates(); // Tag(9) re-solved alone: rate 10
-        e.start_flow(FlowSpec::new(10.0, &[r], Tag(1)));
+        let late = e.start_flow(FlowSpec::new(10.0, &[r], Tag(1)));
         e.settle_rates();
         assert_eq!(e.stats().swap_inherits, 0);
-        assert!((e.flow_rate(FlowId(2)) - 5.0).abs() < 1e-9);
-        assert!((e.flow_rate(FlowId(1)) - 5.0).abs() < 1e-9);
+        assert!((e.flow_rate(late) - 5.0).abs() < 1e-9);
+        assert!((e.flow_rate(long) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partially_matched_batch_resolves_dirty_components() {
+        // Two identical flows complete together; only one is reissued. The
+        // unmatched candidate forces a real solve, which must override the
+        // inherited rate with the fresh allocation.
+        let mut e = Engine::new();
+        let r = e.add_resource(ResourceSpec::constant(10.0));
+        e.start_flow(FlowSpec::new(20.0, &[r], Tag(0)));
+        e.start_flow(FlowSpec::new(20.0, &[r], Tag(1)));
+        let ev = e.next().unwrap(); // both complete at t=4; batch of 2
+        assert_eq!(ev.tag(), Tag(0));
+        let reissue = e.start_flow(FlowSpec::new(30.0, &[r], Tag(2))); // matches; inherits 5
+        assert_eq!(e.stats().swap_inherits, 1);
+        let ev = e.next().unwrap();
+        assert_eq!(ev.tag(), Tag(1)); // second half of the batch
+        e.settle_rates(); // unmatched candidate remains: full re-solve
+        assert!((e.flow_rate(reissue) - 10.0).abs() < 1e-9, "alone now: full capacity");
+        // 30 units at rate 10 from t=4 -> completes at t=7.
+        let ev = e.next().unwrap();
+        assert_eq!(ev.tag(), Tag(2));
+        assert!((e.now() - 7.0).abs() < 1e-9, "now={}", e.now());
+    }
+
+    #[test]
+    fn timer_set_mid_batch_fires_before_remaining_completions() {
+        let mut e = Engine::new();
+        let r = e.add_resource(ResourceSpec::constant(10.0));
+        for i in 0..3 {
+            e.start_flow(FlowSpec::new(10.0, &[r], Tag(i)));
+        }
+        let ev = e.next().unwrap(); // batch of 3 at t=3; first delivered
+        assert_eq!(ev.tag(), Tag(0));
+        assert!((e.now() - 3.0).abs() < 1e-9);
+        e.set_timer(0.0, Tag(99)); // lands at exactly the batch instant
+        let ev = e.next().unwrap();
+        assert_eq!(ev.tag(), Tag(99), "tie rule: timers before completions");
+        let ev = e.next().unwrap();
+        assert_eq!(ev.tag(), Tag(1));
+        let ev = e.next().unwrap();
+        assert_eq!(ev.tag(), Tag(2));
     }
 }

@@ -1,6 +1,7 @@
 //! Flow specifications and runtime state.
 
 use crate::ids::{ResourceId, Tag};
+use crate::route::Route;
 
 /// Lifecycle of a flow inside the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,8 +21,10 @@ pub enum FlowStatus {
 pub struct FlowSpec {
     /// Total demand: bytes for data flows, flops for compute flows.
     pub demand: f64,
-    /// Resources used *simultaneously* while the flow progresses.
-    pub route: Vec<ResourceId>,
+    /// Resources used *simultaneously* while the flow progresses. Stored
+    /// inline (see [`Route`]) so building a spec does not allocate for the
+    /// short routes simulators issue in their steady state.
+    pub(crate) route: Route,
     /// Opaque payload returned with the completion event.
     pub tag: Tag,
     /// Optional per-flow rate cap (e.g. a per-connection limit).
@@ -34,11 +37,18 @@ pub struct FlowSpec {
 
 impl FlowSpec {
     /// A plain flow: no cap, no latency.
+    #[inline]
     pub fn new(demand: f64, route: &[ResourceId], tag: Tag) -> Self {
-        Self { demand, route: route.to_vec(), tag, rate_cap: None, latency: 0.0 }
+        Self { demand, route: Route::from_slice(route), tag, rate_cap: None, latency: 0.0 }
+    }
+
+    /// The route the flow will hold while active.
+    pub fn route(&self) -> &[ResourceId] {
+        self.route.as_slice()
     }
 
     /// Set a per-flow rate cap.
+    #[inline]
     pub fn with_cap(mut self, cap: f64) -> Self {
         assert!(cap.is_finite() && cap > 0.0, "rate cap must be positive");
         self.rate_cap = Some(cap);
@@ -46,6 +56,7 @@ impl FlowSpec {
     }
 
     /// Set a start latency.
+    #[inline]
     pub fn with_latency(mut self, latency: f64) -> Self {
         assert!(latency.is_finite() && latency >= 0.0, "latency must be non-negative");
         self.latency = latency;
@@ -74,23 +85,26 @@ pub(crate) struct FlowState {
     pub rate: f64,
     /// Engine time at which `remaining` was last brought up to date.
     pub last_settled: f64,
-    pub route: Vec<ResourceId>,
+    /// Per-flow rate cap; `f64::INFINITY` when uncapped (stored raw so the
+    /// hot flow table stays at 80 bytes per entry).
+    pub rate_cap: f64,
+    pub route: Route,
     pub tag: Tag,
-    pub rate_cap: Option<f64>,
     pub status: FlowStatus,
 }
 
 impl FlowState {
     /// Consume a spec, moving its route buffer into the runtime state.
+    #[inline]
     pub fn from_spec(spec: FlowSpec) -> Self {
         Self {
             demand: spec.demand,
             remaining: spec.demand,
             rate: 0.0,
             last_settled: 0.0,
+            rate_cap: spec.rate_cap.unwrap_or(f64::INFINITY),
             route: spec.route,
             tag: spec.tag,
-            rate_cap: spec.rate_cap,
             status: if spec.latency > 0.0 { FlowStatus::Pending } else { FlowStatus::Active },
         }
     }
@@ -105,6 +119,13 @@ impl FlowState {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn flow_state_stays_within_80_bytes() {
+        // The flow table is append-only and grows to one entry per started
+        // flow; its entry size is cold-build memory traffic.
+        assert!(std::mem::size_of::<FlowState>() <= 80);
+    }
 
     #[test]
     fn builder_sets_fields() {

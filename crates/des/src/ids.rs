@@ -19,14 +19,32 @@ impl ResourceId {
 }
 
 /// Identifier of a flow started with [`crate::Engine::start_flow`].
+///
+/// Packs a slot index (low 32 bits) and a generation stamp (high 32
+/// bits): the engine recycles the slots of finished flows so the hot flow
+/// table stays cache-resident, and the generation lets queries with ids
+/// of recycled flows report them as no longer live instead of aliasing
+/// the slot's new occupant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct FlowId(pub(crate) u32);
+pub struct FlowId(pub(crate) u64);
 
 impl FlowId {
     /// Index into the engine's flow slab.
     #[inline]
     pub fn index(self) -> usize {
-        self.0 as usize
+        (self.0 & 0xFFFF_FFFF) as usize
+    }
+
+    /// Generation stamp of the slot at the time this id was issued.
+    #[inline]
+    pub(crate) fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// Compose an id from a slot and its current generation.
+    #[inline]
+    pub(crate) fn compose(slot: u32, generation: u32) -> Self {
+        FlowId((u64::from(generation) << 32) | u64::from(slot))
     }
 }
 

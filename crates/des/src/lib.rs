@@ -40,9 +40,11 @@
 //!   speed/accuracy trade-off (Table VI).
 
 mod engine;
+mod eventlist;
 mod flow;
 mod ids;
 mod resource;
+mod route;
 mod sharing;
 mod stats;
 mod timer;
@@ -51,7 +53,7 @@ pub use engine::{Engine, Event};
 pub use flow::{FlowSpec, FlowStatus};
 pub use ids::{FlowId, ResourceId, Tag, TimerId};
 pub use resource::{CapacityModel, ResourceSpec};
-pub use sharing::{solve_max_min, FlowInput, ResourceInput, MAX_RATE};
+pub use sharing::{solve_max_min, FlowInput, ResourceInput, SolveScratch, MAX_RATE};
 pub use stats::Stats;
 
 /// Relative numerical tolerance used when deciding a flow's demand is done.

@@ -11,8 +11,26 @@
 //! the frozen bandwidth from every resource on their routes, and iterates
 //! until all flows are frozen.
 //!
-//! The solver is a pure function over plain inputs so it can be exercised
-//! directly by property tests (feasibility, saturation, bottleneck fairness).
+//! ## Allocation-free scratch solves
+//!
+//! The solver state lives in a reusable [`SolveScratch`] arena: resource
+//! capacities/remaining/shares and flow caps/rates in flat `Vec`s indexed by
+//! dense component-local ids, with routes in a CSR layout (`route_off` /
+//! `route_res`) plus a reverse resource→flow CSR built by counting sort. A
+//! caller that owns a scratch — the engine owns one per instance — pays zero
+//! allocation per solve on the steady path, and the progressive-filling
+//! inner loops walk flat arrays instead of chasing per-flow `Vec`s.
+//!
+//! Two structural improvements over the naive formulation keep the round
+//! count low: all capped flows at or below the current bottleneck share are
+//! frozen in a single pass (freezing a flow at `c ≤ share` can only *raise*
+//! the shares of its resources, so every such cap is a valid next freeze),
+//! and the flows crossing the bottleneck resource are enumerated directly
+//! from the reverse CSR instead of scanning every flow's route.
+//!
+//! [`solve_max_min`] remains the pure-function entry point (property tests,
+//! the differential oracle) and is deliberately a second, independent
+//! implementation — see its docs.
 
 /// Rate assigned to flows that are constrained by nothing at all
 /// (empty route, no cap). Finite so downstream arithmetic stays NaN-free.
@@ -34,9 +52,251 @@ pub struct FlowInput {
     pub cap: Option<f64>,
 }
 
+/// Reusable structure-of-arrays state for [`SolveScratch::solve`].
+///
+/// Fill it with [`push_resource`](SolveScratch::push_resource) /
+/// [`push_flow`](SolveScratch::push_flow), call `solve`, read
+/// [`rates`](SolveScratch::rates). [`clear`](SolveScratch::clear) resets the
+/// contents while keeping every allocation.
+#[derive(Debug, Default)]
+pub struct SolveScratch {
+    // Resources.
+    capacity: Vec<f64>,
+    remaining: Vec<f64>,
+    unfrozen_on: Vec<u32>,
+    // Flows (SoA).
+    flow_cap: Vec<f64>, // f64::INFINITY = uncapped
+    frozen: Vec<bool>,
+    // Flow → resource routes, CSR.
+    route_off: Vec<u32>,
+    route_res: Vec<u32>,
+    // Resource → flow incidence, CSR (built per solve by counting sort).
+    rof_off: Vec<u32>,
+    rof_cursor: Vec<u32>,
+    rof_flow: Vec<u32>,
+    /// Output: one max–min rate per pushed flow, in push order.
+    pub rates: Vec<f64>,
+    /// When the last solve froze every flow in a single resource round with
+    /// no cap binding: that bottleneck's (local) index.
+    sole_bottleneck: Option<usize>,
+}
+
+impl SolveScratch {
+    /// An empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drop all pushed resources and flows, keeping allocations.
+    pub fn clear(&mut self) {
+        self.capacity.clear();
+        self.flow_cap.clear();
+        self.route_off.clear();
+        self.route_off.push(0);
+        self.route_res.clear();
+        self.sole_bottleneck = None;
+    }
+
+    /// Register a resource with the given effective capacity; resources are
+    /// indexed densely in push order.
+    #[inline]
+    pub fn push_resource(&mut self, capacity: f64) -> usize {
+        self.capacity.push(capacity);
+        self.capacity.len() - 1
+    }
+
+    /// Register a flow with an optional cap and a route of local resource
+    /// indices (duplicates consume multiple shares); flows are indexed
+    /// densely in push order.
+    #[inline]
+    pub fn push_flow<I: IntoIterator<Item = usize>>(&mut self, cap: Option<f64>, route: I) {
+        self.push_flow_raw(cap.unwrap_or(f64::INFINITY), route);
+    }
+
+    /// As [`push_flow`](Self::push_flow) with the cap already in sentinel
+    /// form (`f64::INFINITY` = uncapped), matching the engine's flow table.
+    #[inline]
+    pub fn push_flow_raw<I: IntoIterator<Item = usize>>(&mut self, cap: f64, route: I) {
+        if self.route_off.is_empty() {
+            self.route_off.push(0);
+        }
+        self.flow_cap.push(cap);
+        for r in route {
+            assert!(r < self.capacity.len(), "route references unknown resource {r}");
+            self.route_res.push(r as u32);
+        }
+        self.route_off.push(self.route_res.len() as u32);
+    }
+
+    /// Number of pushed flows.
+    #[inline]
+    pub fn n_flows(&self) -> usize {
+        self.flow_cap.len()
+    }
+
+    /// After [`solve`](Self::solve): the single bottleneck resource's local
+    /// index, when the solve froze every flow in one resource round with no
+    /// cap binding — the precondition for the engine's warm re-fill.
+    #[inline]
+    pub fn sole_bottleneck(&self) -> Option<usize> {
+        self.sole_bottleneck
+    }
+
+    #[inline]
+    fn route(&self, f: usize) -> std::ops::Range<usize> {
+        self.route_off[f] as usize..self.route_off[f + 1] as usize
+    }
+
+    /// Compute max–min fair rates for the pushed topology into
+    /// [`rates`](Self::rates). Allocation-free once the internal buffers
+    /// have grown to the working size.
+    pub fn solve(&mut self) {
+        let nf = self.flow_cap.len();
+        let nr = self.capacity.len();
+        self.sole_bottleneck = None;
+        self.rates.clear();
+        self.rates.resize(nf, 0.0);
+        if nf == 0 {
+            return;
+        }
+        self.remaining.clear();
+        self.remaining.extend_from_slice(&self.capacity);
+        self.unfrozen_on.clear();
+        self.unfrozen_on.resize(nr, 0);
+        self.frozen.clear();
+        self.frozen.resize(nf, false);
+
+        // Reverse CSR by counting sort over the route entries.
+        self.rof_off.clear();
+        self.rof_off.resize(nr + 1, 0);
+        for &r in &self.route_res {
+            self.unfrozen_on[r as usize] += 1;
+            self.rof_off[r as usize + 1] += 1;
+        }
+        for r in 0..nr {
+            self.rof_off[r + 1] += self.rof_off[r];
+        }
+        self.rof_cursor.clear();
+        self.rof_cursor.extend_from_slice(&self.rof_off[..nr]);
+        self.rof_flow.clear();
+        self.rof_flow.resize(self.route_res.len(), 0);
+        for f in 0..nf {
+            for k in self.route(f) {
+                let r = self.route_res[k] as usize;
+                self.rof_flow[self.rof_cursor[r] as usize] = f as u32;
+                self.rof_cursor[r] += 1;
+            }
+        }
+
+        // Pre-pass: flows with empty routes share nothing — their rate is
+        // their cap (or unbounded). Freezing them here keeps the main loop's
+        // iteration count proportional to the number of *saturated
+        // resources*, not flows; simulators model dedicated per-core compute
+        // as exactly such route-less capped flows.
+        let mut n_frozen = 0usize;
+        for f in 0..nf {
+            if self.route_off[f] == self.route_off[f + 1] {
+                self.frozen[f] = true;
+                n_frozen += 1;
+                let c = self.flow_cap[f];
+                self.rates[f] = if c.is_finite() { c } else { MAX_RATE };
+            }
+        }
+
+        let mut resource_rounds = 0usize;
+        let mut cap_bound = false;
+        let mut last_bottleneck = 0usize;
+        while n_frozen < nf {
+            // Most-constrained resource.
+            let mut best_share = f64::INFINITY;
+            let mut best_resource: Option<usize> = None;
+            for r in 0..nr {
+                let n = self.unfrozen_on[r];
+                if n > 0 {
+                    let share = self.remaining[r].max(0.0) / f64::from(n);
+                    if share < best_share {
+                        best_share = share;
+                        best_resource = Some(r);
+                    }
+                }
+            }
+
+            // Freeze every unfrozen capped flow at or below the bottleneck
+            // share: each such freeze only raises the shares of the
+            // resources it releases, so all of them are valid next steps of
+            // progressive filling.
+            let mut any_cap = false;
+            for f in 0..nf {
+                if !self.frozen[f] && self.flow_cap[f] <= best_share {
+                    let c = self.flow_cap[f];
+                    self.frozen[f] = true;
+                    n_frozen += 1;
+                    self.rates[f] = c;
+                    for k in self.route(f) {
+                        let r = self.route_res[k] as usize;
+                        self.remaining[r] = (self.remaining[r] - c).max(0.0);
+                        self.unfrozen_on[r] -= 1;
+                    }
+                    any_cap = true;
+                }
+            }
+            if any_cap {
+                cap_bound = true;
+                continue;
+            }
+
+            if let Some(r0) = best_resource {
+                // Freeze every unfrozen flow crossing the bottleneck,
+                // enumerated directly from the reverse CSR.
+                resource_rounds += 1;
+                last_bottleneck = r0;
+                for k in self.rof_off[r0] as usize..self.rof_off[r0 + 1] as usize {
+                    let f = self.rof_flow[k] as usize;
+                    if self.frozen[f] {
+                        continue;
+                    }
+                    self.frozen[f] = true;
+                    n_frozen += 1;
+                    self.rates[f] = best_share;
+                    for k2 in self.route(f) {
+                        let r = self.route_res[k2] as usize;
+                        self.remaining[r] = (self.remaining[r] - best_share).max(0.0);
+                        self.unfrozen_on[r] -= 1;
+                    }
+                }
+            } else {
+                // Remaining flows have no unfrozen resources and no finite
+                // caps below infinity: unconstrained (defensive; routed
+                // flows always keep their resources' counters non-zero).
+                for f in 0..nf {
+                    if !self.frozen[f] {
+                        self.frozen[f] = true;
+                        n_frozen += 1;
+                        let c = self.flow_cap[f];
+                        self.rates[f] = if c.is_finite() { c } else { MAX_RATE };
+                    }
+                }
+            }
+        }
+
+        if !cap_bound && resource_rounds == 1 {
+            self.sole_bottleneck = Some(last_bottleneck);
+        }
+    }
+}
+
 /// Compute max–min fair rates.
 ///
 /// `rates` is cleared and filled with one rate per flow, in order.
+///
+/// This is the pure-function *reference* implementation over plain inputs:
+/// a deliberately independent, textbook transcription of progressive
+/// filling (one constraint frozen per round), kept separate from the
+/// engine's [`SolveScratch`] production solver. The differential oracle
+/// compares the engine's incremental rates against this function, so the
+/// two implementations cross-check each other; it is also faster than the
+/// scratch solver for the one-shot small inputs property tests feed it,
+/// since it skips the CSR builds.
 ///
 /// # Panics
 /// Panics if a route references a resource index out of bounds.
@@ -60,10 +320,7 @@ pub fn solve_max_min(resources: &[ResourceInput], flows: &[FlowInput], rates: &m
     let mut n_frozen = 0usize;
 
     // Pre-pass: flows with empty routes share nothing — their rate is their
-    // cap (or unbounded). Freezing them here keeps the main loop's iteration
-    // count proportional to the number of *saturated resources*, not flows;
-    // this matters because simulators model dedicated per-core compute as
-    // exactly such route-less capped flows (one per running job).
+    // cap (or unbounded).
     for (i, f) in flows.iter().enumerate() {
         if f.route.is_empty() {
             frozen[i] = true;
@@ -78,7 +335,7 @@ pub fn solve_max_min(resources: &[ResourceInput], flows: &[FlowInput], rates: &m
         let mut best_resource: Option<usize> = None;
         for (r, &n) in unfrozen_on.iter().enumerate() {
             if n > 0 {
-                let share = (remaining[r].max(0.0)) / n as f64;
+                let share = (remaining[r].max(0.0)) / f64::from(n);
                 if share < best_share {
                     best_share = share;
                     best_resource = Some(r);
@@ -222,6 +479,74 @@ mod tests {
         // consumes two shares.
         let rates = solve(&[10.0], &[(&[0, 0], None)]);
         assert_eq!(rates, vec![5.0]);
+    }
+
+    #[test]
+    fn equal_caps_freeze_together() {
+        // Four flows with the same binding cap on one resource: all get the
+        // cap, in one batched cap round.
+        let rates = solve(
+            &[100.0],
+            &[(&[0], Some(5.0)), (&[0], Some(5.0)), (&[0], Some(5.0)), (&[0], Some(5.0))],
+        );
+        assert_eq!(rates, vec![5.0; 4]);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_solves() {
+        let mut scratch = SolveScratch::new();
+        for trial in 0..3 {
+            scratch.clear();
+            scratch.push_resource(10.0 + trial as f64);
+            scratch.push_resource(100.0);
+            scratch.push_flow(None, [0usize, 1]);
+            scratch.push_flow(Some(2.0), [0usize]);
+            scratch.push_flow(None, [1usize]);
+            scratch.solve();
+            let mut expected = Vec::new();
+            solve_max_min(
+                &[
+                    ResourceInput { capacity: 10.0 + trial as f64 },
+                    ResourceInput { capacity: 100.0 },
+                ],
+                &[
+                    FlowInput { route: vec![0, 1], cap: None },
+                    FlowInput { route: vec![0], cap: Some(2.0) },
+                    FlowInput { route: vec![1], cap: None },
+                ],
+                &mut expected,
+            );
+            assert_eq!(scratch.rates, expected, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn sole_bottleneck_reported_only_for_single_round_uncapped_solves() {
+        let mut s = SolveScratch::new();
+        s.clear();
+        s.push_resource(10.0);
+        s.push_resource(1000.0);
+        s.push_flow(None, [0usize, 1]);
+        s.push_flow(None, [0usize]);
+        s.solve();
+        assert_eq!(s.sole_bottleneck(), Some(0), "everything froze on resource 0");
+
+        // A binding cap disqualifies the warm precondition.
+        s.clear();
+        s.push_resource(10.0);
+        s.push_flow(Some(1.0), [0usize]);
+        s.push_flow(None, [0usize]);
+        s.solve();
+        assert_eq!(s.sole_bottleneck(), None);
+
+        // Two bottleneck rounds disqualify it too.
+        s.clear();
+        s.push_resource(10.0);
+        s.push_resource(12.0);
+        s.push_flow(None, [0usize]);
+        s.push_flow(None, [1usize]);
+        s.solve();
+        assert_eq!(s.sole_bottleneck(), None);
     }
 
     fn assert_feasible(resources: &[f64], flows: &[(&[usize], Option<f64>)], rates: &[f64]) {

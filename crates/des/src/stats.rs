@@ -38,6 +38,27 @@ pub struct Stats {
     pub flows_resolved: u64,
     /// Resources registered.
     pub resources: u64,
+    /// Same-timestamp completion batches (two or more completions sharing
+    /// an instant) drained and settled together — one settle pass and at
+    /// most one solve per touched component instead of one per event.
+    pub batched_settles: u64,
+    /// Completions delivered out of such batches (including the first of
+    /// each batch).
+    pub batched_completions: u64,
+    /// Pending-flow activations gulped together with an earlier activation
+    /// at the same instant, sharing its settle pass.
+    pub batched_activations: u64,
+    /// Settle passes in which every dirty mark came from a completion whose
+    /// identical twin inherited its rate (a fully-matched batch): the marks
+    /// were discarded with no solve at all.
+    pub clean_batch_settles: u64,
+    /// Component solves answered by the warm-start re-fill: the previous
+    /// solve's sole bottleneck still dominates, so rates are re-filled
+    /// uniformly in one verified pass with no progressive filling.
+    pub warm_refills: u64,
+    /// Component solves answered by a closed form (single resource with or
+    /// without caps, two uncapped resources) instead of the general solver.
+    pub closed_form_solves: u64,
 }
 
 impl Stats {

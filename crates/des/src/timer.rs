@@ -88,6 +88,23 @@ impl TimerQueue {
         self.heap.pop().map(|Reverse(e)| (TimerId(e.seq), e.time, e.kind))
     }
 
+    /// Pop the next timer only if it is a flow activation scheduled at
+    /// exactly `time`. Lets the engine gulp a burst of same-instant
+    /// activations into one settle pass without disturbing the delivery
+    /// order of user timers interleaved among them.
+    pub fn pop_activation_at(&mut self, time: f64) -> Option<FlowId> {
+        self.drop_cancelled();
+        match self.heap.peek() {
+            Some(&Reverse(Entry { time: t, kind: TimerKind::ActivateFlow(id), .. }))
+                if t == time =>
+            {
+                self.heap.pop();
+                Some(id)
+            }
+            _ => None,
+        }
+    }
+
     #[cfg(test)]
     pub fn is_empty(&mut self) -> bool {
         self.peek_time().is_none()

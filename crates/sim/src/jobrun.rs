@@ -158,6 +158,13 @@ impl JobRun {
 
     /// Handle a completed flow of the given kind. Returns `true` when the
     /// job finished (its output write completed).
+    ///
+    /// Each arm issues exactly the flows this event can have unblocked
+    /// (its state updates are known), rather than re-running the whole
+    /// [`advance`](Self::advance) gate set per event: every dropped
+    /// `try_start_*` call is a guaranteed no-op because none of its gating
+    /// inputs changed since the previous event's fixed point. Only the
+    /// rare file/phase transitions fall back to the full `advance`.
     pub fn on_event(&mut self, kind: Kind, ctx: &mut Ctx<'_>) -> bool {
         let was_done = self.phase == Phase::Done;
         match kind {
@@ -169,12 +176,19 @@ impl JobRun {
                 self.try_start_compute(ctx);
                 if self.computed + SLACK >= self.file_size {
                     self.finish_file(ctx);
+                    self.advance(ctx);
+                } else if self.cached {
+                    // The double-buffer window moved: the next read may go.
+                    self.try_start_local(ctx);
+                } else {
+                    self.try_start_server(ctx);
                 }
             }
             Kind::LocalRead => {
                 self.delivered = self.read_pos;
                 self.local_busy = false;
                 self.try_start_local(ctx);
+                self.try_start_compute(ctx);
             }
             Kind::ServerChunk => {
                 self.server_done = self.read_pos;
@@ -188,6 +202,7 @@ impl JobRun {
                 self.net_busy = false;
                 self.try_start_net(ctx);
                 self.try_start_cache_write(ctx);
+                self.try_start_compute(ctx);
             }
             Kind::CacheWrite => {
                 // Fire-and-forget: nothing waits on this; it may even
@@ -210,7 +225,6 @@ impl JobRun {
                 }
             }
         }
-        self.advance(ctx);
         !was_done && self.phase == Phase::Done
     }
 

@@ -4,9 +4,15 @@
 //! correct implementation is indistinguishable from re-solving the whole
 //! allocation globally after every change. This test drives randomized
 //! flow/resource topologies through the engine — starts (with latencies,
-//! caps, duplicate route entries, empty routes), completions, and
-//! cancellations — and after every step compares every active flow's rate
-//! against a fresh **global** `solve_max_min` over the full live set.
+//! caps, duplicate route entries, empty routes, zero demands), bursts of
+//! identical flows that complete in same-timestamp batches, completions,
+//! and cancellations — and after every step compares every active flow's
+//! rate against a fresh **global** `solve_max_min` over the full live
+//! set. `solve_max_min` is an independently-written reference
+//! implementation (one constraint frozen per round), so the engine's
+//! batched settling, swap inheritance, warm re-fills, and closed-form
+//! component solves are all checked against code sharing none of their
+//! structure.
 //!
 //! Well over 1000 randomized cases run per invocation.
 
@@ -98,7 +104,7 @@ fn check_case(case: u64, rng: &mut StdRng) {
     let n_ops = rng.random_range(4..40usize);
     for op in 0..n_ops {
         let roll: f64 = rng.random();
-        if roll < 0.55 || flows.is_empty() {
+        if roll < 0.45 || flows.is_empty() {
             // Start a flow: random route (possibly empty, possibly with a
             // duplicated resource), optional cap, optional latency.
             let route_len = if n_res == 0 { 0 } else { rng.random_range(0..=n_res.min(3)) };
@@ -113,7 +119,7 @@ fn check_case(case: u64, rng: &mut StdRng) {
                 None
             };
             let demand =
-                if rng.random::<f64>() < 0.05 { 0.0 } else { rng.random_range(1.0..500.0f64) };
+                if rng.random::<f64>() < 0.1 { 0.0 } else { rng.random_range(1.0..500.0f64) };
             let ids: Vec<ResourceId> = route.iter().map(|&r| res_ids[r]).collect();
             let mut spec = FlowSpec::new(demand, &ids, Tag(op as u64));
             if let Some(c) = cap {
@@ -124,7 +130,28 @@ fn check_case(case: u64, rng: &mut StdRng) {
             }
             let id = engine.start_flow(spec);
             flows.push(FlowRecord { id, route, cap });
-        } else if roll < 0.8 {
+        } else if roll < 0.6 && n_res > 0 {
+            // A burst of identical flows on one resource: equal signatures
+            // mean equal rates forever, so they complete in a
+            // same-timestamp batch (zero demands batch at the current
+            // instant). This exercises batch-pop, batched settling, and
+            // the multi-candidate swap list against the oracle.
+            let r = rng.random_range(0..n_res);
+            let m = rng.random_range(2..=4usize);
+            let demand =
+                if rng.random::<f64>() < 0.2 { 0.0 } else { rng.random_range(1.0..100.0f64) };
+            let cap =
+                if rng.random::<f64>() < 0.3 { Some(rng.random_range(0.5..50.0f64)) } else { None };
+            for j in 0..m {
+                let mut spec =
+                    FlowSpec::new(demand, &[res_ids[r]], Tag(5000 + (op * 10 + j) as u64));
+                if let Some(c) = cap {
+                    spec = spec.with_cap(c);
+                }
+                let id = engine.start_flow(spec);
+                flows.push(FlowRecord { id, route: vec![r], cap });
+            }
+        } else if roll < 0.85 {
             // Advance one event; after a completion, sometimes immediately
             // reissue an identically-shaped flow (the pipelined steady
             // state), exercising the swap fast path against the oracle.
@@ -212,4 +239,44 @@ fn pipelined_chunk_stream_matches_oracle() {
     // hot component's single flow, never the cold pair.
     let s = engine.stats();
     assert!(s.full_solves <= 1, "at most the initial settle may span everything");
+}
+
+/// Deterministic regression for same-timestamp batches and zero-demand
+/// flows: a burst of identical chunks completes as one batch (with the
+/// background flows' rates re-settling correctly), and zero-demand flows
+/// batch-complete at the instant they start.
+#[test]
+fn simultaneous_batches_and_zero_demand_flows_match_oracle() {
+    let mut engine = Engine::new();
+    let specs = [ResourceSpec::constant(60.0), ResourceSpec::constant(40.0)];
+    let a = engine.add_resource(specs[0]);
+    let b = engine.add_resource(specs[1]);
+    let mut flows: Vec<FlowRecord> = Vec::new();
+    // One long-lived background flow per resource.
+    for (i, &r) in [a, b].iter().enumerate() {
+        let id = engine.start_flow(FlowSpec::new(1e4, &[r], Tag(900 + i as u64)));
+        flows.push(FlowRecord { id, route: vec![i], cap: None });
+    }
+    // Four identical chunks on `a`: equal rates, one completion batch.
+    for k in 0..4u64 {
+        let id = engine.start_flow(FlowSpec::new(30.0, &[a], Tag(k)));
+        flows.push(FlowRecord { id, route: vec![0], cap: None });
+    }
+    // Three zero-demand flows on `b`: batch-complete at t = 0.
+    for k in 10..13u64 {
+        let id = engine.start_flow(FlowSpec::new(0.0, &[b], Tag(k)));
+        flows.push(FlowRecord { id, route: vec![1], cap: None });
+    }
+
+    let mut events = 0usize;
+    while let Some(ev) = engine.next() {
+        engine.settle_rates();
+        assert_rates_match(&engine, &specs, &flows, &format!("event {events} tag {:?}", ev.tag()));
+        events += 1;
+        assert!(events <= 9, "exactly 9 completions expected");
+    }
+    assert_eq!(events, 9);
+    let s = engine.stats();
+    assert!(s.batched_settles >= 2, "zero-demand and chunk batches both drained as batches");
+    assert_eq!(s.batched_completions, 7, "4 chunks + 3 zero-demand flows");
 }
