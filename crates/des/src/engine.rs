@@ -131,6 +131,32 @@ struct OnEntry {
     hop: u32,
 }
 
+/// A cached component membership: the resource set a previous
+/// [`Engine::collect_component`] walk discovered. The set is kept *closed
+/// under the incidence relation* — any attach that would connect a member
+/// resource to a non-member invalidates the slot (see
+/// [`Engine::note_attach_route`]) — so gathering the flows of every member
+/// resource reproduces the component without re-walking flow routes.
+/// Detaches never invalidate: they can only split the component, and
+/// solving the cached superset jointly is still exact (max–min fair
+/// allocations decompose across connected components).
+#[derive(Debug, Default)]
+struct CompSlot {
+    /// Validity stamp; labels carrying an older stamp are dead. Bumped on
+    /// capture and on invalidation.
+    stamp: u64,
+    /// The member resources, in solver-local index order.
+    resources: Vec<ResourceId>,
+}
+
+/// A resource's pointer into the membership cache: valid while the slot's
+/// stamp still matches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct CompLabel {
+    slot: u32,
+    stamp: u64,
+}
+
 /// Fluid discrete-event simulation engine. See the crate docs for the model.
 #[derive(Debug, Default)]
 pub struct Engine {
@@ -198,6 +224,15 @@ pub struct Engine {
     /// containing this resource froze every flow against it alone.
     warm_bneck: Vec<bool>,
 
+    // Incremental component-membership cache: resource sets captured by
+    // previous component walks, so repeated solves of a stable component
+    // skip the `collect_component` BFS entirely (the flows are gathered
+    // straight from the member resources' incidence lists).
+    comp_cache: Vec<CompSlot>,
+    free_comp_slots: Vec<u32>,
+    /// Per-resource label into `comp_cache` (stamp-checked).
+    res_comp: Vec<CompLabel>,
+
     // Scratch buffers reused across recomputations.
     comp_stack: Vec<ResourceId>,
     comp_resources: Vec<ResourceId>,
@@ -255,6 +290,14 @@ impl Engine {
         for w in &mut self.warm_bneck {
             *w = false;
         }
+        // Retire every cached membership (stamp bump kills all labels)
+        // while keeping the slot allocations for the next run.
+        self.free_comp_slots.clear();
+        for (s, slot) in self.comp_cache.iter_mut().enumerate() {
+            slot.stamp += 1;
+            slot.resources.clear();
+            self.free_comp_slots.push(s as u32);
+        }
         // res_mark/res_local stay valid: marks are generation-stamped.
     }
 
@@ -268,6 +311,7 @@ impl Engine {
             self.res_mark.push(0);
             self.res_local.push(0);
             self.warm_bneck.push(false);
+            self.res_comp.push(CompLabel::default());
         }
         self.dirty_res.resize(self.resources.len().max(self.dirty_res.len()), 0);
         id
@@ -630,6 +674,7 @@ impl Engine {
         let route = std::mem::take(&mut self.flows[id.index()].route);
         debug_assert!(!route.is_empty());
         self.n_active_routed += 1;
+        self.note_attach_route(&route);
         for (hop, &r) in route.as_slice().iter().enumerate() {
             self.index_on(id, hop, r);
         }
@@ -658,11 +703,50 @@ impl Engine {
         }
         self.n_active_routed += 1;
         let route = std::mem::take(&mut self.flows[id.index()].route);
+        self.note_attach_route(&route);
         for (hop, &r) in route.as_slice().iter().enumerate() {
             self.index_on(id, hop, r);
             self.mark_strong(r);
         }
         self.flows[id.index()].route = route;
+    }
+
+    /// Membership-cache maintenance for a routed attach. A route lying
+    /// entirely inside one cached resource set keeps that set closed (the
+    /// new flow adds no outside connectivity), so the cache stays valid;
+    /// any other shape — spanning two cached sets, or touching an uncached
+    /// resource — may merge components, so every cached set the route
+    /// touches is retired. Detaches need no bookkeeping: removing a flow
+    /// can only *split* a component, and solving the cached superset
+    /// jointly is still exact.
+    fn note_attach_route(&mut self, route: &Route) {
+        let hops = route.as_slice();
+        if let Some(first) = self.comp_label_of(hops[0]) {
+            if hops[1..].iter().all(|&r| self.comp_label_of(r) == Some(first)) {
+                return;
+            }
+        }
+        for &r in hops {
+            self.invalidate_comp(r);
+        }
+    }
+
+    /// The resource's membership label, if it still points at a live slot.
+    #[inline]
+    fn comp_label_of(&self, r: ResourceId) -> Option<CompLabel> {
+        let label = self.res_comp[r.index()];
+        let s = label.slot as usize;
+        (s < self.comp_cache.len() && self.comp_cache[s].stamp == label.stamp).then_some(label)
+    }
+
+    /// Retire the cached membership `r` belongs to (no-op when none).
+    fn invalidate_comp(&mut self, r: ResourceId) {
+        if let Some(label) = self.comp_label_of(r) {
+            let s = label.slot as usize;
+            self.comp_cache[s].stamp += 1;
+            self.comp_cache[s].resources.clear();
+            self.free_comp_slots.push(label.slot);
+        }
     }
 
     /// Remove a no-longer-active flow from the incidence index. Batched
@@ -825,7 +909,14 @@ impl Engine {
             if self.dirty_res[r0.index()] == 0 {
                 continue; // already solved as part of an earlier component
             }
-            let info = self.collect_component(r0, gen);
+            let info = match self.try_cached_component(r0, gen) {
+                Some(info) => info,
+                None => {
+                    let info = self.collect_component(r0, gen);
+                    self.capture_component();
+                    info
+                }
+            };
             for k in 0..self.comp_resources.len() {
                 self.dirty_res[self.comp_resources[k].index()] = 0;
             }
@@ -1012,6 +1103,70 @@ impl Engine {
             self.set_rate(fid, rate);
         }
         true
+    }
+
+    /// Rebuild `comp_resources` / `comp_flows` for `r0`'s component from
+    /// its cached membership, skipping the BFS. Valid whenever `r0`'s
+    /// label still points at a live slot: no attach has crossed the cached
+    /// set's boundary since capture, so the set is still closed under the
+    /// incidence relation and gathering each member resource's current
+    /// flows reproduces the component (possibly as a superset union of
+    /// post-split components, which solves to the same rates). The flow
+    /// list itself is always gathered fresh — only the resource-discovery
+    /// walk (the route-chasing part of the BFS) is skipped.
+    fn try_cached_component(&mut self, r0: ResourceId, gen: u64) -> Option<CompInfo> {
+        let label = self.comp_label_of(r0)?;
+        self.stats.memb_cache_hits += 1;
+        self.comp_resources.clear();
+        self.comp_flows.clear();
+        let mut info = CompInfo { has_cap: false, min_cap: f64::INFINITY };
+        let slot = label.slot as usize;
+        let n = self.comp_cache[slot].resources.len();
+        debug_assert!(n > 0, "live slots hold at least their capture root");
+        for k in 0..n {
+            let r = self.comp_cache[slot].resources[k];
+            self.res_mark[r.index()] = gen;
+            self.res_local[r.index()] = k;
+            self.comp_resources.push(r);
+        }
+        for k in 0..n {
+            let r = self.comp_resources[k];
+            for j in 0..self.flows_on[r.index()].len() {
+                let fid = self.flows_on[r.index()][j].flow;
+                if self.flow_mark[fid.index()] == gen {
+                    continue;
+                }
+                self.flow_mark[fid.index()] = gen;
+                self.comp_flows.push(fid);
+                info.min_cap = info.min_cap.min(self.flows[fid.index()].rate_cap);
+            }
+        }
+        info.has_cap = info.min_cap < f64::INFINITY;
+        Some(info)
+    }
+
+    /// Store the just-walked component's resource set in the membership
+    /// cache and label its resources. Every walked resource necessarily
+    /// had a dead label (a live one would have answered the walk from the
+    /// cache), so capturing never strands a live slot.
+    fn capture_component(&mut self) {
+        let s = match self.free_comp_slots.pop() {
+            Some(s) => s as usize,
+            None => {
+                self.comp_cache.push(CompSlot::default());
+                self.comp_cache.len() - 1
+            }
+        };
+        self.comp_cache[s].stamp += 1;
+        let stamp = self.comp_cache[s].stamp;
+        let mut resources = std::mem::take(&mut self.comp_cache[s].resources);
+        resources.clear();
+        resources.extend_from_slice(&self.comp_resources);
+        for &r in &resources {
+            self.res_comp[r.index()] = CompLabel { slot: s as u32, stamp };
+        }
+        self.comp_cache[s].resources = resources;
+        self.stats.memb_cache_builds += 1;
     }
 
     /// Breadth-first walk of the flow/resource bipartite graph from `r0`,
@@ -1618,6 +1773,119 @@ mod tests {
         let ev = e.next().unwrap();
         assert_eq!(ev.tag(), Tag(2));
         assert!((e.now() - 7.0).abs() < 1e-9, "now={}", e.now());
+    }
+
+    #[test]
+    fn stable_component_resolves_from_membership_cache() {
+        // WAN-like component: two links behind a shared bottleneck. The
+        // first solve walks and captures the membership; a cancellation
+        // (strong dirty, same resource set) re-solves it from the cache.
+        let mut e = Engine::new();
+        let wan = e.add_resource(ResourceSpec::constant(10.0));
+        let l1 = e.add_resource(ResourceSpec::constant(100.0));
+        let l2 = e.add_resource(ResourceSpec::constant(100.0));
+        e.start_flow(FlowSpec::new(50.0, &[wan, l1], Tag(1)));
+        let f2 = e.start_flow(FlowSpec::new(80.0, &[wan, l2], Tag(2)));
+        e.settle_rates();
+        let s0 = e.stats();
+        assert_eq!(s0.memb_cache_builds, 1, "first walk captured");
+        assert_eq!(s0.memb_cache_hits, 0);
+
+        e.cancel_flow(f2);
+        e.settle_rates();
+        let s1 = e.stats();
+        assert_eq!(s1.memb_cache_builds, 1, "no re-walk");
+        assert_eq!(s1.memb_cache_hits, 1, "stable membership served from cache");
+        assert!((e.flow_rate(FlowId(0)) - 10.0).abs() < 1e-9, "survivor gets the full WAN");
+    }
+
+    #[test]
+    fn attach_inside_cached_component_keeps_cache_valid() {
+        let mut e = Engine::new();
+        let wan = e.add_resource(ResourceSpec::constant(10.0));
+        let l1 = e.add_resource(ResourceSpec::constant(100.0));
+        e.start_flow(FlowSpec::new(50.0, &[wan, l1], Tag(1)));
+        e.settle_rates();
+        // A new flow whose route stays inside the cached set: membership
+        // is unchanged, the next settle hits the cache.
+        e.start_flow(FlowSpec::new(50.0, &[wan, l1], Tag(2)));
+        e.settle_rates();
+        let s = e.stats();
+        assert_eq!(s.memb_cache_builds, 1);
+        assert_eq!(s.memb_cache_hits, 1);
+        assert!((e.flow_rate(FlowId(1)) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merging_attach_invalidates_membership_cache() {
+        // Two separately-captured components; a bridging flow must force a
+        // fresh walk (the cached sets are no longer closed).
+        let mut e = Engine::new();
+        let a = e.add_resource(ResourceSpec::constant(10.0));
+        let b = e.add_resource(ResourceSpec::constant(20.0));
+        e.start_flow(FlowSpec::new(1e3, &[a], Tag(1)));
+        e.start_flow(FlowSpec::new(1e3, &[b], Tag(2)));
+        e.settle_rates();
+        assert_eq!(e.stats().memb_cache_builds, 2);
+
+        e.start_flow(FlowSpec::new(1e3, &[a, b], Tag(3)));
+        e.settle_rates();
+        let s = e.stats();
+        assert_eq!(s.memb_cache_hits, 0, "bridge must not reuse stale memberships");
+        assert_eq!(s.memb_cache_builds, 3, "merged component re-walked and captured");
+        // Max–min over the merged component: bridge and a-flow at 5,
+        // b-flow at 15.
+        assert!((e.flow_rate(FlowId(0)) - 5.0).abs() < 1e-9);
+        assert!((e.flow_rate(FlowId(2)) - 5.0).abs() < 1e-9);
+        assert!((e.flow_rate(FlowId(1)) - 15.0).abs() < 1e-9);
+
+        // The merged membership is cached in turn: a cancellation now
+        // re-solves from the cache.
+        e.cancel_flow(FlowId(2));
+        e.settle_rates();
+        let s = e.stats();
+        assert_eq!(s.memb_cache_hits, 1);
+        assert_eq!(s.memb_cache_builds, 3);
+    }
+
+    #[test]
+    fn cached_superset_after_split_still_solves_exactly() {
+        // Capture {a, b} via a bridging flow, detach the bridge (split),
+        // then re-solve from the cached superset: rates must match the
+        // per-component ground truth.
+        let mut e = Engine::new();
+        let a = e.add_resource(ResourceSpec::constant(10.0));
+        let b = e.add_resource(ResourceSpec::constant(20.0));
+        let bridge = e.start_flow(FlowSpec::new(1e3, &[a, b], Tag(0)));
+        e.start_flow(FlowSpec::new(1e3, &[a], Tag(1)));
+        e.start_flow(FlowSpec::new(1e3, &[b], Tag(2)));
+        e.settle_rates();
+        let builds = e.stats().memb_cache_builds;
+        e.cancel_flow(bridge); // strong marks on both; membership splits
+        e.settle_rates();
+        let s = e.stats();
+        assert_eq!(s.memb_cache_builds, builds, "superset reused, no walk");
+        assert!(s.memb_cache_hits >= 1);
+        assert!((e.flow_rate(FlowId(1)) - 10.0).abs() < 1e-9, "a alone");
+        assert!((e.flow_rate(FlowId(2)) - 20.0).abs() < 1e-9, "b alone");
+    }
+
+    #[test]
+    fn reset_retires_membership_cache() {
+        let mut e = Engine::new();
+        let r = e.add_resource(ResourceSpec::constant(10.0));
+        e.start_flow(FlowSpec::new(10.0, &[r], Tag(1)));
+        e.settle_rates();
+        assert_eq!(e.stats().memb_cache_builds, 1);
+        e.reset();
+        let r = e.add_resource(ResourceSpec::constant(10.0));
+        e.start_flow(FlowSpec::new(10.0, &[r], Tag(1)));
+        e.settle_rates();
+        // The stale pre-reset membership must not be resurrected.
+        let s = e.stats();
+        assert_eq!(s.memb_cache_hits, 0);
+        assert_eq!(s.memb_cache_builds, 1);
+        assert!((e.flow_rate(FlowId(0)) - 10.0).abs() < 1e-9);
     }
 
     #[test]

@@ -59,6 +59,14 @@ pub struct Stats {
     /// Component solves answered by a closed form (single resource with or
     /// without caps, two uncapped resources) instead of the general solver.
     pub closed_form_solves: u64,
+    /// Component solves whose membership came from the incremental
+    /// component-membership cache — the `collect_component` BFS (route
+    /// chasing and resource discovery) was skipped, and only the member
+    /// resources' incidence lists were gathered.
+    pub memb_cache_hits: u64,
+    /// Membership-cache captures: BFS walks whose resource set was stored
+    /// for subsequent solves of the same (stable) component.
+    pub memb_cache_builds: u64,
 }
 
 impl Stats {

@@ -5,16 +5,19 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use simcal_calib::Budget;
+use simcal_sim::ScenarioRegistry;
 use simcal_storage::XRootDConfig;
 use simcal_study::experiments::{
     ablation, fig2, generalization, table1, table2, table3, table4, table5, table6,
 };
-use simcal_study::report::write_csv;
-use simcal_study::{CaseStudy, ExperimentContext};
+use simcal_study::report::{ascii_table, write_csv};
+use simcal_study::{CaseStudy, ExperimentContext, SweepRunner};
 
 /// Parsed command line.
 pub struct Options {
     pub command: String,
+    /// Positional words after the command (e.g. a scenario filter).
+    pub args: Vec<String>,
     pub scale: String,
     pub evals: Option<u64>,
     pub granularity: Option<XRootDConfig>,
@@ -33,6 +36,7 @@ impl Options {
     pub fn parse(args: &[String]) -> Result<Options, String> {
         let mut opts = Options {
             command: String::new(),
+            args: Vec::new(),
             scale: "default".to_string(),
             evals: None,
             granularity: None,
@@ -84,6 +88,14 @@ impl Options {
                 "--reduced" => opts.reduced = true,
                 cmd if opts.command.is_empty() && !cmd.starts_with('-') => {
                     opts.command = cmd.to_string()
+                }
+                // Only the scenario commands take positional words; a
+                // stray positional after a paper command stays an error
+                // (e.g. `table3 quick` with a forgotten `--scale`).
+                word if matches!(opts.command.as_str(), "scenarios" | "sweep")
+                    && !word.starts_with('-') =>
+                {
+                    opts.args.push(word.to_string())
                 }
                 other => return Err(format!("unknown argument {other:?}")),
             }
@@ -149,7 +161,15 @@ const HELP: &str = "\
 simcal-exp — regenerate the tables and figures of
 \"Automated Calibration of Parallel and Distributed Computing Simulators\"
 
-Usage: simcal-exp <table1|table2|table3|table4|table5|table6|fig2|ablation|generalization|all|gt> [options]
+Usage: simcal-exp <command> [args] [options]
+
+Paper commands:
+  table1..table6 | fig2 | ablation | generalization | all | gt
+
+Scenario commands:
+  scenarios list [PATTERN]      list registry scenarios (name/family filter)
+  sweep [PATTERN]               run matching registry scenarios through the
+                                sharded parallel sweep driver
 
 Options:
   --scale quick|default|full    scale preset (budgets, granularity)
@@ -159,11 +179,128 @@ Options:
   --t6-cost S                   Table VI per-calibration cost budget (s)
   --fig2-cost S                 Figure 2 per-calibration cost budget (s)
   --seed N                      algorithm RNG seed
-  --workers N                   parallel evaluation workers
+  --workers N                   parallel evaluation / sweep workers
   --data-dir PATH               ground-truth CSV cache (default data/groundtruth)
   --out DIR                     also write CSV artifacts to DIR
-  --reduced                     reduced-scale case study (fast smoke runs)
+  --reduced                     reduced-scale case study / scenario registry
 ";
+
+/// The registry this invocation addresses (`--reduced` selects the
+/// scaled-down twin).
+fn registry_for(opts: &Options) -> ScenarioRegistry {
+    if opts.reduced {
+        ScenarioRegistry::reduced()
+    } else {
+        ScenarioRegistry::builtin()
+    }
+}
+
+/// The scenario filter: the first positional after the command, with the
+/// `list` keyword of `scenarios list` skipped (for that command only —
+/// `sweep list` filters for a scenario literally named like "list").
+fn scenario_pattern(opts: &Options) -> &str {
+    let args: &[String] = &opts.args;
+    let rest = match args.first().map(String::as_str) {
+        Some("list") if opts.command == "scenarios" => &args[1..],
+        _ => args,
+    };
+    rest.first().map(String::as_str).unwrap_or("")
+}
+
+/// `scenarios list [PATTERN]`: print the registry as a table.
+fn run_scenarios(opts: &Options) -> Result<(), String> {
+    let reg = registry_for(opts);
+    let pat = scenario_pattern(opts);
+    let entries = reg.matching(pat);
+    if entries.is_empty() {
+        return Err(format!("no scenario matches {pat:?}"));
+    }
+    let headers: Vec<String> =
+        ["name", "family", "platform", "nodes", "cores", "jobs", "icd", "policy", "summary"]
+            .map(String::from)
+            .to_vec();
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .map(|e| {
+            let sc = &e.scenario;
+            vec![
+                sc.name.clone(),
+                e.family.to_string(),
+                sc.platform.name.clone(),
+                sc.platform.node_count().to_string(),
+                sc.platform.total_cores().to_string(),
+                sc.workload.n_jobs().to_string(),
+                format!("{:.1}", sc.cache.icd),
+                sc.config.scheduler.label().to_string(),
+                e.summary.clone(),
+            ]
+        })
+        .collect();
+    print!("{}", ascii_table(&headers, &rows));
+    println!("\n{} scenarios ({} shown)", reg.len(), rows.len());
+    Ok(())
+}
+
+/// `sweep [PATTERN]`: run matching scenarios through the sweep driver.
+fn run_sweep(opts: &Options) -> Result<(), String> {
+    let reg = registry_for(opts);
+    let pat = scenario_pattern(opts);
+    let grid: Vec<_> = reg.matching(pat).into_iter().map(|e| e.scenario.clone()).collect();
+    if grid.is_empty() {
+        return Err(format!("no scenario matches {pat:?}"));
+    }
+    let mut runner = SweepRunner::new();
+    if let Some(w) = opts.workers {
+        runner = runner.with_workers(w);
+    }
+    let t0 = Instant::now();
+    let results = runner.run(&grid);
+    let wall = t0.elapsed().as_secs_f64();
+
+    let headers: Vec<String> = ["scenario", "makespan_s", "mean_job_s", "events", "sim_wall_ms"]
+        .map(String::from)
+        .to_vec();
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{:.2}", r.makespan),
+                format!("{:.2}", r.mean_job_time),
+                r.events.to_string(),
+                format!("{:.2}", r.wall_seconds * 1e3),
+            ]
+        })
+        .collect();
+    print!("{}", ascii_table(&headers, &rows));
+    println!(
+        "\n{} scenarios in {:.2} s on {} workers ({:.1} scenarios/s)",
+        results.len(),
+        wall,
+        runner.workers().min(grid.len()),
+        results.len() as f64 / wall
+    );
+    if let Some(dir) = &opts.out {
+        let csv_rows: Vec<Vec<String>> = results
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    format!("{}", r.makespan),
+                    format!("{}", r.mean_job_time),
+                    r.events.to_string(),
+                    format!("{:016x}", r.trace_hash),
+                ]
+            })
+            .collect();
+        let csv_headers: Vec<String> =
+            ["scenario", "makespan_s", "mean_job_s", "events", "trace_hash"]
+                .map(String::from)
+                .to_vec();
+        write_csv(&dir.join("sweep.csv"), &csv_headers, &csv_rows).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
 
 /// Entry point used by `main`.
 pub fn run(args: &[String]) -> Result<(), String> {
@@ -182,6 +319,10 @@ pub fn run(args: &[String]) -> Result<(), String> {
             println!("{}", table2::render(&table2::run()));
             return Ok(());
         }
+        // The scenario subsystem needs no ground truth: dispatch before
+        // the (potentially expensive) context construction.
+        "scenarios" => return run_scenarios(&opts),
+        "sweep" => return run_sweep(&opts),
         _ => {}
     }
 
@@ -361,6 +502,38 @@ mod tests {
     #[test]
     fn empty_args_mean_help() {
         assert_eq!(parse(&[]).unwrap().command, "help");
+    }
+
+    #[test]
+    fn scenario_commands_parse_positionals() {
+        let o = parse(&["scenarios", "list", "straggler"]).unwrap();
+        assert_eq!(o.command, "scenarios");
+        assert_eq!(o.args, vec!["list", "straggler"]);
+        assert_eq!(scenario_pattern(&o), "straggler");
+        let o = parse(&["sweep", "hetero", "--workers", "8"]).unwrap();
+        assert_eq!(scenario_pattern(&o), "hetero");
+        assert_eq!(o.workers, Some(8));
+        let o = parse(&["scenarios"]).unwrap();
+        assert_eq!(scenario_pattern(&o), "");
+        // `list` is a keyword only for `scenarios`; `sweep list` filters.
+        let o = parse(&["sweep", "list"]).unwrap();
+        assert_eq!(scenario_pattern(&o), "list");
+        // Paper commands still reject stray positionals.
+        assert!(parse(&["table3", "quick"]).is_err());
+    }
+
+    #[test]
+    fn scenarios_list_renders() {
+        let o = parse(&["scenarios", "list", "--reduced"]).unwrap();
+        run_scenarios(&o).unwrap();
+        let bad = parse(&["scenarios", "list", "nope-nothing"]).unwrap();
+        assert!(run_scenarios(&bad).is_err());
+    }
+
+    #[test]
+    fn sweep_runs_reduced_registry() {
+        let o = parse(&["sweep", "straggler", "--reduced", "--workers", "2"]).unwrap();
+        run_sweep(&o).unwrap();
     }
 
     #[test]

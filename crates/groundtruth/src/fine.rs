@@ -1,7 +1,9 @@
-//! Assembling the fine-grained emulator configuration.
+//! Assembling the fine-grained emulator configuration and its scenarios.
+
+use std::sync::Arc;
 
 use simcal_platform::PlatformKind;
-use simcal_sim::{NoiseConfig, SimConfig};
+use simcal_sim::{CacheSpec, NoiseConfig, Scenario, SimConfig, WorkloadSource};
 use simcal_storage::CachePlan;
 use simcal_workload::Workload;
 
@@ -20,15 +22,45 @@ pub fn ground_truth_config(kind: PlatformKind, truth: &TruthParams, n_jobs: usiz
     cfg
 }
 
+/// The ground-truth [`Scenario`] for one (platform, ICD) point: the
+/// emulator configuration bundled with the shared workload and the
+/// canonical per-ICD cache placement. This is the unit the generator runs
+/// and the sweep driver shards.
+pub fn ground_truth_scenario(
+    kind: PlatformKind,
+    workload: &Arc<Workload>,
+    truth: &TruthParams,
+    icd: f64,
+) -> Scenario {
+    Scenario {
+        name: format!("gt-{}-icd{icd}", kind.label().to_lowercase()),
+        platform: kind.spec(),
+        workload: WorkloadSource::Concrete(workload.clone()),
+        cache: CacheSpec::canonical(icd),
+        config: ground_truth_config(kind, truth, workload.len()),
+    }
+}
+
+/// The ground-truth scenario grid for one platform over a set of ICD
+/// values (ICD-major order, matching [`crate::GroundTruthSet`] points).
+pub fn ground_truth_scenarios(
+    kind: PlatformKind,
+    workload: &Arc<Workload>,
+    truth: &TruthParams,
+    icds: &[f64],
+) -> Vec<Scenario> {
+    icds.iter().map(|&icd| ground_truth_scenario(kind, workload, truth, icd)).collect()
+}
+
 /// The canonical cache plan for an ICD value.
 ///
 /// The initially-cached-data placement is part of the *scenario*, known to
 /// both the real system and the simulator (the operator pre-populated the
 /// caches) — so the ground-truth generator and the calibration objective
-/// must use the same plan. The seed is a pure function of the ICD value.
+/// must use the same plan. The seed is a pure function of the ICD value
+/// (the rule lives in [`CacheSpec::canonical`]).
 pub fn cache_plan_for(workload: &Workload, icd: f64) -> CachePlan {
-    let seed = 7_700 + (icd * 1000.0).round() as u64;
-    CachePlan::new(workload, icd, seed)
+    CacheSpec::canonical(icd).plan(workload)
 }
 
 #[cfg(test)]
@@ -60,5 +92,19 @@ mod tests {
         assert_eq!(a, b);
         let c = cache_plan_for(&w, 0.6);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn scenarios_cover_the_icd_grid() {
+        let w = Arc::new(scaled_cms_workload(4, 10, 1e6));
+        let truth = TruthParams::case_study();
+        let scs = ground_truth_scenarios(PlatformKind::Scsn, &w, &truth, &[0.0, 0.5, 1.0]);
+        assert_eq!(scs.len(), 3);
+        assert_eq!(scs[1].name, "gt-scsn-icd0.5");
+        assert_eq!(scs[1].cache.icd, 0.5);
+        assert_eq!(scs[0].config, scs[2].config, "one platform = one emulator config");
+        for sc in &scs {
+            sc.validate();
+        }
     }
 }

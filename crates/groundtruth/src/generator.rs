@@ -1,13 +1,32 @@
 //! Ground-truth generation: run the fine-grained emulator over the ICD grid.
+//!
+//! Generation is scenario-driven: each (platform, ICD) point is a
+//! [`Scenario`] from [`crate::fine::ground_truth_scenarios`], executed on
+//! a reused [`SimSession`] (bit-identical to a cold build by the session
+//! contract). The case study runs the same scenarios through the sharded
+//! sweep driver in `simcal-study`; this module is the sequential
+//! single-platform reference path.
+
+use std::sync::Arc;
 
 use simcal_platform::PlatformKind;
-use simcal_sim::simulate;
+use simcal_sim::{Scenario, SimSession};
 use simcal_storage::CachePlan;
-use simcal_workload::Workload;
+use simcal_workload::{ExecutionTrace, Workload};
 
 use crate::dataset::{GroundTruthPoint, GroundTruthSet};
-use crate::fine::{cache_plan_for, ground_truth_config};
+use crate::fine::ground_truth_scenarios;
 use crate::truth::TruthParams;
+
+/// Condense one emulator trace into its ground-truth point.
+pub fn trace_to_point(icd: f64, n_nodes: usize, trace: &ExecutionTrace) -> GroundTruthPoint {
+    GroundTruthPoint {
+        icd,
+        node_means: trace.mean_job_time_by_node(),
+        node_stds: (0..n_nodes).map(|n| trace.job_time_std_dev_on_node(n)).collect(),
+        makespan: trace.makespan(),
+    }
+}
 
 /// Generate the ground truth for one platform over the given ICD values
 /// (pass [`CachePlan::paper_icd_values`] for the paper's 11-value grid).
@@ -18,21 +37,14 @@ pub fn generate(
     icds: &[f64],
 ) -> GroundTruthSet {
     assert!(!icds.is_empty(), "need at least one ICD value");
-    let platform = kind.spec();
-    let config = ground_truth_config(kind, truth, workload.len());
-    let points = icds
+    let workload = Arc::new(workload.clone());
+    let n_nodes = kind.spec().node_count();
+    let mut session = SimSession::new();
+    let points = ground_truth_scenarios(kind, &workload, truth, icds)
         .iter()
-        .map(|&icd| {
-            let cache = cache_plan_for(workload, icd);
-            let trace = simulate(&platform, workload, &cache, &config);
-            GroundTruthPoint {
-                icd,
-                node_means: trace.mean_job_time_by_node(),
-                node_stds: (0..platform.node_count())
-                    .map(|n| trace.job_time_std_dev_on_node(n))
-                    .collect(),
-                makespan: trace.makespan(),
-            }
+        .map(|sc: &Scenario| {
+            let trace = sc.run(&mut session);
+            trace_to_point(sc.cache.icd, n_nodes, &trace)
         })
         .collect();
     GroundTruthSet { platform: kind, points }
@@ -49,12 +61,11 @@ pub fn generate_job_times(
     truth: &TruthParams,
     icds: &[f64],
 ) -> Vec<f64> {
-    let platform = kind.spec();
-    let config = ground_truth_config(kind, truth, workload.len());
+    let workload = Arc::new(workload.clone());
+    let mut session = SimSession::new();
     let mut out = Vec::with_capacity(icds.len() * workload.len());
-    for &icd in icds {
-        let cache = cache_plan_for(workload, icd);
-        let trace = simulate(&platform, workload, &cache, &config);
+    for sc in ground_truth_scenarios(kind, &workload, truth, icds) {
+        let trace = sc.run(&mut session);
         out.extend(trace.jobs.iter().map(|j| j.duration()));
     }
     out

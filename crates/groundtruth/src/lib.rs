@@ -29,6 +29,8 @@ pub mod noise;
 pub mod truth;
 
 pub use dataset::{GroundTruthPoint, GroundTruthSet};
-pub use fine::{cache_plan_for, ground_truth_config};
-pub use generator::{generate, generate_all, generate_job_times};
+pub use fine::{
+    cache_plan_for, ground_truth_config, ground_truth_scenario, ground_truth_scenarios,
+};
+pub use generator::{generate, generate_all, generate_job_times, trace_to_point};
 pub use truth::TruthParams;

@@ -3,6 +3,8 @@
 use simcal_platform::HardwareParams;
 use simcal_storage::XRootDConfig;
 
+use crate::scheduler::SchedulerPolicy;
+
 /// Stochastic-realism configuration.
 ///
 /// The calibrated simulator runs with [`NoiseConfig::none`] — it is fully
@@ -60,6 +62,9 @@ pub struct SimConfig {
     pub cache_write_through: bool,
     /// Stochastic realism (ground truth only).
     pub noise: NoiseConfig,
+    /// Slot-selection policy of the FCFS scheduler. The paper's setup is
+    /// [`SchedulerPolicy::FirstFreeSlot`]; scenarios may vary it.
+    pub scheduler: SchedulerPolicy,
 }
 
 impl SimConfig {
@@ -71,6 +76,7 @@ impl SimConfig {
             per_connection_cap: None,
             cache_write_through: false,
             noise: NoiseConfig::none(),
+            scheduler: SchedulerPolicy::default(),
         }
     }
 

@@ -47,14 +47,18 @@
 
 pub mod config;
 pub mod jobrun;
+pub mod registry;
 pub mod resources;
+pub mod scenario;
 pub mod scheduler;
 pub mod simulator;
 pub mod tags;
 pub mod validate;
 
 pub use config::{NoiseConfig, SimConfig};
+pub use registry::{ScenarioEntry, ScenarioRegistry};
 pub use resources::PlatformResources;
-pub use scheduler::Scheduler;
+pub use scenario::{CacheSpec, MaterializedScenario, Scenario, WorkloadSource};
+pub use scheduler::{Scheduler, SchedulerPolicy};
 pub use simulator::{simulate, try_simulate, SimError, SimSession};
 pub use validate::check_trace;

@@ -1,0 +1,489 @@
+//! The built-in scenario registry.
+//!
+//! Everything the repository knows how to simulate, discoverable by name:
+//! the paper's four Table II platforms running the CMS workload, plus
+//! scenario families beyond the paper — heterogeneous-node platforms,
+//! straggler/heavy-tail workloads built on the [`Distribution`] machinery,
+//! and deeper cache-tier variants. Every scenario carries a deterministic
+//! per-scenario seed derived from its (family, index), so regenerating the
+//! registry — on any worker, in any order — yields bit-identical
+//! scenarios.
+//!
+//! [`ScenarioRegistry::builtin`] is the full-size registry the CLI lists
+//! and sweeps; [`ScenarioRegistry::reduced`] scales every workload down
+//! (same families, same shapes) for tests and benches.
+
+use simcal_platform::{HardwareParams, PlatformBuilder, PlatformKind, PlatformSpec};
+use simcal_storage::XRootDConfig;
+use simcal_workload::{cms_workload_spec, Distribution, WorkloadSpec};
+
+use crate::config::{NoiseConfig, SimConfig};
+use crate::scenario::{CacheSpec, Scenario, WorkloadSource};
+use crate::scheduler::SchedulerPolicy;
+
+/// One registry entry: the scenario plus discovery metadata.
+#[derive(Debug, Clone)]
+pub struct ScenarioEntry {
+    /// Family the scenario belongs to (`"paper"`, `"hetero"`, …).
+    pub family: &'static str,
+    /// One-line human description for `scenarios list`.
+    pub summary: String,
+    /// The scenario itself.
+    pub scenario: Scenario,
+}
+
+/// A named collection of runnable scenarios.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioRegistry {
+    entries: Vec<ScenarioEntry>,
+}
+
+/// Registry scale: full-size scenarios or scaled-down test/bench twins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Scale {
+    Full,
+    Reduced,
+}
+
+/// Deterministic per-scenario seed: a splitmix64-style mix of the family
+/// salt and the scenario's index within it. Pure function of its inputs —
+/// the root of the registry's reproducibility guarantee.
+fn scenario_seed(salt: u64, index: u64) -> u64 {
+    let mut z = salt ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The paper-calibrated hardware values (the effective parameters all the
+/// paper's calibrations converged to) — the registry's default hardware.
+fn calibrated_hardware() -> HardwareParams {
+    let mut hw = HardwareParams::defaults();
+    hw.core_speed = 1.97e9; // 1,970 Mflops
+    hw.disk_bw = 17e6; // ~17 MBps effective HDD
+    hw.page_cache_bw = 10e9; // 10 GBps page cache
+    hw
+}
+
+/// Effective WAN bandwidth for a nominal interface speed (the paper's
+/// HUMAN found ~1.15x the nominal 1 Gbps; scale the same factor).
+fn effective_wan(nominal: f64) -> f64 {
+    nominal * 1.15
+}
+
+impl ScenarioRegistry {
+    /// The full built-in registry (paper + hetero + straggler + deepcache).
+    pub fn builtin() -> Self {
+        Self::build(Scale::Full)
+    }
+
+    /// The scaled-down twin of [`builtin`](Self::builtin): same families
+    /// and shapes, small workloads and coarse-but-finite granularity, so
+    /// tests and benches can sweep the whole registry in milliseconds.
+    pub fn reduced() -> Self {
+        Self::build(Scale::Reduced)
+    }
+
+    fn build(scale: Scale) -> Self {
+        let mut reg = Self::default();
+        reg.push_paper_family(scale);
+        reg.push_hetero_family(scale);
+        reg.push_straggler_family(scale);
+        reg.push_deepcache_family(scale);
+        reg
+    }
+
+    /// All entries, in registration order.
+    pub fn entries(&self) -> &[ScenarioEntry] {
+        &self.entries
+    }
+
+    /// Number of registered scenarios.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look a scenario up by exact name.
+    pub fn get(&self, name: &str) -> Option<&Scenario> {
+        self.entries.iter().find(|e| e.scenario.name == name).map(|e| &e.scenario)
+    }
+
+    /// Entries whose name or family contains `pat` (empty = all).
+    pub fn matching(&self, pat: &str) -> Vec<&ScenarioEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.scenario.name.contains(pat) || e.family.contains(pat))
+            .collect()
+    }
+
+    /// Clone the registered scenarios into a flat sweepable grid.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        self.entries.iter().map(|e| e.scenario.clone()).collect()
+    }
+
+    /// Expand every registered scenario over an ICD grid: one scenario per
+    /// (entry, ICD) with the canonical per-ICD cache plan and the ICD
+    /// value suffixed to the name. This is the scenario-grid shape the
+    /// sweep driver shards.
+    pub fn icd_grid(&self, icds: &[f64]) -> Vec<Scenario> {
+        let mut out = Vec::with_capacity(self.entries.len() * icds.len());
+        for e in &self.entries {
+            for &icd in icds {
+                let mut sc = e.scenario.clone();
+                sc.name = format!("{}@icd{icd}", sc.name);
+                sc.cache = CacheSpec::canonical(icd);
+                out.push(sc);
+            }
+        }
+        out
+    }
+
+    /// Register a scenario (validates it; names must be unique).
+    pub fn register(&mut self, family: &'static str, summary: String, scenario: Scenario) {
+        scenario.validate();
+        assert!(self.get(&scenario.name).is_none(), "duplicate scenario name {:?}", scenario.name);
+        self.entries.push(ScenarioEntry { family, summary, scenario });
+    }
+
+    // ---- built-in families ------------------------------------------------
+
+    /// The paper's four Table II platforms running the CMS workload at the
+    /// calibrated effective hardware values.
+    fn push_paper_family(&mut self, scale: Scale) {
+        const SALT: u64 = 0x7070_6572; // "pper"
+        for (i, kind) in PlatformKind::ALL.iter().enumerate() {
+            let seed = scenario_seed(SALT, i as u64);
+            let spec = match scale {
+                // cms_workload() == this spec at seed 0: the scenario path
+                // reproduces the case-study workload bit-for-bit.
+                Scale::Full => cms_workload_spec(),
+                Scale::Reduced => WorkloadSpec::constant(12, 4, 40e6, 6.0, 4e6),
+            };
+            let mut hw = calibrated_hardware();
+            hw.wan_bw = effective_wan(kind.nominal_wan_bw());
+            let mut config = SimConfig::new(hw, granularity(scale));
+            config.scheduler = SchedulerPolicy::FirstFreeSlot;
+            self.register(
+                "paper",
+                format!("CMS workload on Table II {} at calibrated hardware", kind.label()),
+                Scenario {
+                    name: format!("cms-{}", kind.label().to_lowercase()),
+                    platform: kind.spec(),
+                    workload: WorkloadSource::Spec {
+                        spec,
+                        seed: if scale == Scale::Full { 0 } else { seed },
+                    },
+                    cache: CacheSpec::canonical(0.5),
+                    config,
+                },
+            );
+        }
+    }
+
+    /// Heterogeneous-node platforms: asymmetric core counts, fat/thin
+    /// mixes, and a widest-node-first scheduling variant.
+    fn push_hetero_family(&mut self, scale: Scale) {
+        const SALT: u64 = 0x6865_7465; // "hete"
+        let shapes: [(&str, &str, PlatformSpec, SchedulerPolicy); 4] = [
+            (
+                "hetero-asym",
+                "asymmetric 4/8/16/32-core nodes, page cache on",
+                PlatformBuilder::new("HETERO-ASYM")
+                    .node("n4", 4)
+                    .node("n8", 8)
+                    .node("n16", 16)
+                    .node("n32", 32)
+                    .page_cache(true)
+                    .wan_gbps(10.0)
+                    .build(),
+                SchedulerPolicy::FirstFreeSlot,
+            ),
+            (
+                "hetero-wide",
+                "eight alternating 4/12-core nodes behind a 1 Gbps WAN",
+                {
+                    let mut b = PlatformBuilder::new("HETERO-WIDE").wan_gbps(1.0);
+                    for i in 0..8 {
+                        b = b.node(format!("w{i}"), if i % 2 == 0 { 4 } else { 12 });
+                    }
+                    b.build()
+                },
+                SchedulerPolicy::FirstFreeSlot,
+            ),
+            (
+                "hetero-fat",
+                "one 8-core and one 56-core node sharing the WAN",
+                PlatformBuilder::new("HETERO-FAT")
+                    .node("thin", 8)
+                    .node("fat", 56)
+                    .page_cache(true)
+                    .wan_gbps(10.0)
+                    .build(),
+                SchedulerPolicy::FirstFreeSlot,
+            ),
+            (
+                "hetero-packed",
+                "asymmetric nodes under the widest-node-first policy",
+                PlatformBuilder::new("HETERO-PACKED")
+                    .node("n4", 4)
+                    .node("n8", 8)
+                    .node("n16", 16)
+                    .node("n32", 32)
+                    .wan_gbps(1.0)
+                    .build(),
+                SchedulerPolicy::WidestNodeFirst,
+            ),
+        ];
+        for (i, (name, summary, platform, policy)) in shapes.into_iter().enumerate() {
+            let seed = scenario_seed(SALT, i as u64);
+            // Oversubscribe the platform slightly so queueing (and hence
+            // the scheduler policy) matters.
+            let n_jobs = match scale {
+                Scale::Full => platform.total_cores() as usize + platform.node_count(),
+                Scale::Reduced => (platform.total_cores() as usize / 4).max(4),
+            };
+            let (files, bytes) = match scale {
+                Scale::Full => (8, 120e6),
+                Scale::Reduced => (3, 24e6),
+            };
+            let mut config = SimConfig::new(calibrated_hardware(), granularity(scale));
+            config.hardware.wan_bw = effective_wan(platform.nominal_wan_bw);
+            config.scheduler = policy;
+            self.register(
+                "hetero",
+                summary.to_string(),
+                Scenario {
+                    name: name.to_string(),
+                    platform,
+                    workload: WorkloadSource::Spec {
+                        spec: WorkloadSpec::constant(n_jobs, files, bytes, 6.0, bytes * 0.1),
+                        seed,
+                    },
+                    cache: CacheSpec::canonical(0.5),
+                    config,
+                },
+            );
+        }
+    }
+
+    /// Straggler / heavy-tail workloads: per-job volumes drawn from
+    /// long-tailed distributions, so a few jobs dominate the makespan.
+    fn push_straggler_family(&mut self, scale: Scale) {
+        const SALT: u64 = 0x7374_7261; // "stra"
+        let (n_jobs, files, bytes) = match scale {
+            Scale::Full => (48, 8, 150e6),
+            Scale::Reduced => (8, 3, 24e6),
+        };
+        let uniform_files = Distribution::Uniform { lo: bytes * 0.5, hi: bytes * 1.5 };
+        let variants: [(&str, &str, WorkloadSpec); 3] = [
+            (
+                "straggler-compute",
+                "log-normal per-job compute intensity (sigma 0.8)",
+                WorkloadSpec {
+                    n_jobs,
+                    files_per_job: files,
+                    file_size: Distribution::Constant(bytes),
+                    flops_per_byte: Distribution::LogNormal { mu: 6.0f64.ln(), sigma: 0.8 },
+                    output_bytes: Distribution::Constant(bytes * 0.1),
+                },
+            ),
+            (
+                "straggler-files",
+                "log-normal input file sizes (sigma 1.0): rare giant files",
+                WorkloadSpec {
+                    n_jobs,
+                    files_per_job: files,
+                    file_size: Distribution::LogNormal { mu: bytes.ln(), sigma: 1.0 },
+                    flops_per_byte: Distribution::Constant(6.0),
+                    output_bytes: Distribution::Constant(bytes * 0.1),
+                },
+            ),
+            (
+                "straggler-output",
+                "uniform inputs, exponential output sizes (heavy write tail)",
+                WorkloadSpec {
+                    n_jobs,
+                    files_per_job: files,
+                    file_size: uniform_files,
+                    flops_per_byte: Distribution::Constant(6.0),
+                    output_bytes: Distribution::Exponential { rate: 1.0 / (bytes * 0.2) },
+                },
+            ),
+        ];
+        for (i, (name, summary, spec)) in variants.into_iter().enumerate() {
+            let seed = scenario_seed(SALT, i as u64);
+            let kind = PlatformKind::Scsn;
+            let mut config = SimConfig::new(calibrated_hardware(), granularity(scale));
+            config.hardware.wan_bw = effective_wan(kind.nominal_wan_bw());
+            self.register(
+                "straggler",
+                summary.to_string(),
+                Scenario {
+                    name: name.to_string(),
+                    platform: kind.spec(),
+                    workload: WorkloadSource::Spec { spec, seed },
+                    cache: CacheSpec::canonical(0.3),
+                    config,
+                },
+            );
+        }
+    }
+
+    /// Deeper cache-tier variants: write-through proxy caching, capped
+    /// storage-service streams, and a contended jittery HDD tier.
+    fn push_deepcache_family(&mut self, scale: Scale) {
+        const SALT: u64 = 0x6361_6368; // "cach"
+        let (n_jobs, files, bytes) = match scale {
+            Scale::Full => (48, 10, 200e6),
+            Scale::Reduced => (8, 3, 24e6),
+        };
+        let spec = WorkloadSpec::constant(n_jobs, files, bytes, 6.0, bytes * 0.1);
+        struct Variant {
+            name: &'static str,
+            summary: &'static str,
+            kind: PlatformKind,
+            icd: f64,
+            tune: fn(&mut SimConfig, u64),
+        }
+        let variants: [Variant; 3] = [
+            Variant {
+                name: "deepcache-writethrough",
+                summary: "remote reads written through to the local cache tier",
+                kind: PlatformKind::Fcsn,
+                icd: 0.2,
+                tune: |c, _| c.cache_write_through = true,
+            },
+            Variant {
+                name: "deepcache-capped",
+                summary: "all-remote reads under a per-connection stream cap",
+                kind: PlatformKind::Scfn,
+                icd: 0.0,
+                tune: |c, _| c.per_connection_cap = Some(40e6),
+            },
+            Variant {
+                name: "deepcache-hdd-jitter",
+                summary: "fully-cached contended HDD tier with read jitter",
+                kind: PlatformKind::Scsn,
+                icd: 1.0,
+                tune: |c, seed| {
+                    c.hardware.disk_contention_alpha = 0.25;
+                    c.hardware.disk_latency = 5e-3;
+                    c.noise =
+                        NoiseConfig { compute_factors: Vec::new(), read_jitter_sigma: 0.12, seed };
+                },
+            },
+        ];
+        for (i, v) in variants.into_iter().enumerate() {
+            let seed = scenario_seed(SALT, i as u64);
+            let mut config = SimConfig::new(calibrated_hardware(), granularity(scale));
+            config.hardware.wan_bw = effective_wan(v.kind.nominal_wan_bw());
+            (v.tune)(&mut config, seed);
+            self.register(
+                "deepcache",
+                v.summary.to_string(),
+                Scenario {
+                    name: v.name.to_string(),
+                    platform: v.kind.spec(),
+                    workload: WorkloadSource::Spec { spec: spec.clone(), seed },
+                    cache: CacheSpec::canonical(v.icd),
+                    config,
+                },
+            );
+        }
+    }
+}
+
+/// Registry-wide granularity per scale: the paper's coarsest (fastest)
+/// setting at full scale, a finer small-file setting when reduced.
+fn granularity(scale: Scale) -> XRootDConfig {
+    match scale {
+        Scale::Full => XRootDConfig::paper_1s(),
+        Scale::Reduced => XRootDConfig::new(8e6, 2e6),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_registry_has_all_families() {
+        let reg = ScenarioRegistry::builtin();
+        assert!(reg.len() >= 12, "need >= 12 scenarios, have {}", reg.len());
+        for family in ["paper", "hetero", "straggler", "deepcache"] {
+            assert!(
+                reg.entries().iter().filter(|e| e.family == family).count() >= 3,
+                "family {family} too small"
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        let reg = ScenarioRegistry::builtin();
+        for e in reg.entries() {
+            assert!(std::ptr::eq(reg.get(&e.scenario.name).unwrap(), &e.scenario));
+        }
+    }
+
+    #[test]
+    fn registry_generation_is_deterministic() {
+        let a = ScenarioRegistry::builtin();
+        let b = ScenarioRegistry::builtin();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.entries().iter().zip(b.entries()) {
+            assert_eq!(x.scenario, y.scenario);
+        }
+    }
+
+    #[test]
+    fn paper_scenario_reproduces_cms_workload() {
+        let reg = ScenarioRegistry::builtin();
+        let sc = reg.get("cms-scsn").expect("paper scenario");
+        let w = sc.workload.workload();
+        assert_eq!(w.jobs, simcal_workload::cms_workload().jobs);
+    }
+
+    #[test]
+    fn reduced_registry_mirrors_builtin_names() {
+        let full = ScenarioRegistry::builtin();
+        let red = ScenarioRegistry::reduced();
+        assert_eq!(full.len(), red.len());
+        for (f, r) in full.entries().iter().zip(red.entries()) {
+            assert_eq!(f.scenario.name, r.scenario.name);
+            assert!(r.scenario.workload.n_jobs() <= f.scenario.workload.n_jobs());
+        }
+    }
+
+    #[test]
+    fn icd_grid_expands_names_and_plans() {
+        let reg = ScenarioRegistry::reduced();
+        let grid = reg.icd_grid(&[0.0, 1.0]);
+        assert_eq!(grid.len(), 2 * reg.len());
+        assert!(grid[0].name.ends_with("@icd0"));
+        assert_eq!(grid[1].cache.icd, 1.0);
+    }
+
+    #[test]
+    fn matching_filters_by_family_and_name() {
+        let reg = ScenarioRegistry::builtin();
+        assert_eq!(reg.matching("straggler").len(), 3);
+        assert_eq!(reg.matching("cms-fcfn").len(), 1);
+        assert_eq!(reg.matching("").len(), reg.len());
+    }
+
+    #[test]
+    fn scenario_seeds_differ_across_entries() {
+        // The per-scenario seed mix must not collide across (family, index).
+        let a = scenario_seed(1, 0);
+        let b = scenario_seed(1, 1);
+        let c = scenario_seed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

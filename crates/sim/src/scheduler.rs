@@ -1,39 +1,103 @@
 //! Greedy FCFS job scheduler (the HTCondor-like runtime system).
 //!
-//! Jobs are dispatched in submission order to the lowest-numbered free
-//! (node, core) slot. With the case-study workload (48 jobs, 48 cores) every
-//! job starts at t = 0; the scheduler still handles general workloads where
-//! jobs queue for cores.
+//! Jobs are dispatched in submission order to a free (node, core) slot;
+//! *which* free slot is chosen is the [`SchedulerPolicy`] — a scenario
+//! knob. The paper's case study uses [`SchedulerPolicy::FirstFreeSlot`]
+//! (lowest-numbered slot first); with its workload (48 jobs, 48 cores)
+//! every job starts at t = 0 either way. The scheduler still handles
+//! general workloads where jobs queue for cores.
 
 use std::collections::{BinaryHeap, VecDeque};
+
+/// Slot-selection policy of the FCFS scheduler.
+///
+/// Both policies are deterministic; they only differ in which free slot a
+/// job is dispatched to when several are free. Queued jobs always inherit
+/// the slot that frees up (work-conserving), so policies only matter while
+/// free slots exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerPolicy {
+    /// Lowest-numbered free (node, core) slot first — the paper's setup
+    /// and the historical behaviour of this simulator.
+    #[default]
+    FirstFreeSlot,
+    /// Prefer free slots on the widest (most-core) nodes, breaking ties by
+    /// the lowest (node, core) slot. On heterogeneous platforms this packs
+    /// jobs onto fat nodes first, concentrating cache/disk contention.
+    WidestNodeFirst,
+}
+
+impl SchedulerPolicy {
+    /// Parse a CLI label (`first-free` / `widest-node`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "first-free" => Some(SchedulerPolicy::FirstFreeSlot),
+            "widest-node" => Some(SchedulerPolicy::WidestNodeFirst),
+            _ => None,
+        }
+    }
+
+    /// The CLI/report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulerPolicy::FirstFreeSlot => "first-free",
+            SchedulerPolicy::WidestNodeFirst => "widest-node",
+        }
+    }
+
+    /// Heap priority of a node's slots (lower pops first).
+    fn node_key(self, cores: u32) -> u32 {
+        match self {
+            SchedulerPolicy::FirstFreeSlot => 0,
+            SchedulerPolicy::WidestNodeFirst => u32::MAX - cores,
+        }
+    }
+}
 
 /// FCFS scheduler over the (node, core) slots of a platform.
 #[derive(Debug)]
 pub struct Scheduler {
-    /// Min-heap of free slots (deterministic lowest-slot-first assignment).
-    free: BinaryHeap<std::cmp::Reverse<(usize, u32)>>,
+    /// Min-heap of free slots as (policy key, node, core) — deterministic
+    /// policy-ordered assignment.
+    free: BinaryHeap<std::cmp::Reverse<(u32, usize, u32)>>,
     /// Jobs waiting for a slot, in submission order.
     queue: VecDeque<usize>,
+    /// Policy key per node (for re-pushing released slots).
+    node_keys: Vec<u32>,
     total_slots: usize,
 }
 
 impl Scheduler {
-    /// A scheduler over the given per-node core counts.
+    /// A scheduler over the given per-node core counts, using the default
+    /// [`SchedulerPolicy::FirstFreeSlot`] policy.
     pub fn new(cores_per_node: &[u32]) -> Self {
-        let mut s = Self { free: BinaryHeap::new(), queue: VecDeque::new(), total_slots: 0 };
-        s.reset(cores_per_node);
+        Self::with_policy(cores_per_node, SchedulerPolicy::default())
+    }
+
+    /// A scheduler with an explicit slot-selection policy.
+    pub fn with_policy(cores_per_node: &[u32], policy: SchedulerPolicy) -> Self {
+        let mut s = Self {
+            free: BinaryHeap::new(),
+            queue: VecDeque::new(),
+            node_keys: Vec::new(),
+            total_slots: 0,
+        };
+        s.reset(cores_per_node, policy);
         s
     }
 
-    /// Reinitialize for a fresh run over (possibly different) core counts,
-    /// reusing the heap and queue allocations.
-    pub fn reset(&mut self, cores_per_node: &[u32]) {
+    /// Reinitialize for a fresh run over (possibly different) core counts
+    /// and policy, reusing the heap and queue allocations.
+    pub fn reset(&mut self, cores_per_node: &[u32], policy: SchedulerPolicy) {
         self.free.clear();
         self.queue.clear();
+        self.node_keys.clear();
         let mut total = 0usize;
         for (node, &cores) in cores_per_node.iter().enumerate() {
+            let key = policy.node_key(cores);
+            self.node_keys.push(key);
             for core in 0..cores {
-                self.free.push(std::cmp::Reverse((node, core)));
+                self.free.push(std::cmp::Reverse((key, node, core)));
                 total += 1;
             }
         }
@@ -45,8 +109,8 @@ impl Scheduler {
     /// if it queued.
     pub fn submit(&mut self, job: usize) -> Option<(usize, u32)> {
         if self.queue.is_empty() {
-            if let Some(std::cmp::Reverse(slot)) = self.free.pop() {
-                return Some(slot);
+            if let Some(std::cmp::Reverse((_, node, core))) = self.free.pop() {
+                return Some((node, core));
             }
         }
         self.queue.push_back(job);
@@ -60,7 +124,7 @@ impl Scheduler {
             // Hand the freed slot straight to the next job.
             Some((job, (node, core)))
         } else {
-            self.free.push(std::cmp::Reverse((node, core)));
+            self.free.push(std::cmp::Reverse((self.node_keys[node], node, core)));
             None
         }
     }
@@ -119,6 +183,40 @@ mod tests {
         assert!(nodes[..12].iter().all(|&n| n == 0));
         assert!(nodes[12..24].iter().all(|&n| n == 1));
         assert!(nodes[24..].iter().all(|&n| n == 2));
+    }
+
+    #[test]
+    fn widest_node_policy_packs_fat_nodes_first() {
+        let mut s = Scheduler::with_policy(&[2, 4, 2], SchedulerPolicy::WidestNodeFirst);
+        // The 4-core node 1 fills first, then nodes 0 and 2 in order.
+        assert_eq!(s.submit(0), Some((1, 0)));
+        assert_eq!(s.submit(1), Some((1, 1)));
+        assert_eq!(s.submit(2), Some((1, 2)));
+        assert_eq!(s.submit(3), Some((1, 3)));
+        assert_eq!(s.submit(4), Some((0, 0)));
+        assert_eq!(s.submit(5), Some((0, 1)));
+        assert_eq!(s.submit(6), Some((2, 0)));
+    }
+
+    #[test]
+    fn widest_node_release_keeps_policy_order() {
+        let mut s = Scheduler::with_policy(&[1, 2], SchedulerPolicy::WidestNodeFirst);
+        assert_eq!(s.submit(0), Some((1, 0)));
+        assert_eq!(s.submit(1), Some((1, 1)));
+        assert_eq!(s.submit(2), Some((0, 0)));
+        // Free the narrow node's slot, then a wide slot: the wide slot
+        // must pop first for the next submission.
+        assert_eq!(s.release(0, 0), None);
+        assert_eq!(s.release(1, 1), None);
+        assert_eq!(s.submit(3), Some((1, 1)));
+    }
+
+    #[test]
+    fn policy_labels_round_trip() {
+        for p in [SchedulerPolicy::FirstFreeSlot, SchedulerPolicy::WidestNodeFirst] {
+            assert_eq!(SchedulerPolicy::parse(p.label()), Some(p));
+        }
+        assert_eq!(SchedulerPolicy::parse("nope"), None);
     }
 
     #[test]

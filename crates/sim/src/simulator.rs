@@ -141,10 +141,10 @@ impl SimSession {
         let cores: Vec<u32> = platform.nodes.iter().map(|n| n.cores).collect();
         let scheduler = match self.scheduler.as_mut() {
             Some(s) => {
-                s.reset(&cores);
+                s.reset(&cores, config.scheduler);
                 s
             }
-            None => self.scheduler.insert(Scheduler::new(&cores)),
+            None => self.scheduler.insert(Scheduler::with_policy(&cores, config.scheduler)),
         };
         let mut rng = StdRng::seed_from_u64(config.noise.seed);
 

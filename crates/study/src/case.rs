@@ -1,13 +1,21 @@
 //! The case-study bundle: workload, truth parameters, and ground truth for
 //! all four platforms.
+//!
+//! Ground-truth generation is scenario-driven: the 4-platform x 11-ICD
+//! grid of emulator [`Scenario`](simcal_sim::Scenario)s is executed by the
+//! sharded [`SweepRunner`](crate::sweep::SweepRunner), so generation
+//! parallelizes across cores while staying bit-identical to the
+//! sequential reference path (`simcal_groundtruth::generate`).
 
 use std::path::Path;
 use std::sync::Arc;
 
-use simcal_groundtruth::{generate, GroundTruthSet, TruthParams};
+use simcal_groundtruth::{ground_truth_scenarios, GroundTruthPoint, GroundTruthSet, TruthParams};
 use simcal_platform::PlatformKind;
 use simcal_storage::CachePlan;
 use simcal_workload::{cms_workload, scaled_cms_workload, Workload};
+
+use crate::sweep::SweepRunner;
 
 /// The full case-study dataset: the workload and, per platform, the
 /// ground-truth metrics over the 11 ICD values.
@@ -31,12 +39,41 @@ impl CaseStudy {
     }
 
     /// Generate a case study for a custom workload/truth (examples, tests).
+    ///
+    /// The (platform, ICD) grid is swept in parallel; results are
+    /// bit-identical to sequential per-platform generation regardless of
+    /// the worker count.
     pub fn generate_with(workload: Workload, truth: TruthParams) -> Self {
         let icds = CachePlan::paper_icd_values();
         let workload = Arc::new(workload);
+
+        // One scenario per (platform, ICD), platform-major like the
+        // ground-truth sets the sequential path builds.
+        let grid: Vec<_> = PlatformKind::ALL
+            .iter()
+            .flat_map(|&k| ground_truth_scenarios(k, &workload, &truth, &icds))
+            .collect();
+        let results = SweepRunner::new().run(&grid);
+
         let ground_truth = PlatformKind::ALL
             .iter()
-            .map(|&k| Arc::new(generate(k, &workload, &truth, &icds)))
+            .enumerate()
+            .map(|(p, &kind)| {
+                let points = icds
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &icd)| {
+                        let r = &results[p * icds.len() + i];
+                        GroundTruthPoint {
+                            icd,
+                            node_means: r.node_means.clone(),
+                            node_stds: r.node_stds.clone(),
+                            makespan: r.makespan,
+                        }
+                    })
+                    .collect();
+                Arc::new(GroundTruthSet { platform: kind, points })
+            })
             .collect();
         Self { workload, truth, ground_truth }
     }

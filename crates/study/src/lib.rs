@@ -21,8 +21,10 @@ pub mod experiments;
 pub mod human;
 pub mod objective;
 pub mod report;
+pub mod sweep;
 
 pub use case::CaseStudy;
 pub use context::ExperimentContext;
 pub use human::HumanCalibration;
 pub use objective::{param_space, CaseObjective, Metric, PARAM_NAMES};
+pub use sweep::{SweepResult, SweepRunner};

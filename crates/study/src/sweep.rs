@@ -1,0 +1,285 @@
+//! The sharded parallel scenario-sweep driver.
+//!
+//! A [`SweepRunner`] executes a grid of [`Scenario`]s across a crossbeam
+//! worker pool. The grid is split into contiguous **shards** (of
+//! [`SweepRunner::with_shard_size`] scenarios each); workers claim shards
+//! from an atomic cursor, so load-balancing is dynamic while per-shard
+//! work stays cache-friendly. Each worker owns a pooled
+//! [`EvalContext`] with a [`SimSession`] parked in it — the same
+//! session-reuse machinery the calibration evaluator uses — so arena
+//! building is paid once per worker, not once per scenario.
+//!
+//! **Determinism contract:** every scenario materializes its own inputs
+//! from per-scenario seeds and a reused session is bit-identical to a
+//! cold build, so the result vector is bit-for-bit independent of the
+//! worker count, the shard size, and the order in which workers claim
+//! shards. A property test sweeps the registry at 1/2/8 workers and
+//! several shard sizes and asserts exactly that.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use simcal_calib::EvalContext;
+use simcal_sim::{Scenario, SimSession};
+use simcal_workload::ExecutionTrace;
+
+/// The deterministic outcome of one scenario execution.
+///
+/// `wall_seconds` is measurement, not simulation, and is excluded from
+/// [`SweepResult::fingerprint`].
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Scenario name (copied from the grid).
+    pub name: String,
+    /// Simulated makespan, seconds.
+    pub makespan: f64,
+    /// Mean job time over all jobs, seconds.
+    pub mean_job_time: f64,
+    /// Per-node mean job times (NaN for unused nodes).
+    pub node_means: Vec<f64>,
+    /// Per-node job-time standard deviations (NaN for unused nodes).
+    pub node_stds: Vec<f64>,
+    /// Kernel events the execution took.
+    pub events: u64,
+    /// FNV-1a hash over every job record's bit pattern — a whole-trace
+    /// bit-identity witness.
+    pub trace_hash: u64,
+    /// Wall-clock seconds this scenario's simulation took.
+    pub wall_seconds: f64,
+}
+
+impl SweepResult {
+    /// Condense a trace (does not consume it; the sweep drops traces to
+    /// keep result memory bounded on large grids).
+    pub fn from_trace(name: &str, trace: &ExecutionTrace) -> Self {
+        let n_nodes = trace.n_nodes;
+        Self {
+            name: name.to_string(),
+            makespan: trace.makespan(),
+            mean_job_time: trace.mean_job_time(),
+            node_means: trace.mean_job_time_by_node(),
+            node_stds: (0..n_nodes).map(|n| trace.job_time_std_dev_on_node(n)).collect(),
+            events: trace.engine_events,
+            trace_hash: trace_hash(trace),
+            wall_seconds: trace.wall_seconds,
+        }
+    }
+
+    /// The deterministic content as raw bits (name, metrics, hash) —
+    /// everything except `wall_seconds`. Two runs of the same scenario
+    /// must produce equal fingerprints regardless of worker placement.
+    pub fn fingerprint(&self) -> (String, Vec<u64>, u64, u64) {
+        let mut bits: Vec<u64> = vec![self.makespan.to_bits(), self.mean_job_time.to_bits()];
+        bits.extend(self.node_means.iter().map(|v| v.to_bits()));
+        bits.extend(self.node_stds.iter().map(|v| v.to_bits()));
+        (self.name.clone(), bits, self.events, self.trace_hash)
+    }
+}
+
+/// FNV-1a over every job record's identifying bits.
+fn trace_hash(trace: &ExecutionTrace) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for j in &trace.jobs {
+        mix(j.job as u64);
+        mix(j.node as u64);
+        mix(j.core as u64);
+        mix(j.start.to_bits());
+        mix(j.end.to_bits());
+    }
+    h
+}
+
+/// Sharded parallel executor for scenario grids.
+pub struct SweepRunner {
+    workers: usize,
+    shard_size: usize,
+    /// Idle per-worker contexts (each parks a [`SimSession`]), reused
+    /// across `run` calls exactly like the calibration evaluator's pool.
+    contexts: Mutex<Vec<EvalContext>>,
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepRunner {
+    /// A runner using one worker per available core, shard size 1.
+    pub fn new() -> Self {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self { workers, shard_size: 1, contexts: Mutex::new(Vec::new()) }
+    }
+
+    /// Override the worker count (1 = serial).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        self.workers = workers;
+        self
+    }
+
+    /// Override the shard size (scenarios claimed per worker grab).
+    pub fn with_shard_size(mut self, shard_size: usize) -> Self {
+        assert!(shard_size > 0, "need a positive shard size");
+        self.shard_size = shard_size;
+        self
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Execute every scenario; results are index-aligned with the input
+    /// grid and bit-identical regardless of worker count or shard order.
+    pub fn run(&self, scenarios: &[Scenario]) -> Vec<SweepResult> {
+        self.run_map(scenarios, |_, _| {})
+    }
+
+    /// As [`run`](Self::run), additionally invoking `observe` with each
+    /// scenario's index and full trace *on the worker thread* before the
+    /// trace is dropped. `observe` must be deterministic-safe: it sees
+    /// scenarios in claim order, not grid order.
+    pub fn run_map<F>(&self, scenarios: &[Scenario], observe: F) -> Vec<SweepResult>
+    where
+        F: Fn(usize, &ExecutionTrace) + Sync,
+    {
+        if scenarios.is_empty() {
+            return Vec::new();
+        }
+        let n_shards = scenarios.len().div_ceil(self.shard_size);
+        let n_workers = self.workers.min(n_shards);
+        if n_workers <= 1 {
+            let mut ctx = self.checkout_context();
+            let out = scenarios
+                .iter()
+                .enumerate()
+                .map(|(i, sc)| Self::run_one(&mut ctx, sc, i, &observe))
+                .collect();
+            self.return_context(ctx);
+            return out;
+        }
+
+        let next_shard = AtomicUsize::new(0);
+        let (tx, rx) = crossbeam::channel::unbounded::<(usize, SweepResult)>();
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..n_workers {
+                let tx = tx.clone();
+                let next_shard = &next_shard;
+                let observe = &observe;
+                scope.spawn(move |_| {
+                    let mut ctx = self.checkout_context();
+                    loop {
+                        let shard = next_shard.fetch_add(1, Ordering::Relaxed);
+                        let lo = shard * self.shard_size;
+                        if lo >= scenarios.len() {
+                            break;
+                        }
+                        let hi = (lo + self.shard_size).min(scenarios.len());
+                        for (i, sc) in scenarios.iter().enumerate().take(hi).skip(lo) {
+                            let r = Self::run_one(&mut ctx, sc, i, observe);
+                            tx.send((i, r)).expect("collector alive");
+                        }
+                    }
+                    self.return_context(ctx);
+                });
+            }
+            drop(tx);
+            let mut slots: Vec<Option<SweepResult>> = vec![None; scenarios.len()];
+            for (i, r) in rx {
+                slots[i] = Some(r);
+            }
+            slots.into_iter().map(|s| s.expect("every scenario produced a result")).collect()
+        })
+        .expect("sweep worker panicked")
+    }
+
+    /// Simulate one scenario on the worker's pooled session.
+    fn run_one(
+        ctx: &mut EvalContext,
+        sc: &Scenario,
+        index: usize,
+        observe: &(impl Fn(usize, &ExecutionTrace) + Sync),
+    ) -> SweepResult {
+        let session = ctx.get_or_insert_with(SimSession::new);
+        let t0 = Instant::now();
+        let trace = sc.run(session);
+        let wall = t0.elapsed().as_secs_f64();
+        observe(index, &trace);
+        let mut r = SweepResult::from_trace(&sc.name, &trace);
+        r.wall_seconds = wall;
+        r
+    }
+
+    fn checkout_context(&self) -> EvalContext {
+        self.contexts.lock().pop().unwrap_or_default()
+    }
+
+    fn return_context(&self, ctx: EvalContext) {
+        self.contexts.lock().push(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcal_sim::ScenarioRegistry;
+
+    fn fingerprints(rs: &[SweepResult]) -> Vec<(String, Vec<u64>, u64, u64)> {
+        rs.iter().map(SweepResult::fingerprint).collect()
+    }
+
+    #[test]
+    fn sweep_results_are_worker_count_invariant() {
+        let grid = ScenarioRegistry::reduced().scenarios();
+        let serial = SweepRunner::new().with_workers(1).run(&grid);
+        let parallel = SweepRunner::new().with_workers(4).run(&grid);
+        assert_eq!(serial.len(), grid.len());
+        assert_eq!(fingerprints(&serial), fingerprints(&parallel));
+    }
+
+    #[test]
+    fn shard_size_does_not_change_results() {
+        let grid = ScenarioRegistry::reduced().scenarios();
+        let a = SweepRunner::new().with_workers(3).with_shard_size(1).run(&grid);
+        let b = SweepRunner::new().with_workers(3).with_shard_size(4).run(&grid);
+        assert_eq!(fingerprints(&a), fingerprints(&b));
+    }
+
+    #[test]
+    fn runner_pools_contexts_across_runs() {
+        let grid = ScenarioRegistry::reduced().scenarios();
+        let runner = SweepRunner::new().with_workers(2);
+        let a = runner.run(&grid[..3]);
+        // Second run reuses the parked sessions; results stay identical.
+        let b = runner.run(&grid[..3]);
+        assert_eq!(fingerprints(&a), fingerprints(&b));
+        assert!(!runner.contexts.lock().is_empty(), "contexts returned to the pool");
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        assert!(SweepRunner::new().run(&[]).is_empty());
+    }
+
+    #[test]
+    fn observe_sees_every_trace() {
+        use std::sync::atomic::AtomicU64;
+        let grid = ScenarioRegistry::reduced().scenarios();
+        let seen = AtomicU64::new(0);
+        let rs = SweepRunner::new().with_workers(4).run_map(&grid[..5], |i, trace| {
+            assert!(!trace.jobs.is_empty());
+            seen.fetch_add(1 << i, Ordering::Relaxed);
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 0b11111);
+        assert_eq!(rs.len(), 5);
+    }
+}

@@ -22,8 +22,10 @@ pub const CMS_FLOPS_PER_BYTE: f64 = 6.0;
 /// Output file size (bytes): ~10% of one input file.
 pub const CMS_OUTPUT_BYTES: f64 = 42.7e6;
 
-/// The CMS case-study workload: 48 jobs × 20 × 427 MB.
-pub fn cms_workload() -> Workload {
+/// The generative spec of the CMS case-study workload (all volumes
+/// constant). [`cms_workload`] is this spec sampled at seed 0; scenario
+/// definitions reference the spec so the two can never drift apart.
+pub fn cms_workload_spec() -> WorkloadSpec {
     WorkloadSpec::constant(
         CMS_JOBS,
         CMS_FILES_PER_JOB,
@@ -31,7 +33,11 @@ pub fn cms_workload() -> Workload {
         CMS_FLOPS_PER_BYTE,
         CMS_OUTPUT_BYTES,
     )
-    .generate(0)
+}
+
+/// The CMS case-study workload: 48 jobs × 20 × 427 MB.
+pub fn cms_workload() -> Workload {
+    cms_workload_spec().generate(0)
 }
 
 /// A scaled-down variant of the CMS workload preserving its compute-to-data

@@ -22,7 +22,7 @@ pub mod trace;
 
 pub use distribution::Distribution;
 pub use file::FileSpec;
-pub use hep::{cms_workload, scaled_cms_workload};
+pub use hep::{cms_workload, cms_workload_spec, scaled_cms_workload};
 pub use job::{JobSpec, Workload};
 pub use spec::WorkloadSpec;
 pub use trace::{ExecutionTrace, JobRecord};

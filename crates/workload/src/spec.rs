@@ -9,7 +9,7 @@ use crate::job::{JobSpec, Workload};
 
 /// A generative workload specification: volumes are either constants or
 /// probability distributions, exactly as the paper's simulator accepts.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
     /// Number of jobs.
     pub n_jobs: usize,

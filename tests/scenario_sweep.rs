@@ -1,0 +1,148 @@
+//! Property tests of the scenario subsystem: registry determinism, sweep
+//! sharding invariance, and the scenario-driven ground-truth path.
+//!
+//! The load-bearing guarantees:
+//!
+//! 1. scenario generation is deterministic per seed — two registries (or
+//!    two materializations of one scenario) are bit-identical;
+//! 2. a sweep's per-scenario results are bit-identical across worker
+//!    counts (1, 2, 8) and shard sizes/orders — parallelism is pure
+//!    mechanism, never observable in the results;
+//! 3. the scenario-driven case-study generation reproduces the sequential
+//!    per-platform ground-truth generator bit-for-bit.
+
+use proptest::prelude::*;
+
+use simcal::sim::{Scenario, ScenarioRegistry, SimSession};
+use simcal::study::sweep::{SweepResult, SweepRunner};
+
+fn reduced_grid() -> Vec<Scenario> {
+    ScenarioRegistry::reduced().scenarios()
+}
+
+fn fingerprints(rs: &[SweepResult]) -> Vec<(String, Vec<u64>, u64, u64)> {
+    rs.iter().map(SweepResult::fingerprint).collect()
+}
+
+#[test]
+fn registry_has_at_least_twelve_valid_scenarios() {
+    for reg in [ScenarioRegistry::builtin(), ScenarioRegistry::reduced()] {
+        assert!(reg.len() >= 12, "registry too small: {}", reg.len());
+        for e in reg.entries() {
+            e.scenario.validate();
+        }
+        // Names are unique.
+        let mut names: Vec<&str> = reg.entries().iter().map(|e| e.scenario.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), reg.len());
+    }
+}
+
+#[test]
+fn scenario_generation_is_deterministic_per_seed() {
+    let a = ScenarioRegistry::builtin();
+    let b = ScenarioRegistry::builtin();
+    for (x, y) in a.entries().iter().zip(b.entries()) {
+        assert_eq!(x.scenario, y.scenario, "registry regeneration must be bit-stable");
+        // Materialization (workload sampling + cache placement) is too.
+        let mx = x.scenario.materialize();
+        let my = y.scenario.materialize();
+        assert_eq!(mx.workload.jobs, my.workload.jobs);
+        assert_eq!(mx.plan, my.plan);
+    }
+    // And a changed workload seed changes the sampled workload for any
+    // non-constant spec.
+    let sc = a.get("straggler-compute").expect("registry scenario");
+    if let simcal::sim::WorkloadSource::Spec { spec, seed } = &sc.workload {
+        let w1 = spec.generate(*seed);
+        let w2 = spec.generate(seed ^ 1);
+        assert_ne!(w1.jobs, w2.jobs, "seed must drive workload sampling");
+    } else {
+        panic!("registry scenarios are spec-driven");
+    }
+}
+
+#[test]
+fn sweep_is_bit_identical_across_1_2_8_workers() {
+    let grid = reduced_grid();
+    let base = SweepRunner::new().with_workers(1).run(&grid);
+    assert_eq!(base.len(), grid.len());
+    for workers in [2, 8] {
+        let par = SweepRunner::new().with_workers(workers).run(&grid);
+        assert_eq!(fingerprints(&base), fingerprints(&par), "results differ at {workers} workers");
+    }
+}
+
+#[test]
+fn sweep_matches_direct_session_runs() {
+    // The sweep must compute exactly what a bare scenario run computes.
+    let grid = reduced_grid();
+    let swept = SweepRunner::new().with_workers(4).run(&grid);
+    let mut session = SimSession::new();
+    for (sc, r) in grid.iter().zip(&swept) {
+        let direct = SweepResult::from_trace(&sc.name, &sc.run(&mut session));
+        assert_eq!(direct.fingerprint(), r.fingerprint(), "scenario {}", sc.name);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Sharding geometry and grid order are pure mechanism: any worker
+    /// count, any shard size, and any rotation of the grid produce the
+    /// same per-scenario results.
+    #[test]
+    fn sweep_invariant_under_sharding_and_order(
+        workers in 1usize..=8,
+        shard_size in 1usize..=6,
+        rotation in 0usize..14,
+    ) {
+        let mut grid = reduced_grid();
+        let base = SweepRunner::new().with_workers(1).run(&grid);
+        let by_name: std::collections::HashMap<_, _> =
+            base.iter().map(|r| (r.name.clone(), r.fingerprint())).collect();
+
+        let rot = rotation % grid.len();
+        grid.rotate_left(rot);
+        let swept = SweepRunner::new()
+            .with_workers(workers)
+            .with_shard_size(shard_size)
+            .run(&grid);
+        prop_assert_eq!(swept.len(), grid.len());
+        for (sc, r) in grid.iter().zip(&swept) {
+            prop_assert_eq!(&r.name, &sc.name, "results stay index-aligned");
+            prop_assert_eq!(&r.fingerprint(), &by_name[&sc.name]);
+        }
+    }
+}
+
+#[test]
+fn scenario_driven_case_study_matches_sequential_generator() {
+    // CaseStudy::generate_with sweeps the (platform, ICD) grid in
+    // parallel; the sequential reference path generates one platform at a
+    // time on a private session. The two must agree bit-for-bit.
+    let case = simcal::study::CaseStudy::generate_reduced();
+    let mut truth = simcal::groundtruth::TruthParams::case_study();
+    truth.granularity = simcal::storage::XRootDConfig::new(8e6, 2e6);
+    let workload = simcal::workload::scaled_cms_workload(30, 4, 40e6);
+    let icds = simcal::storage::CachePlan::paper_icd_values();
+    for kind in simcal::platform::PlatformKind::ALL {
+        let seq = simcal::groundtruth::generate(kind, &workload, &truth, &icds);
+        let par = case.gt(kind);
+        assert_eq!(seq.to_csv(), par.to_csv(), "platform {}", kind.label());
+        let a: Vec<u64> = seq.metric_vector().iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u64> = par.metric_vector().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b, "metric vectors must be bit-identical, platform {}", kind.label());
+    }
+}
+
+#[test]
+fn icd_grid_sweep_covers_every_point_deterministically() {
+    let reg = ScenarioRegistry::reduced();
+    let grid = reg.icd_grid(&[0.0, 0.5, 1.0]);
+    assert_eq!(grid.len(), reg.len() * 3);
+    let a = SweepRunner::new().with_workers(8).with_shard_size(3).run(&grid);
+    let b = SweepRunner::new().with_workers(3).run(&grid);
+    assert_eq!(fingerprints(&a), fingerprints(&b));
+}
