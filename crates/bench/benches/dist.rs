@@ -1,0 +1,47 @@
+//! Distributed-driver overhead: the spooled coordinator at one process vs
+//! the in-process `SweepRunner`, both single-threaded over the reduced
+//! registry.
+//!
+//! The delta between the two entries is the whole cost of the
+//! distribution machinery — encoding every scenario to a task file,
+//! claim-by-rename, result encode/decode, checksums, and the merge — and
+//! `BENCH_dist.json` tracks it across PRs. It is pure overhead at one
+//! process; it buys linear scaling across processes/machines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use simcal_sim::ScenarioRegistry;
+use simcal_study::{DistSweep, SweepRunner};
+
+fn bench_dist(c: &mut Criterion) {
+    let grid = ScenarioRegistry::reduced().scenarios();
+    let n = grid.len();
+    let mut group = c.benchmark_group("dist");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+
+    let runner = SweepRunner::new().with_workers(1);
+    group.bench_function(&format!("registry{n}_inprocess_1w"), |b| {
+        b.iter(|| runner.run(black_box(&grid)).len());
+    });
+
+    let spool_base = std::env::temp_dir().join(format!("simcal-bench-dist-{}", std::process::id()));
+    let iter_count = std::cell::Cell::new(0u64);
+    group.bench_function(&format!("registry{n}_spooled_1proc"), |b| {
+        b.iter(|| {
+            // A fresh spool per iteration: spooling is part of the
+            // measured coordinator cost.
+            let spool = spool_base.join(format!("iter-{}", iter_count.get()));
+            iter_count.set(iter_count.get() + 1);
+            let results = DistSweep::new(&spool).with_threads(1).run(black_box(&grid)).unwrap();
+            std::fs::remove_dir_all(&spool).ok();
+            results.len()
+        });
+    });
+    group.finish();
+    std::fs::remove_dir_all(&spool_base).ok();
+}
+
+criterion_group!(benches, bench_dist);
+criterion_main!(benches);

@@ -4,14 +4,23 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
-use simcal_calib::Budget;
-use simcal_sim::ScenarioRegistry;
+use simcal_calib::{
+    calibrate_with_workers, BayesianOpt, Budget, Calibrator, CoordinateDescent, GridSearch,
+    NelderMead, RandomSearch, SimulatedAnnealing,
+};
+use simcal_groundtruth::TruthParams;
+use simcal_platform::PlatformKind;
+use simcal_sim::{ScenarioRegistry, SimSession};
 use simcal_storage::XRootDConfig;
 use simcal_study::experiments::{
     ablation, fig2, generalization, table1, table2, table3, table4, table5, table6,
 };
-use simcal_study::report::{ascii_table, write_csv};
-use simcal_study::{CaseStudy, ExperimentContext, SweepRunner};
+use simcal_study::report::{ascii_table, write_csv, write_csv_commented};
+use simcal_study::sweep::SWEEP_CSV_SCHEMA;
+use simcal_study::{
+    dist, param_space, CaseObjective, CaseStudy, DistSweep, ExperimentContext, FamilyObjective,
+    SweepResult, SweepRunner, PARAM_NAMES,
+};
 
 /// Parsed command line.
 pub struct Options {
@@ -29,6 +38,16 @@ pub struct Options {
     pub data_dir: PathBuf,
     pub out: Option<PathBuf>,
     pub reduced: bool,
+    /// `sweep --distributed`: run through the spooled multi-process driver.
+    pub distributed: bool,
+    /// Spool directory for the distributed driver / `sweep-worker`.
+    pub spool: Option<PathBuf>,
+    /// Worker processes the distributed coordinator spawns.
+    pub spawn: Option<usize>,
+    /// `calibrate --family PATTERN`: scenario-family calibration.
+    pub family: Option<String>,
+    /// Calibration algorithm name for `calibrate`.
+    pub algo: String,
 }
 
 impl Options {
@@ -48,6 +67,11 @@ impl Options {
             data_dir: PathBuf::from("data/groundtruth"),
             out: None,
             reduced: false,
+            distributed: false,
+            spool: None,
+            spawn: None,
+            family: None,
+            algo: "random".to_string(),
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -86,14 +110,24 @@ impl Options {
                 "--data-dir" => opts.data_dir = PathBuf::from(take("--data-dir")?),
                 "--out" => opts.out = Some(PathBuf::from(take("--out")?)),
                 "--reduced" => opts.reduced = true,
+                "--distributed" => opts.distributed = true,
+                "--spool" => opts.spool = Some(PathBuf::from(take("--spool")?)),
+                "--spawn" => {
+                    opts.spawn =
+                        Some(take("--spawn")?.parse().map_err(|e| format!("--spawn: {e}"))?)
+                }
+                "--family" => opts.family = Some(take("--family")?),
+                "--algo" => opts.algo = take("--algo")?,
                 cmd if opts.command.is_empty() && !cmd.starts_with('-') => {
                     opts.command = cmd.to_string()
                 }
                 // Only the scenario commands take positional words; a
                 // stray positional after a paper command stays an error
                 // (e.g. `table3 quick` with a forgotten `--scale`).
-                word if matches!(opts.command.as_str(), "scenarios" | "sweep")
-                    && !word.starts_with('-') =>
+                word if matches!(
+                    opts.command.as_str(),
+                    "scenarios" | "sweep" | "sweep-worker" | "calibrate"
+                ) && !word.starts_with('-') =>
                 {
                     opts.args.push(word.to_string())
                 }
@@ -167,19 +201,33 @@ Paper commands:
   table1..table6 | fig2 | ablation | generalization | all | gt
 
 Scenario commands:
-  scenarios list [PATTERN]      list registry scenarios (name/family filter)
+  scenarios list [PATTERN]      list registry scenarios (name/family filter;
+                                case-insensitive substring, trailing * = prefix)
   sweep [PATTERN]               run matching registry scenarios through the
                                 sharded parallel sweep driver
+  sweep [PATTERN] --distributed --spool DIR [--spawn N]
+                                spool the grid to DIR and sweep it with N
+                                spawned worker processes (plus this one);
+                                results are bit-identical to the local driver
+  calibrate PLATFORM            fit the 4-parameter space to one platform's
+                                ground truth (scfn|fcfn|scsn|fcsn)
+  calibrate --family PATTERN    fit one parameter set against every matching
+                                registry scenario at once (scenario-driven
+                                ground truth per member)
 
 Options:
   --scale quick|default|full    scale preset (budgets, granularity)
-  --evals N                     Table III/IV evaluation budget
+  --evals N                     Table III/IV / calibrate evaluation budget
   --granularity 1s|3s|30s|5min  simulator granularity for Tables III-V
   --t5-cost S                   Table V per-calibration cost budget (s)
   --t6-cost S                   Table VI per-calibration cost budget (s)
   --fig2-cost S                 Figure 2 per-calibration cost budget (s)
   --seed N                      algorithm RNG seed
   --workers N                   parallel evaluation / sweep workers
+                                (threads per process when --distributed)
+  --algo NAME                   calibrate algorithm (random|grid|coordinate|
+                                anneal|nelder-mead|bayes; default random)
+  --spool DIR / --spawn N       distributed sweep spool and worker count
   --data-dir PATH               ground-truth CSV cache (default data/groundtruth)
   --out DIR                     also write CSV artifacts to DIR
   --reduced                     reduced-scale case study / scenario registry
@@ -241,7 +289,10 @@ fn run_scenarios(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-/// `sweep [PATTERN]`: run matching scenarios through the sweep driver.
+/// `sweep [PATTERN]`: run matching scenarios through the in-process sweep
+/// driver, or — with `--distributed --spool DIR [--spawn N]` — through the
+/// multi-process spooled coordinator. Both paths produce bit-identical
+/// results and byte-identical `--out` artifacts.
 fn run_sweep(opts: &Options) -> Result<(), String> {
     let reg = registry_for(opts);
     let pat = scenario_pattern(opts);
@@ -249,17 +300,40 @@ fn run_sweep(opts: &Options) -> Result<(), String> {
     if grid.is_empty() {
         return Err(format!("no scenario matches {pat:?}"));
     }
-    let mut runner = SweepRunner::new();
-    if let Some(w) = opts.workers {
-        runner = runner.with_workers(w);
-    }
     let t0 = Instant::now();
-    let results = runner.run(&grid);
+    let (results, mode) = if opts.distributed {
+        let spool = opts.spool.as_ref().ok_or("--distributed needs --spool DIR")?;
+        let spawn = opts.spawn.unwrap_or(0);
+        let threads = opts.workers.unwrap_or(1);
+        let mut driver = DistSweep::new(spool).with_spawn(spawn).with_threads(threads);
+        if spawn > 0 {
+            let exe = std::env::current_exe().map_err(|e| format!("current exe: {e}"))?;
+            driver = driver.with_worker_command(
+                exe,
+                vec![
+                    "sweep-worker".to_string(),
+                    spool.display().to_string(),
+                    "--workers".to_string(),
+                    threads.to_string(),
+                ],
+            );
+        }
+        let results = driver.run(&grid).map_err(|e| e.to_string())?;
+        (results, format!("{} worker process(es) x {threads} thread(s)", spawn + 1))
+    } else {
+        let mut runner = SweepRunner::new();
+        if let Some(w) = opts.workers {
+            runner = runner.with_workers(w);
+        }
+        let workers = runner.workers().min(grid.len());
+        (runner.run(&grid), format!("{workers} workers"))
+    };
     let wall = t0.elapsed().as_secs_f64();
 
-    let headers: Vec<String> = ["scenario", "makespan_s", "mean_job_s", "events", "sim_wall_ms"]
-        .map(String::from)
-        .to_vec();
+    let headers: Vec<String> =
+        ["scenario", "makespan_s", "mean_job_s", "events", "trace_hash", "sim_wall_ms"]
+            .map(String::from)
+            .to_vec();
     let rows: Vec<Vec<String>> = results
         .iter()
         .map(|r| {
@@ -268,38 +342,172 @@ fn run_sweep(opts: &Options) -> Result<(), String> {
                 format!("{:.2}", r.makespan),
                 format!("{:.2}", r.mean_job_time),
                 r.events.to_string(),
+                format!("{:016x}", r.trace_hash),
                 format!("{:.2}", r.wall_seconds * 1e3),
             ]
         })
         .collect();
     print!("{}", ascii_table(&headers, &rows));
     println!(
-        "\n{} scenarios in {:.2} s on {} workers ({:.1} scenarios/s)",
+        "\n{} scenarios in {:.2} s on {mode} ({:.1} scenarios/s)",
         results.len(),
         wall,
-        runner.workers().min(grid.len()),
         results.len() as f64 / wall
     );
     if let Some(dir) = &opts.out {
-        let csv_rows: Vec<Vec<String>> = results
-            .iter()
-            .map(|r| {
-                vec![
-                    r.name.clone(),
-                    format!("{}", r.makespan),
-                    format!("{}", r.mean_job_time),
-                    r.events.to_string(),
-                    format!("{:016x}", r.trace_hash),
-                ]
-            })
-            .collect();
-        let csv_headers: Vec<String> =
-            ["scenario", "makespan_s", "mean_job_s", "events", "trace_hash"]
-                .map(String::from)
-                .to_vec();
-        write_csv(&dir.join("sweep.csv"), &csv_headers, &csv_rows).map_err(|e| e.to_string())?;
+        write_sweep_csv(&dir.join("sweep.csv"), &results)?;
     }
     Ok(())
+}
+
+/// Write the deterministic sweep artifact (identical bytes for identical
+/// results, whichever driver produced them).
+fn write_sweep_csv(path: &std::path::Path, results: &[SweepResult]) -> Result<(), String> {
+    let rows: Vec<Vec<String>> = results.iter().map(SweepResult::csv_row).collect();
+    write_csv_commented(path, SWEEP_CSV_SCHEMA, &SweepResult::csv_headers(), &rows)
+        .map_err(|e| e.to_string())
+}
+
+/// The hidden `sweep-worker SPOOL` subcommand the distributed coordinator
+/// spawns: drain the spool's task queue, write results, exit.
+fn run_sweep_worker(opts: &Options) -> Result<(), String> {
+    let spool = opts
+        .args
+        .first()
+        .map(PathBuf::from)
+        .or_else(|| opts.spool.clone())
+        .ok_or("sweep-worker needs a spool directory")?;
+    let threads = opts.workers.unwrap_or(1);
+    let n = dist::run_worker(&spool, threads).map_err(|e| e.to_string())?;
+    eprintln!("[simcal-exp] sweep-worker drained {n} task(s) from {}", spool.display());
+    Ok(())
+}
+
+/// Construct the named calibration algorithm.
+fn make_algo(name: &str, seed: u64) -> Result<Box<dyn Calibrator>, String> {
+    Ok(match name {
+        "random" => Box::new(RandomSearch::new(seed)),
+        "grid" => Box::new(GridSearch::new()),
+        "coordinate" => Box::new(CoordinateDescent::new(seed)),
+        "anneal" => Box::new(SimulatedAnnealing::new(seed)),
+        "nelder-mead" => Box::new(NelderMead::new(seed)),
+        "bayes" => Box::new(BayesianOpt::new(seed)),
+        other => {
+            return Err(format!(
+                "unknown algorithm {other:?} (use random|grid|coordinate|anneal|nelder-mead|bayes)"
+            ))
+        }
+    })
+}
+
+/// The calibration ICD grid for `calibrate --family`: the endpoints plus
+/// the midpoint (each member's ground truth is generated over these).
+const FAMILY_ICDS: [f64; 3] = [0.0, 0.5, 1.0];
+
+/// `calibrate PLATFORM | calibrate --family PATTERN`: fit the paper's
+/// 4-parameter space against one platform's ground truth, or against every
+/// scenario in a registry family at once.
+fn run_calibrate(opts: &Options) -> Result<(), String> {
+    let seed = opts.seed.unwrap_or(42);
+    let evals = opts.evals.unwrap_or(40);
+    let mut algo = make_algo(&opts.algo, seed)?;
+    let space = param_space();
+    let value_rows = |values: &[f64]| -> Vec<Vec<String>> {
+        PARAM_NAMES
+            .iter()
+            .zip(values)
+            .map(|(name, v)| vec![name.to_string(), format!("{v:.4e}")])
+            .collect()
+    };
+
+    if let Some(pattern) = &opts.family {
+        if !opts.args.is_empty() {
+            return Err("calibrate takes a platform or --family, not both".to_string());
+        }
+        let reg = registry_for(opts);
+        let mut truth = TruthParams::case_study();
+        if opts.reduced {
+            // The reduced registry's workloads are small; match them with
+            // the reduced emulator granularity (as the reduced case study).
+            truth.granularity = XRootDConfig::new(8e6, 2e6);
+        }
+        let t0 = Instant::now();
+        let fam = FamilyObjective::from_registry(&reg, pattern, &FAMILY_ICDS, &truth)?;
+        eprintln!(
+            "[simcal-exp] family ground truth ({} members x {} ICDs) in {:.1?}",
+            fam.members().len(),
+            FAMILY_ICDS.len(),
+            t0.elapsed()
+        );
+        let result = calibrate_with_workers(
+            algo.as_mut(),
+            &fam,
+            &space,
+            Budget::Evaluations(evals),
+            opts.workers,
+        );
+        let mut session = SimSession::new();
+        let scores = fam.member_scores_session(&mut session, &result.best_values);
+        let mut rows: Vec<Vec<String>> = fam
+            .members()
+            .iter()
+            .zip(&scores)
+            .map(|(m, &s)| vec![m.name().to_string(), format!("{s:.2}")])
+            .collect();
+        rows.push(vec!["(aggregate)".to_string(), format!("{:.2}", result.best_error)]);
+        println!(
+            "family {:?}: {} calibrated over {} members, {} evaluations",
+            pattern,
+            result.algorithm,
+            fam.members().len(),
+            result.evaluations
+        );
+        print!("{}", ascii_table(&["member".to_string(), "mre_pct".to_string()], &rows));
+        println!();
+        print!(
+            "{}",
+            ascii_table(
+                &["parameter".to_string(), "value".to_string()],
+                &value_rows(&result.best_values)
+            )
+        );
+        debug_assert!(
+            (FamilyObjective::aggregate(&scores) - result.best_error).abs() < 1e-9,
+            "reported member scores must reproduce the best error"
+        );
+        Ok(())
+    } else {
+        let label = opts
+            .args
+            .first()
+            .ok_or("calibrate needs a platform (scfn|fcfn|scsn|fcsn) or --family PATTERN")?;
+        let kind = PlatformKind::parse(label)
+            .ok_or_else(|| format!("unknown platform {label:?} (use scfn|fcfn|scsn|fcsn)"))?;
+        let ctx = opts.context()?;
+        let obj = CaseObjective::full(&ctx.case, kind, ctx.granularity);
+        let result = calibrate_with_workers(
+            algo.as_mut(),
+            &obj,
+            &space,
+            Budget::Evaluations(evals),
+            ctx.workers,
+        );
+        println!(
+            "{}: {} calibrated, {} evaluations, best MRE {:.2}%",
+            kind.label(),
+            result.algorithm,
+            result.evaluations,
+            result.best_error
+        );
+        print!(
+            "{}",
+            ascii_table(
+                &["parameter".to_string(), "value".to_string()],
+                &value_rows(&result.best_values)
+            )
+        );
+        Ok(())
+    }
 }
 
 /// Entry point used by `main`.
@@ -320,9 +528,12 @@ pub fn run(args: &[String]) -> Result<(), String> {
             return Ok(());
         }
         // The scenario subsystem needs no ground truth: dispatch before
-        // the (potentially expensive) context construction.
+        // the (potentially expensive) context construction. (`calibrate`
+        // builds a context itself only in single-platform mode.)
         "scenarios" => return run_scenarios(&opts),
         "sweep" => return run_sweep(&opts),
+        "sweep-worker" => return run_sweep_worker(&opts),
+        "calibrate" => return run_calibrate(&opts),
         _ => {}
     }
 
@@ -534,6 +745,119 @@ mod tests {
     fn sweep_runs_reduced_registry() {
         let o = parse(&["sweep", "straggler", "--reduced", "--workers", "2"]).unwrap();
         run_sweep(&o).unwrap();
+    }
+
+    #[test]
+    fn parses_distributed_and_calibrate_flags() {
+        let o = parse(&[
+            "sweep",
+            "hetero",
+            "--distributed",
+            "--spool",
+            "/tmp/spool",
+            "--spawn",
+            "3",
+            "--workers",
+            "2",
+        ])
+        .unwrap();
+        assert!(o.distributed);
+        assert_eq!(o.spool.as_deref(), Some(std::path::Path::new("/tmp/spool")));
+        assert_eq!(o.spawn, Some(3));
+        let o =
+            parse(&["calibrate", "--family", "hetero", "--algo", "grid", "--evals", "9"]).unwrap();
+        assert_eq!(o.family.as_deref(), Some("hetero"));
+        assert_eq!(o.algo, "grid");
+        assert_eq!(o.evals, Some(9));
+        let o = parse(&["calibrate", "scsn"]).unwrap();
+        assert_eq!(o.args, vec!["scsn"]);
+        let o = parse(&["sweep-worker", "/tmp/spool", "--workers", "2"]).unwrap();
+        assert_eq!(o.args, vec!["/tmp/spool"]);
+        assert!(parse(&["sweep", "--spawn", "x"]).is_err());
+    }
+
+    #[test]
+    fn scenario_patterns_glob_and_ignore_case() {
+        let o = parse(&["scenarios", "list", "CMS-*", "--reduced"]).unwrap();
+        run_scenarios(&o).unwrap();
+        let reg = registry_for(&o);
+        assert_eq!(reg.matching(scenario_pattern(&o)).len(), 4);
+        let o = parse(&["scenarios", "list", "StRaGgLeR"]).unwrap();
+        assert_eq!(registry_for(&o).matching(scenario_pattern(&o)).len(), 3);
+    }
+
+    #[test]
+    fn distributed_needs_a_spool() {
+        let o = parse(&["sweep", "--reduced", "--distributed"]).unwrap();
+        assert!(run_sweep(&o).unwrap_err().contains("--spool"));
+    }
+
+    #[test]
+    fn distributed_sweep_writes_the_same_artifact_as_local() {
+        let base = std::env::temp_dir().join(format!("simcal-cli-dist-{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+        let spool = base.join("spool");
+        let out_local = base.join("local");
+        let out_dist = base.join("dist");
+        let o = parse(&[
+            "sweep",
+            "deepcache",
+            "--reduced",
+            "--workers",
+            "2",
+            "--out",
+            out_local.to_str().unwrap(),
+        ])
+        .unwrap();
+        run_sweep(&o).unwrap();
+        // Spawn 0: the coordinator drains the spool itself (the spawned
+        // multi-process path is exercised end-to-end in tests/distributed.rs).
+        let o = parse(&[
+            "sweep",
+            "deepcache",
+            "--reduced",
+            "--distributed",
+            "--spool",
+            spool.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--out",
+            out_dist.to_str().unwrap(),
+        ])
+        .unwrap();
+        run_sweep(&o).unwrap();
+        let a = std::fs::read(out_local.join("sweep.csv")).unwrap();
+        let b = std::fs::read(out_dist.join("sweep.csv")).unwrap();
+        assert_eq!(a, b, "distributed artifact must be byte-identical");
+        let text = String::from_utf8(a).unwrap();
+        assert!(text.starts_with("# simcal sweep csv v1"), "schema comment present");
+        assert!(text.lines().nth(1).unwrap().contains("trace_hash"));
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn family_calibration_runs_end_to_end() {
+        let o = parse(&[
+            "calibrate",
+            "--family",
+            "paper",
+            "--reduced",
+            "--evals",
+            "4",
+            "--workers",
+            "1",
+        ])
+        .unwrap();
+        run_calibrate(&o).unwrap();
+        // Unknown families and bad algorithms are structured errors.
+        let o = parse(&["calibrate", "--family", "nothing-here", "--reduced"]).unwrap();
+        assert!(run_calibrate(&o).is_err());
+        let o = parse(&["calibrate", "--family", "paper", "--algo", "nope"]).unwrap();
+        assert!(run_calibrate(&o).is_err());
+        let o = parse(&["calibrate"]).unwrap();
+        assert!(run_calibrate(&o).unwrap_err().contains("platform"));
+        let o = parse(&["calibrate", "bogus"]).unwrap();
+        assert!(run_calibrate(&o).unwrap_err().contains("unknown platform"));
     }
 
     #[test]

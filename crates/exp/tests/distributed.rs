@@ -1,0 +1,145 @@
+//! Distributed-equals-local oracle: sweeping the reduced registry through
+//! the spooled multi-process driver — at 1, 2, and 3 worker processes,
+//! each with 2 sweep threads — must produce merged CSV artifacts that are
+//! **byte-identical** to the single-process `SweepRunner` path, and hence
+//! identical per-scenario FNV trace hashes.
+//!
+//! This drives the real binary (`CARGO_BIN_EXE_simcal-exp`), so the
+//! coordinator genuinely `exec`s its workers and the claim protocol runs
+//! across real process boundaries on the real filesystem.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn exe() -> &'static str {
+    env!("CARGO_BIN_EXE_simcal-exp")
+}
+
+fn run(args: &[&str]) {
+    let out = Command::new(exe()).args(args).output().expect("spawn simcal-exp");
+    assert!(
+        out.status.success(),
+        "simcal-exp {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+fn base_dir() -> PathBuf {
+    std::env::temp_dir().join(format!("simcal-exp-dist-oracle-{}", std::process::id()))
+}
+
+/// Extract the trace-hash column (scenario -> hash) from a sweep CSV.
+fn hashes(csv: &Path) -> Vec<(String, String)> {
+    let text = std::fs::read_to_string(csv).unwrap();
+    let mut lines = text.lines().filter(|l| !l.starts_with('#'));
+    let header = lines.next().expect("header row");
+    let cols: Vec<&str> = header.split(',').collect();
+    let name_col = cols.iter().position(|c| *c == "scenario").unwrap();
+    let hash_col = cols.iter().position(|c| *c == "trace_hash").unwrap();
+    lines
+        .map(|l| {
+            let cells: Vec<&str> = l.split(',').collect();
+            (cells[name_col].to_string(), cells[hash_col].to_string())
+        })
+        .collect()
+}
+
+#[test]
+fn distributed_sweep_is_bit_identical_to_local_at_any_process_count() {
+    let base = base_dir();
+    std::fs::remove_dir_all(&base).ok();
+
+    // Reference: the in-process sharded driver at 2 threads.
+    let local_out = base.join("local");
+    run(&["sweep", "--reduced", "--workers", "2", "--out", local_out.to_str().unwrap()]);
+    let local_csv = std::fs::read(local_out.join("sweep.csv")).unwrap();
+    let local_hashes = hashes(&local_out.join("sweep.csv"));
+    assert!(!local_hashes.is_empty());
+
+    // Distributed: --spawn N spawns N worker processes and the
+    // coordinator drains too, so total processes = N + 1.
+    for spawn in [0usize, 1, 2] {
+        let tag = format!("p{}", spawn + 1);
+        let spool = base.join(format!("spool-{tag}"));
+        let out = base.join(format!("out-{tag}"));
+        run(&[
+            "sweep",
+            "--reduced",
+            "--distributed",
+            "--spool",
+            spool.to_str().unwrap(),
+            "--spawn",
+            &spawn.to_string(),
+            "--workers",
+            "2",
+            "--out",
+            out.to_str().unwrap(),
+        ]);
+        let dist_csv = std::fs::read(out.join("sweep.csv")).unwrap();
+        assert_eq!(
+            dist_csv,
+            local_csv,
+            "{} process(es) x 2 threads: sweep.csv differs from the local driver",
+            spawn + 1
+        );
+        assert_eq!(hashes(&out.join("sweep.csv")), local_hashes, "{tag}: trace hashes differ");
+        // The spool is fully drained: no task left behind, every task
+        // claimed, one result per task.
+        let count = |dir: &str| std::fs::read_dir(spool.join(dir)).unwrap().count();
+        assert_eq!(count("tasks"), 0, "{tag}: tasks left unclaimed");
+        assert_eq!(count("claimed"), local_hashes.len(), "{tag}: claim tombstones");
+        assert_eq!(count("results"), local_hashes.len(), "{tag}: results");
+    }
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn external_workers_can_join_a_spool_mid_sweep() {
+    // A worker attached by hand (the documented "any number of worker
+    // processes on a shared filesystem" mode): coordinator with
+    // --spawn 1 while we also run `sweep-worker` on the same spool from
+    // here. Between them the sweep must still complete exactly once with
+    // the local driver's results.
+    let base = base_dir().join("external");
+    std::fs::remove_dir_all(&base).ok();
+
+    let local_out = base.join("local");
+    run(&["sweep", "straggler", "--reduced", "--out", local_out.to_str().unwrap()]);
+
+    let spool = base.join("spool");
+    let out = base.join("out");
+    let mut coordinator = Command::new(exe())
+        .args([
+            "sweep",
+            "straggler",
+            "--reduced",
+            "--distributed",
+            "--spool",
+            spool.to_str().unwrap(),
+            "--spawn",
+            "1",
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .spawn()
+        .expect("spawn coordinator");
+    // Wait for the spool manifest (written after all task files), then
+    // steal from outside the coordinator's process tree.
+    for _ in 0..200 {
+        if spool.join("manifest.json").exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    if spool.join("manifest.json").exists() {
+        run(&["sweep-worker", spool.to_str().unwrap(), "--workers", "1"]);
+    }
+    assert!(coordinator.wait().expect("coordinator exits").success());
+    assert_eq!(
+        std::fs::read(out.join("sweep.csv")).unwrap(),
+        std::fs::read(local_out.join("sweep.csv")).unwrap(),
+        "externally-assisted sweep must merge to the local artifact"
+    );
+    std::fs::remove_dir_all(&base).ok();
+}

@@ -1,0 +1,1060 @@
+//! The scenario wire codec: versioned, dependency-free JSON.
+//!
+//! Distributed sweeps ship [`Scenario`]s between processes (and machines)
+//! through spool files, so scenarios need a stable wire form. The repo has
+//! no registry access (hence no serde); this module hand-rolls a small
+//! JSON value model ([`Json`]) plus encoders/decoders for every type a
+//! scenario closes over — the same approach the bench harness already uses
+//! for its `BENCH_*.json` reports, promoted to a first-class, versioned,
+//! round-trip-tested codec.
+//!
+//! ## Guarantees
+//!
+//! * **Deterministic encoding.** Field order is fixed, floats are written
+//!   in Rust's shortest round-trip representation, and no whitespace is
+//!   emitted — `encode(decode(encode(x)))` is byte-identical to
+//!   `encode(x)`. Byte equality of encodings is therefore a valid
+//!   cross-machine equality witness.
+//! * **Exactness.** Finite `f64`s round-trip bit-exactly (shortest-repr
+//!   printing is parsed back to the identical bits); non-finite values are
+//!   encoded as the strings `"NaN"` / `"Infinity"` / `"-Infinity"`; `u64`
+//!   seeds and hashes are encoded as decimal strings because JSON numbers
+//!   only cover the 53-bit integer range.
+//! * **Forward compatibility.** Decoders ignore unknown fields, so a
+//!   payload written by a newer codec version (which may add fields and
+//!   bump the top-level `"v"`) still decodes. A *missing* required field
+//!   is a structured [`CodecError`], never a panic.
+//!
+//! The top-level payloads ([`encode_scenario`]) carry a `"v"` version
+//! field; nested objects are versioned by their enclosing payload.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use simcal_platform::{NodeSpec, PlatformSpec};
+use simcal_workload::{Distribution, JobSpec, Workload, WorkloadSpec};
+
+use crate::config::{NoiseConfig, SimConfig};
+use crate::scenario::{CacheSpec, Scenario, WorkloadSource};
+use crate::scheduler::SchedulerPolicy;
+
+/// The codec version written into top-level payloads.
+pub const CODEC_VERSION: u64 = 1;
+
+/// A decoding (or parsing) failure. Every variant carries enough context
+/// to say *which* type and field went wrong — decoders never panic on
+/// malformed input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The text is not syntactically valid JSON.
+    Parse {
+        /// Byte offset the parser stopped at.
+        offset: usize,
+        /// What the parser expected or found.
+        msg: String,
+    },
+    /// A required field is absent.
+    MissingField {
+        /// Type being decoded (e.g. `"Scenario"`).
+        ty: &'static str,
+        /// The missing field name.
+        field: &'static str,
+    },
+    /// A field holds a JSON value of the wrong shape.
+    WrongType {
+        /// Type being decoded.
+        ty: &'static str,
+        /// The offending field name.
+        field: &'static str,
+        /// What the decoder expected (e.g. `"number"`).
+        expected: &'static str,
+    },
+    /// A field decoded but holds a semantically invalid value.
+    Invalid {
+        /// Type being decoded.
+        ty: &'static str,
+        /// Description of the violation.
+        msg: String,
+    },
+    /// The payload's `"v"` field names an unusable version (currently
+    /// only version 0; newer-than-current versions decode best-effort).
+    UnsupportedVersion {
+        /// Type being decoded.
+        ty: &'static str,
+        /// The version found.
+        version: u64,
+    },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Parse { offset, msg } => {
+                write!(f, "JSON parse error at byte {offset}: {msg}")
+            }
+            CodecError::MissingField { ty, field } => {
+                write!(f, "{ty}: missing required field {field:?}")
+            }
+            CodecError::WrongType { ty, field, expected } => {
+                write!(f, "{ty}: field {field:?} is not a {expected}")
+            }
+            CodecError::Invalid { ty, msg } => write!(f, "{ty}: {msg}"),
+            CodecError::UnsupportedVersion { ty, version } => {
+                write!(f, "{ty}: unsupported codec version {version}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A parsed JSON value. Objects preserve insertion order (a `Vec`, not a
+/// map) — the deterministic-encoding guarantee depends on it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (always parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, fields in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse a JSON text.
+    pub fn parse(text: &str) -> Result<Json, CodecError> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing data after JSON value"));
+        }
+        Ok(v)
+    }
+
+    /// Serialize compactly (no whitespace), deterministically.
+    pub fn write(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    fn write_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                debug_assert!(v.is_finite(), "non-finite numbers are encoded as strings");
+                let _ = write!(out, "{v}");
+            }
+            Json::Str(s) => write_json_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(k, out);
+                    out.push(':');
+                    v.write_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Look a field up in an object (`None` for non-objects too).
+    pub fn field(&self, name: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to an object's field list (test surgery helper).
+    pub fn fields_mut(&mut self) -> Option<&mut Vec<(String, Json)>> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Maximum container nesting the parser accepts. Deeper input gets a
+/// structured parse error instead of a stack overflow (the codec's
+/// decoders must never abort on malformed input); real payloads nest a
+/// handful of levels.
+const MAX_PARSE_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> CodecError {
+        CodecError::Parse { offset: self.pos, msg: msg.to_string() }
+    }
+
+    fn descend(&mut self) -> Result<(), CodecError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(self.err("nesting deeper than 128 levels"));
+        }
+        Ok(())
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<(), CodecError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str, val: Json) -> Result<Json, CodecError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(val)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, CodecError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.eat_lit("true", Json::Bool(true)),
+            Some(b'f') => self.eat_lit("false", Json::Bool(false)),
+            Some(b'n') => self.eat_lit("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, CodecError> {
+        self.descend()?;
+        self.eat(b'{', "expected '{'")?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected ':' after object key")?;
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, CodecError> {
+        self.descend()?;
+        self.eat(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, CodecError> {
+        self.eat(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if !self.bytes[self.pos..].starts_with(b"\\u") {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(c)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                            // hex4 leaves pos just past the last digit;
+                            // skip the increment below.
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so byte
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().expect("non-empty checked above");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, CodecError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated unicode escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid unicode escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid unicode escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, CodecError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
+        s.parse::<f64>().map(Json::Num).map_err(|_| self.err("invalid number"))
+    }
+}
+
+// ---- typed field access ---------------------------------------------------
+
+/// Typed, error-reporting reader over one JSON object.
+pub struct ObjReader<'a> {
+    ty: &'static str,
+    json: &'a Json,
+}
+
+impl<'a> ObjReader<'a> {
+    /// Wrap `json`, which must be an object, for decoding type `ty`.
+    pub fn new(ty: &'static str, json: &'a Json) -> Result<Self, CodecError> {
+        match json {
+            Json::Obj(_) => Ok(Self { ty, json }),
+            _ => Err(CodecError::WrongType { ty, field: "<self>", expected: "object" }),
+        }
+    }
+
+    /// The field, if present (unknown fields are simply never asked for).
+    pub fn get(&self, field: &str) -> Option<&'a Json> {
+        self.json.field(field)
+    }
+
+    /// The field, or a [`CodecError::MissingField`].
+    pub fn req(&self, field: &'static str) -> Result<&'a Json, CodecError> {
+        self.get(field).ok_or(CodecError::MissingField { ty: self.ty, field })
+    }
+
+    fn wrong(&self, field: &'static str, expected: &'static str) -> CodecError {
+        CodecError::WrongType { ty: self.ty, field, expected }
+    }
+
+    /// A (possibly non-finite) `f64`: a JSON number, or the strings
+    /// `"NaN"` / `"Infinity"` / `"-Infinity"`.
+    pub fn f64(&self, field: &'static str) -> Result<f64, CodecError> {
+        json_to_f64(self.req(field)?).ok_or_else(|| self.wrong(field, "number"))
+    }
+
+    /// A `u64`, encoded as a decimal string (or a small integer number).
+    pub fn u64(&self, field: &'static str) -> Result<u64, CodecError> {
+        json_to_u64(self.req(field)?).ok_or_else(|| self.wrong(field, "u64"))
+    }
+
+    /// A `usize` (plain JSON number with no fractional part).
+    pub fn usize(&self, field: &'static str) -> Result<usize, CodecError> {
+        let v = self.u64(field)?;
+        usize::try_from(v).map_err(|_| self.wrong(field, "usize"))
+    }
+
+    /// A boolean.
+    pub fn bool(&self, field: &'static str) -> Result<bool, CodecError> {
+        match self.req(field)? {
+            Json::Bool(b) => Ok(*b),
+            _ => Err(self.wrong(field, "bool")),
+        }
+    }
+
+    /// A string.
+    pub fn str(&self, field: &'static str) -> Result<&'a str, CodecError> {
+        match self.req(field)? {
+            Json::Str(s) => Ok(s),
+            _ => Err(self.wrong(field, "string")),
+        }
+    }
+
+    /// An array.
+    pub fn arr(&self, field: &'static str) -> Result<&'a [Json], CodecError> {
+        match self.req(field)? {
+            Json::Arr(items) => Ok(items),
+            _ => Err(self.wrong(field, "array")),
+        }
+    }
+
+    /// An array of `f64`s.
+    pub fn f64_arr(&self, field: &'static str) -> Result<Vec<f64>, CodecError> {
+        self.arr(field)?
+            .iter()
+            .map(|v| json_to_f64(v).ok_or_else(|| self.wrong(field, "array of numbers")))
+            .collect()
+    }
+}
+
+fn json_to_f64(v: &Json) -> Option<f64> {
+    match v {
+        Json::Num(n) => Some(*n),
+        Json::Str(s) => match s.as_str() {
+            "NaN" => Some(f64::NAN),
+            "Infinity" => Some(f64::INFINITY),
+            "-Infinity" => Some(f64::NEG_INFINITY),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn json_to_u64(v: &Json) -> Option<u64> {
+    match v {
+        Json::Str(s) => s.parse::<u64>().ok(),
+        // Tolerate plain numbers within the exactly-representable range.
+        Json::Num(n) if n.fract() == 0.0 && (0.0..=9e15).contains(n) => Some(*n as u64),
+        _ => None,
+    }
+}
+
+/// Encode an `f64` (non-finite values become marker strings).
+pub fn json_f64(v: f64) -> Json {
+    if v.is_finite() {
+        Json::Num(v)
+    } else if v.is_nan() {
+        Json::Str("NaN".to_string())
+    } else if v > 0.0 {
+        Json::Str("Infinity".to_string())
+    } else {
+        Json::Str("-Infinity".to_string())
+    }
+}
+
+/// Encode a `u64` as a decimal string (JSON numbers lose >53-bit values).
+pub fn json_u64(v: u64) -> Json {
+    Json::Str(v.to_string())
+}
+
+/// Build a JSON object from `(field, value)` pairs in order (the
+/// building block every encoder in this codec — and the spool record
+/// writers in `simcal-study` — composes payloads from).
+pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+// ---- scenario encoding ----------------------------------------------------
+
+/// Encode a scenario as a versioned JSON payload.
+pub fn encode_scenario(sc: &Scenario) -> String {
+    scenario_to_json(sc).write()
+}
+
+/// Decode a scenario payload produced by [`encode_scenario`] (or a newer
+/// codec version — unknown fields are ignored).
+pub fn decode_scenario(text: &str) -> Result<Scenario, CodecError> {
+    scenario_from_json(&Json::parse(text)?)
+}
+
+/// The scenario as a JSON value (with the version field), for embedding in
+/// larger payloads (spool task files, manifests).
+pub fn scenario_to_json(sc: &Scenario) -> Json {
+    obj(vec![
+        ("v", Json::Num(CODEC_VERSION as f64)),
+        ("name", Json::Str(sc.name.clone())),
+        ("platform", platform_to_json(&sc.platform)),
+        ("workload", workload_source_to_json(&sc.workload)),
+        ("cache", cache_spec_to_json(&sc.cache)),
+        ("config", sim_config_to_json(&sc.config)),
+    ])
+}
+
+/// Decode a scenario from its JSON value form.
+pub fn scenario_from_json(json: &Json) -> Result<Scenario, CodecError> {
+    let r = ObjReader::new("Scenario", json)?;
+    check_version("Scenario", &r)?;
+    Ok(Scenario {
+        name: r.str("name")?.to_string(),
+        platform: platform_from_json(r.req("platform")?)?,
+        workload: workload_source_from_json(r.req("workload")?)?,
+        cache: cache_spec_from_json(r.req("cache")?)?,
+        config: sim_config_from_json(r.req("config")?)?,
+    })
+}
+
+/// Check a payload's `"v"` field: version 0 is rejected, newer versions
+/// decode best-effort (their extra fields are ignored).
+pub fn check_version(ty: &'static str, r: &ObjReader<'_>) -> Result<u64, CodecError> {
+    let v = r.u64("v")?;
+    if v == 0 {
+        return Err(CodecError::UnsupportedVersion { ty, version: v });
+    }
+    Ok(v)
+}
+
+fn platform_to_json(p: &PlatformSpec) -> Json {
+    obj(vec![
+        ("name", Json::Str(p.name.clone())),
+        ("page_cache_enabled", Json::Bool(p.page_cache_enabled)),
+        ("nominal_wan_bw", json_f64(p.nominal_wan_bw)),
+        (
+            "nodes",
+            Json::Arr(
+                p.nodes
+                    .iter()
+                    .map(|n| {
+                        obj(vec![
+                            ("name", Json::Str(n.name.clone())),
+                            ("cores", Json::Num(n.cores as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn platform_from_json(json: &Json) -> Result<PlatformSpec, CodecError> {
+    let r = ObjReader::new("PlatformSpec", json)?;
+    let mut nodes = Vec::new();
+    for n in r.arr("nodes")? {
+        let nr = ObjReader::new("NodeSpec", n)?;
+        let cores = nr.usize("cores")?;
+        let cores = u32::try_from(cores).ok().filter(|&c| c > 0).ok_or(CodecError::Invalid {
+            ty: "NodeSpec",
+            msg: format!("bad core count {cores}"),
+        })?;
+        nodes.push(NodeSpec::new(nr.str("name")?.to_string(), cores));
+    }
+    Ok(PlatformSpec {
+        name: r.str("name")?.to_string(),
+        nodes,
+        page_cache_enabled: r.bool("page_cache_enabled")?,
+        nominal_wan_bw: r.f64("nominal_wan_bw")?,
+    })
+}
+
+fn workload_source_to_json(src: &WorkloadSource) -> Json {
+    match src {
+        WorkloadSource::Spec { spec, seed } => obj(vec![
+            ("kind", Json::Str("spec".to_string())),
+            ("seed", json_u64(*seed)),
+            ("spec", workload_spec_to_json(spec)),
+        ]),
+        WorkloadSource::Concrete(w) => obj(vec![
+            ("kind", Json::Str("concrete".to_string())),
+            (
+                "jobs",
+                Json::Arr(
+                    w.jobs
+                        .iter()
+                        .map(|j| {
+                            obj(vec![
+                                (
+                                    "files",
+                                    Json::Arr(
+                                        j.input_files.iter().map(|f| json_f64(f.size)).collect(),
+                                    ),
+                                ),
+                                ("flops_per_byte", json_f64(j.flops_per_byte)),
+                                ("output_bytes", json_f64(j.output_bytes)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    }
+}
+
+fn workload_source_from_json(json: &Json) -> Result<WorkloadSource, CodecError> {
+    let r = ObjReader::new("WorkloadSource", json)?;
+    match r.str("kind")? {
+        "spec" => Ok(WorkloadSource::Spec {
+            spec: workload_spec_from_json(r.req("spec")?)?,
+            seed: r.u64("seed")?,
+        }),
+        "concrete" => {
+            let mut jobs = Vec::new();
+            for j in r.arr("jobs")? {
+                let jr = ObjReader::new("JobSpec", j)?;
+                let sizes = jr.f64_arr("files")?;
+                if sizes.is_empty() {
+                    return Err(CodecError::Invalid {
+                        ty: "JobSpec",
+                        msg: "job has no input files".to_string(),
+                    });
+                }
+                let mut input_files = Vec::with_capacity(sizes.len());
+                for size in sizes {
+                    if !(size.is_finite() && size > 0.0) {
+                        return Err(CodecError::Invalid {
+                            ty: "JobSpec",
+                            msg: format!("bad file size {size}"),
+                        });
+                    }
+                    input_files.push(simcal_workload::FileSpec::new(size));
+                }
+                let flops_per_byte = jr.f64("flops_per_byte")?;
+                let output_bytes = jr.f64("output_bytes")?;
+                if !(flops_per_byte.is_finite()
+                    && flops_per_byte >= 0.0
+                    && output_bytes.is_finite()
+                    && output_bytes >= 0.0)
+                {
+                    return Err(CodecError::Invalid {
+                        ty: "JobSpec",
+                        msg: "negative or non-finite volume".to_string(),
+                    });
+                }
+                jobs.push(JobSpec { input_files, flops_per_byte, output_bytes });
+            }
+            if jobs.is_empty() {
+                return Err(CodecError::Invalid {
+                    ty: "WorkloadSource",
+                    msg: "concrete workload has no jobs".to_string(),
+                });
+            }
+            Ok(WorkloadSource::Concrete(Arc::new(Workload::new(jobs))))
+        }
+        other => Err(CodecError::Invalid {
+            ty: "WorkloadSource",
+            msg: format!("unknown kind {other:?}"),
+        }),
+    }
+}
+
+fn workload_spec_to_json(spec: &WorkloadSpec) -> Json {
+    obj(vec![
+        ("n_jobs", Json::Num(spec.n_jobs as f64)),
+        ("files_per_job", Json::Num(spec.files_per_job as f64)),
+        ("file_size", distribution_to_json(&spec.file_size)),
+        ("flops_per_byte", distribution_to_json(&spec.flops_per_byte)),
+        ("output_bytes", distribution_to_json(&spec.output_bytes)),
+    ])
+}
+
+fn workload_spec_from_json(json: &Json) -> Result<WorkloadSpec, CodecError> {
+    let r = ObjReader::new("WorkloadSpec", json)?;
+    Ok(WorkloadSpec {
+        n_jobs: r.usize("n_jobs")?,
+        files_per_job: r.usize("files_per_job")?,
+        file_size: distribution_from_json(r.req("file_size")?)?,
+        flops_per_byte: distribution_from_json(r.req("flops_per_byte")?)?,
+        output_bytes: distribution_from_json(r.req("output_bytes")?)?,
+    })
+}
+
+fn distribution_to_json(d: &Distribution) -> Json {
+    match *d {
+        Distribution::Constant(value) => {
+            obj(vec![("dist", Json::Str("constant".into())), ("value", json_f64(value))])
+        }
+        Distribution::Uniform { lo, hi } => obj(vec![
+            ("dist", Json::Str("uniform".into())),
+            ("lo", json_f64(lo)),
+            ("hi", json_f64(hi)),
+        ]),
+        Distribution::Normal { mean, std_dev, floor } => obj(vec![
+            ("dist", Json::Str("normal".into())),
+            ("mean", json_f64(mean)),
+            ("std_dev", json_f64(std_dev)),
+            ("floor", json_f64(floor)),
+        ]),
+        Distribution::LogNormal { mu, sigma } => obj(vec![
+            ("dist", Json::Str("log_normal".into())),
+            ("mu", json_f64(mu)),
+            ("sigma", json_f64(sigma)),
+        ]),
+        Distribution::Exponential { rate } => {
+            obj(vec![("dist", Json::Str("exponential".into())), ("rate", json_f64(rate))])
+        }
+    }
+}
+
+fn distribution_from_json(json: &Json) -> Result<Distribution, CodecError> {
+    let r = ObjReader::new("Distribution", json)?;
+    match r.str("dist")? {
+        "constant" => Ok(Distribution::Constant(r.f64("value")?)),
+        "uniform" => Ok(Distribution::Uniform { lo: r.f64("lo")?, hi: r.f64("hi")? }),
+        "normal" => Ok(Distribution::Normal {
+            mean: r.f64("mean")?,
+            std_dev: r.f64("std_dev")?,
+            floor: r.f64("floor")?,
+        }),
+        "log_normal" => Ok(Distribution::LogNormal { mu: r.f64("mu")?, sigma: r.f64("sigma")? }),
+        "exponential" => Ok(Distribution::Exponential { rate: r.f64("rate")? }),
+        other => {
+            Err(CodecError::Invalid { ty: "Distribution", msg: format!("unknown dist {other:?}") })
+        }
+    }
+}
+
+fn cache_spec_to_json(c: &CacheSpec) -> Json {
+    obj(vec![("icd", json_f64(c.icd)), ("seed", c.seed.map_or(Json::Null, json_u64))])
+}
+
+fn cache_spec_from_json(json: &Json) -> Result<CacheSpec, CodecError> {
+    let r = ObjReader::new("CacheSpec", json)?;
+    let seed = match r.req("seed")? {
+        Json::Null => None,
+        v => Some(json_to_u64(v).ok_or(CodecError::WrongType {
+            ty: "CacheSpec",
+            field: "seed",
+            expected: "u64 or null",
+        })?),
+    };
+    Ok(CacheSpec { icd: r.f64("icd")?, seed })
+}
+
+/// Encode a [`SimConfig`] as a JSON value (public so result payloads and
+/// manifests can embed configurations).
+pub fn sim_config_to_json(c: &SimConfig) -> Json {
+    obj(vec![
+        (
+            "hardware",
+            obj(vec![
+                ("core_speed", json_f64(c.hardware.core_speed)),
+                ("disk_bw", json_f64(c.hardware.disk_bw)),
+                ("page_cache_bw", json_f64(c.hardware.page_cache_bw)),
+                ("lan_bw", json_f64(c.hardware.lan_bw)),
+                ("wan_bw", json_f64(c.hardware.wan_bw)),
+                ("remote_storage_bw", json_f64(c.hardware.remote_storage_bw)),
+                ("disk_contention_alpha", json_f64(c.hardware.disk_contention_alpha)),
+                ("wan_latency", json_f64(c.hardware.wan_latency)),
+                ("disk_latency", json_f64(c.hardware.disk_latency)),
+            ]),
+        ),
+        (
+            "granularity",
+            obj(vec![
+                ("block_size", json_f64(c.granularity.block_size)),
+                ("buffer_size", json_f64(c.granularity.buffer_size)),
+            ]),
+        ),
+        ("per_connection_cap", c.per_connection_cap.map_or(Json::Null, json_f64)),
+        ("cache_write_through", Json::Bool(c.cache_write_through)),
+        (
+            "noise",
+            obj(vec![
+                (
+                    "compute_factors",
+                    Json::Arr(c.noise.compute_factors.iter().map(|&f| json_f64(f)).collect()),
+                ),
+                ("read_jitter_sigma", json_f64(c.noise.read_jitter_sigma)),
+                ("seed", json_u64(c.noise.seed)),
+            ]),
+        ),
+        ("scheduler", Json::Str(c.scheduler.label().to_string())),
+    ])
+}
+
+/// Decode a [`SimConfig`] from its JSON value form.
+pub fn sim_config_from_json(json: &Json) -> Result<SimConfig, CodecError> {
+    let r = ObjReader::new("SimConfig", json)?;
+    let h = ObjReader::new("HardwareParams", r.req("hardware")?)?;
+    let hardware = simcal_platform::HardwareParams {
+        core_speed: h.f64("core_speed")?,
+        disk_bw: h.f64("disk_bw")?,
+        page_cache_bw: h.f64("page_cache_bw")?,
+        lan_bw: h.f64("lan_bw")?,
+        wan_bw: h.f64("wan_bw")?,
+        remote_storage_bw: h.f64("remote_storage_bw")?,
+        disk_contention_alpha: h.f64("disk_contention_alpha")?,
+        wan_latency: h.f64("wan_latency")?,
+        disk_latency: h.f64("disk_latency")?,
+    };
+    let g = ObjReader::new("XRootDConfig", r.req("granularity")?)?;
+    let block_size = g.f64("block_size")?;
+    let buffer_size = g.f64("buffer_size")?;
+    if !(block_size.is_finite() && block_size > 0.0 && buffer_size.is_finite() && buffer_size > 0.0)
+        || buffer_size > block_size
+    {
+        return Err(CodecError::Invalid {
+            ty: "XRootDConfig",
+            msg: format!("invalid granularity B={block_size} b={buffer_size}"),
+        });
+    }
+    let per_connection_cap = match r.req("per_connection_cap")? {
+        Json::Null => None,
+        v => Some(json_to_f64(v).ok_or(CodecError::WrongType {
+            ty: "SimConfig",
+            field: "per_connection_cap",
+            expected: "number or null",
+        })?),
+    };
+    let n = ObjReader::new("NoiseConfig", r.req("noise")?)?;
+    let noise = NoiseConfig {
+        compute_factors: n.f64_arr("compute_factors")?,
+        read_jitter_sigma: n.f64("read_jitter_sigma")?,
+        seed: n.u64("seed")?,
+    };
+    let label = r.str("scheduler")?;
+    let scheduler = SchedulerPolicy::parse(label).ok_or(CodecError::Invalid {
+        ty: "SimConfig",
+        msg: format!("unknown scheduler policy {label:?}"),
+    })?;
+    Ok(SimConfig {
+        hardware,
+        granularity: simcal_storage::XRootDConfig::new(block_size, buffer_size),
+        per_connection_cap,
+        cache_write_through: r.bool("cache_write_through")?,
+        noise,
+        scheduler,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ScenarioRegistry;
+
+    #[test]
+    fn json_parser_round_trips_core_shapes() {
+        for text in [
+            r#"{"a":1,"b":[true,false,null],"c":"x\ny \"q\" é"}"#,
+            "[]",
+            "{}",
+            "[1.5,-2,1e10,0.001]",
+            r#""😀""#, // surrogate pair (emoji)
+        ] {
+            let v = Json::parse(text).unwrap();
+            let w = Json::parse(&v.write()).unwrap();
+            assert_eq!(v, w, "for {text}");
+        }
+    }
+
+    #[test]
+    fn json_parser_rejects_malformed_text() {
+        for text in ["{", "[1,", "tru", "\"unterminated", "{\"a\" 1}", "1 2", "{\"a\":}"] {
+            assert!(
+                matches!(Json::parse(text), Err(CodecError::Parse { .. })),
+                "{text:?} should not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_a_parse_error_not_a_stack_overflow() {
+        let deep = "[".repeat(100_000);
+        assert!(matches!(Json::parse(&deep), Err(CodecError::Parse { .. })));
+        let deep_objs = "{\"a\":".repeat(100_000);
+        assert!(matches!(Json::parse(&deep_objs), Err(CodecError::Parse { .. })));
+        // Reasonable nesting (well under the limit) still parses.
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for v in [0.0, -0.0, 1.5, 427e6, 1e-300, f64::MIN_POSITIVE, 0.1 + 0.2] {
+            let enc = json_f64(v).write();
+            let dec = json_to_f64(&Json::parse(&enc).unwrap()).unwrap();
+            assert_eq!(v.to_bits(), dec.to_bits(), "{v} -> {enc}");
+        }
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let enc = json_f64(v).write();
+            let dec = json_to_f64(&Json::parse(&enc).unwrap()).unwrap();
+            assert_eq!(v.to_bits(), dec.to_bits(), "{v} -> {enc}");
+        }
+    }
+
+    #[test]
+    fn u64_round_trips_beyond_53_bits() {
+        let v = 0xDEAD_BEEF_CAFE_F00Du64;
+        let enc = json_u64(v).write();
+        assert_eq!(json_to_u64(&Json::parse(&enc).unwrap()), Some(v));
+    }
+
+    #[test]
+    fn every_registry_scenario_round_trips() {
+        for reg in [ScenarioRegistry::builtin(), ScenarioRegistry::reduced()] {
+            for e in reg.entries() {
+                let text = encode_scenario(&e.scenario);
+                let back = decode_scenario(&text).expect("decode");
+                assert_eq!(back, e.scenario, "{}", e.scenario.name);
+                assert_eq!(encode_scenario(&back), text, "{}: re-encode", e.scenario.name);
+            }
+        }
+    }
+
+    #[test]
+    fn concrete_workload_round_trips() {
+        let w = Arc::new(WorkloadSpec::constant(3, 2, 1e6, 6.0, 1e5).generate(1));
+        let sc = Scenario {
+            name: "concrete".into(),
+            platform: simcal_platform::catalog::scsn(),
+            workload: WorkloadSource::Concrete(w),
+            cache: CacheSpec::seeded(0.25, 99),
+            config: SimConfig::default(),
+        };
+        let back = decode_scenario(&encode_scenario(&sc)).unwrap();
+        assert_eq!(back, sc);
+    }
+
+    #[test]
+    fn missing_field_is_a_structured_error() {
+        let sc = ScenarioRegistry::reduced().scenarios().remove(0);
+        let mut json = scenario_to_json(&sc);
+        json.fields_mut().unwrap().retain(|(k, _)| k != "name");
+        assert_eq!(
+            scenario_from_json(&json),
+            Err(CodecError::MissingField { ty: "Scenario", field: "name" })
+        );
+    }
+
+    #[test]
+    fn unknown_fields_and_newer_versions_are_tolerated() {
+        let sc = ScenarioRegistry::reduced().scenarios().remove(0);
+        let mut json = scenario_to_json(&sc);
+        let fields = json.fields_mut().unwrap();
+        for (k, v) in fields.iter_mut() {
+            if k == "v" {
+                *v = Json::Num(2.0);
+            }
+        }
+        fields.push(("future_knob".to_string(), Json::Str("ignored".to_string())));
+        assert_eq!(scenario_from_json(&json).unwrap(), sc);
+    }
+
+    #[test]
+    fn version_zero_is_rejected() {
+        let sc = ScenarioRegistry::reduced().scenarios().remove(0);
+        let mut json = scenario_to_json(&sc);
+        for (k, v) in json.fields_mut().unwrap().iter_mut() {
+            if k == "v" {
+                *v = Json::Num(0.0);
+            }
+        }
+        assert_eq!(
+            scenario_from_json(&json),
+            Err(CodecError::UnsupportedVersion { ty: "Scenario", version: 0 })
+        );
+    }
+
+    #[test]
+    fn decoding_garbage_reports_not_panics() {
+        assert!(decode_scenario("not json").is_err());
+        assert!(decode_scenario("[]").is_err());
+        assert!(decode_scenario("{\"v\":1}").is_err());
+        // A structurally-valid payload with a semantically bad value.
+        let sc = ScenarioRegistry::reduced().scenarios().remove(0);
+        let text = encode_scenario(&sc).replace("\"first-free\"", "\"no-such-policy\"");
+        assert!(matches!(decode_scenario(&text), Err(CodecError::Invalid { .. })));
+    }
+}

@@ -45,6 +45,7 @@
 //! assert_eq!(trace.jobs.len(), 6);
 //! ```
 
+pub mod codec;
 pub mod config;
 pub mod jobrun;
 pub mod registry;
@@ -55,6 +56,7 @@ pub mod simulator;
 pub mod tags;
 pub mod validate;
 
+pub use codec::{decode_scenario, encode_scenario, CodecError, Json};
 pub use config::{NoiseConfig, SimConfig};
 pub use registry::{ScenarioEntry, ScenarioRegistry};
 pub use resources::PlatformResources;

@@ -113,12 +113,26 @@ impl ScenarioRegistry {
         self.entries.iter().find(|e| e.scenario.name == name).map(|e| &e.scenario)
     }
 
-    /// Entries whose name or family contains `pat` (empty = all).
+    /// Entries whose name or family matches `pat` (empty = all).
+    ///
+    /// Matching is case-insensitive. A plain pattern is a substring match;
+    /// a pattern with a trailing `*` is a prefix glob (`"cms-*"` matches
+    /// every paper scenario, but not `"xcms-scsn"`).
     pub fn matching(&self, pat: &str) -> Vec<&ScenarioEntry> {
-        self.entries
-            .iter()
-            .filter(|e| e.scenario.name.contains(pat) || e.family.contains(pat))
-            .collect()
+        let lowered = pat.to_lowercase();
+        let (needle, prefix_glob) = match lowered.strip_suffix('*') {
+            Some(prefix) => (prefix, true),
+            None => (lowered.as_str(), false),
+        };
+        let hit = |hay: &str| {
+            let hay = hay.to_lowercase();
+            if prefix_glob {
+                hay.starts_with(needle)
+            } else {
+                hay.contains(needle)
+            }
+        };
+        self.entries.iter().filter(|e| hit(&e.scenario.name) || hit(e.family)).collect()
     }
 
     /// Clone the registered scenarios into a flat sweepable grid.
@@ -475,6 +489,28 @@ mod tests {
         assert_eq!(reg.matching("straggler").len(), 3);
         assert_eq!(reg.matching("cms-fcfn").len(), 1);
         assert_eq!(reg.matching("").len(), reg.len());
+    }
+
+    #[test]
+    fn matching_is_case_insensitive() {
+        let reg = ScenarioRegistry::builtin();
+        assert_eq!(reg.matching("STRAGGLER").len(), 3);
+        assert_eq!(reg.matching("Cms-Fcfn").len(), 1);
+        assert_eq!(reg.matching("HeTeRo").len(), 4);
+    }
+
+    #[test]
+    fn trailing_star_is_a_prefix_glob() {
+        let reg = ScenarioRegistry::builtin();
+        // "cms-*" prefix-matches the four paper scenarios by name.
+        assert_eq!(reg.matching("cms-*").len(), 4);
+        // Plain "cms" also substring-matches nothing extra here, but a
+        // mid-name fragment shows the difference: "cache*" matches the
+        // family prefix while "*-less" style infixes need no glob.
+        assert_eq!(reg.matching("eepcache*").len(), 0, "glob anchors at the start");
+        assert!(!reg.matching("eepcache").is_empty(), "substring match still works");
+        // "*" alone matches everything.
+        assert_eq!(reg.matching("*").len(), reg.len());
     }
 
     #[test]

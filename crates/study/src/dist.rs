@@ -1,0 +1,890 @@
+//! Multi-process distributed sweep execution over a spooled file queue.
+//!
+//! The distributed tier of the two-tier sweep stack: a **coordinator**
+//! serializes a scenario grid into a spool directory (one encoded
+//! [`Scenario`] per claimable task file), any number of **worker
+//! processes** on a shared filesystem steal tasks by atomic rename and run
+//! them through the ordinary in-process [`SweepRunner`] (pooled
+//! [`SimSession`](simcal_sim::SimSession)s and all), and a **merge** step
+//! reassembles the spooled [`SweepResult`]s in grid order.
+//!
+//! ## Spool layout and claim protocol
+//!
+//! ```text
+//! spool/
+//!   manifest.json          {"v":1,"names":[...]}      written last
+//!   tasks/task-00007.json  {"v":1,"index":7,"scenario":{...}}
+//!   claimed/task-00007.json  a task some worker owns
+//!   results/result-00007.json {"v":1,"index":7,"sum":"<fnv>","result":{...}}
+//! ```
+//!
+//! A worker claims `tasks/task-N.json` by renaming it into `claimed/`.
+//! `rename(2)` is atomic on a POSIX filesystem, so exactly one claimer
+//! succeeds; the losers see `ENOENT` and move to the next entry. Results
+//! are written to a temp name and renamed into `results/`, so readers
+//! never observe a torn file; each result record carries an FNV-1a
+//! checksum over its encoded payload that the merge step re-verifies.
+//!
+//! ## Determinism
+//!
+//! Scenarios are self-deterministic and the workers run the same pooled
+//! session machinery as the in-process sweep, so the merged result vector
+//! is **bit-identical to a single-process [`SweepRunner::run`]** at any
+//! (worker process × thread) count — the oracle tests in
+//! `crates/exp/tests/distributed.rs` assert byte-equal CSVs for 1/2/3
+//! processes.
+//!
+//! ## Failure handling
+//!
+//! Workers write each result **as its task completes**, so a worker that
+//! dies mid-drain loses only its in-flight tasks; finished ones stay on
+//! disk. After all spawned workers exit, the coordinator **requeues**
+//! every claimed-but-unfinished task (renames it back into `tasks/`) and
+//! drains the queue itself, so a crashed worker degrades throughput,
+//! never correctness. Externally-attached workers still computing get a
+//! short progress-aware grace window before the merge fails loudly
+//! ([`DistError::Incomplete`]) on missing results. Spool directories are
+//! single-use: spooling refuses a directory with any leftover sweep
+//! state, manifest or not.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command};
+
+use parking_lot::Mutex;
+
+use simcal_sim::codec::{
+    check_version, json_f64, json_u64, obj, scenario_from_json, scenario_to_json, CodecError, Json,
+    ObjReader, CODEC_VERSION,
+};
+use simcal_sim::Scenario;
+
+use crate::sweep::{Claimed, ShardSource, SweepResult, SweepRunner};
+
+/// A distributed-sweep failure.
+#[derive(Debug)]
+pub enum DistError {
+    /// Filesystem operation failed.
+    Io {
+        /// The path being operated on.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A spool file failed to decode.
+    Codec {
+        /// The offending file.
+        path: PathBuf,
+        /// The codec error.
+        source: CodecError,
+    },
+    /// The driver was misconfigured (e.g. spawn > 0 with no worker
+    /// command).
+    Config(String),
+    /// The spool directory already holds sweep state (a manifest, or
+    /// leftover task/claim/result files from a crashed attempt).
+    SpoolInUse(PathBuf),
+    /// A spool file decoded but is inconsistent (bad checksum, result for
+    /// an unknown task, name mismatch against the manifest).
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// What is wrong with it.
+        msg: String,
+    },
+    /// The merge found tasks with no result (workers died and recovery
+    /// also failed).
+    Incomplete {
+        /// Grid indices with no result.
+        missing: Vec<usize>,
+        /// How many spawned workers exited unsuccessfully.
+        failed_workers: usize,
+    },
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            DistError::Codec { path, source } => write!(f, "{}: {source}", path.display()),
+            DistError::Config(msg) => write!(f, "distributed sweep misconfigured: {msg}"),
+            DistError::SpoolInUse(p) => {
+                write!(
+                    f,
+                    "spool {} already holds sweep state (a manifest or leftover task/claim/result \
+                     files); point the coordinator at a fresh directory",
+                    p.display()
+                )
+            }
+            DistError::Corrupt { path, msg } => write!(f, "{}: {msg}", path.display()),
+            DistError::Incomplete { missing, failed_workers } => write!(
+                f,
+                "{} task(s) produced no result (indices {:?}; {} worker process(es) failed)",
+                missing.len(),
+                missing,
+                failed_workers
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DistError::Io { source, .. } => Some(source),
+            DistError::Codec { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+fn io_err(path: &Path, source: std::io::Error) -> DistError {
+    DistError::Io { path: path.to_path_buf(), source }
+}
+
+// Re-exported so spool users keep one import path for the checksum hash.
+pub use crate::sweep::fnv1a;
+
+// ---- SweepResult codec ----------------------------------------------------
+
+/// Encode a [`SweepResult`] as a versioned JSON payload.
+pub fn encode_sweep_result(r: &SweepResult) -> String {
+    sweep_result_to_json(r).write()
+}
+
+/// Decode a [`SweepResult`] payload (unknown fields ignored, missing
+/// fields are structured errors).
+pub fn decode_sweep_result(text: &str) -> Result<SweepResult, CodecError> {
+    sweep_result_from_json(&Json::parse(text)?)
+}
+
+fn sweep_result_to_json(r: &SweepResult) -> Json {
+    obj(vec![
+        ("v", Json::Num(CODEC_VERSION as f64)),
+        ("name", Json::Str(r.name.clone())),
+        ("makespan", json_f64(r.makespan)),
+        ("mean_job_time", json_f64(r.mean_job_time)),
+        ("node_means", Json::Arr(r.node_means.iter().map(|&v| json_f64(v)).collect())),
+        ("node_stds", Json::Arr(r.node_stds.iter().map(|&v| json_f64(v)).collect())),
+        ("events", json_u64(r.events)),
+        ("trace_hash", Json::Str(format!("{:016x}", r.trace_hash))),
+        ("wall_seconds", json_f64(r.wall_seconds)),
+    ])
+}
+
+fn sweep_result_from_json(json: &Json) -> Result<SweepResult, CodecError> {
+    let r = ObjReader::new("SweepResult", json)?;
+    check_version("SweepResult", &r)?;
+    let hash_text = r.str("trace_hash")?;
+    let trace_hash = u64::from_str_radix(hash_text, 16).map_err(|_| CodecError::Invalid {
+        ty: "SweepResult",
+        msg: format!("bad trace hash {hash_text:?}"),
+    })?;
+    Ok(SweepResult {
+        name: r.str("name")?.to_string(),
+        makespan: r.f64("makespan")?,
+        mean_job_time: r.f64("mean_job_time")?,
+        node_means: r.f64_arr("node_means")?,
+        node_stds: r.f64_arr("node_stds")?,
+        events: r.u64("events")?,
+        trace_hash,
+        wall_seconds: r.f64("wall_seconds")?,
+    })
+}
+
+// ---- spool primitives -----------------------------------------------------
+
+fn tasks_dir(spool: &Path) -> PathBuf {
+    spool.join("tasks")
+}
+
+fn claimed_dir(spool: &Path) -> PathBuf {
+    spool.join("claimed")
+}
+
+fn results_dir(spool: &Path) -> PathBuf {
+    spool.join("results")
+}
+
+fn manifest_path(spool: &Path) -> PathBuf {
+    spool.join("manifest.json")
+}
+
+fn task_file_name(index: usize) -> String {
+    format!("task-{index:05}.json")
+}
+
+fn result_path(spool: &Path, index: usize) -> PathBuf {
+    results_dir(spool).join(format!("result-{index:05}.json"))
+}
+
+/// Write `text` to a temp name in `spool` and atomically rename it to
+/// `target`, so concurrent readers never see a torn file.
+fn write_atomic(spool: &Path, target: &Path, text: &str) -> Result<(), DistError> {
+    let tmp = spool.join(format!(
+        ".tmp-{}-{}",
+        std::process::id(),
+        target.file_name().and_then(|n| n.to_str()).unwrap_or("file")
+    ));
+    std::fs::write(&tmp, text).map_err(|e| io_err(&tmp, e))?;
+    std::fs::rename(&tmp, target).map_err(|e| io_err(target, e))
+}
+
+/// Serialize a scenario grid into a fresh spool directory: the claimable
+/// per-scenario task files first, the manifest last (workers may treat the
+/// manifest's existence as "the spool is fully written").
+///
+/// Refuses a spool that already holds sweep state — a manifest, *or* any
+/// leftover task/claim/result file (e.g. from a previous coordinator that
+/// crashed before writing its manifest): stale task files would be
+/// claimable by this sweep's workers and poison its merge.
+pub fn spool_tasks(spool: &Path, grid: &[Scenario]) -> Result<(), DistError> {
+    if manifest_path(spool).exists() {
+        return Err(DistError::SpoolInUse(spool.to_path_buf()));
+    }
+    for dir in [tasks_dir(spool), claimed_dir(spool), results_dir(spool)] {
+        std::fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+        let mut entries = std::fs::read_dir(&dir).map_err(|e| io_err(&dir, e))?;
+        if entries.next().is_some() {
+            return Err(DistError::SpoolInUse(spool.to_path_buf()));
+        }
+    }
+    let manifest = manifest_path(spool);
+    for (index, sc) in grid.iter().enumerate() {
+        let record = obj(vec![
+            ("v", Json::Num(CODEC_VERSION as f64)),
+            ("index", Json::Num(index as f64)),
+            ("scenario", scenario_to_json(sc)),
+        ]);
+        let target = tasks_dir(spool).join(task_file_name(index));
+        write_atomic(spool, &target, &record.write())?;
+    }
+    let names = Json::Arr(grid.iter().map(|sc| Json::Str(sc.name.clone())).collect());
+    let record = obj(vec![("v", Json::Num(CODEC_VERSION as f64)), ("names", names)]);
+    write_atomic(spool, &manifest, &record.write())
+}
+
+/// Read the spool manifest back: the grid's scenario names in order.
+pub fn read_manifest(spool: &Path) -> Result<Vec<String>, DistError> {
+    let path = manifest_path(spool);
+    let text = std::fs::read_to_string(&path).map_err(|e| io_err(&path, e))?;
+    let json =
+        Json::parse(&text).map_err(|source| DistError::Codec { path: path.clone(), source })?;
+    let to_codec = |source| DistError::Codec { path: path.clone(), source };
+    let r = ObjReader::new("Manifest", &json).map_err(to_codec)?;
+    check_version("Manifest", &r).map_err(to_codec)?;
+    let names = r.arr("names").map_err(to_codec)?;
+    names
+        .iter()
+        .map(|n| match n {
+            Json::Str(s) => Ok(s.clone()),
+            _ => Err(DistError::Corrupt {
+                path: path.clone(),
+                msg: "manifest names must be strings".to_string(),
+            }),
+        })
+        .collect()
+}
+
+/// The spooled [`ShardSource`]: claims task files by atomic rename into
+/// `claimed/`, decodes them, and hands them to the sweep workers one at a
+/// time (the finest stealing granularity). I/O and decode failures poison
+/// the source — it stops claiming and reports via
+/// [`finish`](SpoolSource::finish).
+///
+/// Candidate names are cached per source: the tasks directory is listed
+/// once per refill, not once per claim (a claim's rename either wins or
+/// learns the file is gone — no relisting needed), so a whole drain costs
+/// O(tasks) directory scans across all of a worker's threads instead of
+/// O(tasks²).
+pub struct SpoolSource {
+    spool: PathBuf,
+    /// Locally-cached unclaimed candidates (popped back-to-front).
+    queue: Mutex<Vec<String>>,
+    error: Mutex<Option<DistError>>,
+}
+
+impl SpoolSource {
+    /// A source over an existing spool directory.
+    pub fn open(spool: impl Into<PathBuf>) -> Self {
+        Self { spool: spool.into(), queue: Mutex::new(Vec::new()), error: Mutex::new(None) }
+    }
+
+    /// Surface any I/O or decode failure recorded during claiming.
+    pub fn finish(self) -> Result<(), DistError> {
+        match self.error.into_inner() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn poison(&self, e: DistError) {
+        let mut slot = self.error.lock();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    }
+
+    /// List the currently-unclaimed task file names, sorted.
+    fn pending(&self) -> Result<Vec<String>, DistError> {
+        let dir = tasks_dir(&self.spool);
+        let entries = std::fs::read_dir(&dir).map_err(|e| io_err(&dir, e))?;
+        let mut names = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err(&dir, e))?;
+            if let Some(name) = entry.file_name().to_str() {
+                if name.starts_with("task-") && name.ends_with(".json") {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        names.sort_unstable();
+        Ok(names)
+    }
+
+    /// Pop the next candidate name, refilling the cache from the tasks
+    /// directory when it runs dry. `None` when the directory really is
+    /// empty. A candidate that loses its claim race is simply dropped —
+    /// its file moved out of `tasks/`, so a refill never resurrects it.
+    fn next_candidate(&self) -> Result<Option<String>, DistError> {
+        let mut queue = self.queue.lock();
+        if queue.is_empty() {
+            let mut names = self.pending()?;
+            if names.is_empty() {
+                return Ok(None);
+            }
+            // Rotate by a process-specific offset so co-located workers
+            // don't all fight over the same lowest-numbered file, then
+            // reverse: candidates pop from the back.
+            let offset = std::process::id() as usize % names.len();
+            names.rotate_left(offset);
+            names.reverse();
+            *queue = names;
+        }
+        Ok(queue.pop())
+    }
+
+    fn try_claim(&self) -> Result<Option<(usize, Scenario)>, DistError> {
+        while let Some(name) = self.next_candidate()? {
+            let from = tasks_dir(&self.spool).join(&name);
+            let to = claimed_dir(&self.spool).join(&name);
+            match std::fs::rename(&from, &to) {
+                Ok(()) => {
+                    let text = match std::fs::read_to_string(&to) {
+                        Ok(text) => text,
+                        // A coordinator's requeue can move our claim back
+                        // into tasks/ between the rename and this read (it
+                        // cannot tell a slow worker from a dead one). The
+                        // task isn't lost — it is back in the queue for
+                        // whoever claims it next — so treat it like a
+                        // lost race, not an error.
+                        Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                        Err(e) => return Err(io_err(&to, e)),
+                    };
+                    let json = Json::parse(&text)
+                        .map_err(|source| DistError::Codec { path: to.clone(), source })?;
+                    let to_codec = |source| DistError::Codec { path: to.clone(), source };
+                    let r = ObjReader::new("Task", &json).map_err(to_codec)?;
+                    check_version("Task", &r).map_err(to_codec)?;
+                    let index = r.usize("index").map_err(to_codec)?;
+                    let sc = scenario_from_json(r.req("scenario").map_err(to_codec)?)
+                        .map_err(to_codec)?;
+                    return Ok(Some((index, sc)));
+                }
+                // Another worker stole it between listing and rename.
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(io_err(&from, e)),
+            }
+        }
+        Ok(None)
+    }
+}
+
+impl ShardSource for SpoolSource {
+    fn claim(&self) -> Option<Vec<Claimed<'_>>> {
+        if self.error.lock().is_some() {
+            return None;
+        }
+        match self.try_claim() {
+            Ok(Some((index, sc))) => Some(vec![Claimed::Owned(index, Box::new(sc))]),
+            Ok(None) => None,
+            Err(e) => {
+                self.poison(e);
+                None
+            }
+        }
+    }
+}
+
+/// Drain a spool as one worker process: claim tasks until the queue is
+/// empty, run each on the in-process [`SweepRunner`] with `threads`
+/// workers, and write one checksummed result file **as each task
+/// completes** — a worker killed mid-drain loses only its in-flight
+/// tasks, never finished ones. Returns the number of tasks this worker
+/// completed.
+///
+/// This is what the hidden `sweep-worker` CLI subcommand runs; the
+/// coordinator also calls it to participate in its own sweep.
+pub fn run_worker(spool: &Path, threads: usize) -> Result<usize, DistError> {
+    let source = SpoolSource::open(spool);
+    let runner = SweepRunner::new().with_workers(threads.max(1));
+    let write_error: Mutex<Option<DistError>> = Mutex::new(None);
+    let tagged = runner.run_source_each(&source, |index, result| {
+        if let Err(e) = write_result(spool, index, result) {
+            let mut slot = write_error.lock();
+            if slot.is_none() {
+                *slot = Some(e);
+            }
+        }
+    });
+    source.finish()?;
+    if let Some(e) = write_error.into_inner() {
+        return Err(e);
+    }
+    Ok(tagged.len())
+}
+
+/// Write one result record (atomic rename; payload checksummed).
+fn write_result(spool: &Path, index: usize, result: &SweepResult) -> Result<(), DistError> {
+    let payload = sweep_result_to_json(result).write();
+    let record = obj(vec![
+        ("v", Json::Num(CODEC_VERSION as f64)),
+        ("index", Json::Num(index as f64)),
+        ("sum", Json::Str(format!("{:016x}", fnv1a(payload.as_bytes())))),
+        ("result", Json::parse(&payload).expect("just encoded")),
+    ]);
+    write_atomic(spool, &result_path(spool, index), &record.write())
+}
+
+/// Requeue claimed-but-unfinished tasks (a crashed worker's leftovers):
+/// every file in `claimed/` whose result is missing is renamed back into
+/// `tasks/`. Returns how many tasks were requeued. Only safe once no
+/// worker is running.
+pub fn requeue_orphans(spool: &Path) -> Result<usize, DistError> {
+    let dir = claimed_dir(spool);
+    let entries = std::fs::read_dir(&dir).map_err(|e| io_err(&dir, e))?;
+    let mut requeued = 0;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(&dir, e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(index) = name
+            .strip_prefix("task-")
+            .and_then(|s| s.strip_suffix(".json"))
+            .and_then(|s| s.parse::<usize>().ok())
+        else {
+            continue;
+        };
+        if result_path(spool, index).exists() {
+            // Finished: the claim file is just a tombstone.
+            continue;
+        }
+        let from = dir.join(name);
+        let to = tasks_dir(spool).join(name);
+        std::fs::rename(&from, &to).map_err(|e| io_err(&from, e))?;
+        requeued += 1;
+    }
+    Ok(requeued)
+}
+
+/// Reassemble the spooled results in grid order, verifying each record's
+/// FNV payload checksum and its scenario name against the manifest.
+pub fn merge_results(spool: &Path) -> Result<Vec<SweepResult>, DistError> {
+    merge_with_failures(spool, 0)
+}
+
+fn merge_with_failures(spool: &Path, failed_workers: usize) -> Result<Vec<SweepResult>, DistError> {
+    let names = read_manifest(spool)?;
+    let mut slots: Vec<Option<SweepResult>> = vec![None; names.len()];
+    let dir = results_dir(spool);
+    let entries = std::fs::read_dir(&dir).map_err(|e| io_err(&dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(&dir, e))?;
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).map_err(|e| io_err(&path, e))?;
+        let json =
+            Json::parse(&text).map_err(|source| DistError::Codec { path: path.clone(), source })?;
+        let to_codec = |source| DistError::Codec { path: path.clone(), source };
+        let r = ObjReader::new("ResultRecord", &json).map_err(to_codec)?;
+        check_version("ResultRecord", &r).map_err(to_codec)?;
+        let index = r.usize("index").map_err(to_codec)?;
+        if index >= names.len() {
+            return Err(DistError::Corrupt {
+                path,
+                msg: format!("result index {index} beyond the {}-task manifest", names.len()),
+            });
+        }
+        let payload = r.req("result").map_err(to_codec)?;
+        let sum_text = r.str("sum").map_err(to_codec)?;
+        let sum = u64::from_str_radix(sum_text, 16).map_err(|_| DistError::Corrupt {
+            path: path.clone(),
+            msg: format!("bad checksum {sum_text:?}"),
+        })?;
+        let actual = fnv1a(payload.write().as_bytes());
+        if actual != sum {
+            return Err(DistError::Corrupt {
+                path,
+                msg: format!("payload checksum {actual:016x} != recorded {sum:016x}"),
+            });
+        }
+        let result = sweep_result_from_json(payload).map_err(to_codec)?;
+        if result.name != names[index] {
+            return Err(DistError::Corrupt {
+                path,
+                msg: format!(
+                    "result names scenario {:?} but the manifest's task {index} is {:?}",
+                    result.name, names[index]
+                ),
+            });
+        }
+        slots[index] = Some(result);
+    }
+    let missing: Vec<usize> =
+        slots.iter().enumerate().filter(|(_, s)| s.is_none()).map(|(i, _)| i).collect();
+    if !missing.is_empty() {
+        return Err(DistError::Incomplete { missing, failed_workers });
+    }
+    Ok(slots.into_iter().map(|s| s.expect("missing checked above")).collect())
+}
+
+// ---- the coordinator ------------------------------------------------------
+
+/// The distributed sweep coordinator: spools the grid, spawns worker
+/// processes, participates in the drain itself, recovers crashed workers'
+/// claims, and merges the results.
+pub struct DistSweep {
+    spool: PathBuf,
+    spawn: usize,
+    threads: usize,
+    worker_cmd: Option<(PathBuf, Vec<String>)>,
+}
+
+impl DistSweep {
+    /// A coordinator over `spool` that drains the queue itself (no child
+    /// processes) with one thread.
+    pub fn new(spool: impl Into<PathBuf>) -> Self {
+        Self { spool: spool.into(), spawn: 0, threads: 1, worker_cmd: None }
+    }
+
+    /// Spawn `n` worker processes in addition to the coordinator's own
+    /// drain loop (requires [`with_worker_command`](Self::with_worker_command)
+    /// when `n > 0`).
+    pub fn with_spawn(mut self, n: usize) -> Self {
+        self.spawn = n;
+        self
+    }
+
+    /// Sweep threads per worker process (including the coordinator).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        self.threads = threads;
+        self
+    }
+
+    /// The command spawned worker processes run (typically the current
+    /// executable with the hidden `sweep-worker <SPOOL>` arguments).
+    pub fn with_worker_command(mut self, program: impl Into<PathBuf>, args: Vec<String>) -> Self {
+        self.worker_cmd = Some((program.into(), args));
+        self
+    }
+
+    /// Run the full coordinator protocol. The returned results are in
+    /// grid order and bit-identical to `SweepRunner::run(grid)`.
+    pub fn run(&self, grid: &[Scenario]) -> Result<Vec<SweepResult>, DistError> {
+        if grid.is_empty() {
+            return Ok(Vec::new());
+        }
+        spool_tasks(&self.spool, grid)?;
+        let mut children: Vec<Child> = Vec::new();
+        if self.spawn > 0 {
+            let (program, args) = self.worker_cmd.as_ref().ok_or_else(|| {
+                DistError::Config("spawn > 0 but no worker command configured".to_string())
+            })?;
+            for _ in 0..self.spawn {
+                let spawned = Command::new(program)
+                    .args(args)
+                    .stdin(std::process::Stdio::null())
+                    .spawn()
+                    .map_err(|e| io_err(program, e));
+                match spawned {
+                    Ok(child) => children.push(child),
+                    Err(e) => {
+                        reap_children(&mut children, true);
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        // The coordinator is a worker too: it steals from the same queue,
+        // so a sweep makes progress even if every child dies at exec.
+        // On ANY failure from here on the children must still be reaped
+        // (killed on the error path) — a zombie worker would keep
+        // mutating a spool directory the caller believes is settled.
+        if let Err(e) = run_worker(&self.spool, self.threads) {
+            reap_children(&mut children, true);
+            return Err(e);
+        }
+        let failed_workers = reap_children(&mut children, false);
+        // Recover tasks a dead worker claimed but never finished. Workers
+        // write results incrementally, so only in-flight tasks reappear.
+        if requeue_orphans(&self.spool)? > 0 {
+            run_worker(&self.spool, self.threads)?;
+        }
+        // Externally-attached workers (`sweep-worker` run by hand on the
+        // shared filesystem) may still be computing tasks they claimed:
+        // give missing results a progress-aware grace window before
+        // declaring the sweep incomplete. While a claim without a result
+        // exists the wait is generous (a scenario can legitimately take
+        // tens of seconds); with no claim in flight nothing can still be
+        // producing, so only a short settle window applies.
+        let mut last_done = count_results(&self.spool)?;
+        let mut idle_polls = 0u32;
+        let mut recovered = false;
+        loop {
+            match merge_with_failures(&self.spool, failed_workers) {
+                Err(DistError::Incomplete { .. }) => {
+                    let in_flight = unfinished_claims(&self.spool)?;
+                    let limit = if in_flight > 0 { 1200 } else { 80 }; // ~30 s vs ~2 s
+                    if idle_polls >= limit {
+                        if recovered {
+                            return merge_with_failures(&self.spool, failed_workers);
+                        }
+                        // Last resort: the claim holder is presumed dead
+                        // (no progress for the whole window) — requeue
+                        // its tasks and run them here, then merge once
+                        // more. If the holder was merely glacial it will
+                        // write an identical result; both outcomes merge.
+                        recovered = true;
+                        idle_polls = 0;
+                        if requeue_orphans(&self.spool)? > 0 {
+                            run_worker(&self.spool, self.threads)?;
+                        }
+                        continue;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(25));
+                    let done = count_results(&self.spool)?;
+                    if done > last_done {
+                        last_done = done;
+                        idle_polls = 0;
+                    } else {
+                        idle_polls += 1;
+                    }
+                }
+                outcome => return outcome,
+            }
+        }
+    }
+}
+
+/// Wait on every child (killing them first when `kill` is set — the
+/// coordinator is abandoning the sweep and must stop them mutating the
+/// spool). Returns how many exited unsuccessfully.
+fn reap_children(children: &mut Vec<Child>, kill: bool) -> usize {
+    let mut failed = 0;
+    for mut child in children.drain(..) {
+        if kill {
+            let _ = child.kill();
+        }
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            _ => failed += 1,
+        }
+    }
+    failed
+}
+
+/// Number of result files currently in the spool (progress signal for the
+/// coordinator's merge grace window).
+fn count_results(spool: &Path) -> Result<usize, DistError> {
+    let dir = results_dir(spool);
+    let entries = std::fs::read_dir(&dir).map_err(|e| io_err(&dir, e))?;
+    Ok(entries.filter_map(|e| e.ok()).count())
+}
+
+/// Number of claims whose result has not been written yet — tasks some
+/// worker (live or dead) holds in flight.
+fn unfinished_claims(spool: &Path) -> Result<usize, DistError> {
+    let dir = claimed_dir(spool);
+    let entries = std::fs::read_dir(&dir).map_err(|e| io_err(&dir, e))?;
+    let mut unfinished = 0;
+    for entry in entries.filter_map(|e| e.ok()) {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(index) = name
+            .strip_prefix("task-")
+            .and_then(|s| s.strip_suffix(".json"))
+            .and_then(|s| s.parse::<usize>().ok())
+        {
+            if !result_path(spool, index).exists() {
+                unfinished += 1;
+            }
+        }
+    }
+    Ok(unfinished)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcal_sim::ScenarioRegistry;
+
+    fn grid(n: usize) -> Vec<Scenario> {
+        ScenarioRegistry::reduced().scenarios().into_iter().take(n).collect()
+    }
+
+    fn fresh_spool(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("simcal-dist-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn fingerprints(rs: &[SweepResult]) -> Vec<(String, Vec<u64>, u64, u64)> {
+        rs.iter().map(SweepResult::fingerprint).collect()
+    }
+
+    #[test]
+    fn sweep_result_codec_round_trips_with_nan_nodes() {
+        let r = SweepResult {
+            name: "demo".to_string(),
+            makespan: 123.456,
+            mean_job_time: 7.89,
+            node_means: vec![1.0, f64::NAN, 3.0],
+            node_stds: vec![0.5, f64::NAN, f64::INFINITY],
+            events: u64::MAX - 3,
+            trace_hash: 0xDEAD_BEEF_0123_4567,
+            wall_seconds: 0.25,
+        };
+        let text = encode_sweep_result(&r);
+        let back = decode_sweep_result(&text).unwrap();
+        assert_eq!(back.fingerprint(), r.fingerprint());
+        assert_eq!(back.events, r.events);
+        assert_eq!(encode_sweep_result(&back), text, "re-encode is byte-identical");
+    }
+
+    #[test]
+    fn spooled_sweep_matches_in_process_run() {
+        let grid = grid(5);
+        let spool = fresh_spool("basic");
+        let merged = DistSweep::new(&spool).with_threads(2).run(&grid).unwrap();
+        let local = SweepRunner::new().with_workers(2).run(&grid);
+        assert_eq!(fingerprints(&merged), fingerprints(&local));
+        // The queue is fully drained and every task accounted for.
+        assert_eq!(SpoolSource::open(&spool).pending().unwrap().len(), 0);
+        std::fs::remove_dir_all(&spool).ok();
+    }
+
+    #[test]
+    fn concurrent_worker_drains_share_the_queue() {
+        let grid = grid(6);
+        let spool = fresh_spool("steal");
+        spool_tasks(&spool, &grid).unwrap();
+        // Two "processes" (independent worker drains over the shared
+        // spool) running concurrently; between them they must complete
+        // every task exactly once.
+        let counts: Vec<usize> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> =
+                (0..2).map(|_| scope.spawn(|_| run_worker(&spool, 1).unwrap())).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+        assert_eq!(counts.iter().sum::<usize>(), grid.len());
+        let merged = merge_results(&spool).unwrap();
+        assert_eq!(
+            fingerprints(&merged),
+            fingerprints(&SweepRunner::new().with_workers(1).run(&grid))
+        );
+        std::fs::remove_dir_all(&spool).ok();
+    }
+
+    #[test]
+    fn orphaned_claims_are_requeued_and_recovered() {
+        let grid = grid(4);
+        let spool = fresh_spool("orphan");
+        spool_tasks(&spool, &grid).unwrap();
+        // Simulate a worker that claimed a task and died.
+        let name = task_file_name(2);
+        std::fs::rename(tasks_dir(&spool).join(&name), claimed_dir(&spool).join(&name)).unwrap();
+        // A worker drain completes everything *except* the orphan…
+        assert_eq!(run_worker(&spool, 1).unwrap(), grid.len() - 1);
+        assert!(matches!(
+            merge_results(&spool),
+            Err(DistError::Incomplete { ref missing, .. }) if missing == &[2]
+        ));
+        // …requeueing recovers it.
+        assert_eq!(requeue_orphans(&spool).unwrap(), 1);
+        assert_eq!(run_worker(&spool, 1).unwrap(), 1);
+        let merged = merge_results(&spool).unwrap();
+        assert_eq!(
+            fingerprints(&merged),
+            fingerprints(&SweepRunner::new().with_workers(1).run(&grid))
+        );
+        std::fs::remove_dir_all(&spool).ok();
+    }
+
+    #[test]
+    fn merge_rejects_corrupt_checksums() {
+        let grid = grid(2);
+        let spool = fresh_spool("corrupt");
+        DistSweep::new(&spool).run(&grid).unwrap();
+        // Flip a byte inside the checksummed payload of one result.
+        let path = result_path(&spool, 0);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let tampered = text.replacen("\"makespan\":", "\"makespan_x\":", 1);
+        assert_ne!(text, tampered);
+        std::fs::write(&path, tampered).unwrap();
+        assert!(matches!(merge_results(&spool), Err(DistError::Corrupt { .. })));
+        std::fs::remove_dir_all(&spool).ok();
+    }
+
+    #[test]
+    fn spool_refuses_to_overwrite_a_live_sweep() {
+        let grid = grid(2);
+        let spool = fresh_spool("inuse");
+        spool_tasks(&spool, &grid).unwrap();
+        assert!(matches!(spool_tasks(&spool, &grid), Err(DistError::SpoolInUse(_))));
+        std::fs::remove_dir_all(&spool).ok();
+    }
+
+    #[test]
+    fn spool_refuses_stale_manifestless_leftovers() {
+        // A previous coordinator crashed after writing task files but
+        // before the manifest: those stale tasks would be claimable by a
+        // new sweep and poison its merge, so spooling must refuse.
+        let spool = fresh_spool("stale");
+        std::fs::create_dir_all(tasks_dir(&spool)).unwrap();
+        std::fs::write(tasks_dir(&spool).join(task_file_name(17)), "{}").unwrap();
+        assert!(matches!(spool_tasks(&spool, &grid(2)), Err(DistError::SpoolInUse(_))));
+        std::fs::remove_dir_all(&spool).ok();
+    }
+
+    #[test]
+    fn workers_write_results_incrementally() {
+        // Results must appear as tasks complete, not in one batch at the
+        // end of the drain — the crash-loss bound the module doc claims.
+        let grid = grid(3);
+        let spool = fresh_spool("incremental");
+        spool_tasks(&spool, &grid).unwrap();
+        let source = SpoolSource::open(&spool);
+        let runner = SweepRunner::new().with_workers(1);
+        let seen = Mutex::new(Vec::new());
+        runner.run_source_each(&source, |index, result| {
+            write_result(&spool, index, result).unwrap();
+            // At the moment each task completes, its own result file (and
+            // those of all previously-finished tasks) are already on disk.
+            let done = std::fs::read_dir(results_dir(&spool)).unwrap().count();
+            let mut seen = seen.lock();
+            seen.push(index);
+            assert_eq!(done, seen.len(), "result files lag completed tasks");
+        });
+        assert_eq!(seen.into_inner().len(), grid.len());
+        std::fs::remove_dir_all(&spool).ok();
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        let spool = fresh_spool("empty");
+        assert!(DistSweep::new(&spool).run(&[]).unwrap().is_empty());
+    }
+}

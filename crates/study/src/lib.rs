@@ -17,7 +17,9 @@
 
 pub mod case;
 pub mod context;
+pub mod dist;
 pub mod experiments;
+pub mod family;
 pub mod human;
 pub mod objective;
 pub mod report;
@@ -25,6 +27,8 @@ pub mod sweep;
 
 pub use case::CaseStudy;
 pub use context::ExperimentContext;
+pub use dist::{DistError, DistSweep};
+pub use family::{FamilyMember, FamilyObjective};
 pub use human::HumanCalibration;
 pub use objective::{param_space, CaseObjective, Metric, PARAM_NAMES};
-pub use sweep::{SweepResult, SweepRunner};
+pub use sweep::{GridSource, ShardSource, SweepResult, SweepRunner};

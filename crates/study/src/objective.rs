@@ -12,12 +12,13 @@ use std::sync::Arc;
 
 use simcal_calib::{mae, mre_percent, EvalContext, Objective, ParamSpace};
 use simcal_groundtruth::{cache_plan_for, GroundTruthSet};
-use simcal_platform::{HardwareParams, PlatformKind, PlatformSpec};
+use simcal_platform::{HardwareParams, PlatformKind};
 use simcal_sim::{SimConfig, SimSession};
-use simcal_storage::{CachePlan, XRootDConfig};
+use simcal_storage::XRootDConfig;
 use simcal_workload::Workload;
 
 use crate::case::CaseStudy;
+use crate::family::FamilyMember;
 
 /// The four calibrated parameter names, in space order.
 pub const PARAM_NAMES: [&str; 4] = ["core_speed", "local_read_bw", "lan_bw", "wan_bw"];
@@ -42,20 +43,17 @@ pub enum Metric {
     PerJobMrePercent,
 }
 
-/// The calibration objective for one platform and a set of ICD values.
+/// The calibration objective for one platform and a set of ICD values —
+/// the 1-member degenerate case of the scenario-family calibration: all
+/// platform/truth plumbing lives in the wrapped [`FamilyMember`]; this
+/// type adds the paper's metric variants on top.
 pub struct CaseObjective {
     kind: PlatformKind,
-    platform: PlatformSpec,
-    workload: Arc<Workload>,
-    /// (icd, cache plan) pairs used for calibration.
-    plans: Vec<(f64, CachePlan)>,
-    /// Ground-truth metric vector matching `plans` order.
-    truth_metrics: Vec<f64>,
+    member: FamilyMember,
     /// Ground-truth per-job durations (ICD-major, job-minor), used by
     /// [`Metric::PerJobMrePercent`]. Empty unless provided via
     /// [`CaseObjective::with_per_job_truth`].
     truth_job_times: Vec<f64>,
-    granularity: XRootDConfig,
     metric: Metric,
 }
 
@@ -88,16 +86,15 @@ impl CaseObjective {
     ) -> Self {
         let subset = gt.subset(icds);
         let plans = icds.iter().map(|&icd| (icd, cache_plan_for(&workload, icd))).collect();
-        Self {
-            kind,
-            platform: kind.spec(),
+        let member = FamilyMember::from_parts(
+            format!("case-{}", kind.label().to_lowercase()),
+            kind.spec(),
             workload,
             plans,
-            truth_metrics: subset.metric_vector(),
-            truth_job_times: Vec::new(),
-            granularity,
-            metric: Metric::MrePercent,
-        }
+            subset.metric_vector(),
+            SimConfig::new(HardwareParams::defaults(), granularity),
+        );
+        Self { kind, member, truth_job_times: Vec::new(), metric: Metric::MrePercent }
     }
 
     /// Attach per-job ground-truth durations (ICD-major, job-minor) and
@@ -106,7 +103,7 @@ impl CaseObjective {
     pub fn with_per_job_truth(mut self, job_times: Vec<f64>) -> Self {
         assert_eq!(
             job_times.len(),
-            self.plans.len() * self.workload.len(),
+            self.member.plans().len() * self.member.workload().len(),
             "expected n_icds * n_jobs per-job truths"
         );
         self.truth_job_times = job_times;
@@ -125,26 +122,26 @@ impl CaseObjective {
         self.kind
     }
 
+    /// The underlying family member (the 1-member-family view of this
+    /// objective — what `calibrate --family` aggregates over).
+    pub fn member(&self) -> &FamilyMember {
+        &self.member
+    }
+
     /// The data-movement granularity candidates are simulated at.
     pub fn granularity(&self) -> XRootDConfig {
-        self.granularity
+        self.member.config().granularity
     }
 
     /// The ground-truth metric vector this objective compares against.
     pub fn truth_metrics(&self) -> &[f64] {
-        &self.truth_metrics
+        self.member.truth_metrics()
     }
 
     /// Map the 4 calibrated values onto a full hardware parameter set.
     /// Non-calibrated parameters keep framework defaults, as in the paper.
     pub fn hardware_from(&self, values: &[f64]) -> HardwareParams {
-        assert_eq!(values.len(), 4, "expected [core, local_read, lan, wan]");
-        let mut hw = HardwareParams::defaults();
-        hw.core_speed = values[0];
-        hw.set_local_read_bw(self.platform.page_cache_enabled, values[1]);
-        hw.lan_bw = values[2];
-        hw.wan_bw = values[3];
-        hw
+        self.member.hardware_from(values)
     }
 
     /// Run the simulator at `values` and return the simulated metric vector
@@ -168,13 +165,7 @@ impl CaseObjective {
         session: &mut SimSession,
         hw: &HardwareParams,
     ) -> Vec<f64> {
-        let config = SimConfig::new(*hw, self.granularity);
-        let mut out = Vec::with_capacity(self.truth_metrics.len());
-        for (_, plan) in &self.plans {
-            let trace = session.run(&self.platform, &self.workload, plan, &config);
-            out.extend(trace.mean_job_time_by_node());
-        }
-        out
+        self.member.simulate_metrics_session(session, hw)
     }
 
     /// Score a complete hardware parameter set against the ground truth.
@@ -191,13 +182,7 @@ impl CaseObjective {
     /// As [`simulate_job_times`](Self::simulate_job_times) on a caller
     /// owned session.
     pub fn simulate_job_times_session(&self, session: &mut SimSession, values: &[f64]) -> Vec<f64> {
-        let config = SimConfig::new(self.hardware_from(values), self.granularity);
-        let mut out = Vec::with_capacity(self.plans.len() * self.workload.len());
-        for (_, plan) in &self.plans {
-            let trace = session.run(&self.platform, &self.workload, plan, &config);
-            out.extend(trace.jobs.iter().map(|j| j.duration()));
-        }
-        out
+        self.member.simulate_job_times_session(session, &self.hardware_from(values))
     }
 
     /// Evaluate at `values` on a caller-owned session.
@@ -212,8 +197,8 @@ impl CaseObjective {
 
     fn discrepancy(&self, sim: &[f64]) -> f64 {
         match self.metric {
-            Metric::MrePercent => mre_percent(sim, &self.truth_metrics),
-            Metric::MaeSeconds => mae(sim, &self.truth_metrics),
+            Metric::MrePercent => mre_percent(sim, self.member.truth_metrics()),
+            Metric::MaeSeconds => mae(sim, self.member.truth_metrics()),
             Metric::PerJobMrePercent => unreachable!("handled in evaluate"),
         }
     }
@@ -305,6 +290,20 @@ mod tests {
         assert_eq!(cold.to_bits(), warm1.to_bits());
         assert_eq!(warm1.to_bits(), warm2.to_bits());
         assert!(ctx.holds::<SimSession>(), "session parked in the worker context");
+    }
+
+    #[test]
+    fn single_platform_is_the_one_member_family_degenerate_case() {
+        // The re-cut contract: a CaseObjective's MRE is bit-identical to a
+        // FamilyObjective over its single member.
+        use crate::family::FamilyObjective;
+        let case = reduced();
+        let g = XRootDConfig::paper_1s();
+        let obj = CaseObjective::new(&case, PlatformKind::Fcsn, &[0.0, 0.5], g);
+        let fam = FamilyObjective::new(vec![obj.member().clone()]);
+        for v in [[2e9, 5e9, 1.25e9, 1.4e8], [1e9, 17e6, 1e9, 1e8]] {
+            assert_eq!(obj.evaluate(&v).to_bits(), fam.evaluate(&v).to_bits());
+        }
     }
 
     #[test]

@@ -39,7 +39,25 @@ pub fn ascii_table(headers: &[String], rows: &[Vec<String>]) -> String {
 
 /// Write rows as CSV (no quoting — callers use numeric/simple cells).
 pub fn write_csv(path: &Path, headers: &[String], rows: &[Vec<String>]) -> std::io::Result<()> {
-    let mut text = headers.join(",");
+    write_csv_commented(path, "", headers, rows)
+}
+
+/// As [`write_csv`], with a leading `#`-prefixed comment line documenting
+/// the schema (empty = no comment). Deterministic byte-for-byte for equal
+/// inputs — distributed sweeps rely on byte-equal artifacts.
+pub fn write_csv_commented(
+    path: &Path,
+    comment: &str,
+    headers: &[String],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    let mut text = String::new();
+    if !comment.is_empty() {
+        assert!(comment.starts_with('#'), "CSV comments start with '#'");
+        text.push_str(comment);
+        text.push('\n');
+    }
+    text.push_str(&headers.join(","));
     text.push('\n');
     for r in rows {
         text.push_str(&r.join(","));

@@ -15,6 +15,13 @@
 //! worker count, the shard size, and the order in which workers claim
 //! shards. A property test sweeps the registry at 1/2/8 workers and
 //! several shard sizes and asserts exactly that.
+//!
+//! The runner is **driver-agnostic**: workers pull work through the
+//! [`ShardSource`] seam. The in-process grid ([`GridSource`]) hands out
+//! index ranges over a scenario slice; the distributed spool
+//! ([`crate::dist`]) hands out scenarios decoded from claimed task files.
+//! Both reach the same pooled-session execution path, so the local tier
+//! and the multi-process tier cannot drift apart.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -50,7 +57,33 @@ pub struct SweepResult {
     pub wall_seconds: f64,
 }
 
+/// The `sweep --out` CSV schema, written as the artifact's header comment
+/// so cross-machine sweep outputs are self-describing and diffable:
+/// deterministic columns only (no wall-clock), floats in their shortest
+/// round-trip form, and the FNV-1a trace hash as the one-column
+/// bit-identity witness.
+pub const SWEEP_CSV_SCHEMA: &str = "# simcal sweep csv v1: scenario,makespan_s,mean_job_s,\
+events,trace_hash; simulated seconds (shortest f64 round-trip repr), kernel event count, \
+FNV-1a64 over all job records (hex) - two runs agree iff trace_hash columns agree";
+
 impl SweepResult {
+    /// The CSV column headers matching [`csv_row`](Self::csv_row).
+    pub fn csv_headers() -> Vec<String> {
+        ["scenario", "makespan_s", "mean_job_s", "events", "trace_hash"].map(String::from).to_vec()
+    }
+
+    /// The result as a deterministic CSV row (excludes `wall_seconds`,
+    /// which varies run to run).
+    pub fn csv_row(&self) -> Vec<String> {
+        vec![
+            self.name.clone(),
+            format!("{}", self.makespan),
+            format!("{}", self.mean_job_time),
+            self.events.to_string(),
+            format!("{:016x}", self.trace_hash),
+        ]
+    }
+
     /// Condense a trace (does not consume it; the sweep drops traces to
     /// keep result memory bounded on large grids).
     pub fn from_trace(name: &str, trace: &ExecutionTrace) -> Self {
@@ -78,23 +111,137 @@ impl SweepResult {
     }
 }
 
+/// Streaming FNV-1a 64-bit hasher — shared by the trace hash, the
+/// distributed spool's payload checksums, and the family-calibration
+/// per-member noise-seed derivation.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Absorb bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    /// The digest so far.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// FNV-1a 64 over one byte string.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
 /// FNV-1a over every job record's identifying bits.
 fn trace_hash(trace: &ExecutionTrace) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut mix = |v: u64| {
-        for b in v.to_le_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    };
+    let mut h = Fnv1a::new();
     for j in &trace.jobs {
-        mix(j.job as u64);
-        mix(j.node as u64);
-        mix(j.core as u64);
-        mix(j.start.to_bits());
-        mix(j.end.to_bits());
+        h.write(&(j.job as u64).to_le_bytes());
+        h.write(&(j.node as u64).to_le_bytes());
+        h.write(&(j.core as u64).to_le_bytes());
+        h.write(&j.start.to_bits().to_le_bytes());
+        h.write(&j.end.to_bits().to_le_bytes());
     }
-    h
+    h.finish()
+}
+
+/// One claimed unit of sweep work: the scenario plus its position in the
+/// overall grid (results are reassembled in grid order by index).
+///
+/// In-process sources lend scenarios straight out of the caller's slice;
+/// spooled sources own scenarios they decoded from claimed task files.
+pub enum Claimed<'a> {
+    /// A scenario borrowed from an in-memory grid.
+    Borrowed(usize, &'a Scenario),
+    /// A scenario decoded from a spool file (or otherwise owned).
+    Owned(usize, Box<Scenario>),
+}
+
+impl Claimed<'_> {
+    /// The scenario's index in the grid being swept.
+    pub fn index(&self) -> usize {
+        match self {
+            Claimed::Borrowed(i, _) | Claimed::Owned(i, _) => *i,
+        }
+    }
+
+    /// The scenario itself.
+    pub fn scenario(&self) -> &Scenario {
+        match self {
+            Claimed::Borrowed(_, sc) => sc,
+            Claimed::Owned(_, sc) => sc,
+        }
+    }
+}
+
+/// A claimable source of sweep work — the seam between the execution
+/// machinery (pooled sessions, worker threads) and the work *driver*
+/// (in-process atomic cursor, or a spooled file queue shared by many
+/// processes).
+///
+/// Contract: across all concurrent claimers, every work item is handed
+/// out **exactly once**; a returned shard is never empty; after `None`
+/// the source stays drained. Sources that can fail (e.g. spool I/O)
+/// record the failure internally, return `None`, and surface the error
+/// after the run.
+pub trait ShardSource: Sync {
+    /// Claim the next shard of work, or `None` when the source is drained.
+    fn claim(&self) -> Option<Vec<Claimed<'_>>>;
+
+    /// Total number of work items, when known up front (used to cap the
+    /// worker count; spooled sources may not know).
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// The in-process shard source: contiguous index ranges over a scenario
+/// slice, claimed from an atomic cursor.
+pub struct GridSource<'a> {
+    scenarios: &'a [Scenario],
+    shard_size: usize,
+    cursor: AtomicUsize,
+}
+
+impl<'a> GridSource<'a> {
+    /// A source over `scenarios`, handing out `shard_size` items per claim.
+    pub fn new(scenarios: &'a [Scenario], shard_size: usize) -> Self {
+        assert!(shard_size > 0, "need a positive shard size");
+        Self { scenarios, shard_size, cursor: AtomicUsize::new(0) }
+    }
+}
+
+impl ShardSource for GridSource<'_> {
+    fn claim(&self) -> Option<Vec<Claimed<'_>>> {
+        let lo = self.cursor.fetch_add(self.shard_size, Ordering::Relaxed);
+        if lo >= self.scenarios.len() {
+            return None;
+        }
+        let hi = (lo + self.shard_size).min(self.scenarios.len());
+        Some((lo..hi).map(|i| Claimed::Borrowed(i, &self.scenarios[i])).collect())
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.scenarios.len())
+    }
 }
 
 /// Sharded parallel executor for scenario grids.
@@ -155,37 +302,85 @@ impl SweepRunner {
         if scenarios.is_empty() {
             return Vec::new();
         }
-        let n_shards = scenarios.len().div_ceil(self.shard_size);
-        let n_workers = self.workers.min(n_shards);
+        let source = GridSource::new(scenarios, self.shard_size);
+        let tagged = self.run_source_map(&source, observe);
+        let mut slots: Vec<Option<SweepResult>> = vec![None; scenarios.len()];
+        for (i, r) in tagged {
+            slots[i] = Some(r);
+        }
+        slots.into_iter().map(|s| s.expect("every scenario produced a result")).collect()
+    }
+
+    /// Execute every scenario a [`ShardSource`] hands out. Returns
+    /// `(grid index, result)` pairs in completion order — callers that
+    /// need grid order reassemble by index (results themselves are
+    /// deterministic; only the pair order reflects claim timing).
+    pub fn run_source(&self, source: &dyn ShardSource) -> Vec<(usize, SweepResult)> {
+        self.run_source_map(source, |_, _| {})
+    }
+
+    /// As [`run_source`](Self::run_source) with a trace observer (see
+    /// [`run_map`](Self::run_map)).
+    pub fn run_source_map<F>(
+        &self,
+        source: &dyn ShardSource,
+        observe: F,
+    ) -> Vec<(usize, SweepResult)>
+    where
+        F: Fn(usize, &ExecutionTrace) + Sync,
+    {
+        self.run_source_inner(source, &observe, &|_, _| {})
+    }
+
+    /// As [`run_source`](Self::run_source), additionally invoking `each`
+    /// with every `(index, result)` *on the worker thread, immediately
+    /// after the scenario completes* — spool workers persist results
+    /// incrementally through this hook, so a later crash loses at most
+    /// the in-flight scenarios, never finished ones.
+    pub fn run_source_each<F>(&self, source: &dyn ShardSource, each: F) -> Vec<(usize, SweepResult)>
+    where
+        F: Fn(usize, &SweepResult) + Sync,
+    {
+        self.run_source_inner(source, &|_, _| {}, &each)
+    }
+
+    fn run_source_inner(
+        &self,
+        source: &dyn ShardSource,
+        observe: &(dyn Fn(usize, &ExecutionTrace) + Sync),
+        each: &(dyn Fn(usize, &SweepResult) + Sync),
+    ) -> Vec<(usize, SweepResult)> {
+        let n_workers = match source.size_hint() {
+            Some(0) => return Vec::new(),
+            Some(n) => self.workers.min(n.div_ceil(self.shard_size)),
+            None => self.workers,
+        };
         if n_workers <= 1 {
             let mut ctx = self.checkout_context();
-            let out = scenarios
-                .iter()
-                .enumerate()
-                .map(|(i, sc)| Self::run_one(&mut ctx, sc, i, &observe))
-                .collect();
+            let mut out = Vec::new();
+            while let Some(shard) = source.claim() {
+                for claimed in &shard {
+                    let i = claimed.index();
+                    let r = Self::run_one(&mut ctx, claimed.scenario(), i, observe);
+                    each(i, &r);
+                    out.push((i, r));
+                }
+            }
             self.return_context(ctx);
             return out;
         }
 
-        let next_shard = AtomicUsize::new(0);
         let (tx, rx) = crossbeam::channel::unbounded::<(usize, SweepResult)>();
         crossbeam::thread::scope(|scope| {
             for _ in 0..n_workers {
                 let tx = tx.clone();
-                let next_shard = &next_shard;
-                let observe = &observe;
                 scope.spawn(move |_| {
                     let mut ctx = self.checkout_context();
-                    loop {
-                        let shard = next_shard.fetch_add(1, Ordering::Relaxed);
-                        let lo = shard * self.shard_size;
-                        if lo >= scenarios.len() {
-                            break;
-                        }
-                        let hi = (lo + self.shard_size).min(scenarios.len());
-                        for (i, sc) in scenarios.iter().enumerate().take(hi).skip(lo) {
-                            let r = Self::run_one(&mut ctx, sc, i, observe);
+                    while let Some(shard) = source.claim() {
+                        for claimed in &shard {
+                            let i = claimed.index();
+                            let r = Self::run_one(&mut ctx, claimed.scenario(), i, observe);
+                            each(i, &r);
                             tx.send((i, r)).expect("collector alive");
                         }
                     }
@@ -193,11 +388,7 @@ impl SweepRunner {
                 });
             }
             drop(tx);
-            let mut slots: Vec<Option<SweepResult>> = vec![None; scenarios.len()];
-            for (i, r) in rx {
-                slots[i] = Some(r);
-            }
-            slots.into_iter().map(|s| s.expect("every scenario produced a result")).collect()
+            rx.into_iter().collect()
         })
         .expect("sweep worker panicked")
     }
@@ -207,7 +398,7 @@ impl SweepRunner {
         ctx: &mut EvalContext,
         sc: &Scenario,
         index: usize,
-        observe: &(impl Fn(usize, &ExecutionTrace) + Sync),
+        observe: &(dyn Fn(usize, &ExecutionTrace) + Sync),
     ) -> SweepResult {
         let session = ctx.get_or_insert_with(SimSession::new);
         let t0 = Instant::now();
@@ -268,6 +459,35 @@ mod tests {
     #[test]
     fn empty_grid_is_fine() {
         assert!(SweepRunner::new().run(&[]).is_empty());
+        let grid: Vec<simcal_sim::Scenario> = Vec::new();
+        assert!(SweepRunner::new().run_source(&GridSource::new(&grid, 4)).is_empty());
+    }
+
+    #[test]
+    fn grid_source_partitions_exactly_once() {
+        let grid = ScenarioRegistry::reduced().scenarios();
+        let source = GridSource::new(&grid, 3);
+        let mut seen = vec![false; grid.len()];
+        while let Some(shard) = source.claim() {
+            assert!(!shard.is_empty());
+            for c in &shard {
+                assert!(!seen[c.index()], "index {} claimed twice", c.index());
+                seen[c.index()] = true;
+                assert_eq!(c.scenario().name, grid[c.index()].name);
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every index claimed");
+        assert!(source.claim().is_none(), "source stays drained");
+    }
+
+    #[test]
+    fn run_source_matches_run_after_index_reassembly() {
+        let grid = ScenarioRegistry::reduced().scenarios();
+        let runner = SweepRunner::new().with_workers(3);
+        let mut tagged = runner.run_source(&GridSource::new(&grid, 2));
+        tagged.sort_by_key(|(i, _)| *i);
+        let reassembled: Vec<SweepResult> = tagged.into_iter().map(|(_, r)| r).collect();
+        assert_eq!(fingerprints(&reassembled), fingerprints(&runner.run(&grid)));
     }
 
     #[test]
