@@ -202,7 +202,8 @@ Paper commands:
 
 Scenario commands:
   scenarios list [PATTERN]      list registry scenarios (name/family filter;
-                                case-insensitive substring, trailing * = prefix)
+                                case-insensitive substring; any * is an
+                                anchored glob: cms-*, *-backlog, arr*poisson)
   sweep [PATTERN]               run matching registry scenarios through the
                                 sharded parallel sweep driver
   sweep [PATTERN] --distributed --spool DIR [--spawn N]
@@ -263,14 +264,26 @@ fn run_scenarios(opts: &Options) -> Result<(), String> {
     if entries.is_empty() {
         return Err(format!("no scenario matches {pat:?}"));
     }
-    let headers: Vec<String> =
-        ["name", "family", "platform", "nodes", "cores", "jobs", "icd", "policy", "summary"]
-            .map(String::from)
-            .to_vec();
+    let headers: Vec<String> = [
+        "name", "family", "platform", "nodes", "cores", "jobs", "icd", "policy", "arrival",
+        "summary",
+    ]
+    .map(String::from)
+    .to_vec();
     let rows: Vec<Vec<String>> = entries
         .iter()
         .map(|e| {
             let sc = &e.scenario;
+            let arrival = match &sc.workload {
+                simcal_sim::WorkloadSource::Spec { spec, .. } => spec.arrival.label(),
+                simcal_sim::WorkloadSource::Concrete(w) => {
+                    if w.has_releases() {
+                        "concrete"
+                    } else {
+                        "immediate"
+                    }
+                }
+            };
             vec![
                 sc.name.clone(),
                 e.family.to_string(),
@@ -280,6 +293,7 @@ fn run_scenarios(opts: &Options) -> Result<(), String> {
                 sc.workload.n_jobs().to_string(),
                 format!("{:.1}", sc.cache.icd),
                 sc.config.scheduler.label().to_string(),
+                arrival.to_string(),
                 e.summary.clone(),
             ]
         })
@@ -330,10 +344,18 @@ fn run_sweep(opts: &Options) -> Result<(), String> {
     };
     let wall = t0.elapsed().as_secs_f64();
 
-    let headers: Vec<String> =
-        ["scenario", "makespan_s", "mean_job_s", "events", "trace_hash", "sim_wall_ms"]
-            .map(String::from)
-            .to_vec();
+    let headers: Vec<String> = [
+        "scenario",
+        "makespan_s",
+        "mean_job_s",
+        "mean_wait_s",
+        "max_wait_s",
+        "events",
+        "trace_hash",
+        "sim_wall_ms",
+    ]
+    .map(String::from)
+    .to_vec();
     let rows: Vec<Vec<String>> = results
         .iter()
         .map(|r| {
@@ -341,6 +363,8 @@ fn run_sweep(opts: &Options) -> Result<(), String> {
                 r.name.clone(),
                 format!("{:.2}", r.makespan),
                 format!("{:.2}", r.mean_job_time),
+                format!("{:.2}", r.mean_queue_wait),
+                format!("{:.2}", r.max_queue_wait),
                 r.events.to_string(),
                 format!("{:016x}", r.trace_hash),
                 format!("{:.2}", r.wall_seconds * 1e3),
@@ -830,8 +854,49 @@ mod tests {
         let b = std::fs::read(out_dist.join("sweep.csv")).unwrap();
         assert_eq!(a, b, "distributed artifact must be byte-identical");
         let text = String::from_utf8(a).unwrap();
-        assert!(text.starts_with("# simcal sweep csv v1"), "schema comment present");
+        assert!(text.starts_with("# simcal sweep csv v2"), "schema comment present");
         assert!(text.lines().nth(1).unwrap().contains("trace_hash"));
+        assert!(text.lines().nth(1).unwrap().contains("mean_wait_s"));
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn interior_glob_patterns_reach_the_cli() {
+        // `cms*fast`-style interior globs used to silently degrade to an
+        // exact match and report "no scenario matches".
+        let o = parse(&["scenarios", "list", "arr*-poisson", "--reduced"]).unwrap();
+        run_scenarios(&o).unwrap();
+        assert_eq!(registry_for(&o).matching(scenario_pattern(&o)).len(), 1);
+        let o = parse(&["scenarios", "list", "straggler*utput"]).unwrap();
+        assert_eq!(registry_for(&o).matching(scenario_pattern(&o)).len(), 1);
+        // A glob that matches nothing is still a clean error.
+        let o = parse(&["scenarios", "list", "cms*fast", "--reduced"]).unwrap();
+        assert!(run_scenarios(&o).unwrap_err().contains("no scenario matches"));
+    }
+
+    #[test]
+    fn sweeping_the_arrival_family_reports_queue_wait() {
+        let base = std::env::temp_dir().join(format!("simcal-cli-wait-{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+        let o = parse(&[
+            "sweep",
+            "arrival",
+            "--reduced",
+            "--workers",
+            "2",
+            "--out",
+            base.to_str().unwrap(),
+        ])
+        .unwrap();
+        run_sweep(&o).unwrap();
+        let text = std::fs::read_to_string(base.join("sweep.csv")).unwrap();
+        let mut data = text.lines().skip(2); // schema comment + header
+        let overcommitted: Vec<&str> = data.by_ref().collect();
+        assert_eq!(overcommitted.len(), 4, "four arrival scenarios");
+        for line in overcommitted {
+            let wait: f64 = line.split(',').nth(3).unwrap().parse().unwrap();
+            assert!(wait > 0.0, "queue wait must be positive in {line:?}");
+        }
         std::fs::remove_dir_all(&base).ok();
     }
 

@@ -32,14 +32,19 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 use simcal_platform::{NodeSpec, PlatformSpec};
-use simcal_workload::{Distribution, JobSpec, Workload, WorkloadSpec};
+use simcal_workload::{ArrivalProcess, Distribution, JobSpec, Workload, WorkloadSpec};
 
 use crate::config::{NoiseConfig, SimConfig};
 use crate::scenario::{CacheSpec, Scenario, WorkloadSource};
 use crate::scheduler::SchedulerPolicy;
 
 /// The codec version written into top-level payloads.
-pub const CODEC_VERSION: u64 = 1;
+///
+/// Version history: v1 = the PR 4 wire form; v2 adds job release times —
+/// `arrival` on workload specs, per-job `release` on concrete workloads,
+/// and `release_time_scale` on [`SimConfig`]. v2 decoders accept v1
+/// payloads (the new fields default to the legacy all-at-t=0 behaviour).
+pub const CODEC_VERSION: u64 = 2;
 
 /// A decoding (or parsing) failure. Every variant carries enough context
 /// to say *which* type and field went wrong — decoders never panic on
@@ -584,16 +589,19 @@ pub fn scenario_to_json(sc: &Scenario) -> Json {
     ])
 }
 
-/// Decode a scenario from its JSON value form.
+/// Decode a scenario from its JSON value form. Nested objects are
+/// versioned by the enclosing payload: the top-level `"v"` decides
+/// whether the release-time fields (added in v2) are required or default
+/// to their legacy values.
 pub fn scenario_from_json(json: &Json) -> Result<Scenario, CodecError> {
     let r = ObjReader::new("Scenario", json)?;
-    check_version("Scenario", &r)?;
+    let v = check_version("Scenario", &r)?;
     Ok(Scenario {
         name: r.str("name")?.to_string(),
         platform: platform_from_json(r.req("platform")?)?,
-        workload: workload_source_from_json(r.req("workload")?)?,
+        workload: workload_source_from_json(r.req("workload")?, v)?,
         cache: cache_spec_from_json(r.req("cache")?)?,
-        config: sim_config_from_json(r.req("config")?)?,
+        config: sim_config_from_json(r.req("config")?, v)?,
     })
 }
 
@@ -673,6 +681,7 @@ fn workload_source_to_json(src: &WorkloadSource) -> Json {
                                 ),
                                 ("flops_per_byte", json_f64(j.flops_per_byte)),
                                 ("output_bytes", json_f64(j.output_bytes)),
+                                ("release", json_f64(j.release)),
                             ])
                         })
                         .collect(),
@@ -682,11 +691,11 @@ fn workload_source_to_json(src: &WorkloadSource) -> Json {
     }
 }
 
-fn workload_source_from_json(json: &Json) -> Result<WorkloadSource, CodecError> {
+fn workload_source_from_json(json: &Json, v: u64) -> Result<WorkloadSource, CodecError> {
     let r = ObjReader::new("WorkloadSource", json)?;
     match r.str("kind")? {
         "spec" => Ok(WorkloadSource::Spec {
-            spec: workload_spec_from_json(r.req("spec")?)?,
+            spec: workload_spec_from_json(r.req("spec")?, v)?,
             seed: r.u64("seed")?,
         }),
         "concrete" => {
@@ -712,22 +721,35 @@ fn workload_source_from_json(json: &Json) -> Result<WorkloadSource, CodecError> 
                 }
                 let flops_per_byte = jr.f64("flops_per_byte")?;
                 let output_bytes = jr.f64("output_bytes")?;
+                // v1 payloads predate release times: absent means 0. From
+                // v2 on the field is required — a v2 writer that drops it
+                // is a structured error, not silent legacy behaviour.
+                let release = if v >= 2 { jr.f64("release")? } else { 0.0 };
                 if !(flops_per_byte.is_finite()
                     && flops_per_byte >= 0.0
                     && output_bytes.is_finite()
-                    && output_bytes >= 0.0)
+                    && output_bytes >= 0.0
+                    && release.is_finite()
+                    && release >= 0.0)
                 {
                     return Err(CodecError::Invalid {
                         ty: "JobSpec",
                         msg: "negative or non-finite volume".to_string(),
                     });
                 }
-                jobs.push(JobSpec { input_files, flops_per_byte, output_bytes });
+                jobs.push(JobSpec { input_files, flops_per_byte, output_bytes, release });
             }
             if jobs.is_empty() {
                 return Err(CodecError::Invalid {
                     ty: "WorkloadSource",
                     msg: "concrete workload has no jobs".to_string(),
+                });
+            }
+            if jobs.windows(2).any(|w| w[0].release > w[1].release) {
+                return Err(CodecError::Invalid {
+                    ty: "WorkloadSource",
+                    msg: "job release times out of order (index order is submission order)"
+                        .to_string(),
                 });
             }
             Ok(WorkloadSource::Concrete(Arc::new(Workload::new(jobs))))
@@ -746,18 +768,92 @@ fn workload_spec_to_json(spec: &WorkloadSpec) -> Json {
         ("file_size", distribution_to_json(&spec.file_size)),
         ("flops_per_byte", distribution_to_json(&spec.flops_per_byte)),
         ("output_bytes", distribution_to_json(&spec.output_bytes)),
+        ("arrival", arrival_to_json(&spec.arrival)),
     ])
 }
 
-fn workload_spec_from_json(json: &Json) -> Result<WorkloadSpec, CodecError> {
+fn workload_spec_from_json(json: &Json, v: u64) -> Result<WorkloadSpec, CodecError> {
     let r = ObjReader::new("WorkloadSpec", json)?;
+    // v1 payloads predate arrival processes: absent means Immediate.
+    // From v2 on the field is required.
+    let arrival =
+        if v >= 2 { arrival_from_json(r.req("arrival")?)? } else { ArrivalProcess::Immediate };
     Ok(WorkloadSpec {
         n_jobs: r.usize("n_jobs")?,
         files_per_job: r.usize("files_per_job")?,
         file_size: distribution_from_json(r.req("file_size")?)?,
         flops_per_byte: distribution_from_json(r.req("flops_per_byte")?)?,
         output_bytes: distribution_from_json(r.req("output_bytes")?)?,
+        arrival,
     })
+}
+
+fn arrival_to_json(a: &ArrivalProcess) -> Json {
+    match *a {
+        ArrivalProcess::Immediate => obj(vec![("kind", Json::Str("immediate".into()))]),
+        ArrivalProcess::Poisson { rate } => {
+            obj(vec![("kind", Json::Str("poisson".into())), ("rate", json_f64(rate))])
+        }
+        ArrivalProcess::Diurnal { base_rate, amplitude, period } => obj(vec![
+            ("kind", Json::Str("diurnal".into())),
+            ("base_rate", json_f64(base_rate)),
+            ("amplitude", json_f64(amplitude)),
+            ("period", json_f64(period)),
+        ]),
+        ArrivalProcess::Bursty { batch_size, batch_interval } => obj(vec![
+            ("kind", Json::Str("bursty".into())),
+            ("batch_size", Json::Num(batch_size as f64)),
+            ("batch_interval", json_f64(batch_interval)),
+        ]),
+    }
+}
+
+fn arrival_from_json(json: &Json) -> Result<ArrivalProcess, CodecError> {
+    let r = ObjReader::new("ArrivalProcess", json)?;
+    let arrival = match r.str("kind")? {
+        "immediate" => ArrivalProcess::Immediate,
+        "poisson" => ArrivalProcess::Poisson { rate: r.f64("rate")? },
+        "diurnal" => ArrivalProcess::Diurnal {
+            base_rate: r.f64("base_rate")?,
+            amplitude: r.f64("amplitude")?,
+            period: r.f64("period")?,
+        },
+        "bursty" => ArrivalProcess::Bursty {
+            batch_size: r.usize("batch_size")?,
+            batch_interval: r.f64("batch_interval")?,
+        },
+        other => {
+            return Err(CodecError::Invalid {
+                ty: "ArrivalProcess",
+                msg: format!("unknown kind {other:?}"),
+            })
+        }
+    };
+    // Range/finiteness checks at the codec boundary (like release and
+    // release_time_scale): a malformed payload must be a structured error
+    // here, not an assert panic when a sweep worker materializes the
+    // workload mid-drain.
+    let valid = match arrival {
+        ArrivalProcess::Immediate => true,
+        ArrivalProcess::Poisson { rate } => rate.is_finite() && rate > 0.0,
+        ArrivalProcess::Diurnal { base_rate, amplitude, period } => {
+            base_rate.is_finite()
+                && base_rate > 0.0
+                && (0.0..=1.0).contains(&amplitude)
+                && period.is_finite()
+                && period > 0.0
+        }
+        ArrivalProcess::Bursty { batch_size, batch_interval } => {
+            batch_size > 0 && batch_interval.is_finite() && batch_interval > 0.0
+        }
+    };
+    if !valid {
+        return Err(CodecError::Invalid {
+            ty: "ArrivalProcess",
+            msg: format!("invalid parameters {arrival:?}"),
+        });
+    }
+    Ok(arrival)
 }
 
 fn distribution_to_json(d: &Distribution) -> Json {
@@ -849,6 +945,7 @@ pub fn sim_config_to_json(c: &SimConfig) -> Json {
         ),
         ("per_connection_cap", c.per_connection_cap.map_or(Json::Null, json_f64)),
         ("cache_write_through", Json::Bool(c.cache_write_through)),
+        ("release_time_scale", json_f64(c.release_time_scale)),
         (
             "noise",
             obj(vec![
@@ -864,8 +961,10 @@ pub fn sim_config_to_json(c: &SimConfig) -> Json {
     ])
 }
 
-/// Decode a [`SimConfig`] from its JSON value form.
-pub fn sim_config_from_json(json: &Json) -> Result<SimConfig, CodecError> {
+/// Decode a [`SimConfig`] from its JSON value form. `v` is the enclosing
+/// payload's codec version (nested objects carry no `"v"` of their own):
+/// it decides whether the v2 `release_time_scale` field is required.
+pub fn sim_config_from_json(json: &Json, v: u64) -> Result<SimConfig, CodecError> {
     let r = ObjReader::new("SimConfig", json)?;
     let h = ObjReader::new("HardwareParams", r.req("hardware")?)?;
     let hardware = simcal_platform::HardwareParams {
@@ -909,6 +1008,15 @@ pub fn sim_config_from_json(json: &Json) -> Result<SimConfig, CodecError> {
         ty: "SimConfig",
         msg: format!("unknown scheduler policy {label:?}"),
     })?;
+    // v1 payloads predate release-time scaling: absent means identity.
+    // From v2 on the field is required.
+    let release_time_scale = if v >= 2 { r.f64("release_time_scale")? } else { 1.0 };
+    if !(release_time_scale.is_finite() && release_time_scale >= 0.0) {
+        return Err(CodecError::Invalid {
+            ty: "SimConfig",
+            msg: format!("bad release time scale {release_time_scale}"),
+        });
+    }
     Ok(SimConfig {
         hardware,
         granularity: simcal_storage::XRootDConfig::new(block_size, buffer_size),
@@ -916,6 +1024,7 @@ pub fn sim_config_from_json(json: &Json) -> Result<SimConfig, CodecError> {
         cache_write_through: r.bool("cache_write_through")?,
         noise,
         scheduler,
+        release_time_scale,
     })
 }
 
@@ -1030,6 +1139,162 @@ mod tests {
         }
         fields.push(("future_knob".to_string(), Json::Str("ignored".to_string())));
         assert_eq!(scenario_from_json(&json).unwrap(), sc);
+    }
+
+    #[test]
+    fn v1_payloads_without_release_fields_decode_to_legacy_defaults() {
+        // Strip every v2 field from an encoded scenario (producing a v1-
+        // shaped payload) and decode: arrival must come back Immediate,
+        // release times 0, and the release scale 1.0.
+        fn strip(json: &mut Json) {
+            match json {
+                Json::Obj(fields) => {
+                    fields.retain(|(k, _)| {
+                        k != "arrival" && k != "release" && k != "release_time_scale"
+                    });
+                    for (k, v) in fields.iter_mut() {
+                        if k == "v" {
+                            *v = Json::Num(1.0);
+                        }
+                        strip(v);
+                    }
+                }
+                Json::Arr(items) => items.iter_mut().for_each(strip),
+                _ => {}
+            }
+        }
+        // A spec-sourced scenario...
+        let sc = ScenarioRegistry::reduced().scenarios().remove(0);
+        let mut json = scenario_to_json(&sc);
+        strip(&mut json);
+        let back = scenario_from_json(&json).unwrap();
+        assert_eq!(back, sc, "legacy payload decodes to the legacy scenario");
+        // ...and a concrete-workload one.
+        let w = Arc::new(WorkloadSpec::constant(3, 2, 1e6, 6.0, 1e5).generate(1));
+        let concrete = Scenario {
+            name: "concrete".into(),
+            platform: simcal_platform::catalog::scsn(),
+            workload: WorkloadSource::Concrete(w),
+            cache: CacheSpec::seeded(0.25, 99),
+            config: SimConfig::default(),
+        };
+        let mut json = scenario_to_json(&concrete);
+        strip(&mut json);
+        assert_eq!(scenario_from_json(&json).unwrap(), concrete);
+    }
+
+    #[test]
+    fn malformed_arrival_parameters_are_structured_errors() {
+        // Bad parameters must fail at the codec boundary, not as an
+        // assert panic when a worker materializes the workload.
+        let sc = Scenario {
+            name: "arrivals".into(),
+            platform: simcal_platform::catalog::scsn(),
+            workload: WorkloadSource::Spec {
+                spec: WorkloadSpec::constant(4, 2, 1e6, 6.0, 1e5)
+                    .with_arrival(ArrivalProcess::Poisson { rate: 1.0 }),
+                seed: 7,
+            },
+            cache: CacheSpec::canonical(0.5),
+            config: SimConfig::default(),
+        };
+        let text = encode_scenario(&sc);
+        for (from, to) in [
+            ("\"rate\":1", "\"rate\":-1"),
+            ("\"rate\":1", "\"rate\":0"),
+            ("\"rate\":1", "\"rate\":\"NaN\""),
+            (
+                "\"kind\":\"poisson\",\"rate\":1",
+                "\"kind\":\"bursty\",\"batch_size\":0,\"batch_interval\":5",
+            ),
+            (
+                "\"kind\":\"poisson\",\"rate\":1",
+                "\"kind\":\"diurnal\",\"base_rate\":1,\"amplitude\":1.5,\"period\":60",
+            ),
+        ] {
+            let tampered = text.replacen(from, to, 1);
+            assert_ne!(tampered, text, "{to}: replacement must apply");
+            assert!(
+                matches!(decode_scenario(&tampered), Err(CodecError::Invalid { .. })),
+                "{to}: must be a structured error"
+            );
+        }
+    }
+
+    #[test]
+    fn v2_payloads_require_the_release_fields() {
+        // The legacy defaults are a v1 courtesy, not a permanent optional:
+        // a v2 writer that drops a release field produced a broken
+        // payload, and decoding reports it instead of silently assuming
+        // "no queueing".
+        let sc = ScenarioRegistry::reduced().scenarios().remove(0);
+        for field in ["arrival", "release_time_scale"] {
+            let mut json = scenario_to_json(&sc);
+            fn drop_field(json: &mut Json, field: &str) {
+                if let Json::Obj(fields) = json {
+                    fields.retain(|(k, _)| k != field);
+                    for (_, v) in fields.iter_mut() {
+                        drop_field(v, field);
+                    }
+                }
+            }
+            drop_field(&mut json, field);
+            assert!(
+                matches!(
+                    scenario_from_json(&json),
+                    Err(CodecError::MissingField { field: f, .. }) if f == field
+                ),
+                "dropping {field:?} from a v2 payload must be a MissingField error"
+            );
+        }
+    }
+
+    #[test]
+    fn arrival_processes_round_trip() {
+        for arrival in [
+            ArrivalProcess::Immediate,
+            ArrivalProcess::Poisson { rate: 0.25 },
+            ArrivalProcess::Diurnal { base_rate: 0.1, amplitude: 0.8, period: 3600.0 },
+            ArrivalProcess::Bursty { batch_size: 12, batch_interval: 300.0 },
+        ] {
+            let sc = Scenario {
+                name: "arrivals".into(),
+                platform: simcal_platform::catalog::scsn(),
+                workload: WorkloadSource::Spec {
+                    spec: WorkloadSpec::constant(4, 2, 1e6, 6.0, 1e5).with_arrival(arrival),
+                    seed: 7,
+                },
+                cache: CacheSpec::canonical(0.5),
+                config: SimConfig::default(),
+            };
+            let text = encode_scenario(&sc);
+            let back = decode_scenario(&text).unwrap();
+            assert_eq!(back, sc, "{arrival:?}");
+            assert_eq!(encode_scenario(&back), text);
+        }
+    }
+
+    #[test]
+    fn concrete_release_times_round_trip_and_reject_disorder() {
+        let mut w = WorkloadSpec::constant(3, 2, 1e6, 6.0, 1e5).generate(1);
+        for (i, j) in w.jobs.iter_mut().enumerate() {
+            j.release = i as f64 * 60.0;
+        }
+        let sc = Scenario {
+            name: "released".into(),
+            platform: simcal_platform::catalog::scsn(),
+            workload: WorkloadSource::Concrete(Arc::new(w)),
+            cache: CacheSpec::canonical(0.5),
+            config: SimConfig::default(),
+        };
+        let text = encode_scenario(&sc);
+        assert_eq!(decode_scenario(&text).unwrap(), sc);
+        // Out-of-order releases are a structured error, not a panic.
+        let tampered = text.replacen("\"release\":0", "\"release\":500", 1);
+        assert!(matches!(decode_scenario(&tampered), Err(CodecError::Invalid { .. })));
+        // A negative release is likewise rejected.
+        let negative = text.replacen("\"release\":0", "\"release\":-5", 1);
+        assert!(matches!(decode_scenario(&negative), Err(CodecError::Invalid { .. })));
     }
 
     #[test]

@@ -65,6 +65,11 @@ pub struct SimConfig {
     /// Slot-selection policy of the FCFS scheduler. The paper's setup is
     /// [`SchedulerPolicy::FirstFreeSlot`]; scenarios may vary it.
     pub scheduler: SchedulerPolicy,
+    /// Multiplier applied to every job release time (default 1.0). Lets a
+    /// scenario family compress or stretch an arrival pattern — sweeping
+    /// the load intensity of one seeded workload — without regenerating
+    /// it. Workloads with all releases at 0 are unaffected by any value.
+    pub release_time_scale: f64,
 }
 
 impl SimConfig {
@@ -77,7 +82,14 @@ impl SimConfig {
             cache_write_through: false,
             noise: NoiseConfig::none(),
             scheduler: SchedulerPolicy::default(),
+            release_time_scale: 1.0,
         }
+    }
+
+    /// The effective release instant of a job with spec release time
+    /// `release` (seconds).
+    pub fn release_time(&self, release: f64) -> f64 {
+        release * self.release_time_scale
     }
 
     /// Panic unless the configuration is valid.
@@ -91,6 +103,10 @@ impl SimConfig {
             assert!(f.is_finite() && f > 0.0, "compute factor for job {j} must be positive");
         }
         assert!(self.noise.read_jitter_sigma >= 0.0);
+        assert!(
+            self.release_time_scale.is_finite() && self.release_time_scale >= 0.0,
+            "release time scale must be non-negative"
+        );
     }
 }
 
@@ -127,6 +143,23 @@ mod tests {
     fn bad_noise_rejected() {
         let mut c = SimConfig::default();
         c.noise.compute_factors = vec![0.0];
+        c.validate();
+    }
+
+    #[test]
+    fn release_scale_defaults_to_identity() {
+        let c = SimConfig::default();
+        assert_eq!(c.release_time_scale, 1.0);
+        assert_eq!(c.release_time(12.5), 12.5);
+        let c2 = SimConfig { release_time_scale: 0.5, ..c };
+        assert_eq!(c2.release_time(12.5), 6.25);
+        c2.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "release time scale")]
+    fn negative_release_scale_rejected() {
+        let c = SimConfig { release_time_scale: -1.0, ..SimConfig::default() };
         c.validate();
     }
 }

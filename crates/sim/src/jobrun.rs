@@ -209,6 +209,11 @@ impl JobRun {
                 // complete after the job finished.
                 self.cache_write_busy = false;
             }
+            Kind::Release => {
+                // Release tags ride on timers, which the simulator's event
+                // loop consumes before dispatching to running jobs.
+                unreachable!("release timer routed to a job state machine")
+            }
             Kind::OutNet => {
                 self.out_net_done = self.out_net_pos;
                 self.out_net_busy = false;

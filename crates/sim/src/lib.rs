@@ -8,8 +8,11 @@
 //!
 //! ## Execution model
 //!
-//! Jobs are dispatched to cores by a greedy FCFS [`scheduler`]. Each job
-//! processes its input files sequentially; within a file:
+//! Jobs become eligible at their per-job release time (t = 0 by default;
+//! later releases arrive via engine timers, see
+//! [`simcal_workload::ArrivalProcess`]) and are dispatched to cores by a
+//! greedy FCFS [`scheduler`] — queueing when the platform is full. Each
+//! job processes its input files sequentially; within a file:
 //!
 //! * reading proceeds in **blocks of `B`** (the XRootD block size),
 //!   double-buffered against compute — block *k* is processed while block

@@ -26,16 +26,17 @@ use crate::tags;
 
 /// A structured simulation failure.
 ///
-/// The simulator's event loop has exactly one event vocabulary today
-/// (flow completions); anything else is a logic error that previously
-/// crashed with `unreachable!` in release builds. These variants let
-/// embedding layers (calibration fleets, services) report the failure
-/// instead of aborting the process.
+/// The simulator's event vocabulary is flow completions plus job-release
+/// timers; anything else is a logic error that previously crashed with
+/// `unreachable!` in release builds. These variants let embedding layers
+/// (calibration fleets, services) report the failure instead of aborting
+/// the process.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
-    /// The engine delivered a user-timer event, but the simulator sets no
-    /// user timers. A future feature that introduces timers must extend
-    /// the event dispatch in [`SimSession::try_run`].
+    /// The engine delivered a user-timer event whose tag is not a job
+    /// release — the only timer kind the simulator sets. A future feature
+    /// that introduces more timers must extend the event dispatch in
+    /// [`SimSession::try_run`].
     UnexpectedTimer {
         /// The tag carried by the rogue timer.
         tag: Tag,
@@ -57,7 +58,7 @@ impl std::fmt::Display for SimError {
         match *self {
             SimError::UnexpectedTimer { tag, at } => write!(
                 f,
-                "unexpected user timer (tag {tag:?}) fired at t={at}: the simulator sets no user timers"
+                "unexpected user timer (tag {tag:?}) fired at t={at}: the simulator only sets job-release timers"
             ),
             SimError::UnfinishedJobs { finished, total } => write!(
                 f,
@@ -153,28 +154,78 @@ impl SimSession {
         let runs = &mut self.runs;
         let mut records: Vec<JobRecord> = Vec::with_capacity(workload.len());
 
-        // Submit every job; those that get a core start immediately.
+        /// Build and start a run on its assigned slot (shared by the three
+        /// dispatch points: t=0 submission, release-timer dispatch, and
+        /// queue pops on slot release).
+        fn start_job(
+            job: usize,
+            node: usize,
+            core: u32,
+            workload: &Workload,
+            cache: &CachePlan,
+            runs: &mut [Option<JobRun>],
+            ctx: &mut Ctx<'_>,
+        ) {
+            let mut run = JobRun::new(
+                job,
+                node,
+                core,
+                &workload.jobs[job],
+                cache,
+                ctx.cfg.noise.compute_factor(job),
+            );
+            run.begin(ctx);
+            runs[job] = Some(run);
+        }
+
+        // Submit every job released at t = 0 now (the legacy hot path —
+        // with no release times this is the entire submission phase);
+        // later releases arrive through engine timers, making the
+        // scheduler's queue/release machinery the dispatch path.
         #[allow(clippy::needless_range_loop)] // `job` is an id, not just an index
         for job in 0..workload.len() {
-            if let Some((node, core)) = scheduler.submit(job) {
-                let mut run = JobRun::new(
+            let release = config.release_time(workload.jobs[job].release);
+            if release > 0.0 {
+                engine.set_timer(release, tags::encode(tags::Kind::Release, job));
+            } else if let Some((node, core)) = scheduler.submit(job) {
+                start_job(
                     job,
                     node,
                     core,
-                    &workload.jobs[job],
+                    workload,
                     cache,
-                    config.noise.compute_factor(job),
+                    runs,
+                    &mut Ctx { engine, res: &resources, cfg: config, rng: &mut rng },
                 );
-                run.begin(&mut Ctx { engine, res: &resources, cfg: config, rng: &mut rng });
-                runs[job] = Some(run);
             }
         }
 
         while let Some(event) = engine.next() {
-            let Event::FlowCompleted { tag, .. } = event else {
-                let Event::TimerFired { tag, .. } = event else { unreachable!() };
-                debug_assert!(false, "the simulator sets no user timers (tag {tag:?})");
-                return Err(SimError::UnexpectedTimer { tag, at: engine.now() });
+            let tag = match event {
+                Event::FlowCompleted { tag, .. } => tag,
+                Event::TimerFired { tag, .. } => {
+                    let (kind, job) = tags::decode(tag);
+                    if kind != tags::Kind::Release {
+                        debug_assert!(false, "unknown user timer (tag {tag:?})");
+                        return Err(SimError::UnexpectedTimer { tag, at: engine.now() });
+                    }
+                    // The job's release instant: submit it. FCFS order is
+                    // preserved because timers fire in (time, scheduling
+                    // sequence) order and jobs schedule timers in index
+                    // order.
+                    if let Some((node, core)) = scheduler.submit(job) {
+                        start_job(
+                            job,
+                            node,
+                            core,
+                            workload,
+                            cache,
+                            runs,
+                            &mut Ctx { engine, res: &resources, cfg: config, rng: &mut rng },
+                        );
+                    }
+                    continue;
+                }
             };
             let (kind, job) = tags::decode(tag);
             let run = runs[job].as_mut().unwrap_or_else(|| panic!("event for unstarted job {job}"));
@@ -182,18 +233,25 @@ impl SimSession {
                 .on_event(kind, &mut Ctx { engine, res: &resources, cfg: config, rng: &mut rng });
             if finished {
                 let (node, core) = (run.node, run.core);
-                records.push(JobRecord { job, node, core, start: run.start, end: run.end });
+                let release = config.release_time(workload.jobs[job].release);
+                records.push(JobRecord {
+                    job,
+                    node,
+                    core,
+                    release,
+                    start: run.start,
+                    end: run.end,
+                });
                 if let Some((next_job, (n_node, n_core))) = scheduler.release(node, core) {
-                    let mut run = JobRun::new(
+                    start_job(
                         next_job,
                         n_node,
                         n_core,
-                        &workload.jobs[next_job],
+                        workload,
                         cache,
-                        config.noise.compute_factor(next_job),
+                        runs,
+                        &mut Ctx { engine, res: &resources, cfg: config, rng: &mut rng },
                     );
-                    run.begin(&mut Ctx { engine, res: &resources, cfg: config, rng: &mut rng });
-                    runs[next_job] = Some(run);
                 }
             }
         }
@@ -423,6 +481,102 @@ mod tests {
         assert_eq!(trace.jobs.len(), 2);
         let (a, b) = (&trace.jobs[0], &trace.jobs[1]);
         assert!(b.start >= a.end - 1e-9, "second job must wait for the core");
+        assert_eq!(b.queue_wait(), b.start, "released at 0, waited the whole time");
+    }
+
+    #[test]
+    fn released_job_starts_exactly_at_its_release_on_a_free_platform() {
+        // 2 cores, 2 jobs, second released long after the first finishes:
+        // no queueing, the start time IS the release time.
+        use simcal_platform::PlatformBuilder;
+        let p = PlatformBuilder::new("tiny").node("n", 2).wan_gbps(10.0).build();
+        let mut w = WorkloadSpec::constant(2, 1, 10e6, 1.0, 1.0).generate(0);
+        w.jobs[1].release = 1e4;
+        let cache = CachePlan::new(&w, 1.0, 0);
+        let trace = simulate(&p, &w, &cache, &config());
+        assert_eq!(trace.jobs[0].start, 0.0);
+        assert_eq!(trace.jobs[1].start, 1e4);
+        assert_eq!(trace.jobs[1].release, 1e4);
+        assert_eq!(trace.jobs[1].queue_wait(), 0.0);
+        assert_eq!(trace.mean_queue_wait(), 0.0);
+    }
+
+    #[test]
+    fn released_job_queues_on_a_busy_platform() {
+        // 1 core; the second job is released mid-flight of the first, so
+        // it must wait from its release until the core frees.
+        use simcal_platform::PlatformBuilder;
+        let p = PlatformBuilder::new("tiny").node("n", 1).wan_gbps(10.0).build();
+        let mut w = WorkloadSpec::constant(2, 1, 100e6, 10.0, 1.0).generate(0);
+        w.jobs[1].release = 0.01;
+        let cache = CachePlan::new(&w, 1.0, 0);
+        let trace = simulate(&p, &w, &cache, &config());
+        let (a, b) = (&trace.jobs[0], &trace.jobs[1]);
+        assert!(a.end > 0.01, "first job must still be running at the release");
+        assert!((b.start - a.end).abs() < 1e-9, "queued job inherits the freed core");
+        assert!((b.queue_wait() - (a.end - 0.01)).abs() < 1e-9);
+        assert!(trace.mean_queue_wait() > 0.0);
+        assert_eq!(trace.max_queue_wait(), b.queue_wait());
+    }
+
+    #[test]
+    fn zero_releases_match_the_legacy_path_exactly() {
+        // Explicit all-zero release times must take the direct-submission
+        // path: traces (including event counts — timers would add events)
+        // are bit-identical to the same workload without the field set.
+        let w = small_workload();
+        assert!(!w.has_releases());
+        let cache = CachePlan::new(&w, 0.5, 1);
+        let base = simulate(&catalog::scsn(), &w, &cache, &config());
+        let mut explicit = w.clone();
+        for j in &mut explicit.jobs {
+            j.release = 0.0;
+        }
+        let again = simulate(&catalog::scsn(), &explicit, &cache, &config());
+        assert_eq!(base.jobs, again.jobs);
+        assert_eq!(base.engine_events, again.engine_events);
+    }
+
+    #[test]
+    fn release_time_scale_compresses_arrivals() {
+        use simcal_platform::PlatformBuilder;
+        let p = PlatformBuilder::new("tiny").node("n", 2).wan_gbps(10.0).build();
+        let mut w = WorkloadSpec::constant(2, 1, 10e6, 1.0, 1.0).generate(0);
+        w.jobs[1].release = 1e4;
+        let cache = CachePlan::new(&w, 1.0, 0);
+        let mut cfg = config();
+        cfg.release_time_scale = 0.5;
+        let trace = simulate(&p, &w, &cache, &cfg);
+        assert_eq!(trace.jobs[1].start, 5e3);
+        assert_eq!(trace.jobs[1].release, 5e3, "records carry the effective release");
+        // Scale 0 collapses to the legacy everything-at-zero behaviour.
+        cfg.release_time_scale = 0.0;
+        let collapsed = simulate(&p, &w, &cache, &cfg);
+        assert_eq!(collapsed.jobs[1].start, 0.0);
+        assert_eq!(collapsed.jobs[1].release, 0.0);
+    }
+
+    #[test]
+    fn staggered_releases_dispatch_fcfs() {
+        // 1 core, 4 jobs released in order with gaps smaller than the
+        // service time: dispatch (start) order must follow release order.
+        use simcal_platform::PlatformBuilder;
+        let p = PlatformBuilder::new("tiny").node("n", 1).wan_gbps(10.0).build();
+        let mut w = WorkloadSpec::constant(4, 1, 100e6, 10.0, 1.0).generate(0);
+        for (i, j) in w.jobs.iter_mut().enumerate() {
+            j.release = i as f64 * 0.005;
+        }
+        let cache = CachePlan::new(&w, 1.0, 0);
+        let trace = simulate(&p, &w, &cache, &config());
+        for pair in trace.jobs.windows(2) {
+            assert!(
+                pair[0].start < pair[1].start,
+                "job {} must start before job {}",
+                pair[0].job,
+                pair[1].job
+            );
+            assert!(pair[1].start >= pair[0].end - 1e-9, "single core serializes");
+        }
     }
 
     #[test]

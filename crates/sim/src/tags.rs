@@ -24,6 +24,10 @@ pub enum Kind {
     /// Fire-and-forget write of a fetched chunk into the node-local cache
     /// (XRootD write-through; ground-truth emulator only).
     CacheWrite = 6,
+    /// A job's release instant (carried by a *timer*, not a flow): the job
+    /// becomes eligible for dispatch when the tagged timer fires. The only
+    /// timer tag the simulator sets.
+    Release = 7,
 }
 
 impl Kind {
@@ -36,6 +40,7 @@ impl Kind {
             4 => Kind::OutNet,
             5 => Kind::OutServer,
             6 => Kind::CacheWrite,
+            7 => Kind::Release,
             _ => unreachable!("invalid kind bits {bits}"),
         }
     }
@@ -65,6 +70,7 @@ mod tests {
             Kind::OutNet,
             Kind::OutServer,
             Kind::CacheWrite,
+            Kind::Release,
         ]
         .into_iter()
         .enumerate()

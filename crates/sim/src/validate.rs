@@ -79,8 +79,8 @@ mod tests {
         let w = WorkloadSpec::constant(2, 1, 1e6, 1.0, 0.0).generate(0);
         let trace = ExecutionTrace {
             jobs: vec![
-                JobRecord { job: 0, node: 0, core: 0, start: 0.0, end: 10.0 },
-                JobRecord { job: 1, node: 0, core: 0, start: 5.0, end: 15.0 },
+                JobRecord { job: 0, node: 0, core: 0, release: 0.0, start: 0.0, end: 10.0 },
+                JobRecord { job: 1, node: 0, core: 0, release: 0.0, start: 5.0, end: 15.0 },
             ],
             n_nodes: 1,
             engine_events: 0,

@@ -163,6 +163,8 @@ fn sweep_result_to_json(r: &SweepResult) -> Json {
         ("name", Json::Str(r.name.clone())),
         ("makespan", json_f64(r.makespan)),
         ("mean_job_time", json_f64(r.mean_job_time)),
+        ("mean_queue_wait", json_f64(r.mean_queue_wait)),
+        ("max_queue_wait", json_f64(r.max_queue_wait)),
         ("node_means", Json::Arr(r.node_means.iter().map(|&v| json_f64(v)).collect())),
         ("node_stds", Json::Arr(r.node_stds.iter().map(|&v| json_f64(v)).collect())),
         ("events", json_u64(r.events)),
@@ -173,16 +175,28 @@ fn sweep_result_to_json(r: &SweepResult) -> Json {
 
 fn sweep_result_from_json(json: &Json) -> Result<SweepResult, CodecError> {
     let r = ObjReader::new("SweepResult", json)?;
-    check_version("SweepResult", &r)?;
+    let v = check_version("SweepResult", &r)?;
     let hash_text = r.str("trace_hash")?;
     let trace_hash = u64::from_str_radix(hash_text, 16).map_err(|_| CodecError::Invalid {
         ty: "SweepResult",
         msg: format!("bad trace hash {hash_text:?}"),
     })?;
+    // The queue-wait columns arrived with codec v2; v1 results (written
+    // before jobs had release times) decode as wait-free. From v2 on the
+    // fields are required — a truncated payload is a structured error.
+    let wait = |field: &'static str| -> Result<f64, CodecError> {
+        if v >= 2 {
+            r.f64(field)
+        } else {
+            Ok(0.0)
+        }
+    };
     Ok(SweepResult {
         name: r.str("name")?.to_string(),
         makespan: r.f64("makespan")?,
         mean_job_time: r.f64("mean_job_time")?,
+        mean_queue_wait: wait("mean_queue_wait")?,
+        max_queue_wait: wait("max_queue_wait")?,
         node_means: r.f64_arr("node_means")?,
         node_stds: r.f64_arr("node_stds")?,
         events: r.u64("events")?,
@@ -552,20 +566,44 @@ fn merge_with_failures(spool: &Path, failed_workers: usize) -> Result<Vec<SweepR
 // ---- the coordinator ------------------------------------------------------
 
 /// The distributed sweep coordinator: spools the grid, spawns worker
-/// processes, participates in the drain itself, recovers crashed workers'
-/// claims, and merges the results.
+/// processes, participates in the drain itself, recovers crashed **and
+/// hung** workers' claims on a progress deadline, and merges the results.
 pub struct DistSweep {
     spool: PathBuf,
     spawn: usize,
     threads: usize,
     worker_cmd: Option<(PathBuf, Vec<String>)>,
+    /// How long the coordinator tolerates zero progress (no new result
+    /// files) while claims are in flight or workers are alive before it
+    /// presumes the claim holders dead, requeues their tasks, and runs
+    /// them itself. This is the liveness bound: one hung worker delays the
+    /// sweep by at most this window, it can no longer stall it forever.
+    stall_timeout: std::time::Duration,
+    /// The shorter settle window applied when nothing can still be
+    /// producing (no claims in flight, no live children).
+    settle_timeout: std::time::Duration,
 }
 
 impl DistSweep {
     /// A coordinator over `spool` that drains the queue itself (no child
     /// processes) with one thread.
     pub fn new(spool: impl Into<PathBuf>) -> Self {
-        Self { spool: spool.into(), spawn: 0, threads: 1, worker_cmd: None }
+        Self {
+            spool: spool.into(),
+            spawn: 0,
+            threads: 1,
+            worker_cmd: None,
+            stall_timeout: std::time::Duration::from_secs(30),
+            settle_timeout: std::time::Duration::from_secs(2),
+        }
+    }
+
+    /// Override the zero-progress window after which in-flight claims are
+    /// presumed orphaned and requeued (default 30 s). Lower it in tests;
+    /// raise it for sweeps whose single scenarios legitimately run long.
+    pub fn with_stall_timeout(mut self, stall: std::time::Duration) -> Self {
+        self.stall_timeout = stall;
+        self
     }
 
     /// Spawn `n` worker processes in addition to the coordinator's own
@@ -626,56 +664,98 @@ impl DistSweep {
             reap_children(&mut children, true);
             return Err(e);
         }
-        let failed_workers = reap_children(&mut children, false);
-        // Recover tasks a dead worker claimed but never finished. Workers
-        // write results incrementally, so only in-flight tasks reappear.
-        if requeue_orphans(&self.spool)? > 0 {
-            run_worker(&self.spool, self.threads)?;
-        }
-        // Externally-attached workers (`sweep-worker` run by hand on the
-        // shared filesystem) may still be computing tasks they claimed:
-        // give missing results a progress-aware grace window before
-        // declaring the sweep incomplete. While a claim without a result
-        // exists the wait is generous (a scenario can legitimately take
-        // tens of seconds); with no claim in flight nothing can still be
-        // producing, so only a short settle window applies.
+        let outcome = self.settle(&mut children);
+        // Whatever happened, no child may outlive the sweep: anything
+        // still running at this point is hung (the queue is drained and
+        // its claims were recovered) — kill it rather than block on it.
+        reap_children(&mut children, true);
+        outcome
+    }
+
+    /// Post-drain completion protocol. The queue is empty; what remains is
+    /// waiting for results from spawned children and externally-attached
+    /// workers, recovering claims whose holders crashed *or hung*, and
+    /// merging. Children are polled non-blockingly — the coordinator
+    /// never does a blocking `wait` on a child that may never exit (the
+    /// pre-deadline design did exactly that, so one hung worker stalled
+    /// the sweep indefinitely).
+    fn settle(&self, children: &mut Vec<Child>) -> Result<Vec<SweepResult>, DistError> {
+        const POLL: std::time::Duration = std::time::Duration::from_millis(25);
+        /// Recovery attempts before the coordinator gives up and reports
+        /// the sweep incomplete (guards against a pathological external
+        /// worker that keeps re-claiming tasks and hanging).
+        const MAX_RECOVERIES: u32 = 3;
+        let mut failed_workers = 0usize;
         let mut last_done = count_results(&self.spool)?;
-        let mut idle_polls = 0u32;
-        let mut recovered = false;
+        let mut idle = std::time::Duration::ZERO;
+        let mut recoveries = 0u32;
         loop {
+            failed_workers += poll_children(children);
             match merge_with_failures(&self.spool, failed_workers) {
-                Err(DistError::Incomplete { .. }) => {
+                Err(DistError::Incomplete { .. }) if recoveries < MAX_RECOVERIES => {
+                    // While a claim without a result exists (or a child is
+                    // still alive) results may yet appear, so the wait is
+                    // generous — but bounded by the stall deadline. With
+                    // nothing in flight only a short settle window
+                    // applies. A crashed worker's claims are requeued
+                    // immediately: no children remain and no results can
+                    // appear, so waiting would be pure stall.
                     let in_flight = unfinished_claims(&self.spool)?;
-                    let limit = if in_flight > 0 { 1200 } else { 80 }; // ~30 s vs ~2 s
-                    if idle_polls >= limit {
-                        if recovered {
-                            return merge_with_failures(&self.spool, failed_workers);
-                        }
-                        // Last resort: the claim holder is presumed dead
-                        // (no progress for the whole window) — requeue
-                        // its tasks and run them here, then merge once
-                        // more. If the holder was merely glacial it will
+                    let busy = in_flight > 0 || !children.is_empty();
+                    let deadline = if !busy {
+                        self.settle_timeout
+                    } else if children.is_empty() && in_flight > 0 && recoveries == 0 {
+                        // Every spawned worker is gone yet claims linger:
+                        // their holders are dead (or are external workers,
+                        // which re-claim safely). Recover right away.
+                        std::time::Duration::ZERO
+                    } else {
+                        self.stall_timeout
+                    };
+                    if idle >= deadline {
+                        // The claim holders made no progress for the whole
+                        // window: presume them dead, requeue their tasks,
+                        // and run them here. A merely-glacial holder will
                         // write an identical result; both outcomes merge.
-                        recovered = true;
-                        idle_polls = 0;
+                        recoveries += 1;
+                        idle = std::time::Duration::ZERO;
                         if requeue_orphans(&self.spool)? > 0 {
                             run_worker(&self.spool, self.threads)?;
                         }
                         continue;
                     }
-                    std::thread::sleep(std::time::Duration::from_millis(25));
+                    std::thread::sleep(POLL);
+                    idle += POLL;
                     let done = count_results(&self.spool)?;
                     if done > last_done {
                         last_done = done;
-                        idle_polls = 0;
-                    } else {
-                        idle_polls += 1;
+                        idle = std::time::Duration::ZERO;
                     }
                 }
                 outcome => return outcome,
             }
         }
     }
+}
+
+/// Non-blockingly reap children that have exited, removing them from the
+/// list. Returns how many exited unsuccessfully since the last poll.
+fn poll_children(children: &mut Vec<Child>) -> usize {
+    let mut failed = 0;
+    children.retain_mut(|child| match child.try_wait() {
+        Ok(Some(status)) => {
+            if !status.success() {
+                failed += 1;
+            }
+            false
+        }
+        Ok(None) => true,
+        Err(_) => {
+            failed += 1;
+            false
+        }
+    });
+    failed
 }
 
 /// Wait on every child (killing them first when `kill` is set — the
@@ -750,6 +830,8 @@ mod tests {
             name: "demo".to_string(),
             makespan: 123.456,
             mean_job_time: 7.89,
+            mean_queue_wait: 1.25,
+            max_queue_wait: 4.5,
             node_means: vec![1.0, f64::NAN, 3.0],
             node_stds: vec![0.5, f64::NAN, f64::INFINITY],
             events: u64::MAX - 3,
@@ -886,5 +968,57 @@ mod tests {
     fn empty_grid_is_fine() {
         let spool = fresh_spool("empty");
         assert!(DistSweep::new(&spool).run(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn sweep_result_codec_tolerates_v1_payloads_without_wait_columns() {
+        let grid = grid(1);
+        let r = SweepRunner::new().with_workers(1).run(&grid).remove(0);
+        let text = encode_sweep_result(&r);
+        // Strip the v2 queue-wait fields and mark the payload v1.
+        let stripped = text
+            .replace(&format!(",\"mean_queue_wait\":{}", r.mean_queue_wait), "")
+            .replace(&format!(",\"max_queue_wait\":{}", r.max_queue_wait), "")
+            .replacen("{\"v\":\"2\"", "{\"v\":\"1\"", 1)
+            .replacen("{\"v\":2", "{\"v\":1", 1);
+        assert!(!stripped.contains("queue_wait"), "fields stripped: {stripped}");
+        let back = decode_sweep_result(&stripped).unwrap();
+        assert_eq!(back.mean_queue_wait, 0.0);
+        assert_eq!(back.max_queue_wait, 0.0);
+        assert_eq!(back.trace_hash, r.trace_hash);
+    }
+
+    #[test]
+    fn hung_worker_does_not_stall_the_sweep() {
+        // A worker that (possibly) claims a task and then hangs forever.
+        // The pre-deadline coordinator did a blocking wait on every child
+        // before recovering claims, so this test would hang; the
+        // deadline-based coordinator requeues the stale claim, finishes
+        // the work itself, and kills the hung child on the way out.
+        let grid = grid(4);
+        let spool = fresh_spool("hung");
+        let script = format!(
+            "f=$(ls {spool}/tasks 2>/dev/null | head -n 1); \
+             [ -n \"$f\" ] && mv {spool}/tasks/$f {spool}/claimed/$f 2>/dev/null; \
+             sleep 300",
+            spool = spool.display()
+        );
+        let t0 = std::time::Instant::now();
+        let merged = DistSweep::new(&spool)
+            .with_stall_timeout(std::time::Duration::from_millis(300))
+            .with_spawn(1)
+            .with_worker_command("/bin/sh", vec!["-c".to_string(), script])
+            .run(&grid)
+            .unwrap();
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(60),
+            "sweep must not wait out the child's 300 s sleep"
+        );
+        assert_eq!(
+            fingerprints(&merged),
+            fingerprints(&SweepRunner::new().with_workers(1).run(&grid)),
+            "recovered results are bit-identical to a local sweep"
+        );
+        std::fs::remove_dir_all(&spool).ok();
     }
 }

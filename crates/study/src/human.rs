@@ -17,6 +17,7 @@
 //! observations would.
 
 use simcal_platform::{HardwareParams, PlatformKind};
+use simcal_sim::{Scheduler, SchedulerPolicy};
 use simcal_units as units;
 
 use crate::case::CaseStudy;
@@ -69,7 +70,8 @@ impl HumanCalibration {
         let scfn = case.gt(PlatformKind::Scfn);
         let point = scfn.point(1.0).expect("ICD 1.0 in ground truth");
         let platform = PlatformKind::Scfn.spec();
-        let jobs_per_node = jobs_per_node(workload.len(), &platform);
+        let jobs_per_node =
+            jobs_per_node(workload.len(), &platform, SchedulerPolicy::FirstFreeSlot);
         let mut estimates = Vec::new();
         for (node, &t) in point.node_means.iter().enumerate() {
             if t.is_finite() && jobs_per_node[node] > 0 {
@@ -109,18 +111,36 @@ fn mean(xs: &[f64]) -> f64 {
     finite.iter().sum::<f64>() / finite.len() as f64
 }
 
-/// Jobs assigned to each node by the FCFS scheduler (fill nodes in order).
-fn jobs_per_node(n_jobs: usize, platform: &simcal_platform::PlatformSpec) -> Vec<usize> {
-    let mut remaining = n_jobs;
-    platform
-        .nodes
-        .iter()
-        .map(|n| {
-            let take = remaining.min(n.cores as usize);
-            remaining -= take;
-            take
-        })
-        .collect()
+/// Jobs assigned to each node when all jobs are released at once, derived
+/// by replaying the *actual* scheduler under the given policy — not by
+/// assuming the fill-nodes-in-declaration-order shortcut, which silently
+/// misattributes jobs under [`SchedulerPolicy::WidestNodeFirst`] (it packs
+/// fat nodes first, wherever they are declared).
+///
+/// Only valid for non-queueing workloads (`n_jobs` ≤ total slots): once
+/// jobs queue, node assignment depends on completion *timing* and must be
+/// read off the execution trace
+/// ([`ExecutionTrace::jobs_by_node`](simcal_workload::ExecutionTrace::jobs_by_node))
+/// instead of predicted — this function refuses to guess.
+fn jobs_per_node(
+    n_jobs: usize,
+    platform: &simcal_platform::PlatformSpec,
+    policy: SchedulerPolicy,
+) -> Vec<usize> {
+    let cores: Vec<u32> = platform.nodes.iter().map(|n| n.cores).collect();
+    let total: usize = cores.iter().map(|&c| c as usize).sum();
+    assert!(
+        n_jobs <= total,
+        "jobs_per_node: {n_jobs} jobs queue on {total} slots; derive per-node counts from the \
+         execution trace (ExecutionTrace::jobs_by_node), not from placement replay"
+    );
+    let mut scheduler = Scheduler::with_policy(&cores, policy);
+    let mut counts = vec![0usize; platform.nodes.len()];
+    for job in 0..n_jobs {
+        let (node, _) = scheduler.submit(job).expect("no queueing below the slot count");
+        counts[node] += 1;
+    }
+    counts
 }
 
 #[cfg(test)]
@@ -165,8 +185,28 @@ mod tests {
     #[test]
     fn jobs_per_node_follows_scheduler() {
         let p = PlatformKind::Scfn.spec();
-        assert_eq!(jobs_per_node(48, &p), vec![12, 12, 24]);
-        assert_eq!(jobs_per_node(30, &p), vec![12, 12, 6]);
-        assert_eq!(jobs_per_node(5, &p), vec![5, 0, 0]);
+        let ff = SchedulerPolicy::FirstFreeSlot;
+        assert_eq!(jobs_per_node(48, &p, ff), vec![12, 12, 24]);
+        assert_eq!(jobs_per_node(30, &p, ff), vec![12, 12, 6]);
+        assert_eq!(jobs_per_node(5, &p, ff), vec![5, 0, 0]);
+    }
+
+    #[test]
+    fn jobs_per_node_honours_the_policy() {
+        // The widest node (24 cores, declared last on SCFN) fills first
+        // under widest-node-first; the fill-in-declaration-order shortcut
+        // this replaced would have reported [5, 0, 0].
+        let p = PlatformKind::Scfn.spec();
+        assert_eq!(jobs_per_node(5, &p, SchedulerPolicy::WidestNodeFirst), vec![0, 0, 5]);
+        assert_eq!(jobs_per_node(30, &p, SchedulerPolicy::WidestNodeFirst), vec![6, 0, 24]);
+    }
+
+    #[test]
+    #[should_panic(expected = "jobs_per_node")]
+    fn jobs_per_node_refuses_to_guess_queueing_assignments() {
+        // Beyond the slot count, placement depends on completion timing:
+        // the honest source is the trace, so placement replay refuses.
+        let p = PlatformKind::Scfn.spec();
+        jobs_per_node(49, &p, SchedulerPolicy::FirstFreeSlot);
     }
 }

@@ -44,6 +44,11 @@ pub struct SweepResult {
     pub makespan: f64,
     /// Mean job time over all jobs, seconds.
     pub mean_job_time: f64,
+    /// Mean queue wait over all jobs, seconds (0 unless jobs had to wait
+    /// for a core — the queueing/overcommit scenarios).
+    pub mean_queue_wait: f64,
+    /// Largest queue wait any job saw, seconds.
+    pub max_queue_wait: f64,
     /// Per-node mean job times (NaN for unused nodes).
     pub node_means: Vec<f64>,
     /// Per-node job-time standard deviations (NaN for unused nodes).
@@ -62,14 +67,25 @@ pub struct SweepResult {
 /// deterministic columns only (no wall-clock), floats in their shortest
 /// round-trip form, and the FNV-1a trace hash as the one-column
 /// bit-identity witness.
-pub const SWEEP_CSV_SCHEMA: &str = "# simcal sweep csv v1: scenario,makespan_s,mean_job_s,\
-events,trace_hash; simulated seconds (shortest f64 round-trip repr), kernel event count, \
-FNV-1a64 over all job records (hex) - two runs agree iff trace_hash columns agree";
+pub const SWEEP_CSV_SCHEMA: &str = "# simcal sweep csv v2: scenario,makespan_s,mean_job_s,\
+mean_wait_s,max_wait_s,events,trace_hash; simulated seconds (shortest f64 round-trip repr), \
+mean/max released-to-start queue wait, kernel event count, FNV-1a64 over all job records \
+(hex) - two runs agree iff trace_hash columns agree";
 
 impl SweepResult {
     /// The CSV column headers matching [`csv_row`](Self::csv_row).
     pub fn csv_headers() -> Vec<String> {
-        ["scenario", "makespan_s", "mean_job_s", "events", "trace_hash"].map(String::from).to_vec()
+        [
+            "scenario",
+            "makespan_s",
+            "mean_job_s",
+            "mean_wait_s",
+            "max_wait_s",
+            "events",
+            "trace_hash",
+        ]
+        .map(String::from)
+        .to_vec()
     }
 
     /// The result as a deterministic CSV row (excludes `wall_seconds`,
@@ -79,6 +95,8 @@ impl SweepResult {
             self.name.clone(),
             format!("{}", self.makespan),
             format!("{}", self.mean_job_time),
+            format!("{}", self.mean_queue_wait),
+            format!("{}", self.max_queue_wait),
             self.events.to_string(),
             format!("{:016x}", self.trace_hash),
         ]
@@ -92,6 +110,8 @@ impl SweepResult {
             name: name.to_string(),
             makespan: trace.makespan(),
             mean_job_time: trace.mean_job_time(),
+            mean_queue_wait: trace.mean_queue_wait(),
+            max_queue_wait: trace.max_queue_wait(),
             node_means: trace.mean_job_time_by_node(),
             node_stds: (0..n_nodes).map(|n| trace.job_time_std_dev_on_node(n)).collect(),
             events: trace.engine_events,
@@ -104,7 +124,12 @@ impl SweepResult {
     /// everything except `wall_seconds`. Two runs of the same scenario
     /// must produce equal fingerprints regardless of worker placement.
     pub fn fingerprint(&self) -> (String, Vec<u64>, u64, u64) {
-        let mut bits: Vec<u64> = vec![self.makespan.to_bits(), self.mean_job_time.to_bits()];
+        let mut bits: Vec<u64> = vec![
+            self.makespan.to_bits(),
+            self.mean_job_time.to_bits(),
+            self.mean_queue_wait.to_bits(),
+            self.max_queue_wait.to_bits(),
+        ];
         bits.extend(self.node_means.iter().map(|v| v.to_bits()));
         bits.extend(self.node_stds.iter().map(|v| v.to_bits()));
         (self.name.clone(), bits, self.events, self.trace_hash)
@@ -150,7 +175,10 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h.finish()
 }
 
-/// FNV-1a over every job record's identifying bits.
+/// FNV-1a over every job record's identifying bits. Release times are
+/// deliberately excluded: they are workload inputs (already pinned by the
+/// scenario seed), and `start`/`end` witness their effect — so legacy
+/// all-at-t=0 scenarios keep their historical hashes.
 fn trace_hash(trace: &ExecutionTrace) -> u64 {
     let mut h = Fnv1a::new();
     for j in &trace.jobs {
@@ -488,6 +516,25 @@ mod tests {
         tagged.sort_by_key(|(i, _)| *i);
         let reassembled: Vec<SweepResult> = tagged.into_iter().map(|(_, r)| r).collect();
         assert_eq!(fingerprints(&reassembled), fingerprints(&runner.run(&grid)));
+    }
+
+    #[test]
+    fn queue_wait_metrics_surface_in_results() {
+        let reg = ScenarioRegistry::reduced();
+        let grid = reg.scenarios();
+        let results = SweepRunner::new().with_workers(2).run(&grid);
+        for r in &results {
+            let is_arrival = r.name.starts_with("arrival-");
+            if is_arrival {
+                assert!(r.mean_queue_wait > 0.0, "{}: overcommitted member must queue", r.name);
+                assert!(r.max_queue_wait >= r.mean_queue_wait);
+            } else {
+                assert_eq!(r.mean_queue_wait, 0.0, "{}: legacy scenarios never wait", r.name);
+            }
+            let row = r.csv_row();
+            assert_eq!(row.len(), SweepResult::csv_headers().len());
+            assert_eq!(row[3], format!("{}", r.mean_queue_wait));
+        }
     }
 
     #[test]

@@ -45,6 +45,13 @@ fn split_number_suffix(s: &str) -> Result<(f64, String), ParseUnitError> {
     let (num_str, suffix) = t.split_at(idx);
     let value: f64 =
         num_str.trim().parse().map_err(|_| ParseUnitError::new(s, "invalid number"))?;
+    // Sizes and rates are magnitudes: a negative quantity ("-5GB") would
+    // silently flow into hardware specs as a nonsense value, so it is a
+    // structured parse error here, at the boundary. This also catches
+    // negative-exponent tricks like "-1e3MB"; +0.0/-0.0 both pass.
+    if value.is_sign_negative() && value != 0.0 {
+        return Err(ParseUnitError::new(s, "negative quantity"));
+    }
     Ok((value, suffix.trim().to_ascii_lowercase()))
 }
 
@@ -116,6 +123,24 @@ mod tests {
         assert!(parse_bytes("abc").is_err());
         assert!(parse_bytes("12 parsecs").is_err());
         assert!(parse_rate("10 Gbph").is_err());
+    }
+
+    #[test]
+    fn rejects_negative_quantities() {
+        // "-5GB" used to parse to -5e9 and silently produce nonsense
+        // hardware specs downstream.
+        for input in ["-5GB", "-0.1 MB", "-1e3", "-2MiB"] {
+            let e = parse_bytes(input).unwrap_err();
+            assert!(e.to_string().contains("negative"), "{input}: {e}");
+        }
+        for input in ["-10Gbps", "-17 MB/s", "-1e9"] {
+            let e = parse_rate(input).unwrap_err();
+            assert!(e.to_string().contains("negative"), "{input}: {e}");
+        }
+        // Zero stays fine either signed way; positives are untouched.
+        assert_eq!(parse_bytes("0GB").unwrap(), 0.0);
+        assert_eq!(parse_bytes("-0").unwrap(), 0.0);
+        assert_eq!(parse_bytes("5GB").unwrap(), 5e9);
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! Job arrival processes: when jobs are released to the scheduler.
+//!
+//! The paper's case study releases all 48 jobs at t = 0 (the
+//! [`ArrivalProcess::Immediate`] legacy default), but batch systems see
+//! richer arrival patterns: memoryless submission streams, diurnal
+//! day/night load cycles, and bursty campaign-style batch submissions.
+//! This module provides those as seeded, deterministic release-time
+//! generators: the same `(process, n_jobs, seed)` triple always yields the
+//! same release times, on any worker, in any order — the property the
+//! scenario registry and the distributed sweep rely on.
+//!
+//! Release times are produced **sorted ascending** and assigned to jobs in
+//! index order, so job index order *is* submission order and the FCFS
+//! scheduler's queue discipline stays meaningful.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::distribution::Distribution;
+
+/// Stream-split salt: release times are drawn from their own RNG stream so
+/// adding an arrival process never perturbs the job-volume samples of an
+/// existing seeded workload spec.
+const ARRIVAL_STREAM_SALT: u64 = 0xA221_7AB1_EA5E_D015;
+
+/// When jobs become eligible to run, relative to t = 0.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ArrivalProcess {
+    /// Every job is released at t = 0 (the paper's setup and the legacy
+    /// behaviour of every pre-existing workload).
+    #[default]
+    Immediate,
+    /// Homogeneous Poisson arrivals: i.i.d. exponential interarrival times
+    /// with the given rate (jobs per second).
+    Poisson {
+        /// Mean arrival rate, jobs/s (> 0).
+        rate: f64,
+    },
+    /// Diurnal sinusoid-modulated Poisson arrivals (thinning method):
+    /// instantaneous rate `base_rate * (1 + amplitude * sin(2πt/period))`.
+    /// With `amplitude` near 1 the trough almost silences submissions and
+    /// the peak doubles them — a day/night load cycle.
+    Diurnal {
+        /// Mean arrival rate, jobs/s (> 0).
+        base_rate: f64,
+        /// Modulation depth in `[0, 1]`.
+        amplitude: f64,
+        /// Cycle length in seconds (> 0) — the "day".
+        period: f64,
+    },
+    /// Bursty batch arrivals: jobs arrive in back-to-back batches of
+    /// `batch_size`, one batch every `batch_interval` seconds (batch k is
+    /// released at `k * batch_interval`). Deterministic by construction.
+    Bursty {
+        /// Jobs per batch (> 0).
+        batch_size: usize,
+        /// Seconds between batch release instants (> 0).
+        batch_interval: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Whether this process can release a job after t = 0.
+    pub fn is_immediate(&self) -> bool {
+        matches!(self, ArrivalProcess::Immediate)
+    }
+
+    /// Short label for tables and summaries.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Immediate => "immediate",
+            ArrivalProcess::Poisson { .. } => "poisson",
+            ArrivalProcess::Diurnal { .. } => "diurnal",
+            ArrivalProcess::Bursty { .. } => "bursty",
+        }
+    }
+
+    /// Panic if parameters are invalid.
+    pub fn validate(&self) {
+        match *self {
+            ArrivalProcess::Immediate => {}
+            ArrivalProcess::Poisson { rate } => {
+                assert!(rate.is_finite() && rate > 0.0, "Poisson rate must be positive");
+            }
+            ArrivalProcess::Diurnal { base_rate, amplitude, period } => {
+                assert!(base_rate.is_finite() && base_rate > 0.0, "diurnal base rate must be > 0");
+                assert!((0.0..=1.0).contains(&amplitude), "diurnal amplitude must be in [0, 1]");
+                assert!(period.is_finite() && period > 0.0, "diurnal period must be > 0");
+            }
+            ArrivalProcess::Bursty { batch_size, batch_interval } => {
+                assert!(batch_size > 0, "bursty batch size must be > 0");
+                assert!(
+                    batch_interval.is_finite() && batch_interval > 0.0,
+                    "bursty batch interval must be > 0"
+                );
+            }
+        }
+    }
+
+    /// Sample `n_jobs` release times, sorted ascending. Deterministic per
+    /// `(self, n_jobs, seed)`; the RNG stream is salted so it never
+    /// overlaps the job-volume stream derived from the same seed.
+    pub fn release_times(&self, n_jobs: usize, seed: u64) -> Vec<f64> {
+        self.validate();
+        match *self {
+            ArrivalProcess::Immediate => vec![0.0; n_jobs],
+            ArrivalProcess::Poisson { rate } => {
+                let mut rng = StdRng::seed_from_u64(seed ^ ARRIVAL_STREAM_SALT);
+                let gap = Distribution::Exponential { rate };
+                let mut t = 0.0;
+                (0..n_jobs)
+                    .map(|_| {
+                        t += gap.sample(&mut rng);
+                        t
+                    })
+                    .collect()
+            }
+            ArrivalProcess::Diurnal { base_rate, amplitude, period } => {
+                // Lewis–Shedler thinning: candidates at the peak rate,
+                // accepted with probability rate(t) / peak.
+                let mut rng = StdRng::seed_from_u64(seed ^ ARRIVAL_STREAM_SALT);
+                let peak = base_rate * (1.0 + amplitude);
+                let gap = Distribution::Exponential { rate: peak };
+                let mut out = Vec::with_capacity(n_jobs);
+                let mut t = 0.0;
+                while out.len() < n_jobs {
+                    t += gap.sample(&mut rng);
+                    let rate_t =
+                        base_rate * (1.0 + amplitude * (std::f64::consts::TAU * t / period).sin());
+                    let u: f64 = rng.random();
+                    if u * peak < rate_t {
+                        out.push(t);
+                    }
+                }
+                out
+            }
+            ArrivalProcess::Bursty { batch_size, batch_interval } => {
+                (0..n_jobs).map(|j| (j / batch_size) as f64 * batch_interval).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_sorted(xs: &[f64]) -> bool {
+        xs.windows(2).all(|w| w[0] <= w[1])
+    }
+
+    #[test]
+    fn immediate_is_all_zero() {
+        assert_eq!(ArrivalProcess::Immediate.release_times(5, 42), vec![0.0; 5]);
+    }
+
+    #[test]
+    fn poisson_is_sorted_positive_and_seed_deterministic() {
+        let p = ArrivalProcess::Poisson { rate: 0.5 };
+        let a = p.release_times(100, 7);
+        let b = p.release_times(100, 7);
+        assert_eq!(a, b);
+        assert!(is_sorted(&a));
+        assert!(a.iter().all(|&t| t > 0.0));
+        assert_ne!(a, p.release_times(100, 8));
+    }
+
+    #[test]
+    fn poisson_mean_interarrival_matches_rate() {
+        let p = ArrivalProcess::Poisson { rate: 2.0 };
+        let times = p.release_times(20_000, 1);
+        let mean_gap = times.last().unwrap() / times.len() as f64;
+        assert!((mean_gap - 0.5).abs() < 0.02, "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn diurnal_concentrates_arrivals_at_the_peak() {
+        // Peak of sin is the first quarter-period; trough the third.
+        let period = 1000.0;
+        let p = ArrivalProcess::Diurnal { base_rate: 1.0, amplitude: 0.9, period };
+        let times = p.release_times(5_000, 3);
+        assert!(is_sorted(&times));
+        let phase_count = |lo: f64, hi: f64| {
+            times
+                .iter()
+                .filter(|&&t| {
+                    let ph = (t % period) / period;
+                    ph >= lo && ph < hi
+                })
+                .count()
+        };
+        let peak = phase_count(0.0, 0.5); // sin >= 0 half
+        let trough = phase_count(0.5, 1.0); // sin <= 0 half
+        assert!(
+            peak as f64 > 1.5 * trough as f64,
+            "peak half {peak} should dominate trough half {trough}"
+        );
+    }
+
+    #[test]
+    fn bursty_releases_in_batches() {
+        let p = ArrivalProcess::Bursty { batch_size: 3, batch_interval: 10.0 };
+        assert_eq!(p.release_times(8, 99), vec![0.0, 0.0, 0.0, 10.0, 10.0, 10.0, 20.0, 20.0]);
+    }
+
+    #[test]
+    fn labels_cover_every_variant() {
+        assert_eq!(ArrivalProcess::Immediate.label(), "immediate");
+        assert_eq!(ArrivalProcess::Poisson { rate: 1.0 }.label(), "poisson");
+        assert_eq!(
+            ArrivalProcess::Diurnal { base_rate: 1.0, amplitude: 0.5, period: 60.0 }.label(),
+            "diurnal"
+        );
+        assert_eq!(ArrivalProcess::Bursty { batch_size: 4, batch_interval: 5.0 }.label(), "bursty");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        ArrivalProcess::Poisson { rate: 0.0 }.release_times(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude")]
+    fn overdeep_modulation_rejected() {
+        ArrivalProcess::Diurnal { base_rate: 1.0, amplitude: 1.5, period: 60.0 }.validate();
+    }
+}

@@ -12,6 +12,12 @@ pub struct JobSpec {
     /// Output file size in bytes, written to remote storage after the last
     /// input file is processed.
     pub output_bytes: f64,
+    /// Release time in seconds: the earliest instant the job may be
+    /// dispatched. 0 (the legacy value) means "available from the start";
+    /// arrival processes assign later times. Jobs are submitted to the
+    /// FCFS scheduler in index order, and workloads keep release times
+    /// nondecreasing in job index so index order is submission order.
+    pub release: f64,
 }
 
 impl JobSpec {
@@ -35,6 +41,10 @@ impl JobSpec {
         assert!(
             self.output_bytes.is_finite() && self.output_bytes >= 0.0,
             "output_bytes must be non-negative"
+        );
+        assert!(
+            self.release.is_finite() && self.release >= 0.0,
+            "release time must be non-negative"
         );
     }
 }
@@ -79,6 +89,17 @@ impl Workload {
         self.jobs.iter().map(|j| j.input_files.len()).sum()
     }
 
+    /// Whether any job is released after t = 0 (the queueing-relevant
+    /// workloads; legacy workloads release everything immediately).
+    pub fn has_releases(&self) -> bool {
+        self.jobs.iter().any(|j| j.release > 0.0)
+    }
+
+    /// The latest release time in the workload (0 for legacy workloads).
+    pub fn max_release(&self) -> f64 {
+        self.jobs.iter().map(|j| j.release).fold(0.0, f64::max)
+    }
+
     /// The workload's compute-to-data ratio (flop per byte, aggregate).
     ///
     /// The paper's §IV-C2 observes that a calibration computed from one
@@ -94,6 +115,10 @@ impl Workload {
         for j in &self.jobs {
             j.validate();
         }
+        assert!(
+            self.jobs.windows(2).all(|w| w[0].release <= w[1].release),
+            "release times must be nondecreasing in job index (index order is submission order)"
+        );
     }
 }
 
@@ -106,6 +131,7 @@ mod tests {
             input_files: (0..files).map(|_| FileSpec::new(size)).collect(),
             flops_per_byte: fpb,
             output_bytes: 1e6,
+            release: 0.0,
         }
     }
 
@@ -133,6 +159,7 @@ mod tests {
             input_files: vec![],
             flops_per_byte: 1.0,
             output_bytes: 0.0,
+            release: 0.0,
         }]);
     }
 
@@ -140,5 +167,33 @@ mod tests {
     #[should_panic(expected = "no jobs")]
     fn empty_workload_rejected() {
         Workload::new(vec![]);
+    }
+
+    #[test]
+    fn release_helpers_report_queueing_relevance() {
+        let legacy = Workload::new(vec![job(1, 10.0, 1.0), job(1, 10.0, 1.0)]);
+        assert!(!legacy.has_releases());
+        assert_eq!(legacy.max_release(), 0.0);
+        let mut staggered = vec![job(1, 10.0, 1.0), job(1, 10.0, 1.0)];
+        staggered[1].release = 30.0;
+        let staggered = Workload::new(staggered);
+        assert!(staggered.has_releases());
+        assert_eq!(staggered.max_release(), 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing")]
+    fn out_of_order_releases_rejected() {
+        let mut jobs = vec![job(1, 10.0, 1.0), job(1, 10.0, 1.0)];
+        jobs[0].release = 5.0;
+        Workload::new(jobs);
+    }
+
+    #[test]
+    #[should_panic(expected = "release time")]
+    fn negative_release_rejected() {
+        let mut jobs = vec![job(1, 10.0, 1.0)];
+        jobs[0].release = -1.0;
+        Workload::new(jobs);
     }
 }

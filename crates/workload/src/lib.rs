@@ -13,6 +13,7 @@
 //! extraction the calibration objective consumes (mean job execution time
 //! per compute node).
 
+pub mod arrival;
 pub mod distribution;
 pub mod file;
 pub mod hep;
@@ -20,6 +21,7 @@ pub mod job;
 pub mod spec;
 pub mod trace;
 
+pub use arrival::ArrivalProcess;
 pub use distribution::Distribution;
 pub use file::FileSpec;
 pub use hep::{cms_workload, cms_workload_spec, scaled_cms_workload};

@@ -3,12 +3,14 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::arrival::ArrivalProcess;
 use crate::distribution::Distribution;
 use crate::file::FileSpec;
 use crate::job::{JobSpec, Workload};
 
 /// A generative workload specification: volumes are either constants or
-/// probability distributions, exactly as the paper's simulator accepts.
+/// probability distributions, exactly as the paper's simulator accepts,
+/// plus an [`ArrivalProcess`] assigning per-job release times.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
     /// Number of jobs.
@@ -21,6 +23,11 @@ pub struct WorkloadSpec {
     pub flops_per_byte: Distribution,
     /// Distribution of output file sizes (bytes).
     pub output_bytes: Distribution,
+    /// When jobs are released ([`ArrivalProcess::Immediate`] = the legacy
+    /// all-at-t=0 behaviour). Release times draw from a salted RNG stream,
+    /// so changing the arrival process never changes the job volumes a
+    /// seed generates.
+    pub arrival: ArrivalProcess,
 }
 
 impl WorkloadSpec {
@@ -38,23 +45,38 @@ impl WorkloadSpec {
             file_size: Distribution::Constant(file_size),
             flops_per_byte: Distribution::Constant(flops_per_byte),
             output_bytes: Distribution::Constant(output_bytes),
+            arrival: ArrivalProcess::Immediate,
         }
     }
 
+    /// The same spec with a different arrival process (builder style).
+    pub fn with_arrival(mut self, arrival: ArrivalProcess) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
     /// Sample a concrete [`Workload`] deterministically from a seed.
+    ///
+    /// Job volumes are drawn from `seed`'s stream; release times from a
+    /// salted side stream of the same seed. An `Immediate` arrival draws
+    /// nothing, so pre-arrival workloads regenerate bit-identically.
     pub fn generate(&self, seed: u64) -> Workload {
         assert!(self.n_jobs > 0 && self.files_per_job > 0, "degenerate workload spec");
         self.file_size.validate();
         self.flops_per_byte.validate();
         self.output_bytes.validate();
+        self.arrival.validate();
         let mut rng = StdRng::seed_from_u64(seed);
-        let jobs = (0..self.n_jobs)
-            .map(|_| JobSpec {
+        let releases = self.arrival.release_times(self.n_jobs, seed);
+        let jobs = releases
+            .into_iter()
+            .map(|release| JobSpec {
                 input_files: (0..self.files_per_job)
                     .map(|_| FileSpec::new(self.file_size.sample(&mut rng).max(1.0)))
                     .collect(),
                 flops_per_byte: self.flops_per_byte.sample(&mut rng),
                 output_bytes: self.output_bytes.sample(&mut rng),
+                release,
             })
             .collect();
         Workload::new(jobs)
@@ -88,9 +110,39 @@ mod tests {
             file_size: Distribution::Uniform { lo: 1e6, hi: 2e6 },
             flops_per_byte: Distribution::Normal { mean: 10.0, std_dev: 1.0, floor: 0.0 },
             output_bytes: Distribution::Exponential { rate: 1e-6 },
+            arrival: ArrivalProcess::Immediate,
         };
         assert_eq!(spec.generate(7), spec.generate(7));
         assert_ne!(spec.generate(7), spec.generate(8));
+    }
+
+    #[test]
+    fn arrival_process_never_perturbs_job_volumes() {
+        // The load-bearing stream-splitting property: attaching an arrival
+        // process to an existing seeded spec changes release times only.
+        let legacy = WorkloadSpec::constant(6, 3, 10e6, 6.0, 1e6);
+        let poisson = legacy.clone().with_arrival(ArrivalProcess::Poisson { rate: 0.1 });
+        let (a, b) = (legacy.generate(11), poisson.generate(11));
+        assert!(!a.has_releases());
+        assert!(b.has_releases());
+        for (ja, jb) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(ja.input_files, jb.input_files);
+            assert_eq!(ja.flops_per_byte, jb.flops_per_byte);
+            assert_eq!(ja.output_bytes, jb.output_bytes);
+        }
+    }
+
+    #[test]
+    fn generated_releases_are_sorted_and_seeded() {
+        let spec = WorkloadSpec::constant(20, 2, 1e6, 6.0, 1e5)
+            .with_arrival(ArrivalProcess::Poisson { rate: 1.0 });
+        let w = spec.generate(3);
+        assert!(w.jobs.windows(2).all(|p| p[0].release <= p[1].release));
+        assert_eq!(w.jobs, spec.generate(3).jobs);
+        assert_ne!(
+            w.jobs.iter().map(|j| j.release).collect::<Vec<_>>(),
+            spec.generate(4).jobs.iter().map(|j| j.release).collect::<Vec<_>>()
+        );
     }
 
     #[test]

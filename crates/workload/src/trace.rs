@@ -15,6 +15,11 @@ pub struct JobRecord {
     pub node: usize,
     /// Core index within the node.
     pub core: u32,
+    /// Release time (s) — when the job became eligible to run (0 for the
+    /// legacy all-at-t=0 workloads). Not part of the trace hash: it is an
+    /// input echoed for metric extraction, fully determined by the
+    /// workload, and `start`/`end` already witness its effect.
+    pub release: f64,
     /// Start time (s) — when the job began executing on its core.
     pub start: f64,
     /// End time (s) — when the job's output write completed.
@@ -25,6 +30,12 @@ impl JobRecord {
     /// Job execution time in seconds.
     pub fn duration(&self) -> f64 {
         self.end - self.start
+    }
+
+    /// Queue wait in seconds: how long the job sat released-but-undispatched
+    /// (0 whenever a free slot existed at release).
+    pub fn queue_wait(&self) -> f64 {
+        self.start - self.release
     }
 }
 
@@ -75,6 +86,31 @@ impl ExecutionTrace {
         self.jobs.iter().map(|j| j.duration()).sum::<f64>() / self.jobs.len() as f64
     }
 
+    /// Mean queue wait (seconds) over all jobs — 0 exactly when the
+    /// platform never made a released job wait for a core.
+    pub fn mean_queue_wait(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return f64::NAN;
+        }
+        self.jobs.iter().map(|j| j.queue_wait()).sum::<f64>() / self.jobs.len() as f64
+    }
+
+    /// Largest queue wait any job experienced (seconds).
+    pub fn max_queue_wait(&self) -> f64 {
+        self.jobs.iter().map(|j| j.queue_wait()).fold(0.0, f64::max)
+    }
+
+    /// Number of jobs that ran on each node, indexed by node id — the
+    /// *actual* dispatch outcome, valid for any scheduler policy and any
+    /// arrival pattern (unlike assuming the first-free-slot fill order).
+    pub fn jobs_by_node(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_nodes];
+        for j in &self.jobs {
+            counts[j.node] += 1;
+        }
+        counts
+    }
+
     /// Sample standard deviation of job execution times on one node.
     pub fn job_time_std_dev_on_node(&self, node: usize) -> f64 {
         let times: Vec<f64> =
@@ -92,8 +128,9 @@ impl ExecutionTrace {
     pub fn validate(&self) {
         for j in &self.jobs {
             assert!(j.end >= j.start, "job {} ends before it starts", j.job);
+            assert!(j.start >= j.release, "job {} starts before its release", j.job);
             assert!(j.node < self.n_nodes, "job {} on unknown node {}", j.job, j.node);
-            assert!(j.start.is_finite() && j.end.is_finite());
+            assert!(j.start.is_finite() && j.end.is_finite() && j.release.is_finite());
         }
     }
 }
@@ -105,9 +142,9 @@ mod tests {
     fn trace() -> ExecutionTrace {
         ExecutionTrace {
             jobs: vec![
-                JobRecord { job: 0, node: 0, core: 0, start: 0.0, end: 10.0 },
-                JobRecord { job: 1, node: 0, core: 1, start: 0.0, end: 20.0 },
-                JobRecord { job: 2, node: 1, core: 0, start: 5.0, end: 11.0 },
+                JobRecord { job: 0, node: 0, core: 0, release: 0.0, start: 0.0, end: 10.0 },
+                JobRecord { job: 1, node: 0, core: 1, release: 0.0, start: 0.0, end: 20.0 },
+                JobRecord { job: 2, node: 1, core: 0, release: 1.0, start: 5.0, end: 11.0 },
             ],
             n_nodes: 2,
             engine_events: 100,
@@ -153,6 +190,30 @@ mod tests {
     fn validate_catches_negative_duration() {
         let mut t = trace();
         t.jobs[0].end = -1.0;
+        t.validate();
+    }
+
+    #[test]
+    fn queue_wait_metrics() {
+        let t = trace();
+        // Waits: 0, 0, and 5 - 1 = 4.
+        assert!((t.mean_queue_wait() - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(t.max_queue_wait(), 4.0);
+        assert_eq!(t.jobs[2].queue_wait(), 4.0);
+    }
+
+    #[test]
+    fn jobs_by_node_counts_actual_dispatch() {
+        let mut t = trace();
+        t.n_nodes = 3;
+        assert_eq!(t.jobs_by_node(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "starts before its release")]
+    fn validate_catches_start_before_release() {
+        let mut t = trace();
+        t.jobs[0].release = 3.0;
         t.validate();
     }
 }

@@ -63,6 +63,7 @@ fn main() {
             file_size: Distribution::Normal { mean: 80e6, std_dev: 10e6, floor: 1e6 },
             flops_per_byte: Distribution::Constant(8.0),
             output_bytes: Distribution::Exponential { rate: 1.0 / 8e6 },
+            arrival: simcal::workload::ArrivalProcess::Immediate,
         }
         .generate(7),
     );

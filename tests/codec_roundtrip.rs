@@ -19,7 +19,7 @@ use simcal::sim::codec::{
 use simcal::sim::{CacheSpec, Scenario, ScenarioRegistry, SimConfig, WorkloadSource};
 use simcal::study::dist::{decode_sweep_result, encode_sweep_result};
 use simcal::study::{SweepResult, SweepRunner};
-use simcal::workload::{Distribution, WorkloadSpec};
+use simcal::workload::{ArrivalProcess, Distribution, WorkloadSpec};
 
 fn assert_round_trips(sc: &Scenario) {
     let text = encode_scenario(sc);
@@ -32,7 +32,7 @@ fn assert_round_trips(sc: &Scenario) {
 #[test]
 fn every_builtin_scenario_round_trips() {
     let reg = ScenarioRegistry::builtin();
-    assert_eq!(reg.len(), 14, "the registry's 14 built-ins are the covered universe");
+    assert_eq!(reg.len(), 18, "the registry's 18 built-ins are the covered universe");
     for e in reg.entries() {
         assert_round_trips(&e.scenario);
     }
@@ -136,8 +136,10 @@ proptest! {
         n_jobs in 1usize..40,
         files in 1usize..8,
         dist_kind in 0u32..5,
+        arr_kind in 0u32..4,
         scale in 1.0f64..1e9,
         sigma in 0.0f64..2.0,
+        rate in 1e-3f64..10.0,
         wseed in 0u64..u64::MAX,
         icd_milli in 0u64..1000,
         pinned_seed in proptest::option::of(0u64..u64::MAX),
@@ -149,6 +151,19 @@ proptest! {
             3 => Distribution::LogNormal { mu: scale.ln(), sigma },
             _ => Distribution::Exponential { rate: 1.0 / scale },
         };
+        let arrival = match arr_kind {
+            0 => ArrivalProcess::Immediate,
+            1 => ArrivalProcess::Poisson { rate },
+            2 => ArrivalProcess::Diurnal {
+                base_rate: rate,
+                amplitude: (sigma / 2.0).min(1.0),
+                period: 60.0 / rate,
+            },
+            _ => ArrivalProcess::Bursty {
+                batch_size: files.max(1),
+                batch_interval: 10.0 / rate,
+            },
+        };
         let sc = Scenario {
             name: format!("prop-{dist_kind}-{wseed:x}"),
             platform: simcal::platform::catalog::fcfn(),
@@ -159,6 +174,7 @@ proptest! {
                     file_size,
                     flops_per_byte: Distribution::Constant(6.0),
                     output_bytes: Distribution::Constant(scale * 0.1),
+                    arrival,
                 },
                 seed: wseed,
             },

@@ -1,0 +1,184 @@
+//! Property tests of the scheduler's queue/release path under job release
+//! times — the dispatch machinery that was dead code while every workload
+//! started at t = 0.
+//!
+//! The load-bearing guarantees:
+//!
+//! 1. **release honoring** — no job starts before its release instant;
+//! 2. **FCFS dispatch** — jobs are dispatched in submission order (start
+//!    times are nondecreasing in job index, since index order is
+//!    submission order);
+//! 3. **work conservation** — a job only waits while every slot is busy:
+//!    mid-wait the platform runs exactly `total_slots` jobs, and the
+//!    queued job inherits a freed slot the instant one appears;
+//! 4. **saturation policy-invariance** — once every slot is busy, queued
+//!    jobs inherit whichever slot frees up, so the slot-selection policy
+//!    stops mattering: FCFS order holds under every policy, and on
+//!    homogeneous nodes the policies are bit-identical end to end.
+
+use proptest::prelude::*;
+
+use simcal::platform::{PlatformBuilder, PlatformSpec};
+use simcal::sim::{simulate, SchedulerPolicy, SimConfig};
+use simcal::storage::CachePlan;
+use simcal::workload::{ExecutionTrace, Workload, WorkloadSpec};
+
+/// A small platform with the given per-node core counts.
+fn platform(cores: &[u32]) -> PlatformSpec {
+    let mut b = PlatformBuilder::new("queue-test").wan_gbps(10.0);
+    for (i, &c) in cores.iter().enumerate() {
+        b = b.node(format!("n{i}"), c);
+    }
+    b.build()
+}
+
+/// A workload of `n_jobs` identical jobs with the given release offsets
+/// (sorted internally — index order must be submission order).
+fn workload(n_jobs: usize, mut releases: Vec<f64>) -> Workload {
+    releases.resize(n_jobs, 0.0);
+    releases.sort_by(f64::total_cmp);
+    let mut w = WorkloadSpec::constant(n_jobs, 1, 20e6, 8.0, 1e5).generate(0);
+    for (j, r) in w.jobs.iter_mut().zip(releases) {
+        j.release = r;
+    }
+    w.validate();
+    w
+}
+
+fn run(p: &PlatformSpec, w: &Workload, policy: SchedulerPolicy) -> ExecutionTrace {
+    let cfg = SimConfig { scheduler: policy, ..SimConfig::default() };
+    let cache = CachePlan::new(w, 1.0, 0);
+    let trace = simulate(p, w, &cache, &cfg);
+    simcal::sim::check_trace(&trace, w, p);
+    trace
+}
+
+/// Number of jobs running at instant `t` (start <= t < end).
+fn running_at(trace: &ExecutionTrace, t: f64) -> usize {
+    trace.jobs.iter().filter(|j| j.start <= t && t < j.end).count()
+}
+
+/// The three queue-path invariants on one trace.
+fn assert_queue_invariants(trace: &ExecutionTrace, total_slots: usize) {
+    // 1. Releases are honored.
+    for j in &trace.jobs {
+        assert!(j.start >= j.release, "job {} started before its release", j.job);
+    }
+    // 2. FCFS: submission (index) order is dispatch order.
+    for pair in trace.jobs.windows(2) {
+        assert!(
+            pair[0].start <= pair[1].start,
+            "FCFS violated: job {} started after job {}",
+            pair[0].job,
+            pair[1].job
+        );
+    }
+    // 3. Work conservation for every job that waited: mid-wait the
+    // platform is saturated, and the start coincides exactly with some
+    // earlier job's completion (the freed slot is inherited, on the same
+    // (node, core)).
+    for j in trace.jobs.iter().filter(|j| j.queue_wait() > 0.0) {
+        let mid = j.release + 0.5 * j.queue_wait();
+        assert_eq!(
+            running_at(trace, mid),
+            total_slots,
+            "job {} waited while a slot was idle",
+            j.job
+        );
+        assert!(
+            trace.jobs.iter().any(|k| k.end == j.start && k.node == j.node && k.core == j.core),
+            "job {} did not inherit a freed slot at its start",
+            j.job
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random platform shapes, overcommit factors, and release patterns:
+    /// the queue path honors releases, dispatches FCFS, and conserves
+    /// work under both slot-selection policies.
+    #[test]
+    fn queue_path_invariants_hold(
+        shape in proptest::collection::vec(1u32..5, 1..4),
+        overcommit in 1usize..4,
+        spread in 0.0f64..30.0,
+        seed in 0u64..1000,
+        widest in 0u32..2,
+    ) {
+        let p = platform(&shape);
+        let slots: usize = shape.iter().map(|&c| c as usize).sum();
+        let n_jobs = slots * overcommit + 1;
+        // Deterministic pseudo-random release offsets from the seed.
+        let releases: Vec<f64> = (0..n_jobs)
+            .map(|i| {
+                let mix = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64);
+                (mix % 1000) as f64 / 1000.0 * spread
+            })
+            .collect();
+        let w = workload(n_jobs, releases);
+        let policy = if widest == 1 {
+            SchedulerPolicy::WidestNodeFirst
+        } else {
+            SchedulerPolicy::FirstFreeSlot
+        };
+        let trace = run(&p, &w, policy);
+        assert_queue_invariants(&trace, slots);
+    }
+
+    /// On homogeneous nodes the policies share one slot order, so the
+    /// whole trace — queueing included — is bit-identical between them:
+    /// the strongest form of "policy stops mattering once saturated".
+    #[test]
+    fn saturated_homogeneous_platform_is_policy_invariant(
+        nodes in 1usize..4,
+        cores in 1u32..4,
+        spread in 0.0f64..10.0,
+    ) {
+        let p = platform(&vec![cores; nodes]);
+        let slots = nodes * cores as usize;
+        let releases: Vec<f64> =
+            (0..3 * slots).map(|i| i as f64 / (3 * slots) as f64 * spread).collect();
+        let w = workload(3 * slots, releases);
+        let a = run(&p, &w, SchedulerPolicy::FirstFreeSlot);
+        let b = run(&p, &w, SchedulerPolicy::WidestNodeFirst);
+        prop_assert_eq!(a.jobs, b.jobs);
+        prop_assert_eq!(a.engine_events, b.engine_events);
+    }
+}
+
+#[test]
+fn heterogeneous_saturation_keeps_fcfs_under_both_policies() {
+    // 3x overcommitted heterogeneous pool, staggered releases: the two
+    // policies place the *initial* free-slot wave differently, but every
+    // queued job still dispatches in submission order (the queue is the
+    // policy-free part of the scheduler).
+    let p = platform(&[1, 4, 2]);
+    let releases: Vec<f64> = (0..21).map(|i| i as f64 * 0.02).collect();
+    let w = workload(21, releases);
+    for policy in [SchedulerPolicy::FirstFreeSlot, SchedulerPolicy::WidestNodeFirst] {
+        let trace = run(&p, &w, policy);
+        assert_queue_invariants(&trace, 7);
+        assert!(trace.mean_queue_wait() > 0.0, "3x overcommit must queue");
+    }
+}
+
+#[test]
+fn burst_release_into_a_busy_pool_queues_in_index_order() {
+    // All slots busy from t=0; a burst of late jobs lands at one instant.
+    // Tie-broken by scheduling sequence = job index: FCFS survives ties.
+    let p = platform(&[2]);
+    let mut releases = vec![0.0, 0.0];
+    releases.extend([5.0; 6]);
+    let w = workload(8, releases);
+    let trace = run(&p, &w, SchedulerPolicy::FirstFreeSlot);
+    assert_queue_invariants(&trace, 2);
+    let burst: Vec<_> = trace.jobs.iter().filter(|j| j.release == 5.0).collect();
+    assert_eq!(burst.len(), 6);
+    for pair in burst.windows(2) {
+        assert!(pair[0].start <= pair[1].start, "same-instant releases dispatch by index");
+        assert!(pair[0].job < pair[1].job);
+    }
+    assert!(trace.max_queue_wait() > 0.0);
+}
