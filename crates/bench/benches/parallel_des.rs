@@ -1,0 +1,52 @@
+//! Partitioned parallel DES: one full-scale multi-site scenario at 1, 2,
+//! and 4 conservative engine shards.
+//!
+//! The 1-shard entry is the sequential reference driver; 2 and 4 shards
+//! run one site-group per thread under null-message synchronization. The
+//! traces are bit-identical at every shard count (pinned by
+//! `tests/partitioned_des.rs` and the registry's shard-invariance test),
+//! so `BENCH_parallel_des.json` records only the throughput side: on
+//! multi-core hardware the sharded runs should approach the per-site
+//! parallelism bound; on the 1-CPU CI container all three entries
+//! coincide (see the caveat in ROADMAP.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use simcal_sim::{Scenario, ScenarioRegistry, SimSession};
+
+/// The benched scenario: the full-scale 4-site star (one hub, four
+/// compute sites, one job per core) — the registry's largest multi-site
+/// topology, so the shard partition has real work per thread.
+fn star4() -> Scenario {
+    ScenarioRegistry::builtin()
+        .matching("ms-star4")
+        .first()
+        .expect("ms-star4 is a registry built-in")
+        .scenario
+        .clone()
+}
+
+fn bench_shards(c: &mut Criterion) {
+    let sc = star4();
+    let mut group = c.benchmark_group("parallel_des");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    for shards in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{shards}shard")),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let trace = black_box(&sc).run_sharded(&mut SimSession::new(), shards);
+                    debug_assert!(!trace.jobs.is_empty());
+                    trace.makespan()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shards);
+criterion_main!(benches);

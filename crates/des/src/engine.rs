@@ -505,15 +505,82 @@ impl Engine {
         }
     }
 
+    /// Lower bound on the time of the engine's next event, without
+    /// delivering anything.
+    ///
+    /// Settles rates (so completion times are current) and skims stale
+    /// completion entries, exactly as [`Engine::next`] would. The value is
+    /// a *lower bound*, not necessarily the next delivered event's time: a
+    /// pending flow's activation counts (the engine does internal work at
+    /// that instant and the events it leads to come no earlier), which is
+    /// precisely the conservative guarantee partitioned execution needs.
+    /// Returns `None` when no flows or timers remain.
+    pub fn peek_time(&mut self) -> Option<f64> {
+        if self.pending_head < self.pending_events.len() {
+            // The rest of a same-timestamp batch is still due at `now`.
+            return Some(self.time);
+        }
+        self.settle_rates();
+        let t_flow = loop {
+            match self.completions.peek() {
+                None => break f64::INFINITY,
+                Some(e) => {
+                    let f = &self.flows[e.flow.index()];
+                    if f.status == FlowStatus::Active && self.flow_epoch[e.flow.index()] == e.epoch
+                    {
+                        break e.time;
+                    }
+                    self.completions.pop();
+                }
+            }
+        };
+        let t = self.timers.peek_time().unwrap_or(f64::INFINITY).min(t_flow);
+        t.is_finite().then_some(t)
+    }
+
+    /// Advance the clock to `t` without delivering an event.
+    ///
+    /// `t` must not lie beyond the engine's next event
+    /// ([`Engine::peek_time`]); active flows progress lazily, so moving
+    /// the clock inside the current inter-event gap is always sound. This
+    /// is how partitioned execution injects cross-engine arrivals: advance
+    /// to the delivery timestamp, then start flows / set timers there.
+    pub fn advance_clock(&mut self, t: f64) {
+        assert!(t.is_finite() && t >= self.time, "clock must advance monotonically");
+        if let Some(nt) = self.peek_time() {
+            assert!(t <= nt, "advance_clock({t}) would skip an event at {nt}");
+        }
+        self.time = t;
+    }
+
     /// Advance simulated time to the next event and return it, or `None`
     /// when no flows or timers remain.
     #[allow(clippy::should_implement_trait)] // established kernel API name
     pub fn next(&mut self) -> Option<Event> {
+        self.next_event(f64::INFINITY)
+    }
+
+    /// As [`Engine::next`], but only delivers the event if it occurs
+    /// **strictly before** `bound`; otherwise leaves it in place and
+    /// returns `None`. Internal work strictly before the bound (flow
+    /// activations) is still performed, so a `None` means the next
+    /// caller-visible event, if any, is at or after `bound`.
+    ///
+    /// This is the partitioned-execution primitive: a sharded engine may
+    /// only process events inside its conservative safety window.
+    pub fn next_before(&mut self, bound: f64) -> Option<Event> {
+        self.next_event(bound)
+    }
+
+    fn next_event(&mut self, bound: f64) -> Option<Event> {
         // Deliver the rest of the current same-timestamp batch first. A
         // timer the caller set at exactly this instant fires before the
         // remaining completions, preserving the `t_timer <= t_flow` tie
         // rule of sequential delivery.
         while self.pending_head < self.pending_events.len() {
+            if self.time >= bound {
+                return None;
+            }
             match self.timers.peek_time() {
                 Some(tt) if tt <= self.time => {
                     let (timer, _, kind) = self.timers.pop().expect("peeked non-empty");
@@ -563,6 +630,12 @@ impl Engine {
                     self.flows.iter().all(|f| f.status != FlowStatus::Active || f.rate > 0.0),
                     "deadlock: active flows with zero rate and no timers"
                 );
+                return None;
+            }
+
+            if t_timer.min(t_flow) >= bound {
+                // Next event lies outside the caller's window: deliver
+                // nothing and leave the clock inside the window.
                 return None;
             }
 
@@ -1905,5 +1978,65 @@ mod tests {
         assert_eq!(ev.tag(), Tag(1));
         let ev = e.next().unwrap();
         assert_eq!(ev.tag(), Tag(2));
+    }
+
+    #[test]
+    fn peek_time_previews_next_without_delivering() {
+        let mut e = Engine::new();
+        assert_eq!(e.peek_time(), None);
+        let r = e.add_resource(ResourceSpec::constant(10.0));
+        e.start_flow(FlowSpec::new(20.0, &[r], Tag(1)));
+        e.set_timer(1.0, Tag(2));
+        assert_eq!(e.peek_time(), Some(1.0));
+        assert_eq!(e.next().unwrap().tag(), Tag(2));
+        assert_eq!(e.peek_time(), Some(2.0));
+        assert_eq!(e.next().unwrap().tag(), Tag(1));
+        assert_eq!(e.peek_time(), None);
+    }
+
+    #[test]
+    fn peek_time_reports_pending_batch_at_now() {
+        let mut e = Engine::new();
+        let r = e.add_resource(ResourceSpec::constant(10.0));
+        e.start_flow(FlowSpec::new(10.0, &[r], Tag(0)));
+        e.start_flow(FlowSpec::new(10.0, &[r], Tag(1)));
+        let _ = e.next().unwrap(); // batch of 2 at t=2; one still pending
+        assert_eq!(e.peek_time(), Some(e.now()));
+    }
+
+    #[test]
+    fn next_before_respects_the_bound() {
+        let mut e = Engine::new();
+        let r = e.add_resource(ResourceSpec::constant(10.0));
+        e.start_flow(FlowSpec::new(20.0, &[r], Tag(1))); // completes at 2
+        assert_eq!(e.next_before(1.5), None);
+        assert!(e.now() < 1.5);
+        assert_eq!(e.next_before(2.0), None, "bound is exclusive");
+        let ev = e.next_before(2.5).unwrap();
+        assert_eq!(ev.tag(), Tag(1));
+        assert!((e.now() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn advance_clock_moves_time_between_events() {
+        let mut e = Engine::new();
+        let r = e.add_resource(ResourceSpec::constant(10.0));
+        e.start_flow(FlowSpec::new(20.0, &[r], Tag(1))); // completes at 2
+        e.advance_clock(1.0);
+        assert_eq!(e.now(), 1.0);
+        assert!((e.flow_remaining(FlowId(0)) - 10.0).abs() < 1e-6);
+        // A flow started at the advanced clock finishes relative to it.
+        e.start_flow(FlowSpec::new(5.0, &[r], Tag(2)));
+        let ev = e.next().unwrap();
+        assert_eq!(ev.tag(), Tag(2));
+        assert!((e.now() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "skip an event")]
+    fn advance_clock_cannot_skip_events() {
+        let mut e = Engine::new();
+        e.set_timer(1.0, Tag(1));
+        e.advance_clock(1.5);
     }
 }

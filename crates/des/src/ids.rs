@@ -49,8 +49,33 @@ impl FlowId {
 }
 
 /// Identifier of a timer set with [`crate::Engine::set_timer`].
+///
+/// Like [`FlowId`], packs a slot index (low 32 bits) and a generation
+/// stamp (high 32 bits): the timer queue recycles the slots of fired and
+/// cancelled timers, and the generation keeps stale ids from cancelling a
+/// slot's new occupant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TimerId(pub(crate) u64);
+
+impl TimerId {
+    /// Slot in the timer queue's generation array.
+    #[inline]
+    pub(crate) fn slot(self) -> u32 {
+        (self.0 & 0xFFFF_FFFF) as u32
+    }
+
+    /// Generation stamp of the slot at the time this id was issued.
+    #[inline]
+    pub(crate) fn timer_gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// Compose an id from a slot and its current generation.
+    #[inline]
+    pub(crate) fn compose(slot: u32, generation: u32) -> Self {
+        TimerId((u64::from(generation) << 32) | u64::from(slot))
+    }
+}
 
 /// Opaque user payload carried by flows and timers and handed back in
 /// [`crate::Event`]s.

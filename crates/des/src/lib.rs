@@ -43,6 +43,7 @@ mod engine;
 mod eventlist;
 mod flow;
 mod ids;
+pub mod partition;
 mod resource;
 mod route;
 mod sharing;
@@ -52,6 +53,7 @@ mod timer;
 pub use engine::{Engine, Event};
 pub use flow::{FlowSpec, FlowStatus};
 pub use ids::{FlowId, ResourceId, Tag, TimerId};
+pub use partition::{run_parallel, run_sequential, Envelope, Partition, SyncStats};
 pub use resource::{CapacityModel, ResourceSpec};
 pub use sharing::{solve_max_min, FlowInput, ResourceInput, SolveScratch, MAX_RATE};
 pub use stats::Stats;

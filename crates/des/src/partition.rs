@@ -1,0 +1,586 @@
+//! Conservative partitioned discrete-event execution.
+//!
+//! Splits one simulation into several [`Partition`]s — each typically
+//! wrapping its own [`crate::Engine`] — that interact **only** through
+//! timestamped messages whose delivery lags their send by at least a
+//! fixed, strictly positive **lookahead** (in the multi-site simulator:
+//! the minimum WAN link latency). That gap is what makes parallel
+//! execution safe without a global event list: a partition may process
+//! everything strictly before `min(neighbor horizons) + lookahead`,
+//! because any message a neighbor has yet to send cannot arrive sooner.
+//!
+//! Two runners share the same [`Partition`] contract:
+//!
+//! * [`run_sequential`] — the reference driver: a global-min loop over
+//!   all partitions in one thread. This *is* the "single-engine" oracle
+//!   the parallel runs are pinned against.
+//! * [`run_parallel`] — shards the partitions over threads under the
+//!   **null-message protocol** (Chandy–Misra–Bryant): each shard
+//!   repeatedly drains its inbound channel, advances every owned
+//!   partition inside its safety window, and announces its **horizon** —
+//!   a lower bound on its future send times — whenever it grows. There
+//!   is no global barrier; an idle shard blocks on its channel until a
+//!   neighbor's data or horizon wakes it.
+//!
+//! Determinism does not depend on the runner: each partition processes
+//! its local actions and delivered messages in a canonical order (time,
+//! then sender, then per-sender sequence number — ties resolved
+//! identically everywhere), so its evolution is a pure function of the
+//! message multiset it receives, which both runners reproduce exactly.
+//! The [`SyncStats`] counters, by contrast, describe the *protocol* run
+//! (announcements, blocks) and legitimately vary across shard counts.
+//!
+//! Horizon announcements and data messages share one FIFO channel per
+//! shard pair, so reading a horizon `h` from shard `q` proves every
+//! message `q` sent before announcing `h` has already been received —
+//! the property that makes the safety window sound without
+//! acknowledgements.
+
+use crossbeam::channel::{unbounded, Sender};
+
+/// A cross-partition message: delivered to partition `dst` at simulated
+/// time `time`.
+///
+/// `(time, src, seq)` is the canonical processing order: receivers must
+/// handle messages in ascending order of that triple, and — by convention
+/// shared with the multi-site simulator — before any same-timestamp local
+/// engine event. `seq` is assigned by the runner from a per-sender
+/// counter, so the triple is identical no matter which runner (or shard
+/// count) routed the message.
+#[derive(Debug)]
+pub struct Envelope<M> {
+    /// Simulated delivery time (>= send time + lookahead).
+    pub time: f64,
+    /// Sending partition index.
+    pub src: usize,
+    /// Receiving partition index.
+    pub dst: usize,
+    /// Per-sender send sequence number (runner-assigned).
+    pub seq: u64,
+    /// Domain payload.
+    pub payload: M,
+}
+
+/// One shard of a partitioned simulation.
+///
+/// The contract the runners rely on:
+///
+/// * [`next_time`](Partition::next_time) is a lower bound on the time of
+///   the partition's next local action (event processing or message
+///   send), `f64::INFINITY` when it has nothing pending;
+/// * [`advance`](Partition::advance)`(bound, out)` processes **every**
+///   local action strictly before `bound` — in canonical order — and
+///   pushes outbound messages to `out`, each with
+///   `time >= send time + lookahead`;
+/// * [`deliver`](Partition::deliver) accepts a message for later
+///   processing (it must not act on it immediately);
+/// * [`done`](Partition::done) returns true only when the partition will
+///   **never send again, regardless of future deliveries** — the strong
+///   form that lets a shard announce an infinite horizon and the
+///   protocol terminate without a global count.
+pub trait Partition: Send {
+    /// Domain message payload.
+    type Msg: Send;
+
+    /// Lower bound on the next local action time (`INFINITY` if idle).
+    fn next_time(&mut self) -> f64;
+
+    /// Process all local actions strictly before `bound`, appending
+    /// outbound messages to `out`.
+    fn advance(&mut self, bound: f64, out: &mut Vec<Envelope<Self::Msg>>);
+
+    /// Accept a message (its `time` is always >= the current frontier).
+    fn deliver(&mut self, env: Envelope<Self::Msg>);
+
+    /// Whether this partition can never send another message.
+    fn done(&mut self) -> bool;
+}
+
+/// Synchronization-protocol counters for one partitioned run.
+///
+/// `advance_calls`, `blocked_waits` and `horizon_announcements` describe
+/// the protocol execution and vary with the shard count and thread
+/// timing; they are diagnostics, never part of simulation results (the
+/// simulation outputs themselves are bit-identical at any shard count).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SyncStats {
+    /// Partitions in the run.
+    pub partitions: usize,
+    /// Shards (OS threads) the partitions were grouped into.
+    pub shards: usize,
+    /// The lookahead window used (seconds).
+    pub lookahead: f64,
+    /// Calls to [`Partition::advance`].
+    pub advance_calls: u64,
+    /// Messages routed across shards (over channels).
+    pub data_messages: u64,
+    /// Messages routed within a shard (no channel crossed).
+    pub local_deliveries: u64,
+    /// Horizon (null) messages sent.
+    pub horizon_announcements: u64,
+    /// Times a shard blocked waiting for neighbor input.
+    pub blocked_waits: u64,
+}
+
+/// Validate a lookahead value.
+fn check_lookahead(lookahead: f64) {
+    assert!(
+        lookahead.is_finite() && lookahead > 0.0,
+        "conservative execution needs a strictly positive lookahead, got {lookahead}"
+    );
+}
+
+/// Route one freshly-sent envelope: stamp its per-sender sequence number
+/// and sanity-check the lookahead contract.
+fn stamp<M>(env: &mut Envelope<M>, src: usize, seq: &mut u64, floor: f64, lookahead: f64) {
+    debug_assert_eq!(env.src, src, "partitions may only send as themselves");
+    debug_assert!(
+        env.time >= floor + lookahead - 1e-9,
+        "lookahead violation: message at {} from a partition whose frontier was {}",
+        env.time,
+        floor
+    );
+    env.seq = *seq;
+    *seq += 1;
+}
+
+/// Run all partitions to completion in one thread (the reference /
+/// single-engine driver): repeatedly advance the partition holding the
+/// globally minimal next action, bounded by the runner-up plus lookahead.
+///
+/// Message delivery is immediate, so the safety window argument is exact:
+/// any message the advancing partition has yet to receive would be sent
+/// at or after the runner-up's time and delivered at least `lookahead`
+/// later — beyond the bound it is advanced to.
+pub fn run_sequential<P: Partition>(parts: &mut [P], lookahead: f64) -> SyncStats {
+    check_lookahead(lookahead);
+    assert!(!parts.is_empty(), "nothing to run");
+    let n = parts.len();
+    let mut stats = SyncStats { partitions: n, shards: 1, lookahead, ..SyncStats::default() };
+    let mut seqs = vec![0u64; n];
+    let mut out: Vec<Envelope<P::Msg>> = Vec::new();
+    let mut times = vec![0.0f64; n];
+    loop {
+        for (t, p) in times.iter_mut().zip(parts.iter_mut()) {
+            *t = p.next_time();
+        }
+        let (imin, &tmin) =
+            times.iter().enumerate().min_by(|(_, a), (_, b)| a.total_cmp(b)).expect("non-empty");
+        if tmin.is_infinite() {
+            break;
+        }
+        let second = times
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != imin)
+            .map(|(_, &t)| t)
+            .fold(f64::INFINITY, f64::min);
+        let bound = second + lookahead; // INFINITY-safe: alone means run to completion
+        parts[imin].advance(bound, &mut out);
+        stats.advance_calls += 1;
+        for mut env in out.drain(..) {
+            stamp(&mut env, imin, &mut seqs[imin], tmin, lookahead);
+            stats.local_deliveries += 1;
+            parts[env.dst].deliver(env);
+        }
+    }
+    stats
+}
+
+/// Wire format of the inter-shard channels: domain messages and horizon
+/// (null) announcements share one FIFO stream per sender.
+enum Wire<M> {
+    Data(Envelope<M>),
+    Horizon { shard: usize, time: f64 },
+}
+
+/// Run the partitions across `shards` OS threads under the null-message
+/// protocol; returns the partitions (in their original order) and the
+/// merged protocol counters.
+///
+/// Partition `i` runs on shard `i % shards`. `shards` is clamped to
+/// `[1, parts.len()]`; one shard falls back to [`run_sequential`], so a
+/// 1-shard parallel run *is* the reference run.
+pub fn run_parallel<P: Partition>(
+    mut parts: Vec<P>,
+    shards: usize,
+    lookahead: f64,
+) -> (Vec<P>, SyncStats) {
+    check_lookahead(lookahead);
+    assert!(!parts.is_empty(), "nothing to run");
+    let n = parts.len();
+    let shards = shards.clamp(1, n);
+    if shards == 1 {
+        let stats = run_sequential(&mut parts, lookahead);
+        return (parts, stats);
+    }
+
+    // Deal partitions round-robin: shard p owns global indices
+    // {p, p + shards, ...}; global g lives at local index g / shards.
+    let mut owned: Vec<Vec<(usize, P)>> = (0..shards).map(|_| Vec::new()).collect();
+    for (g, p) in parts.into_iter().enumerate() {
+        owned[g % shards].push((g, p));
+    }
+
+    let mut channels = Vec::with_capacity(shards);
+    let mut rxs = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, rx) = unbounded::<Wire<P::Msg>>();
+        channels.push(tx);
+        rxs.push(Some(rx));
+    }
+
+    let result = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(shards);
+        for (me, mut sites) in owned.into_iter().enumerate() {
+            let txs = channels.clone();
+            let rx = rxs[me].take().expect("each shard consumes its receiver once");
+            handles.push(scope.spawn(move |_| {
+                let stats = shard_loop(&mut sites, me, shards, &rx, &txs, lookahead);
+                (sites, stats)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("shard thread panicked")).collect::<Vec<_>>()
+    })
+    .expect("partitioned run panicked");
+
+    let mut stats = SyncStats { partitions: n, shards, lookahead, ..SyncStats::default() };
+    let mut slots: Vec<Option<P>> = (0..n).map(|_| None).collect();
+    for (sites, s) in result {
+        stats.advance_calls += s.advance_calls;
+        stats.data_messages += s.data_messages;
+        stats.local_deliveries += s.local_deliveries;
+        stats.horizon_announcements += s.horizon_announcements;
+        stats.blocked_waits += s.blocked_waits;
+        for (g, p) in sites {
+            slots[g] = Some(p);
+        }
+    }
+    let parts = slots.into_iter().map(|s| s.expect("every partition returned")).collect();
+    (parts, stats)
+}
+
+/// One shard's event loop. `sites` are (global index, partition) pairs.
+fn shard_loop<P: Partition>(
+    sites: &mut [(usize, P)],
+    me: usize,
+    shards: usize,
+    rx: &crossbeam::channel::Receiver<Wire<P::Msg>>,
+    txs: &[Sender<Wire<P::Msg>>],
+    lookahead: f64,
+) -> SyncStats {
+    let mut stats = SyncStats::default();
+    // Latest horizon read from each other shard: a promise it will send
+    // nothing (simulated-)earlier. 0 is the trivially true initial bound.
+    let mut h = vec![0.0f64; shards];
+    let mut announced = f64::NEG_INFINITY;
+    let mut seqs = vec![0u64; sites.len()];
+    let mut out: Vec<Envelope<P::Msg>> = Vec::new();
+    let mut times = vec![0.0f64; sites.len()];
+
+    // Deliver one wire item. Data for global site g lands at local g / shards.
+    macro_rules! take {
+        ($w:expr) => {
+            match $w {
+                Wire::Data(env) => {
+                    let (g, site) = &mut sites[env.dst / shards];
+                    debug_assert_eq!(*g, env.dst);
+                    site.deliver(env);
+                }
+                Wire::Horizon { shard, time } => {
+                    if time > h[shard] {
+                        h[shard] = time;
+                    }
+                }
+            }
+        };
+    }
+
+    loop {
+        while let Ok(w) = rx.try_recv() {
+            take!(w);
+        }
+        let ext = (0..shards).filter(|&q| q != me).map(|q| h[q]).fold(f64::INFINITY, f64::min);
+        let ext_bound = ext + lookahead; // INF + L = INF when neighbors are done
+
+        // Advance owned partitions while any next action fits the window.
+        let mut progressed = false;
+        loop {
+            for (t, (_, p)) in times.iter_mut().zip(sites.iter_mut()) {
+                *t = p.next_time();
+            }
+            let (imin, &tmin) = times
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.total_cmp(b))
+                .expect("shards own at least one partition");
+            // `>=` also stops the INF-vs-INF case (all idle, neighbors done).
+            if tmin >= ext_bound {
+                break;
+            }
+            let second = times
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != imin)
+                .map(|(_, &t)| t)
+                .fold(f64::INFINITY, f64::min);
+            let bound = ext_bound.min(second + lookahead);
+            let src_global = sites[imin].0;
+            sites[imin].1.advance(bound, &mut out);
+            stats.advance_calls += 1;
+            progressed = true;
+            for mut env in out.drain(..) {
+                stamp(&mut env, src_global, &mut seqs[imin], tmin, lookahead);
+                let dst_shard = env.dst % shards;
+                if dst_shard == me {
+                    let (g, site) = &mut sites[env.dst / shards];
+                    debug_assert_eq!(*g, env.dst);
+                    site.deliver(env);
+                    stats.local_deliveries += 1;
+                } else {
+                    // The peer may have exited already (it is fully done
+                    // and so cannot need this shard's traffic).
+                    let _ = txs[dst_shard].send(Wire::Data(env));
+                    stats.data_messages += 1;
+                }
+            }
+        }
+
+        // Announce the horizon: a lower bound on this shard's future send
+        // times. The next local action is no earlier than min(next local
+        // event, earliest possible inbound delivery), and a fully-done
+        // shard will never send again no matter what arrives.
+        let t_local = sites.iter_mut().map(|(_, p)| p.next_time()).fold(f64::INFINITY, f64::min);
+        let all_done = sites.iter_mut().all(|(_, p)| p.done());
+        let hp = if all_done { f64::INFINITY } else { t_local.min(ext_bound) };
+        if hp > announced {
+            announced = hp;
+            for (q, tx) in txs.iter().enumerate() {
+                if q != me {
+                    let _ = tx.send(Wire::Horizon { shard: me, time: hp });
+                    stats.horizon_announcements += 1;
+                }
+            }
+        }
+
+        if all_done && ext.is_infinite() {
+            // Everyone announced infinity: no shard will ever send again.
+            break;
+        }
+        if !progressed {
+            // Blocked: our window is exhausted. FIFO channels guarantee
+            // the wake-up (data or a higher horizon) that extends it; the
+            // all-blocked state is unreachable because the minimum-
+            // horizon shard's window always admits its own next action.
+            match rx.recv() {
+                Ok(w) => {
+                    stats.blocked_waits += 1;
+                    take!(w);
+                }
+                Err(_) => break, // every sender exited: nothing more can come
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    /// Toy partition for protocol tests: a node in a message-passing ring
+    /// or star. It holds pre-planned "work items" (time, then forward a
+    /// token to a neighbor with some remaining hop budget) plus tokens
+    /// received from peers; processing is purely message-driven after the
+    /// initial seeds. Every send is logged so runs can be compared.
+    struct Relay {
+        id: usize,
+        /// Pending local actions as (time, src, seq, hops) — seeds carry
+        /// src = self.
+        inbox: BinaryHeap<Reverse<(u64, usize, u64, u32)>>,
+        /// Next neighbor in the forwarding cycle.
+        next: usize,
+        /// Bounce mode (a star hub): return each token to its sender
+        /// instead of forwarding to `next`.
+        bounce: bool,
+        /// Message latency to `next` (integer micro-ticks; times are f64
+        /// but integral values keep comparisons exact).
+        latency: u64,
+        /// Sends this relay will still perform (known up front, so
+        /// `done()` can honour the strong never-send-again contract).
+        sends_left: u64,
+        /// Log of processed items: (time, src, seq, hops).
+        log: Vec<(u64, usize, u64, u32)>,
+    }
+
+    impl Relay {
+        fn tkey(t: f64) -> u64 {
+            t as u64
+        }
+    }
+
+    impl Partition for Relay {
+        type Msg = u32; // remaining hops
+
+        fn next_time(&mut self) -> f64 {
+            self.inbox.peek().map_or(f64::INFINITY, |Reverse((t, ..))| *t as f64)
+        }
+
+        fn advance(&mut self, bound: f64, out: &mut Vec<Envelope<u32>>) {
+            while let Some(&Reverse((t, src, seq, hops))) = self.inbox.peek() {
+                if t as f64 >= bound {
+                    break;
+                }
+                self.inbox.pop();
+                self.log.push((t, src, seq, hops));
+                if hops > 0 {
+                    let dst = if self.bounce && src != self.id { src } else { self.next };
+                    out.push(Envelope {
+                        time: (t + self.latency) as f64,
+                        src: self.id,
+                        dst,
+                        seq: 0,
+                        payload: hops - 1,
+                    });
+                    self.sends_left -= 1;
+                }
+            }
+        }
+
+        fn deliver(&mut self, env: Envelope<u32>) {
+            self.inbox.push(Reverse((Self::tkey(env.time), env.src, env.seq, env.payload)));
+        }
+
+        fn done(&mut self) -> bool {
+            self.sends_left == 0
+        }
+    }
+
+    /// A ring of `n` relays with the given per-hop latencies; relay 0
+    /// seeds a token that makes `hops` hops around the ring.
+    fn ring(n: usize, hops: u32, latencies: &[u64]) -> Vec<Relay> {
+        let mut relays: Vec<Relay> = (0..n)
+            .map(|id| Relay {
+                id,
+                inbox: BinaryHeap::new(),
+                next: (id + 1) % n,
+                bounce: false,
+                latency: latencies[id % latencies.len()],
+                sends_left: 0,
+                log: Vec::new(),
+            })
+            .collect();
+        // Each relay forwards once per token visit with hops remaining.
+        for k in 0..=hops {
+            let at = (k as usize) % n;
+            if hops - k > 0 {
+                relays[at].sends_left += 1;
+            }
+        }
+        relays[0].inbox.push(Reverse((1, 0, u64::MAX, hops))); // seed at t=1
+        relays
+    }
+
+    /// A star: relay 0 is the hub (bounce mode — it returns every token
+    /// to its sender); every leaf seeds a token that bounces
+    /// leaf -> hub -> leaf for `round_trips` round trips.
+    fn star(leaves: usize, round_trips: u32) -> Vec<Relay> {
+        let hops = round_trips * 2;
+        let mut relays: Vec<Relay> = (0..=leaves)
+            .map(|id| Relay {
+                id,
+                inbox: BinaryHeap::new(),
+                next: 0, // leaves forward to the hub; the hub bounces
+                bounce: id == 0,
+                latency: 2 + id as u64,
+                sends_left: 0,
+                log: Vec::new(),
+            })
+            .collect();
+        for leaf in 1..=leaves {
+            relays[leaf].inbox.push(Reverse((1 + leaf as u64, leaf, u64::MAX, hops)));
+            // The token's hop counts alternate: the leaf processes hops
+            // 2R, 2R-2, ..., 0 (sends R times), the hub 2R-1, ..., 1
+            // (sends R times).
+            relays[leaf].sends_left += u64::from(round_trips);
+            relays[0].sends_left += u64::from(round_trips);
+        }
+        relays
+    }
+
+    fn logs(relays: &[Relay]) -> Vec<Vec<(u64, usize, u64, u32)>> {
+        relays.iter().map(|r| r.log.clone()).collect()
+    }
+
+    #[test]
+    fn sequential_ring_passes_the_token_every_hop() {
+        let mut r = ring(3, 7, &[2, 3, 5]);
+        run_sequential(&mut r, 1.0);
+        let total: usize = r.iter().map(|x| x.log.len()).sum();
+        assert_eq!(total, 8, "seed + 7 forwards");
+        assert!(r.iter_mut().all(|x| x.done()));
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_a_ring_at_every_shard_count() {
+        let mut reference = ring(5, 23, &[2, 3, 5, 7, 11]);
+        run_sequential(&mut reference, 1.0);
+        let want = logs(&reference);
+        for shards in 1..=5 {
+            let (got, stats) = run_parallel(ring(5, 23, &[2, 3, 5, 7, 11]), shards, 1.0);
+            assert_eq!(logs(&got), want, "shards={shards}");
+            assert_eq!(stats.shards, shards.clamp(1, 5));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_a_star() {
+        let mut reference = star(4, 6);
+        run_sequential(&mut reference, 1.0);
+        let want = logs(&reference);
+        for shards in [2, 3, 5] {
+            let (got, _) = run_parallel(star(4, 6), shards, 1.0);
+            assert_eq!(logs(&got), want, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn logs_are_processed_in_nondecreasing_time_order() {
+        // Lookahead safety, observed from the receiver side: no relay
+        // ever processes an item that is older than one it already
+        // processed (a late straggler would betray an unsafe window).
+        let (relays, _) = run_parallel(ring(4, 31, &[2, 5, 3, 4]), 2, 2.0);
+        for r in &relays {
+            for w in r.log.windows(2) {
+                assert!(w[0].0 <= w[1].0, "relay {} went back in time: {w:?}", r.id);
+            }
+        }
+    }
+
+    #[test]
+    fn null_messages_flow_and_blocks_resolve() {
+        let (_, stats) = run_parallel(ring(4, 40, &[3, 4, 5, 6]), 4, 3.0);
+        assert!(stats.horizon_announcements > 0, "protocol must announce horizons");
+        assert_eq!(stats.partitions, 4);
+        assert_eq!(stats.shards, 4);
+    }
+
+    #[test]
+    fn one_shard_parallel_is_the_sequential_driver() {
+        let mut reference = ring(3, 9, &[2, 2, 2]);
+        let s1 = run_sequential(&mut reference, 1.0);
+        let (got, s2) = run_parallel(ring(3, 9, &[2, 2, 2]), 1, 1.0);
+        assert_eq!(logs(&got), logs(&reference));
+        assert_eq!(s1.advance_calls, s2.advance_calls);
+        assert_eq!(s2.shards, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive lookahead")]
+    fn zero_lookahead_rejected() {
+        let mut r = ring(2, 1, &[1]);
+        run_sequential(&mut r, 0.0);
+    }
+}

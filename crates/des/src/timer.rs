@@ -1,9 +1,16 @@
 //! Timer queue: a binary heap of (time, sequence) entries with lazy
 //! cancellation. Sequence numbers break ties deterministically so runs are
 //! reproducible regardless of allocation order.
+//!
+//! Cancellation is **generation-tagged**, not set-based: each timer owns a
+//! slot in a small generation array, heap entries carry the generation they
+//! were issued under, and cancelling bumps the slot's generation so the
+//! stale heap entry no longer matches. Popping therefore costs two array
+//! reads per entry — no hashing on the hot path, which matters for
+//! arrival-heavy scenarios that fire one release timer per job.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 use crate::ids::{FlowId, Tag, TimerId};
 
@@ -19,7 +26,13 @@ pub(crate) enum TimerKind {
 #[derive(Debug, Clone, Copy)]
 struct Entry {
     time: f64,
+    /// Global insertion sequence — the deterministic tie-breaker.
     seq: u64,
+    /// Slot in the generation array this timer occupies.
+    slot: u32,
+    /// Generation the slot had when the timer was scheduled; the entry is
+    /// live iff it still matches.
+    generation: u32,
     kind: TimerKind,
 }
 
@@ -42,11 +55,18 @@ impl Ord for Entry {
     }
 }
 
-/// Min-heap of timers with lazy cancellation.
+/// Min-heap of timers with generation-tagged lazy cancellation.
 #[derive(Debug, Default)]
 pub(crate) struct TimerQueue {
     heap: BinaryHeap<Reverse<Entry>>,
-    cancelled: HashSet<u64>,
+    /// Current generation of each slot. A heap entry whose generation
+    /// differs from its slot's current one is cancelled (or already
+    /// popped) and is dropped when it reaches the top.
+    slot_gen: Vec<u32>,
+    /// Slots with no live entry, available for reuse. A slot becomes free
+    /// when its live entry pops or is cancelled; the stale heap entry (if
+    /// any) is harmless because its generation no longer matches.
+    free_slots: Vec<u32>,
     next_seq: u64,
 }
 
@@ -56,36 +76,60 @@ impl TimerQueue {
         Self::default()
     }
 
-    /// Drop every scheduled timer, keeping allocations. Sequence numbers
-    /// keep increasing so stale [`TimerId`]s from before the clear can
-    /// never cancel a new timer.
+    /// Drop every scheduled timer, keeping allocations. Every slot's
+    /// generation is bumped, so stale [`TimerId`]s from before the clear
+    /// can never cancel a new timer; sequence numbers keep increasing so
+    /// tie-breaking stays globally consistent.
     pub fn clear(&mut self) {
         self.heap.clear();
-        self.cancelled.clear();
+        self.free_slots.clear();
+        for (slot, g) in self.slot_gen.iter_mut().enumerate() {
+            *g = g.wrapping_add(1);
+            self.free_slots.push(slot as u32);
+        }
     }
 
     pub fn schedule(&mut self, time: f64, kind: TimerKind) -> TimerId {
         assert!(time.is_finite(), "timer time must be finite");
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Entry { time, seq, kind }));
-        TimerId(seq)
+        let slot = match self.free_slots.pop() {
+            Some(s) => s,
+            None => {
+                let s = u32::try_from(self.slot_gen.len()).expect("too many timers");
+                self.slot_gen.push(0);
+                s
+            }
+        };
+        let generation = self.slot_gen[slot as usize];
+        self.heap.push(Reverse(Entry { time, seq, slot, generation, kind }));
+        TimerId::compose(slot, generation)
     }
 
+    /// Cancel a timer: bump its slot's generation so the heap entry goes
+    /// stale, and free the slot. Ids of already-fired (or already-
+    /// cancelled) timers no longer match and are ignored.
     pub fn cancel(&mut self, id: TimerId) {
-        self.cancelled.insert(id.0);
+        let slot = id.slot();
+        if (slot as usize) < self.slot_gen.len() && self.slot_gen[slot as usize] == id.timer_gen() {
+            self.slot_gen[slot as usize] = self.slot_gen[slot as usize].wrapping_add(1);
+            self.free_slots.push(slot);
+        }
     }
 
     /// Earliest pending (non-cancelled) fire time.
     pub fn peek_time(&mut self) -> Option<f64> {
-        self.drop_cancelled();
+        self.drop_stale();
         self.heap.peek().map(|Reverse(e)| e.time)
     }
 
     /// Pop the earliest pending timer.
     pub fn pop(&mut self) -> Option<(TimerId, f64, TimerKind)> {
-        self.drop_cancelled();
-        self.heap.pop().map(|Reverse(e)| (TimerId(e.seq), e.time, e.kind))
+        self.drop_stale();
+        self.heap.pop().map(|Reverse(e)| {
+            self.retire(e.slot);
+            (TimerId::compose(e.slot, e.generation), e.time, e.kind)
+        })
     }
 
     /// Pop the next timer only if it is a flow activation scheduled at
@@ -93,12 +137,13 @@ impl TimerQueue {
     /// activations into one settle pass without disturbing the delivery
     /// order of user timers interleaved among them.
     pub fn pop_activation_at(&mut self, time: f64) -> Option<FlowId> {
-        self.drop_cancelled();
+        self.drop_stale();
         match self.heap.peek() {
-            Some(&Reverse(Entry { time: t, kind: TimerKind::ActivateFlow(id), .. }))
+            Some(&Reverse(Entry { time: t, slot, kind: TimerKind::ActivateFlow(id), .. }))
                 if t == time =>
             {
                 self.heap.pop();
+                self.retire(slot);
                 Some(id)
             }
             _ => None,
@@ -110,18 +155,20 @@ impl TimerQueue {
         self.peek_time().is_none()
     }
 
-    fn drop_cancelled(&mut self) {
-        // Fast path: engines that never cancel timers (the simulator) pay
-        // nothing here.
-        if self.cancelled.is_empty() {
-            return;
-        }
+    /// A live entry left the heap: retire its id and recycle the slot.
+    #[inline]
+    fn retire(&mut self, slot: u32) {
+        self.slot_gen[slot as usize] = self.slot_gen[slot as usize].wrapping_add(1);
+        self.free_slots.push(slot);
+    }
+
+    #[inline]
+    fn drop_stale(&mut self) {
         while let Some(Reverse(e)) = self.heap.peek() {
-            if self.cancelled.remove(&e.seq) {
-                self.heap.pop();
-            } else {
+            if self.slot_gen[e.slot as usize] == e.generation {
                 break;
             }
+            self.heap.pop();
         }
     }
 }
@@ -167,5 +214,50 @@ mod tests {
         let mut q = TimerQueue::new();
         assert!(q.is_empty());
         assert_eq!(q.pop(), None.map(|x: (TimerId, f64, TimerKind)| x));
+    }
+
+    #[test]
+    fn stale_ids_cannot_cancel_recycled_slots() {
+        let mut q = TimerQueue::new();
+        let a = q.schedule(1.0, TimerKind::User(Tag(1)));
+        assert_eq!(q.pop().unwrap().0, a);
+        // The slot is recycled for b; a's id must not be able to kill it.
+        let b = q.schedule(2.0, TimerKind::User(Tag(2)));
+        q.cancel(a);
+        assert_eq!(q.pop().unwrap().0, b);
+    }
+
+    #[test]
+    fn cancelled_slot_is_reused_without_aliasing() {
+        let mut q = TimerQueue::new();
+        let a = q.schedule(5.0, TimerKind::User(Tag(1)));
+        q.cancel(a);
+        // b reuses a's slot while a's stale entry still sits in the heap.
+        let b = q.schedule(1.0, TimerKind::User(Tag(2)));
+        let (id, t, _) = q.pop().unwrap();
+        assert_eq!((id, t), (b, 1.0));
+        assert!(q.is_empty(), "a's stale entry must have been dropped");
+    }
+
+    #[test]
+    fn double_cancel_is_harmless() {
+        let mut q = TimerQueue::new();
+        let a = q.schedule(1.0, TimerKind::User(Tag(1)));
+        q.cancel(a);
+        q.cancel(a);
+        let b = q.schedule(2.0, TimerKind::User(Tag(2)));
+        assert_eq!(q.pop().unwrap().0, b);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_retires_outstanding_ids() {
+        let mut q = TimerQueue::new();
+        let a = q.schedule(1.0, TimerKind::User(Tag(1)));
+        q.clear();
+        assert!(q.is_empty());
+        let b = q.schedule(1.0, TimerKind::User(Tag(2)));
+        q.cancel(a); // stale: must not touch b even if the slot matches
+        assert_eq!(q.pop().unwrap().0, b);
     }
 }

@@ -35,6 +35,11 @@ pub struct Options {
     pub fig2_cost: Option<f64>,
     pub seed: Option<u64>,
     pub workers: Option<usize>,
+    /// `sweep --engine-shards N`: partitioned-engine shards per scenario.
+    pub engine_shards: Option<usize>,
+    /// `sweep --distributed --stall-timeout SECS`: zero-progress window
+    /// before the coordinator presumes claim holders dead.
+    pub stall_timeout: Option<u64>,
     pub data_dir: PathBuf,
     pub out: Option<PathBuf>,
     pub reduced: bool,
@@ -64,6 +69,8 @@ impl Options {
             fig2_cost: None,
             seed: None,
             workers: None,
+            engine_shards: None,
+            stall_timeout: None,
             data_dir: PathBuf::from("data/groundtruth"),
             out: None,
             reduced: false,
@@ -106,6 +113,22 @@ impl Options {
                 "--workers" => {
                     opts.workers =
                         Some(take("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?)
+                }
+                "--engine-shards" => {
+                    let n: usize = take("--engine-shards")?
+                        .parse()
+                        .map_err(|e| format!("--engine-shards: {e}"))?;
+                    if n == 0 {
+                        return Err("--engine-shards must be at least 1".to_string());
+                    }
+                    opts.engine_shards = Some(n);
+                }
+                "--stall-timeout" => {
+                    opts.stall_timeout = Some(
+                        take("--stall-timeout")?
+                            .parse()
+                            .map_err(|e| format!("--stall-timeout: {e}"))?,
+                    )
                 }
                 "--data-dir" => opts.data_dir = PathBuf::from(take("--data-dir")?),
                 "--out" => opts.out = Some(PathBuf::from(take("--out")?)),
@@ -226,6 +249,11 @@ Options:
   --seed N                      algorithm RNG seed
   --workers N                   parallel evaluation / sweep workers
                                 (threads per process when --distributed)
+  --engine-shards N             partitioned-DES shards per scenario (multi-site
+                                scenarios run one conservative shard per site
+                                group; traces are bit-identical at any N)
+  --stall-timeout SECS          distributed sweep zero-progress window before
+                                orphaned claims are requeued (default 30)
   --algo NAME                   calibrate algorithm (random|grid|coordinate|
                                 anneal|nelder-mead|bayes; default random)
   --spool DIR / --spawn N       distributed sweep spool and worker count
@@ -320,17 +348,24 @@ fn run_sweep(opts: &Options) -> Result<(), String> {
         let spawn = opts.spawn.unwrap_or(0);
         let threads = opts.workers.unwrap_or(1);
         let mut driver = DistSweep::new(spool).with_spawn(spawn).with_threads(threads);
+        if let Some(n) = opts.engine_shards {
+            driver = driver.with_engine_shards(n);
+        }
+        if let Some(secs) = opts.stall_timeout {
+            driver = driver.with_stall_timeout(std::time::Duration::from_secs(secs));
+        }
         if spawn > 0 {
             let exe = std::env::current_exe().map_err(|e| format!("current exe: {e}"))?;
-            driver = driver.with_worker_command(
-                exe,
-                vec![
-                    "sweep-worker".to_string(),
-                    spool.display().to_string(),
-                    "--workers".to_string(),
-                    threads.to_string(),
-                ],
-            );
+            let mut worker_args = vec![
+                "sweep-worker".to_string(),
+                spool.display().to_string(),
+                "--workers".to_string(),
+                threads.to_string(),
+            ];
+            if let Some(n) = opts.engine_shards {
+                worker_args.extend(["--engine-shards".to_string(), n.to_string()]);
+            }
+            driver = driver.with_worker_command(exe, worker_args);
         }
         let results = driver.run(&grid).map_err(|e| e.to_string())?;
         (results, format!("{} worker process(es) x {threads} thread(s)", spawn + 1))
@@ -339,8 +374,16 @@ fn run_sweep(opts: &Options) -> Result<(), String> {
         if let Some(w) = opts.workers {
             runner = runner.with_workers(w);
         }
+        if let Some(n) = opts.engine_shards {
+            runner = runner.with_engine_shards(n);
+        }
         let workers = runner.workers().min(grid.len());
-        (runner.run(&grid), format!("{workers} workers"))
+        let mode = if runner.engine_shards() > 1 {
+            format!("{workers} workers x {} engine shards", runner.engine_shards())
+        } else {
+            format!("{workers} workers")
+        };
+        (runner.run(&grid), mode)
     };
     let wall = t0.elapsed().as_secs_f64();
 
@@ -402,7 +445,8 @@ fn run_sweep_worker(opts: &Options) -> Result<(), String> {
         .or_else(|| opts.spool.clone())
         .ok_or("sweep-worker needs a spool directory")?;
     let threads = opts.workers.unwrap_or(1);
-    let n = dist::run_worker(&spool, threads).map_err(|e| e.to_string())?;
+    let shards = opts.engine_shards.unwrap_or(1);
+    let n = dist::run_worker_sharded(&spool, threads, shards).map_err(|e| e.to_string())?;
     eprintln!("[simcal-exp] sweep-worker drained {n} task(s) from {}", spool.display());
     Ok(())
 }
@@ -798,6 +842,60 @@ mod tests {
         let o = parse(&["sweep-worker", "/tmp/spool", "--workers", "2"]).unwrap();
         assert_eq!(o.args, vec!["/tmp/spool"]);
         assert!(parse(&["sweep", "--spawn", "x"]).is_err());
+    }
+
+    #[test]
+    fn parses_engine_shards_and_stall_timeout() {
+        let o = parse(&["sweep", "multisite", "--engine-shards", "4"]).unwrap();
+        assert_eq!(o.engine_shards, Some(4));
+        let o = parse(&[
+            "sweep",
+            "--distributed",
+            "--spool",
+            "/tmp/spool",
+            "--stall-timeout",
+            "120",
+            "--engine-shards",
+            "2",
+        ])
+        .unwrap();
+        assert_eq!(o.stall_timeout, Some(120));
+        assert_eq!(o.engine_shards, Some(2));
+        let o = parse(&["sweep-worker", "/tmp/spool", "--engine-shards", "3"]).unwrap();
+        assert_eq!(o.engine_shards, Some(3));
+        assert!(parse(&["sweep", "--engine-shards", "0"]).is_err());
+        assert!(parse(&["sweep", "--engine-shards", "x"]).is_err());
+        assert!(parse(&["sweep", "--stall-timeout", "soon"]).is_err());
+    }
+
+    #[test]
+    fn engine_shards_leave_the_sweep_artifact_byte_identical() {
+        // The CLI face of the partitioned-engine guarantee: sweeping the
+        // multisite family on 1 and on 4 shards writes the same bytes.
+        let base = std::env::temp_dir().join(format!("simcal-cli-shards-{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+        let outs = ["seq", "par"].map(|d| base.join(d));
+        for (out, shards) in outs.iter().zip(["1", "4"]) {
+            let o = parse(&[
+                "sweep",
+                "multisite",
+                "--reduced",
+                "--workers",
+                "2",
+                "--engine-shards",
+                shards,
+                "--out",
+                out.to_str().unwrap(),
+            ])
+            .unwrap();
+            run_sweep(&o).unwrap();
+        }
+        let a = std::fs::read(outs[0].join("sweep.csv")).unwrap();
+        let b = std::fs::read(outs[1].join("sweep.csv")).unwrap();
+        assert_eq!(a, b, "4-shard sweep artifact must be byte-identical to sequential");
+        let text = String::from_utf8(a).unwrap();
+        assert_eq!(text.lines().skip(2).count(), 4, "four reduced multisite scenarios");
+        std::fs::remove_dir_all(&base).ok();
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub fn ground_truth_scenario(
         workload: WorkloadSource::Concrete(workload.clone()),
         cache: CacheSpec::canonical(icd),
         config: ground_truth_config(kind, truth, workload.len()),
+        multisite: None,
     }
 }
 

@@ -4,6 +4,7 @@
 //! one with 24 cores — each with a local HDD cache, behind a local network;
 //! the remote storage site holds all initial input data across a WAN.
 
+use crate::multisite::{MultiSiteBuilder, MultiSiteSpec};
 use crate::node::NodeSpec;
 use crate::spec::PlatformSpec;
 use simcal_units as units;
@@ -110,6 +111,61 @@ pub fn all_platforms() -> Vec<PlatformSpec> {
     PlatformKind::ALL.iter().map(|k| k.spec()).collect()
 }
 
+/// The storage hub of the multi-site platforms: the Figure 1 remote
+/// storage site promoted to a first-class site. Its single node runs no
+/// jobs; its storage service and WAN interface serve every compute site's
+/// stage-in/stage-out traffic.
+pub fn storage_hub() -> PlatformSpec {
+    let spec = PlatformSpec {
+        name: "storage-hub".to_string(),
+        nodes: vec![NodeSpec::new("hub-node", 1)],
+        page_cache_enabled: false,
+        nominal_wan_bw: units::gbps(10.0),
+    };
+    spec.validate();
+    spec
+}
+
+/// A compute site for the multi-site catalog: a copy of the case-study
+/// site named per site index so sweep reports stay readable.
+pub fn ms_compute_site(kind: PlatformKind, index: usize) -> PlatformSpec {
+    let mut spec = cms_site(kind);
+    spec.name = format!("{}-c{index}", kind.label());
+    spec
+}
+
+/// A star-topology multi-site platform: `compute_sites` copies of the
+/// `kind` case-study site, each linked directly to the storage hub
+/// (site 0) with a 20 ms WAN hop.
+pub fn multisite_star(kind: PlatformKind, compute_sites: usize) -> MultiSiteSpec {
+    assert!(compute_sites >= 1, "need at least one compute site");
+    let mut b = MultiSiteBuilder::new(format!("{}x{}-star", compute_sites, kind.label()))
+        .site(storage_hub());
+    for i in 0..compute_sites {
+        b = b.site(ms_compute_site(kind, i)).link(0, i + 1, kind.nominal_wan_bw(), 0.020);
+    }
+    b.build()
+}
+
+/// A ring-topology multi-site platform: hub plus `compute_sites` sites
+/// joined in a cycle, so distant sites reach the hub through multi-hop
+/// shortest paths. Link latencies alternate 10/15 ms so the lookahead
+/// (the minimum) differs from most path latencies.
+pub fn multisite_ring(kind: PlatformKind, compute_sites: usize) -> MultiSiteSpec {
+    assert!(compute_sites >= 2, "a ring needs at least three sites total");
+    let n = compute_sites + 1;
+    let mut b = MultiSiteBuilder::new(format!("{}x{}-ring", compute_sites, kind.label()))
+        .site(storage_hub());
+    for i in 0..compute_sites {
+        b = b.site(ms_compute_site(kind, i));
+    }
+    for i in 0..n {
+        let latency = if i % 2 == 0 { 0.010 } else { 0.015 };
+        b = b.link(i, (i + 1) % n, kind.nominal_wan_bw(), latency);
+    }
+    b.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,5 +207,40 @@ mod tests {
         // The ground-truth workload has 48 jobs; the site has exactly 48
         // cores, so all jobs run concurrently (the paper's setting).
         assert_eq!(scfn().total_cores(), 48);
+    }
+
+    #[test]
+    fn multisite_star_shape() {
+        let ms = multisite_star(PlatformKind::Fcsn, 4);
+        assert_eq!(ms.site_count(), 5);
+        assert_eq!(ms.storage_site, 0);
+        assert_eq!(ms.compute_cores(), 4 * 48);
+        assert_eq!(ms.compute_node_count(), 12);
+        assert_eq!(ms.lookahead(), 0.020);
+        // Every compute site is one hop from the hub.
+        let d = ms.path_latencies();
+        for s in ms.compute_sites() {
+            assert_eq!(d[s][0], 0.020);
+        }
+    }
+
+    #[test]
+    fn multisite_ring_routes_multi_hop() {
+        let ms = multisite_ring(PlatformKind::Scfn, 4);
+        assert_eq!(ms.site_count(), 5);
+        assert_eq!(ms.lookahead(), 0.010);
+        let d = ms.path_latencies();
+        // The far side of the ring needs at least two hops to the hub.
+        let far = ms.compute_sites().iter().map(|&s| d[s][0]).fold(0.0, f64::max);
+        assert!(far > ms.lookahead());
+    }
+
+    #[test]
+    fn multisite_sites_are_uniquely_named() {
+        let ms = multisite_star(PlatformKind::Scsn, 3);
+        let mut names: Vec<&str> = ms.sites.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ms.site_count());
     }
 }

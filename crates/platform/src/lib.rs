@@ -18,11 +18,13 @@
 pub mod builder;
 pub mod catalog;
 pub mod hardware;
+pub mod multisite;
 pub mod node;
 pub mod spec;
 
 pub use builder::PlatformBuilder;
 pub use catalog::{all_platforms, fcfn, fcsn, scfn, scsn, PlatformKind};
 pub use hardware::HardwareParams;
+pub use multisite::{MultiSiteBuilder, MultiSiteSpec, WanLink};
 pub use node::NodeSpec;
 pub use spec::PlatformSpec;

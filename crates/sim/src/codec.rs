@@ -31,7 +31,7 @@
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use simcal_platform::{NodeSpec, PlatformSpec};
+use simcal_platform::{MultiSiteSpec, NodeSpec, PlatformSpec, WanLink};
 use simcal_workload::{ArrivalProcess, Distribution, JobSpec, Workload, WorkloadSpec};
 
 use crate::config::{NoiseConfig, SimConfig};
@@ -44,7 +44,10 @@ use crate::scheduler::SchedulerPolicy;
 /// `arrival` on workload specs, per-job `release` on concrete workloads,
 /// and `release_time_scale` on [`SimConfig`]. v2 decoders accept v1
 /// payloads (the new fields default to the legacy all-at-t=0 behaviour).
-pub const CODEC_VERSION: u64 = 2;
+/// v3 adds the optional `multisite` topology (emitted only when set);
+/// payloads of any version that lack it decode to the classic single-site
+/// scenario, so v3 decoders accept v1 and v2 unchanged.
+pub const CODEC_VERSION: u64 = 3;
 
 /// A decoding (or parsing) failure. Every variant carries enough context
 /// to say *which* type and field went wrong — decoders never panic on
@@ -579,14 +582,18 @@ pub fn decode_scenario(text: &str) -> Result<Scenario, CodecError> {
 /// The scenario as a JSON value (with the version field), for embedding in
 /// larger payloads (spool task files, manifests).
 pub fn scenario_to_json(sc: &Scenario) -> Json {
-    obj(vec![
+    let mut fields = vec![
         ("v", Json::Num(CODEC_VERSION as f64)),
         ("name", Json::Str(sc.name.clone())),
         ("platform", platform_to_json(&sc.platform)),
         ("workload", workload_source_to_json(&sc.workload)),
         ("cache", cache_spec_to_json(&sc.cache)),
         ("config", sim_config_to_json(&sc.config)),
-    ])
+    ];
+    if let Some(ms) = &sc.multisite {
+        fields.push(("multisite", multisite_to_json(ms)));
+    }
+    obj(fields)
 }
 
 /// Decode a scenario from its JSON value form. Nested objects are
@@ -596,12 +603,19 @@ pub fn scenario_to_json(sc: &Scenario) -> Json {
 pub fn scenario_from_json(json: &Json) -> Result<Scenario, CodecError> {
     let r = ObjReader::new("Scenario", json)?;
     let v = check_version("Scenario", &r)?;
+    // Absent (v1/v2 payloads, or any single-site scenario) means the
+    // classic single-site path — never a required field.
+    let multisite = match r.get("multisite") {
+        None | Some(Json::Null) => None,
+        Some(ms) => Some(multisite_from_json(ms)?),
+    };
     Ok(Scenario {
         name: r.str("name")?.to_string(),
         platform: platform_from_json(r.req("platform")?)?,
         workload: workload_source_from_json(r.req("workload")?, v)?,
         cache: cache_spec_from_json(r.req("cache")?)?,
         config: sim_config_from_json(r.req("config")?, v)?,
+        multisite,
     })
 }
 
@@ -655,6 +669,84 @@ fn platform_from_json(json: &Json) -> Result<PlatformSpec, CodecError> {
         page_cache_enabled: r.bool("page_cache_enabled")?,
         nominal_wan_bw: r.f64("nominal_wan_bw")?,
     })
+}
+
+fn multisite_to_json(ms: &MultiSiteSpec) -> Json {
+    obj(vec![
+        ("name", Json::Str(ms.name.clone())),
+        ("sites", Json::Arr(ms.sites.iter().map(platform_to_json).collect())),
+        (
+            "links",
+            Json::Arr(
+                ms.links
+                    .iter()
+                    .map(|l| {
+                        obj(vec![
+                            ("a", Json::Num(l.a as f64)),
+                            ("b", Json::Num(l.b as f64)),
+                            ("bandwidth", json_f64(l.bandwidth)),
+                            ("latency", json_f64(l.latency)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("storage_site", Json::Num(ms.storage_site as f64)),
+    ])
+}
+
+fn multisite_from_json(json: &Json) -> Result<MultiSiteSpec, CodecError> {
+    let r = ObjReader::new("MultiSiteSpec", json)?;
+    let mut sites = Vec::new();
+    for s in r.arr("sites")? {
+        sites.push(platform_from_json(s)?);
+    }
+    let mut links = Vec::new();
+    for l in r.arr("links")? {
+        let lr = ObjReader::new("WanLink", l)?;
+        let link =
+            WanLink::new(lr.usize("a")?, lr.usize("b")?, lr.f64("bandwidth")?, lr.f64("latency")?);
+        // The structural rules MultiSiteSpec::validate asserts, reported
+        // as structured errors at the codec boundary (like arrival
+        // parameters): a malformed payload must not panic a sweep worker.
+        if link.a >= sites.len() || link.b >= sites.len() || link.a == link.b {
+            return Err(CodecError::Invalid {
+                ty: "WanLink",
+                msg: format!("bad link endpoints {}-{}", link.a, link.b),
+            });
+        }
+        if !(link.latency.is_finite()
+            && link.latency > 0.0
+            && link.bandwidth.is_finite()
+            && link.bandwidth > 0.0)
+        {
+            return Err(CodecError::Invalid {
+                ty: "WanLink",
+                msg: format!("bad latency {} or bandwidth {}", link.latency, link.bandwidth),
+            });
+        }
+        links.push(link);
+    }
+    let storage_site = r.usize("storage_site")?;
+    if sites.len() < 2 || storage_site >= sites.len() || links.is_empty() {
+        return Err(CodecError::Invalid {
+            ty: "MultiSiteSpec",
+            msg: format!(
+                "need >= 2 sites, links, and an in-range hub (got {} sites, {} links, hub {})",
+                sites.len(),
+                links.len(),
+                storage_site
+            ),
+        });
+    }
+    let ms = MultiSiteSpec { name: r.str("name")?.to_string(), sites, links, storage_site };
+    if ms.path_latencies().iter().any(|row| !row[ms.storage_site].is_finite()) {
+        return Err(CodecError::Invalid {
+            ty: "MultiSiteSpec",
+            msg: "a site is not connected to the storage hub".to_string(),
+        });
+    }
+    Ok(ms)
 }
 
 fn workload_source_to_json(src: &WorkloadSource) -> Json {
@@ -1111,6 +1203,7 @@ mod tests {
             workload: WorkloadSource::Concrete(w),
             cache: CacheSpec::seeded(0.25, 99),
             config: SimConfig::default(),
+            multisite: None,
         };
         let back = decode_scenario(&encode_scenario(&sc)).unwrap();
         assert_eq!(back, sc);
@@ -1134,7 +1227,7 @@ mod tests {
         let fields = json.fields_mut().unwrap();
         for (k, v) in fields.iter_mut() {
             if k == "v" {
-                *v = Json::Num(2.0);
+                *v = Json::Num(CODEC_VERSION as f64 + 1.0);
             }
         }
         fields.push(("future_knob".to_string(), Json::Str("ignored".to_string())));
@@ -1177,6 +1270,7 @@ mod tests {
             workload: WorkloadSource::Concrete(w),
             cache: CacheSpec::seeded(0.25, 99),
             config: SimConfig::default(),
+            multisite: None,
         };
         let mut json = scenario_to_json(&concrete);
         strip(&mut json);
@@ -1197,6 +1291,7 @@ mod tests {
             },
             cache: CacheSpec::canonical(0.5),
             config: SimConfig::default(),
+            multisite: None,
         };
         let text = encode_scenario(&sc);
         for (from, to) in [
@@ -1266,6 +1361,7 @@ mod tests {
                 },
                 cache: CacheSpec::canonical(0.5),
                 config: SimConfig::default(),
+                multisite: None,
             };
             let text = encode_scenario(&sc);
             let back = decode_scenario(&text).unwrap();
@@ -1286,6 +1382,7 @@ mod tests {
             workload: WorkloadSource::Concrete(Arc::new(w)),
             cache: CacheSpec::canonical(0.5),
             config: SimConfig::default(),
+            multisite: None,
         };
         let text = encode_scenario(&sc);
         assert_eq!(decode_scenario(&text).unwrap(), sc);
@@ -1295,6 +1392,81 @@ mod tests {
         // A negative release is likewise rejected.
         let negative = text.replacen("\"release\":0", "\"release\":-5", 1);
         assert!(matches!(decode_scenario(&negative), Err(CodecError::Invalid { .. })));
+    }
+
+    fn demo_multisite() -> MultiSiteSpec {
+        simcal_platform::catalog::multisite_star(simcal_platform::PlatformKind::Fcsn, 3)
+    }
+
+    #[test]
+    fn multisite_scenarios_round_trip_byte_exactly() {
+        let sc = Scenario {
+            name: "ms".into(),
+            platform: simcal_platform::catalog::fcsn(),
+            workload: WorkloadSource::Spec {
+                spec: WorkloadSpec::constant(12, 2, 1e6, 6.0, 1e5),
+                seed: 5,
+            },
+            cache: CacheSpec::canonical(0.5),
+            config: SimConfig::default(),
+            multisite: Some(demo_multisite()),
+        };
+        let text = encode_scenario(&sc);
+        let back = decode_scenario(&text).unwrap();
+        assert_eq!(back, sc);
+        assert_eq!(encode_scenario(&back), text, "re-encode not byte-identical");
+    }
+
+    #[test]
+    fn payloads_without_multisite_decode_to_single_site() {
+        // The v3 field is optional at every version: v2 payloads (and v3
+        // single-site ones) decode to multisite = None, and an explicit
+        // null means the same thing.
+        let sc = ScenarioRegistry::reduced().scenarios().remove(0);
+        assert_eq!(sc.multisite, None);
+        let mut json = scenario_to_json(&sc);
+        assert!(json.field("multisite").is_none(), "None is omitted, not encoded");
+        for (k, v) in json.fields_mut().unwrap().iter_mut() {
+            if k == "v" {
+                *v = Json::Num(2.0);
+            }
+        }
+        assert_eq!(scenario_from_json(&json).unwrap(), sc);
+        json.fields_mut().unwrap().push(("multisite".to_string(), Json::Null));
+        assert_eq!(scenario_from_json(&json).unwrap(), sc);
+    }
+
+    #[test]
+    fn malformed_multisite_payloads_are_structured_errors() {
+        let sc = Scenario {
+            name: "ms".into(),
+            platform: simcal_platform::catalog::fcsn(),
+            workload: WorkloadSource::Spec {
+                spec: WorkloadSpec::constant(4, 2, 1e6, 6.0, 1e5),
+                seed: 5,
+            },
+            cache: CacheSpec::canonical(0.5),
+            config: SimConfig::default(),
+            multisite: Some(demo_multisite()),
+        };
+        let text = encode_scenario(&sc);
+        for (from, to) in [
+            // Zero latency would destroy the sync lookahead.
+            ("\"latency\":0.02", "\"latency\":0"),
+            // Out-of-range link endpoint.
+            ("\"a\":0,\"b\":1", "\"a\":0,\"b\":99"),
+            // Self-link.
+            ("\"a\":0,\"b\":1", "\"a\":0,\"b\":0"),
+            // Hub index out of range.
+            ("\"storage_site\":0", "\"storage_site\":9"),
+        ] {
+            let tampered = text.replacen(from, to, 1);
+            assert_ne!(tampered, text, "{to}: replacement must apply");
+            assert!(
+                matches!(decode_scenario(&tampered), Err(CodecError::Invalid { .. })),
+                "{to}: must be a structured error"
+            );
+        }
     }
 
     #[test]

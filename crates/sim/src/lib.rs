@@ -51,6 +51,7 @@
 pub mod codec;
 pub mod config;
 pub mod jobrun;
+pub mod multisite;
 pub mod registry;
 pub mod resources;
 pub mod scenario;
@@ -61,6 +62,9 @@ pub mod validate;
 
 pub use codec::{decode_scenario, encode_scenario, CodecError, Json};
 pub use config::{NoiseConfig, SimConfig};
+pub use multisite::{
+    simulate_multisite, try_simulate_multisite, try_simulate_multisite_with_stats, StageMsg,
+};
 pub use registry::{ScenarioEntry, ScenarioRegistry};
 pub use resources::PlatformResources;
 pub use scenario::{CacheSpec, MaterializedScenario, Scenario, WorkloadSource};

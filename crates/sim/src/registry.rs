@@ -13,7 +13,10 @@
 //! and sweeps; [`ScenarioRegistry::reduced`] scales every workload down
 //! (same families, same shapes) for tests and benches.
 
-use simcal_platform::{HardwareParams, PlatformBuilder, PlatformKind, PlatformSpec};
+use simcal_platform::{
+    catalog, HardwareParams, MultiSiteBuilder, MultiSiteSpec, PlatformBuilder, PlatformKind,
+    PlatformSpec,
+};
 use simcal_storage::XRootDConfig;
 use simcal_workload::{cms_workload_spec, ArrivalProcess, Distribution, WorkloadSpec};
 
@@ -91,6 +94,7 @@ impl ScenarioRegistry {
         reg.push_straggler_family(scale);
         reg.push_deepcache_family(scale);
         reg.push_arrival_family(scale);
+        reg.push_multisite_family(scale);
         reg
     }
 
@@ -195,6 +199,7 @@ impl ScenarioRegistry {
                     },
                     cache: CacheSpec::canonical(0.5),
                     config,
+                    multisite: None,
                 },
             );
         }
@@ -281,6 +286,7 @@ impl ScenarioRegistry {
                     },
                     cache: CacheSpec::canonical(0.5),
                     config,
+                    multisite: None,
                 },
             );
         }
@@ -347,6 +353,7 @@ impl ScenarioRegistry {
                     workload: WorkloadSource::Spec { spec, seed },
                     cache: CacheSpec::canonical(0.3),
                     config,
+                    multisite: None,
                 },
             );
         }
@@ -410,6 +417,7 @@ impl ScenarioRegistry {
                     workload: WorkloadSource::Spec { spec: spec.clone(), seed },
                     cache: CacheSpec::canonical(v.icd),
                     config,
+                    multisite: None,
                 },
             );
         }
@@ -488,6 +496,85 @@ impl ScenarioRegistry {
                     },
                     cache: CacheSpec::canonical(0.5),
                     config,
+                    multisite: None,
+                },
+            );
+        }
+    }
+
+    /// Multi-site topologies around a storage hub, run on the partitioned
+    /// conservative-parallel simulator ([`crate::multisite`]) — the family
+    /// `sweep --engine-shards N` parallelizes. Traces are bit-identical at
+    /// every shard count, so these scenarios double as the
+    /// shard-invariance oracle fixtures.
+    fn push_multisite_family(&mut self, scale: Scale) {
+        const SALT: u64 = 0x6D73_6974; // "msit"
+        let mixed = MultiSiteBuilder::new("MIXED-MS")
+            .site(PlatformBuilder::new("ms-hub").node("hub-node", 1).wan_gbps(10.0).build())
+            .site(PlatformKind::Fcsn.spec())
+            .site(
+                PlatformBuilder::new("ms-asym").node("a8", 8).node("a24", 24).wan_gbps(1.0).build(),
+            )
+            .link(0, 1, PlatformKind::Fcsn.nominal_wan_bw(), 0.012)
+            .link(0, 2, PlatformKind::Scsn.nominal_wan_bw(), 0.030)
+            .build();
+        let variants: [(&str, &str, PlatformKind, MultiSiteSpec); 4] = [
+            (
+                "ms-star2",
+                "two FCSN sites star-linked to the storage hub (20 ms hops)",
+                PlatformKind::Fcsn,
+                catalog::multisite_star(PlatformKind::Fcsn, 2),
+            ),
+            (
+                "ms-star4",
+                "four SCSN sites star-linked to the storage hub (20 ms hops)",
+                PlatformKind::Scsn,
+                catalog::multisite_star(PlatformKind::Scsn, 4),
+            ),
+            (
+                "ms-ring4",
+                "hub plus four FCFN sites on a 10/15 ms ring (multi-hop staging)",
+                PlatformKind::Fcfn,
+                catalog::multisite_ring(PlatformKind::Fcfn, 4),
+            ),
+            (
+                "ms-mixed",
+                "unequal compute sites behind unequal 12/30 ms WAN latencies",
+                PlatformKind::Fcsn,
+                mixed,
+            ),
+        ];
+        for (i, (name, summary, kind, ms)) in variants.into_iter().enumerate() {
+            let seed = scenario_seed(SALT, i as u64);
+            // Full scale: one job per compute core — every site fully
+            // occupied once, the case-study load generalized per site.
+            let n_jobs = match scale {
+                Scale::Full => ms.compute_cores() as usize,
+                Scale::Reduced => 4 * ms.compute_sites().len(),
+            };
+            let (files, bytes) = match scale {
+                Scale::Full => (6, 100e6),
+                Scale::Reduced => (3, 24e6),
+            };
+            let mut config = SimConfig::new(calibrated_hardware(), granularity(scale));
+            config.hardware.wan_bw = effective_wan(kind.nominal_wan_bw());
+            // The single-site `platform` field is ignored by the
+            // partitioned path; carry a representative compute site so
+            // every tool that inspects it sees the right shape.
+            let platform = ms.sites[ms.compute_sites()[0]].clone();
+            self.register(
+                "multisite",
+                summary.to_string(),
+                Scenario {
+                    name: name.to_string(),
+                    platform,
+                    workload: WorkloadSource::Spec {
+                        spec: WorkloadSpec::constant(n_jobs, files, bytes, 6.0, bytes * 0.1),
+                        seed,
+                    },
+                    cache: CacheSpec::canonical(0.5),
+                    config,
+                    multisite: Some(ms),
                 },
             );
         }
@@ -534,7 +621,7 @@ mod tests {
     fn builtin_registry_has_all_families() {
         let reg = ScenarioRegistry::builtin();
         assert!(reg.len() >= 16, "need >= 16 scenarios, have {}", reg.len());
-        for family in ["paper", "hetero", "straggler", "deepcache", "arrival"] {
+        for family in ["paper", "hetero", "straggler", "deepcache", "arrival", "multisite"] {
             assert!(
                 reg.entries().iter().filter(|e| e.family == family).count() >= 3,
                 "family {family} too small"
@@ -576,6 +663,23 @@ mod tests {
         for name in ["arrival-poisson", "arrival-diurnal", "arrival-bursty"] {
             let w = reg.get(name).unwrap().workload.workload();
             assert!(w.has_releases(), "{name} must release jobs after t=0");
+        }
+    }
+
+    #[test]
+    fn multisite_family_is_shard_invariant() {
+        // The family's registry twins are the shard-invariance oracle:
+        // 2 shards must reproduce the sequential reference bit-for-bit.
+        let reg = ScenarioRegistry::reduced();
+        let mut session = crate::SimSession::new();
+        for e in reg.entries().iter().filter(|e| e.family == "multisite") {
+            let ms = e.scenario.multisite.as_ref().expect("multisite family");
+            let one = e.scenario.run_sharded(&mut session, 1);
+            let two = e.scenario.run_sharded(&mut session, 2);
+            assert_eq!(one.jobs, two.jobs, "{}", e.scenario.name);
+            assert_eq!(one.engine_events, two.engine_events, "{}", e.scenario.name);
+            assert_eq!(one.jobs.len(), e.scenario.workload.n_jobs());
+            assert_eq!(one.n_nodes, ms.compute_node_count());
         }
     }
 

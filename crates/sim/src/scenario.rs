@@ -17,11 +17,12 @@
 
 use std::sync::Arc;
 
-use simcal_platform::PlatformSpec;
+use simcal_platform::{MultiSiteSpec, PlatformSpec};
 use simcal_storage::CachePlan;
 use simcal_workload::{ExecutionTrace, Workload, WorkloadSpec};
 
 use crate::config::SimConfig;
+use crate::multisite::try_simulate_multisite;
 use crate::simulator::{SimError, SimSession};
 
 /// Where a scenario's workload comes from.
@@ -111,6 +112,7 @@ impl CacheSpec {
 ///     },
 ///     cache: CacheSpec::canonical(0.5),
 ///     config: SimConfig::default(),
+///     multisite: None,
 /// };
 /// let trace = sc.run(&mut SimSession::new());
 /// assert_eq!(trace.jobs.len(), 6);
@@ -129,6 +131,12 @@ pub struct Scenario {
     pub cache: CacheSpec,
     /// Hardware, granularity, noise, and scheduler-policy configuration.
     pub config: SimConfig,
+    /// Multi-site topology: when set, the scenario runs on the partitioned
+    /// multi-site simulator ([`crate::multisite`]) — the single-site
+    /// `platform` field is ignored — and supports parallel engine shards
+    /// via [`Scenario::run_sharded`]. `None` = the classic single-site
+    /// path, byte-identical to what it always produced.
+    pub multisite: Option<MultiSiteSpec>,
 }
 
 /// A scenario with its workload and cache plan materialized, ready to run
@@ -148,6 +156,9 @@ impl Scenario {
     pub fn validate(&self) {
         self.platform.validate();
         self.config.validate();
+        if let Some(ms) = &self.multisite {
+            ms.validate();
+        }
         assert!(
             (0.0..=1.0).contains(&self.cache.icd),
             "scenario {:?}: ICD {} outside [0, 1]",
@@ -174,17 +185,59 @@ impl Scenario {
     pub fn try_run(&self, session: &mut SimSession) -> Result<ExecutionTrace, SimError> {
         self.materialize().try_run(session)
     }
+
+    /// Run with `shards` parallel engine shards. Multi-site scenarios
+    /// partition their sites over that many threads (1 = the sequential
+    /// reference driver; traces are bit-identical either way); single-site
+    /// scenarios have one engine and ignore the value.
+    pub fn run_sharded(&self, session: &mut SimSession, shards: usize) -> ExecutionTrace {
+        self.materialize()
+            .try_run_sharded(session, shards)
+            .unwrap_or_else(|e| panic!("simulation failed: {e}"))
+    }
+
+    /// As [`Scenario::run_sharded`], reporting simulator logic errors.
+    pub fn try_run_sharded(
+        &self,
+        session: &mut SimSession,
+        shards: usize,
+    ) -> Result<ExecutionTrace, SimError> {
+        self.materialize().try_run_sharded(session, shards)
+    }
 }
 
 impl MaterializedScenario<'_> {
     /// Run on a caller-owned session (see [`Scenario::run`]).
     pub fn run(&self, session: &mut SimSession) -> ExecutionTrace {
-        session.run(&self.scenario.platform, &self.workload, &self.plan, &self.scenario.config)
+        self.try_run(session).unwrap_or_else(|e| panic!("simulation failed: {e}"))
     }
 
     /// Run, reporting simulator logic errors.
     pub fn try_run(&self, session: &mut SimSession) -> Result<ExecutionTrace, SimError> {
-        session.try_run(&self.scenario.platform, &self.workload, &self.plan, &self.scenario.config)
+        self.try_run_sharded(session, 1)
+    }
+
+    /// Run with `shards` engine shards (see [`Scenario::run_sharded`]).
+    pub fn try_run_sharded(
+        &self,
+        session: &mut SimSession,
+        shards: usize,
+    ) -> Result<ExecutionTrace, SimError> {
+        match &self.scenario.multisite {
+            Some(ms) => try_simulate_multisite(
+                ms,
+                &self.workload,
+                &self.plan,
+                &self.scenario.config,
+                shards,
+            ),
+            None => session.try_run(
+                &self.scenario.platform,
+                &self.workload,
+                &self.plan,
+                &self.scenario.config,
+            ),
+        }
     }
 }
 
@@ -203,6 +256,7 @@ mod tests {
             },
             cache: CacheSpec::canonical(icd),
             config: SimConfig::default(),
+            multisite: None,
         }
     }
 

@@ -56,6 +56,46 @@ pub fn decode(tag: Tag) -> (Kind, usize) {
     (Kind::from_bits(tag.0 & 0b111), (tag.0 >> 3) as usize)
 }
 
+/// Marker bit distinguishing the multi-site staging flows from the
+/// per-job [`Kind`] namespace, which occupies all eight low-3-bit values.
+/// Job indices never reach bit 63, so the namespaces cannot collide.
+pub const STAGE_BIT: u64 = 1 << 63;
+
+/// The staging flows of the multi-site simulator (see
+/// [`crate::multisite`]): site-level transfers that move non-cached input
+/// bytes in from the storage hub and output bytes back to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageKind {
+    /// Hub-side read serving a stage-in request (hub storage + hub WAN).
+    Serve = 0,
+    /// Hub-side write absorbing a stage-out (hub WAN + hub storage).
+    Ingest = 1,
+    /// Compute-site-side delivery of staged-in bytes (site WAN).
+    Deliver = 2,
+}
+
+impl StageKind {
+    fn from_bits(bits: u64) -> StageKind {
+        match bits {
+            0 => StageKind::Serve,
+            1 => StageKind::Ingest,
+            2 => StageKind::Deliver,
+            _ => unreachable!("invalid stage kind bits {bits}"),
+        }
+    }
+}
+
+/// Pack a staging (kind, job) pair into a tag (bit 63 set).
+pub fn encode_stage(kind: StageKind, job: usize) -> Tag {
+    Tag(STAGE_BIT | ((job as u64) << 3) | kind as u64)
+}
+
+/// Unpack a staging tag (callers must have checked [`STAGE_BIT`]).
+pub fn decode_stage(tag: Tag) -> (StageKind, usize) {
+    debug_assert!(tag.0 & STAGE_BIT != 0, "not a staging tag");
+    (StageKind::from_bits(tag.0 & 0b111), ((tag.0 & !STAGE_BIT) >> 3) as usize)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,5 +127,16 @@ mod tests {
         let (k, j) = decode(encode(Kind::NetChunk, usize::MAX >> 4));
         assert_eq!(k, Kind::NetChunk);
         assert_eq!(j, usize::MAX >> 4);
+    }
+
+    #[test]
+    fn stage_tags_round_trip_and_stay_disjoint() {
+        for kind in [StageKind::Serve, StageKind::Ingest, StageKind::Deliver] {
+            let tag = encode_stage(kind, 12345);
+            assert!(tag.0 & STAGE_BIT != 0);
+            assert_eq!(decode_stage(tag), (kind, 12345));
+        }
+        // A job-flow tag never has the stage bit set for sane job indices.
+        assert_eq!(encode(Kind::NetChunk, 12345).0 & STAGE_BIT, 0);
     }
 }

@@ -439,8 +439,23 @@ impl ShardSource for SpoolSource {
 /// This is what the hidden `sweep-worker` CLI subcommand runs; the
 /// coordinator also calls it to participate in its own sweep.
 pub fn run_worker(spool: &Path, threads: usize) -> Result<usize, DistError> {
+    run_worker_sharded(spool, threads, 1)
+}
+
+/// [`run_worker`] with the partitioned-engine shard count exposed: every
+/// scenario this worker drains runs on `engine_shards` conservative DES
+/// shards. Results are bit-identical at any shard count (the partition
+/// protocol guarantees it), so mixing worker shard counts in one spool is
+/// safe — the knob only trades threads-per-scenario against
+/// scenarios-in-flight.
+pub fn run_worker_sharded(
+    spool: &Path,
+    threads: usize,
+    engine_shards: usize,
+) -> Result<usize, DistError> {
     let source = SpoolSource::open(spool);
-    let runner = SweepRunner::new().with_workers(threads.max(1));
+    let runner =
+        SweepRunner::new().with_workers(threads.max(1)).with_engine_shards(engine_shards.max(1));
     let write_error: Mutex<Option<DistError>> = Mutex::new(None);
     let tagged = runner.run_source_each(&source, |index, result| {
         if let Err(e) = write_result(spool, index, result) {
@@ -573,6 +588,9 @@ pub struct DistSweep {
     spawn: usize,
     threads: usize,
     worker_cmd: Option<(PathBuf, Vec<String>)>,
+    /// Partitioned-engine shards per scenario in the coordinator's own
+    /// drain loop.
+    engine_shards: usize,
     /// How long the coordinator tolerates zero progress (no new result
     /// files) while claims are in flight or workers are alive before it
     /// presumes the claim holders dead, requeues their tasks, and runs
@@ -592,6 +610,7 @@ impl DistSweep {
             spool: spool.into(),
             spawn: 0,
             threads: 1,
+            engine_shards: 1,
             worker_cmd: None,
             stall_timeout: std::time::Duration::from_secs(30),
             settle_timeout: std::time::Duration::from_secs(2),
@@ -618,6 +637,15 @@ impl DistSweep {
     pub fn with_threads(mut self, threads: usize) -> Self {
         assert!(threads > 0, "need at least one thread");
         self.threads = threads;
+        self
+    }
+
+    /// Partitioned-engine shards per scenario in the coordinator's own
+    /// drain loop (default 1). Spawned workers take the knob through their
+    /// command line instead — see [`run_worker_sharded`].
+    pub fn with_engine_shards(mut self, engine_shards: usize) -> Self {
+        assert!(engine_shards > 0, "need at least one engine shard");
+        self.engine_shards = engine_shards;
         self
     }
 
@@ -660,7 +688,7 @@ impl DistSweep {
         // On ANY failure from here on the children must still be reaped
         // (killed on the error path) — a zombie worker would keep
         // mutating a spool directory the caller believes is settled.
-        if let Err(e) = run_worker(&self.spool, self.threads) {
+        if let Err(e) = run_worker_sharded(&self.spool, self.threads, self.engine_shards) {
             reap_children(&mut children, true);
             return Err(e);
         }
@@ -720,7 +748,7 @@ impl DistSweep {
                         recoveries += 1;
                         idle = std::time::Duration::ZERO;
                         if requeue_orphans(&self.spool)? > 0 {
-                            run_worker(&self.spool, self.threads)?;
+                            run_worker_sharded(&self.spool, self.threads, self.engine_shards)?;
                         }
                         continue;
                     }
@@ -979,8 +1007,8 @@ mod tests {
         let stripped = text
             .replace(&format!(",\"mean_queue_wait\":{}", r.mean_queue_wait), "")
             .replace(&format!(",\"max_queue_wait\":{}", r.max_queue_wait), "")
-            .replacen("{\"v\":\"2\"", "{\"v\":\"1\"", 1)
-            .replacen("{\"v\":2", "{\"v\":1", 1);
+            .replacen(&format!("{{\"v\":\"{CODEC_VERSION}\""), "{\"v\":\"1\"", 1)
+            .replacen(&format!("{{\"v\":{CODEC_VERSION}"), "{\"v\":1", 1);
         assert!(!stripped.contains("queue_wait"), "fields stripped: {stripped}");
         let back = decode_sweep_result(&stripped).unwrap();
         assert_eq!(back.mean_queue_wait, 0.0);

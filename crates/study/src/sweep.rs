@@ -276,6 +276,9 @@ impl ShardSource for GridSource<'_> {
 pub struct SweepRunner {
     workers: usize,
     shard_size: usize,
+    /// Engine shards per scenario: multi-site scenarios partition their
+    /// sites over this many threads (single-site scenarios ignore it).
+    engine_shards: usize,
     /// Idle per-worker contexts (each parks a [`SimSession`]), reused
     /// across `run` calls exactly like the calibration evaluator's pool.
     contexts: Mutex<Vec<EvalContext>>,
@@ -291,7 +294,7 @@ impl SweepRunner {
     /// A runner using one worker per available core, shard size 1.
     pub fn new() -> Self {
         let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        Self { workers, shard_size: 1, contexts: Mutex::new(Vec::new()) }
+        Self { workers, shard_size: 1, engine_shards: 1, contexts: Mutex::new(Vec::new()) }
     }
 
     /// Override the worker count (1 = serial).
@@ -308,9 +311,24 @@ impl SweepRunner {
         self
     }
 
+    /// Override the per-scenario engine shard count. Multi-site scenarios
+    /// run their sites across this many threads under conservative
+    /// synchronization — the sweep results are bit-identical to 1 shard
+    /// (the sequential reference); single-site scenarios ignore it.
+    pub fn with_engine_shards(mut self, engine_shards: usize) -> Self {
+        assert!(engine_shards > 0, "need at least one engine shard");
+        self.engine_shards = engine_shards;
+        self
+    }
+
     /// The configured worker count.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The configured per-scenario engine shard count.
+    pub fn engine_shards(&self) -> usize {
+        self.engine_shards
     }
 
     /// Execute every scenario; results are index-aligned with the input
@@ -389,7 +407,8 @@ impl SweepRunner {
             while let Some(shard) = source.claim() {
                 for claimed in &shard {
                     let i = claimed.index();
-                    let r = Self::run_one(&mut ctx, claimed.scenario(), i, observe);
+                    let r =
+                        Self::run_one(&mut ctx, claimed.scenario(), i, self.engine_shards, observe);
                     each(i, &r);
                     out.push((i, r));
                 }
@@ -407,7 +426,13 @@ impl SweepRunner {
                     while let Some(shard) = source.claim() {
                         for claimed in &shard {
                             let i = claimed.index();
-                            let r = Self::run_one(&mut ctx, claimed.scenario(), i, observe);
+                            let r = Self::run_one(
+                                &mut ctx,
+                                claimed.scenario(),
+                                i,
+                                self.engine_shards,
+                                observe,
+                            );
                             each(i, &r);
                             tx.send((i, r)).expect("collector alive");
                         }
@@ -426,11 +451,12 @@ impl SweepRunner {
         ctx: &mut EvalContext,
         sc: &Scenario,
         index: usize,
+        engine_shards: usize,
         observe: &(dyn Fn(usize, &ExecutionTrace) + Sync),
     ) -> SweepResult {
         let session = ctx.get_or_insert_with(SimSession::new);
         let t0 = Instant::now();
-        let trace = sc.run(session);
+        let trace = sc.run_sharded(session, engine_shards);
         let wall = t0.elapsed().as_secs_f64();
         observe(index, &trace);
         let mut r = SweepResult::from_trace(&sc.name, &trace);
@@ -463,6 +489,16 @@ mod tests {
         let parallel = SweepRunner::new().with_workers(4).run(&grid);
         assert_eq!(serial.len(), grid.len());
         assert_eq!(fingerprints(&serial), fingerprints(&parallel));
+    }
+
+    #[test]
+    fn engine_shards_do_not_change_results() {
+        // The whole reduced grid — single-site members ignore the shard
+        // count, multi-site members must be bit-identical under it.
+        let grid = ScenarioRegistry::reduced().scenarios();
+        let one = SweepRunner::new().with_workers(2).run(&grid);
+        let four = SweepRunner::new().with_workers(2).with_engine_shards(4).run(&grid);
+        assert_eq!(fingerprints(&one), fingerprints(&four));
     }
 
     #[test]
@@ -525,9 +561,16 @@ mod tests {
         let results = SweepRunner::new().with_workers(2).run(&grid);
         for r in &results {
             let is_arrival = r.name.starts_with("arrival-");
+            let is_multisite = r.name.starts_with("ms-");
             if is_arrival {
                 assert!(r.mean_queue_wait > 0.0, "{}: overcommitted member must queue", r.name);
                 assert!(r.max_queue_wait >= r.mean_queue_wait);
+            } else if is_multisite {
+                // Stage-in time counts as release-to-start wait here. The
+                // mean is sum/n and may land one ulp above the max when
+                // every job waits the same time, hence the tolerance.
+                assert!(r.mean_queue_wait > 0.0, "{}: stage-in must show as wait", r.name);
+                assert!(r.max_queue_wait >= r.mean_queue_wait * (1.0 - 1e-12));
             } else {
                 assert_eq!(r.mean_queue_wait, 0.0, "{}: legacy scenarios never wait", r.name);
             }

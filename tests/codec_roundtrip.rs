@@ -32,7 +32,7 @@ fn assert_round_trips(sc: &Scenario) {
 #[test]
 fn every_builtin_scenario_round_trips() {
     let reg = ScenarioRegistry::builtin();
-    assert_eq!(reg.len(), 18, "the registry's 18 built-ins are the covered universe");
+    assert_eq!(reg.len(), 22, "the registry's 22 built-ins are the covered universe");
     for e in reg.entries() {
         assert_round_trips(&e.scenario);
     }
@@ -183,6 +183,7 @@ proptest! {
                 seed: pinned_seed,
             },
             config: SimConfig::default(),
+            multisite: None,
         };
         let text = encode_scenario(&sc);
         let back = decode_scenario(&text).unwrap();

@@ -1,0 +1,182 @@
+//! Partitioned parallel DES properties over the real multi-site simulator.
+//!
+//! `crates/des/src/partition.rs` proves the conservative protocol on toy
+//! relay topologies; these tests pin the same guarantees end-to-end
+//! through the public scenario path:
+//!
+//! 1. **Shard invariance**: every multi-site registry scenario produces a
+//!    bit-identical trace at 1 (the sequential oracle), 2, and 4 shards;
+//! 2. **Lookahead safety**: the WAN-derived lookahead is exactly the
+//!    narrowest link latency, strictly positive, and the parallel run
+//!    really exercises the null-message machinery;
+//! 3. **Deadlock freedom**: ring and star topologies complete at maximal
+//!    sharding (one site per thread) — the blocked-wait protocol always
+//!    wakes up;
+//! 4. the same invariance holds on **randomized** star topologies,
+//!    workloads, and shard counts (proptest).
+
+use proptest::prelude::*;
+
+use simcal::des::SyncStats;
+use simcal::platform::{catalog, MultiSiteBuilder, PlatformKind};
+use simcal::sim::{
+    try_simulate_multisite_with_stats, CacheSpec, Scenario, ScenarioRegistry, SimConfig,
+    SimSession, WorkloadSource,
+};
+use simcal::workload::{ArrivalProcess, Distribution, WorkloadSpec};
+
+/// One job record, flattened to bit-exact comparable form.
+type JobBits = (usize, usize, u32, u64, u64);
+
+/// Job-trace fingerprint: everything the sweep's trace hash covers.
+fn fingerprint(trace: &simcal::workload::ExecutionTrace) -> (Vec<JobBits>, usize, u64) {
+    let jobs = trace
+        .jobs
+        .iter()
+        .map(|j| (j.job, j.node, j.core, j.start.to_bits(), j.end.to_bits()))
+        .collect();
+    (jobs, trace.n_nodes, trace.engine_events)
+}
+
+#[test]
+fn every_multisite_builtin_is_shard_invariant() {
+    for reg in [ScenarioRegistry::builtin(), ScenarioRegistry::reduced()] {
+        let scenarios: Vec<Scenario> = reg
+            .entries()
+            .iter()
+            .filter(|e| e.scenario.multisite.is_some())
+            .map(|e| e.scenario.clone())
+            .collect();
+        assert_eq!(scenarios.len(), 4, "the registry carries four multi-site scenarios");
+        for sc in &scenarios {
+            let oracle = fingerprint(&sc.run_sharded(&mut SimSession::new(), 1));
+            for shards in [2usize, 4] {
+                let trace = sc.run_sharded(&mut SimSession::new(), shards);
+                assert_eq!(
+                    fingerprint(&trace),
+                    oracle,
+                    "{}: {shards}-shard trace differs from the sequential oracle",
+                    sc.name
+                );
+            }
+        }
+    }
+}
+
+/// Run one materialized multi-site scenario, returning trace + stats.
+fn run_with_stats(sc: &Scenario, shards: usize) -> (simcal::workload::ExecutionTrace, SyncStats) {
+    let ms = sc.multisite.as_ref().expect("multi-site scenario");
+    let m = sc.materialize();
+    try_simulate_multisite_with_stats(ms, &m.workload, &m.plan, &sc.config, shards)
+        .expect("simulation failed")
+}
+
+#[test]
+fn lookahead_is_the_narrowest_wan_latency_and_the_protocol_runs_inside_it() {
+    for e in ScenarioRegistry::reduced().entries() {
+        let Some(ms) = &e.scenario.multisite else { continue };
+        let min_latency = ms.links.iter().map(|l| l.latency).fold(f64::INFINITY, f64::min);
+        assert!(min_latency > 0.0, "{}: WAN latency must be positive", e.scenario.name);
+        assert_eq!(
+            ms.lookahead(),
+            min_latency,
+            "{}: lookahead must be the provable minimum WAN delay",
+            e.scenario.name
+        );
+
+        let (trace, stats) = run_with_stats(&e.scenario, ms.site_count());
+        assert_eq!(stats.lookahead, min_latency);
+        assert_eq!(stats.partitions, ms.site_count());
+        assert!(stats.shards > 1, "{}: the run must actually shard", e.scenario.name);
+        // Staging crosses sites, so the conservative machinery must have
+        // carried real traffic and real null messages.
+        assert!(stats.data_messages > 0, "{}: no cross-shard traffic?", e.scenario.name);
+        assert!(stats.horizon_announcements > 0, "{}: no null messages?", e.scenario.name);
+        assert_eq!(
+            fingerprint(&trace),
+            fingerprint(&e.scenario.run_sharded(&mut SimSession::new(), 1))
+        );
+    }
+}
+
+#[test]
+fn ring_and_star_topologies_complete_at_maximal_sharding() {
+    // Deadlock freedom, end-to-end: every site on its own thread, cyclic
+    // (ring) and hub-and-spoke (star) WAN graphs. A protocol deadlock
+    // would hang this test rather than fail an assertion.
+    for ms in [
+        catalog::multisite_ring(PlatformKind::Fcsn, 4),
+        catalog::multisite_ring(PlatformKind::Scsn, 3),
+        catalog::multisite_star(PlatformKind::Fcfn, 4),
+    ] {
+        let sc = scenario_on(ms.clone(), 2 * ms.compute_sites().len(), 3, 0x5eed);
+        let oracle = fingerprint(&sc.run_sharded(&mut SimSession::new(), 1));
+        let trace = sc.run_sharded(&mut SimSession::new(), ms.site_count());
+        assert_eq!(fingerprint(&trace), oracle, "{}: sharded run diverged", sc.name);
+        assert_eq!(trace.jobs.len(), 2 * ms.compute_sites().len(), "every job completed");
+    }
+}
+
+/// Wrap a topology and a small constant workload into a scenario.
+fn scenario_on(
+    ms: simcal::platform::MultiSiteSpec,
+    n_jobs: usize,
+    files_per_job: usize,
+    seed: u64,
+) -> Scenario {
+    Scenario {
+        name: format!("pdes-{}", ms.name),
+        platform: ms.sites[ms.compute_sites()[0]].clone(),
+        workload: WorkloadSource::Spec {
+            spec: WorkloadSpec {
+                n_jobs,
+                files_per_job,
+                file_size: Distribution::Constant(24e6),
+                flops_per_byte: Distribution::Constant(6.0),
+                output_bytes: Distribution::Constant(2e6),
+                arrival: ArrivalProcess::Immediate,
+            },
+            seed,
+        },
+        cache: CacheSpec { icd: 0.5, seed: Some(seed) },
+        config: SimConfig::default(),
+        multisite: Some(ms),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized star topologies: site count, per-link latencies and
+    /// bandwidths, workload shape, cache depth, and shard count are all
+    /// drawn — the sharded trace always matches the sequential oracle.
+    #[test]
+    fn random_star_topologies_are_shard_invariant(
+        k in 2usize..5,
+        lat_millis in proptest::collection::vec(1u64..200, 4),
+        bw_mbps in proptest::collection::vec(50u64..2000, 4),
+        n_jobs in 1usize..12,
+        files in 1usize..4,
+        icd_milli in 0u64..1000,
+        wseed in 0u64..u64::MAX,
+        shards in 2usize..6,
+    ) {
+        let hub = catalog::storage_hub();
+        let mut b = MultiSiteBuilder::new("prop-star").site(hub);
+        for i in 0..k {
+            let kind = PlatformKind::ALL[i % PlatformKind::ALL.len()];
+            b = b.site(catalog::ms_compute_site(kind, i)).link(
+                0,
+                i + 1,
+                bw_mbps[i % bw_mbps.len()] as f64 * 1e6 / 8.0,
+                lat_millis[i % lat_millis.len()] as f64 / 1000.0,
+            );
+        }
+        let ms = b.build();
+        let mut sc = scenario_on(ms, n_jobs, files, wseed);
+        sc.cache.icd = icd_milli as f64 / 1000.0;
+        let oracle = fingerprint(&sc.run_sharded(&mut SimSession::new(), 1));
+        let trace = sc.run_sharded(&mut SimSession::new(), shards);
+        prop_assert_eq!(fingerprint(&trace), oracle);
+    }
+}
