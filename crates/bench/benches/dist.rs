@@ -13,7 +13,7 @@ use std::hint::black_box;
 use std::time::Duration;
 
 use simcal_sim::ScenarioRegistry;
-use simcal_study::{DistSweep, SweepRunner};
+use simcal_study::{DistSweep, SweepRunner, TcpSweep, TcpWorker};
 
 fn bench_dist(c: &mut Criterion) {
     let grid = ScenarioRegistry::reduced().scenarios();
@@ -39,6 +39,32 @@ fn bench_dist(c: &mut Criterion) {
             results.len()
         });
     });
+    // The socket transport on loopback: coordinator + one dialed-in
+    // worker thread. The delta over the spooled entry is the cost of the
+    // framed TCP protocol — accept, Hello/Claim/Task/Result round trips,
+    // heartbeats — on top of the same spool journal.
+    group.bench_function(&format!("registry{n}_tcp_1worker"), |b| {
+        b.iter(|| {
+            let spool = spool_base.join(format!("iter-{}", iter_count.get()));
+            iter_count.set(iter_count.get() + 1);
+            let driver = TcpSweep::new(&spool, "127.0.0.1:0".to_string()).with_threads(1);
+            let n_results = crossbeam::thread::scope(|scope| {
+                let coord = scope.spawn(|_| driver.run(black_box(&grid)).unwrap().0.len());
+                let addr = loop {
+                    if let Some(a) = simcal_study::net::read_addr(&spool) {
+                        break a;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                };
+                TcpWorker::new(addr).with_threads(1).run().unwrap();
+                coord.join().unwrap()
+            })
+            .unwrap();
+            std::fs::remove_dir_all(&spool).ok();
+            n_results
+        });
+    });
+
     group.finish();
     std::fs::remove_dir_all(&spool_base).ok();
 }

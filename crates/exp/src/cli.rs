@@ -19,7 +19,7 @@ use simcal_study::report::{ascii_table, write_csv, write_csv_commented};
 use simcal_study::sweep::SWEEP_CSV_SCHEMA;
 use simcal_study::{
     dist, param_space, CaseObjective, CaseStudy, DistSweep, ExperimentContext, FamilyObjective,
-    SweepResult, SweepRunner, PARAM_NAMES,
+    FaultPlan, SweepResult, SweepRunner, TcpSweep, TcpWorker, WorkerOutcome, PARAM_NAMES,
 };
 
 /// Parsed command line.
@@ -49,6 +49,17 @@ pub struct Options {
     pub spool: Option<PathBuf>,
     /// Worker processes the distributed coordinator spawns.
     pub spawn: Option<usize>,
+    /// `sweep --listen ADDR`: serve the sweep over TCP on this address.
+    pub listen: Option<String>,
+    /// `sweep-worker --connect ADDR`: dial a TCP coordinator.
+    pub connect: Option<String>,
+    /// Resume a crashed coordinator's spool instead of demanding a fresh
+    /// directory.
+    pub resume: bool,
+    /// `sweep-worker --fault SPEC`: deterministic fault injection.
+    pub fault: Option<String>,
+    /// `sweep-worker --max-tasks N`: leave gracefully after N tasks.
+    pub max_tasks: Option<u64>,
     /// `calibrate --family PATTERN`: scenario-family calibration.
     pub family: Option<String>,
     /// Calibration algorithm name for `calibrate`.
@@ -77,6 +88,11 @@ impl Options {
             distributed: false,
             spool: None,
             spawn: None,
+            listen: None,
+            connect: None,
+            resume: false,
+            fault: None,
+            max_tasks: None,
             family: None,
             algo: "random".to_string(),
         };
@@ -135,6 +151,15 @@ impl Options {
                 "--reduced" => opts.reduced = true,
                 "--distributed" => opts.distributed = true,
                 "--spool" => opts.spool = Some(PathBuf::from(take("--spool")?)),
+                "--listen" => opts.listen = Some(take("--listen")?),
+                "--connect" => opts.connect = Some(take("--connect")?),
+                "--resume" => opts.resume = true,
+                "--fault" => opts.fault = Some(take("--fault")?),
+                "--max-tasks" => {
+                    opts.max_tasks = Some(
+                        take("--max-tasks")?.parse().map_err(|e| format!("--max-tasks: {e}"))?,
+                    )
+                }
                 "--spawn" => {
                     opts.spawn =
                         Some(take("--spawn")?.parse().map_err(|e| format!("--spawn: {e}"))?)
@@ -233,6 +258,14 @@ Scenario commands:
                                 spool the grid to DIR and sweep it with N
                                 spawned worker processes (plus this one);
                                 results are bit-identical to the local driver
+  sweep [PATTERN] --listen ADDR --spool DIR
+                                serve the sweep over TCP: an elastic fleet of
+                                `sweep-worker --connect` processes dials in;
+                                the bound address is published to DIR/addr
+                                (host:0 picks a free port)
+  sweep-worker --connect ADDR   dial a TCP coordinator, claim tasks over the
+                                socket, stream results back (reconnects with
+                                backoff; heartbeats keep the claim alive)
   calibrate PLATFORM            fit the 4-parameter space to one platform's
                                 ground truth (scfn|fcfn|scsn|fcsn)
   calibrate --family PATTERN    fit one parameter set against every matching
@@ -253,7 +286,17 @@ Options:
                                 scenarios run one conservative shard per site
                                 group; traces are bit-identical at any N)
   --stall-timeout SECS          distributed sweep zero-progress window before
-                                orphaned claims are requeued (default 30)
+                                orphaned claims are requeued (default 30);
+                                for TCP also the per-connection heartbeat
+                                deadline (and the worker's reply patience)
+  --resume                      reuse a crashed coordinator's spool: validate
+                                the manifest, requeue orphaned claims, keep
+                                finished results (with --distributed/--listen)
+  --fault SPEC                  sweep-worker fault injection: kill-after=N,
+                                drop-frame=N, truncate-frame=N,
+                                partition-after=N, delay-every=KxMS,
+                                corrupt-result=N, or seed=N (derive one fault)
+  --max-tasks N                 sweep-worker leaves gracefully after N tasks
   --algo NAME                   calibrate algorithm (random|grid|coordinate|
                                 anneal|nelder-mead|bayes; default random)
   --spool DIR / --spawn N       distributed sweep spool and worker count
@@ -343,16 +386,45 @@ fn run_sweep(opts: &Options) -> Result<(), String> {
         return Err(format!("no scenario matches {pat:?}"));
     }
     let t0 = Instant::now();
-    let (results, mode) = if opts.distributed {
-        let spool = opts.spool.as_ref().ok_or("--distributed needs --spool DIR")?;
-        let spawn = opts.spawn.unwrap_or(0);
+    let (results, mode) = if let Some(listen) = &opts.listen {
+        let spool = opts.spool.as_ref().ok_or("--listen needs --spool DIR")?;
         let threads = opts.workers.unwrap_or(1);
-        let mut driver = DistSweep::new(spool).with_spawn(spawn).with_threads(threads);
+        let mut driver =
+            TcpSweep::new(spool, listen.clone()).with_threads(threads).with_resume(opts.resume);
         if let Some(n) = opts.engine_shards {
             driver = driver.with_engine_shards(n);
         }
         if let Some(secs) = opts.stall_timeout {
             driver = driver.with_stall_timeout(std::time::Duration::from_secs(secs));
+        }
+        if let Some(seed) = opts.seed {
+            driver = driver.with_seed(seed);
+        }
+        let (results, summary) = driver.run(&grid).map_err(|e| e.to_string())?;
+        if !summary.is_clean() {
+            eprintln!("[simcal-exp] recovery summary: {summary}");
+        }
+        (
+            results,
+            format!(
+                "tcp fleet ({} connection(s), {} left cleanly, {} dead)",
+                summary.workers_joined, summary.workers_left, summary.dead_workers
+            ),
+        )
+    } else if opts.distributed {
+        let spool = opts.spool.as_ref().ok_or("--distributed needs --spool DIR")?;
+        let spawn = opts.spawn.unwrap_or(0);
+        let threads = opts.workers.unwrap_or(1);
+        let mut driver =
+            DistSweep::new(spool).with_spawn(spawn).with_threads(threads).with_resume(opts.resume);
+        if let Some(n) = opts.engine_shards {
+            driver = driver.with_engine_shards(n);
+        }
+        if let Some(secs) = opts.stall_timeout {
+            driver = driver.with_stall_timeout(std::time::Duration::from_secs(secs));
+        }
+        if let Some(seed) = opts.seed {
+            driver = driver.with_seed(seed);
         }
         if spawn > 0 {
             let exe = std::env::current_exe().map_err(|e| format!("current exe: {e}"))?;
@@ -367,7 +439,10 @@ fn run_sweep(opts: &Options) -> Result<(), String> {
             }
             driver = driver.with_worker_command(exe, worker_args);
         }
-        let results = driver.run(&grid).map_err(|e| e.to_string())?;
+        let (results, summary) = driver.run_summarized(&grid).map_err(|e| e.to_string())?;
+        if !summary.is_clean() {
+            eprintln!("[simcal-exp] recovery summary: {summary}");
+        }
         (results, format!("{} worker process(es) x {threads} thread(s)", spawn + 1))
     } else {
         let mut runner = SweepRunner::new();
@@ -435,17 +510,50 @@ fn write_sweep_csv(path: &std::path::Path, results: &[SweepResult]) -> Result<()
         .map_err(|e| e.to_string())
 }
 
-/// The hidden `sweep-worker SPOOL` subcommand the distributed coordinator
-/// spawns: drain the spool's task queue, write results, exit.
+/// The `sweep-worker` subcommand: with `--connect ADDR`, dial a TCP
+/// coordinator and claim tasks over the socket; with a spool path (what
+/// the distributed coordinator spawns), drain the spool's task queue
+/// directly. Either way: run tasks, deliver results, exit.
 fn run_sweep_worker(opts: &Options) -> Result<(), String> {
+    let threads = opts.workers.unwrap_or(1);
+    let shards = opts.engine_shards.unwrap_or(1);
+    if let Some(addr) = &opts.connect {
+        let mut worker = TcpWorker::new(addr.clone())
+            .with_threads(threads)
+            .with_engine_shards(shards)
+            .with_name(format!("pid-{}", std::process::id()));
+        if let Some(seed) = opts.seed {
+            worker = worker.with_seed(seed);
+        }
+        if let Some(n) = opts.max_tasks {
+            worker = worker.with_max_tasks(n);
+        }
+        if let Some(secs) = opts.stall_timeout {
+            worker = worker.with_patience(std::time::Duration::from_secs(secs));
+        }
+        if let Some(spec) = &opts.fault {
+            let plan = FaultPlan::parse(spec).map_err(|e| format!("--fault: {e}"))?;
+            eprintln!("[simcal-exp] sweep-worker fault plan: {plan}");
+            worker = worker.with_fault(plan);
+        }
+        match worker.run().map_err(|e| e.to_string())? {
+            WorkerOutcome::Drained { completed } => {
+                eprintln!("[simcal-exp] sweep-worker drained after {completed} task(s) via {addr}")
+            }
+            WorkerOutcome::Killed { completed } => {
+                eprintln!(
+                    "[simcal-exp] sweep-worker killed by its fault plan after {completed} task(s)"
+                )
+            }
+        }
+        return Ok(());
+    }
     let spool = opts
         .args
         .first()
         .map(PathBuf::from)
         .or_else(|| opts.spool.clone())
-        .ok_or("sweep-worker needs a spool directory")?;
-    let threads = opts.workers.unwrap_or(1);
-    let shards = opts.engine_shards.unwrap_or(1);
+        .ok_or("sweep-worker needs a spool directory or --connect ADDR")?;
     let n = dist::run_worker_sharded(&spool, threads, shards).map_err(|e| e.to_string())?;
     eprintln!("[simcal-exp] sweep-worker drained {n} task(s) from {}", spool.display());
     Ok(())
@@ -912,6 +1020,103 @@ mod tests {
     fn distributed_needs_a_spool() {
         let o = parse(&["sweep", "--reduced", "--distributed"]).unwrap();
         assert!(run_sweep(&o).unwrap_err().contains("--spool"));
+        let o = parse(&["sweep", "--reduced", "--listen", "127.0.0.1:0"]).unwrap();
+        assert!(run_sweep(&o).unwrap_err().contains("--spool"));
+    }
+
+    #[test]
+    fn parses_tcp_transport_flags() {
+        let o = parse(&[
+            "sweep",
+            "deepcache",
+            "--listen",
+            "0.0.0.0:7070",
+            "--spool",
+            "/tmp/spool",
+            "--resume",
+        ])
+        .unwrap();
+        assert_eq!(o.listen.as_deref(), Some("0.0.0.0:7070"));
+        assert!(o.resume);
+        let o = parse(&[
+            "sweep-worker",
+            "--connect",
+            "coord:7070",
+            "--fault",
+            "kill-after=2",
+            "--max-tasks",
+            "5",
+            "--workers",
+            "2",
+        ])
+        .unwrap();
+        assert_eq!(o.connect.as_deref(), Some("coord:7070"));
+        assert_eq!(o.fault.as_deref(), Some("kill-after=2"));
+        assert_eq!(o.max_tasks, Some(5));
+        assert!(parse(&["sweep-worker", "--max-tasks", "x"]).is_err());
+        assert!(parse(&["sweep", "--listen"]).is_err());
+        // A bad fault spec is a structured error from the worker runner.
+        let o = parse(&["sweep-worker", "--connect", "x:1", "--fault", "bogus=1"]).unwrap();
+        assert!(run_sweep_worker(&o).unwrap_err().contains("--fault"));
+        // No spool and no --connect is still an error.
+        let o = parse(&["sweep-worker"]).unwrap();
+        assert!(run_sweep_worker(&o).unwrap_err().contains("--connect"));
+    }
+
+    #[test]
+    fn tcp_sweep_cli_writes_the_same_artifact_as_local() {
+        let base = std::env::temp_dir().join(format!("simcal-cli-tcp-{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+        let spool = base.join("spool");
+        let out_local = base.join("local");
+        let out_tcp = base.join("tcp");
+        let o = parse(&[
+            "sweep",
+            "deepcache",
+            "--reduced",
+            "--workers",
+            "2",
+            "--out",
+            out_local.to_str().unwrap(),
+        ])
+        .unwrap();
+        run_sweep(&o).unwrap();
+        // Coordinator in one thread, a dialed-in worker in another —
+        // the same wiring the real binaries use, minus the processes.
+        let coordinator = parse(&[
+            "sweep",
+            "deepcache",
+            "--reduced",
+            "--listen",
+            "127.0.0.1:0",
+            "--spool",
+            spool.to_str().unwrap(),
+            "--stall-timeout",
+            "30",
+            "--out",
+            out_tcp.to_str().unwrap(),
+        ])
+        .unwrap();
+        let spool_dir = spool.clone();
+        crossbeam::thread::scope(|scope| {
+            let coord = scope.spawn(move |_| run_sweep(&coordinator));
+            let addr = loop {
+                if let Some(a) = simcal_study::net::read_addr(&spool_dir) {
+                    break a;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            };
+            let worker =
+                parse(&["sweep-worker", "--connect", &addr, "--workers", "2", "--reduced"])
+                    .unwrap();
+            run_sweep_worker(&worker).unwrap();
+            coord.join().expect("coordinator thread").unwrap();
+        })
+        .expect("tcp cli scope");
+        let a = std::fs::read(out_local.join("sweep.csv")).unwrap();
+        let b = std::fs::read(out_tcp.join("sweep.csv")).unwrap();
+        assert_eq!(a, b, "TCP sweep artifact must be byte-identical to local");
+        std::fs::remove_dir_all(&base).ok();
     }
 
     #[test]

@@ -46,8 +46,12 @@ use crate::scheduler::SchedulerPolicy;
 /// payloads (the new fields default to the legacy all-at-t=0 behaviour).
 /// v3 adds the optional `multisite` topology (emitted only when set);
 /// payloads of any version that lack it decode to the classic single-site
-/// scenario, so v3 decoders accept v1 and v2 unchanged.
-pub const CODEC_VERSION: u64 = 3;
+/// scenario, so v3 decoders accept v1 and v2 unchanged. v4 adds the sweep
+/// protocol envelope ([`WireMsg`]: Hello/Claim/Task/Result/Heartbeat/
+/// Drain/Bye) and length-prefixed framing ([`write_frame`]/[`read_frame`])
+/// for the TCP transport; scenario and result payloads are unchanged, so
+/// v4 decoders accept v1–v3.
+pub const CODEC_VERSION: u64 = 4;
 
 /// A decoding (or parsing) failure. Every variant carries enough context
 /// to say *which* type and field went wrong — decoders never panic on
@@ -1120,6 +1124,277 @@ pub fn sim_config_from_json(json: &Json, v: u64) -> Result<SimConfig, CodecError
     })
 }
 
+// ---- sweep protocol envelope (codec v4) -----------------------------------
+
+/// One message of the TCP sweep protocol (codec v4).
+///
+/// The coordinator listens, workers dial in, and every exchange is one of
+/// these envelopes. The conversation per connection is lock-step: the
+/// worker opens with `Hello`, then alternates `Claim` → (`Task` | `Drain`)
+/// → `Result` → `Claim` …, with `Heartbeat`s interleaved from a side
+/// thread while a task is computing. `Drain` from the coordinator means
+/// "queue is empty, finish up"; the worker answers `Bye` and disconnects.
+/// A worker may also *send* `Drain` to announce a graceful leave after its
+/// in-flight task.
+///
+/// `Task` and `Result` embed their payloads as raw [`Json`] values (the
+/// scenario / sweep-result forms already defined by this codec) so the
+/// envelope adds no second serialization layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMsg {
+    /// Worker introduction: a display name for the coordinator's summary.
+    Hello {
+        /// Worker's self-chosen name (e.g. `"pid-1234/t0"`).
+        worker: String,
+    },
+    /// Worker asks for the next task.
+    Claim,
+    /// Coordinator hands out task `index` with its scenario payload.
+    Task {
+        /// Spool task index (the `task-{index:05}` file).
+        index: u64,
+        /// The scenario, in its [`scenario_to_json`] form.
+        scenario: Json,
+    },
+    /// Worker returns the finished result for task `index`.
+    Result {
+        /// Spool task index the result answers.
+        index: u64,
+        /// FNV-1a checksum of the encoded result payload (the same
+        /// checksum the spool result files carry).
+        sum: u64,
+        /// The sweep result, in its `sweep_result_to_json` form.
+        payload: Json,
+    },
+    /// Worker liveness signal, sent while computing (and when idle).
+    Heartbeat {
+        /// The task index the worker believes it is computing, if any.
+        inflight: Option<u64>,
+    },
+    /// "No more work" (coordinator → worker) or "leaving after my current
+    /// claim" (worker → coordinator).
+    Drain,
+    /// Clean goodbye; the connection closes right after.
+    Bye,
+}
+
+impl WireMsg {
+    /// The `"type"` discriminant this message encodes as.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WireMsg::Hello { .. } => "hello",
+            WireMsg::Claim => "claim",
+            WireMsg::Task { .. } => "task",
+            WireMsg::Result { .. } => "result",
+            WireMsg::Heartbeat { .. } => "heartbeat",
+            WireMsg::Drain => "drain",
+            WireMsg::Bye => "bye",
+        }
+    }
+}
+
+/// The message as a JSON value (with the version field).
+pub fn msg_to_json(msg: &WireMsg) -> Json {
+    let mut fields =
+        vec![("v", Json::Num(CODEC_VERSION as f64)), ("type", Json::Str(msg.kind().to_string()))];
+    match msg {
+        WireMsg::Hello { worker } => fields.push(("worker", Json::Str(worker.clone()))),
+        WireMsg::Claim | WireMsg::Drain | WireMsg::Bye => {}
+        WireMsg::Task { index, scenario } => {
+            fields.push(("index", json_u64(*index)));
+            fields.push(("scenario", scenario.clone()));
+        }
+        WireMsg::Result { index, sum, payload } => {
+            fields.push(("index", json_u64(*index)));
+            fields.push(("sum", json_u64(*sum)));
+            fields.push(("payload", payload.clone()));
+        }
+        WireMsg::Heartbeat { inflight } => {
+            fields.push(("inflight", inflight.map_or(Json::Null, json_u64)));
+        }
+    }
+    obj(fields)
+}
+
+/// Decode a protocol message from its JSON value form.
+pub fn msg_from_json(json: &Json) -> Result<WireMsg, CodecError> {
+    let r = ObjReader::new("WireMsg", json)?;
+    check_version("WireMsg", &r)?;
+    match r.str("type")? {
+        "hello" => Ok(WireMsg::Hello { worker: r.str("worker")?.to_string() }),
+        "claim" => Ok(WireMsg::Claim),
+        "task" => {
+            Ok(WireMsg::Task { index: r.u64("index")?, scenario: r.req("scenario")?.clone() })
+        }
+        "result" => Ok(WireMsg::Result {
+            index: r.u64("index")?,
+            sum: r.u64("sum")?,
+            payload: r.req("payload")?.clone(),
+        }),
+        "heartbeat" => {
+            let inflight = match r.req("inflight")? {
+                Json::Null => None,
+                v => Some(json_to_u64(v).ok_or(CodecError::WrongType {
+                    ty: "WireMsg",
+                    field: "inflight",
+                    expected: "u64 or null",
+                })?),
+            };
+            Ok(WireMsg::Heartbeat { inflight })
+        }
+        "drain" => Ok(WireMsg::Drain),
+        "bye" => Ok(WireMsg::Bye),
+        other => Err(CodecError::Invalid { ty: "WireMsg", msg: format!("unknown type {other:?}") }),
+    }
+}
+
+/// Encode a protocol message as its JSON text.
+pub fn encode_msg(msg: &WireMsg) -> String {
+    msg_to_json(msg).write()
+}
+
+/// Decode a protocol message text produced by [`encode_msg`].
+pub fn decode_msg(text: &str) -> Result<WireMsg, CodecError> {
+    msg_from_json(&Json::parse(text)?)
+}
+
+// ---- length-prefixed framing ----------------------------------------------
+
+/// Largest frame [`read_frame`] accepts (a declared length beyond this is
+/// a [`FrameError::Oversized`], read before allocating). Generously above
+/// any real payload — the biggest scenario encodings are tens of KiB.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// How many consecutive read-timeout retries [`read_frame`] tolerates
+/// *mid-frame* before giving up with an I/O error. Callers poll with
+/// short `set_read_timeout` windows; a timeout before any frame byte
+/// arrives is a routine [`FrameError::TimedOut`], but a peer that stalls
+/// after sending a partial frame is broken and must not wedge the reader
+/// forever (the fault-injection truncation tests exercise exactly this).
+const MID_FRAME_TIMEOUT_RETRIES: usize = 240;
+
+/// A framing failure from [`read_frame`].
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection cleanly at a frame boundary.
+    Closed,
+    /// The read timed out before any byte of a new frame arrived (the
+    /// routine "nothing to read yet" signal under `set_read_timeout`).
+    TimedOut,
+    /// The frame declared a length beyond [`MAX_FRAME_LEN`].
+    Oversized(usize),
+    /// The frame body is not a valid protocol message.
+    Codec(CodecError),
+    /// Any other I/O failure (including EOF mid-frame = a truncated
+    /// frame, and a peer stalling mid-frame past the retry budget).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::TimedOut => write!(f, "read timed out before a frame arrived"),
+            FrameError::Oversized(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME_LEN}-byte cap")
+            }
+            FrameError::Codec(e) => write!(f, "bad frame payload: {e}"),
+            FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<CodecError> for FrameError {
+    fn from(e: CodecError) -> Self {
+        FrameError::Codec(e)
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+/// Write one length-prefixed frame (4-byte big-endian length, then the
+/// [`encode_msg`] JSON bytes) and flush it.
+pub fn write_frame<W: std::io::Write>(w: &mut W, msg: &WireMsg) -> std::io::Result<()> {
+    let body = encode_msg(msg);
+    let len = u32::try_from(body.len()).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large to encode")
+    })?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+/// Read exactly `buf.len()` bytes. `consumed` says whether any byte of
+/// the current frame has already arrived: before that, a timeout is the
+/// routine [`FrameError::TimedOut`] and EOF is a clean [`FrameError::Closed`];
+/// after it, timeouts retry (bounded) and EOF is a truncated frame.
+fn read_exact_frame<R: std::io::Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    mut consumed: bool,
+) -> Result<(), FrameError> {
+    let mut filled = 0;
+    let mut timeouts = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if consumed {
+                    FrameError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-frame",
+                    ))
+                } else {
+                    FrameError::Closed
+                });
+            }
+            Ok(n) => {
+                filled += n;
+                consumed = true;
+                timeouts = 0;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => {
+                if !consumed {
+                    return Err(FrameError::TimedOut);
+                }
+                timeouts += 1;
+                if timeouts > MID_FRAME_TIMEOUT_RETRIES {
+                    return Err(FrameError::Io(e));
+                }
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Read one length-prefixed frame and decode its protocol message.
+///
+/// Designed for polling loops over sockets with `set_read_timeout`:
+/// [`FrameError::TimedOut`] means "no frame yet, go do other work" (the
+/// caller's heartbeat/deadline checks run between calls), while
+/// [`FrameError::Closed`] is a clean goodbye. Everything else is a broken
+/// peer. A frame that decodes but is not valid JSON-protocol is a
+/// [`FrameError::Codec`] — never a panic, whatever bytes arrive.
+pub fn read_frame<R: std::io::Read>(r: &mut R) -> Result<WireMsg, FrameError> {
+    let mut len_buf = [0u8; 4];
+    read_exact_frame(r, &mut len_buf, false)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized(len));
+    }
+    let mut body = vec![0u8; len];
+    read_exact_frame(r, &mut body, true)?;
+    let text = String::from_utf8(body).map_err(|_| {
+        FrameError::Codec(CodecError::Parse { offset: 0, msg: "frame is not UTF-8".to_string() })
+    })?;
+    Ok(decode_msg(&text)?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1493,5 +1768,121 @@ mod tests {
         let sc = ScenarioRegistry::reduced().scenarios().remove(0);
         let text = encode_scenario(&sc).replace("\"first-free\"", "\"no-such-policy\"");
         assert!(matches!(decode_scenario(&text), Err(CodecError::Invalid { .. })));
+    }
+
+    fn demo_msgs() -> Vec<WireMsg> {
+        let sc = ScenarioRegistry::reduced().scenarios().remove(0);
+        vec![
+            WireMsg::Hello { worker: "pid-42/t1".into() },
+            WireMsg::Claim,
+            WireMsg::Task { index: 3, scenario: scenario_to_json(&sc) },
+            WireMsg::Result {
+                index: 3,
+                sum: 0xDEAD_BEEF_CAFE_F00D,
+                payload: obj(vec![("makespan", json_f64(1.5))]),
+            },
+            WireMsg::Heartbeat { inflight: Some(7) },
+            WireMsg::Heartbeat { inflight: None },
+            WireMsg::Drain,
+            WireMsg::Bye,
+        ]
+    }
+
+    #[test]
+    fn protocol_messages_round_trip_byte_exactly() {
+        for msg in demo_msgs() {
+            let text = encode_msg(&msg);
+            let back = decode_msg(&text).unwrap();
+            assert_eq!(back, msg, "{text}");
+            assert_eq!(encode_msg(&back), text, "{}: re-encode", msg.kind());
+        }
+    }
+
+    #[test]
+    fn task_envelopes_carry_decodable_scenarios() {
+        let sc = ScenarioRegistry::reduced().scenarios().remove(0);
+        let msg = WireMsg::Task { index: 0, scenario: scenario_to_json(&sc) };
+        match decode_msg(&encode_msg(&msg)).unwrap() {
+            WireMsg::Task { scenario, .. } => {
+                assert_eq!(scenario_from_json(&scenario).unwrap(), sc);
+            }
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_protocol_messages_are_structured_errors() {
+        assert!(matches!(decode_msg("not json"), Err(CodecError::Parse { .. })));
+        assert!(matches!(
+            decode_msg("{\"v\":4}"),
+            Err(CodecError::MissingField { ty: "WireMsg", field: "type" })
+        ));
+        assert!(matches!(
+            decode_msg("{\"v\":4,\"type\":\"warp\"}"),
+            Err(CodecError::Invalid { ty: "WireMsg", .. })
+        ));
+        assert!(matches!(
+            decode_msg("{\"v\":0,\"type\":\"claim\"}"),
+            Err(CodecError::UnsupportedVersion { ty: "WireMsg", version: 0 })
+        ));
+        assert!(matches!(
+            decode_msg("{\"v\":4,\"type\":\"task\",\"index\":\"1\"}"),
+            Err(CodecError::MissingField { ty: "WireMsg", field: "scenario" })
+        ));
+    }
+
+    #[test]
+    fn frames_round_trip_through_a_buffer() {
+        let msgs = demo_msgs();
+        let mut buf = Vec::new();
+        for msg in &msgs {
+            write_frame(&mut buf, msg).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for msg in &msgs {
+            assert_eq!(&read_frame(&mut cursor).unwrap(), msg);
+        }
+        // The stream is drained: the next read is a clean close.
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn truncated_frames_are_io_errors_not_closed() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &WireMsg::Hello { worker: "w".into() }).unwrap();
+        // Cut the frame anywhere after the first byte: mid-length-prefix
+        // and mid-body truncations are both "broken peer", never a clean
+        // Closed and never a panic.
+        for cut in 1..buf.len() {
+            let mut cursor = std::io::Cursor::new(&buf[..cut]);
+            assert!(
+                matches!(read_frame(&mut cursor), Err(FrameError::Io(_))),
+                "cut at {cut} of {}",
+                buf.len()
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_before_allocation() {
+        let mut buf = Vec::from((u32::MAX).to_be_bytes());
+        buf.extend_from_slice(b"xx");
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(FrameError::Oversized(n)) if n == u32::MAX as usize
+        ));
+    }
+
+    #[test]
+    fn garbage_frame_bodies_are_codec_errors() {
+        // Valid framing around an invalid body (bad UTF-8, bad JSON, or a
+        // non-protocol object) is a structured Codec error.
+        for body in [&b"\xff\xfe"[..], b"not json", b"{\"v\":4,\"type\":\"nope\"}", b"[]"] {
+            let mut buf = Vec::from((body.len() as u32).to_be_bytes());
+            buf.extend_from_slice(body);
+            let mut cursor = std::io::Cursor::new(buf);
+            assert!(matches!(read_frame(&mut cursor), Err(FrameError::Codec(_))), "{body:?}");
+        }
     }
 }

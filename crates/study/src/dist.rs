@@ -47,8 +47,10 @@
 //! single-use: spooling refuses a directory with any leftover sweep
 //! state, manifest or not.
 
+use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command};
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
@@ -58,6 +60,7 @@ use simcal_sim::codec::{
 };
 use simcal_sim::Scenario;
 
+use crate::backoff::Backoff;
 use crate::sweep::{Claimed, ShardSource, SweepResult, SweepRunner};
 
 /// A distributed-sweep failure.
@@ -99,6 +102,13 @@ pub enum DistError {
         /// How many spawned workers exited unsuccessfully.
         failed_workers: usize,
     },
+    /// A TCP transport failure (bind, dial, or a broken peer).
+    Net {
+        /// The address involved.
+        addr: String,
+        /// What went wrong.
+        msg: String,
+    },
 }
 
 impl std::fmt::Display for DistError {
@@ -123,6 +133,7 @@ impl std::fmt::Display for DistError {
                 missing,
                 failed_workers
             ),
+            DistError::Net { addr, msg } => write!(f, "{addr}: {msg}"),
         }
     }
 }
@@ -157,7 +168,7 @@ pub fn decode_sweep_result(text: &str) -> Result<SweepResult, CodecError> {
     sweep_result_from_json(&Json::parse(text)?)
 }
 
-fn sweep_result_to_json(r: &SweepResult) -> Json {
+pub(crate) fn sweep_result_to_json(r: &SweepResult) -> Json {
     obj(vec![
         ("v", Json::Num(CODEC_VERSION as f64)),
         ("name", Json::Str(r.name.clone())),
@@ -173,7 +184,7 @@ fn sweep_result_to_json(r: &SweepResult) -> Json {
     ])
 }
 
-fn sweep_result_from_json(json: &Json) -> Result<SweepResult, CodecError> {
+pub(crate) fn sweep_result_from_json(json: &Json) -> Result<SweepResult, CodecError> {
     let r = ObjReader::new("SweepResult", json)?;
     let v = check_version("SweepResult", &r)?;
     let hash_text = r.str("trace_hash")?;
@@ -207,15 +218,15 @@ fn sweep_result_from_json(json: &Json) -> Result<SweepResult, CodecError> {
 
 // ---- spool primitives -----------------------------------------------------
 
-fn tasks_dir(spool: &Path) -> PathBuf {
+pub(crate) fn tasks_dir(spool: &Path) -> PathBuf {
     spool.join("tasks")
 }
 
-fn claimed_dir(spool: &Path) -> PathBuf {
+pub(crate) fn claimed_dir(spool: &Path) -> PathBuf {
     spool.join("claimed")
 }
 
-fn results_dir(spool: &Path) -> PathBuf {
+pub(crate) fn results_dir(spool: &Path) -> PathBuf {
     spool.join("results")
 }
 
@@ -223,17 +234,17 @@ fn manifest_path(spool: &Path) -> PathBuf {
     spool.join("manifest.json")
 }
 
-fn task_file_name(index: usize) -> String {
+pub(crate) fn task_file_name(index: usize) -> String {
     format!("task-{index:05}.json")
 }
 
-fn result_path(spool: &Path, index: usize) -> PathBuf {
+pub(crate) fn result_path(spool: &Path, index: usize) -> PathBuf {
     results_dir(spool).join(format!("result-{index:05}.json"))
 }
 
 /// Write `text` to a temp name in `spool` and atomically rename it to
 /// `target`, so concurrent readers never see a torn file.
-fn write_atomic(spool: &Path, target: &Path, text: &str) -> Result<(), DistError> {
+pub(crate) fn write_atomic(spool: &Path, target: &Path, text: &str) -> Result<(), DistError> {
     let tmp = spool.join(format!(
         ".tmp-{}-{}",
         std::process::id(),
@@ -377,7 +388,7 @@ impl SpoolSource {
         Ok(queue.pop())
     }
 
-    fn try_claim(&self) -> Result<Option<(usize, Scenario)>, DistError> {
+    pub(crate) fn try_claim(&self) -> Result<Option<(usize, Scenario)>, DistError> {
         while let Some(name) = self.next_candidate()? {
             let from = tasks_dir(&self.spool).join(&name);
             let to = claimed_dir(&self.spool).join(&name);
@@ -473,7 +484,11 @@ pub fn run_worker_sharded(
 }
 
 /// Write one result record (atomic rename; payload checksummed).
-fn write_result(spool: &Path, index: usize, result: &SweepResult) -> Result<(), DistError> {
+pub(crate) fn write_result(
+    spool: &Path,
+    index: usize,
+    result: &SweepResult,
+) -> Result<(), DistError> {
     let payload = sweep_result_to_json(result).write();
     let record = obj(vec![
         ("v", Json::Num(CODEC_VERSION as f64)),
@@ -513,6 +528,64 @@ pub fn requeue_orphans(spool: &Path) -> Result<usize, DistError> {
         requeued += 1;
     }
     Ok(requeued)
+}
+
+/// Requeue one claimed task by index: rename `claimed/task-N` back into
+/// `tasks/`. Returns `false` (without touching anything) when the task
+/// already has a result, is already queued, or the claim file is gone —
+/// all benign races. Used by the corrupt-result recovery path and the TCP
+/// coordinator's dead-worker handling.
+pub(crate) fn requeue_task(spool: &Path, index: usize) -> Result<bool, DistError> {
+    if result_path(spool, index).exists() {
+        return Ok(false);
+    }
+    let name = task_file_name(index);
+    let to = tasks_dir(spool).join(&name);
+    if to.exists() {
+        return Ok(false);
+    }
+    let from = claimed_dir(spool).join(&name);
+    match std::fs::rename(&from, &to) {
+        Ok(()) => Ok(true),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+        Err(e) => Err(io_err(&from, e)),
+    }
+}
+
+/// If `path` is a result file in this spool's results directory, the task
+/// index its name encodes (the corrupt-result recovery key).
+pub(crate) fn corrupt_result_index(spool: &Path, path: &Path) -> Option<usize> {
+    if path.parent() != Some(results_dir(spool).as_path()) {
+        return None;
+    }
+    path.file_name()?
+        .to_str()?
+        .strip_prefix("result-")?
+        .strip_suffix(".json")?
+        .parse::<usize>()
+        .ok()
+}
+
+/// Discard a corrupt result file and put its task back in the queue. The
+/// task must land back in `tasks/` one way or another — a corrupt result
+/// whose task has vanished entirely is unrecoverable.
+pub(crate) fn discard_corrupt_result(spool: &Path, index: usize) -> Result<(), DistError> {
+    let result = result_path(spool, index);
+    if let Err(e) = std::fs::remove_file(&result) {
+        if e.kind() != std::io::ErrorKind::NotFound {
+            return Err(io_err(&result, e));
+        }
+    }
+    requeue_task(spool, index)?;
+    let name = task_file_name(index);
+    if tasks_dir(spool).join(&name).exists() || claimed_dir(spool).join(&name).exists() {
+        Ok(())
+    } else {
+        Err(DistError::Corrupt {
+            path: result,
+            msg: format!("corrupt result discarded but task {index} has no task file to requeue"),
+        })
+    }
 }
 
 /// Reassemble the spooled results in grid order, verifying each record's
@@ -580,6 +653,41 @@ fn merge_with_failures(spool: &Path, failed_workers: usize) -> Result<Vec<SweepR
 
 // ---- the coordinator ------------------------------------------------------
 
+/// What happened during a distributed sweep, beyond the results
+/// themselves: the recovery counters every robustness path increments.
+/// Returned by [`DistSweep::run_summarized`] (and the TCP coordinator),
+/// surfaced by the CLI when any counter is nonzero.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct DistSummary {
+    /// Result files (or frames) that failed their checksum / decode /
+    /// manifest check and whose tasks were requeued and rerun.
+    pub corrupt_results: usize,
+    /// Tasks put back in the queue: orphans recovered on resume plus
+    /// claims requeued on stall/death deadlines.
+    pub requeued_tasks: usize,
+    /// Spawned worker processes that exited unsuccessfully.
+    pub failed_workers: usize,
+    /// Stall-deadline recovery rounds the coordinator ran.
+    pub recoveries: u32,
+}
+
+impl DistSummary {
+    /// True when every counter is zero — nothing went wrong.
+    pub fn is_clean(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+impl std::fmt::Display for DistSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "corrupt_results={} requeued_tasks={} failed_workers={} recoveries={}",
+            self.corrupt_results, self.requeued_tasks, self.failed_workers, self.recoveries
+        )
+    }
+}
+
 /// The distributed sweep coordinator: spools the grid, spawns worker
 /// processes, participates in the drain itself, recovers crashed **and
 /// hung** workers' claims on a progress deadline, and merges the results.
@@ -600,6 +708,12 @@ pub struct DistSweep {
     /// The shorter settle window applied when nothing can still be
     /// producing (no claims in flight, no live children).
     settle_timeout: std::time::Duration,
+    /// Reopen a spool left behind by a crashed coordinator instead of
+    /// refusing it: validate the manifest, requeue orphans, respool
+    /// missing tasks, and continue from the persisted results.
+    resume: bool,
+    /// Seed for the polling backoff jitter (replay determinism).
+    seed: u64,
 }
 
 impl DistSweep {
@@ -614,6 +728,8 @@ impl DistSweep {
             worker_cmd: None,
             stall_timeout: std::time::Duration::from_secs(30),
             settle_timeout: std::time::Duration::from_secs(2),
+            resume: false,
+            seed: 0,
         }
     }
 
@@ -622,6 +738,21 @@ impl DistSweep {
     /// raise it for sweeps whose single scenarios legitimately run long.
     pub fn with_stall_timeout(mut self, stall: std::time::Duration) -> Self {
         self.stall_timeout = stall;
+        self
+    }
+
+    /// Resume a crashed coordinator's spool instead of refusing it (see
+    /// [`DistSweep::resume`]'s field docs). The grid must be the same one
+    /// the spool was created for — validated against the manifest.
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Seed the polling-backoff jitter stream (default 0). Sweeps pass
+    /// their sweep seed through so recovery timing replays.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
         self
     }
 
@@ -659,10 +790,23 @@ impl DistSweep {
     /// Run the full coordinator protocol. The returned results are in
     /// grid order and bit-identical to `SweepRunner::run(grid)`.
     pub fn run(&self, grid: &[Scenario]) -> Result<Vec<SweepResult>, DistError> {
+        self.run_summarized(grid).map(|(results, _)| results)
+    }
+
+    /// [`run`](Self::run), also returning the recovery counters.
+    pub fn run_summarized(
+        &self,
+        grid: &[Scenario],
+    ) -> Result<(Vec<SweepResult>, DistSummary), DistError> {
+        let mut summary = DistSummary::default();
         if grid.is_empty() {
-            return Ok(Vec::new());
+            return Ok((Vec::new(), summary));
         }
-        spool_tasks(&self.spool, grid)?;
+        if self.resume {
+            summary.requeued_tasks += resume_spool(&self.spool, grid)?;
+        } else {
+            spool_tasks(&self.spool, grid)?;
+        }
         let mut children: Vec<Child> = Vec::new();
         if self.spawn > 0 {
             let (program, args) = self.worker_cmd.as_ref().ok_or_else(|| {
@@ -692,12 +836,12 @@ impl DistSweep {
             reap_children(&mut children, true);
             return Err(e);
         }
-        let outcome = self.settle(&mut children);
+        let outcome = self.settle(&mut children, &mut summary);
         // Whatever happened, no child may outlive the sweep: anything
         // still running at this point is hung (the queue is drained and
         // its claims were recovered) — kill it rather than block on it.
         reap_children(&mut children, true);
-        outcome
+        outcome.map(|results| (results, summary))
     }
 
     /// Post-drain completion protocol. The queue is empty; what remains is
@@ -707,20 +851,51 @@ impl DistSweep {
     /// never does a blocking `wait` on a child that may never exit (the
     /// pre-deadline design did exactly that, so one hung worker stalled
     /// the sweep indefinitely).
-    fn settle(&self, children: &mut Vec<Child>) -> Result<Vec<SweepResult>, DistError> {
-        const POLL: std::time::Duration = std::time::Duration::from_millis(25);
+    fn settle(
+        &self,
+        children: &mut Vec<Child>,
+        summary: &mut DistSummary,
+    ) -> Result<Vec<SweepResult>, DistError> {
         /// Recovery attempts before the coordinator gives up and reports
         /// the sweep incomplete (guards against a pathological external
         /// worker that keeps re-claiming tasks and hanging).
         const MAX_RECOVERIES: u32 = 3;
-        let mut failed_workers = 0usize;
         let mut last_done = count_results(&self.spool)?;
-        let mut idle = std::time::Duration::ZERO;
-        let mut recoveries = 0u32;
+        let mut idle_since = Instant::now();
+        // Jittered capped-exponential polling instead of a fixed sleep:
+        // quick reaction right after progress, settling toward ~100 ms
+        // waits while results trickle in. Seeded so runs replay.
+        let mut poll =
+            Backoff::new(Duration::from_millis(5), Duration::from_millis(100), self.seed);
+        // Tasks whose corrupt result was already discarded once: a second
+        // corruption of the same task is a real error, not a retry.
+        let mut corrupt_seen: HashSet<usize> = HashSet::new();
         loop {
-            failed_workers += poll_children(children);
-            match merge_with_failures(&self.spool, failed_workers) {
-                Err(DistError::Incomplete { .. }) if recoveries < MAX_RECOVERIES => {
+            summary.failed_workers += poll_children(children);
+            match merge_with_failures(&self.spool, summary.failed_workers) {
+                Err(e @ (DistError::Corrupt { .. } | DistError::Codec { .. })) => {
+                    // A corrupt or truncated result file: discard it,
+                    // requeue its task once, and drain the requeue
+                    // ourselves. A repeat offender (or a corruption with
+                    // no recoverable task) propagates.
+                    let path = match &e {
+                        DistError::Corrupt { path, .. } | DistError::Codec { path, .. } => path,
+                        _ => unreachable!("matched above"),
+                    };
+                    let Some(index) = corrupt_result_index(&self.spool, path) else {
+                        return Err(e);
+                    };
+                    if !corrupt_seen.insert(index) {
+                        return Err(e);
+                    }
+                    discard_corrupt_result(&self.spool, index)?;
+                    summary.corrupt_results += 1;
+                    summary.requeued_tasks += 1;
+                    run_worker_sharded(&self.spool, self.threads, self.engine_shards)?;
+                    idle_since = Instant::now();
+                    poll.reset();
+                }
+                Err(DistError::Incomplete { .. }) if summary.recoveries < MAX_RECOVERIES => {
                     // While a claim without a result exists (or a child is
                     // still alive) results may yet appear, so the wait is
                     // generous — but bounded by the stall deadline. With
@@ -732,38 +907,80 @@ impl DistSweep {
                     let busy = in_flight > 0 || !children.is_empty();
                     let deadline = if !busy {
                         self.settle_timeout
-                    } else if children.is_empty() && in_flight > 0 && recoveries == 0 {
+                    } else if children.is_empty() && in_flight > 0 && summary.recoveries == 0 {
                         // Every spawned worker is gone yet claims linger:
                         // their holders are dead (or are external workers,
                         // which re-claim safely). Recover right away.
-                        std::time::Duration::ZERO
+                        Duration::ZERO
                     } else {
                         self.stall_timeout
                     };
-                    if idle >= deadline {
+                    if idle_since.elapsed() >= deadline {
                         // The claim holders made no progress for the whole
                         // window: presume them dead, requeue their tasks,
                         // and run them here. A merely-glacial holder will
                         // write an identical result; both outcomes merge.
-                        recoveries += 1;
-                        idle = std::time::Duration::ZERO;
-                        if requeue_orphans(&self.spool)? > 0 {
+                        summary.recoveries += 1;
+                        idle_since = Instant::now();
+                        poll.reset();
+                        let requeued = requeue_orphans(&self.spool)?;
+                        if requeued > 0 {
+                            summary.requeued_tasks += requeued;
                             run_worker_sharded(&self.spool, self.threads, self.engine_shards)?;
                         }
                         continue;
                     }
-                    std::thread::sleep(POLL);
-                    idle += POLL;
+                    poll.sleep();
                     let done = count_results(&self.spool)?;
                     if done > last_done {
                         last_done = done;
-                        idle = std::time::Duration::ZERO;
+                        idle_since = Instant::now();
+                        poll.reset();
                     }
                 }
                 outcome => return outcome,
             }
         }
     }
+}
+
+/// Reopen a spool a crashed coordinator left behind: validate that its
+/// manifest names exactly the given grid, requeue orphaned claims, and
+/// respool any task that has vanished from all three directories (so the
+/// merge can complete from persisted results plus rerun work). Returns
+/// how many tasks were put back in the queue.
+pub(crate) fn resume_spool(spool: &Path, grid: &[Scenario]) -> Result<usize, DistError> {
+    let names = read_manifest(spool)?;
+    let grid_names: Vec<&str> = grid.iter().map(|sc| sc.name.as_str()).collect();
+    if names.len() != grid.len() || names.iter().zip(&grid_names).any(|(a, b)| a != b) {
+        return Err(DistError::Corrupt {
+            path: manifest_path(spool),
+            msg: format!(
+                "resume grid does not match the spool manifest ({} tasks vs {}): refusing to \
+                 mix sweeps",
+                grid.len(),
+                names.len()
+            ),
+        });
+    }
+    let mut requeued = requeue_orphans(spool)?;
+    for (index, sc) in grid.iter().enumerate() {
+        let name = task_file_name(index);
+        if tasks_dir(spool).join(&name).exists()
+            || claimed_dir(spool).join(&name).exists()
+            || result_path(spool, index).exists()
+        {
+            continue;
+        }
+        let record = obj(vec![
+            ("v", Json::Num(CODEC_VERSION as f64)),
+            ("index", Json::Num(index as f64)),
+            ("scenario", scenario_to_json(sc)),
+        ]);
+        write_atomic(spool, &tasks_dir(spool).join(&name), &record.write())?;
+        requeued += 1;
+    }
+    Ok(requeued)
 }
 
 /// Non-blockingly reap children that have exited, removing them from the
@@ -805,7 +1022,7 @@ fn reap_children(children: &mut Vec<Child>, kill: bool) -> usize {
 
 /// Number of result files currently in the spool (progress signal for the
 /// coordinator's merge grace window).
-fn count_results(spool: &Path) -> Result<usize, DistError> {
+pub(crate) fn count_results(spool: &Path) -> Result<usize, DistError> {
     let dir = results_dir(spool);
     let entries = std::fs::read_dir(&dir).map_err(|e| io_err(&dir, e))?;
     Ok(entries.filter_map(|e| e.ok()).count())
@@ -813,7 +1030,7 @@ fn count_results(spool: &Path) -> Result<usize, DistError> {
 
 /// Number of claims whose result has not been written yet — tasks some
 /// worker (live or dead) holds in flight.
-fn unfinished_claims(spool: &Path) -> Result<usize, DistError> {
+pub(crate) fn unfinished_claims(spool: &Path) -> Result<usize, DistError> {
     let dir = claimed_dir(spool);
     let entries = std::fs::read_dir(&dir).map_err(|e| io_err(&dir, e))?;
     let mut unfinished = 0;
@@ -1014,6 +1231,100 @@ mod tests {
         assert_eq!(back.mean_queue_wait, 0.0);
         assert_eq!(back.max_queue_wait, 0.0);
         assert_eq!(back.trace_hash, r.trace_hash);
+    }
+
+    #[test]
+    fn corrupt_results_are_requeued_once_and_counted() {
+        // Drain a spool, corrupt one persisted result, then resume: the
+        // coordinator must discard the bad record, requeue the task, rerun
+        // it, and report one corrupt result — not fail the merge.
+        let grid = grid(3);
+        let spool = fresh_spool("corrupt-requeue");
+        DistSweep::new(&spool).run(&grid).unwrap();
+        let path = result_path(&spool, 1);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replacen("\"makespan\":", "\"makespan_x\":", 1)).unwrap();
+        let (merged, summary) =
+            DistSweep::new(&spool).with_resume(true).run_summarized(&grid).unwrap();
+        assert_eq!(summary.corrupt_results, 1, "{summary}");
+        assert!(!summary.is_clean());
+        assert_eq!(
+            fingerprints(&merged),
+            fingerprints(&SweepRunner::new().with_workers(1).run(&grid))
+        );
+        // A truncated (unparseable) result is recovered the same way.
+        std::fs::write(result_path(&spool, 0), &text[..text.len() / 2]).unwrap();
+        let (merged, summary) =
+            DistSweep::new(&spool).with_resume(true).run_summarized(&grid).unwrap();
+        assert_eq!(summary.corrupt_results, 1);
+        assert_eq!(
+            fingerprints(&merged),
+            fingerprints(&SweepRunner::new().with_workers(1).run(&grid))
+        );
+        std::fs::remove_dir_all(&spool).ok();
+    }
+
+    #[test]
+    fn corruption_with_no_recoverable_task_is_an_error() {
+        let grid = grid(2);
+        let spool = fresh_spool("corrupt-lost");
+        DistSweep::new(&spool).run(&grid).unwrap();
+        // Corrupt a result AND delete its claim tombstone: there is no
+        // task file anywhere to requeue, so recovery must fail loudly.
+        let path = result_path(&spool, 0);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replacen("\"makespan\":", "\"makespan_x\":", 1)).unwrap();
+        std::fs::remove_file(claimed_dir(&spool).join(task_file_name(0))).unwrap();
+        assert!(matches!(
+            DistSweep::new(&spool).with_resume(true).run_summarized(&grid),
+            Err(DistError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(&spool).ok();
+    }
+
+    #[test]
+    fn resume_recovers_a_crashed_coordinators_spool() {
+        let grid = grid(4);
+        let spool = fresh_spool("resume");
+        spool_tasks(&spool, &grid).unwrap();
+        // Simulate the crash: one claim orphaned, the rest drained.
+        let name = task_file_name(2);
+        std::fs::rename(tasks_dir(&spool).join(&name), claimed_dir(&spool).join(&name)).unwrap();
+        run_worker(&spool, 1).unwrap();
+        // A fresh coordinator refuses the dirty spool...
+        assert!(matches!(DistSweep::new(&spool).run(&grid), Err(DistError::SpoolInUse(_))));
+        // ...but --resume picks it up: requeues the orphan and finishes.
+        let (merged, summary) =
+            DistSweep::new(&spool).with_resume(true).run_summarized(&grid).unwrap();
+        assert_eq!(summary.requeued_tasks, 1, "{summary}");
+        assert_eq!(summary.corrupt_results, 0);
+        assert_eq!(
+            fingerprints(&merged),
+            fingerprints(&SweepRunner::new().with_workers(1).run(&grid))
+        );
+        // Resuming a settled spool is idempotent: nothing to requeue.
+        let (merged, summary) =
+            DistSweep::new(&spool).with_resume(true).run_summarized(&grid).unwrap();
+        assert!(summary.is_clean(), "{summary}");
+        assert_eq!(merged.len(), grid.len());
+        std::fs::remove_dir_all(&spool).ok();
+    }
+
+    #[test]
+    fn resume_rejects_a_mismatched_grid() {
+        let grid = grid(3);
+        let spool = fresh_spool("resume-mismatch");
+        spool_tasks(&spool, &grid).unwrap();
+        let other = grid.iter().take(2).cloned().collect::<Vec<_>>();
+        assert!(matches!(
+            DistSweep::new(&spool).with_resume(true).run_summarized(&other),
+            Err(DistError::Corrupt { .. })
+        ));
+        // Resume on a spool that never existed is an error, not a fresh
+        // sweep (the caller asked to continue something).
+        let missing = fresh_spool("resume-missing");
+        assert!(DistSweep::new(&missing).with_resume(true).run_summarized(&grid).is_err());
+        std::fs::remove_dir_all(&spool).ok();
     }
 
     #[test]

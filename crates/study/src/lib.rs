@@ -15,20 +15,24 @@
 //! | [`experiments::table6`] | Table VI — MRE vs simulation time |
 //! | [`experiments::fig2`] | Figure 2 — error vs calibration time |
 
+pub mod backoff;
 pub mod case;
 pub mod context;
 pub mod dist;
 pub mod experiments;
 pub mod family;
 pub mod human;
+pub mod net;
 pub mod objective;
 pub mod report;
 pub mod sweep;
 
+pub use backoff::Backoff;
 pub use case::CaseStudy;
 pub use context::ExperimentContext;
-pub use dist::{DistError, DistSweep};
+pub use dist::{DistError, DistSummary, DistSweep};
 pub use family::{FamilyMember, FamilyObjective};
 pub use human::HumanCalibration;
+pub use net::{FaultPlan, TcpSummary, TcpSweep, TcpWorker, WorkerOutcome};
 pub use objective::{param_space, CaseObjective, Metric, PARAM_NAMES};
 pub use sweep::{GridSource, ShardSource, SweepResult, SweepRunner};

@@ -1,0 +1,1554 @@
+//! TCP transport for the spooled distributed sweep: an elastic worker
+//! fleet over sockets, with heartbeats and deterministic fault injection.
+//!
+//! The spool protocol in [`crate::dist`] shares work through a
+//! filesystem; this module adds the transport the paper's WAN-scale
+//! deployments need: the coordinator ([`TcpSweep`]) listens on a socket,
+//! workers ([`TcpWorker`]) dial in from anywhere, and tasks, results, and
+//! heartbeats flow as length-prefixed [`simcal_sim::codec`] frames
+//! ([`WireMsg`]). The spool stays underneath as the durable journal —
+//! every accepted result is written through [`dist`]'s checksummed,
+//! atomically-renamed result files, so a crashed coordinator resumes with
+//! [`TcpSweep::with_resume`] exactly like the filesystem transport does.
+//!
+//! ## Protocol
+//!
+//! Each connection is lock-step: the worker sends `Hello` once, then
+//! loops `Claim` → (`Task` | `Heartbeat` | `Drain`). A `Task` reply hands
+//! out one scenario; the worker computes it, answers with `Result`, and
+//! claims again. A `Heartbeat{inflight: None}` reply means "the queue is
+//! empty but claimed tasks are still in flight elsewhere — back off and
+//! re-claim" (the task may yet be requeued). `Drain` means "no work will
+//! ever come; goodbye", answered with `Bye`. A background ticker on each
+//! worker connection sends `Heartbeat` frames at a fixed interval so the
+//! coordinator can tell slow from dead.
+//!
+//! ## Failure handling
+//!
+//! The coordinator requeues a connection's in-flight task whenever the
+//! connection dies, the worker re-claims without delivering a result
+//! (a dropped `Result` frame — safe to detect this way because frames on
+//! one socket are ordered), or no frame arrives for the stall timeout
+//! (the same `--stall-timeout` knob the process transport uses). Corrupt
+//! `Result` frames (bad checksum, undecodable payload, name mismatch)
+//! are counted, requeued once, and cut the connection on a repeat. If the
+//! whole fleet goes quiet for a stall window the coordinator requeues all
+//! orphans and drains the spool locally, so the sweep terminates within
+//! one stall window of the last external progress no matter what the
+//! workers do. Workers reconnect through the shared seeded
+//! [`Backoff`](crate::backoff::Backoff) dialer.
+//!
+//! ## Fault injection
+//!
+//! [`FaultPlan`] deterministically injures a worker's outbound frame
+//! stream — kill after N tasks, drop/truncate exactly one frame,
+//! partition (shut down) the connection, delay every k-th frame, corrupt
+//! a result checksum. Plans parse from compact `key=value` specs (the
+//! CLI's `--fault`) or derive from a seed, and the chaos tests assert the
+//! merged results stay bit-identical to a local [`SweepRunner`] run under
+//! every schedule.
+
+use std::collections::HashSet;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use simcal_sim::codec::{
+    encode_msg, read_frame, scenario_from_json, scenario_to_json, write_frame, FrameError, Json,
+    WireMsg,
+};
+use simcal_sim::Scenario;
+
+use crate::backoff::Backoff;
+use crate::dist::{
+    count_results, fnv1a, merge_results, requeue_orphans, requeue_task, resume_spool,
+    run_worker_sharded, spool_tasks, sweep_result_from_json, sweep_result_to_json,
+    unfinished_claims, write_atomic, write_result, DistError, SpoolSource,
+};
+use crate::sweep::{SweepResult, SweepRunner};
+
+/// How often a connection handler wakes from a blocked read to check the
+/// done flag and the heartbeat deadline.
+const HANDLER_POLL: Duration = Duration::from_millis(25);
+
+/// How long a handler waits for a worker's `Bye` after sending `Drain`.
+/// Longer than the worker's idle re-claim backoff cap, so a worker
+/// sleeping between claims still sees the `Drain` inside the window.
+const DRAIN_WAIT: Duration = Duration::from_secs(1);
+
+/// Local-drain recovery rounds before the coordinator gives up and lets
+/// the merge report what is missing (mirrors `dist::MAX_RECOVERIES`).
+const MAX_RECOVERIES: u32 = 3;
+
+fn net_err(addr: &str, msg: impl Into<String>) -> DistError {
+    DistError::Net { addr: addr.to_string(), msg: msg.into() }
+}
+
+// ---- fault injection -------------------------------------------------------
+
+/// A deterministic fault schedule for one [`TcpWorker`].
+///
+/// Frame ordinals are 1-based and count every frame the worker *attempts*
+/// to send, across all of its threads and reconnects (heartbeats
+/// included), so a given plan injures the same point in the stream on
+/// every run with the same timing-insensitive schedule. All faults are
+/// one-shot except `delay_every`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Abruptly kill the whole worker (no `Drain`, no `Bye`, sockets
+    /// reset) after it has completed this many tasks.
+    pub kill_after_tasks: Option<u64>,
+    /// Silently swallow the Nth outbound frame (the peer never sees it).
+    pub drop_frame: Option<u64>,
+    /// Send only half of the Nth outbound frame, then break the
+    /// connection mid-frame.
+    pub truncate_frame: Option<u64>,
+    /// Shut the connection down (both directions, once) after this many
+    /// outbound frames — a network partition the worker heals by
+    /// redialing.
+    pub partition_after: Option<u64>,
+    /// Sleep `ms` before every `k`-th outbound frame: `(k, ms)` — a slow
+    /// worker, not a broken one.
+    pub delay_every: Option<(u64, u64)>,
+    /// Flip the checksum on the Nth `Result` frame the worker sends, so
+    /// the coordinator sees a corrupt result.
+    pub corrupt_result: Option<u64>,
+}
+
+impl FaultPlan {
+    /// No faults at all.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Derive one fault deterministically from a seed — the chaos oracle
+    /// iterates seeds to sweep the fault space.
+    pub fn seeded(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFA17_1A17);
+        let mut plan = Self::default();
+        match rng.random_range(0..6u64) {
+            0 => plan.kill_after_tasks = Some(rng.random_range(1..3u64)),
+            1 => plan.drop_frame = Some(rng.random_range(2..8u64)),
+            2 => plan.truncate_frame = Some(rng.random_range(2..8u64)),
+            3 => plan.partition_after = Some(rng.random_range(1..6u64)),
+            4 => plan.delay_every = Some((rng.random_range(2..5u64), rng.random_range(10..40u64))),
+            _ => plan.corrupt_result = Some(rng.random_range(1..3u64)),
+        }
+        plan
+    }
+
+    /// Parse a compact spec: comma-separated `key=value` pairs from
+    /// `kill-after`, `drop-frame`, `truncate-frame`, `partition-after`,
+    /// `delay-every` (value `KxMS`), `corrupt-result` — or a lone
+    /// `seed=N` which expands through [`FaultPlan::seeded`].
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = Self::default();
+        let mut seed = None;
+        for part in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let (key, val) =
+                part.split_once('=').ok_or_else(|| format!("fault {part:?} is not key=value"))?;
+            let num = |v: &str| {
+                v.parse::<u64>()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .ok_or_else(|| format!("fault {part:?} needs a positive integer"))
+            };
+            match key {
+                "kill-after" => plan.kill_after_tasks = Some(num(val)?),
+                "drop-frame" => plan.drop_frame = Some(num(val)?),
+                "truncate-frame" => plan.truncate_frame = Some(num(val)?),
+                "partition-after" => plan.partition_after = Some(num(val)?),
+                "delay-every" => {
+                    let (k, ms) = val
+                        .split_once('x')
+                        .ok_or_else(|| format!("fault {part:?} wants delay-every=KxMS"))?;
+                    plan.delay_every = Some((num(k)?, num(ms)?));
+                }
+                "corrupt-result" => plan.corrupt_result = Some(num(val)?),
+                "seed" => seed = Some(num(val)?),
+                other => return Err(format!("unknown fault key {other:?}")),
+            }
+        }
+        match seed {
+            Some(s) if plan.is_empty() => Ok(Self::seeded(s)),
+            Some(_) => Err("fault seed=N cannot be combined with explicit faults".to_string()),
+            None => Ok(plan),
+        }
+    }
+
+    /// The spec string [`FaultPlan::parse`] round-trips (empty for no
+    /// faults).
+    pub fn spec(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(n) = self.kill_after_tasks {
+            parts.push(format!("kill-after={n}"));
+        }
+        if let Some(n) = self.drop_frame {
+            parts.push(format!("drop-frame={n}"));
+        }
+        if let Some(n) = self.truncate_frame {
+            parts.push(format!("truncate-frame={n}"));
+        }
+        if let Some(n) = self.partition_after {
+            parts.push(format!("partition-after={n}"));
+        }
+        if let Some((k, ms)) = self.delay_every {
+            parts.push(format!("delay-every={k}x{ms}"));
+        }
+        if let Some(n) = self.corrupt_result {
+            parts.push(format!("corrupt-result={n}"));
+        }
+        parts.join(",")
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            write!(f, "none")
+        } else {
+            write!(f, "{}", self.spec())
+        }
+    }
+}
+
+// ---- the coordinator -------------------------------------------------------
+
+/// What happened during a TCP sweep beyond the results: fleet membership
+/// and every recovery path's counter.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct TcpSummary {
+    /// Corrupt `Result` frames (or spooled records) discarded.
+    pub corrupt_results: usize,
+    /// Tasks put back in the queue after their worker lost them.
+    pub requeued_tasks: usize,
+    /// `Hello` frames received (connections that introduced themselves).
+    pub workers_joined: usize,
+    /// Connections that left cleanly (`Drain`/`Bye`).
+    pub workers_left: usize,
+    /// Connections declared dead: heartbeat deadline passed, broken
+    /// socket, or cut for repeated corruption.
+    pub dead_workers: usize,
+    /// Stall-recovery rounds where the coordinator drained the spool
+    /// locally because the fleet went quiet.
+    pub recoveries: u32,
+}
+
+impl TcpSummary {
+    /// True when no fault-recovery path fired (fleet membership counters
+    /// aside).
+    pub fn is_clean(&self) -> bool {
+        self.corrupt_results == 0
+            && self.requeued_tasks == 0
+            && self.dead_workers == 0
+            && self.recoveries == 0
+    }
+}
+
+impl std::fmt::Display for TcpSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "corrupt_results={} requeued_tasks={} workers_joined={} workers_left={} \
+             dead_workers={} recoveries={}",
+            self.corrupt_results,
+            self.requeued_tasks,
+            self.workers_joined,
+            self.workers_left,
+            self.dead_workers,
+            self.recoveries
+        )
+    }
+}
+
+/// Why a connection handler stopped.
+enum Close {
+    /// We drained the worker (or it said goodbye after our `Drain`).
+    Drained,
+    /// The worker left on its own terms (`Drain`/`Bye`, or a clean close
+    /// with nothing in flight).
+    Left,
+    /// Heartbeat deadline passed, socket broke, frames corrupted, or the
+    /// worker repeatedly sent corrupt results.
+    Dead,
+}
+
+/// A `Claim`'s answer, from the coordinator's shared state.
+enum NextTask {
+    /// Hand out this task.
+    Task(usize, Json),
+    /// Queue empty but claims still unfinished: worker should back off
+    /// and re-claim.
+    Wait,
+    /// Everything is done; drain the worker.
+    Drain,
+    /// Shared state hit a fatal error; close the connection.
+    Fatal,
+}
+
+/// State shared between the accept/monitor loop and every connection
+/// handler thread.
+struct CoordShared {
+    spool: PathBuf,
+    /// Manifest scenario names, indexed by task index.
+    names: Vec<String>,
+    source: SpoolSource,
+    done: AtomicBool,
+    stall: Duration,
+    fatal: Mutex<Option<DistError>>,
+    /// Task indices already forgiven one corrupt result.
+    corrupt_seen: Mutex<HashSet<usize>>,
+    corrupt_results: AtomicUsize,
+    requeued: AtomicUsize,
+    joined: AtomicUsize,
+    left: AtomicUsize,
+    dead: AtomicUsize,
+}
+
+impl CoordShared {
+    fn fatal(&self, e: DistError) {
+        let mut slot = self.fatal.lock();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    }
+
+    /// Put a lost task back in the queue (benign if it already has a
+    /// result or is already queued).
+    fn requeue(&self, index: usize) {
+        match requeue_task(&self.spool, index) {
+            Ok(true) => {
+                self.requeued.fetch_add(1, Ordering::SeqCst);
+            }
+            Ok(false) => {}
+            Err(e) => self.fatal(e),
+        }
+    }
+
+    fn next_task(&self) -> NextTask {
+        if self.done.load(Ordering::SeqCst) {
+            return NextTask::Drain;
+        }
+        match self.source.try_claim() {
+            Ok(Some((index, sc))) => NextTask::Task(index, scenario_to_json(&sc)),
+            Ok(None) => match unfinished_claims(&self.spool) {
+                Ok(0) => NextTask::Drain,
+                Ok(_) => NextTask::Wait,
+                Err(e) => {
+                    self.fatal(e);
+                    NextTask::Fatal
+                }
+            },
+            Err(e) => {
+                self.fatal(e);
+                NextTask::Fatal
+            }
+        }
+    }
+
+    /// Validate and journal one `Result` frame. Returns `false` when the
+    /// connection should be cut (repeated corruption, nonsense index, or
+    /// a fatal spool error).
+    fn accept_result(&self, index: usize, sum: u64, payload: &Json) -> bool {
+        let decoded = if index < self.names.len() && fnv1a(payload.write().as_bytes()) == sum {
+            sweep_result_from_json(payload).ok().filter(|r| r.name == self.names[index])
+        } else {
+            None
+        };
+        if let Some(result) = decoded {
+            return match write_result(&self.spool, index, &result) {
+                Ok(()) => true,
+                Err(e) => {
+                    self.fatal(e);
+                    false
+                }
+            };
+        }
+        self.corrupt_results.fetch_add(1, Ordering::SeqCst);
+        if index < self.names.len() && self.corrupt_seen.lock().insert(index) {
+            // First offense for this task: requeue and keep the
+            // connection (the corruption may have been in transit).
+            self.requeue(index);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drive one worker connection until it drains, leaves, or dies.
+    fn handle(&self, stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        if stream.set_read_timeout(Some(HANDLER_POLL)).is_err() {
+            return;
+        }
+        let mut inflight: Option<usize> = None;
+        let mut last_alive = Instant::now();
+        let close = loop {
+            if self.done.load(Ordering::SeqCst) && inflight.is_none() {
+                break self.drain_peer(&stream);
+            }
+            match read_frame(&mut (&stream)) {
+                Ok(msg) => {
+                    last_alive = Instant::now();
+                    match msg {
+                        WireMsg::Hello { .. } => {
+                            self.joined.fetch_add(1, Ordering::SeqCst);
+                        }
+                        WireMsg::Claim => {
+                            // A claim while we still think a task is in
+                            // flight means the worker lost it (most
+                            // often a dropped Result frame): frames on
+                            // one socket are ordered, so a result for it
+                            // can no longer arrive.
+                            if let Some(prev) = inflight.take() {
+                                self.requeue(prev);
+                            }
+                            match self.next_task() {
+                                NextTask::Task(index, scenario) => {
+                                    let msg = WireMsg::Task { index: index as u64, scenario };
+                                    if write_frame(&mut (&stream), &msg).is_err() {
+                                        self.requeue(index);
+                                        break Close::Dead;
+                                    }
+                                    inflight = Some(index);
+                                }
+                                NextTask::Wait => {
+                                    let nudge = WireMsg::Heartbeat { inflight: None };
+                                    if write_frame(&mut (&stream), &nudge).is_err() {
+                                        break Close::Dead;
+                                    }
+                                }
+                                NextTask::Drain => break self.drain_peer(&stream),
+                                NextTask::Fatal => break Close::Dead,
+                            }
+                        }
+                        WireMsg::Result { index, sum, payload } => {
+                            let index = index as usize;
+                            if inflight == Some(index) {
+                                inflight = None;
+                            }
+                            if !self.accept_result(index, sum, &payload) {
+                                break Close::Dead;
+                            }
+                        }
+                        WireMsg::Heartbeat { .. } => {}
+                        WireMsg::Drain => {
+                            if let Some(prev) = inflight.take() {
+                                self.requeue(prev);
+                            }
+                            let _ = write_frame(&mut (&stream), &WireMsg::Bye);
+                            break Close::Left;
+                        }
+                        WireMsg::Bye => break Close::Left,
+                        // A worker has no business sending Task frames.
+                        WireMsg::Task { .. } => break Close::Dead,
+                    }
+                }
+                Err(FrameError::TimedOut) => {
+                    if last_alive.elapsed() > self.stall {
+                        break Close::Dead;
+                    }
+                }
+                // A close without a goodbye is unclean, whatever was in
+                // flight (clean leaves go through Drain/Bye above), and
+                // so is any framing error.
+                Err(_) => break Close::Dead,
+            }
+        };
+        if let Some(prev) = inflight {
+            self.requeue(prev);
+        }
+        match close {
+            Close::Drained | Close::Left => {
+                self.left.fetch_add(1, Ordering::SeqCst);
+            }
+            Close::Dead => {
+                self.dead.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+
+    /// Tell a worker no more work is coming and wait briefly for its
+    /// `Bye`, answering any frames already in flight.
+    fn drain_peer(&self, stream: &TcpStream) -> Close {
+        if write_frame(&mut (&*stream), &WireMsg::Drain).is_err() {
+            return Close::Dead;
+        }
+        let start = Instant::now();
+        while start.elapsed() < DRAIN_WAIT {
+            match read_frame(&mut (&*stream)) {
+                Ok(WireMsg::Bye) => return Close::Drained,
+                Ok(WireMsg::Drain) => {
+                    let _ = write_frame(&mut (&*stream), &WireMsg::Bye);
+                    return Close::Drained;
+                }
+                // A claim crossed our drain on the wire: repeat it.
+                Ok(WireMsg::Claim) => {
+                    if write_frame(&mut (&*stream), &WireMsg::Drain).is_err() {
+                        return Close::Drained;
+                    }
+                }
+                // A late result is still a result.
+                Ok(WireMsg::Result { index, sum, payload }) => {
+                    let _ = self.accept_result(index as usize, sum, &payload);
+                }
+                Ok(_) => {}
+                Err(FrameError::TimedOut) => {}
+                Err(_) => return Close::Drained,
+            }
+        }
+        Close::Drained
+    }
+}
+
+/// The TCP sweep coordinator: spools the grid, listens on a socket, and
+/// drives an elastic fleet of [`TcpWorker`]s to drain it. Results land in
+/// the same durable spool as [`DistSweep`](crate::dist::DistSweep), so
+/// every recovery invariant (checksums, atomic renames, resume) carries
+/// over; the transport only changes how tasks and results travel.
+#[derive(Debug)]
+pub struct TcpSweep {
+    spool: PathBuf,
+    listen: String,
+    threads: usize,
+    engine_shards: usize,
+    stall_timeout: Duration,
+    seed: u64,
+    resume: bool,
+}
+
+impl TcpSweep {
+    /// A coordinator spooling into `spool` and listening on `listen`
+    /// (e.g. `"127.0.0.1:0"` — port 0 picks a free port, published in
+    /// the spool's `addr` file).
+    pub fn new(spool: impl Into<PathBuf>, listen: impl Into<String>) -> Self {
+        Self {
+            spool: spool.into(),
+            listen: listen.into(),
+            threads: 1,
+            engine_shards: 1,
+            stall_timeout: Duration::from_secs(30),
+            seed: 0,
+            resume: false,
+        }
+    }
+
+    /// Threads for the coordinator's own local drain (the stall-recovery
+    /// fallback).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Partitioned-engine shards per scenario for the local fallback.
+    pub fn with_engine_shards(mut self, engine_shards: usize) -> Self {
+        self.engine_shards = engine_shards.max(1);
+        self
+    }
+
+    /// How long the fleet may go without producing a single result (and a
+    /// single connection may go without a frame) before recovery kicks
+    /// in.
+    pub fn with_stall_timeout(mut self, stall: Duration) -> Self {
+        self.stall_timeout = stall;
+        self
+    }
+
+    /// Seed for the coordinator's polling-backoff jitter.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Resume a crashed coordinator's spool instead of demanding a fresh
+    /// directory (validates the manifest against the grid and requeues
+    /// orphans first).
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Run the sweep: spool (or resume), listen, serve workers until
+    /// every task has a result, then merge. Returns the results in grid
+    /// order plus the recovery counters.
+    pub fn run(&self, grid: &[Scenario]) -> Result<(Vec<SweepResult>, TcpSummary), DistError> {
+        let resumed_requeues = if self.resume {
+            resume_spool(&self.spool, grid)?
+        } else {
+            spool_tasks(&self.spool, grid)?;
+            0
+        };
+        let listener = TcpListener::bind(&self.listen)
+            .map_err(|e| net_err(&self.listen, format!("bind failed: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| net_err(&self.listen, format!("no local addr: {e}")))?
+            .to_string();
+        write_atomic(&self.spool, &self.spool.join("addr"), &addr)?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| net_err(&addr, format!("nonblocking accept unavailable: {e}")))?;
+
+        let shared = CoordShared {
+            spool: self.spool.clone(),
+            names: crate::dist::read_manifest(&self.spool)?,
+            source: SpoolSource::open(&self.spool),
+            done: AtomicBool::new(false),
+            stall: self.stall_timeout,
+            fatal: Mutex::new(None),
+            corrupt_seen: Mutex::new(HashSet::new()),
+            corrupt_results: AtomicUsize::new(0),
+            requeued: AtomicUsize::new(resumed_requeues),
+            joined: AtomicUsize::new(0),
+            left: AtomicUsize::new(0),
+            dead: AtomicUsize::new(0),
+        };
+        let shared = &shared;
+        let n_tasks = shared.names.len();
+        let mut recoveries = 0u32;
+
+        let served: Result<(), DistError> = crossbeam::thread::scope(|scope| {
+            let mut poll =
+                Backoff::new(Duration::from_millis(2), Duration::from_millis(40), self.seed);
+            let mut last_count = count_results(&self.spool)?;
+            let mut idle_since = Instant::now();
+            let outcome = loop {
+                if let Some(e) = shared.fatal.lock().take() {
+                    break Err(e);
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        scope.spawn(move |_| shared.handle(stream));
+                        poll.reset();
+                        continue;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                    // Transient accept errors (e.g. aborted handshakes)
+                    // are not fatal to the sweep.
+                    Err(_) => {}
+                }
+                let done_now = match count_results(&self.spool) {
+                    Ok(n) => n,
+                    Err(e) => break Err(e),
+                };
+                if done_now >= n_tasks {
+                    break Ok(());
+                }
+                if done_now > last_count {
+                    last_count = done_now;
+                    idle_since = Instant::now();
+                    poll.reset();
+                }
+                if idle_since.elapsed() >= self.stall_timeout {
+                    // The fleet went quiet for a whole stall window:
+                    // steal everything back and drain locally, so the
+                    // sweep terminates no matter what the workers do.
+                    recoveries += 1;
+                    match requeue_orphans(&self.spool) {
+                        Ok(n) => {
+                            shared.requeued.fetch_add(n, Ordering::SeqCst);
+                        }
+                        Err(e) => break Err(e),
+                    }
+                    if let Err(e) =
+                        run_worker_sharded(&self.spool, self.threads, self.engine_shards)
+                    {
+                        break Err(e);
+                    }
+                    idle_since = Instant::now();
+                    poll.reset();
+                    if recoveries >= MAX_RECOVERIES {
+                        // Let the merge report whatever is still missing.
+                        break Ok(());
+                    }
+                    continue;
+                }
+                poll.sleep();
+            };
+            shared.done.store(true, Ordering::SeqCst);
+            // Closing the listener resets any un-accepted backlog
+            // connections so late dialers fail fast instead of hanging.
+            drop(listener);
+            outcome
+        })
+        .expect("connection handler panicked");
+        served?;
+
+        // Merge, recovering from corrupt spool records the same way the
+        // process transport does: discard + requeue once per task, drain
+        // locally, retry.
+        let results = loop {
+            match merge_results(&self.spool) {
+                Ok(results) => break results,
+                Err(e @ (DistError::Corrupt { .. } | DistError::Codec { .. })) => {
+                    let path = match &e {
+                        DistError::Corrupt { path, .. } | DistError::Codec { path, .. } => path,
+                        _ => unreachable!(),
+                    };
+                    let Some(index) = crate::dist::corrupt_result_index(&self.spool, path) else {
+                        return Err(e);
+                    };
+                    if !shared.corrupt_seen.lock().insert(index) {
+                        return Err(e);
+                    }
+                    crate::dist::discard_corrupt_result(&self.spool, index)?;
+                    shared.corrupt_results.fetch_add(1, Ordering::SeqCst);
+                    shared.requeued.fetch_add(1, Ordering::SeqCst);
+                    run_worker_sharded(&self.spool, self.threads, self.engine_shards)?;
+                }
+                Err(DistError::Incomplete { .. }) if recoveries < MAX_RECOVERIES => {
+                    // Workers that died at the very end may have left
+                    // claims behind after the monitor loop exited.
+                    recoveries += 1;
+                    let n = requeue_orphans(&self.spool)?;
+                    shared.requeued.fetch_add(n, Ordering::SeqCst);
+                    run_worker_sharded(&self.spool, self.threads, self.engine_shards)?;
+                }
+                Err(e) => return Err(e),
+            }
+        };
+
+        let summary = TcpSummary {
+            corrupt_results: shared.corrupt_results.load(Ordering::SeqCst),
+            requeued_tasks: shared.requeued.load(Ordering::SeqCst),
+            workers_joined: shared.joined.load(Ordering::SeqCst),
+            workers_left: shared.left.load(Ordering::SeqCst),
+            dead_workers: shared.dead.load(Ordering::SeqCst),
+            recoveries,
+        };
+        Ok((results, summary))
+    }
+}
+
+/// The coordinator's published address, once it has bound (the spool's
+/// `addr` file) — how same-host tooling and tests discover a port-0
+/// listener.
+pub fn read_addr(spool: &Path) -> Option<String> {
+    let text = std::fs::read_to_string(spool.join("addr")).ok()?;
+    let addr = text.trim().to_string();
+    (!addr.is_empty()).then_some(addr)
+}
+
+// ---- the worker ------------------------------------------------------------
+
+/// How a [`TcpWorker`] run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerOutcome {
+    /// The coordinator drained us (or `max_tasks` led to a graceful
+    /// leave): every connection said goodbye cleanly.
+    Drained {
+        /// Tasks completed across all threads.
+        completed: usize,
+    },
+    /// The fault plan killed the worker abruptly mid-sweep.
+    Killed {
+        /// Tasks completed before the kill.
+        completed: usize,
+    },
+}
+
+impl WorkerOutcome {
+    /// Tasks completed, however the run ended.
+    pub fn completed(&self) -> usize {
+        match self {
+            WorkerOutcome::Drained { completed } | WorkerOutcome::Killed { completed } => {
+                *completed
+            }
+        }
+    }
+}
+
+/// Why one worker connection ended.
+enum ConnEnd {
+    /// Coordinator drained us: stop for good.
+    Drained,
+    /// Fault plan kill: stop abruptly.
+    Killed,
+    /// Connection broke: redial and continue.
+    Reconnect,
+}
+
+/// Counters shared across a worker's threads (and with the fault layer:
+/// frame ordinals are global so a plan injures a fixed point in the
+/// stream).
+#[derive(Default)]
+struct WorkerShared {
+    killed: AtomicBool,
+    frames: AtomicU64,
+    results_sent: AtomicU64,
+    tasks_done: AtomicU64,
+    partition_fired: AtomicBool,
+}
+
+/// Outcome of one fault-filtered send.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Sent {
+    Ok,
+    Broken,
+}
+
+/// The write half of one worker connection, with the fault plan applied
+/// to every outbound frame. Shared between the protocol loop and the
+/// heartbeat ticker behind a mutex, so frames never interleave.
+struct Conn<'a> {
+    writer: Mutex<TcpStream>,
+    plan: &'a FaultPlan,
+    shared: &'a WorkerShared,
+}
+
+impl<'a> Conn<'a> {
+    fn new(stream: &TcpStream, plan: &'a FaultPlan, shared: &'a WorkerShared) -> Option<Conn<'a>> {
+        stream.try_clone().ok().map(|w| Conn { writer: Mutex::new(w), plan, shared })
+    }
+
+    fn send(&self, msg: &WireMsg) -> Sent {
+        let mut writer = self.writer.lock();
+        let n = self.shared.frames.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some((k, ms)) = self.plan.delay_every {
+            if n.is_multiple_of(k) {
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+        }
+        if self.plan.drop_frame == Some(n) {
+            // Pretend the frame went out; the peer never sees it.
+            return Sent::Ok;
+        }
+        if self.plan.truncate_frame == Some(n) {
+            let body = encode_msg(msg);
+            let len = (body.len() as u32).to_be_bytes();
+            let half = &body.as_bytes()[..body.len() / 2];
+            let _ = std::io::Write::write_all(&mut *writer, &len);
+            let _ = std::io::Write::write_all(&mut *writer, half);
+            let _ = std::io::Write::flush(&mut *writer);
+            let _ = writer.shutdown(Shutdown::Both);
+            return Sent::Broken;
+        }
+        if let Some(p) = self.plan.partition_after {
+            if n > p && !self.shared.partition_fired.swap(true, Ordering::SeqCst) {
+                let _ = writer.shutdown(Shutdown::Both);
+                return Sent::Broken;
+            }
+        }
+        match write_frame(&mut *writer, msg) {
+            Ok(()) => Sent::Ok,
+            Err(_) => Sent::Broken,
+        }
+    }
+
+    fn abrupt_close(&self) {
+        let _ = self.writer.lock().shutdown(Shutdown::Both);
+    }
+}
+
+/// A TCP sweep worker: dials the coordinator, claims tasks one at a time
+/// per thread, and streams results back. Reconnects through seeded
+/// backoff when the connection breaks; leaves gracefully (`Drain`/`Bye`)
+/// when the coordinator drains it or `max_tasks` is reached.
+#[derive(Debug)]
+pub struct TcpWorker {
+    addr: String,
+    name: String,
+    threads: usize,
+    engine_shards: usize,
+    seed: u64,
+    heartbeat: Duration,
+    patience: Duration,
+    dial_attempts: u32,
+    max_tasks: Option<u64>,
+    fault: FaultPlan,
+}
+
+impl TcpWorker {
+    /// A worker dialing `addr` (`host:port`).
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self {
+            addr: addr.into(),
+            name: format!("pid-{}", std::process::id()),
+            threads: 1,
+            engine_shards: 1,
+            seed: 0,
+            heartbeat: Duration::from_millis(500),
+            patience: Duration::from_secs(30),
+            dial_attempts: 40,
+            max_tasks: None,
+            fault: FaultPlan::default(),
+        }
+    }
+
+    /// Display name the coordinator sees in `Hello` frames.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Concurrent connections (one task in flight per thread).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Partitioned-engine shards per scenario.
+    pub fn with_engine_shards(mut self, engine_shards: usize) -> Self {
+        self.engine_shards = engine_shards.max(1);
+        self
+    }
+
+    /// Seed for the dial/claim backoff jitter (and anything else this
+    /// worker randomizes).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Heartbeat interval (also the read-poll granularity).
+    pub fn with_heartbeat(mut self, heartbeat: Duration) -> Self {
+        self.heartbeat = heartbeat.max(Duration::from_millis(1));
+        self
+    }
+
+    /// How long to wait for a claim's reply before giving up on the
+    /// connection and redialing.
+    pub fn with_patience(mut self, patience: Duration) -> Self {
+        self.patience = patience.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Consecutive failed dials before the worker gives up entirely.
+    pub fn with_dial_attempts(mut self, attempts: u32) -> Self {
+        self.dial_attempts = attempts.max(1);
+        self
+    }
+
+    /// Leave gracefully (send `Drain`) after completing this many tasks
+    /// across all threads — the elastic scale-down path.
+    pub fn with_max_tasks(mut self, max_tasks: u64) -> Self {
+        self.max_tasks = Some(max_tasks);
+        self
+    }
+
+    /// Inject this fault schedule into the worker's outbound frames.
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Run until drained, killed by the fault plan, or unable to reach
+    /// the coordinator.
+    pub fn run(&self) -> Result<WorkerOutcome, DistError> {
+        let shared = WorkerShared::default();
+        let shared = &shared;
+        let outcomes: Vec<Result<(ConnEnd, usize), DistError>> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..self.threads)
+                    .map(|t| scope.spawn(move |_| self.worker_thread(t, shared)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+            })
+            .expect("worker scope failed");
+        let mut completed = 0;
+        let mut killed = false;
+        let mut first_err = None;
+        for outcome in outcomes {
+            match outcome {
+                Ok((ConnEnd::Killed, n)) => {
+                    killed = true;
+                    completed += n;
+                }
+                Ok((_, n)) => completed += n,
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        if killed {
+            Ok(WorkerOutcome::Killed { completed })
+        } else if let Some(e) = first_err {
+            Err(e)
+        } else {
+            Ok(WorkerOutcome::Drained { completed })
+        }
+    }
+
+    /// One thread: dial, drive the connection, redial on breakage.
+    fn worker_thread(
+        &self,
+        t: usize,
+        shared: &WorkerShared,
+    ) -> Result<(ConnEnd, usize), DistError> {
+        let runner = SweepRunner::new().with_workers(1).with_engine_shards(self.engine_shards);
+        let thread_seed = self.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut dial = Backoff::new(Duration::from_millis(20), Duration::from_secs(2), thread_seed);
+        let mut completed = 0usize;
+        loop {
+            if shared.killed.load(Ordering::SeqCst) {
+                return Ok((ConnEnd::Killed, completed));
+            }
+            let stream = match TcpStream::connect(&self.addr) {
+                Ok(s) => s,
+                Err(e) => {
+                    if dial.attempt() >= self.dial_attempts {
+                        return Err(net_err(
+                            &self.addr,
+                            format!("gave up dialing after {} attempts: {e}", dial.attempt()),
+                        ));
+                    }
+                    dial.sleep();
+                    continue;
+                }
+            };
+            dial.reset();
+            let _ = stream.set_nodelay(true);
+            // Poll reads finely regardless of the heartbeat cadence, so
+            // patience/drain windows are honored promptly.
+            let poll = self.heartbeat.min(Duration::from_millis(50));
+            if stream.set_read_timeout(Some(poll)).is_err() {
+                dial.sleep();
+                continue;
+            }
+            let Some(conn) = Conn::new(&stream, &self.fault, shared) else {
+                dial.sleep();
+                continue;
+            };
+            match self.drive_connection(t, &stream, &conn, &runner, shared, &mut completed) {
+                ConnEnd::Drained => return Ok((ConnEnd::Drained, completed)),
+                ConnEnd::Killed => {
+                    conn.abrupt_close();
+                    return Ok((ConnEnd::Killed, completed));
+                }
+                ConnEnd::Reconnect => {
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+            }
+        }
+    }
+
+    /// Introduce ourselves, start the heartbeat ticker, and run the
+    /// claim/compute/result loop until the connection ends.
+    fn drive_connection(
+        &self,
+        t: usize,
+        stream: &TcpStream,
+        conn: &Conn<'_>,
+        runner: &SweepRunner,
+        shared: &WorkerShared,
+        completed: &mut usize,
+    ) -> ConnEnd {
+        let hello = WireMsg::Hello { worker: format!("{}/t{t}", self.name) };
+        if conn.send(&hello) == Sent::Broken {
+            return ConnEnd::Reconnect;
+        }
+        // -1 encodes "nothing in flight" (task indices are small).
+        let inflight = AtomicI64::new(-1);
+        let stop = AtomicBool::new(false);
+        crossbeam::thread::scope(|scope| {
+            scope.spawn(|_| {
+                let interrupted =
+                    || stop.load(Ordering::SeqCst) || shared.killed.load(Ordering::SeqCst);
+                'ticking: loop {
+                    // Sleep one heartbeat interval in small slices so the
+                    // ticker stops promptly when the connection ends.
+                    let start = Instant::now();
+                    while start.elapsed() < self.heartbeat {
+                        if interrupted() {
+                            break 'ticking;
+                        }
+                        std::thread::sleep(Duration::from_millis(5).min(self.heartbeat));
+                    }
+                    let cur = inflight.load(Ordering::SeqCst);
+                    let beat = WireMsg::Heartbeat { inflight: u64::try_from(cur).ok() };
+                    if conn.send(&beat) == Sent::Broken {
+                        break;
+                    }
+                }
+            });
+            let end = self.protocol_loop(stream, conn, runner, shared, &inflight, completed);
+            stop.store(true, Ordering::SeqCst);
+            end
+        })
+        .expect("heartbeat ticker panicked")
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn protocol_loop(
+        &self,
+        stream: &TcpStream,
+        conn: &Conn<'_>,
+        runner: &SweepRunner,
+        shared: &WorkerShared,
+        inflight: &AtomicI64,
+        completed: &mut usize,
+    ) -> ConnEnd {
+        let mut claim_pause =
+            Backoff::new(Duration::from_millis(25), Duration::from_millis(250), self.seed ^ 0x5EED);
+        loop {
+            if shared.killed.load(Ordering::SeqCst) {
+                return ConnEnd::Killed;
+            }
+            if self.max_tasks.is_some_and(|m| shared.tasks_done.load(Ordering::SeqCst) >= m) {
+                // Graceful scale-down: announce the leave and wait for
+                // the goodbye.
+                let _ = conn.send(&WireMsg::Drain);
+                self.await_bye(stream);
+                return ConnEnd::Drained;
+            }
+            if conn.send(&WireMsg::Claim) == Sent::Broken {
+                return ConnEnd::Reconnect;
+            }
+            let reply = match self.await_reply(stream, shared) {
+                Ok(msg) => msg,
+                Err(end) => return end,
+            };
+            match reply {
+                WireMsg::Task { index, scenario } => {
+                    let Ok(sc) = scenario_from_json(&scenario) else {
+                        // An undecodable task is a protocol failure;
+                        // break the connection so the coordinator
+                        // requeues it.
+                        return ConnEnd::Reconnect;
+                    };
+                    inflight.store(index as i64, Ordering::SeqCst);
+                    let result = runner.run_scenario(&sc);
+                    inflight.store(-1, Ordering::SeqCst);
+                    if shared.killed.load(Ordering::SeqCst) {
+                        return ConnEnd::Killed;
+                    }
+                    let payload = sweep_result_to_json(&result);
+                    let mut sum = fnv1a(payload.write().as_bytes());
+                    let nth_result = shared.results_sent.fetch_add(1, Ordering::SeqCst) + 1;
+                    if self.fault.corrupt_result == Some(nth_result) {
+                        sum ^= 0xBAD_F00D;
+                    }
+                    let sent = conn.send(&WireMsg::Result { index, sum, payload });
+                    *completed += 1;
+                    let total = shared.tasks_done.fetch_add(1, Ordering::SeqCst) + 1;
+                    if self.fault.kill_after_tasks == Some(total) {
+                        shared.killed.store(true, Ordering::SeqCst);
+                        return ConnEnd::Killed;
+                    }
+                    if sent == Sent::Broken {
+                        return ConnEnd::Reconnect;
+                    }
+                    claim_pause.reset();
+                }
+                // "Queue empty but not done": back off, then re-claim.
+                WireMsg::Heartbeat { .. } => claim_pause.sleep(),
+                WireMsg::Drain => {
+                    let _ = conn.send(&WireMsg::Bye);
+                    return ConnEnd::Drained;
+                }
+                WireMsg::Bye => return ConnEnd::Drained,
+                _ => return ConnEnd::Reconnect,
+            }
+        }
+    }
+
+    /// Wait for the coordinator's answer to a claim, up to `patience`.
+    fn await_reply(&self, stream: &TcpStream, shared: &WorkerShared) -> Result<WireMsg, ConnEnd> {
+        let start = Instant::now();
+        loop {
+            if shared.killed.load(Ordering::SeqCst) {
+                return Err(ConnEnd::Killed);
+            }
+            match read_frame(&mut (&*stream)) {
+                Ok(msg) => return Ok(msg),
+                Err(FrameError::TimedOut) => {
+                    if start.elapsed() > self.patience {
+                        return Err(ConnEnd::Reconnect);
+                    }
+                }
+                Err(_) => return Err(ConnEnd::Reconnect),
+            }
+        }
+    }
+
+    /// Wait briefly for `Bye` after announcing our own drain.
+    fn await_bye(&self, stream: &TcpStream) {
+        let start = Instant::now();
+        while start.elapsed() < self.patience.min(DRAIN_WAIT) {
+            match read_frame(&mut (&*stream)) {
+                Ok(WireMsg::Bye) | Err(FrameError::Closed) => return,
+                Ok(_) | Err(FrameError::TimedOut) => {}
+                Err(_) => return,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::spool_tasks;
+    use simcal_sim::ScenarioRegistry;
+
+    fn grid(n: usize) -> Vec<Scenario> {
+        ScenarioRegistry::reduced().scenarios().into_iter().take(n).collect()
+    }
+
+    fn fresh_spool(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("simcal-net-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn fingerprints(rs: &[SweepResult]) -> Vec<(String, Vec<u64>, u64, u64)> {
+        rs.iter().map(SweepResult::fingerprint).collect()
+    }
+
+    fn local(grid: &[Scenario]) -> Vec<SweepResult> {
+        SweepRunner::new().with_workers(2).run(grid)
+    }
+
+    /// A coordinator on a fresh port with test-scale timeouts.
+    fn coordinator(spool: &Path) -> TcpSweep {
+        TcpSweep::new(spool, "127.0.0.1:0")
+            .with_stall_timeout(Duration::from_millis(1500))
+            .with_seed(7)
+    }
+
+    /// A worker with test-scale timeouts (fast heartbeats, short
+    /// patience so dropped-reply recovery doesn't dominate the test).
+    fn fast_worker(addr: String, seed: u64) -> TcpWorker {
+        TcpWorker::new(addr)
+            .with_heartbeat(Duration::from_millis(25))
+            .with_patience(Duration::from_millis(600))
+            .with_seed(seed)
+    }
+
+    fn wait_addr(spool: &Path) -> String {
+        let start = Instant::now();
+        loop {
+            if let Some(addr) = read_addr(spool) {
+                return addr;
+            }
+            assert!(
+                start.elapsed() < Duration::from_secs(10),
+                "coordinator never published an address"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    type WorkerBuilder = Box<dyn FnOnce(String) -> TcpWorker + Send>;
+
+    fn worker(f: impl FnOnce(String) -> TcpWorker + Send + 'static) -> WorkerBuilder {
+        Box::new(f)
+    }
+
+    type TcpRun =
+        (Result<(Vec<SweepResult>, TcpSummary), DistError>, Vec<Result<WorkerOutcome, DistError>>);
+
+    /// Run a coordinator and a fleet of workers (each built once the
+    /// listen address is published) to completion.
+    fn run_tcp(
+        spool: &Path,
+        grid: &[Scenario],
+        coord: TcpSweep,
+        fleet: Vec<WorkerBuilder>,
+    ) -> TcpRun {
+        crossbeam::thread::scope(|scope| {
+            let coord = scope.spawn(|_| coord.run(grid));
+            let addr = wait_addr(spool);
+            let handles: Vec<_> = fleet
+                .into_iter()
+                .map(|build| {
+                    let addr = addr.clone();
+                    scope.spawn(move |_| build(addr).run())
+                })
+                .collect();
+            let outcomes = handles.into_iter().map(|h| h.join().expect("worker")).collect();
+            (coord.join().expect("coordinator"), outcomes)
+        })
+        .expect("tcp test scope")
+    }
+
+    #[test]
+    fn tcp_sweep_matches_the_local_runner() {
+        let grid = grid(4);
+        let spool = fresh_spool("basic");
+        let (coord, outcomes) = run_tcp(
+            &spool,
+            &grid,
+            coordinator(&spool),
+            vec![worker(|a| fast_worker(a, 1)), worker(|a| fast_worker(a, 2).with_threads(2))],
+        );
+        let (results, summary) = coord.unwrap();
+        assert_eq!(fingerprints(&results), fingerprints(&local(&grid)));
+        assert!(summary.is_clean(), "clean run fired a recovery path: {summary}");
+        assert_eq!(summary.workers_joined, 3, "two workers, three connections");
+        let drained: usize = outcomes.iter().map(|o| o.as_ref().unwrap().completed()).sum();
+        assert_eq!(drained, grid.len(), "every task completed over TCP, none locally");
+        std::fs::remove_dir_all(&spool).ok();
+    }
+
+    #[test]
+    fn killed_worker_loses_nothing() {
+        let grid = grid(4);
+        let spool = fresh_spool("kill");
+        let plan = FaultPlan { kill_after_tasks: Some(1), ..FaultPlan::default() };
+        let (coord, outcomes) = run_tcp(
+            &spool,
+            &grid,
+            coordinator(&spool),
+            vec![
+                worker(move |a| fast_worker(a, 3).with_fault(plan)),
+                worker(|a| fast_worker(a, 4)),
+            ],
+        );
+        let (results, summary) = coord.unwrap();
+        assert_eq!(fingerprints(&results), fingerprints(&local(&grid)));
+        assert_eq!(outcomes[0].as_ref().unwrap(), &WorkerOutcome::Killed { completed: 1 });
+        assert_eq!(outcomes[1].as_ref().unwrap().completed(), grid.len() - 1);
+        assert!(summary.dead_workers >= 1, "the kill went unnoticed: {summary}");
+        std::fs::remove_dir_all(&spool).ok();
+    }
+
+    #[test]
+    fn dropped_result_frame_is_requeued_on_the_next_claim() {
+        let grid = grid(3);
+        let spool = fresh_spool("drop");
+        // Long heartbeat so the frame ordinals are deterministic:
+        // Hello(1), Claim(2), Result(3) — the first result vanishes.
+        let plan = FaultPlan { drop_frame: Some(3), ..FaultPlan::default() };
+        let (coord, outcomes) = run_tcp(
+            &spool,
+            &grid,
+            coordinator(&spool),
+            vec![worker(move |a| {
+                fast_worker(a, 5).with_heartbeat(Duration::from_secs(5)).with_fault(plan)
+            })],
+        );
+        let (results, summary) = coord.unwrap();
+        assert_eq!(fingerprints(&results), fingerprints(&local(&grid)));
+        assert!(summary.requeued_tasks >= 1, "dropped result was not requeued: {summary}");
+        assert!(outcomes[0].is_ok());
+        std::fs::remove_dir_all(&spool).ok();
+    }
+
+    #[test]
+    fn truncated_frame_breaks_the_connection_not_the_sweep() {
+        let grid = grid(3);
+        let spool = fresh_spool("trunc");
+        let plan = FaultPlan { truncate_frame: Some(3), ..FaultPlan::default() };
+        let (coord, _) = run_tcp(
+            &spool,
+            &grid,
+            coordinator(&spool),
+            vec![worker(move |a| {
+                fast_worker(a, 6).with_heartbeat(Duration::from_secs(5)).with_fault(plan)
+            })],
+        );
+        let (results, summary) = coord.unwrap();
+        assert_eq!(fingerprints(&results), fingerprints(&local(&grid)));
+        assert!(
+            summary.requeued_tasks >= 1 || summary.dead_workers >= 1,
+            "truncation left no trace: {summary}"
+        );
+        std::fs::remove_dir_all(&spool).ok();
+    }
+
+    #[test]
+    fn partition_heals_by_redialing() {
+        let grid = grid(3);
+        let spool = fresh_spool("part");
+        let plan = FaultPlan { partition_after: Some(2), ..FaultPlan::default() };
+        let (coord, outcomes) = run_tcp(
+            &spool,
+            &grid,
+            coordinator(&spool),
+            vec![worker(move |a| fast_worker(a, 8).with_fault(plan))],
+        );
+        let (results, _) = coord.unwrap();
+        assert_eq!(fingerprints(&results), fingerprints(&local(&grid)));
+        // The partitioned result is recomputed, so the worker may count
+        // more completions than there are tasks.
+        assert!(outcomes[0].as_ref().unwrap().completed() >= grid.len());
+        std::fs::remove_dir_all(&spool).ok();
+    }
+
+    #[test]
+    fn corrupt_result_frame_is_requeued_once_and_counted() {
+        let grid = grid(3);
+        let spool = fresh_spool("corrupt-frame");
+        let plan = FaultPlan { corrupt_result: Some(1), ..FaultPlan::default() };
+        let (coord, _) = run_tcp(
+            &spool,
+            &grid,
+            coordinator(&spool),
+            vec![worker(move |a| fast_worker(a, 9).with_fault(plan))],
+        );
+        let (results, summary) = coord.unwrap();
+        assert_eq!(fingerprints(&results), fingerprints(&local(&grid)));
+        assert_eq!(summary.corrupt_results, 1);
+        assert!(summary.requeued_tasks >= 1);
+        std::fs::remove_dir_all(&spool).ok();
+    }
+
+    #[test]
+    fn slow_worker_is_not_mistaken_for_a_dead_one() {
+        let grid = grid(3);
+        let spool = fresh_spool("slow");
+        let plan = FaultPlan { delay_every: Some((2, 30)), ..FaultPlan::default() };
+        let (coord, outcomes) = run_tcp(
+            &spool,
+            &grid,
+            coordinator(&spool),
+            vec![worker(move |a| fast_worker(a, 10).with_fault(plan))],
+        );
+        let (results, summary) = coord.unwrap();
+        assert_eq!(fingerprints(&results), fingerprints(&local(&grid)));
+        assert_eq!(summary.dead_workers, 0, "slow worker misdeclared dead: {summary}");
+        assert_eq!(outcomes[0].as_ref().unwrap().completed(), grid.len());
+        std::fs::remove_dir_all(&spool).ok();
+    }
+
+    /// The chaos oracle: every seeded fault schedule terminates within
+    /// the stall window and merges bit-identically to a local run.
+    #[test]
+    fn seeded_fault_schedules_all_converge_bit_identically() {
+        let grid = grid(3);
+        let expected = fingerprints(&local(&grid));
+        for seed in 0..6u64 {
+            let plan = FaultPlan::seeded(seed);
+            let spool = fresh_spool(&format!("chaos-{seed}"));
+            let (coord, _) = run_tcp(
+                &spool,
+                &grid,
+                coordinator(&spool).with_seed(seed),
+                vec![
+                    worker(move |a| fast_worker(a, seed).with_fault(plan)),
+                    worker(move |a| fast_worker(a, seed ^ 0xFFFF)),
+                ],
+            );
+            let (results, summary) =
+                coord.unwrap_or_else(|e| panic!("chaos seed {seed} failed: {e}"));
+            assert_eq!(
+                fingerprints(&results),
+                expected,
+                "chaos seed {seed} ({}) diverged: {summary}",
+                FaultPlan::seeded(seed)
+            );
+            std::fs::remove_dir_all(&spool).ok();
+        }
+    }
+
+    #[test]
+    fn worker_leaves_gracefully_after_max_tasks() {
+        let grid = grid(3);
+        let spool = fresh_spool("leave");
+        let (coord, outcomes) = run_tcp(
+            &spool,
+            &grid,
+            coordinator(&spool),
+            vec![worker(|a| fast_worker(a, 11).with_max_tasks(1)), worker(|a| fast_worker(a, 12))],
+        );
+        let (results, summary) = coord.unwrap();
+        assert_eq!(fingerprints(&results), fingerprints(&local(&grid)));
+        assert_eq!(outcomes[0].as_ref().unwrap(), &WorkerOutcome::Drained { completed: 1 });
+        assert!(summary.workers_left >= 2);
+        assert_eq!(summary.dead_workers, 0, "graceful leave counted as death: {summary}");
+        std::fs::remove_dir_all(&spool).ok();
+    }
+
+    #[test]
+    fn elastic_worker_joins_mid_sweep() {
+        let grid = grid(4);
+        let spool = fresh_spool("elastic");
+        // The early worker drags every frame out, so the sweep is still
+        // running when the second worker dials in.
+        let slow = FaultPlan { delay_every: Some((1, 60)), ..FaultPlan::default() };
+        let (coord, outcomes) = crossbeam::thread::scope(|scope| {
+            let coord = scope.spawn(|_| coordinator(&spool).run(&grid));
+            let addr = wait_addr(&spool);
+            let early = {
+                let addr = addr.clone();
+                scope.spawn(move |_| fast_worker(addr, 13).with_fault(slow).run())
+            };
+            let late = scope.spawn(move |_| {
+                std::thread::sleep(Duration::from_millis(100));
+                fast_worker(addr, 14).run()
+            });
+            let outcomes = vec![early.join().expect("early"), late.join().expect("late")];
+            (coord.join().expect("coordinator"), outcomes)
+        })
+        .expect("tcp test scope");
+        let (results, _) = coord.unwrap();
+        assert_eq!(fingerprints(&results), fingerprints(&local(&grid)));
+        for o in &outcomes {
+            assert!(o.is_ok(), "worker failed: {o:?}");
+        }
+        let late_share = outcomes[1].as_ref().unwrap().completed();
+        assert!(late_share >= 1, "the late joiner never got a task");
+        std::fs::remove_dir_all(&spool).ok();
+    }
+
+    #[test]
+    fn no_workers_at_all_falls_back_to_a_local_drain() {
+        let grid = grid(3);
+        let spool = fresh_spool("fallback");
+        let (results, summary) = TcpSweep::new(&spool, "127.0.0.1:0")
+            .with_stall_timeout(Duration::from_millis(200))
+            .with_threads(2)
+            .run(&grid)
+            .unwrap();
+        assert_eq!(fingerprints(&results), fingerprints(&local(&grid)));
+        assert!(summary.recoveries >= 1, "local fallback never fired: {summary}");
+        std::fs::remove_dir_all(&spool).ok();
+    }
+
+    #[test]
+    fn tcp_resume_continues_a_crashed_coordinators_spool() {
+        let grid = grid(3);
+        let spool = fresh_spool("resume");
+        // A "crashed" coordinator: tasks spooled, one claimed but never
+        // finished.
+        spool_tasks(&spool, &grid).unwrap();
+        let source = SpoolSource::open(&spool);
+        source.try_claim().unwrap().expect("a task to orphan");
+        drop(source);
+        let (coord, outcomes) = run_tcp(
+            &spool,
+            &grid,
+            coordinator(&spool).with_resume(true),
+            vec![worker(|a| fast_worker(a, 15))],
+        );
+        let (results, summary) = coord.unwrap();
+        assert_eq!(fingerprints(&results), fingerprints(&local(&grid)));
+        assert!(summary.requeued_tasks >= 1, "orphaned claim not requeued: {summary}");
+        assert!(outcomes[0].is_ok());
+        std::fs::remove_dir_all(&spool).ok();
+    }
+
+    #[test]
+    fn fault_plan_specs_round_trip() {
+        let plan = FaultPlan {
+            kill_after_tasks: Some(2),
+            drop_frame: Some(5),
+            truncate_frame: None,
+            partition_after: Some(4),
+            delay_every: Some((3, 50)),
+            corrupt_result: Some(1),
+        };
+        let spec = plan.spec();
+        assert_eq!(FaultPlan::parse(&spec).unwrap(), plan);
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::none());
+        assert_eq!(FaultPlan::parse("seed=3").unwrap(), FaultPlan::seeded(3));
+        assert!(!FaultPlan::seeded(3).is_empty(), "a seeded plan always injects something");
+        assert!(FaultPlan::parse("kill-after=0").is_err(), "ordinals are 1-based");
+        assert!(FaultPlan::parse("bogus=1").is_err());
+        assert!(FaultPlan::parse("kill-after").is_err());
+        assert!(FaultPlan::parse("delay-every=3").is_err());
+        assert!(FaultPlan::parse("seed=1,kill-after=2").is_err());
+    }
+}

@@ -337,6 +337,17 @@ impl SweepRunner {
         self.run_map(scenarios, |_, _| {})
     }
 
+    /// Execute one scenario on a pooled session. The TCP transport's
+    /// workers receive tasks one at a time over the wire (not through a
+    /// [`ShardSource`]), but must produce results bit-identical to every
+    /// other driver — so they come through the same pooled-context path.
+    pub fn run_scenario(&self, sc: &Scenario) -> SweepResult {
+        let mut ctx = self.checkout_context();
+        let r = Self::run_one(&mut ctx, sc, 0, self.engine_shards, &|_, _| {});
+        self.return_context(ctx);
+        r
+    }
+
     /// As [`run`](Self::run), additionally invoking `observe` with each
     /// scenario's index and full trace *on the worker thread* before the
     /// trace is dropped. `observe` must be deterministic-safe: it sees
