@@ -40,28 +40,49 @@ fn bench_dist(c: &mut Criterion) {
         });
     });
     // The socket transport on loopback: coordinator + one dialed-in
-    // worker thread. The delta over the spooled entry is the cost of the
-    // framed TCP protocol — accept, Hello/Claim/Task/Result round trips,
-    // heartbeats — on top of the same spool journal.
+    // worker thread, at a given claim window. The delta over the spooled
+    // entry is the cost of the framed TCP protocol — accept,
+    // Hello/Claim/Task/Result round trips, heartbeats — on top of the
+    // same spool journal.
+    let tcp_fleet = |window: Option<usize>, iter: u64| {
+        let spool = spool_base.join(format!("iter-{iter}"));
+        let driver = TcpSweep::new(&spool, "127.0.0.1:0".to_string())
+            .with_threads(1)
+            .with_claim_window(window);
+        let n_results = crossbeam::thread::scope(|scope| {
+            let coord = scope.spawn(|_| driver.run(black_box(&grid)).unwrap().0.len());
+            let addr = loop {
+                if let Some(a) = simcal_study::net::read_addr(&spool) {
+                    break a;
+                }
+                // A fine-grained poll: a 1ms sleep here puts up to a
+                // millisecond of harness dead time between bind and
+                // dial on every iteration, which would be charged to
+                // the transport.
+                std::thread::sleep(Duration::from_micros(100));
+            };
+            TcpWorker::new(addr).with_threads(1).with_claim_window(window).run().unwrap();
+            coord.join().unwrap()
+        })
+        .unwrap();
+        std::fs::remove_dir_all(&spool).ok();
+        n_results
+    };
+    // Lock-step baseline: the window pinned to 1 reproduces the v4
+    // one-task-per-claim protocol's round-trip cadence.
     group.bench_function(&format!("registry{n}_tcp_1worker"), |b| {
         b.iter(|| {
-            let spool = spool_base.join(format!("iter-{}", iter_count.get()));
             iter_count.set(iter_count.get() + 1);
-            let driver = TcpSweep::new(&spool, "127.0.0.1:0".to_string()).with_threads(1);
-            let n_results = crossbeam::thread::scope(|scope| {
-                let coord = scope.spawn(|_| driver.run(black_box(&grid)).unwrap().0.len());
-                let addr = loop {
-                    if let Some(a) = simcal_study::net::read_addr(&spool) {
-                        break a;
-                    }
-                    std::thread::sleep(Duration::from_millis(1));
-                };
-                TcpWorker::new(addr).with_threads(1).run().unwrap();
-                coord.join().unwrap()
-            })
-            .unwrap();
-            std::fs::remove_dir_all(&spool).ok();
-            n_results
+            tcp_fleet(Some(1), iter_count.get())
+        });
+    });
+    // The adaptive window (the default): claims pipeline ahead of
+    // results, so the per-task round trip disappears from the critical
+    // path. The gap to the lock-step entry is what batching buys.
+    group.bench_function(&format!("registry{n}_tcp_1worker_batched"), |b| {
+        b.iter(|| {
+            iter_count.set(iter_count.get() + 1);
+            tcp_fleet(None, iter_count.get())
         });
     });
 

@@ -60,6 +60,14 @@ pub struct Options {
     pub fault: Option<String>,
     /// `sweep-worker --max-tasks N`: leave gracefully after N tasks.
     pub max_tasks: Option<u64>,
+    /// `--claim-window N|auto`: pin the TCP task-handout window to N,
+    /// or let the coordinator adapt it per connection (`None` = auto,
+    /// the default).
+    pub claim_window: Option<usize>,
+    /// `--auth-token TOKEN`: shared secret for the TCP transport's
+    /// challenge/response handshake (mandatory for non-loopback
+    /// `--listen`).
+    pub auth_token: Option<String>,
     /// `calibrate --family PATTERN`: scenario-family calibration.
     pub family: Option<String>,
     /// Calibration algorithm name for `calibrate`.
@@ -93,6 +101,8 @@ impl Options {
             resume: false,
             fault: None,
             max_tasks: None,
+            claim_window: None,
+            auth_token: None,
             family: None,
             algo: "random".to_string(),
         };
@@ -155,6 +165,17 @@ impl Options {
                 "--connect" => opts.connect = Some(take("--connect")?),
                 "--resume" => opts.resume = true,
                 "--fault" => opts.fault = Some(take("--fault")?),
+                "--claim-window" => {
+                    let v = take("--claim-window")?;
+                    if v != "auto" {
+                        let n: usize = v.parse().map_err(|e| format!("--claim-window: {e}"))?;
+                        if n == 0 {
+                            return Err("--claim-window must be at least 1 (or `auto`)".to_string());
+                        }
+                        opts.claim_window = Some(n);
+                    }
+                }
+                "--auth-token" => opts.auth_token = Some(take("--auth-token")?),
                 "--max-tasks" => {
                     opts.max_tasks = Some(
                         take("--max-tasks")?.parse().map_err(|e| format!("--max-tasks: {e}"))?,
@@ -297,6 +318,13 @@ Options:
                                 partition-after=N, delay-every=KxMS,
                                 corrupt-result=N, or seed=N (derive one fault)
   --max-tasks N                 sweep-worker leaves gracefully after N tasks
+  --claim-window N|auto         TCP task-handout window: pin each connection
+                                to N tasks in flight (1 = v4 lock-step), or
+                                adapt per connection from observed latency
+                                (default auto)
+  --auth-token TOKEN            TCP transport shared secret (HMAC challenge/
+                                response; required to --listen on an interface
+                                other than loopback)
   --algo NAME                   calibrate algorithm (random|grid|coordinate|
                                 anneal|nelder-mead|bayes; default random)
   --spool DIR / --spawn N       distributed sweep spool and worker count
@@ -389,8 +417,10 @@ fn run_sweep(opts: &Options) -> Result<(), String> {
     let (results, mode) = if let Some(listen) = &opts.listen {
         let spool = opts.spool.as_ref().ok_or("--listen needs --spool DIR")?;
         let threads = opts.workers.unwrap_or(1);
-        let mut driver =
-            TcpSweep::new(spool, listen.clone()).with_threads(threads).with_resume(opts.resume);
+        let mut driver = TcpSweep::new(spool, listen.clone())
+            .with_threads(threads)
+            .with_resume(opts.resume)
+            .with_claim_window(opts.claim_window);
         if let Some(n) = opts.engine_shards {
             driver = driver.with_engine_shards(n);
         }
@@ -400,9 +430,15 @@ fn run_sweep(opts: &Options) -> Result<(), String> {
         if let Some(seed) = opts.seed {
             driver = driver.with_seed(seed);
         }
+        if let Some(token) = &opts.auth_token {
+            driver = driver.with_auth_token(token.clone());
+        }
         let (results, summary) = driver.run(&grid).map_err(|e| e.to_string())?;
         if !summary.is_clean() {
             eprintln!("[simcal-exp] recovery summary: {summary}");
+        }
+        for report in &summary.per_worker {
+            eprintln!("[simcal-exp] worker {report}");
         }
         (
             results,
@@ -521,9 +557,13 @@ fn run_sweep_worker(opts: &Options) -> Result<(), String> {
         let mut worker = TcpWorker::new(addr.clone())
             .with_threads(threads)
             .with_engine_shards(shards)
-            .with_name(format!("pid-{}", std::process::id()));
+            .with_name(format!("pid-{}", std::process::id()))
+            .with_claim_window(opts.claim_window);
         if let Some(seed) = opts.seed {
             worker = worker.with_seed(seed);
+        }
+        if let Some(token) = &opts.auth_token {
+            worker = worker.with_auth_token(token.clone());
         }
         if let Some(n) = opts.max_tasks {
             worker = worker.with_max_tasks(n);
@@ -1055,6 +1095,18 @@ mod tests {
         assert_eq!(o.max_tasks, Some(5));
         assert!(parse(&["sweep-worker", "--max-tasks", "x"]).is_err());
         assert!(parse(&["sweep", "--listen"]).is_err());
+        // The claim window: a number pins it, `auto` (the default) adapts.
+        let o = parse(&["sweep", "--listen", "127.0.0.1:0", "--claim-window", "8"]).unwrap();
+        assert_eq!(o.claim_window, Some(8));
+        let o = parse(&["sweep-worker", "--connect", "x:1", "--claim-window", "auto"]).unwrap();
+        assert_eq!(o.claim_window, None);
+        assert!(parse(&["sweep", "--claim-window", "0"]).is_err(), "0 in flight is a stall");
+        assert!(parse(&["sweep", "--claim-window", "many"]).is_err());
+        // The shared secret rides on both ends.
+        let o = parse(&["sweep", "--listen", "0.0.0.0:0", "--auth-token", "sesame"]).unwrap();
+        assert_eq!(o.auth_token.as_deref(), Some("sesame"));
+        let o = parse(&["sweep-worker", "--connect", "x:1", "--auth-token", "sesame"]).unwrap();
+        assert_eq!(o.auth_token.as_deref(), Some("sesame"));
         // A bad fault spec is a structured error from the worker runner.
         let o = parse(&["sweep-worker", "--connect", "x:1", "--fault", "bogus=1"]).unwrap();
         assert!(run_sweep_worker(&o).unwrap_err().contains("--fault"));
@@ -1093,6 +1145,8 @@ mod tests {
             spool.to_str().unwrap(),
             "--stall-timeout",
             "30",
+            "--auth-token",
+            "cli-secret",
             "--out",
             out_tcp.to_str().unwrap(),
         ])
@@ -1106,9 +1160,19 @@ mod tests {
                 }
                 std::thread::sleep(std::time::Duration::from_millis(5));
             };
-            let worker =
-                parse(&["sweep-worker", "--connect", &addr, "--workers", "2", "--reduced"])
-                    .unwrap();
+            let worker = parse(&[
+                "sweep-worker",
+                "--connect",
+                &addr,
+                "--workers",
+                "2",
+                "--reduced",
+                "--claim-window",
+                "4",
+                "--auth-token",
+                "cli-secret",
+            ])
+            .unwrap();
             run_sweep_worker(&worker).unwrap();
             coord.join().expect("coordinator thread").unwrap();
         })

@@ -98,6 +98,45 @@ fn tcp_fleet_with_a_killed_worker_matches_the_local_artifact() {
 }
 
 #[test]
+fn batched_fleet_with_mid_window_faults_matches_the_local_artifact() {
+    let base = base_dir("batched");
+    std::fs::remove_dir_all(&base).ok();
+
+    let local_out = base.join("local");
+    run(&["sweep", "straggler", "--reduced", "--out", local_out.to_str().unwrap()]);
+
+    // Windowed handout on both ends: the coordinator pins a 4-task
+    // window so the saboteur's dropped frame lands mid-window, and the
+    // whole fleet speaks the pipelined v5 protocol under an auth token.
+    let spool = base.join("spool");
+    let out = base.join("out");
+    let mut coordinator =
+        spawn_coordinator(&spool, &out, &["--claim-window", "4", "--auth-token", "chaos-secret"]);
+    let addr = wait_addr(&spool);
+
+    // The saboteur drops its second result frame (Hello(1), ClaimN(2),
+    // AuthProof(3), Result(4), Result(5) — frame 5 vanishes mid-window),
+    // then keeps serving; the holding list on its next claim betrays the
+    // loss.
+    let mut saboteur = spawn_worker(
+        &addr,
+        &["--claim-window", "4", "--auth-token", "chaos-secret", "--fault", "drop-frame=5"],
+    );
+    let mut healthy = spawn_worker(&addr, &["--auth-token", "chaos-secret"]);
+
+    assert!(coordinator.wait().expect("coordinator exits").success());
+    saboteur.wait().expect("saboteur exits");
+    healthy.wait().expect("healthy worker exits");
+
+    assert_eq!(
+        std::fs::read(out.join("sweep.csv")).unwrap(),
+        std::fs::read(local_out.join("sweep.csv")).unwrap(),
+        "mid-window frame loss must not change the merged artifact"
+    );
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
 fn tcp_resume_finishes_what_a_first_coordinator_started() {
     let base = base_dir("resume");
     std::fs::remove_dir_all(&base).ok();

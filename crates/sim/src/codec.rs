@@ -50,8 +50,16 @@ use crate::scheduler::SchedulerPolicy;
 /// protocol envelope ([`WireMsg`]: Hello/Claim/Task/Result/Heartbeat/
 /// Drain/Bye) and length-prefixed framing ([`write_frame`]/[`read_frame`])
 /// for the TCP transport; scenario and result payloads are unchanged, so
-/// v4 decoders accept v1–v3.
-pub const CODEC_VERSION: u64 = 4;
+/// v4 decoders accept v1–v3. v5 adds windowed task handout
+/// (`ClaimN { max, holding }` / `TaskBatch { tasks }`), worker capability
+/// advertisement (`threads` / `engine_shards` on `Hello`), and the
+/// shared-secret handshake (`AuthChallenge` / `AuthProof` / `Reject`).
+/// v5 decoders accept v4 payloads (a `Claim` is a `ClaimN { max: 1,
+/// holding: [] }`, a bare `Hello` advertises no capabilities), and v4
+/// decoders accept the v5 `Hello`/`Task`/`Result` envelopes unchanged
+/// because unknown fields are ignored and [`check_version`] tolerates
+/// newer versions.
+pub const CODEC_VERSION: u64 = 5;
 
 /// A decoding (or parsing) failure. Every variant carries enough context
 /// to say *which* type and field went wrong — decoders never panic on
@@ -1124,37 +1132,87 @@ pub fn sim_config_from_json(json: &Json, v: u64) -> Result<SimConfig, CodecError
     })
 }
 
-// ---- sweep protocol envelope (codec v4) -----------------------------------
+// ---- sweep protocol envelope (codec v4/v5) --------------------------------
 
-/// One message of the TCP sweep protocol (codec v4).
+/// One message of the TCP sweep protocol (codec v5; v4 messages decode).
 ///
 /// The coordinator listens, workers dial in, and every exchange is one of
-/// these envelopes. The conversation per connection is lock-step: the
-/// worker opens with `Hello`, then alternates `Claim` → (`Task` | `Drain`)
-/// → `Result` → `Claim` …, with `Heartbeat`s interleaved from a side
-/// thread while a task is computing. `Drain` from the coordinator means
-/// "queue is empty, finish up"; the worker answers `Bye` and disconnects.
-/// A worker may also *send* `Drain` to announce a graceful leave after its
-/// in-flight task.
+/// these envelopes. Since v5 the conversation per connection is
+/// **windowed**: the worker opens with `Hello` (advertising its
+/// capabilities), then pipelines `ClaimN { max, holding }` →
+/// (`TaskBatch` | `Drain`) while streaming `Result`s back as tasks
+/// finish, with `Heartbeat`s interleaved from a side thread. The
+/// `holding` list names every task the worker has claimed but not yet
+/// resulted — TCP ordering makes it a loss detector (see `study::net`).
+/// A v4 peer speaks the lock-step special case: `Claim` is exactly
+/// `ClaimN { max: 1, holding: [] }` and a single `Task` is a one-element
+/// batch. `Drain` from the coordinator means "queue is empty, finish up";
+/// the worker answers `Bye` and disconnects. A worker may also *send*
+/// `Drain` to announce a graceful leave after its in-flight tasks.
 ///
-/// `Task` and `Result` embed their payloads as raw [`Json`] values (the
-/// scenario / sweep-result forms already defined by this codec) so the
-/// envelope adds no second serialization layer.
+/// When the coordinator requires a shared secret it opens with
+/// `AuthChallenge { nonce }`; the worker answers `AuthProof { mac }`
+/// (HMAC-SHA256 of the nonce under the token). A failed or missing proof
+/// earns a structured `Reject { reason }` before the close.
+///
+/// `Task`, `TaskBatch` and `Result` embed their payloads as raw [`Json`]
+/// values (the scenario / sweep-result forms already defined by this
+/// codec) so the envelope adds no second serialization layer.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WireMsg {
-    /// Worker introduction: a display name for the coordinator's summary.
+    /// Worker introduction: a display name for the coordinator's summary
+    /// plus a capability advertisement for window sizing.
     Hello {
         /// Worker's self-chosen name (e.g. `"pid-1234/t0"`).
         worker: String,
+        /// Worker threads behind this connection's process (0 when the
+        /// peer predates v5 and advertises nothing).
+        threads: u64,
+        /// Engine shards each task will run with (0 = unadvertised).
+        engine_shards: u64,
     },
-    /// Worker asks for the next task.
+    /// Worker asks for the next task (v4 lock-step form; equivalent to
+    /// `ClaimN { max: 1, holding: [] }`).
     Claim,
-    /// Coordinator hands out task `index` with its scenario payload.
+    /// Worker asks for up to `max` more tasks and reports which claimed
+    /// task indices it is still holding results for.
+    ClaimN {
+        /// Upper bound on how many tasks the reply batch may carry.
+        max: u64,
+        /// Indices claimed on this connection whose `Result` has not yet
+        /// been sent (ordered send ⇒ the coordinator can requeue any
+        /// outstanding index missing from this list).
+        holding: Vec<u64>,
+    },
+    /// Coordinator hands out task `index` with its scenario payload
+    /// (v4 lock-step form; equivalent to a one-element `TaskBatch`).
     Task {
         /// Spool task index (the `task-{index:05}` file).
         index: u64,
         /// The scenario, in its [`scenario_to_json`] form.
         scenario: Json,
+    },
+    /// Coordinator hands out a window of tasks (possibly empty: "nothing
+    /// right now, back off and re-claim").
+    TaskBatch {
+        /// `(index, scenario)` pairs, one per granted task.
+        tasks: Vec<(u64, Json)>,
+    },
+    /// Coordinator demands proof of the shared secret before serving.
+    AuthChallenge {
+        /// Connection-unique nonce the proof must cover.
+        nonce: u64,
+    },
+    /// Worker's answer: hex HMAC-SHA256 of the nonce under the token.
+    AuthProof {
+        /// Lowercase hex MAC (64 chars).
+        mac: String,
+    },
+    /// Structured refusal (bad auth, protocol violation); the sender
+    /// closes the connection right after.
+    Reject {
+        /// Human-readable reason, surfaced in the peer's error.
+        reason: String,
     },
     /// Worker returns the finished result for task `index`.
     Result {
@@ -1184,7 +1242,12 @@ impl WireMsg {
         match self {
             WireMsg::Hello { .. } => "hello",
             WireMsg::Claim => "claim",
+            WireMsg::ClaimN { .. } => "claim-n",
             WireMsg::Task { .. } => "task",
+            WireMsg::TaskBatch { .. } => "task-batch",
+            WireMsg::AuthChallenge { .. } => "auth-challenge",
+            WireMsg::AuthProof { .. } => "auth-proof",
+            WireMsg::Reject { .. } => "reject",
             WireMsg::Result { .. } => "result",
             WireMsg::Heartbeat { .. } => "heartbeat",
             WireMsg::Drain => "drain",
@@ -1198,12 +1261,32 @@ pub fn msg_to_json(msg: &WireMsg) -> Json {
     let mut fields =
         vec![("v", Json::Num(CODEC_VERSION as f64)), ("type", Json::Str(msg.kind().to_string()))];
     match msg {
-        WireMsg::Hello { worker } => fields.push(("worker", Json::Str(worker.clone()))),
+        WireMsg::Hello { worker, threads, engine_shards } => {
+            fields.push(("worker", Json::Str(worker.clone())));
+            fields.push(("threads", json_u64(*threads)));
+            fields.push(("engine_shards", json_u64(*engine_shards)));
+        }
         WireMsg::Claim | WireMsg::Drain | WireMsg::Bye => {}
+        WireMsg::ClaimN { max, holding } => {
+            fields.push(("max", json_u64(*max)));
+            fields.push(("holding", Json::Arr(holding.iter().copied().map(json_u64).collect())));
+        }
         WireMsg::Task { index, scenario } => {
             fields.push(("index", json_u64(*index)));
             fields.push(("scenario", scenario.clone()));
         }
+        WireMsg::TaskBatch { tasks } => {
+            let items = tasks
+                .iter()
+                .map(|(index, scenario)| {
+                    obj(vec![("index", json_u64(*index)), ("scenario", scenario.clone())])
+                })
+                .collect();
+            fields.push(("tasks", Json::Arr(items)));
+        }
+        WireMsg::AuthChallenge { nonce } => fields.push(("nonce", json_u64(*nonce))),
+        WireMsg::AuthProof { mac } => fields.push(("mac", Json::Str(mac.clone()))),
+        WireMsg::Reject { reason } => fields.push(("reason", Json::Str(reason.clone()))),
         WireMsg::Result { index, sum, payload } => {
             fields.push(("index", json_u64(*index)));
             fields.push(("sum", json_u64(*sum)));
@@ -1221,11 +1304,54 @@ pub fn msg_from_json(json: &Json) -> Result<WireMsg, CodecError> {
     let r = ObjReader::new("WireMsg", json)?;
     check_version("WireMsg", &r)?;
     match r.str("type")? {
-        "hello" => Ok(WireMsg::Hello { worker: r.str("worker")?.to_string() }),
+        "hello" => {
+            // v4 Hellos predate the capability fields: absent = unadvertised.
+            let cap = |field: &'static str| match r.get(field) {
+                None | Some(Json::Null) => Ok(0),
+                Some(v) => json_to_u64(v).ok_or(CodecError::WrongType {
+                    ty: "WireMsg",
+                    field: "threads/engine_shards",
+                    expected: "u64",
+                }),
+            };
+            Ok(WireMsg::Hello {
+                worker: r.str("worker")?.to_string(),
+                threads: cap("threads")?,
+                engine_shards: cap("engine_shards")?,
+            })
+        }
         "claim" => Ok(WireMsg::Claim),
+        "claim-n" => {
+            let holding = r
+                .arr("holding")?
+                .iter()
+                .map(|v| {
+                    json_to_u64(v).ok_or(CodecError::WrongType {
+                        ty: "WireMsg",
+                        field: "holding",
+                        expected: "array of u64",
+                    })
+                })
+                .collect::<Result<Vec<u64>, CodecError>>()?;
+            Ok(WireMsg::ClaimN { max: r.u64("max")?, holding })
+        }
         "task" => {
             Ok(WireMsg::Task { index: r.u64("index")?, scenario: r.req("scenario")?.clone() })
         }
+        "task-batch" => {
+            let tasks = r
+                .arr("tasks")?
+                .iter()
+                .map(|item| {
+                    let t = ObjReader::new("WireMsg", item)?;
+                    Ok((t.u64("index")?, t.req("scenario")?.clone()))
+                })
+                .collect::<Result<Vec<(u64, Json)>, CodecError>>()?;
+            Ok(WireMsg::TaskBatch { tasks })
+        }
+        "auth-challenge" => Ok(WireMsg::AuthChallenge { nonce: r.u64("nonce")? }),
+        "auth-proof" => Ok(WireMsg::AuthProof { mac: r.str("mac")?.to_string() }),
+        "reject" => Ok(WireMsg::Reject { reason: r.str("reason")?.to_string() }),
         "result" => Ok(WireMsg::Result {
             index: r.u64("index")?,
             sum: r.u64("sum")?,
@@ -1319,13 +1445,59 @@ fn is_timeout(e: &std::io::Error) -> bool {
 /// Write one length-prefixed frame (4-byte big-endian length, then the
 /// [`encode_msg`] JSON bytes) and flush it.
 pub fn write_frame<W: std::io::Write>(w: &mut W, msg: &WireMsg) -> std::io::Result<()> {
-    let body = encode_msg(msg);
+    write_frame_text(w, &encode_msg(msg))
+}
+
+/// [`write_frame`] for an already-encoded message body. Prefix and body
+/// go out as one buffer — one syscall per frame, which matters on the
+/// result hot path where the payload text is also reused for the
+/// checksum and the journal.
+pub fn write_frame_text<W: std::io::Write>(w: &mut W, body: &str) -> std::io::Result<()> {
     let len = u32::try_from(body.len()).map_err(|_| {
         std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large to encode")
     })?;
-    w.write_all(&len.to_be_bytes())?;
-    w.write_all(body.as_bytes())?;
+    let mut buf = Vec::with_capacity(4 + body.len());
+    buf.extend_from_slice(&len.to_be_bytes());
+    buf.extend_from_slice(body.as_bytes());
+    w.write_all(&buf)?;
     w.flush()
+}
+
+/// Encode a `Result` message around an **already-serialized** payload,
+/// byte-identical to `encode_msg(&WireMsg::Result { .. })` with the
+/// parsed equivalent. The worker's hot path serializes each result
+/// payload exactly once — checksum, frame, and (coordinator-side)
+/// journal all reuse that text.
+pub fn encode_result_msg(index: u64, sum: u64, payload: &str) -> String {
+    format!(
+        "{{\"v\":{CODEC_VERSION},\"type\":\"result\",\"index\":\"{index}\",\"sum\":\"{sum}\",\"payload\":{payload}}}"
+    )
+}
+
+/// Encode a `Task` message around an **already-serialized** scenario,
+/// byte-identical to `encode_msg(&WireMsg::Task { .. })` with the parsed
+/// equivalent. The grant-side twin of [`encode_result_msg`]: a
+/// coordinator forwarding spool records verbatim never re-serializes the
+/// scenario it just read.
+pub fn encode_task_msg(index: u64, scenario: &str) -> String {
+    format!(
+        "{{\"v\":{CODEC_VERSION},\"type\":\"task\",\"index\":\"{index}\",\"scenario\":{scenario}}}"
+    )
+}
+
+/// [`encode_task_msg`] for a whole batch, byte-identical to
+/// `encode_msg(&WireMsg::TaskBatch { .. })`.
+pub fn encode_task_batch_msg(tasks: &[(u64, String)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("{{\"v\":{CODEC_VERSION},\"type\":\"task-batch\",\"tasks\":[");
+    for (i, (index, scenario)) in tasks.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"index\":\"{index}\",\"scenario\":{scenario}}}");
+    }
+    out.push_str("]}");
+    out
 }
 
 /// Read exactly `buf.len()` bytes. `consumed` says whether any byte of
@@ -1773,9 +1945,18 @@ mod tests {
     fn demo_msgs() -> Vec<WireMsg> {
         let sc = ScenarioRegistry::reduced().scenarios().remove(0);
         vec![
-            WireMsg::Hello { worker: "pid-42/t1".into() },
+            WireMsg::Hello { worker: "pid-42/t1".into(), threads: 4, engine_shards: 2 },
             WireMsg::Claim,
+            WireMsg::ClaimN { max: 8, holding: vec![3, 11, u64::MAX] },
+            WireMsg::ClaimN { max: 1, holding: vec![] },
             WireMsg::Task { index: 3, scenario: scenario_to_json(&sc) },
+            WireMsg::TaskBatch {
+                tasks: vec![(3, scenario_to_json(&sc)), (4, scenario_to_json(&sc))],
+            },
+            WireMsg::TaskBatch { tasks: vec![] },
+            WireMsg::AuthChallenge { nonce: 0x5EED_CAFE_1234_5678 },
+            WireMsg::AuthProof { mac: "ab".repeat(32) },
+            WireMsg::Reject { reason: "bad auth token".into() },
             WireMsg::Result {
                 index: 3,
                 sum: 0xDEAD_BEEF_CAFE_F00D,
@@ -1796,6 +1977,40 @@ mod tests {
             assert_eq!(back, msg, "{text}");
             assert_eq!(encode_msg(&back), text, "{}: re-encode", msg.kind());
         }
+    }
+
+    #[test]
+    fn raw_result_encoding_matches_the_structured_encoder() {
+        let payload = obj(vec![
+            ("name", Json::Str("grid-0".into())),
+            ("makespan", json_f64(1.5)),
+            ("hashes", Json::Arr(vec![json_u64(u64::MAX), json_u64(0)])),
+        ]);
+        let text = payload.write();
+        let msg = WireMsg::Result { index: 7, sum: 0xDEAD_BEEF_CAFE_F00D, payload };
+        assert_eq!(encode_result_msg(7, 0xDEAD_BEEF_CAFE_F00D, &text), encode_msg(&msg));
+    }
+
+    #[test]
+    fn raw_task_encodings_match_the_structured_encoder() {
+        let a = obj(vec![
+            ("name", Json::Str("grid-0".into())),
+            ("scale", json_f64(0.25)),
+            ("tags", Json::Arr(vec![Json::Null, Json::Bool(true)])),
+        ]);
+        let b = Json::Str("degenerate \"scenario\"\n".into());
+        assert_eq!(
+            encode_task_msg(3, &a.write()),
+            encode_msg(&WireMsg::Task { index: 3, scenario: a.clone() })
+        );
+        assert_eq!(
+            encode_task_batch_msg(&[(0, a.write()), (u64::MAX, b.write())]),
+            encode_msg(&WireMsg::TaskBatch { tasks: vec![(0, a.clone()), (u64::MAX, b)] })
+        );
+        assert_eq!(
+            encode_task_batch_msg(&[]),
+            encode_msg(&WireMsg::TaskBatch { tasks: Vec::new() })
+        );
     }
 
     #[test]
@@ -1832,6 +2047,33 @@ mod tests {
     }
 
     #[test]
+    fn v4_envelopes_decode_as_the_lock_step_special_case() {
+        // A v4 worker's Hello has no capability fields: they decode to 0
+        // (unadvertised), and its bare Claim still decodes — the v5
+        // coordinator treats it as ClaimN { max: 1, holding: [] }.
+        let hello = decode_msg(r#"{"v":4,"type":"hello","worker":"legacy"}"#).unwrap();
+        assert_eq!(hello, WireMsg::Hello { worker: "legacy".into(), threads: 0, engine_shards: 0 });
+        assert_eq!(decode_msg(r#"{"v":4,"type":"claim"}"#).unwrap(), WireMsg::Claim);
+    }
+
+    #[test]
+    fn hostile_v5_envelopes_are_structured_errors() {
+        // claim-n with a non-numeric holding entry, task-batch with a
+        // malformed element, and missing required fields: never a panic.
+        for text in [
+            r#"{"v":5,"type":"claim-n","max":"2","holding":["1","x"]}"#,
+            r#"{"v":5,"type":"claim-n","holding":[]}"#,
+            r#"{"v":5,"type":"task-batch","tasks":[{"index":"1"}]}"#,
+            r#"{"v":5,"type":"task-batch","tasks":"nope"}"#,
+            r#"{"v":5,"type":"auth-challenge"}"#,
+            r#"{"v":5,"type":"auth-proof","mac":7}"#,
+            r#"{"v":5,"type":"reject"}"#,
+        ] {
+            assert!(decode_msg(text).is_err(), "{text} decoded");
+        }
+    }
+
+    #[test]
     fn frames_round_trip_through_a_buffer() {
         let msgs = demo_msgs();
         let mut buf = Vec::new();
@@ -1849,7 +2091,8 @@ mod tests {
     #[test]
     fn truncated_frames_are_io_errors_not_closed() {
         let mut buf = Vec::new();
-        write_frame(&mut buf, &WireMsg::Hello { worker: "w".into() }).unwrap();
+        write_frame(&mut buf, &WireMsg::Hello { worker: "w".into(), threads: 1, engine_shards: 1 })
+            .unwrap();
         // Cut the frame anywhere after the first byte: mid-length-prefix
         // and mid-body truncations are both "broken peer", never a clean
         // Closed and never a panic.

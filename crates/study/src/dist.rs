@@ -366,16 +366,17 @@ impl SpoolSource {
         Ok(names)
     }
 
-    /// Pop the next candidate name, refilling the cache from the tasks
-    /// directory when it runs dry. `None` when the directory really is
-    /// empty. A candidate that loses its claim race is simply dropped —
-    /// its file moved out of `tasks/`, so a refill never resurrects it.
-    fn next_candidate(&self) -> Result<Option<String>, DistError> {
+    /// Pop up to `n` candidate names under **one** lock acquisition,
+    /// refilling the cache from the tasks directory when it runs dry.
+    /// Empty when the directory really is empty. A candidate that loses
+    /// its claim race is simply dropped — its file moved out of `tasks/`,
+    /// so a refill never resurrects it.
+    fn next_candidates(&self, n: usize) -> Result<Vec<String>, DistError> {
         let mut queue = self.queue.lock();
         if queue.is_empty() {
             let mut names = self.pending()?;
             if names.is_empty() {
-                return Ok(None);
+                return Ok(Vec::new());
             }
             // Rotate by a process-specific offset so co-located workers
             // don't all fight over the same lowest-numbered file, then
@@ -385,42 +386,117 @@ impl SpoolSource {
             names.reverse();
             *queue = names;
         }
-        Ok(queue.pop())
+        let take = n.min(queue.len());
+        let split = queue.len() - take;
+        Ok(queue.split_off(split))
+    }
+
+    /// Claim one named candidate: atomic rename into `claimed/`, then
+    /// validate the task envelope (version, index) but leave the
+    /// scenario in wire form. The TCP coordinator forwards the scenario
+    /// verbatim inside a `TaskBatch`, so decoding it to a `Scenario`
+    /// struct here — only to re-encode it onto the socket — would be
+    /// pure per-task overhead. `None` when the race was lost — the file
+    /// is gone (another worker's claim, or a coordinator requeue racing
+    /// the read).
+    fn claim_named_raw(&self, name: &str) -> Result<Option<(usize, String)>, DistError> {
+        let from = tasks_dir(&self.spool).join(name);
+        let to = claimed_dir(&self.spool).join(name);
+        match std::fs::rename(&from, &to) {
+            Ok(()) => {
+                let text = match std::fs::read_to_string(&to) {
+                    Ok(text) => text,
+                    // A coordinator's requeue can move our claim back
+                    // into tasks/ between the rename and this read (it
+                    // cannot tell a slow worker from a dead one). The
+                    // task isn't lost — it is back in the queue for
+                    // whoever claims it next — so treat it like a
+                    // lost race, not an error.
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+                    Err(e) => return Err(io_err(&to, e)),
+                };
+                // Fast path: a record laid out exactly as [`spool_tasks`]
+                // writes it — `{"v":V,"index":N,"scenario":<sc>}` with
+                // `N` also derivable from the file name — proves version
+                // and index textually, so the scenario text splices out
+                // without a parse. Anything else (foreign layout, older
+                // version) takes the full parse-and-validate path below.
+                if let Some(index) = name
+                    .strip_prefix("task-")
+                    .and_then(|s| s.strip_suffix(".json"))
+                    .and_then(|s| s.parse::<usize>().ok())
+                {
+                    let prefix = format!("{{\"v\":{CODEC_VERSION},\"index\":{index},\"scenario\":");
+                    if let Some(scenario) =
+                        text.strip_prefix(&prefix).and_then(|rest| rest.strip_suffix('}'))
+                    {
+                        if !scenario.is_empty() {
+                            return Ok(Some((index, scenario.to_string())));
+                        }
+                    }
+                }
+                let json = Json::parse(&text)
+                    .map_err(|source| DistError::Codec { path: to.clone(), source })?;
+                let to_codec = |source| DistError::Codec { path: to.clone(), source };
+                let r = ObjReader::new("Task", &json).map_err(to_codec)?;
+                check_version("Task", &r).map_err(to_codec)?;
+                let index = r.usize("index").map_err(to_codec)?;
+                let scenario = r.req("scenario").map_err(to_codec)?.write();
+                Ok(Some((index, scenario)))
+            }
+            // Another worker stole it between listing and rename.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(io_err(&from, e)),
+        }
+    }
+
+    /// [`claim_named_raw`], fully decoded — what a worker that will
+    /// *run* the scenario (rather than forward it) wants.
+    fn claim_named(&self, name: &str) -> Result<Option<(usize, Scenario)>, DistError> {
+        match self.claim_named_raw(name)? {
+            Some((index, text)) => {
+                let to_codec =
+                    |source| DistError::Codec { path: claimed_dir(&self.spool).join(name), source };
+                let json = Json::parse(&text).map_err(to_codec)?;
+                let sc = scenario_from_json(&json).map_err(to_codec)?;
+                Ok(Some((index, sc)))
+            }
+            None => Ok(None),
+        }
     }
 
     pub(crate) fn try_claim(&self) -> Result<Option<(usize, Scenario)>, DistError> {
-        while let Some(name) = self.next_candidate()? {
-            let from = tasks_dir(&self.spool).join(&name);
-            let to = claimed_dir(&self.spool).join(&name);
-            match std::fs::rename(&from, &to) {
-                Ok(()) => {
-                    let text = match std::fs::read_to_string(&to) {
-                        Ok(text) => text,
-                        // A coordinator's requeue can move our claim back
-                        // into tasks/ between the rename and this read (it
-                        // cannot tell a slow worker from a dead one). The
-                        // task isn't lost — it is back in the queue for
-                        // whoever claims it next — so treat it like a
-                        // lost race, not an error.
-                        Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
-                        Err(e) => return Err(io_err(&to, e)),
-                    };
-                    let json = Json::parse(&text)
-                        .map_err(|source| DistError::Codec { path: to.clone(), source })?;
-                    let to_codec = |source| DistError::Codec { path: to.clone(), source };
-                    let r = ObjReader::new("Task", &json).map_err(to_codec)?;
-                    check_version("Task", &r).map_err(to_codec)?;
-                    let index = r.usize("index").map_err(to_codec)?;
-                    let sc = scenario_from_json(r.req("scenario").map_err(to_codec)?)
-                        .map_err(to_codec)?;
-                    return Ok(Some((index, sc)));
-                }
-                // Another worker stole it between listing and rename.
-                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
-                Err(e) => return Err(io_err(&from, e)),
+        loop {
+            let Some(name) = self.next_candidates(1)?.pop() else {
+                return Ok(None);
+            };
+            if let Some(claimed) = self.claim_named(&name)? {
+                return Ok(Some(claimed));
             }
         }
-        Ok(None)
+    }
+
+    /// Claim up to `max` tasks in one sweep: the candidate queue is
+    /// locked once per refill rather than once per task, and lost races
+    /// are replaced until the spool runs dry or the batch fills. This is
+    /// the journal-side amortization behind the TCP transport's windowed
+    /// handout — the in-process [`ShardSource`] path keeps claiming one
+    /// at a time (the finest stealing granularity). Scenarios stay in
+    /// wire form; the caller is forwarding them, not running them.
+    pub(crate) fn try_claim_batch(&self, max: usize) -> Result<Vec<(usize, String)>, DistError> {
+        let mut out = Vec::new();
+        while out.len() < max {
+            let names = self.next_candidates(max - out.len())?;
+            if names.is_empty() {
+                break;
+            }
+            for name in names {
+                if let Some(claimed) = self.claim_named_raw(&name)? {
+                    out.push(claimed);
+                }
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -489,14 +565,26 @@ pub(crate) fn write_result(
     index: usize,
     result: &SweepResult,
 ) -> Result<(), DistError> {
-    let payload = sweep_result_to_json(result).write();
-    let record = obj(vec![
-        ("v", Json::Num(CODEC_VERSION as f64)),
-        ("index", Json::Num(index as f64)),
-        ("sum", Json::Str(format!("{:016x}", fnv1a(payload.as_bytes())))),
-        ("result", Json::parse(&payload).expect("just encoded")),
-    ]);
-    write_atomic(spool, &result_path(spool, index), &record.write())
+    write_result_text(spool, index, &sweep_result_to_json(result).write())
+}
+
+/// [`write_result`] from an already-serialized payload: the record is
+/// spliced around the given text instead of re-encoded through the
+/// `Json` tree, so a coordinator journaling a checksum-verified wire
+/// payload serializes nothing. The spliced bytes match what the tree
+/// writer would produce (`Json::Num` prints integral values bare), and
+/// the embedded `sum` is computed over exactly the embedded text, which
+/// is all the resume/merge verifier ever checks.
+pub(crate) fn write_result_text(
+    spool: &Path,
+    index: usize,
+    payload: &str,
+) -> Result<(), DistError> {
+    let record = format!(
+        "{{\"v\":{CODEC_VERSION},\"index\":{index},\"sum\":\"{:016x}\",\"result\":{payload}}}",
+        fnv1a(payload.as_bytes())
+    );
+    write_atomic(spool, &result_path(spool, index), &record)
 }
 
 /// Requeue claimed-but-unfinished tasks (a crashed worker's leftovers):

@@ -15,6 +15,7 @@
 //! | [`experiments::table6`] | Table VI — MRE vs simulation time |
 //! | [`experiments::fig2`] | Figure 2 — error vs calibration time |
 
+pub mod auth;
 pub mod backoff;
 pub mod case;
 pub mod context;
@@ -27,12 +28,12 @@ pub mod objective;
 pub mod report;
 pub mod sweep;
 
-pub use backoff::Backoff;
+pub use backoff::{Backoff, ClaimWindow};
 pub use case::CaseStudy;
 pub use context::ExperimentContext;
 pub use dist::{DistError, DistSummary, DistSweep};
 pub use family::{FamilyMember, FamilyObjective};
 pub use human::HumanCalibration;
-pub use net::{FaultPlan, TcpSummary, TcpSweep, TcpWorker, WorkerOutcome};
+pub use net::{FaultPlan, TcpSummary, TcpSweep, TcpWorker, WorkerOutcome, WorkerReport};
 pub use objective::{param_space, CaseObjective, Metric, PARAM_NAMES};
 pub use sweep::{GridSource, ShardSource, SweepResult, SweepRunner};

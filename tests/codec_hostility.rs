@@ -20,21 +20,30 @@ use simcal::study::dist::{decode_sweep_result, encode_sweep_result};
 use simcal::study::SweepRunner;
 
 /// A representative corpus of valid wire texts to mutate: a scenario, a
-/// sweep result, and one of each protocol message.
+/// sweep result, and one of each protocol message (v4 lock-step forms
+/// and the v5 windowed/auth forms alike).
 fn corpus() -> Vec<String> {
     let grid = ScenarioRegistry::reduced().scenarios();
     let sc = &grid[0];
+    let scenario_json = || Json::parse(&encode_scenario(sc)).unwrap();
     let result = &SweepRunner::new().with_workers(1).run(&grid[..1])[0];
     let payload = Json::parse(&encode_sweep_result(result)).unwrap();
     vec![
         encode_scenario(sc),
         encode_sweep_result(result),
-        encode_msg(&WireMsg::Hello { worker: "prop-worker".to_string() }),
-        encode_msg(&WireMsg::Claim),
-        encode_msg(&WireMsg::Task {
-            index: 7,
-            scenario: Json::parse(&encode_scenario(sc)).unwrap(),
+        encode_msg(&WireMsg::Hello {
+            worker: "prop-worker".to_string(),
+            threads: 4,
+            engine_shards: 2,
         }),
+        encode_msg(&WireMsg::Claim),
+        encode_msg(&WireMsg::ClaimN { max: 8, holding: vec![3, 11, u64::MAX] }),
+        encode_msg(&WireMsg::Task { index: 7, scenario: scenario_json() }),
+        encode_msg(&WireMsg::TaskBatch { tasks: vec![(7, scenario_json()), (9, scenario_json())] }),
+        encode_msg(&WireMsg::TaskBatch { tasks: vec![] }),
+        encode_msg(&WireMsg::AuthChallenge { nonce: 0x5EED_CAFE_1234_5678 }),
+        encode_msg(&WireMsg::AuthProof { mac: "ab".repeat(32) }),
+        encode_msg(&WireMsg::Reject { reason: "bad auth token".to_string() }),
         encode_msg(&WireMsg::Result { index: 7, sum: 0xDEAD_BEEF, payload }),
         encode_msg(&WireMsg::Heartbeat { inflight: Some(3) }),
         encode_msg(&WireMsg::Drain),
@@ -59,7 +68,7 @@ proptest! {
     /// well-formed protocol message (the framing layer relies on this:
     /// a cut-short body surfaces as an error, not a silent half-task).
     #[test]
-    fn truncations_at_every_offset_are_structured_errors(which in 0usize..9, cut in 0usize..4096) {
+    fn truncations_at_every_offset_are_structured_errors(which in 0usize..15, cut in 0usize..4096) {
         let corpus = corpus();
         let text = &corpus[which % corpus.len()];
         let cut = cut % text.len();
@@ -78,7 +87,7 @@ proptest! {
     /// (Mutations that break UTF-8 are exercised at the framing layer
     /// below, where raw bytes arrive before any `str` exists.)
     #[test]
-    fn single_bit_flips_never_panic(which in 0usize..9, byte in 0usize..4096, bit in 0u32..8) {
+    fn single_bit_flips_never_panic(which in 0usize..15, byte in 0usize..4096, bit in 0u32..8) {
         let corpus = corpus();
         let mut bytes = corpus[which % corpus.len()].clone().into_bytes();
         let i = byte % bytes.len();
@@ -172,6 +181,42 @@ fn deeply_nested_payloads_are_depth_errors_not_stack_overflows() {
         framed.extend_from_slice(text.as_bytes());
         assert!(matches!(read_frame(&mut Cursor::new(framed)), Err(FrameError::Codec(_))));
     }
+}
+
+#[test]
+fn batch_size_extremes_round_trip_and_fail_cleanly_when_cut() {
+    // A zero-length batch is a legal nudge frame, not an error.
+    let empty = encode_msg(&WireMsg::TaskBatch { tasks: vec![] });
+    match decode_msg(&empty) {
+        Ok(WireMsg::TaskBatch { tasks }) => assert!(tasks.is_empty()),
+        other => panic!("empty batch gave {other:?}"),
+    }
+
+    // A 65,536-element batch round-trips intact: every index survives,
+    // in order, with its payload. (Indices are encoded as decimal
+    // strings, so large values are exact.)
+    let tasks: Vec<(u64, Json)> =
+        (0..65_536u64).map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15), Json::Null)).collect();
+    let text = encode_msg(&WireMsg::TaskBatch { tasks: tasks.clone() });
+    match decode_msg(&text) {
+        Ok(WireMsg::TaskBatch { tasks: back }) => assert_eq!(back, tasks),
+        other => panic!("65k batch failed to decode: {other:?}"),
+    }
+
+    // The same giant batch cut anywhere short of its full length is a
+    // structured error, never a partial batch: a truncated frame body
+    // must not surface as a shorter-but-plausible task list.
+    for cut in [1, text.len() / 2, text.len() - 1] {
+        if let Some(prefix) = text.get(..cut) {
+            assert!(decode_msg(prefix).is_err(), "a cut batch decoded at offset {cut}");
+        }
+    }
+    // And through the framing layer: a frame whose length prefix claims
+    // the full body but delivers half of it is an Io error.
+    let body = text.as_bytes();
+    let mut framed = (body.len() as u32).to_be_bytes().to_vec();
+    framed.extend_from_slice(&body[..body.len() / 2]);
+    assert!(matches!(read_frame(&mut Cursor::new(framed)), Err(FrameError::Io(_))));
 }
 
 #[test]
