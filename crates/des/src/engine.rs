@@ -65,7 +65,7 @@
 //! component whose flow set changes by ±k flows per timestamp. Everything
 //! else runs the allocation-free [`SolveScratch`] solver.
 
-use crate::eventlist::{CompletionEntry, EventList};
+use crate::eventlist::{CompletionEntry, EventList, EventListBackend};
 use crate::flow::{FlowSpec, FlowState, FlowStatus};
 use crate::ids::{FlowId, ResourceId, Tag, TimerId};
 use crate::resource::ResourceSpec;
@@ -253,10 +253,30 @@ impl Engine {
         self.time
     }
 
-    /// Engine statistics so far.
+    /// Engine statistics so far. The event-queue counters (pushes, pops,
+    /// stale drops, calendar resizes/overflow hits) are merged in from
+    /// the completion list and the timer queue at read time.
     #[inline]
     pub fn stats(&self) -> Stats {
-        self.stats
+        let mut s = self.stats;
+        let c = self.completions.counters();
+        let (t, timer_stale) = self.timers.counters();
+        s.event_pushes = c.pushes + t.pushes;
+        s.event_pops = c.pops + t.pops;
+        s.event_stale_drops += timer_stale;
+        s.calendar_resizes = c.resizes + t.resizes;
+        s.calendar_overflow_hits = c.overflow_hits + t.overflow_hits;
+        s
+    }
+
+    /// Select the backing store of both event queues (completion list and
+    /// timers). Live entries migrate and pop order is backend-invariant
+    /// (see [`EventListBackend`]), so this only affects timing and the
+    /// calendar counters; callers normally set it right after
+    /// construction or [`Engine::reset`].
+    pub fn set_event_list_backend(&mut self, backend: EventListBackend) {
+        self.completions.set_backend(backend);
+        self.timers.set_backend(backend);
     }
 
     /// Clear all simulation state — flows, timers, resources, clock, and
@@ -531,6 +551,7 @@ impl Engine {
                         break e.time;
                     }
                     self.completions.pop();
+                    self.stats.event_stale_drops += 1;
                 }
             }
         };
@@ -619,6 +640,7 @@ impl Engine {
                             break e.time;
                         }
                         self.completions.pop();
+                        self.stats.event_stale_drops += 1;
                     }
                 }
             };
@@ -683,6 +705,8 @@ impl Engine {
                         let tag = self.complete_flow(e.flow, t);
                         self.pending_events.push(Event::FlowCompleted { flow: e.flow, tag });
                         extra += 1;
+                    } else {
+                        self.stats.event_stale_drops += 1;
                     }
                 }
                 if extra > 0 {
@@ -2038,5 +2062,78 @@ mod tests {
         let mut e = Engine::new();
         e.set_timer(1.0, Tag(1));
         e.advance_clock(1.5);
+    }
+
+    #[test]
+    fn event_queue_counters_track_pushes_pops_and_stale_drops() {
+        let mut e = Engine::new();
+        let r = e.add_resource(ResourceSpec::constant(10.0));
+        // Two flows share, so B's completion causes a rate change for A:
+        // A gets a second (stale-making) completion entry.
+        e.start_flow(FlowSpec::new(100.0, &[r], Tag(0xA)));
+        e.start_flow(FlowSpec::new(50.0, &[r], Tag(0xB)));
+        let t = e.set_timer(1.0, Tag(9));
+        e.cancel_timer(t);
+        e.drain();
+        let s = e.stats();
+        assert!(s.event_pushes >= 4, "3 completion entries + 1 timer: {s:?}");
+        assert_eq!(s.event_pops, s.event_pushes, "a drained engine pops everything it pushed");
+        assert!(s.event_stale_drops >= 2, "A's first entry + cancelled timer: {s:?}");
+        assert_eq!(s.calendar_resizes, 0, "heap backend never resizes");
+        assert_eq!(s.calendar_overflow_hits, 0);
+    }
+
+    #[test]
+    fn reset_clears_event_queue_counters() {
+        let mut e = Engine::new();
+        let r = e.add_resource(ResourceSpec::constant(10.0));
+        e.start_flow(FlowSpec::new(10.0, &[r], Tag(1)));
+        e.drain();
+        assert!(e.stats().event_pushes > 0);
+        e.reset();
+        let s = e.stats();
+        assert_eq!((s.event_pushes, s.event_pops, s.event_stale_drops), (0, 0, 0));
+    }
+
+    /// Whole-engine differential oracle: the same chunk-pipelined,
+    /// timer-heavy schedule must produce the identical event sequence,
+    /// timestamps, and rates on every backend.
+    #[test]
+    fn backends_deliver_identical_event_sequences() {
+        fn run(backend: EventListBackend) -> Vec<(u64, u64)> {
+            let mut e = Engine::new();
+            e.set_event_list_backend(backend);
+            let shared = e.add_resource(ResourceSpec::constant(100.0));
+            let spare = e.add_resource(ResourceSpec::constant(40.0));
+            for i in 0..40u64 {
+                let route: &[ResourceId] = if i % 3 == 0 { &[shared, spare] } else { &[shared] };
+                let mut spec = FlowSpec::new(50.0 + (i % 7) as f64 * 12.5, route, Tag(i));
+                if i % 4 == 1 {
+                    spec = spec.with_latency(0.25 * (i % 5) as f64);
+                }
+                if i % 5 == 2 {
+                    spec = spec.with_cap(6.0);
+                }
+                e.start_flow(spec);
+            }
+            for i in 0..10u64 {
+                e.set_timer(0.375 * i as f64, Tag(1000 + i));
+            }
+            let mut log = Vec::new();
+            while let Some(ev) = e.next() {
+                log.push((ev.tag().0, e.now().to_bits()));
+                // Reissue work on some completions to recycle flow slots.
+                if let Event::FlowCompleted { tag, .. } = ev {
+                    if tag.0 % 6 == 0 && tag.0 < 60 {
+                        e.start_flow(FlowSpec::new(30.0, &[shared], Tag(tag.0 + 100)));
+                    }
+                }
+            }
+            log.push((u64::MAX, e.now().to_bits()));
+            log
+        }
+        let heap = run(EventListBackend::Heap);
+        assert_eq!(heap, run(EventListBackend::Calendar), "calendar diverged");
+        assert_eq!(heap, run(EventListBackend::Auto), "auto diverged");
     }
 }

@@ -1,25 +1,110 @@
-//! The completion event list.
+//! The event queues: completion list and timer backing store.
 //!
-//! The engine pushes one entry per rate assignment and pops the earliest
-//! at each step — hundreds of thousands of push/pop pairs per simulation,
-//! the single hottest data structure in the kernel. Entries order by
-//! `(time, flow)`: simultaneous completions pop in id order, which is
-//! deterministic but — since ids pack the slot generation in their high
-//! bits — no longer the flow *start* order once slots recycle. The `Ord`
-//! is written inverted (min-first) so the structure needs no `Reverse`
-//! wrapper on the hot path.
+//! The engine pushes one completion entry per rate assignment and pops the
+//! earliest at each step — hundreds of thousands of push/pop pairs per
+//! simulation, the single hottest data structure in the kernel. Entries
+//! order by `(time, flow, epoch)`: simultaneous completions pop in id
+//! order, which is deterministic but — since ids pack the slot generation
+//! in their high bits — no longer the flow *start* order once slots
+//! recycle. The `Ord` is written inverted (min-first) so no structure
+//! needs `Reverse` wrappers on the hot path.
 //!
-//! The backing store is `std`'s binary heap: a hand-rolled 4-ary d-heap
-//! was benchmarked against it on the CMS chunk-stream workload and lost
-//! by ~30% (std's hole-based sift loops are extremely well tuned), so the
-//! wrapper deliberately stays thin. Keeping the type behind this module
-//! boundary is what made that experiment a five-line swap.
+//! ## Backends
+//!
+//! The backing store is a two-backend [`EventQueue`]:
+//!
+//! * **Heap** — `std`'s binary heap, the default and the differential
+//!   oracle. A hand-rolled 4-ary d-heap was benchmarked against it on the
+//!   CMS chunk-stream workload and lost by ~30% (std's hole-based sift
+//!   loops are extremely well tuned), and so did a *naive* fixed-width
+//!   calendar queue; keeping the type behind this module boundary is what
+//!   made those experiments five-line swaps.
+//! * **Calendar** — a Brown-style calendar queue whose bucket width is
+//!   retuned from sampled inter-event gaps on every resize and whose
+//!   day length doubles/halves on population thresholds. O(1) amortized
+//!   push/pop when the width matches the event density, which is the
+//!   steady-state serving regime (large, slowly-drifting event
+//!   populations) the heap's O(log n) sift starts to feel.
+//! * **Auto** — starts on the heap and migrates to the calendar when the
+//!   live population crosses a high-water mark, so short runs keep the
+//!   heap's low constants and long steady-state runs get the calendar.
+//!
+//! Pops are **order-identical** across backends: the entry `Ord` is a
+//! total order, equal times always hash to the same calendar bucket, and
+//! each bucket is kept sorted by the same `Ord` — so every trace hash in
+//! the repo is invariant under the backend choice (pinned by the
+//! differential oracle in this module's tests and by
+//! `tests/eventlist_backends.rs`).
 
 use crate::ids::FlowId;
 
+/// Which backing store the engine's event queues (completions *and*
+/// timers) use. Selected per run via `SimConfig` / `exp sweep
+/// --event-list`; the default heap is the differential oracle every other
+/// backend must match pop-for-pop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EventListBackend {
+    /// `std::collections::BinaryHeap` (default; the oracle).
+    #[default]
+    Heap,
+    /// Auto-tuned Brown-style calendar queue.
+    Calendar,
+    /// Heap until the live population crosses a high-water mark, then
+    /// calendar.
+    Auto,
+}
+
+impl EventListBackend {
+    /// Stable lowercase label (codec / CLI / CSV form).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventListBackend::Heap => "heap",
+            EventListBackend::Calendar => "calendar",
+            EventListBackend::Auto => "auto",
+        }
+    }
+}
+
+impl std::str::FromStr for EventListBackend {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "heap" => Ok(EventListBackend::Heap),
+            "calendar" => Ok(EventListBackend::Calendar),
+            "auto" => Ok(EventListBackend::Auto),
+            other => Err(format!("unknown event-list backend '{other}' (heap|calendar|auto)")),
+        }
+    }
+}
+
+impl std::fmt::Display for EventListBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Live population at which an [`EventListBackend::Auto`] queue migrates
+/// from the heap to the calendar. Complete-mode scenarios (a few hundred
+/// live flows/timers at most) stay on the heap; multi-day horizon runs
+/// that schedule thousands of release timers cross it immediately.
+pub(crate) const AUTO_HIGH_WATER: usize = 512;
+
+/// An entry the queues can hold. `Ord` must be a **total order written
+/// inverted** (the earliest entry compares greatest) so a plain std
+/// max-heap pops min-first; the calendar relies on the same inversion to
+/// keep each bucket's earliest entry at the `Vec` tail.
+pub(crate) trait EventKey: Ord + Copy {
+    /// The entry's absolute simulated time (the bucket-mapping key).
+    fn time(&self) -> f64;
+}
+
 /// A scheduled completion. Stale entries (the flow completed, was
 /// cancelled, or changed rate since the push) are detected by the epoch
-/// stamp and dropped on pop; the epoch does not participate in ordering.
+/// stamp and dropped on pop. The epoch participates as the *last*
+/// tie-break only so the order is total (a flow reschedule may leave two
+/// entries at identical `(time, flow)`); both orderings of such a pair
+/// are consumed by the same skim loop, but the calendar/heap oracle wants
+/// bit-identical pop sequences, not merely equivalent ones.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct CompletionEntry {
     pub time: f64,
@@ -29,7 +114,7 @@ pub(crate) struct CompletionEntry {
 
 impl PartialEq for CompletionEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.flow == other.flow
+        self.time == other.time && self.flow == other.flow && self.epoch == other.epoch
     }
 }
 impl Eq for CompletionEntry {}
@@ -42,40 +127,370 @@ impl Ord for CompletionEntry {
     /// Inverted: the *earliest* entry is the maximum, so a plain max-heap
     /// pops min-first without `Reverse` wrappers.
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        other.time.total_cmp(&self.time).then_with(|| other.flow.cmp(&self.flow))
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.flow.cmp(&self.flow))
+            .then_with(|| other.epoch.cmp(&self.epoch))
     }
 }
 
-/// Min-first event list over completion entries.
-#[derive(Debug, Default)]
-pub(crate) struct EventList {
-    heap: std::collections::BinaryHeap<CompletionEntry>,
+impl EventKey for CompletionEntry {
+    #[inline]
+    fn time(&self) -> f64 {
+        self.time
+    }
 }
 
-impl EventList {
-    /// Drop all entries, keeping the allocation.
+/// Operation counters a queue accumulates; merged into [`crate::Stats`]
+/// by the engine (completions + timers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct QueueCounters {
+    /// Entries pushed.
+    pub pushes: u64,
+    /// Entries popped (including entries the caller then drops as stale).
+    pub pops: u64,
+    /// Calendar resizes: day doubling/halving, width retunes, and the
+    /// auto backend's heap→calendar migration.
+    pub resizes: u64,
+    /// Fruitless full-day calendar scans that fell back to a direct
+    /// search over every bucket (the "overflow bucket" pathology a
+    /// fixed-width calendar suffers; retuning keeps this near zero).
+    pub overflow_hits: u64,
+}
+
+/// Smallest calendar day (bucket count); always a power of two.
+const MIN_BUCKETS: usize = 16;
+/// Head-of-queue events sampled to estimate the inter-event gap on retune.
+const WIDTH_SAMPLE: usize = 25;
+
+/// Brown-style calendar queue. Each bucket is kept sorted by the inverted
+/// entry `Ord` (earliest at the `Vec` tail), so the per-bucket minimum
+/// pops in O(1) and ties inside a bucket break exactly like the heap.
+///
+/// Bucket mapping is by **virtual bucket number** `floor(time / width)`
+/// (physical index = virtual & mask). The dequeue scan walks virtual
+/// buckets from the cursor and compares virtual bucket numbers — never
+/// rounded window edges — so the scan can neither skip nor double-visit
+/// an event regardless of floating-point rounding: equal times share a
+/// bucket, and all events of virtual bucket `v` sort strictly before all
+/// events of `v' > v`.
+#[derive(Debug)]
+struct Calendar<T> {
+    buckets: Vec<Vec<T>>,
+    /// `buckets.len() - 1`; the bucket count is a power of two.
+    mask: usize,
+    /// Bucket width in simulated seconds (> 0, finite).
+    width: f64,
+    len: usize,
+    /// Scan cursor: no live entry has a virtual bucket below this.
+    cur_vb: i64,
+    /// Memoized physical bucket holding the current minimum (set by a
+    /// successful scan, invalidated by any push/pop).
+    min_memo: Option<usize>,
+    /// Scratch for resize/migration (kept allocated).
+    scratch: Vec<T>,
+    sample: Vec<f64>,
+}
+
+impl<T: EventKey> Default for Calendar<T> {
+    fn default() -> Self {
+        Calendar {
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            mask: MIN_BUCKETS - 1,
+            width: 1.0,
+            len: 0,
+            cur_vb: i64::MIN,
+            min_memo: None,
+            scratch: Vec::new(),
+            sample: Vec::new(),
+        }
+    }
+}
+
+impl<T: EventKey> Calendar<T> {
+    /// Drop all entries, keeping every bucket allocation.
+    fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.len = 0;
+        self.cur_vb = i64::MIN;
+        self.min_memo = None;
+    }
+
+    /// Virtual bucket of a timestamp. The float→int cast saturates, so
+    /// times beyond the representable range all collapse into one bucket
+    /// — still correct (in-bucket order is the full `Ord`), just slower.
+    #[inline]
+    fn virtual_bucket(&self, t: f64) -> i64 {
+        (t / self.width).floor() as i64
+    }
+
+    fn push(&mut self, e: T, counters: &mut QueueCounters) {
+        let vb = self.virtual_bucket(e.time());
+        let b = (vb as usize) & self.mask;
+        // Inverted Ord: ascending sort order is descending time, so the
+        // earliest entry lands at the tail. The order is total, so only
+        // `Err` positions occur in practice.
+        let pos = match self.buckets[b].binary_search(&e) {
+            Ok(p) | Err(p) => p,
+        };
+        self.buckets[b].insert(pos, e);
+        self.len += 1;
+        self.min_memo = None;
+        if vb < self.cur_vb || self.len == 1 {
+            self.cur_vb = vb;
+        }
+        if self.len > 2 * self.buckets.len() {
+            self.resize(self.buckets.len() * 2, counters);
+        }
+    }
+
+    #[inline]
+    fn peek(&mut self, counters: &mut QueueCounters) -> Option<&T> {
+        if self.len == 0 {
+            return None;
+        }
+        let b = self.find_min_bucket(counters);
+        self.buckets[b].last()
+    }
+
+    fn pop(&mut self, counters: &mut QueueCounters) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        let b = self.find_min_bucket(counters);
+        let e = self.buckets[b].pop().expect("min bucket is non-empty");
+        self.len -= 1;
+        self.min_memo = None;
+        self.cur_vb = self.virtual_bucket(e.time());
+        if self.len < self.buckets.len() / 2 && self.buckets.len() > MIN_BUCKETS {
+            self.resize(self.buckets.len() / 2, counters);
+        }
+        Some(e)
+    }
+
+    /// Physical bucket holding the global minimum entry (`len > 0`).
+    ///
+    /// Walks virtual buckets from the cursor for one full day. A bucket
+    /// tail qualifies iff its virtual bucket number equals the one under
+    /// scan — the first qualifying tail is the entry with the globally
+    /// smallest virtual bucket, and within a virtual bucket the tail *is*
+    /// the `Ord` minimum. A fruitless full-day scan (population spread
+    /// over more than one day — the overflow pathology) falls back to a
+    /// direct search over all bucket tails.
+    fn find_min_bucket(&mut self, counters: &mut QueueCounters) -> usize {
+        if let Some(b) = self.min_memo {
+            return b;
+        }
+        let n = self.buckets.len();
+        for k in 0..n {
+            let vb = self.cur_vb.saturating_add(k as i64);
+            let b = (vb as usize) & self.mask;
+            if let Some(e) = self.buckets[b].last() {
+                if self.virtual_bucket(e.time()) == vb {
+                    self.cur_vb = vb;
+                    self.min_memo = Some(b);
+                    return b;
+                }
+            }
+        }
+        counters.overflow_hits += 1;
+        let mut best: Option<usize> = None;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            if let Some(e) = bucket.last() {
+                // Inverted Ord: greater = earlier.
+                if best.is_none_or(|bb| *e > *self.buckets[bb].last().expect("non-empty")) {
+                    best = Some(i);
+                }
+            }
+        }
+        let b = best.expect("len > 0");
+        self.cur_vb = self.virtual_bucket(self.buckets[b].last().expect("non-empty").time());
+        self.min_memo = Some(b);
+        b
+    }
+
+    /// Rebuild with `new_n` buckets, retuning the width from the sampled
+    /// inter-event gap near the head of the queue (Brown's rule): the
+    /// day only works when a bucket holds O(1) events of the *current*
+    /// serving regime, and the head density is what the next pops see.
+    fn resize(&mut self, new_n: usize, counters: &mut QueueCounters) {
+        counters.resizes += 1;
+        self.scratch.clear();
+        for b in &mut self.buckets {
+            self.scratch.append(b);
+        }
+        self.retune_width();
+        if new_n > self.buckets.len() {
+            self.buckets.resize_with(new_n, Vec::new);
+        } else {
+            self.buckets.truncate(new_n);
+        }
+        self.mask = new_n - 1;
+        self.len = 0;
+        self.min_memo = None;
+        let mut min_vb = i64::MAX;
+        let mut events = std::mem::take(&mut self.scratch);
+        for e in events.drain(..) {
+            let vb = self.virtual_bucket(e.time());
+            min_vb = min_vb.min(vb);
+            let b = (vb as usize) & self.mask;
+            let pos = match self.buckets[b].binary_search(&e) {
+                Ok(p) | Err(p) => p,
+            };
+            self.buckets[b].insert(pos, e);
+            self.len += 1;
+        }
+        self.scratch = events;
+        self.cur_vb = min_vb;
+    }
+
+    /// Estimate a new bucket width: select the `WIDTH_SAMPLE` earliest
+    /// entries in `scratch`, average their adjacent distinct gaps, and
+    /// spread a few events per bucket. Degenerate samples (all ties, or
+    /// fewer than two distinct times) keep the current width.
+    fn retune_width(&mut self) {
+        self.sample.clear();
+        self.sample.extend(self.scratch.iter().map(|e| e.time()));
+        let k = WIDTH_SAMPLE.min(self.sample.len());
+        if k < 2 {
+            return;
+        }
+        if k < self.sample.len() {
+            self.sample.select_nth_unstable_by(k - 1, f64::total_cmp);
+            self.sample.truncate(k);
+        }
+        self.sample.sort_unstable_by(f64::total_cmp);
+        let mut gap_sum = 0.0;
+        let mut gaps = 0u32;
+        for w in self.sample.windows(2) {
+            if w[1] > w[0] {
+                gap_sum += w[1] - w[0];
+                gaps += 1;
+            }
+        }
+        if gaps == 0 {
+            return;
+        }
+        let w = 3.0 * (gap_sum / f64::from(gaps));
+        if w.is_finite() && w > 0.0 {
+            self.width = w;
+        }
+    }
+}
+
+/// Min-first event queue with a selectable backend. Both the heap and
+/// calendar structures are kept allocated for the queue's lifetime, so
+/// [`EventQueue::clear`] (and the auto backend's migration) never
+/// re-allocates across `Engine::reset` reuse.
+#[derive(Debug)]
+pub(crate) struct EventQueue<T: EventKey> {
+    policy: EventListBackend,
+    /// Whether the calendar is the live structure right now.
+    on_calendar: bool,
+    heap: std::collections::BinaryHeap<T>,
+    cal: Calendar<T>,
+    counters: QueueCounters,
+}
+
+impl<T: EventKey> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::with_backend(EventListBackend::default())
+    }
+}
+
+impl<T: EventKey> EventQueue<T> {
+    pub fn with_backend(policy: EventListBackend) -> Self {
+        EventQueue {
+            policy,
+            on_calendar: policy == EventListBackend::Calendar,
+            heap: std::collections::BinaryHeap::new(),
+            cal: Calendar::default(),
+            counters: QueueCounters::default(),
+        }
+    }
+
+    /// Switch the backend policy, migrating any live entries. Pop order
+    /// is backend-invariant, so this is observable only through timing
+    /// and the calendar counters.
+    pub fn set_backend(&mut self, policy: EventListBackend) {
+        self.policy = policy;
+        let want_cal = policy == EventListBackend::Calendar;
+        if self.on_calendar != want_cal {
+            let mut scratch_counters = QueueCounters::default();
+            if want_cal {
+                for e in std::mem::take(&mut self.heap) {
+                    self.cal.push(e, &mut scratch_counters);
+                }
+            } else {
+                while let Some(e) = self.cal.pop(&mut scratch_counters) {
+                    self.heap.push(e);
+                }
+                self.cal.clear();
+            }
+            self.on_calendar = want_cal;
+        }
+    }
+
+    /// Drop all entries and counters, keeping allocations (including the
+    /// inactive backend's). An auto queue reverts to the heap so reused
+    /// engines replay the migration deterministically.
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.cal.clear();
+        self.on_calendar = self.policy == EventListBackend::Calendar;
+        self.counters = QueueCounters::default();
+    }
+
+    /// Operation counters accumulated since the last [`EventQueue::clear`].
+    #[inline]
+    pub fn counters(&self) -> QueueCounters {
+        self.counters
     }
 
     /// Earliest entry, if any.
     #[inline]
-    pub fn peek(&self) -> Option<&CompletionEntry> {
-        self.heap.peek()
+    pub fn peek(&mut self) -> Option<&T> {
+        if self.on_calendar {
+            self.cal.peek(&mut self.counters)
+        } else {
+            self.heap.peek()
+        }
     }
 
     /// Insert an entry.
     #[inline]
-    pub fn push(&mut self, e: CompletionEntry) {
-        self.heap.push(e);
+    pub fn push(&mut self, e: T) {
+        self.counters.pushes += 1;
+        if self.on_calendar {
+            self.cal.push(e, &mut self.counters);
+        } else {
+            self.heap.push(e);
+            if self.policy == EventListBackend::Auto && self.heap.len() > AUTO_HIGH_WATER {
+                self.counters.resizes += 1;
+                for ev in std::mem::take(&mut self.heap) {
+                    self.cal.push(ev, &mut self.counters);
+                }
+                self.on_calendar = true;
+            }
+        }
     }
 
     /// Remove and return the earliest entry.
     #[inline]
-    pub fn pop(&mut self) -> Option<CompletionEntry> {
-        self.heap.pop()
+    pub fn pop(&mut self) -> Option<T> {
+        let e = if self.on_calendar { self.cal.pop(&mut self.counters) } else { self.heap.pop() };
+        if e.is_some() {
+            self.counters.pops += 1;
+        }
+        e
     }
 }
+
+/// Min-first event list over completion entries.
+pub(crate) type EventList = EventQueue<CompletionEntry>;
 
 #[cfg(test)]
 mod tests {
@@ -85,72 +500,272 @@ mod tests {
         CompletionEntry { time, flow: FlowId(flow), epoch: 0 }
     }
 
+    fn backends() -> [EventListBackend; 3] {
+        [EventListBackend::Heap, EventListBackend::Calendar, EventListBackend::Auto]
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventList::default();
-        for (t, f) in [(3.0, 0), (1.0, 1), (2.0, 2), (0.5, 3), (2.5, 4)] {
-            q.push(entry(t, f));
+        for b in backends() {
+            let mut q = EventList::with_backend(b);
+            for (t, f) in [(3.0, 0), (1.0, 1), (2.0, 2), (0.5, 3), (2.5, 4)] {
+                q.push(entry(t, f));
+            }
+            let times: Vec<f64> = std::iter::from_fn(|| q.pop().map(|e| e.time)).collect();
+            assert_eq!(times, vec![0.5, 1.0, 2.0, 2.5, 3.0], "backend {b}");
         }
-        let times: Vec<f64> = std::iter::from_fn(|| q.pop().map(|e| e.time)).collect();
-        assert_eq!(times, vec![0.5, 1.0, 2.0, 2.5, 3.0]);
     }
 
     #[test]
     fn equal_times_pop_in_flow_order() {
-        let mut q = EventList::default();
-        for f in [5u64, 1, 9, 3, 7] {
-            q.push(entry(1.0, f));
+        for b in backends() {
+            let mut q = EventList::with_backend(b);
+            for f in [5u64, 1, 9, 3, 7] {
+                q.push(entry(1.0, f));
+            }
+            q.push(entry(0.5, 100));
+            let flows: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.flow.0)).collect();
+            assert_eq!(flows, vec![100, 1, 3, 5, 7, 9], "backend {b}");
         }
-        q.push(entry(0.5, 100));
-        let flows: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.flow.0)).collect();
-        assert_eq!(flows, vec![100, 1, 3, 5, 7, 9]);
     }
 
     #[test]
     fn interleaved_push_pop_is_total_ordered() {
         // Pseudo-random push/pop mix: every pop must be <= every entry
         // still in the list (with the (time, flow) order).
-        let mut q = EventList::default();
-        let mut x = 0x2545_f491u64;
-        let mut live = 0usize;
-        let mut last: Option<(f64, u64)> = None;
-        for step in 0..10_000u32 {
-            x ^= x << 13;
-            x ^= x >> 7;
-            x ^= x << 17;
-            if !x.is_multiple_of(3) || live == 0 {
-                let t = (x % 1000) as f64 / 7.0;
-                q.push(entry(t, u64::from(step)));
-                live += 1;
-                // A new earlier key may arrive after pops; reset the watermark.
-                if let Some(l) = last {
-                    if (t, u64::from(step)) < l {
-                        last = Some((t, u64::from(step)));
+        for backend in backends() {
+            let mut q = EventList::with_backend(backend);
+            let mut x = 0x2545_f491u64;
+            let mut live = 0usize;
+            let mut last: Option<(f64, u64)> = None;
+            for step in 0..10_000u32 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                if !x.is_multiple_of(3) || live == 0 {
+                    let t = (x % 1000) as f64 / 7.0;
+                    q.push(entry(t, u64::from(step)));
+                    live += 1;
+                    // A new earlier key may arrive after pops; reset the watermark.
+                    if let Some(l) = last {
+                        if (t, u64::from(step)) < l {
+                            last = Some((t, u64::from(step)));
+                        }
                     }
+                } else {
+                    let e = q.pop().expect("live entries remain");
+                    live -= 1;
+                    if let Some(l) = last {
+                        assert!((e.time, e.flow.0) >= l, "order violated on {backend}");
+                    }
+                    last = Some((e.time, e.flow.0));
                 }
-            } else {
-                let e = q.pop().expect("live entries remain");
-                live -= 1;
-                if let Some(l) = last {
-                    assert!((e.time, e.flow.0) >= l, "order violated");
-                }
-                last = Some((e.time, e.flow.0));
             }
-        }
-        let mut prev = f64::NEG_INFINITY;
-        while let Some(e) = q.pop() {
-            assert!(e.time >= prev);
-            prev = e.time;
+            let mut prev = f64::NEG_INFINITY;
+            while let Some(e) = q.pop() {
+                assert!(e.time >= prev);
+                prev = e.time;
+            }
         }
     }
 
     #[test]
     fn clear_keeps_working() {
-        let mut q = EventList::default();
-        q.push(entry(1.0, 1));
+        for b in backends() {
+            let mut q = EventList::with_backend(b);
+            q.push(entry(1.0, 1));
+            q.clear();
+            assert!(q.peek().is_none());
+            q.push(entry(2.0, 2));
+            assert_eq!(q.pop().unwrap().time, 2.0);
+        }
+    }
+
+    #[test]
+    fn auto_migrates_at_the_high_water_mark() {
+        let mut q = EventList::with_backend(EventListBackend::Auto);
+        for i in 0..(AUTO_HIGH_WATER as u64) {
+            q.push(entry(i as f64 * 0.25, i));
+        }
+        assert!(!q.on_calendar, "below the mark the heap serves");
+        assert_eq!(q.counters().resizes, 0);
+        q.push(entry(7.0, 9999));
+        assert!(q.on_calendar, "crossing the mark migrates to the calendar");
+        assert!(q.counters().resizes >= 1);
+        let mut prev = f64::NEG_INFINITY;
+        let mut n = 0;
+        while let Some(e) = q.pop() {
+            assert!(e.time >= prev);
+            prev = e.time;
+            n += 1;
+        }
+        assert_eq!(n, AUTO_HIGH_WATER + 1);
+    }
+
+    #[test]
+    fn auto_reverts_to_heap_on_clear() {
+        let mut q = EventList::with_backend(EventListBackend::Auto);
+        for i in 0..=(AUTO_HIGH_WATER as u64) {
+            q.push(entry(i as f64, i));
+        }
+        assert!(q.on_calendar);
         q.clear();
-        assert!(q.peek().is_none());
-        q.push(entry(2.0, 2));
-        assert_eq!(q.pop().unwrap().time, 2.0);
+        assert!(!q.on_calendar, "a cleared auto queue replays the migration");
+        assert_eq!(q.counters(), QueueCounters::default());
+    }
+
+    #[test]
+    fn set_backend_migrates_live_entries_both_ways() {
+        let mut q = EventList::with_backend(EventListBackend::Heap);
+        for (t, f) in [(3.0, 0), (1.0, 1), (1.0, 2), (0.25, 3)] {
+            q.push(entry(t, f));
+        }
+        q.set_backend(EventListBackend::Calendar);
+        assert_eq!(q.pop().unwrap().flow.0, 3);
+        q.set_backend(EventListBackend::Heap);
+        let flows: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.flow.0)).collect();
+        assert_eq!(flows, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn calendar_counts_pushes_pops_and_resizes() {
+        let mut q = EventList::with_backend(EventListBackend::Calendar);
+        // Enough entries to force several day doublings (> 2 * buckets).
+        for i in 0..200u64 {
+            q.push(entry((i % 37) as f64 * 0.5, i));
+        }
+        let c = q.counters();
+        assert_eq!(c.pushes, 200);
+        assert!(c.resizes >= 2, "200 entries over 16 starting buckets must grow: {c:?}");
+        while q.pop().is_some() {}
+        assert_eq!(q.counters().pops, 200);
+    }
+
+    #[test]
+    fn calendar_survives_widely_spread_times() {
+        // Times spanning many orders of magnitude exercise the fruitless
+        // full-day scan and its direct-search fallback.
+        let mut q = EventList::with_backend(EventListBackend::Calendar);
+        let times = [1e-6, 3.0, 4096.0, 2.5e7, 9.9e11, 0.125, 6e4];
+        for (i, &t) in times.iter().enumerate() {
+            q.push(entry(t, i as u64));
+        }
+        let mut sorted = times;
+        sorted.sort_unstable_by(f64::total_cmp);
+        let popped: Vec<f64> = std::iter::from_fn(|| q.pop().map(|e| e.time)).collect();
+        assert_eq!(popped, sorted);
+    }
+
+    /// Differential harness: feed the identical schedule of pushes and
+    /// pops to a heap-backed and a calendar-backed queue and demand
+    /// bit-identical pop sequences (the property every trace hash in the
+    /// repo rests on). Exact-tie timestamps and recycled flow ids with
+    /// bumped generations are injected deliberately.
+    fn differential_schedule(seed: u64, steps: u32) {
+        let mut oracle = EventList::with_backend(EventListBackend::Heap);
+        let mut cal = EventList::with_backend(EventListBackend::Calendar);
+        let mut auto = EventList::with_backend(EventListBackend::Auto);
+        let mut x = seed | 1;
+        let mut live = 0usize;
+        for step in 0..steps {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if x % 5 < 3 || live == 0 {
+                // Coarse timestamp grid => plenty of exact ties; low flow
+                // ids recycle across generations like engine slots do.
+                let t = (x >> 8) % 64;
+                let slot = (x >> 20) % 24;
+                let generation = (x >> 40) % 4;
+                let e = CompletionEntry {
+                    time: t as f64 * 0.125,
+                    flow: FlowId((generation << 32) | slot),
+                    epoch: step % 7,
+                };
+                oracle.push(e);
+                cal.push(e);
+                auto.push(e);
+                live += 1;
+            } else {
+                let a = oracle.pop().expect("live entries");
+                let b = cal.pop().expect("live entries");
+                let c = auto.pop().expect("live entries");
+                assert_eq!(a, b, "calendar diverged from heap at step {step} (seed {seed:#x})");
+                assert_eq!(a, c, "auto diverged from heap at step {step} (seed {seed:#x})");
+                live -= 1;
+            }
+        }
+        loop {
+            let (a, b, c) = (oracle.pop(), cal.pop(), auto.pop());
+            assert_eq!(a, b);
+            assert_eq!(a, c);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn calendar_pops_bit_identical_to_heap() {
+        for seed in [0x9e37_79b9u64, 0xdead_beef, 0x5_ca1e, 0x0bad_cafe, 1, 0xffff_ffff] {
+            differential_schedule(seed, 4000);
+        }
+    }
+
+    mod oracle {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One schedule step: `Some` pushes an entry built from a coarse
+        /// time grid (deliberately tie-rich), a small slot pool recycled
+        /// across generations (like engine flow slots), and an epoch
+        /// stamp; `None` pops from every backend and compares.
+        fn schedule() -> impl Strategy<Value = Vec<Option<(u32, u32, u32, u32)>>> {
+            proptest::collection::vec(
+                proptest::option::of((0u32..96, 0u32..16, 0u32..4, 0u32..8)),
+                1..400,
+            )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// The heap is the oracle: calendar and auto must reproduce
+            /// its pop sequence bit-for-bit under any interleaving of
+            /// pushes and pops, exact-tie timestamps included.
+            #[test]
+            fn backends_pop_bit_identically(steps in schedule()) {
+                let mut heap = EventList::with_backend(EventListBackend::Heap);
+                let mut cal = EventList::with_backend(EventListBackend::Calendar);
+                let mut auto = EventList::with_backend(EventListBackend::Auto);
+                for (i, step) in steps.iter().enumerate() {
+                    match *step {
+                        Some((grid, slot, generation, epoch)) => {
+                            let e = CompletionEntry {
+                                time: f64::from(grid) * 0.0625,
+                                flow: FlowId((u64::from(generation) << 32) | u64::from(slot)),
+                                epoch,
+                            };
+                            heap.push(e);
+                            cal.push(e);
+                            auto.push(e);
+                        }
+                        None => {
+                            let a = heap.pop();
+                            prop_assert_eq!(a, cal.pop(), "calendar diverged at step {}", i);
+                            prop_assert_eq!(a, auto.pop(), "auto diverged at step {}", i);
+                        }
+                    }
+                }
+                loop {
+                    let a = heap.pop();
+                    prop_assert_eq!(a, cal.pop(), "calendar diverged in the drain");
+                    prop_assert_eq!(a, auto.pop(), "auto diverged in the drain");
+                    if a.is_none() {
+                        break;
+                    }
+                }
+            }
+        }
     }
 }

@@ -51,6 +51,7 @@ mod stats;
 mod timer;
 
 pub use engine::{Engine, Event};
+pub use eventlist::EventListBackend;
 pub use flow::{FlowSpec, FlowStatus};
 pub use ids::{FlowId, ResourceId, Tag, TimerId};
 pub use partition::{run_parallel, run_sequential, Envelope, Partition, SyncStats};

@@ -67,6 +67,21 @@ pub struct Stats {
     /// Membership-cache captures: BFS walks whose resource set was stored
     /// for subsequent solves of the same (stable) component.
     pub memb_cache_builds: u64,
+    /// Entries pushed onto the event queues (completion list + timers).
+    pub event_pushes: u64,
+    /// Entries popped off the event queues, including stale ones.
+    pub event_pops: u64,
+    /// Stale entries skimmed off on pop: completion entries whose epoch
+    /// no longer matched (the flow finished, was cancelled, or changed
+    /// rate since the push) plus cancelled/retired timer entries.
+    pub event_stale_drops: u64,
+    /// Calendar-queue resizes across both queues: day doubling/halving
+    /// with width retune, plus the auto backend's heap→calendar
+    /// migration.
+    pub calendar_resizes: u64,
+    /// Fruitless full-day calendar scans that fell back to a direct
+    /// search over every bucket (kept near zero by width retuning).
+    pub calendar_overflow_hits: u64,
 }
 
 impl Stats {

@@ -1,17 +1,17 @@
-//! Timer queue: a binary heap of (time, sequence) entries with lazy
-//! cancellation. Sequence numbers break ties deterministically so runs are
-//! reproducible regardless of allocation order.
+//! Timer queue: (time, sequence) entries with lazy cancellation, backed
+//! by the same two-backend [`EventQueue`] as the completion list (so the
+//! calendar backend covers both hot queues through one code path).
+//! Sequence numbers break ties deterministically so runs are reproducible
+//! regardless of allocation order.
 //!
 //! Cancellation is **generation-tagged**, not set-based: each timer owns a
-//! slot in a small generation array, heap entries carry the generation they
-//! were issued under, and cancelling bumps the slot's generation so the
-//! stale heap entry no longer matches. Popping therefore costs two array
+//! slot in a small generation array, queue entries carry the generation
+//! they were issued under, and cancelling bumps the slot's generation so
+//! the stale entry no longer matches. Popping therefore costs two array
 //! reads per entry — no hashing on the hot path, which matters for
 //! arrival-heavy scenarios that fire one release timer per job.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
+use crate::eventlist::{EventKey, EventListBackend, EventQueue, QueueCounters};
 use crate::ids::{FlowId, Tag, TimerId};
 
 /// What a timer does when it fires.
@@ -36,8 +36,9 @@ struct Entry {
     kind: TimerKind,
 }
 
-// Ordering for the max-heap (wrapped in Reverse for min-heap behaviour):
-// earlier time first, then lower sequence number.
+// Inverted ordering (earliest = greatest), as the shared queue requires:
+// earlier time first, then lower sequence number. `(time, seq)` is
+// already a total order — sequences are unique.
 impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
         self.seq == other.seq
@@ -51,23 +52,32 @@ impl PartialOrd for Entry {
 }
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time.total_cmp(&other.time).then_with(|| self.seq.cmp(&other.seq))
+        other.time.total_cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
-/// Min-heap of timers with generation-tagged lazy cancellation.
+impl EventKey for Entry {
+    #[inline]
+    fn time(&self) -> f64 {
+        self.time
+    }
+}
+
+/// Min-first timer queue with generation-tagged lazy cancellation.
 #[derive(Debug, Default)]
 pub(crate) struct TimerQueue {
-    heap: BinaryHeap<Reverse<Entry>>,
-    /// Current generation of each slot. A heap entry whose generation
+    queue: EventQueue<Entry>,
+    /// Current generation of each slot. A queue entry whose generation
     /// differs from its slot's current one is cancelled (or already
-    /// popped) and is dropped when it reaches the top.
+    /// popped) and is dropped when it reaches the front.
     slot_gen: Vec<u32>,
     /// Slots with no live entry, available for reuse. A slot becomes free
-    /// when its live entry pops or is cancelled; the stale heap entry (if
+    /// when its live entry pops or is cancelled; the stale queue entry (if
     /// any) is harmless because its generation no longer matches.
     free_slots: Vec<u32>,
     next_seq: u64,
+    /// Stale (cancelled/retired) entries dropped by the skim.
+    stale_drops: u64,
 }
 
 impl TimerQueue {
@@ -76,12 +86,24 @@ impl TimerQueue {
         Self::default()
     }
 
+    /// Select the backing store (see [`EventListBackend`]); live entries
+    /// migrate, so this is safe at any point.
+    pub fn set_backend(&mut self, backend: EventListBackend) {
+        self.queue.set_backend(backend);
+    }
+
+    /// Queue operation counters plus the stale-drop count.
+    pub fn counters(&self) -> (QueueCounters, u64) {
+        (self.queue.counters(), self.stale_drops)
+    }
+
     /// Drop every scheduled timer, keeping allocations. Every slot's
     /// generation is bumped, so stale [`TimerId`]s from before the clear
     /// can never cancel a new timer; sequence numbers keep increasing so
     /// tie-breaking stays globally consistent.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        self.queue.clear();
+        self.stale_drops = 0;
         self.free_slots.clear();
         for (slot, g) in self.slot_gen.iter_mut().enumerate() {
             *g = g.wrapping_add(1);
@@ -102,11 +124,11 @@ impl TimerQueue {
             }
         };
         let generation = self.slot_gen[slot as usize];
-        self.heap.push(Reverse(Entry { time, seq, slot, generation, kind }));
+        self.queue.push(Entry { time, seq, slot, generation, kind });
         TimerId::compose(slot, generation)
     }
 
-    /// Cancel a timer: bump its slot's generation so the heap entry goes
+    /// Cancel a timer: bump its slot's generation so the queue entry goes
     /// stale, and free the slot. Ids of already-fired (or already-
     /// cancelled) timers no longer match and are ignored.
     pub fn cancel(&mut self, id: TimerId) {
@@ -120,13 +142,13 @@ impl TimerQueue {
     /// Earliest pending (non-cancelled) fire time.
     pub fn peek_time(&mut self) -> Option<f64> {
         self.drop_stale();
-        self.heap.peek().map(|Reverse(e)| e.time)
+        self.queue.peek().map(|e| e.time)
     }
 
     /// Pop the earliest pending timer.
     pub fn pop(&mut self) -> Option<(TimerId, f64, TimerKind)> {
         self.drop_stale();
-        self.heap.pop().map(|Reverse(e)| {
+        self.queue.pop().map(|e| {
             self.retire(e.slot);
             (TimerId::compose(e.slot, e.generation), e.time, e.kind)
         })
@@ -138,11 +160,9 @@ impl TimerQueue {
     /// order of user timers interleaved among them.
     pub fn pop_activation_at(&mut self, time: f64) -> Option<FlowId> {
         self.drop_stale();
-        match self.heap.peek() {
-            Some(&Reverse(Entry { time: t, slot, kind: TimerKind::ActivateFlow(id), .. }))
-                if t == time =>
-            {
-                self.heap.pop();
+        match self.queue.peek() {
+            Some(&Entry { time: t, slot, kind: TimerKind::ActivateFlow(id), .. }) if t == time => {
+                self.queue.pop();
                 self.retire(slot);
                 Some(id)
             }
@@ -155,7 +175,7 @@ impl TimerQueue {
         self.peek_time().is_none()
     }
 
-    /// A live entry left the heap: retire its id and recycle the slot.
+    /// A live entry left the queue: retire its id and recycle the slot.
     #[inline]
     fn retire(&mut self, slot: u32) {
         self.slot_gen[slot as usize] = self.slot_gen[slot as usize].wrapping_add(1);
@@ -164,11 +184,12 @@ impl TimerQueue {
 
     #[inline]
     fn drop_stale(&mut self) {
-        while let Some(Reverse(e)) = self.heap.peek() {
+        while let Some(e) = self.queue.peek() {
             if self.slot_gen[e.slot as usize] == e.generation {
                 break;
             }
-            self.heap.pop();
+            self.queue.pop();
+            self.stale_drops += 1;
         }
     }
 }
@@ -207,6 +228,7 @@ mod tests {
         assert_eq!(t, 2.0);
         assert_eq!(kind, TimerKind::User(Tag(2)));
         assert!(q.is_empty());
+        assert_eq!(q.counters().1, 1, "one stale entry was skimmed");
     }
 
     #[test]
@@ -232,7 +254,7 @@ mod tests {
         let mut q = TimerQueue::new();
         let a = q.schedule(5.0, TimerKind::User(Tag(1)));
         q.cancel(a);
-        // b reuses a's slot while a's stale entry still sits in the heap.
+        // b reuses a's slot while a's stale entry still sits in the queue.
         let b = q.schedule(1.0, TimerKind::User(Tag(2)));
         let (id, t, _) = q.pop().unwrap();
         assert_eq!((id, t), (b, 1.0));
@@ -259,5 +281,20 @@ mod tests {
         let b = q.schedule(1.0, TimerKind::User(Tag(2)));
         q.cancel(a); // stale: must not touch b even if the slot matches
         assert_eq!(q.pop().unwrap().0, b);
+    }
+
+    #[test]
+    fn calendar_backend_preserves_timer_semantics() {
+        for backend in [EventListBackend::Calendar, EventListBackend::Auto] {
+            let mut q = TimerQueue::new();
+            q.set_backend(backend);
+            let a = q.schedule(1.0, TimerKind::User(Tag(10)));
+            let b = q.schedule(1.0, TimerKind::User(Tag(20)));
+            let c = q.schedule(0.5, TimerKind::User(Tag(30)));
+            q.cancel(b);
+            assert_eq!(q.pop().unwrap().0, c);
+            assert_eq!(q.pop().unwrap().0, a);
+            assert!(q.is_empty());
+        }
     }
 }

@@ -72,6 +72,14 @@ pub struct Options {
     pub family: Option<String>,
     /// Calibration algorithm name for `calibrate`.
     pub algo: String,
+    /// `sweep --event-list heap|calendar|auto`: event-list backend
+    /// override. Pop order is identical across backends, so every trace
+    /// hash is too — this knob only moves wall time.
+    pub event_list: Option<simcal_sim::EventListBackend>,
+    /// `sweep --horizon SECS`: run each matching single-site scenario
+    /// open-loop to this horizon with streaming SLO percentiles instead
+    /// of to completion.
+    pub horizon: Option<f64>,
 }
 
 impl Options {
@@ -105,6 +113,8 @@ impl Options {
             auth_token: None,
             family: None,
             algo: "random".to_string(),
+            event_list: None,
+            horizon: None,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -187,6 +197,19 @@ impl Options {
                 }
                 "--family" => opts.family = Some(take("--family")?),
                 "--algo" => opts.algo = take("--algo")?,
+                "--event-list" => {
+                    opts.event_list = Some(
+                        take("--event-list")?.parse().map_err(|e| format!("--event-list: {e}"))?,
+                    )
+                }
+                "--horizon" => {
+                    let h: f64 =
+                        take("--horizon")?.parse().map_err(|e| format!("--horizon: {e}"))?;
+                    if !(h > 0.0 && h.is_finite()) {
+                        return Err("--horizon must be a positive number of seconds".to_string());
+                    }
+                    opts.horizon = Some(h);
+                }
                 cmd if opts.command.is_empty() && !cmd.starts_with('-') => {
                     opts.command = cmd.to_string()
                 }
@@ -306,6 +329,14 @@ Options:
   --engine-shards N             partitioned-DES shards per scenario (multi-site
                                 scenarios run one conservative shard per site
                                 group; traces are bit-identical at any N)
+  --event-list BACKEND          sweep event-list backend: heap, calendar, or
+                                auto (migrate to the calendar past 512 pending
+                                events); pop order — and so every trace hash —
+                                is identical across backends
+  --horizon SECS                sweep scenarios open-loop to this horizon with
+                                streaming P2 wait/slowdown percentiles and SLO
+                                attainment instead of running to completion
+                                (single-site scenarios only)
   --stall-timeout SECS          distributed sweep zero-progress window before
                                 orphaned claims are requeued (default 30);
                                 for TCP also the per-connection heartbeat
@@ -365,7 +396,7 @@ fn run_scenarios(opts: &Options) -> Result<(), String> {
     }
     let headers: Vec<String> = [
         "name", "family", "platform", "nodes", "cores", "jobs", "icd", "policy", "arrival",
-        "summary",
+        "horizon", "summary",
     ]
     .map(String::from)
     .to_vec();
@@ -393,6 +424,10 @@ fn run_scenarios(opts: &Options) -> Result<(), String> {
                 format!("{:.1}", sc.cache.icd),
                 sc.config.scheduler.label().to_string(),
                 arrival.to_string(),
+                match &sc.horizon {
+                    Some(h) => format!("{:.0}s", h.duration),
+                    None => "-".to_string(),
+                },
                 e.summary.clone(),
             ]
         })
@@ -409,9 +444,38 @@ fn run_scenarios(opts: &Options) -> Result<(), String> {
 fn run_sweep(opts: &Options) -> Result<(), String> {
     let reg = registry_for(opts);
     let pat = scenario_pattern(opts);
-    let grid: Vec<_> = reg.matching(pat).into_iter().map(|e| e.scenario.clone()).collect();
+    let mut grid: Vec<_> = reg.matching(pat).into_iter().map(|e| e.scenario.clone()).collect();
     if grid.is_empty() {
         return Err(format!("no scenario matches {pat:?}"));
+    }
+    if let Some(backend) = opts.event_list {
+        for sc in &mut grid {
+            sc.config.event_list = backend;
+        }
+    }
+    if let Some(dur) = opts.horizon {
+        // Horizon mode and the partitioned multi-site path are mutually
+        // exclusive (Scenario::validate enforces it); drop multi-site
+        // matches rather than panicking mid-sweep.
+        let before = grid.len();
+        grid.retain(|sc| sc.multisite.is_none());
+        if grid.len() < before {
+            eprintln!(
+                "[simcal-exp] --horizon skips {} multi-site scenario(s)",
+                before - grid.len()
+            );
+        }
+        if grid.is_empty() {
+            return Err("--horizon left no scenarios (all matches are multi-site)".to_string());
+        }
+        for sc in &mut grid {
+            let slo = sc.horizon.map(|h| h.slo_wait);
+            let mut h = simcal_sim::HorizonSpec::new(dur);
+            if let Some(slo) = slo {
+                h = h.with_slo_wait(slo);
+            }
+            sc.horizon = Some(h);
+        }
     }
     let t0 = Instant::now();
     let (results, mode) = if let Some(listen) = &opts.listen {
@@ -504,6 +568,10 @@ fn run_sweep(opts: &Options) -> Result<(), String> {
         "mean_job_s",
         "mean_wait_s",
         "max_wait_s",
+        "wait_p50_s",
+        "wait_p99_s",
+        "slowdown_p99",
+        "slo",
         "events",
         "trace_hash",
         "sim_wall_ms",
@@ -519,6 +587,10 @@ fn run_sweep(opts: &Options) -> Result<(), String> {
                 format!("{:.2}", r.mean_job_time),
                 format!("{:.2}", r.mean_queue_wait),
                 format!("{:.2}", r.max_queue_wait),
+                format!("{:.2}", r.wait_p50),
+                format!("{:.2}", r.wait_p99),
+                format!("{:.2}", r.slowdown_p99),
+                format!("{:.3}", r.slo_attained),
                 r.events.to_string(),
                 format!("{:016x}", r.trace_hash),
                 format!("{:.2}", r.wall_seconds * 1e3),
@@ -532,6 +604,18 @@ fn run_sweep(opts: &Options) -> Result<(), String> {
         wall,
         results.len() as f64 / wall
     );
+    // Event-queue health, summed over the sweep. Counters are only
+    // captured for in-process single-site runs (zero elsewhere), so the
+    // line stays quiet for distributed and multi-site-only sweeps.
+    let pushes: u64 = results.iter().map(|r| r.event_pushes).sum();
+    if pushes > 0 {
+        println!(
+            "event queue: {pushes} pushes, {} stale drops, {} calendar resizes, {} overflow hits",
+            results.iter().map(|r| r.event_stale_drops).sum::<u64>(),
+            results.iter().map(|r| r.calendar_resizes).sum::<u64>(),
+            results.iter().map(|r| r.calendar_overflow_hits).sum::<u64>(),
+        );
+    }
     if let Some(dir) = &opts.out {
         write_sweep_csv(&dir.join("sweep.csv"), &results)?;
     }
@@ -1221,9 +1305,11 @@ mod tests {
         let b = std::fs::read(out_dist.join("sweep.csv")).unwrap();
         assert_eq!(a, b, "distributed artifact must be byte-identical");
         let text = String::from_utf8(a).unwrap();
-        assert!(text.starts_with("# simcal sweep csv v2"), "schema comment present");
+        assert!(text.starts_with("# simcal sweep csv v3"), "schema comment present");
         assert!(text.lines().nth(1).unwrap().contains("trace_hash"));
         assert!(text.lines().nth(1).unwrap().contains("mean_wait_s"));
+        assert!(text.lines().nth(1).unwrap().contains("wait_p99_s"));
+        assert!(text.lines().nth(1).unwrap().contains("slo_attained"));
         std::fs::remove_dir_all(&base).ok();
     }
 
@@ -1265,6 +1351,54 @@ mod tests {
             assert!(wait > 0.0, "queue wait must be positive in {line:?}");
         }
         std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn event_list_and_horizon_flags_parse() {
+        let o = parse(&["sweep", "--reduced", "--event-list", "calendar"]).unwrap();
+        assert_eq!(o.event_list, Some(simcal_sim::EventListBackend::Calendar));
+        let o = parse(&["sweep", "--reduced", "--event-list", "auto", "--horizon", "90"]).unwrap();
+        assert_eq!(o.event_list, Some(simcal_sim::EventListBackend::Auto));
+        assert_eq!(o.horizon, Some(90.0));
+        assert!(parse(&["sweep", "--event-list", "btree"]).err().unwrap().contains("--event-list"));
+        assert!(parse(&["sweep", "--horizon", "-3"]).err().unwrap().contains("--horizon"));
+        assert!(parse(&["sweep", "--horizon", "nan"]).err().unwrap().contains("--horizon"));
+    }
+
+    #[test]
+    fn horizon_sweep_reports_streaming_percentiles() {
+        // `--horizon` runs the match open-loop: the steady family reports
+        // its streaming percentiles and SLO attainment through the CSV.
+        let base = std::env::temp_dir().join(format!("simcal-cli-horiz-{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+        let o = parse(&[
+            "sweep",
+            "arr*-poisson",
+            "--reduced",
+            "--horizon",
+            "60",
+            "--event-list",
+            "auto",
+            "--out",
+            base.to_str().unwrap(),
+        ])
+        .unwrap();
+        run_sweep(&o).unwrap();
+        let text = std::fs::read_to_string(base.join("sweep.csv")).unwrap();
+        let rows = simcal_study::sweep::parse_sweep_csv(&text).unwrap();
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert!(r.slo_attained >= 0.0 && r.slo_attained <= 1.0);
+        assert!(r.wait_p999 >= r.wait_p50 - 1e-9);
+        assert!(r.slowdown_p50 >= 1.0);
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn horizon_sweep_skips_multisite_scenarios() {
+        let o = parse(&["sweep", "ms-*", "--reduced", "--horizon", "60"]).unwrap();
+        let err = run_sweep(&o).unwrap_err();
+        assert!(err.contains("multi-site"), "got: {err}");
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub fn ground_truth_scenario(
         cache: CacheSpec::canonical(icd),
         config: ground_truth_config(kind, truth, workload.len()),
         multisite: None,
+        horizon: None,
     }
 }
 

@@ -58,8 +58,13 @@ use crate::scheduler::SchedulerPolicy;
 /// holding: [] }`, a bare `Hello` advertises no capabilities), and v4
 /// decoders accept the v5 `Hello`/`Task`/`Result` envelopes unchanged
 /// because unknown fields are ignored and [`check_version`] tolerates
-/// newer versions.
-pub const CODEC_VERSION: u64 = 5;
+/// newer versions. v6 adds the event-list backend (`event_list` on
+/// [`SimConfig`], required from v6 on, defaulting to the binary heap in
+/// older payloads — backends are trace-invariant, so the default is
+/// always safe) and the optional steady-state `horizon` spec on
+/// scenarios (emitted only when set, like `multisite`); v6 decoders
+/// accept v1–v5 payloads unchanged.
+pub const CODEC_VERSION: u64 = 6;
 
 /// A decoding (or parsing) failure. Every variant carries enough context
 /// to say *which* type and field went wrong — decoders never panic on
@@ -605,6 +610,12 @@ pub fn scenario_to_json(sc: &Scenario) -> Json {
     if let Some(ms) = &sc.multisite {
         fields.push(("multisite", multisite_to_json(ms)));
     }
+    if let Some(h) = &sc.horizon {
+        fields.push((
+            "horizon",
+            obj(vec![("duration", json_f64(h.duration)), ("slo_wait", json_f64(h.slo_wait))]),
+        ));
+    }
     obj(fields)
 }
 
@@ -621,6 +632,29 @@ pub fn scenario_from_json(json: &Json) -> Result<Scenario, CodecError> {
         None | Some(Json::Null) => None,
         Some(ms) => Some(multisite_from_json(ms)?),
     };
+    // Absent (pre-v6 payloads, or any run-to-completion scenario) means
+    // the classic mode — never a required field.
+    let horizon = match r.get("horizon") {
+        None | Some(Json::Null) => None,
+        Some(h) => {
+            let hr = ObjReader::new("HorizonSpec", h)?;
+            let spec = crate::stream::HorizonSpec {
+                duration: hr.f64("duration")?,
+                slo_wait: hr.f64("slo_wait")?,
+            };
+            let ok = |v: f64| v.is_finite() && v > 0.0;
+            if !ok(spec.duration) || !ok(spec.slo_wait) {
+                return Err(CodecError::Invalid {
+                    ty: "HorizonSpec",
+                    msg: format!(
+                        "horizon parameters must be positive: duration={} slo_wait={}",
+                        spec.duration, spec.slo_wait
+                    ),
+                });
+            }
+            Some(spec)
+        }
+    };
     Ok(Scenario {
         name: r.str("name")?.to_string(),
         platform: platform_from_json(r.req("platform")?)?,
@@ -628,6 +662,7 @@ pub fn scenario_from_json(json: &Json) -> Result<Scenario, CodecError> {
         cache: cache_spec_from_json(r.req("cache")?)?,
         config: sim_config_from_json(r.req("config")?, v)?,
         multisite,
+        horizon,
     })
 }
 
@@ -1062,6 +1097,7 @@ pub fn sim_config_to_json(c: &SimConfig) -> Json {
             ]),
         ),
         ("scheduler", Json::Str(c.scheduler.label().to_string())),
+        ("event_list", Json::Str(c.event_list.as_str().to_string())),
     ])
 }
 
@@ -1121,6 +1157,16 @@ pub fn sim_config_from_json(json: &Json, v: u64) -> Result<SimConfig, CodecError
             msg: format!("bad release time scale {release_time_scale}"),
         });
     }
+    // v1–v5 payloads predate the event-list seam: absent means the heap
+    // (bit-identical traces either way). From v6 on the field is required.
+    let event_list = if v >= 6 {
+        let label = r.str("event_list")?;
+        label
+            .parse::<simcal_des::EventListBackend>()
+            .map_err(|e| CodecError::Invalid { ty: "SimConfig", msg: e })?
+    } else {
+        simcal_des::EventListBackend::default()
+    };
     Ok(SimConfig {
         hardware,
         granularity: simcal_storage::XRootDConfig::new(block_size, buffer_size),
@@ -1129,6 +1175,7 @@ pub fn sim_config_from_json(json: &Json, v: u64) -> Result<SimConfig, CodecError
         noise,
         scheduler,
         release_time_scale,
+        event_list,
     })
 }
 
@@ -1651,6 +1698,7 @@ mod tests {
             cache: CacheSpec::seeded(0.25, 99),
             config: SimConfig::default(),
             multisite: None,
+            horizon: None,
         };
         let back = decode_scenario(&encode_scenario(&sc)).unwrap();
         assert_eq!(back, sc);
@@ -1718,6 +1766,7 @@ mod tests {
             cache: CacheSpec::seeded(0.25, 99),
             config: SimConfig::default(),
             multisite: None,
+            horizon: None,
         };
         let mut json = scenario_to_json(&concrete);
         strip(&mut json);
@@ -1739,6 +1788,7 @@ mod tests {
             cache: CacheSpec::canonical(0.5),
             config: SimConfig::default(),
             multisite: None,
+            horizon: None,
         };
         let text = encode_scenario(&sc);
         for (from, to) in [
@@ -1809,6 +1859,7 @@ mod tests {
                 cache: CacheSpec::canonical(0.5),
                 config: SimConfig::default(),
                 multisite: None,
+                horizon: None,
             };
             let text = encode_scenario(&sc);
             let back = decode_scenario(&text).unwrap();
@@ -1830,6 +1881,7 @@ mod tests {
             cache: CacheSpec::canonical(0.5),
             config: SimConfig::default(),
             multisite: None,
+            horizon: None,
         };
         let text = encode_scenario(&sc);
         assert_eq!(decode_scenario(&text).unwrap(), sc);
@@ -1857,6 +1909,7 @@ mod tests {
             cache: CacheSpec::canonical(0.5),
             config: SimConfig::default(),
             multisite: Some(demo_multisite()),
+            horizon: None,
         };
         let text = encode_scenario(&sc);
         let back = decode_scenario(&text).unwrap();
@@ -1895,6 +1948,7 @@ mod tests {
             cache: CacheSpec::canonical(0.5),
             config: SimConfig::default(),
             multisite: Some(demo_multisite()),
+            horizon: None,
         };
         let text = encode_scenario(&sc);
         for (from, to) in [

@@ -1,5 +1,6 @@
 //! Simulation configuration: hardware parameters, granularity, noise.
 
+use simcal_des::EventListBackend;
 use simcal_platform::HardwareParams;
 use simcal_storage::XRootDConfig;
 
@@ -70,6 +71,12 @@ pub struct SimConfig {
     /// the load intensity of one seeded workload — without regenerating
     /// it. Workloads with all releases at 0 are unaffected by any value.
     pub release_time_scale: f64,
+    /// Event-list backend for the DES engine: binary heap (default),
+    /// auto-tuned calendar queue, or auto (heap that migrates to the
+    /// calendar past a live-population high-water mark). Pop order — and
+    /// hence every trace — is identical across backends; this knob trades
+    /// nothing but time.
+    pub event_list: EventListBackend,
 }
 
 impl SimConfig {
@@ -83,6 +90,7 @@ impl SimConfig {
             noise: NoiseConfig::none(),
             scheduler: SchedulerPolicy::default(),
             release_time_scale: 1.0,
+            event_list: EventListBackend::default(),
         }
     }
 

@@ -57,6 +57,7 @@ pub mod resources;
 pub mod scenario;
 pub mod scheduler;
 pub mod simulator;
+pub mod stream;
 pub mod tags;
 pub mod validate;
 
@@ -67,7 +68,11 @@ pub use multisite::{
 };
 pub use registry::{ScenarioEntry, ScenarioRegistry};
 pub use resources::PlatformResources;
-pub use scenario::{CacheSpec, MaterializedScenario, Scenario, WorkloadSource};
+pub use scenario::{CacheSpec, MaterializedScenario, RunReport, Scenario, WorkloadSource};
 pub use scheduler::{Scheduler, SchedulerPolicy};
-pub use simulator::{simulate, try_simulate, SimError, SimSession};
+// Re-exported so downstream crates can pick an event-list backend without
+// depending on `simcal-des` directly.
+pub use simcal_des::EventListBackend;
+pub use simulator::{simulate, try_simulate, HorizonRun, SimError, SimSession};
+pub use stream::{HorizonReport, HorizonSpec, HorizonStats, P2Quantile, DEFAULT_SLO_WAIT};
 pub use validate::check_trace;

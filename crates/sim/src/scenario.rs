@@ -24,6 +24,7 @@ use simcal_workload::{ExecutionTrace, Workload, WorkloadSpec};
 use crate::config::SimConfig;
 use crate::multisite::try_simulate_multisite;
 use crate::simulator::{SimError, SimSession};
+use crate::stream::{HorizonReport, HorizonSpec};
 
 /// Where a scenario's workload comes from.
 #[derive(Debug, Clone, PartialEq)]
@@ -113,6 +114,7 @@ impl CacheSpec {
 ///     cache: CacheSpec::canonical(0.5),
 ///     config: SimConfig::default(),
 ///     multisite: None,
+///     horizon: None,
 /// };
 /// let trace = sc.run(&mut SimSession::new());
 /// assert_eq!(trace.jobs.len(), 6);
@@ -137,6 +139,13 @@ pub struct Scenario {
     /// via [`Scenario::run_sharded`]. `None` = the classic single-site
     /// path, byte-identical to what it always produced.
     pub multisite: Option<MultiSiteSpec>,
+    /// Steady-state horizon mode: when set, the scenario runs its seeded
+    /// arrival stream open-loop over `[0, duration)` and reports
+    /// streaming percentiles and SLO attainment instead of requiring
+    /// every job to finish ([`SimSession::try_run_horizon`]). `None` =
+    /// the classic run-to-completion mode. Mutually exclusive with
+    /// `multisite`.
+    pub horizon: Option<HorizonSpec>,
 }
 
 /// A scenario with its workload and cache plan materialized, ready to run
@@ -158,6 +167,14 @@ impl Scenario {
         self.config.validate();
         if let Some(ms) = &self.multisite {
             ms.validate();
+        }
+        if let Some(h) = &self.horizon {
+            h.validate();
+            assert!(
+                self.multisite.is_none(),
+                "scenario {:?}: horizon mode and multisite are mutually exclusive",
+                self.name
+            );
         }
         assert!(
             (0.0..=1.0).contains(&self.cache.icd),
@@ -204,6 +221,27 @@ impl Scenario {
     ) -> Result<ExecutionTrace, SimError> {
         self.materialize().try_run_sharded(session, shards)
     }
+
+    /// Run the scenario and return the full report: the execution trace
+    /// plus, for horizon-mode scenarios, the streaming steady-state
+    /// summary. Run-to-completion scenarios report `horizon: None`.
+    pub fn try_run_report(
+        &self,
+        session: &mut SimSession,
+        shards: usize,
+    ) -> Result<RunReport, SimError> {
+        self.materialize().try_run_report(session, shards)
+    }
+}
+
+/// What a scenario run produced: always a trace, plus the steady-state
+/// report when the scenario ran in horizon mode.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The execution trace (completed jobs only under horizon mode).
+    pub trace: ExecutionTrace,
+    /// The streaming steady-state summary (horizon-mode scenarios only).
+    pub horizon: Option<HorizonReport>,
 }
 
 impl MaterializedScenario<'_> {
@@ -223,21 +261,45 @@ impl MaterializedScenario<'_> {
         session: &mut SimSession,
         shards: usize,
     ) -> Result<ExecutionTrace, SimError> {
-        match &self.scenario.multisite {
+        self.try_run_report(session, shards).map(|r| r.trace)
+    }
+
+    /// Run and return the full report (see [`Scenario::try_run_report`]).
+    pub fn try_run_report(
+        &self,
+        session: &mut SimSession,
+        shards: usize,
+    ) -> Result<RunReport, SimError> {
+        if let Some(h) = &self.scenario.horizon {
+            assert!(
+                self.scenario.multisite.is_none(),
+                "horizon mode and multisite are mutually exclusive"
+            );
+            let run = session.try_run_horizon(
+                &self.scenario.platform,
+                &self.workload,
+                &self.plan,
+                &self.scenario.config,
+                h,
+            )?;
+            return Ok(RunReport { trace: run.trace, horizon: Some(run.report) });
+        }
+        let trace = match &self.scenario.multisite {
             Some(ms) => try_simulate_multisite(
                 ms,
                 &self.workload,
                 &self.plan,
                 &self.scenario.config,
                 shards,
-            ),
+            )?,
             None => session.try_run(
                 &self.scenario.platform,
                 &self.workload,
                 &self.plan,
                 &self.scenario.config,
-            ),
-        }
+            )?,
+        };
+        Ok(RunReport { trace, horizon: None })
     }
 }
 
@@ -257,6 +319,7 @@ mod tests {
             cache: CacheSpec::canonical(icd),
             config: SimConfig::default(),
             multisite: None,
+            horizon: None,
         }
     }
 

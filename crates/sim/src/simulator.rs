@@ -22,6 +22,7 @@ use crate::config::SimConfig;
 use crate::jobrun::{Ctx, JobRun};
 use crate::resources::PlatformResources;
 use crate::scheduler::Scheduler;
+use crate::stream::{HorizonReport, HorizonSpec, HorizonStats};
 use crate::tags;
 
 /// A structured simulation failure.
@@ -69,6 +70,38 @@ impl std::fmt::Display for SimError {
 }
 
 impl std::error::Error for SimError {}
+
+/// Build and start a run on its assigned slot (shared by the three
+/// dispatch points: t=0 submission, release-timer dispatch, and queue
+/// pops on slot release — in both the run-to-completion and horizon
+/// loops).
+fn start_job(
+    job: usize,
+    node: usize,
+    core: u32,
+    workload: &Workload,
+    cache: &CachePlan,
+    runs: &mut [Option<JobRun>],
+    ctx: &mut Ctx<'_>,
+) {
+    let mut run =
+        JobRun::new(job, node, core, &workload.jobs[job], cache, ctx.cfg.noise.compute_factor(job));
+    run.begin(ctx);
+    runs[job] = Some(run);
+}
+
+/// The outcome of one steady-state horizon run: the (partial) execution
+/// trace of the jobs that completed within the horizon, plus the
+/// streaming steady-state report.
+#[derive(Debug, Clone)]
+pub struct HorizonRun {
+    /// Records of the jobs that completed strictly inside the horizon, in
+    /// job-index order. Unlike the run-to-completion path this is allowed
+    /// to be a subset of the workload.
+    pub trace: ExecutionTrace,
+    /// Streaming percentile / SLO / utilization summary.
+    pub report: HorizonReport,
+}
 
 /// A reusable simulation context: engine + scheduler + run arenas.
 ///
@@ -138,6 +171,7 @@ impl SimSession {
 
         let engine = &mut self.engine;
         engine.reset();
+        engine.set_event_list_backend(config.event_list);
         let resources = PlatformResources::build(engine, platform, &config.hardware);
         let cores: Vec<u32> = platform.nodes.iter().map(|n| n.cores).collect();
         let scheduler = match self.scheduler.as_mut() {
@@ -153,30 +187,6 @@ impl SimSession {
         self.runs.resize_with(workload.len(), || None);
         let runs = &mut self.runs;
         let mut records: Vec<JobRecord> = Vec::with_capacity(workload.len());
-
-        /// Build and start a run on its assigned slot (shared by the three
-        /// dispatch points: t=0 submission, release-timer dispatch, and
-        /// queue pops on slot release).
-        fn start_job(
-            job: usize,
-            node: usize,
-            core: u32,
-            workload: &Workload,
-            cache: &CachePlan,
-            runs: &mut [Option<JobRun>],
-            ctx: &mut Ctx<'_>,
-        ) {
-            let mut run = JobRun::new(
-                job,
-                node,
-                core,
-                &workload.jobs[job],
-                cache,
-                ctx.cfg.noise.compute_factor(job),
-            );
-            run.begin(ctx);
-            runs[job] = Some(run);
-        }
 
         // Submit every job released at t = 0 now (the legacy hot path —
         // with no release times this is the entire submission phase);
@@ -272,6 +282,151 @@ impl SimSession {
         };
         trace.validate();
         Ok(trace)
+    }
+
+    /// Simulate an open-loop steady-state horizon: run the workload's
+    /// seeded arrival stream over `[0, horizon.duration)` and stop the
+    /// clock there, whether or not every job finished. Queue-wait and
+    /// slowdown percentiles are folded streaming (P²) in completion
+    /// order; jobs still running when the horizon closes contribute their
+    /// partial busy time to the utilization timeline but no percentile
+    /// samples. Deterministic like [`try_run`](Self::try_run), and
+    /// backend-invariant: heap, calendar, and auto event lists produce
+    /// bit-identical traces and reports.
+    pub fn try_run_horizon(
+        &mut self,
+        platform: &PlatformSpec,
+        workload: &Workload,
+        cache: &CachePlan,
+        config: &SimConfig,
+        horizon: &HorizonSpec,
+    ) -> Result<HorizonRun, SimError> {
+        let wall_start = Instant::now();
+        config.validate();
+        horizon.validate();
+        platform.validate();
+        workload.validate();
+        assert_eq!(
+            cache.total_files(),
+            workload.total_files(),
+            "cache plan does not match workload"
+        );
+
+        let engine = &mut self.engine;
+        engine.reset();
+        engine.set_event_list_backend(config.event_list);
+        let resources = PlatformResources::build(engine, platform, &config.hardware);
+        let cores: Vec<u32> = platform.nodes.iter().map(|n| n.cores).collect();
+        let scheduler = match self.scheduler.as_mut() {
+            Some(s) => {
+                s.reset(&cores, config.scheduler);
+                s
+            }
+            None => self.scheduler.insert(Scheduler::with_policy(&cores, config.scheduler)),
+        };
+        let mut rng = StdRng::seed_from_u64(config.noise.seed);
+
+        self.runs.clear();
+        self.runs.resize_with(workload.len(), || None);
+        let runs = &mut self.runs;
+        let mut records: Vec<JobRecord> = Vec::with_capacity(workload.len());
+        let mut stats = HorizonStats::new(
+            horizon.duration,
+            horizon.slo_wait,
+            u64::from(platform.total_cores()),
+        );
+
+        #[allow(clippy::needless_range_loop)] // `job` is an id, not just an index
+        for job in 0..workload.len() {
+            let release = config.release_time(workload.jobs[job].release);
+            if release < horizon.duration {
+                stats.on_release();
+            }
+            if release > 0.0 {
+                // Timers at or past the horizon simply never fire.
+                engine.set_timer(release, tags::encode(tags::Kind::Release, job));
+            } else if let Some((node, core)) = scheduler.submit(job) {
+                start_job(
+                    job,
+                    node,
+                    core,
+                    workload,
+                    cache,
+                    runs,
+                    &mut Ctx { engine, res: &resources, cfg: config, rng: &mut rng },
+                );
+            }
+        }
+
+        while let Some(event) = engine.next_before(horizon.duration) {
+            let tag = match event {
+                Event::FlowCompleted { tag, .. } => tag,
+                Event::TimerFired { tag, .. } => {
+                    let (kind, job) = tags::decode(tag);
+                    if kind != tags::Kind::Release {
+                        debug_assert!(false, "unknown user timer (tag {tag:?})");
+                        return Err(SimError::UnexpectedTimer { tag, at: engine.now() });
+                    }
+                    if let Some((node, core)) = scheduler.submit(job) {
+                        start_job(
+                            job,
+                            node,
+                            core,
+                            workload,
+                            cache,
+                            runs,
+                            &mut Ctx { engine, res: &resources, cfg: config, rng: &mut rng },
+                        );
+                    }
+                    continue;
+                }
+            };
+            let (kind, job) = tags::decode(tag);
+            let run = runs[job].as_mut().unwrap_or_else(|| panic!("event for unstarted job {job}"));
+            let finished = run
+                .on_event(kind, &mut Ctx { engine, res: &resources, cfg: config, rng: &mut rng });
+            if finished {
+                // Take the run so the post-horizon sweep only sees jobs
+                // still in flight.
+                let run = runs[job].take().unwrap();
+                let release = config.release_time(workload.jobs[job].release);
+                records.push(JobRecord {
+                    job,
+                    node: run.node,
+                    core: run.core,
+                    release,
+                    start: run.start,
+                    end: run.end,
+                });
+                stats.on_completion(release, run.start, run.end);
+                if let Some((next_job, (n_node, n_core))) = scheduler.release(run.node, run.core) {
+                    start_job(
+                        next_job,
+                        n_node,
+                        n_core,
+                        workload,
+                        cache,
+                        runs,
+                        &mut Ctx { engine, res: &resources, cfg: config, rng: &mut rng },
+                    );
+                }
+            }
+        }
+
+        // Jobs caught mid-run by the closing horizon: partial busy credit.
+        for run in runs.iter().flatten() {
+            stats.on_busy_interval(run.start, horizon.duration);
+        }
+
+        records.sort_by_key(|r| r.job);
+        let trace = ExecutionTrace {
+            jobs: records,
+            n_nodes: platform.node_count(),
+            engine_events: engine.stats().events(),
+            wall_seconds: wall_start.elapsed().as_secs_f64(),
+        };
+        trace.validate();
+        Ok(HorizonRun { trace, report: stats.finish() })
     }
 
     /// Kernel statistics of the most recent run (component-vs-global solve

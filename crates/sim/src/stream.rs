@@ -1,0 +1,446 @@
+//! Streaming statistics for steady-state horizon runs.
+//!
+//! Horizon runs observe an open-ended completion stream — multi-day
+//! serving horizons complete far more jobs than anyone wants to buffer —
+//! so tail percentiles are estimated **online** with the P² algorithm
+//! (Jain & Chlamtac, CACM 1985): five markers per quantile, O(1) memory,
+//! O(1) update, no sample retention. The estimator is a pure fold over
+//! the observation sequence, and the simulator delivers completions in a
+//! deterministic order, so horizon statistics are bit-reproducible like
+//! every other trace artifact in the repository.
+
+/// Streaming quantile estimator (the P² algorithm).
+///
+/// Tracks a single quantile `p` with five markers. Exact for the first
+/// five observations; piecewise-parabolic interpolation afterwards.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights (estimates of the 0, p/2, p, (1+p)/2, 1 quantiles).
+    q: [f64; 5],
+    /// Actual marker positions, 1-based.
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    /// Desired-position increments per observation.
+    dn: [f64; 5],
+    /// Observations seen so far.
+    count: u64,
+}
+
+impl P2Quantile {
+    /// A fresh estimator for quantile `p` in `(0, 1)`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "quantile must be in (0, 1), got {p}");
+        Self {
+            p,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The quantile this estimator tracks.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Observations folded in so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Fold one observation in.
+    pub fn observe(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "P2 observation must be finite, got {x}");
+        if self.count < 5 {
+            // Warm-up: collect and keep the first five sorted.
+            let i = self.count as usize;
+            self.q[i] = x;
+            self.count += 1;
+            let filled = self.count as usize;
+            self.q[..filled].sort_by(f64::total_cmp);
+            return;
+        }
+        self.count += 1;
+
+        // Locate the cell k with q[k] <= x < q[k+1], widening the extremes.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x < self.q[1] {
+            0
+        } else if x < self.q[2] {
+            1
+        } else if x < self.q[3] {
+            2
+        } else if x <= self.q[4] {
+            3
+        } else {
+            self.q[4] = x;
+            3
+        };
+
+        for i in (k + 1)..5 {
+            self.n[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.np[i] += self.dn[i];
+        }
+
+        // Adjust the three interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            let step_up = self.n[i + 1] - self.n[i] > 1.0;
+            let step_dn = self.n[i - 1] - self.n[i] < -1.0;
+            if (d >= 1.0 && step_up) || (d <= -1.0 && step_dn) {
+                let d = d.signum();
+                let parabolic = self.parabolic(i, d);
+                if self.q[i - 1] < parabolic && parabolic < self.q[i + 1] {
+                    self.q[i] = parabolic;
+                } else {
+                    self.q[i] = self.linear(i, d);
+                }
+                self.n[i] += d;
+            }
+        }
+    }
+
+    /// Piecewise-parabolic (P²) marker update.
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (qm, q0, qp) = (self.q[i - 1], self.q[i], self.q[i + 1]);
+        let (nm, n0, np) = (self.n[i - 1], self.n[i], self.n[i + 1]);
+        q0 + d / (np - nm)
+            * ((n0 - nm + d) * (qp - q0) / (np - n0) + (np - n0 - d) * (q0 - qm) / (n0 - nm))
+    }
+
+    /// Linear fallback when the parabola overshoots a neighbour.
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = (i as f64 + d) as usize;
+        self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+    }
+
+    /// Current estimate. With fewer than five observations this is the
+    /// nearest-rank quantile of what has been seen (0 when empty).
+    pub fn value(&self) -> f64 {
+        match self.count {
+            0 => 0.0,
+            c if c < 5 => {
+                let filled = c as usize;
+                let rank = ((self.p * filled as f64).ceil() as usize).clamp(1, filled);
+                self.q[rank - 1]
+            }
+            _ => self.q[2],
+        }
+    }
+}
+
+/// Number of utilization-timeline buckets a horizon report carries.
+pub const UTILIZATION_BUCKETS: usize = 24;
+
+/// Default queue-wait SLO target (seconds) when a scenario or CLI flag
+/// does not pin one: five minutes in the queue.
+pub const DEFAULT_SLO_WAIT: f64 = 300.0;
+
+/// Steady-state horizon parameters of a scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HorizonSpec {
+    /// Horizon length in seconds: the run stops the clock here, whether
+    /// or not every released job finished.
+    pub duration: f64,
+    /// Queue-wait SLO target in seconds: a completed job attains the SLO
+    /// iff its queue wait is at most this.
+    pub slo_wait: f64,
+}
+
+impl HorizonSpec {
+    /// A horizon of `duration` seconds with the default SLO target.
+    pub fn new(duration: f64) -> Self {
+        Self { duration, slo_wait: DEFAULT_SLO_WAIT }
+    }
+
+    /// Set the queue-wait SLO target.
+    pub fn with_slo_wait(mut self, slo_wait: f64) -> Self {
+        self.slo_wait = slo_wait;
+        self
+    }
+
+    /// Panic unless the parameters are valid.
+    pub fn validate(&self) {
+        assert!(
+            self.duration.is_finite() && self.duration > 0.0,
+            "horizon duration must be positive, got {}",
+            self.duration
+        );
+        assert!(
+            self.slo_wait.is_finite() && self.slo_wait > 0.0,
+            "SLO wait target must be positive, got {}",
+            self.slo_wait
+        );
+    }
+}
+
+/// Streaming statistics accumulated over one horizon run.
+///
+/// Fed one completed job at a time, in the simulator's deterministic
+/// completion order; busy intervals additionally see jobs still running
+/// when the horizon closes, so utilization reflects occupancy rather than
+/// completions.
+#[derive(Debug, Clone)]
+pub struct HorizonStats {
+    horizon: f64,
+    slo_wait: f64,
+    total_cores: f64,
+    wait_p50: P2Quantile,
+    wait_p99: P2Quantile,
+    wait_p999: P2Quantile,
+    slow_p50: P2Quantile,
+    slow_p99: P2Quantile,
+    slow_p999: P2Quantile,
+    completed: u64,
+    released: u64,
+    slo_hits: u64,
+    /// Busy core-seconds per timeline bucket.
+    busy: [f64; UTILIZATION_BUCKETS],
+}
+
+impl HorizonStats {
+    /// A fresh accumulator for a run over `[0, horizon)` with queue-wait
+    /// SLO target `slo_wait` seconds on a platform with `total_cores`
+    /// compute slots.
+    pub fn new(horizon: f64, slo_wait: f64, total_cores: u64) -> Self {
+        assert!(horizon.is_finite() && horizon > 0.0, "horizon must be positive");
+        assert!(slo_wait.is_finite() && slo_wait > 0.0, "SLO wait target must be positive");
+        Self {
+            horizon,
+            slo_wait,
+            total_cores: total_cores as f64,
+            wait_p50: P2Quantile::new(0.5),
+            wait_p99: P2Quantile::new(0.99),
+            wait_p999: P2Quantile::new(0.999),
+            slow_p50: P2Quantile::new(0.5),
+            slow_p99: P2Quantile::new(0.99),
+            slow_p999: P2Quantile::new(0.999),
+            completed: 0,
+            released: 0,
+            slo_hits: 0,
+            busy: [0.0; UTILIZATION_BUCKETS],
+        }
+    }
+
+    /// Record a job released within the horizon (whether or not it runs).
+    pub fn on_release(&mut self) {
+        self.released += 1;
+    }
+
+    /// Fold in one completed job: released at `release`, dispatched at
+    /// `start`, finished at `end` (all seconds, `release <= start <= end`).
+    pub fn on_completion(&mut self, release: f64, start: f64, end: f64) {
+        let wait = (start - release).max(0.0);
+        let service = (end - start).max(f64::EPSILON);
+        let slowdown = ((end - release) / service).max(1.0);
+        self.wait_p50.observe(wait);
+        self.wait_p99.observe(wait);
+        self.wait_p999.observe(wait);
+        self.slow_p50.observe(slowdown);
+        self.slow_p99.observe(slowdown);
+        self.slow_p999.observe(slowdown);
+        self.completed += 1;
+        if wait <= self.slo_wait {
+            self.slo_hits += 1;
+        }
+        self.on_busy_interval(start, end);
+    }
+
+    /// Credit a busy core interval `[start, end)` (clipped to the horizon)
+    /// to the utilization timeline. Called by [`Self::on_completion`] for
+    /// finished jobs and directly for jobs still running at the horizon.
+    pub fn on_busy_interval(&mut self, start: f64, end: f64) {
+        let start = start.clamp(0.0, self.horizon);
+        let end = end.clamp(0.0, self.horizon);
+        if end <= start {
+            return;
+        }
+        let width = self.horizon / UTILIZATION_BUCKETS as f64;
+        let first = ((start / width) as usize).min(UTILIZATION_BUCKETS - 1);
+        let last = ((end / width) as usize).min(UTILIZATION_BUCKETS - 1);
+        for b in first..=last {
+            let lo = b as f64 * width;
+            let hi = lo + width;
+            self.busy[b] += end.min(hi) - start.max(lo);
+        }
+    }
+
+    /// Seal the accumulator into a report.
+    pub fn finish(self) -> HorizonReport {
+        let width = self.horizon / UTILIZATION_BUCKETS as f64;
+        let denom = (self.total_cores * width).max(f64::EPSILON);
+        HorizonReport {
+            horizon: self.horizon,
+            slo_wait: self.slo_wait,
+            released: self.released,
+            completed: self.completed,
+            wait_p50: self.wait_p50.value(),
+            wait_p99: self.wait_p99.value(),
+            wait_p999: self.wait_p999.value(),
+            slowdown_p50: self.slow_p50.value(),
+            slowdown_p99: self.slow_p99.value(),
+            slowdown_p999: self.slow_p999.value(),
+            slo_attained: if self.completed == 0 {
+                1.0
+            } else {
+                self.slo_hits as f64 / self.completed as f64
+            },
+            utilization: self.busy.iter().map(|&s| (s / denom).min(1.0)).collect(),
+        }
+    }
+}
+
+/// The steady-state summary of one horizon run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HorizonReport {
+    /// Horizon length in seconds.
+    pub horizon: f64,
+    /// Queue-wait SLO target in seconds.
+    pub slo_wait: f64,
+    /// Jobs released within the horizon.
+    pub released: u64,
+    /// Jobs that completed within the horizon.
+    pub completed: u64,
+    /// Streaming (P²) median queue wait, seconds.
+    pub wait_p50: f64,
+    /// Streaming p99 queue wait, seconds.
+    pub wait_p99: f64,
+    /// Streaming p99.9 queue wait, seconds.
+    pub wait_p999: f64,
+    /// Streaming median slowdown (total time / service time, >= 1).
+    pub slowdown_p50: f64,
+    /// Streaming p99 slowdown.
+    pub slowdown_p99: f64,
+    /// Streaming p99.9 slowdown.
+    pub slowdown_p999: f64,
+    /// Fraction of completed jobs whose queue wait met the SLO target
+    /// (1.0 when nothing completed).
+    pub slo_attained: f64,
+    /// Mean core utilization per timeline bucket
+    /// ([`UTILIZATION_BUCKETS`] equal slices of the horizon), in `[0, 1]`.
+    pub utilization: Vec<f64>,
+}
+
+impl HorizonReport {
+    /// Mean utilization over the whole horizon.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.utilization.is_empty() {
+            return 0.0;
+        }
+        self.utilization.iter().sum::<f64>() / self.utilization.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p2_is_exact_under_five_observations() {
+        let mut q = P2Quantile::new(0.5);
+        assert_eq!(q.value(), 0.0);
+        q.observe(9.0);
+        assert_eq!(q.value(), 9.0);
+        q.observe(1.0);
+        q.observe(5.0);
+        // Nearest-rank median of {1, 5, 9}.
+        assert_eq!(q.value(), 5.0);
+    }
+
+    #[test]
+    fn p2_median_converges_on_uniform_stream() {
+        let mut q = P2Quantile::new(0.5);
+        // Deterministic pseudo-uniform stream on [0, 1).
+        let mut x = 0.5_f64;
+        for _ in 0..10_000 {
+            x = (x * 997.0 + 0.123).fract();
+            q.observe(x);
+        }
+        assert!((q.value() - 0.5).abs() < 0.02, "median estimate {}", q.value());
+    }
+
+    #[test]
+    fn p2_p99_lands_in_the_tail() {
+        let mut q = P2Quantile::new(0.99);
+        for i in 0..10_000 {
+            q.observe(f64::from(i % 1000));
+        }
+        let v = q.value();
+        assert!(v > 950.0 && v <= 999.0, "p99 estimate {v}");
+    }
+
+    #[test]
+    fn p2_is_deterministic() {
+        let feed = |seed: f64| {
+            let mut q = P2Quantile::new(0.9);
+            let mut x = seed;
+            for _ in 0..500 {
+                x = (x * 31.7 + 0.61).fract();
+                q.observe(x);
+            }
+            q.value().to_bits()
+        };
+        assert_eq!(feed(0.25), feed(0.25));
+        assert_ne!(feed(0.25), feed(0.75));
+    }
+
+    #[test]
+    fn horizon_stats_fold_completions() {
+        let mut h = HorizonStats::new(100.0, 5.0, 4);
+        h.on_release();
+        h.on_release();
+        h.on_release();
+        h.on_completion(0.0, 2.0, 10.0); // wait 2 (SLO hit), slowdown 1.25
+        h.on_completion(0.0, 20.0, 30.0); // wait 20 (miss), slowdown 3
+        let r = h.finish();
+        assert_eq!(r.released, 3);
+        assert_eq!(r.completed, 2);
+        assert_eq!(r.slo_attained, 0.5);
+        assert!(r.wait_p50 >= 2.0 && r.wait_p50 <= 20.0);
+        assert!(r.slowdown_p999 >= r.slowdown_p50);
+        assert_eq!(r.utilization.len(), UTILIZATION_BUCKETS);
+    }
+
+    #[test]
+    fn utilization_buckets_integrate_busy_time() {
+        // One core busy the whole horizon on a 1-core platform: every
+        // bucket saturates at 1.0.
+        let mut h = HorizonStats::new(48.0, 1.0, 1);
+        h.on_busy_interval(0.0, 48.0);
+        let r = h.finish();
+        for (b, &u) in r.utilization.iter().enumerate() {
+            assert!((u - 1.0).abs() < 1e-9, "bucket {b} utilization {u}");
+        }
+        assert!((r.mean_utilization() - 1.0).abs() < 1e-9);
+
+        // Busy only the first half: the mean is ~0.5.
+        let mut h = HorizonStats::new(48.0, 1.0, 1);
+        h.on_busy_interval(0.0, 24.0);
+        let r = h.finish();
+        assert!((r.mean_utilization() - 0.5).abs() < 1e-9);
+        assert_eq!(r.utilization[0], 1.0);
+        assert_eq!(*r.utilization.last().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn empty_horizon_reports_vacuous_slo() {
+        let r = HorizonStats::new(10.0, 1.0, 2).finish();
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.slo_attained, 1.0);
+        assert_eq!(r.wait_p999, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn out_of_range_quantile_rejected() {
+        P2Quantile::new(1.0);
+    }
+}

@@ -181,6 +181,17 @@ pub(crate) fn sweep_result_to_json(r: &SweepResult) -> Json {
         ("events", json_u64(r.events)),
         ("trace_hash", Json::Str(format!("{:016x}", r.trace_hash))),
         ("wall_seconds", json_f64(r.wall_seconds)),
+        ("wait_p50", json_f64(r.wait_p50)),
+        ("wait_p99", json_f64(r.wait_p99)),
+        ("wait_p999", json_f64(r.wait_p999)),
+        ("slowdown_p50", json_f64(r.slowdown_p50)),
+        ("slowdown_p99", json_f64(r.slowdown_p99)),
+        ("slowdown_p999", json_f64(r.slowdown_p999)),
+        ("slo_attained", json_f64(r.slo_attained)),
+        ("event_pushes", json_u64(r.event_pushes)),
+        ("event_stale_drops", json_u64(r.event_stale_drops)),
+        ("calendar_resizes", json_u64(r.calendar_resizes)),
+        ("calendar_overflow_hits", json_u64(r.calendar_overflow_hits)),
     ])
 }
 
@@ -202,6 +213,24 @@ pub(crate) fn sweep_result_from_json(json: &Json) -> Result<SweepResult, CodecEr
             Ok(0.0)
         }
     };
+    // Percentile/SLO metrics and event-queue counters arrived with codec
+    // v6 (steady-state horizon runs). Older payloads decode with the same
+    // defaults `parse_sweep_csv` uses for v2 CSV rows: zero waits,
+    // unit slowdowns, vacuously-attained SLO, zero counters.
+    let v6_f64 = |field: &'static str, default: f64| -> Result<f64, CodecError> {
+        if v >= 6 {
+            r.f64(field)
+        } else {
+            Ok(default)
+        }
+    };
+    let v6_u64 = |field: &'static str| -> Result<u64, CodecError> {
+        if v >= 6 {
+            r.u64(field)
+        } else {
+            Ok(0)
+        }
+    };
     Ok(SweepResult {
         name: r.str("name")?.to_string(),
         makespan: r.f64("makespan")?,
@@ -213,6 +242,17 @@ pub(crate) fn sweep_result_from_json(json: &Json) -> Result<SweepResult, CodecEr
         events: r.u64("events")?,
         trace_hash,
         wall_seconds: r.f64("wall_seconds")?,
+        wait_p50: v6_f64("wait_p50", 0.0)?,
+        wait_p99: v6_f64("wait_p99", 0.0)?,
+        wait_p999: v6_f64("wait_p999", 0.0)?,
+        slowdown_p50: v6_f64("slowdown_p50", 1.0)?,
+        slowdown_p99: v6_f64("slowdown_p99", 1.0)?,
+        slowdown_p999: v6_f64("slowdown_p999", 1.0)?,
+        slo_attained: v6_f64("slo_attained", 1.0)?,
+        event_pushes: v6_u64("event_pushes")?,
+        event_stale_drops: v6_u64("event_stale_drops")?,
+        calendar_resizes: v6_u64("calendar_resizes")?,
+        calendar_overflow_hits: v6_u64("calendar_overflow_hits")?,
     })
 }
 
@@ -1170,12 +1210,65 @@ mod tests {
             events: u64::MAX - 3,
             trace_hash: 0xDEAD_BEEF_0123_4567,
             wall_seconds: 0.25,
+            wait_p50: 0.75,
+            wait_p99: 3.5,
+            wait_p999: 4.25,
+            slowdown_p50: 1.5,
+            slowdown_p99: 8.0,
+            slowdown_p999: 12.0,
+            slo_attained: 0.875,
+            event_pushes: 42,
+            event_stale_drops: 7,
+            calendar_resizes: 3,
+            calendar_overflow_hits: 1,
         };
         let text = encode_sweep_result(&r);
         let back = decode_sweep_result(&text).unwrap();
         assert_eq!(back.fingerprint(), r.fingerprint());
         assert_eq!(back.events, r.events);
+        assert_eq!(back.event_pushes, r.event_pushes);
+        assert_eq!(back.calendar_overflow_hits, r.calendar_overflow_hits);
         assert_eq!(encode_sweep_result(&back), text, "re-encode is byte-identical");
+    }
+
+    #[test]
+    fn pre_v6_sweep_result_payloads_decode_with_defaults() {
+        // A v5-shaped payload (no percentile/SLO fields, no counters)
+        // must still decode — remote workers running older builds feed
+        // the same spool.
+        let sc = ScenarioRegistry::reduced().scenarios().remove(0);
+        let r =
+            SweepResult::from_trace("old", &sc.run_sharded(&mut simcal_sim::SimSession::new(), 1));
+        let mut json = sweep_result_to_json(&r);
+        let fields = json.fields_mut().unwrap();
+        fields.retain(|(k, _)| {
+            !matches!(
+                k.as_str(),
+                "wait_p50"
+                    | "wait_p99"
+                    | "wait_p999"
+                    | "slowdown_p50"
+                    | "slowdown_p99"
+                    | "slowdown_p999"
+                    | "slo_attained"
+                    | "event_pushes"
+                    | "event_stale_drops"
+                    | "calendar_resizes"
+                    | "calendar_overflow_hits"
+            )
+        });
+        for (k, v) in fields.iter_mut() {
+            if k == "v" {
+                *v = Json::Num(5.0);
+            }
+        }
+        let back = sweep_result_from_json(&json).unwrap();
+        assert_eq!(back.name, r.name);
+        assert_eq!(back.trace_hash, r.trace_hash);
+        assert_eq!(back.wait_p50, 0.0);
+        assert_eq!(back.slowdown_p50, 1.0);
+        assert_eq!(back.slo_attained, 1.0);
+        assert_eq!(back.event_pushes, 0);
     }
 
     #[test]

@@ -58,6 +58,31 @@ pub struct SweepResult {
     /// FNV-1a hash over every job record's bit pattern — a whole-trace
     /// bit-identity witness.
     pub trace_hash: u64,
+    /// Median queue wait, seconds (exact nearest-rank for
+    /// run-to-completion scenarios, streaming P² for horizon runs).
+    pub wait_p50: f64,
+    /// p99 queue wait, seconds.
+    pub wait_p99: f64,
+    /// p99.9 queue wait, seconds.
+    pub wait_p999: f64,
+    /// Median slowdown ((end - release) / service time, >= 1).
+    pub slowdown_p50: f64,
+    /// p99 slowdown.
+    pub slowdown_p99: f64,
+    /// p99.9 slowdown.
+    pub slowdown_p999: f64,
+    /// Fraction of completed jobs meeting the scenario's queue-wait SLO
+    /// target (1.0 for run-to-completion scenarios, which carry none).
+    pub slo_attained: f64,
+    /// Entries pushed onto the engine's event queues (0 for multi-site
+    /// scenarios, whose per-site engines are dropped after the run).
+    pub event_pushes: u64,
+    /// Stale entries skimmed off on pop across both event queues.
+    pub event_stale_drops: u64,
+    /// Calendar-queue resizes (0 under the heap backend).
+    pub calendar_resizes: u64,
+    /// Fruitless full-day calendar scans that fell back to direct search.
+    pub calendar_overflow_hits: u64,
     /// Wall-clock seconds this scenario's simulation took.
     pub wall_seconds: f64,
 }
@@ -67,10 +92,13 @@ pub struct SweepResult {
 /// deterministic columns only (no wall-clock), floats in their shortest
 /// round-trip form, and the FNV-1a trace hash as the one-column
 /// bit-identity witness.
-pub const SWEEP_CSV_SCHEMA: &str = "# simcal sweep csv v2: scenario,makespan_s,mean_job_s,\
-mean_wait_s,max_wait_s,events,trace_hash; simulated seconds (shortest f64 round-trip repr), \
+pub const SWEEP_CSV_SCHEMA: &str = "# simcal sweep csv v3: scenario,makespan_s,mean_job_s,\
+mean_wait_s,max_wait_s,events,trace_hash,wait_p50_s,wait_p99_s,wait_p999_s,slowdown_p50,\
+slowdown_p99,slowdown_p999,slo_attained; simulated seconds (shortest f64 round-trip repr), \
 mean/max released-to-start queue wait, kernel event count, FNV-1a64 over all job records \
-(hex) - two runs agree iff trace_hash columns agree";
+(hex) - two runs agree iff trace_hash columns agree; v3 appends queue-wait/slowdown \
+percentiles (exact for run-to-completion scenarios, streaming P2 for horizon runs) and \
+SLO attainment (1 when no target); v2 rows (7 columns) still parse";
 
 impl SweepResult {
     /// The CSV column headers matching [`csv_row`](Self::csv_row).
@@ -83,13 +111,21 @@ impl SweepResult {
             "max_wait_s",
             "events",
             "trace_hash",
+            "wait_p50_s",
+            "wait_p99_s",
+            "wait_p999_s",
+            "slowdown_p50",
+            "slowdown_p99",
+            "slowdown_p999",
+            "slo_attained",
         ]
         .map(String::from)
         .to_vec()
     }
 
     /// The result as a deterministic CSV row (excludes `wall_seconds`,
-    /// which varies run to run).
+    /// which varies run to run). The v2 column prefix is unchanged; the
+    /// v3 percentile/SLO columns are appended after `trace_hash`.
     pub fn csv_row(&self) -> Vec<String> {
         vec![
             self.name.clone(),
@@ -99,13 +135,31 @@ impl SweepResult {
             format!("{}", self.max_queue_wait),
             self.events.to_string(),
             format!("{:016x}", self.trace_hash),
+            format!("{}", self.wait_p50),
+            format!("{}", self.wait_p99),
+            format!("{}", self.wait_p999),
+            format!("{}", self.slowdown_p50),
+            format!("{}", self.slowdown_p99),
+            format!("{}", self.slowdown_p999),
+            format!("{}", self.slo_attained),
         ]
     }
 
     /// Condense a trace (does not consume it; the sweep drops traces to
-    /// keep result memory bounded on large grids).
+    /// keep result memory bounded on large grids). Percentiles are exact
+    /// (nearest-rank over the full trace); SLO attainment is the vacuous
+    /// 1.0 — run-to-completion scenarios carry no target.
     pub fn from_trace(name: &str, trace: &ExecutionTrace) -> Self {
         let n_nodes = trace.n_nodes;
+        let mut waits: Vec<f64> =
+            trace.jobs.iter().map(|j| (j.start - j.release).max(0.0)).collect();
+        let mut slowdowns: Vec<f64> = trace
+            .jobs
+            .iter()
+            .map(|j| ((j.end - j.release) / (j.end - j.start).max(f64::EPSILON)).max(1.0))
+            .collect();
+        waits.sort_by(f64::total_cmp);
+        slowdowns.sort_by(f64::total_cmp);
         Self {
             name: name.to_string(),
             makespan: trace.makespan(),
@@ -116,24 +170,127 @@ impl SweepResult {
             node_stds: (0..n_nodes).map(|n| trace.job_time_std_dev_on_node(n)).collect(),
             events: trace.engine_events,
             trace_hash: trace_hash(trace),
+            wait_p50: nearest_rank(&waits, 0.5),
+            wait_p99: nearest_rank(&waits, 0.99),
+            wait_p999: nearest_rank(&waits, 0.999),
+            slowdown_p50: nearest_rank(&slowdowns, 0.5),
+            slowdown_p99: nearest_rank(&slowdowns, 0.99),
+            slowdown_p999: nearest_rank(&slowdowns, 0.999),
+            slo_attained: 1.0,
+            event_pushes: 0,
+            event_stale_drops: 0,
+            calendar_resizes: 0,
+            calendar_overflow_hits: 0,
             wall_seconds: trace.wall_seconds,
         }
     }
 
+    /// Condense a full run report: trace metrics from the (possibly
+    /// partial) trace, percentile/SLO columns from the streaming horizon
+    /// report when the scenario ran in horizon mode.
+    pub fn from_report(name: &str, report: &simcal_sim::RunReport) -> Self {
+        let mut r = Self::from_trace(name, &report.trace);
+        if let Some(h) = &report.horizon {
+            r.wait_p50 = h.wait_p50;
+            r.wait_p99 = h.wait_p99;
+            r.wait_p999 = h.wait_p999;
+            r.slowdown_p50 = h.slowdown_p50;
+            r.slowdown_p99 = h.slowdown_p99;
+            r.slowdown_p999 = h.slowdown_p999;
+            r.slo_attained = h.slo_attained;
+        }
+        r
+    }
+
     /// The deterministic content as raw bits (name, metrics, hash) —
-    /// everything except `wall_seconds`. Two runs of the same scenario
-    /// must produce equal fingerprints regardless of worker placement.
+    /// everything except `wall_seconds` and the engine-queue counters
+    /// (which depend on the event-list backend, deliberately excluded so
+    /// heap and calendar sweeps fingerprint identically). Two runs of the
+    /// same scenario must produce equal fingerprints regardless of worker
+    /// placement.
     pub fn fingerprint(&self) -> (String, Vec<u64>, u64, u64) {
         let mut bits: Vec<u64> = vec![
             self.makespan.to_bits(),
             self.mean_job_time.to_bits(),
             self.mean_queue_wait.to_bits(),
             self.max_queue_wait.to_bits(),
+            self.wait_p50.to_bits(),
+            self.wait_p99.to_bits(),
+            self.wait_p999.to_bits(),
+            self.slowdown_p50.to_bits(),
+            self.slowdown_p99.to_bits(),
+            self.slowdown_p999.to_bits(),
+            self.slo_attained.to_bits(),
         ];
         bits.extend(self.node_means.iter().map(|v| v.to_bits()));
         bits.extend(self.node_stds.iter().map(|v| v.to_bits()));
         (self.name.clone(), bits, self.events, self.trace_hash)
     }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (0 when empty).
+fn nearest_rank(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Parse a sweep CSV written by [`SWEEP_CSV_SCHEMA`] (or its v2
+/// predecessor) back into results. Comment lines (`#`) and the header row
+/// are skipped. v2 rows (7 columns) parse with vacuous percentile/SLO
+/// defaults; v3 rows carry them explicitly. Node-level columns and wall
+/// clock are not in the CSV, so they come back empty/zero.
+pub fn parse_sweep_csv(text: &str) -> Result<Vec<SweepResult>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("scenario,") {
+            continue;
+        }
+        let cols: Vec<&str> = line.split(',').collect();
+        if cols.len() != 7 && cols.len() != 14 {
+            return Err(format!(
+                "line {}: expected 7 (v2) or 14 (v3) columns, got {}",
+                lineno + 1,
+                cols.len()
+            ));
+        }
+        let f = |i: usize| -> Result<f64, String> {
+            cols[i]
+                .parse::<f64>()
+                .map_err(|e| format!("line {}: column {}: {e}", lineno + 1, i + 1))
+        };
+        let hash = u64::from_str_radix(cols[6], 16)
+            .map_err(|e| format!("line {}: trace hash: {e}", lineno + 1))?;
+        out.push(SweepResult {
+            name: cols[0].to_string(),
+            makespan: f(1)?,
+            mean_job_time: f(2)?,
+            mean_queue_wait: f(3)?,
+            max_queue_wait: f(4)?,
+            node_means: Vec::new(),
+            node_stds: Vec::new(),
+            events: cols[5]
+                .parse::<u64>()
+                .map_err(|e| format!("line {}: events: {e}", lineno + 1))?,
+            trace_hash: hash,
+            wait_p50: if cols.len() > 7 { f(7)? } else { 0.0 },
+            wait_p99: if cols.len() > 7 { f(8)? } else { 0.0 },
+            wait_p999: if cols.len() > 7 { f(9)? } else { 0.0 },
+            slowdown_p50: if cols.len() > 7 { f(10)? } else { 1.0 },
+            slowdown_p99: if cols.len() > 7 { f(11)? } else { 1.0 },
+            slowdown_p999: if cols.len() > 7 { f(12)? } else { 1.0 },
+            slo_attained: if cols.len() > 7 { f(13)? } else { 1.0 },
+            event_pushes: 0,
+            event_stale_drops: 0,
+            calendar_resizes: 0,
+            calendar_overflow_hits: 0,
+            wall_seconds: 0.0,
+        });
+    }
+    Ok(out)
 }
 
 /// Streaming FNV-1a 64-bit hasher — shared by the trace hash, the
@@ -467,10 +624,22 @@ impl SweepRunner {
     ) -> SweepResult {
         let session = ctx.get_or_insert_with(SimSession::new);
         let t0 = Instant::now();
-        let trace = sc.run_sharded(session, engine_shards);
+        let report = sc
+            .try_run_report(session, engine_shards)
+            .unwrap_or_else(|e| panic!("simulation failed: {e}"));
         let wall = t0.elapsed().as_secs_f64();
-        observe(index, &trace);
-        let mut r = SweepResult::from_trace(&sc.name, &trace);
+        observe(index, &report.trace);
+        let mut r = SweepResult::from_report(&sc.name, &report);
+        if sc.multisite.is_none() {
+            // The session's engine ran this scenario: surface its event-
+            // queue counters (multi-site runs use per-site engines that
+            // are already gone; their counters stay 0).
+            let st = session.engine_stats();
+            r.event_pushes = st.event_pushes;
+            r.event_stale_drops = st.event_stale_drops;
+            r.calendar_resizes = st.calendar_resizes;
+            r.calendar_overflow_hits = st.calendar_overflow_hits;
+        }
         r.wall_seconds = wall;
         r
     }
@@ -573,9 +742,16 @@ mod tests {
         for r in &results {
             let is_arrival = r.name.starts_with("arrival-");
             let is_multisite = r.name.starts_with("ms-");
+            let is_steady = r.name.starts_with("steady-");
             if is_arrival {
                 assert!(r.mean_queue_wait > 0.0, "{}: overcommitted member must queue", r.name);
                 assert!(r.max_queue_wait >= r.mean_queue_wait);
+            } else if is_steady {
+                // Horizon runs: streaming percentiles must be ordered
+                // and the loaded pool must actually queue somewhere.
+                assert!(r.max_queue_wait > 0.0, "{}: loaded pool must queue", r.name);
+                assert!(r.wait_p999 >= r.wait_p50 - 1e-9, "{}", r.name);
+                assert!((0.0..=1.0).contains(&r.slo_attained), "{}", r.name);
             } else if is_multisite {
                 // Stage-in time counts as release-to-start wait here. The
                 // mean is sum/n and may land one ulp above the max when
@@ -589,6 +765,60 @@ mod tests {
             assert_eq!(row.len(), SweepResult::csv_headers().len());
             assert_eq!(row[3], format!("{}", r.mean_queue_wait));
         }
+    }
+
+    #[test]
+    fn v3_csv_rows_round_trip_through_parse() {
+        let grid = ScenarioRegistry::reduced().scenarios();
+        let results = SweepRunner::new().with_workers(2).run(&grid[..6]);
+        let mut text = String::new();
+        text.push_str(SWEEP_CSV_SCHEMA);
+        text.push('\n');
+        text.push_str(&SweepResult::csv_headers().join(","));
+        text.push('\n');
+        for r in &results {
+            text.push_str(&r.csv_row().join(","));
+            text.push('\n');
+        }
+        let parsed = parse_sweep_csv(&text).unwrap();
+        assert_eq!(parsed.len(), results.len());
+        for (p, r) in parsed.iter().zip(&results) {
+            assert_eq!(p.name, r.name);
+            assert_eq!(p.trace_hash, r.trace_hash);
+            assert_eq!(p.events, r.events);
+            // f64 columns survive the text round trip exactly: csv_row
+            // prints with `{}` (shortest representation that reparses
+            // to the same bits).
+            assert_eq!(p.wait_p999.to_bits(), r.wait_p999.to_bits(), "{}", r.name);
+            assert_eq!(p.slo_attained.to_bits(), r.slo_attained.to_bits(), "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn v2_csv_rows_still_parse_with_defaults() {
+        // A canned pre-percentile artifact (the 7-column v2 layout):
+        // parsing must succeed and fill the new columns with the same
+        // defaults pre-v6 wire payloads decode to.
+        let text = "\
+# simcal sweep csv v2: scenario,makespan_s,mean_job_s,mean_wait_s,max_wait_s,events,trace_hash
+scenario,makespan_s,mean_job_s,mean_wait_s,max_wait_s,events,trace_hash
+cms-scsn,6799.25,1694.5,0,0,4242,00c0ffee00c0ffee
+
+arrival-backlog,120.5,30.25,12.5,40,1234,deadbeefdeadbeef
+";
+        let rows = parse_sweep_csv(text).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "cms-scsn");
+        assert_eq!(rows[0].trace_hash, 0x00c0_ffee_00c0_ffee);
+        assert_eq!(rows[0].makespan, 6799.25);
+        assert_eq!(rows[1].mean_queue_wait, 12.5);
+        for r in &rows {
+            assert_eq!(r.wait_p50, 0.0);
+            assert_eq!(r.slowdown_p99, 1.0);
+            assert_eq!(r.slo_attained, 1.0);
+            assert_eq!(r.event_pushes, 0);
+        }
+        assert!(parse_sweep_csv("a,b,c\n").is_err(), "wrong column count is an error");
     }
 
     #[test]

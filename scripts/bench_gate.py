@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Bench regression gate: fresh medians vs the committed BENCH_*.json.
+
+Usage:
+    bench_gate.py COMMITTED.json FRESH.json [--threshold 4.0] [--name kernel]
+
+Compares per-benchmark medians between a committed baseline (the
+repository's BENCH_*.json, measured on a quiet dev box with full sample
+counts) and a fresh run (typically quick-mode on a noisy shared CI
+runner, via SIMCAL_BENCH_JSON=... SIMCAL_BENCH_QUICK=1 cargo bench).
+
+The threshold is deliberately generous: CI machines differ from the
+baseline box in clock speed, cache size, and noise floor, so the gate
+only catches *order-of-magnitude-ish* regressions — an accidental
+O(n log n) -> O(n^2), a debug assert in a hot loop — not single-digit
+drift. Benchmarks present on only one side are reported but never fail
+the gate (new benches land before their baseline; retired ones linger
+until the JSON is re-recorded).
+
+Exit status: 0 = every shared benchmark within threshold, 1 = regression,
+2 = bad invocation / unreadable input.
+"""
+
+import json
+import sys
+
+
+def load_medians(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench-gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for rec in doc.get("results", []):
+        out[rec["id"]] = float(rec["median_ns"])
+    if not out:
+        print(f"bench-gate: {path} holds no results", file=sys.stderr)
+        sys.exit(2)
+    return out
+
+
+def main(argv):
+    args = []
+    threshold = 4.0
+    name = None
+    it = iter(argv)
+    for a in it:
+        if a == "--threshold":
+            try:
+                threshold = float(next(it))
+            except (StopIteration, ValueError):
+                threshold = float("nan")
+        elif a == "--name":
+            name = next(it, None)
+        else:
+            args.append(a)
+    if len(args) != 2 or not threshold > 1.0:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    committed, fresh = load_medians(args[0]), load_medians(args[1])
+    label = name or args[0]
+
+    shared = sorted(set(committed) & set(fresh))
+    only_committed = sorted(set(committed) - set(fresh))
+    only_fresh = sorted(set(fresh) - set(committed))
+    for bench in only_committed:
+        print(f"bench-gate[{label}]: note: {bench!r} in baseline only (not run fresh)")
+    for bench in only_fresh:
+        print(f"bench-gate[{label}]: note: {bench!r} is new (no committed baseline)")
+    if not shared:
+        print(f"bench-gate[{label}]: no shared benchmarks to compare", file=sys.stderr)
+        sys.exit(2)
+
+    failures = []
+    for bench in shared:
+        base, now = committed[bench], fresh[bench]
+        ratio = now / base if base > 0 else float("inf")
+        status = "FAIL" if ratio > threshold else "ok"
+        print(
+            f"bench-gate[{label}]: {status:4} {bench:<50} "
+            f"{base / 1e6:10.3f} ms -> {now / 1e6:10.3f} ms  ({ratio:5.2f}x)"
+        )
+        if ratio > threshold:
+            failures.append((bench, ratio))
+    if failures:
+        print(
+            f"bench-gate[{label}]: {len(failures)} benchmark(s) regressed past "
+            f"{threshold:.1f}x the committed median:",
+            file=sys.stderr,
+        )
+        for bench, ratio in failures:
+            print(f"  {bench}: {ratio:.2f}x", file=sys.stderr)
+        sys.exit(1)
+    print(f"bench-gate[{label}]: {len(shared)} benchmark(s) within {threshold:.1f}x")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,166 @@
+//! Event-list backend invariance over the whole scenario space.
+//!
+//! The event-list seam (`EventListBackend::{Heap, Calendar, Auto}`)
+//! promises that the backing store is pure mechanism: pop order — and
+//! therefore every simulated trace — is bit-identical whichever backend
+//! runs the queues. `crates/des` proves this at the queue level with a
+//! differential proptest oracle; these tests pin it end-to-end through
+//! the public scenario path:
+//!
+//! 1. every registry scenario (both scales, run-to-completion and
+//!    steady-state horizon, single- and multi-site) produces an
+//!    identical sweep fingerprint — makespan, events, trace hash — under
+//!    heap, calendar, and auto;
+//! 2. horizon runs report bit-identical streaming percentiles across
+//!    backends (the `HorizonReport` is a fold over the pop order, so
+//!    any divergence would surface here first);
+//! 3. the auto backend's heap→calendar migration really happens on a
+//!    deep-queue scenario, and counters show the calendar did real work.
+
+use simcal::des::EventListBackend;
+use simcal::sim::{Scenario, ScenarioRegistry, SimSession};
+use simcal::study::sweep::{SweepResult, SweepRunner};
+
+const BACKENDS: [EventListBackend; 3] =
+    [EventListBackend::Heap, EventListBackend::Calendar, EventListBackend::Auto];
+
+/// The grid, re-pinned to one backend.
+fn with_backend(grid: &[Scenario], backend: EventListBackend) -> Vec<Scenario> {
+    let mut grid = grid.to_vec();
+    for sc in &mut grid {
+        sc.config.event_list = backend;
+    }
+    grid
+}
+
+fn fingerprints(rs: &[SweepResult]) -> Vec<(String, Vec<u64>, u64, u64)> {
+    rs.iter().map(SweepResult::fingerprint).collect()
+}
+
+#[test]
+fn every_reduced_scenario_is_backend_invariant() {
+    let grid = ScenarioRegistry::reduced().scenarios();
+    let runner = SweepRunner::new().with_workers(2);
+    let oracle = fingerprints(&runner.run(&with_backend(&grid, EventListBackend::Heap)));
+    for backend in [EventListBackend::Calendar, EventListBackend::Auto] {
+        let results = runner.run(&with_backend(&grid, backend));
+        assert_eq!(
+            fingerprints(&results),
+            oracle,
+            "{backend:?}: sweep fingerprints diverged from the heap oracle"
+        );
+    }
+}
+
+#[test]
+fn builtin_scenarios_are_backend_invariant_per_family() {
+    // Full scale is too slow to sweep three times whole in a debug test;
+    // one representative per family still walks every code path (paper
+    // platforms, heterogeneous nodes, stragglers, deep caches, queued
+    // arrivals, multi-site staging, steady horizons) at real size.
+    let reg = ScenarioRegistry::builtin();
+    let mut seen = std::collections::HashSet::new();
+    let grid: Vec<Scenario> = reg
+        .entries()
+        .iter()
+        .filter(|e| seen.insert(e.family))
+        .map(|e| e.scenario.clone())
+        .collect();
+    assert!(grid.len() >= 7, "expected one scenario per family, got {}", grid.len());
+    let runner = SweepRunner::new().with_workers(2);
+    let oracle = fingerprints(&runner.run(&with_backend(&grid, EventListBackend::Heap)));
+    for backend in [EventListBackend::Calendar, EventListBackend::Auto] {
+        let results = runner.run(&with_backend(&grid, backend));
+        assert_eq!(
+            fingerprints(&results),
+            oracle,
+            "{backend:?}: sweep fingerprints diverged from the heap oracle"
+        );
+    }
+}
+
+#[test]
+fn horizon_reports_are_bit_identical_across_backends() {
+    // The streaming P² percentiles are a deterministic fold over
+    // completion order, so backend invariance must extend beyond the
+    // trace to every reported quantile bit.
+    let steady: Vec<Scenario> = ScenarioRegistry::reduced()
+        .matching("steady")
+        .into_iter()
+        .map(|e| e.scenario.clone())
+        .collect();
+    assert_eq!(steady.len(), 3, "the steady family has three variants");
+    for sc in &steady {
+        let mut reports = Vec::new();
+        for backend in BACKENDS {
+            let mut sc = sc.clone();
+            sc.config.event_list = backend;
+            let report = sc
+                .try_run_report(&mut SimSession::new(), 1)
+                .unwrap_or_else(|e| panic!("{}: {e}", sc.name));
+            let h = report.horizon.unwrap_or_else(|| panic!("{}: no horizon report", sc.name));
+            assert!(h.completed > 0, "{}: horizon run completed nothing", sc.name);
+            reports.push((
+                report.trace.jobs.len(),
+                report.trace.engine_events,
+                h.wait_p50.to_bits(),
+                h.wait_p99.to_bits(),
+                h.wait_p999.to_bits(),
+                h.slowdown_p999.to_bits(),
+                h.slo_attained.to_bits(),
+                h.utilization.iter().map(|u| u.to_bits()).collect::<Vec<_>>(),
+            ));
+        }
+        assert_eq!(reports[0], reports[1], "{}: calendar diverged from heap", sc.name);
+        assert_eq!(reports[0], reports[2], "{}: auto diverged from heap", sc.name);
+    }
+}
+
+#[test]
+fn auto_backend_migrates_on_deep_queues_and_counters_prove_it() {
+    // A deep pending-timer population (every arrival's release timer is
+    // scheduled up front) pushes the auto queue past its high-water mark:
+    // the calendar must come on (resizes > 0) without moving the trace.
+    use simcal::sim::{CacheSpec, HorizonSpec, SimConfig, WorkloadSource};
+    use simcal::workload::{ArrivalProcess, Distribution, WorkloadSpec};
+
+    let n_jobs = 1_500;
+    let horizon = 600.0;
+    let base = Scenario {
+        name: "deep-queue".to_string(),
+        platform: simcal::platform::catalog::scfn(),
+        workload: WorkloadSource::Spec {
+            spec: WorkloadSpec {
+                n_jobs,
+                files_per_job: 1,
+                file_size: Distribution::Constant(4e6),
+                flops_per_byte: Distribution::Constant(6.0),
+                output_bytes: Distribution::Constant(1e6),
+                arrival: ArrivalProcess::Poisson { rate: n_jobs as f64 / horizon },
+            },
+            seed: 0xd33b,
+        },
+        cache: CacheSpec::canonical(0.5),
+        config: SimConfig::default(),
+        multisite: None,
+        horizon: Some(HorizonSpec::new(horizon)),
+    };
+    let mut hashes = Vec::new();
+    for backend in BACKENDS {
+        let mut sc = base.clone();
+        sc.config.event_list = backend;
+        let mut session = SimSession::new();
+        let report = sc.try_run_report(&mut session, 1).unwrap();
+        let stats = session.engine_stats();
+        assert!(stats.event_pushes as usize >= n_jobs, "{backend:?}: queue barely used");
+        if backend != EventListBackend::Heap {
+            assert!(
+                stats.calendar_resizes > 0,
+                "{backend:?}: calendar never engaged on a {n_jobs}-timer queue"
+            );
+        }
+        hashes.push(SweepResult::from_trace(&sc.name, &report.trace).trace_hash);
+    }
+    assert_eq!(hashes[0], hashes[1]);
+    assert_eq!(hashes[0], hashes[2]);
+}

@@ -141,6 +141,7 @@ fn scenario_on(
         cache: CacheSpec { icd: 0.5, seed: Some(seed) },
         config: SimConfig::default(),
         multisite: Some(ms),
+        horizon: None,
     }
 }
 

@@ -76,12 +76,15 @@ fn sweep_is_bit_identical_across_1_2_8_workers() {
 
 #[test]
 fn sweep_matches_direct_session_runs() {
-    // The sweep must compute exactly what a bare scenario run computes.
+    // The sweep must compute exactly what a bare scenario run computes —
+    // including the horizon scenarios, whose percentiles come from the
+    // streaming P² report rather than the trace.
     let grid = reduced_grid();
     let swept = SweepRunner::new().with_workers(4).run(&grid);
     let mut session = SimSession::new();
     for (sc, r) in grid.iter().zip(&swept) {
-        let direct = SweepResult::from_trace(&sc.name, &sc.run(&mut session));
+        let report = sc.try_run_report(&mut session, 1).expect("scenario runs");
+        let direct = SweepResult::from_report(&sc.name, &report);
         assert_eq!(direct.fingerprint(), r.fingerprint(), "scenario {}", sc.name);
     }
 }
