@@ -1,0 +1,61 @@
+//! Max–min vs flow-level WAN on the `wan` scenario family: what the
+//! bandwidth-model seam costs, and that the flow-level physics actually
+//! move the answer.
+//!
+//! Each reduced `wan` scenario runs twice — once as registered (the
+//! flow-level model with that variant's congestion parameters) and once
+//! forced onto the max–min solver. The warm-up pass prints the makespan
+//! divergence per scenario and asserts at least one variant diverges
+//! measurably (> 0.1% relative makespan) — the flip side of the
+//! degeneracy oracle: non-degenerate parameters must *not* collapse to
+//! max–min. The per-model medians land in `BENCH_wan.json`, which CI
+//! gates with `scripts/bench_gate.py` like the kernel and steady
+//! baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use simcal_sim::{ScenarioRegistry, SimSession, WanModel};
+use simcal_study::SweepResult;
+
+fn bench_wan_models(c: &mut Criterion) {
+    let reg = ScenarioRegistry::reduced();
+    let entries = reg.matching("wan");
+    assert!(!entries.is_empty(), "reduced registry lost its wan family");
+    let mut group = c.benchmark_group("wan");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    let mut session = SimSession::new();
+    let mut diverged = 0usize;
+    for e in &entries {
+        let flow = e.scenario.clone();
+        assert!(
+            matches!(flow.config.wan_model, WanModel::FlowLevel(_)),
+            "{}: wan family members run the flow-level model",
+            flow.name
+        );
+        let mut maxmin = flow.clone();
+        maxmin.config.wan_model = WanModel::MaxMin;
+        let m_flow = SweepResult::from_trace(&flow.name, &flow.run(&mut session)).makespan;
+        let m_max = SweepResult::from_trace(&maxmin.name, &maxmin.run(&mut session)).makespan;
+        let rel = (m_flow - m_max) / m_max;
+        println!(
+            "wan: {} makespan flow-level {m_flow:.2}s vs maxmin {m_max:.2}s ({:+.2}%)",
+            flow.name,
+            rel * 100.0
+        );
+        if rel.abs() > 1e-3 {
+            diverged += 1;
+        }
+        for (label, sc) in [("flow-level", &flow), ("maxmin", &maxmin)] {
+            group.bench_function(&format!("{}/{label}", flow.name), |b| {
+                b.iter(|| black_box(sc).run(&mut session).engine_events);
+            });
+        }
+    }
+    assert!(diverged >= 1, "no wan scenario diverged from max-min — the physics are inert");
+    group.finish();
+}
+
+criterion_group!(benches, bench_wan_models);
+criterion_main!(benches);

@@ -68,6 +68,7 @@
 use crate::eventlist::{CompletionEntry, EventList, EventListBackend};
 use crate::flow::{FlowSpec, FlowState, FlowStatus};
 use crate::ids::{FlowId, ResourceId, Tag, TimerId};
+use crate::model::{BandwidthModel, BandwidthModelConfig, ModelDispatch};
 use crate::resource::ResourceSpec;
 use crate::route::Route;
 use crate::sharing::{SolveScratch, MAX_RATE};
@@ -239,6 +240,14 @@ pub struct Engine {
     comp_flows: Vec<FlowId>,
     scratch: SolveScratch,
     cap_sort: Vec<(f64, u32)>,
+
+    /// The bandwidth model behind the seam (see [`BandwidthModel`]): every
+    /// cap the solver reads, the swap/weak-mark gating, per-flow WAN
+    /// latency, and the pre-settle window hook route through it. Default
+    /// is the static max–min model, whose hooks are all identity no-ops.
+    model: ModelDispatch,
+    /// Scratch: slots whose effective caps changed in a window update.
+    wan_changed: Vec<u32>,
 }
 
 impl Engine {
@@ -254,8 +263,8 @@ impl Engine {
     }
 
     /// Engine statistics so far. The event-queue counters (pushes, pops,
-    /// stale drops, calendar resizes/overflow hits) are merged in from
-    /// the completion list and the timer queue at read time.
+    /// stale drops, calendar resizes/overflow hits) and the bandwidth
+    /// model's WAN counters are merged in from their owners at read time.
     #[inline]
     pub fn stats(&self) -> Stats {
         let mut s = self.stats;
@@ -266,6 +275,10 @@ impl Engine {
         s.event_stale_drops += timer_stale;
         s.calendar_resizes = c.resizes + t.resizes;
         s.calendar_overflow_hits = c.overflow_hits + t.overflow_hits;
+        let m = self.model.counters();
+        s.wan_flows = m.wan_flows;
+        s.wan_window_cuts = m.wan_window_cuts;
+        s.wan_window_bumps = m.wan_window_bumps;
         s
     }
 
@@ -277,6 +290,22 @@ impl Engine {
     pub fn set_event_list_backend(&mut self, backend: EventListBackend) {
         self.completions.set_backend(backend);
         self.timers.set_backend(backend);
+    }
+
+    /// Select the bandwidth model behind the seam: the default incremental
+    /// max–min solver, or the flow-level WAN backend (propagation delay,
+    /// AIMD windows, QDisc queueing feedback — see [`crate::FlowLevelWan`]).
+    /// Swapping models discards the previous model's per-flow state, so
+    /// callers set it right after construction or [`Engine::reset`],
+    /// before starting flows.
+    pub fn set_bandwidth_model(&mut self, config: BandwidthModelConfig) {
+        self.model = ModelDispatch::from_config(config);
+    }
+
+    /// Short stable name of the active bandwidth model (`"maxmin"` /
+    /// `"flow-level"`).
+    pub fn bandwidth_model_name(&self) -> &'static str {
+        self.model.name()
     }
 
     /// Clear all simulation state — flows, timers, resources, clock, and
@@ -318,6 +347,9 @@ impl Engine {
             slot.resources.clear();
             self.free_comp_slots.push(s as u32);
         }
+        // The model selection survives the reset (like the event-list
+        // backend); only its per-run flow state is cleared.
+        self.model.reset();
         // res_mark/res_local stay valid: marks are generation-stamped.
     }
 
@@ -338,11 +370,19 @@ impl Engine {
     }
 
     /// Start a flow; returns its id. The flow begins consuming bandwidth
-    /// after its latency (if any) elapses.
-    pub fn start_flow(&mut self, spec: FlowSpec) -> FlowId {
+    /// after its latency (if any) elapses. A WAN-annotated flow
+    /// ([`FlowSpec::with_wan`]) additionally pays the bandwidth model's
+    /// propagation delay and is registered with the model's per-flow
+    /// state; under the default max–min model the annotation is inert.
+    pub fn start_flow(&mut self, mut spec: FlowSpec) -> FlowId {
         spec.validate();
         for r in spec.route.as_slice() {
             assert!(r.index() < self.resources.len(), "unknown resource in route");
+        }
+        let wan = spec.wan;
+        if let Some(w) = wan {
+            assert!(w.bottleneck.index() < self.resources.len(), "unknown WAN bottleneck");
+            spec.latency += self.model.extra_latency(w.delay);
         }
         let latency = spec.latency;
         let mut state = FlowState::from_spec(spec);
@@ -369,6 +409,12 @@ impl Engine {
         let id = FlowId::compose(slot, self.slot_gen[slot as usize]);
         self.live_count += 1;
         self.stats.flows_started += 1;
+        if let Some(w) = wan {
+            // Registered before the swap-candidate check below: a dynamic
+            // flow must never take the inherit fast path.
+            let cap = self.resources[w.bottleneck.index()].capacity.effective(1);
+            self.model.on_start(slot as usize, w, cap, self.time);
+        }
         if pending {
             // A pending flow does not change the current allocation.
             self.timers.schedule(self.time + latency, TimerKind::ActivateFlow(id));
@@ -402,13 +448,15 @@ impl Engine {
 
     /// Index of a batch candidate with this flow's exact (route, cap)
     /// signature. Identical signatures always receive identical max–min
-    /// rates, so any match is valid.
+    /// rates, so any match is valid — except for flows whose effective cap
+    /// the bandwidth model drives dynamically: an inherited rate would
+    /// bake in the twin's (stale) cap, so they always take a real attach.
     fn match_candidate(&self, id: FlowId) -> Option<usize> {
         if self.batch_candidates.is_empty() {
             return None;
         }
         let f = &self.flows[id.index()];
-        if f.route.is_empty() {
+        if f.route.is_empty() || self.model.is_dynamic(id.index()) {
             return None;
         }
         self.batch_candidates.iter().position(|c| c.rate_cap == f.rate_cap && c.route == f.route)
@@ -438,6 +486,7 @@ impl Engine {
                 f.status = FlowStatus::Cancelled;
                 f.rate = 0.0;
                 self.flow_epoch[id.index()] = self.flow_epoch[id.index()].wrapping_add(1);
+                self.model.on_end(id.index());
                 self.detach(id, false);
                 self.free_slots.push(id.index() as u32);
                 self.live_count -= 1;
@@ -447,6 +496,7 @@ impl Engine {
                 let f = &mut self.flows[id.index()];
                 f.status = FlowStatus::Cancelled;
                 f.rate = 0.0;
+                self.model.on_end(id.index());
                 self.free_slots.push(id.index() as u32);
                 self.live_count -= 1;
                 self.stats.flows_cancelled += 1;
@@ -517,12 +567,35 @@ impl Engine {
     /// the differential property tests) can observe settled rates without
     /// advancing time.
     pub fn settle_rates(&mut self) {
+        if self.model.wants_window_update(self.time) {
+            self.update_wan_windows();
+        }
         if !self.dirty_routeless.is_empty()
             || !self.weak_queue.is_empty()
             || !self.strong_queue.is_empty()
         {
             self.recompute_rates();
         }
+    }
+
+    /// Let the bandwidth model evolve its congestion windows to `now`, then
+    /// mark the routes of every flow whose effective cap changed strongly so
+    /// the settle that follows re-solves them under the new caps.
+    fn update_wan_windows(&mut self) {
+        let mut changed = std::mem::take(&mut self.wan_changed);
+        changed.clear();
+        self.model.update_windows(self.time, &mut changed);
+        for &slot in &changed {
+            if self.flows[slot as usize].status != FlowStatus::Active {
+                continue;
+            }
+            let route = std::mem::take(&mut self.flows[slot as usize].route);
+            for &r in route.as_slice() {
+                self.mark_strong(r);
+            }
+            self.flows[slot as usize].route = route;
+        }
+        self.wan_changed = changed;
     }
 
     /// Lower bound on the time of the engine's next event, without
@@ -750,9 +823,14 @@ impl Engine {
         let tag = f.tag;
         let rate_cap = f.rate_cap;
         self.flow_epoch[id.index()] = self.flow_epoch[id.index()].wrapping_add(1);
-        self.detach(id, true);
+        // A dynamically-capped flow's departure changes the queue occupancy
+        // every co-bottlenecked flow sees, so it must mark strongly and must
+        // not offer its (stale-capped) rate for inheritance.
+        let dynamic = self.model.is_dynamic(id.index());
+        self.model.on_end(id.index());
+        self.detach(id, !dynamic);
         let route = std::mem::take(&mut self.flows[id.index()].route);
-        if !route.is_empty() {
+        if !route.is_empty() && !dynamic {
             // Route-less completions leave no dirty marks and their
             // reissues are O(1) anyway; only routed ones need candidates.
             self.batch_candidates.push(SwapCandidate { route, rate_cap, rate });
@@ -969,7 +1047,7 @@ impl Engine {
         // solver's unconstrained maximum), assigned in O(1).
         while let Some(id) = self.dirty_routeless.pop() {
             if self.is_live_id(id) && self.flows[id.index()].status == FlowStatus::Active {
-                let cap = self.flows[id.index()].rate_cap;
+                let cap = self.model.effective_cap(id.index(), self.flows[id.index()].rate_cap);
                 let rate = if cap.is_finite() { cap } else { MAX_RATE };
                 self.set_rate(id, rate);
                 self.stats.routeless_assigns += 1;
@@ -1079,7 +1157,8 @@ impl Engine {
         self.stats.closed_form_solves += 1;
         self.cap_sort.clear();
         for (k, &fid) in self.comp_flows.iter().enumerate() {
-            self.cap_sort.push((self.flows[fid.index()].rate_cap, k as u32));
+            let cap = self.model.effective_cap(fid.index(), self.flows[fid.index()].rate_cap);
+            self.cap_sort.push((cap, k as u32));
         }
         self.cap_sort.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         let mut rem = self.resources[r.index()].capacity.effective(n);
@@ -1235,7 +1314,8 @@ impl Engine {
                 }
                 self.flow_mark[fid.index()] = gen;
                 self.comp_flows.push(fid);
-                info.min_cap = info.min_cap.min(self.flows[fid.index()].rate_cap);
+                let cap = self.model.effective_cap(fid.index(), self.flows[fid.index()].rate_cap);
+                info.min_cap = info.min_cap.min(cap);
             }
         }
         info.has_cap = info.min_cap < f64::INFINITY;
@@ -1287,7 +1367,8 @@ impl Engine {
                 }
                 self.flow_mark[fid.index()] = gen;
                 self.comp_flows.push(fid);
-                info.min_cap = info.min_cap.min(self.flows[fid.index()].rate_cap);
+                let cap = self.model.effective_cap(fid.index(), self.flows[fid.index()].rate_cap);
+                info.min_cap = info.min_cap.min(cap);
                 let route = std::mem::take(&mut self.flows[fid.index()].route);
                 for &r2 in route.as_slice() {
                     if self.res_mark[r2.index()] != gen {
@@ -1316,6 +1397,7 @@ impl Engine {
                 ref comp_flows,
                 ref res_local,
                 ref res_mark,
+                ref model,
                 ..
             } = *self;
             scratch.clear();
@@ -1327,7 +1409,7 @@ impl Engine {
                 let f = &flows[fid.index()];
                 debug_assert!(f.route.as_slice().iter().all(|r| res_mark[r.index()] == gen));
                 scratch.push_flow_raw(
-                    f.rate_cap,
+                    model.effective_cap(fid.index(), f.rate_cap),
                     f.route.as_slice().iter().map(|r| res_local[r.index()]),
                 );
             }
@@ -1350,6 +1432,7 @@ impl Engine {
 mod tests {
     use super::*;
     use crate::resource::ResourceSpec;
+    use crate::wan::FlowLevelParams;
 
     #[test]
     fn single_flow_duration_is_demand_over_capacity() {
@@ -2135,5 +2218,204 @@ mod tests {
         let heap = run(EventListBackend::Heap);
         assert_eq!(heap, run(EventListBackend::Calendar), "calendar diverged");
         assert_eq!(heap, run(EventListBackend::Auto), "auto diverged");
+    }
+
+    /// The degeneracy oracle at engine level: a flow-level model with zero
+    /// propagation delay and an unbounded window must replay the max–min
+    /// trace bit for bit, including on a workload full of WAN annotations,
+    /// reissues, caps and latencies.
+    #[test]
+    fn degenerate_flow_level_matches_maxmin_bit_for_bit() {
+        fn run(config: BandwidthModelConfig) -> Vec<(u64, u64)> {
+            let mut e = Engine::new();
+            e.set_bandwidth_model(config);
+            let wan = e.add_resource(ResourceSpec::constant(100.0));
+            let nic = e.add_resource(ResourceSpec::constant(40.0));
+            for i in 0..40u64 {
+                let route: &[ResourceId] = if i % 3 == 0 { &[wan, nic] } else { &[wan] };
+                let mut spec = FlowSpec::new(50.0 + (i % 7) as f64 * 12.5, route, Tag(i));
+                if i % 4 == 1 {
+                    spec = spec.with_latency(0.25 * (i % 5) as f64);
+                }
+                if i % 5 == 2 {
+                    spec = spec.with_cap(6.0);
+                }
+                if i % 2 == 0 {
+                    spec = spec.with_wan(0.0, wan); // zero-delay WAN annotation
+                }
+                e.start_flow(spec);
+            }
+            for i in 0..10u64 {
+                e.set_timer(0.375 * i as f64, Tag(1000 + i));
+            }
+            let mut log = Vec::new();
+            while let Some(ev) = e.next() {
+                log.push((ev.tag().0, e.now().to_bits()));
+                if let Event::FlowCompleted { tag, .. } = ev {
+                    if tag.0 % 6 == 0 && tag.0 < 60 {
+                        let spec = FlowSpec::new(30.0, &[wan], Tag(tag.0 + 100)).with_wan(0.0, wan);
+                        e.start_flow(spec);
+                    }
+                }
+            }
+            log.push((u64::MAX, e.now().to_bits()));
+            log
+        }
+        let maxmin = run(BandwidthModelConfig::MaxMin);
+        let degen = run(BandwidthModelConfig::FlowLevel(FlowLevelParams::degenerate()));
+        assert_eq!(maxmin, degen, "degenerate flow-level diverged from max-min");
+    }
+
+    #[test]
+    fn windowed_wan_flow_is_capped_at_window_over_rtt() {
+        let mut e = Engine::new();
+        let params = FlowLevelParams {
+            window: Some(1e6),
+            additive_increase: 0.0, // freeze the window so the cap is exact
+            ..FlowLevelParams::default()
+        };
+        e.set_bandwidth_model(BandwidthModelConfig::FlowLevel(params));
+        let wan = e.add_resource(ResourceSpec::constant(1e9));
+        let id = e.start_flow(FlowSpec::new(1e9, &[wan], Tag(1)).with_wan(0.01, wan));
+        // The propagation delay defers the start; step past the activation.
+        assert!(e.next_before(0.02).is_none());
+        e.settle_rates();
+        // window / (2 * prop delay) = 1e6 / 0.02 = 5e7, far below the 1e9 link.
+        assert!((e.flow_rate(id) - 5e7).abs() < 1.0, "rate = {}", e.flow_rate(id));
+    }
+
+    #[test]
+    fn wan_propagation_delay_defers_completion() {
+        // Under flow-level, the WAN annotation's delay adds start latency;
+        // under max-min it is inert.
+        for (cfg, expect) in [
+            (BandwidthModelConfig::MaxMin, 1.0),
+            (BandwidthModelConfig::FlowLevel(FlowLevelParams::degenerate()), 1.5),
+        ] {
+            let mut e = Engine::new();
+            e.set_bandwidth_model(cfg);
+            let wan = e.add_resource(ResourceSpec::constant(1.0));
+            e.start_flow(FlowSpec::new(1.0, &[wan], Tag(1)).with_wan(0.5, wan));
+            let t = e.drain();
+            assert!((t - expect).abs() < 1e-9, "finished at {t}, expected {expect}");
+        }
+    }
+
+    #[test]
+    fn dynamic_wan_flows_skip_swap_fast_path() {
+        // A pipelined stream of identical windowed flows must never take the
+        // inherit fast path: each departure changes the QDisc occupancy.
+        fn run(cfg: BandwidthModelConfig) -> Stats {
+            let mut e = Engine::new();
+            e.set_bandwidth_model(cfg);
+            let wan = e.add_resource(ResourceSpec::constant(100.0));
+            let mk = |i: u64| FlowSpec::new(10.0, &[wan], Tag(i)).with_wan(0.001, wan);
+            e.start_flow(mk(0));
+            e.start_flow(mk(1));
+            let mut next = 2u64;
+            while let Some(ev) = e.next() {
+                if let Event::FlowCompleted { .. } = ev {
+                    if next < 20 {
+                        e.start_flow(mk(next));
+                        next += 1;
+                    }
+                }
+            }
+            e.stats()
+        }
+        let maxmin = run(BandwidthModelConfig::MaxMin);
+        assert!(maxmin.swap_inherits > 0, "max-min should take the fast path");
+        let windowed = run(BandwidthModelConfig::FlowLevel(FlowLevelParams::default()));
+        assert_eq!(windowed.swap_inherits, 0, "windowed flows must not inherit rates");
+        assert_eq!(windowed.wan_flows, 20);
+    }
+
+    mod degeneracy_oracle {
+        use super::*;
+        use crate::wan::FlowLevelParams;
+        use proptest::prelude::*;
+
+        /// A random workload: per flow (demand grid, route selector, cap
+        /// selector, latency grid, WAN-annotation flag). Demands sit on a
+        /// coarse grid so identical-signature swaps and same-timestamp
+        /// batches actually occur.
+        fn workload() -> impl Strategy<Value = Vec<(u32, u32, u32, u32, u32)>> {
+            proptest::collection::vec((1u32..80, 0u32..3, 0u32..3, 0u32..4, 0u32..2), 1..60)
+        }
+
+        /// Random AIMD knobs (all irrelevant once the window is unbounded
+        /// and the delay zero — that irrelevance is the property).
+        fn knobs() -> impl Strategy<Value = (u32, u32, u32)> {
+            (1u32..19, 0u32..5, 0u32..4)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The degeneracy guarantee, randomized: any flow-level config
+            /// collapsed to zero delay + unbounded window replays the
+            /// max–min trace bit for bit, whatever its AIMD knobs and
+            /// whichever flows carry WAN annotations.
+            #[test]
+            fn collapsed_flow_level_replays_maxmin((flows, (g, ai, thr)) in (workload(), knobs())) {
+                let params = FlowLevelParams {
+                    window: None, // unbounded: the collapse
+                    gain: f64::from(g) * 0.1,
+                    additive_increase: f64::from(ai) * 5e4,
+                    mark_threshold: f64::from(thr) * 2.5e-3,
+                    ..FlowLevelParams::default()
+                };
+                fn run(
+                    config: BandwidthModelConfig,
+                    flows: &[(u32, u32, u32, u32, u32)],
+                ) -> Vec<(u64, u64)> {
+                    let mut e = Engine::new();
+                    e.set_bandwidth_model(config);
+                    let wan = e.add_resource(ResourceSpec::constant(100.0));
+                    let nic = e.add_resource(ResourceSpec::constant(40.0));
+                    for (i, &(d, route, cap, lat, w)) in flows.iter().enumerate() {
+                        let route: &[ResourceId] = match route {
+                            0 => &[wan],
+                            1 => &[wan, nic],
+                            _ => &[nic],
+                        };
+                        let mut spec =
+                            FlowSpec::new(f64::from(d) * 12.5, route, Tag(i as u64));
+                        if cap > 0 {
+                            spec = spec.with_cap(f64::from(cap) * 7.0);
+                        }
+                        if lat > 0 {
+                            spec = spec.with_latency(f64::from(lat) * 0.25);
+                        }
+                        if w > 0 {
+                            spec = spec.with_wan(0.0, wan); // zero delay: the collapse
+                        }
+                        e.start_flow(spec);
+                    }
+                    let mut log = Vec::new();
+                    while let Some(ev) = e.next() {
+                        log.push((ev.tag().0, e.now().to_bits()));
+                    }
+                    log
+                }
+                let maxmin = run(BandwidthModelConfig::MaxMin, &flows);
+                let degen = run(BandwidthModelConfig::FlowLevel(params), &flows);
+                prop_assert_eq!(maxmin, degen, "collapsed flow-level diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn model_selection_survives_reset_but_counters_clear() {
+        let mut e = Engine::new();
+        e.set_bandwidth_model(BandwidthModelConfig::FlowLevel(FlowLevelParams::default()));
+        assert_eq!(e.bandwidth_model_name(), "flow-level");
+        let wan = e.add_resource(ResourceSpec::constant(10.0));
+        e.start_flow(FlowSpec::new(5.0, &[wan], Tag(1)).with_wan(0.01, wan));
+        e.drain();
+        assert_eq!(e.stats().wan_flows, 1);
+        e.reset();
+        assert_eq!(e.bandwidth_model_name(), "flow-level", "selection survives reset");
+        assert_eq!(e.stats(), Stats::default(), "per-run model state cleared");
     }
 }

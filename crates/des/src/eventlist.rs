@@ -20,11 +20,13 @@
 //!   calendar queue; keeping the type behind this module boundary is what
 //!   made those experiments five-line swaps.
 //! * **Calendar** — a Brown-style calendar queue whose bucket width is
-//!   retuned from sampled inter-event gaps on every resize and whose
-//!   day length doubles/halves on population thresholds. O(1) amortized
-//!   push/pop when the width matches the event density, which is the
-//!   steady-state serving regime (large, slowly-drifting event
-//!   populations) the heap's O(log n) sift starts to feel.
+//!   retuned in O(1) from an incrementally-maintained inter-pop gap
+//!   estimate (no sampling walk over the population), and whose day
+//!   doubles by rebuilding but halves by merging physical bucket pairs
+//!   in place. O(1) amortized push/pop when the width matches the event
+//!   density, which is the steady-state serving regime (large,
+//!   slowly-drifting event populations) the heap's O(log n) sift starts
+//!   to feel.
 //! * **Auto** — starts on the heap and migrates to the calendar when the
 //!   live population crosses a high-water mark, so short runs keep the
 //!   heap's low constants and long steady-state runs get the calendar.
@@ -161,8 +163,10 @@ pub(crate) struct QueueCounters {
 
 /// Smallest calendar day (bucket count); always a power of two.
 const MIN_BUCKETS: usize = 16;
-/// Head-of-queue events sampled to estimate the inter-event gap on retune.
-const WIDTH_SAMPLE: usize = 25;
+/// EWMA weight of the newest observed inter-pop gap in the width
+/// estimate. 1/8 follows the serving regime within a few dozen pops
+/// without letting one outlier gap move the width much.
+const GAP_ALPHA: f64 = 0.125;
 
 /// Brown-style calendar queue. Each bucket is kept sorted by the inverted
 /// entry `Ord` (earliest at the `Vec` tail), so the per-bucket minimum
@@ -190,7 +194,15 @@ struct Calendar<T> {
     min_memo: Option<usize>,
     /// Scratch for resize/migration (kept allocated).
     scratch: Vec<T>,
-    sample: Vec<f64>,
+    /// EWMA of observed inter-pop gaps (`0.0` until the first strictly
+    /// positive gap) — the O(1) width estimate a retune reads.
+    gap_ewma: f64,
+    /// Time of the most recent pop (`NAN` before the first pop).
+    last_pop: f64,
+    /// Extremes of every timestamp pushed since the last clear; the
+    /// width bootstrap while no pop gap has been observed yet.
+    t_min: f64,
+    t_max: f64,
 }
 
 impl<T: EventKey> Default for Calendar<T> {
@@ -203,7 +215,10 @@ impl<T: EventKey> Default for Calendar<T> {
             cur_vb: i64::MIN,
             min_memo: None,
             scratch: Vec::new(),
-            sample: Vec::new(),
+            gap_ewma: 0.0,
+            last_pop: f64::NAN,
+            t_min: f64::INFINITY,
+            t_max: f64::NEG_INFINITY,
         }
     }
 }
@@ -217,6 +232,10 @@ impl<T: EventKey> Calendar<T> {
         self.len = 0;
         self.cur_vb = i64::MIN;
         self.min_memo = None;
+        self.gap_ewma = 0.0;
+        self.last_pop = f64::NAN;
+        self.t_min = f64::INFINITY;
+        self.t_max = f64::NEG_INFINITY;
     }
 
     /// Virtual bucket of a timestamp. The float→int cast saturates, so
@@ -228,7 +247,14 @@ impl<T: EventKey> Calendar<T> {
     }
 
     fn push(&mut self, e: T, counters: &mut QueueCounters) {
-        let vb = self.virtual_bucket(e.time());
+        let t = e.time();
+        if t < self.t_min {
+            self.t_min = t;
+        }
+        if t > self.t_max {
+            self.t_max = t;
+        }
+        let vb = self.virtual_bucket(t);
         let b = (vb as usize) & self.mask;
         // Inverted Ord: ascending sort order is descending time, so the
         // earliest entry lands at the tail. The order is total, so only
@@ -264,9 +290,22 @@ impl<T: EventKey> Calendar<T> {
         let e = self.buckets[b].pop().expect("min bucket is non-empty");
         self.len -= 1;
         self.min_memo = None;
-        self.cur_vb = self.virtual_bucket(e.time());
+        let t = e.time();
+        self.cur_vb = self.virtual_bucket(t);
+        // Feed the incremental width estimate: the gap between successive
+        // pops is exactly the event density the next scans will see.
+        // `NAN < t` is false, so the first pop only seeds `last_pop`.
+        let gap = t - self.last_pop;
+        if gap > 0.0 && gap.is_finite() {
+            self.gap_ewma = if self.gap_ewma > 0.0 {
+                self.gap_ewma + (gap - self.gap_ewma) * GAP_ALPHA
+            } else {
+                gap
+            };
+        }
+        self.last_pop = t;
         if self.len < self.buckets.len() / 2 && self.buckets.len() > MIN_BUCKETS {
-            self.resize(self.buckets.len() / 2, counters);
+            self.consolidate(counters);
         }
         Some(e)
     }
@@ -347,37 +386,54 @@ impl<T: EventKey> Calendar<T> {
         self.cur_vb = min_vb;
     }
 
-    /// Estimate a new bucket width: select the `WIDTH_SAMPLE` earliest
-    /// entries in `scratch`, average their adjacent distinct gaps, and
-    /// spread a few events per bucket. Degenerate samples (all ties, or
-    /// fewer than two distinct times) keep the current width.
+    /// Estimate a new bucket width in O(1) from incrementally-maintained
+    /// state: the EWMA of observed inter-pop gaps (the density the next
+    /// pops will actually see), bootstrapped from the pushed time span
+    /// while no gap has been observed yet (growth before the first pop).
+    /// Spreads a few events per bucket, like Brown's sampled rule did,
+    /// without walking any entries. Degenerate state (no positive gap,
+    /// no span) keeps the current width.
     fn retune_width(&mut self) {
-        self.sample.clear();
-        self.sample.extend(self.scratch.iter().map(|e| e.time()));
-        let k = WIDTH_SAMPLE.min(self.sample.len());
-        if k < 2 {
+        let w = if self.gap_ewma > 0.0 {
+            3.0 * self.gap_ewma
+        } else if self.t_max > self.t_min && self.len > 0 {
+            3.0 * (self.t_max - self.t_min) / self.len as f64
+        } else {
             return;
-        }
-        if k < self.sample.len() {
-            self.sample.select_nth_unstable_by(k - 1, f64::total_cmp);
-            self.sample.truncate(k);
-        }
-        self.sample.sort_unstable_by(f64::total_cmp);
-        let mut gap_sum = 0.0;
-        let mut gaps = 0u32;
-        for w in self.sample.windows(2) {
-            if w[1] > w[0] {
-                gap_sum += w[1] - w[0];
-                gaps += 1;
-            }
-        }
-        if gaps == 0 {
-            return;
-        }
-        let w = 3.0 * (gap_sum / f64::from(gaps));
+        };
         if w.is_finite() && w > 0.0 {
             self.width = w;
         }
+    }
+
+    /// Halve the day by merging each upper-half bucket into its
+    /// lower-half partner. Physical buckets `b` and `b + n/2` hold
+    /// exactly the virtual buckets that collide once the top mask bit
+    /// drops, and the width is untouched — so this is an O(moved
+    /// entries) consolidation of a sparse day, not the full re-bucketing
+    /// rebuild that growth performs. `cur_vb` stays valid: virtual
+    /// bucket numbers never change, only their physical mapping.
+    fn consolidate(&mut self, counters: &mut QueueCounters) {
+        counters.resizes += 1;
+        let half = self.buckets.len() / 2;
+        for b in 0..half {
+            let hi = std::mem::take(&mut self.buckets[b + half]);
+            if hi.is_empty() {
+                continue;
+            }
+            if self.buckets[b].is_empty() {
+                self.buckets[b] = hi;
+            } else {
+                // Entries are `Copy` and the order total, so an unstable
+                // re-sort of the merged pair reproduces the bucket
+                // invariant (earliest at the tail) exactly.
+                self.buckets[b].extend(hi);
+                self.buckets[b].sort_unstable();
+            }
+        }
+        self.buckets.truncate(half);
+        self.mask = half - 1;
+        self.min_memo = None;
     }
 }
 
@@ -639,6 +695,51 @@ mod tests {
         assert!(c.resizes >= 2, "200 entries over 16 starting buckets must grow: {c:?}");
         while q.pop().is_some() {}
         assert_eq!(q.counters().pops, 200);
+    }
+
+    #[test]
+    fn width_retunes_from_the_incremental_pop_gap_estimate() {
+        let mut q = EventList::with_backend(EventListBackend::Calendar);
+        // Uniform 0.5 s gaps: every observed pop gap is exactly 0.5, so
+        // the EWMA stays exactly 0.5 whatever the weight.
+        for i in 0..24u64 {
+            q.push(entry(i as f64 * 0.5, i));
+        }
+        for _ in 0..8 {
+            q.pop();
+        }
+        assert_eq!(q.cal.gap_ewma, 0.5);
+        // The next growth retune reads the estimate: width = 3 * gap.
+        for i in 100..(100 + 2 * MIN_BUCKETS as u64) {
+            q.push(entry(i as f64 * 0.5, i));
+        }
+        assert_eq!(q.cal.width, 1.5);
+    }
+
+    #[test]
+    fn consolidation_halves_the_day_and_preserves_pop_order() {
+        let mut q = EventList::with_backend(EventListBackend::Calendar);
+        // Grow well past MIN_BUCKETS, then drain low enough to force
+        // several consolidations on the way down.
+        for i in 0..300u64 {
+            q.push(entry((i % 97) as f64 * 0.25, i));
+        }
+        assert!(q.cal.buckets.len() > MIN_BUCKETS);
+        let grow_resizes = q.counters().resizes;
+        let mut prev = entry(f64::NEG_INFINITY, 0);
+        let mut n = 0;
+        while let Some(e) = q.pop() {
+            assert!(e.time >= prev.time, "pop order violated after consolidation");
+            prev = e;
+            n += 1;
+        }
+        assert_eq!(n, 300);
+        assert_eq!(q.cal.buckets.len(), MIN_BUCKETS, "a drained day shrinks to the minimum");
+        assert!(
+            q.counters().resizes > grow_resizes,
+            "draining must consolidate: {:?}",
+            q.counters()
+        );
     }
 
     #[test]

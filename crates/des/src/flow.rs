@@ -1,6 +1,7 @@
 //! Flow specifications and runtime state.
 
 use crate::ids::{ResourceId, Tag};
+use crate::model::WanSpec;
 use crate::route::Route;
 
 /// Lifecycle of a flow inside the engine.
@@ -33,13 +34,24 @@ pub struct FlowSpec {
     /// disk seek, protocol overhead). The completion event therefore fires
     /// at `start + latency + demand / harmonic-mean-rate`.
     pub latency: f64,
+    /// Optional WAN annotation: propagation delay and bottleneck resource,
+    /// consumed by dynamic bandwidth models ([`crate::BandwidthModel`]).
+    /// Inert under the default max–min model.
+    pub wan: Option<WanSpec>,
 }
 
 impl FlowSpec {
     /// A plain flow: no cap, no latency.
     #[inline]
     pub fn new(demand: f64, route: &[ResourceId], tag: Tag) -> Self {
-        Self { demand, route: Route::from_slice(route), tag, rate_cap: None, latency: 0.0 }
+        Self {
+            demand,
+            route: Route::from_slice(route),
+            tag,
+            rate_cap: None,
+            latency: 0.0,
+            wan: None,
+        }
     }
 
     /// The route the flow will hold while active.
@@ -60,6 +72,16 @@ impl FlowSpec {
     pub fn with_latency(mut self, latency: f64) -> Self {
         assert!(latency.is_finite() && latency >= 0.0, "latency must be non-negative");
         self.latency = latency;
+        self
+    }
+
+    /// Annotate the flow as a WAN transfer with one-way propagation
+    /// `delay` whose QDisc bottleneck is `bottleneck` (must be on the
+    /// route). Ignored by static bandwidth models.
+    #[inline]
+    pub fn with_wan(mut self, delay: f64, bottleneck: ResourceId) -> Self {
+        assert!(delay.is_finite() && delay >= 0.0, "WAN delay must be non-negative");
+        self.wan = Some(WanSpec { delay, bottleneck });
         self
     }
 

@@ -43,21 +43,25 @@ mod engine;
 mod eventlist;
 mod flow;
 mod ids;
+mod model;
 pub mod partition;
 mod resource;
 mod route;
 mod sharing;
 mod stats;
 mod timer;
+mod wan;
 
 pub use engine::{Engine, Event};
 pub use eventlist::EventListBackend;
 pub use flow::{FlowSpec, FlowStatus};
 pub use ids::{FlowId, ResourceId, Tag, TimerId};
+pub use model::{BandwidthModel, BandwidthModelConfig, MaxMinModel, ModelCounters, WanSpec};
 pub use partition::{run_parallel, run_sequential, Envelope, Partition, SyncStats};
 pub use resource::{CapacityModel, ResourceSpec};
 pub use sharing::{solve_max_min, FlowInput, ResourceInput, SolveScratch, MAX_RATE};
 pub use stats::Stats;
+pub use wan::{FlowLevelParams, FlowLevelWan};
 
 /// Relative numerical tolerance used when deciding a flow's demand is done.
 pub const REL_EPS: f64 = 1e-9;

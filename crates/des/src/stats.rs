@@ -82,6 +82,15 @@ pub struct Stats {
     /// Fruitless full-day calendar scans that fell back to a direct
     /// search over every bucket (kept near zero by width retuning).
     pub calendar_overflow_hits: u64,
+    /// WAN-annotated flows registered with the active bandwidth model
+    /// (zero under the default max–min model).
+    pub wan_flows: u64,
+    /// Multiplicative congestion-window decreases applied by a flow-level
+    /// WAN model (congestion signals observed).
+    pub wan_window_cuts: u64,
+    /// Additive congestion-window increases applied by a flow-level WAN
+    /// model.
+    pub wan_window_bumps: u64,
 }
 
 impl Stats {

@@ -80,6 +80,11 @@ pub struct Options {
     /// open-loop to this horizon with streaming SLO percentiles instead
     /// of to completion.
     pub horizon: Option<f64>,
+    /// `sweep --wan-model MODEL`: force every matching scenario onto this
+    /// bandwidth model (`maxmin`, `flow-level`, or `flow-level-degenerate`
+    /// — the collapsed flow-level configuration that is bit-identical to
+    /// max–min, used for artifact comparison).
+    pub wan_model: Option<simcal_sim::WanModel>,
 }
 
 impl Options {
@@ -115,6 +120,7 @@ impl Options {
             algo: "random".to_string(),
             event_list: None,
             horizon: None,
+            wan_model: None,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -210,6 +216,7 @@ impl Options {
                     }
                     opts.horizon = Some(h);
                 }
+                "--wan-model" => opts.wan_model = Some(parse_wan_model(&take("--wan-model")?)?),
                 cmd if opts.command.is_empty() && !cmd.starts_with('-') => {
                     opts.command = cmd.to_string()
                 }
@@ -270,6 +277,18 @@ impl Options {
             ctx.workers = Some(w);
         }
         Ok(ctx)
+    }
+}
+
+fn parse_wan_model(s: &str) -> Result<simcal_sim::WanModel, String> {
+    use simcal_sim::{FlowLevelCfg, WanModel};
+    match s {
+        "maxmin" => Ok(WanModel::MaxMin),
+        "flow-level" => Ok(WanModel::FlowLevel(FlowLevelCfg::default())),
+        "flow-level-degenerate" => Ok(WanModel::FlowLevel(FlowLevelCfg::degenerate())),
+        other => Err(format!(
+            "--wan-model: unknown model {other:?} (use maxmin|flow-level|flow-level-degenerate)"
+        )),
     }
 }
 
@@ -337,6 +356,13 @@ Options:
                                 streaming P2 wait/slowdown percentiles and SLO
                                 attainment instead of running to completion
                                 (single-site scenarios only)
+  --wan-model MODEL             sweep bandwidth-model override: maxmin (the
+                                incremental max-min solver), flow-level (per-
+                                flow propagation delay, FIFO bottleneck queue,
+                                windowed AIMD congestion control), or
+                                flow-level-degenerate (flow-level collapsed to
+                                zero delay / unbounded window — bit-identical
+                                to maxmin, for artifact comparison)
   --stall-timeout SECS          distributed sweep zero-progress window before
                                 orphaned claims are requeued (default 30);
                                 for TCP also the per-connection heartbeat
@@ -395,7 +421,7 @@ fn run_scenarios(opts: &Options) -> Result<(), String> {
         return Err(format!("no scenario matches {pat:?}"));
     }
     let headers: Vec<String> = [
-        "name", "family", "platform", "nodes", "cores", "jobs", "icd", "policy", "arrival",
+        "name", "family", "platform", "nodes", "cores", "jobs", "icd", "policy", "arrival", "wan",
         "horizon", "summary",
     ]
     .map(String::from)
@@ -424,6 +450,7 @@ fn run_scenarios(opts: &Options) -> Result<(), String> {
                 format!("{:.1}", sc.cache.icd),
                 sc.config.scheduler.label().to_string(),
                 arrival.to_string(),
+                sc.config.wan_model.name().to_string(),
                 match &sc.horizon {
                     Some(h) => format!("{:.0}s", h.duration),
                     None => "-".to_string(),
@@ -453,20 +480,40 @@ fn run_sweep(opts: &Options) -> Result<(), String> {
             sc.config.event_list = backend;
         }
     }
+    if let Some(model) = &opts.wan_model {
+        if matches!(model, simcal_sim::WanModel::FlowLevel(_)) {
+            let offenders: Vec<&str> = grid
+                .iter()
+                .filter(|sc| !scenario_has_wan_traffic(sc))
+                .map(|sc| sc.name.as_str())
+                .collect();
+            if !offenders.is_empty() {
+                return Err(format!(
+                    "--wan-model flow-level: scenario(s) {} have no WAN component (every \
+                     input is cached and no job writes output) — the flow-level model \
+                     would never see a flow; narrow the pattern or use --wan-model maxmin",
+                    offenders.join(", ")
+                ));
+            }
+        }
+        for sc in &mut grid {
+            sc.config.wan_model = model.clone();
+        }
+    }
     if let Some(dur) = opts.horizon {
         // Horizon mode and the partitioned multi-site path are mutually
-        // exclusive (Scenario::validate enforces it); drop multi-site
-        // matches rather than panicking mid-sweep.
-        let before = grid.len();
-        grid.retain(|sc| sc.multisite.is_none());
-        if grid.len() < before {
-            eprintln!(
-                "[simcal-exp] --horizon skips {} multi-site scenario(s)",
-                before - grid.len()
-            );
-        }
-        if grid.is_empty() {
-            return Err("--horizon left no scenarios (all matches are multi-site)".to_string());
+        // exclusive (Scenario::validate enforces it); reject the
+        // combination up front instead of silently dropping matches or
+        // panicking mid-sweep.
+        let offenders: Vec<&str> =
+            grid.iter().filter(|sc| sc.multisite.is_some()).map(|sc| sc.name.as_str()).collect();
+        if !offenders.is_empty() {
+            return Err(format!(
+                "--horizon cannot run multi-site scenario(s) {}: open-loop horizon mode \
+                 streams percentiles from a single engine, which the partitioned \
+                 multi-site driver does not provide — narrow the pattern to exclude them",
+                offenders.join(", ")
+            ));
         }
         for sc in &mut grid {
             let slo = sc.horizon.map(|h| h.slo_wait);
@@ -597,6 +644,14 @@ fn run_sweep(opts: &Options) -> Result<(), String> {
             ]
         })
         .collect();
+    let mut model_names: Vec<&str> = grid.iter().map(|sc| sc.config.wan_model.name()).collect();
+    model_names.sort_unstable();
+    model_names.dedup();
+    println!(
+        "wan model: {}{}",
+        model_names.join(", "),
+        if opts.wan_model.is_some() { " (forced by --wan-model)" } else { "" }
+    );
     print!("{}", ascii_table(&headers, &rows));
     println!(
         "\n{} scenarios in {:.2} s on {mode} ({:.1} scenarios/s)",
@@ -620,6 +675,20 @@ fn run_sweep(opts: &Options) -> Result<(), String> {
         write_sweep_csv(&dir.join("sweep.csv"), &results)?;
     }
     Ok(())
+}
+
+/// Whether a scenario's workload ever crosses the WAN: any uncached input
+/// file streams in over it, and any job output writes back over it. A
+/// scenario with every input cached and zero output bytes never starts a
+/// WAN flow, so requesting the flow-level model for it is a user error.
+fn scenario_has_wan_traffic(sc: &simcal_sim::Scenario) -> bool {
+    if sc.cache.icd < 1.0 {
+        return true;
+    }
+    match &sc.workload {
+        simcal_sim::WorkloadSource::Spec { spec, .. } => spec.output_bytes.mean() > 0.0,
+        simcal_sim::WorkloadSource::Concrete(w) => w.jobs.iter().any(|j| j.output_bytes > 0.0),
+    }
 }
 
 /// Write the deterministic sweep artifact (identical bytes for identical
@@ -1395,10 +1464,82 @@ mod tests {
     }
 
     #[test]
-    fn horizon_sweep_skips_multisite_scenarios() {
+    fn horizon_on_multisite_is_a_structured_error() {
         let o = parse(&["sweep", "ms-*", "--reduced", "--horizon", "60"]).unwrap();
         let err = run_sweep(&o).unwrap_err();
-        assert!(err.contains("multi-site"), "got: {err}");
+        assert!(err.contains("--horizon") && err.contains("multi-site"), "got: {err}");
+        // A mixed match errors too — the offending scenarios are named
+        // instead of being silently dropped from the grid.
+        let o = parse(&["sweep", "--reduced", "--horizon", "60"]).unwrap();
+        let err = run_sweep(&o).unwrap_err();
+        assert!(err.contains("ms-"), "got: {err}");
+    }
+
+    #[test]
+    fn wan_model_flag_parses_and_rejects_unknown_models() {
+        let o = parse(&["sweep", "--reduced", "--wan-model", "maxmin"]).unwrap();
+        assert_eq!(o.wan_model, Some(simcal_sim::WanModel::MaxMin));
+        let o = parse(&["sweep", "--reduced", "--wan-model", "flow-level"]).unwrap();
+        assert!(matches!(o.wan_model, Some(simcal_sim::WanModel::FlowLevel(_))));
+        let o = parse(&["sweep", "--reduced", "--wan-model", "flow-level-degenerate"]).unwrap();
+        match o.wan_model {
+            Some(simcal_sim::WanModel::FlowLevel(cfg)) => {
+                assert_eq!(cfg, simcal_sim::FlowLevelCfg::degenerate())
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        let err = parse(&["sweep", "--wan-model", "token-bucket"]).err().unwrap();
+        assert!(err.contains("--wan-model"), "got: {err}");
+    }
+
+    #[test]
+    fn degenerate_wan_model_sweep_artifact_matches_maxmin_byte_for_byte() {
+        // The CI cmp smoke step in miniature: forcing the collapsed
+        // flow-level configuration produces the same sweep.csv bytes as
+        // forcing max-min.
+        let base = std::env::temp_dir().join(format!("simcal-cli-wancmp-{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+        for (model, dir) in [("maxmin", "a"), ("flow-level-degenerate", "b")] {
+            let o = parse(&[
+                "sweep",
+                "arr*-poisson",
+                "--reduced",
+                "--wan-model",
+                model,
+                "--out",
+                base.join(dir).to_str().unwrap(),
+            ])
+            .unwrap();
+            run_sweep(&o).unwrap();
+        }
+        let a = std::fs::read(base.join("a").join("sweep.csv")).unwrap();
+        let b = std::fs::read(base.join("b").join("sweep.csv")).unwrap();
+        assert_eq!(a, b, "degenerate flow-level sweep artifact diverged from max-min");
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn flow_level_requires_a_wan_component() {
+        // Every registry scenario moves bytes over the WAN (uncached reads
+        // or output writes), so the flag is usable across the board...
+        let reg = ScenarioRegistry::reduced();
+        for e in reg.matching("") {
+            assert!(
+                scenario_has_wan_traffic(&e.scenario),
+                "{} unexpectedly has no WAN traffic",
+                e.scenario.name
+            );
+        }
+        // ...but an all-cached, zero-output scenario has none, and asking
+        // for the flow-level model there is the structured error case.
+        let mut sc = reg.matching("arr*-poisson")[0].scenario.clone();
+        sc.cache.icd = 1.0;
+        if let simcal_sim::WorkloadSource::Spec { spec, .. } = &mut sc.workload {
+            spec.output_bytes = simcal_sim::Distribution::Constant(0.0);
+        } else {
+            panic!("registry scenario should be spec-driven");
+        }
+        assert!(!scenario_has_wan_traffic(&sc));
     }
 
     #[test]

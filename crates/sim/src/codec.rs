@@ -34,7 +34,7 @@ use std::sync::Arc;
 use simcal_platform::{MultiSiteSpec, NodeSpec, PlatformSpec, WanLink};
 use simcal_workload::{ArrivalProcess, Distribution, JobSpec, Workload, WorkloadSpec};
 
-use crate::config::{NoiseConfig, SimConfig};
+use crate::config::{FlowLevelCfg, NoiseConfig, SimConfig, WanModel};
 use crate::scenario::{CacheSpec, Scenario, WorkloadSource};
 use crate::scheduler::SchedulerPolicy;
 
@@ -63,8 +63,13 @@ use crate::scheduler::SchedulerPolicy;
 /// older payloads — backends are trace-invariant, so the default is
 /// always safe) and the optional steady-state `horizon` spec on
 /// scenarios (emitted only when set, like `multisite`); v6 decoders
-/// accept v1–v5 payloads unchanged.
-pub const CODEC_VERSION: u64 = 6;
+/// accept v1–v5 payloads unchanged. v7 adds the WAN bandwidth model
+/// (`wan_model` on [`SimConfig`], required from v7 on): `"maxmin"` or a
+/// flow-level object with propagation delay and congestion-window
+/// parameters. Pre-v7 payloads decode to [`WanModel::MaxMin`], the
+/// byte-identical historical behaviour, so v7 decoders accept v1–v6
+/// unchanged.
+pub const CODEC_VERSION: u64 = 7;
 
 /// A decoding (or parsing) failure. Every variant carries enough context
 /// to say *which* type and field went wrong — decoders never panic on
@@ -1098,7 +1103,74 @@ pub fn sim_config_to_json(c: &SimConfig) -> Json {
         ),
         ("scheduler", Json::Str(c.scheduler.label().to_string())),
         ("event_list", Json::Str(c.event_list.as_str().to_string())),
+        ("wan_model", wan_model_to_json(&c.wan_model)),
     ])
+}
+
+fn wan_model_to_json(m: &WanModel) -> Json {
+    match m {
+        WanModel::MaxMin => Json::Str("maxmin".to_string()),
+        WanModel::FlowLevel(cfg) => obj(vec![
+            ("model", Json::Str("flow-level".to_string())),
+            ("prop_delay", json_f64(cfg.prop_delay)),
+            ("per_node_delay_step", json_f64(cfg.per_node_delay_step)),
+            ("window", cfg.window.map_or(Json::Null, json_f64)),
+            ("gain", json_f64(cfg.gain)),
+            ("additive_increase", json_f64(cfg.additive_increase)),
+            ("mark_threshold", json_f64(cfg.mark_threshold)),
+        ]),
+    }
+}
+
+fn wan_model_from_json(json: &Json) -> Result<WanModel, CodecError> {
+    if let Json::Str(s) = json {
+        return match s.as_str() {
+            "maxmin" => Ok(WanModel::MaxMin),
+            other => Err(CodecError::Invalid {
+                ty: "WanModel",
+                msg: format!("unknown WAN model {other:?}"),
+            }),
+        };
+    }
+    let r = ObjReader::new("WanModel", json)?;
+    let model = r.str("model")?;
+    if model != "flow-level" {
+        return Err(CodecError::Invalid {
+            ty: "WanModel",
+            msg: format!("unknown WAN model object {model:?}"),
+        });
+    }
+    let window = match r.req("window")? {
+        Json::Null => None,
+        v => Some(json_to_f64(v).ok_or(CodecError::WrongType {
+            ty: "WanModel",
+            field: "window",
+            expected: "number or null",
+        })?),
+    };
+    let cfg = FlowLevelCfg {
+        prop_delay: r.f64("prop_delay")?,
+        per_node_delay_step: r.f64("per_node_delay_step")?,
+        window,
+        gain: r.f64("gain")?,
+        additive_increase: r.f64("additive_increase")?,
+        mark_threshold: r.f64("mark_threshold")?,
+    };
+    let nonneg = |x: f64| x.is_finite() && x >= 0.0;
+    let valid = nonneg(cfg.prop_delay)
+        && nonneg(cfg.per_node_delay_step)
+        && cfg.gain > 0.0
+        && cfg.gain < 2.0
+        && nonneg(cfg.additive_increase)
+        && nonneg(cfg.mark_threshold)
+        && window.is_none_or(|w| w.is_finite() && w > 0.0);
+    if !valid {
+        return Err(CodecError::Invalid {
+            ty: "WanModel",
+            msg: "flow-level parameters out of range".to_string(),
+        });
+    }
+    Ok(WanModel::FlowLevel(cfg))
 }
 
 /// Decode a [`SimConfig`] from its JSON value form. `v` is the enclosing
@@ -1167,6 +1239,20 @@ pub fn sim_config_from_json(json: &Json, v: u64) -> Result<SimConfig, CodecError
     } else {
         simcal_des::EventListBackend::default()
     };
+    // v1–v6 payloads predate the bandwidth-model seam: absent means the
+    // scalar max–min WAN, the byte-identical historical behaviour. From v7
+    // on the field is required — but when present it is decoded whatever
+    // the payload's declared version, so re-stamped payloads keep their
+    // model (the field, not the version, is authoritative).
+    let wan_model = match r.get("wan_model") {
+        Some(json) => wan_model_from_json(json)?,
+        None => {
+            if v >= 7 {
+                r.req("wan_model")?;
+            }
+            WanModel::MaxMin
+        }
+    };
     Ok(SimConfig {
         hardware,
         granularity: simcal_storage::XRootDConfig::new(block_size, buffer_size),
@@ -1176,6 +1262,7 @@ pub fn sim_config_from_json(json: &Json, v: u64) -> Result<SimConfig, CodecError
         scheduler,
         release_time_scale,
         event_list,
+        wan_model,
     })
 }
 
@@ -1686,6 +1773,71 @@ mod tests {
                 assert_eq!(encode_scenario(&back), text, "{}: re-encode", e.scenario.name);
             }
         }
+    }
+
+    #[test]
+    fn every_builtin_scenario_round_trips_with_each_wan_model() {
+        // v7 round-trip over the full registry x every WanModel variant:
+        // the scalar default, the flow-level default, and the degenerate
+        // flow-level corner (window: null on the wire).
+        let variants = [
+            WanModel::MaxMin,
+            WanModel::FlowLevel(crate::config::FlowLevelCfg::default()),
+            WanModel::FlowLevel(crate::config::FlowLevelCfg::degenerate()),
+        ];
+        for reg in [ScenarioRegistry::builtin(), ScenarioRegistry::reduced()] {
+            for e in reg.entries() {
+                for m in &variants {
+                    let mut sc = e.scenario.clone();
+                    sc.config.wan_model = m.clone();
+                    let text = encode_scenario(&sc);
+                    let back = decode_scenario(&text).expect("decode");
+                    assert_eq!(back, sc, "{} under {}", sc.name, m.name());
+                    assert_eq!(encode_scenario(&back), text, "{}: re-encode", sc.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn v6_payloads_without_wan_model_decode_to_maxmin() {
+        // Strip the v7 field and drop the version back to 6: the decoder
+        // must fall back to the scalar max–min model — the byte-identical
+        // historical behaviour — even if the scenario carried flow-level.
+        let mut sc = ScenarioRegistry::reduced().scenarios().remove(0);
+        sc.config.wan_model = WanModel::FlowLevel(crate::config::FlowLevelCfg::default());
+        let mut json = scenario_to_json(&sc);
+        fn strip(json: &mut Json) {
+            if let Some(fields) = json.fields_mut() {
+                fields.retain(|(k, _)| k != "wan_model");
+                for (k, v) in fields.iter_mut() {
+                    if k == "v" {
+                        *v = Json::Num(6.0);
+                    }
+                    strip(v);
+                }
+            }
+        }
+        strip(&mut json);
+        let back = scenario_from_json(&json).expect("v6 decode");
+        assert_eq!(back.config.wan_model, WanModel::MaxMin);
+        sc.config.wan_model = WanModel::MaxMin;
+        assert_eq!(back, sc);
+    }
+
+    #[test]
+    fn bad_wan_models_are_structured_errors() {
+        assert!(matches!(
+            wan_model_from_json(&Json::Str("token-bucket".into())),
+            Err(CodecError::Invalid { ty: "WanModel", .. })
+        ));
+        // Out-of-range gain is rejected with context, not a panic.
+        let cfg = FlowLevelCfg { gain: 7.5, ..FlowLevelCfg::default() };
+        let json = wan_model_to_json(&WanModel::FlowLevel(cfg));
+        assert!(matches!(
+            wan_model_from_json(&json),
+            Err(CodecError::Invalid { ty: "WanModel", .. })
+        ));
     }
 
     #[test]

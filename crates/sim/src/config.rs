@@ -1,10 +1,121 @@
 //! Simulation configuration: hardware parameters, granularity, noise.
 
-use simcal_des::EventListBackend;
+use simcal_des::{BandwidthModelConfig, EventListBackend, FlowLevelParams};
 use simcal_platform::HardwareParams;
 use simcal_storage::XRootDConfig;
 
 use crate::scheduler::SchedulerPolicy;
+
+/// Bandwidth model for the WAN: the paper's scalar max–min cap, or a
+/// flow-level model with propagation delay, windowed congestion control
+/// and FIFO-QDisc queueing feedback.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum WanModel {
+    /// Fluid max–min sharing of the scalar WAN capacity (the paper's
+    /// emulator and this repo's historical behaviour).
+    #[default]
+    MaxMin,
+    /// Flow-level WAN: each remote transfer carries a propagation delay
+    /// and an AIMD congestion window; the WAN resource's FIFO QDisc feeds
+    /// queueing delay back into effective rates.
+    FlowLevel(FlowLevelCfg),
+}
+
+impl WanModel {
+    /// Short stable name (CLI columns, sweep headers).
+    pub fn name(&self) -> &'static str {
+        match self {
+            WanModel::MaxMin => "maxmin",
+            WanModel::FlowLevel(_) => "flow-level",
+        }
+    }
+
+    /// Lower the selection to the engine-facing model configuration.
+    pub fn to_engine(&self) -> BandwidthModelConfig {
+        match self {
+            WanModel::MaxMin => BandwidthModelConfig::MaxMin,
+            WanModel::FlowLevel(cfg) => BandwidthModelConfig::FlowLevel(FlowLevelParams {
+                window: cfg.window,
+                gain: cfg.gain,
+                additive_increase: cfg.additive_increase,
+                mark_threshold: cfg.mark_threshold,
+                ..FlowLevelParams::default()
+            }),
+        }
+    }
+}
+
+/// Parameters of the flow-level WAN model, simulator-facing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowLevelCfg {
+    /// Base one-way WAN propagation delay, seconds (on top of the start
+    /// latency the hardware parameters already charge).
+    pub prop_delay: f64,
+    /// Extra per-node propagation-delay step, seconds: node `i` sees
+    /// `prop_delay + i * per_node_delay_step`. A nonzero step makes the
+    /// WAN RTT-heterogeneous, the regime where windowed senders share
+    /// unfairly.
+    pub per_node_delay_step: f64,
+    /// Initial congestion window, bytes; `None` = unbounded (degenerate:
+    /// collapses to max–min when `prop_delay` is also zero).
+    pub window: Option<f64>,
+    /// Multiplicative-decrease gain in (0, 2): a congestion signal cuts
+    /// the window by `gain / 2`.
+    pub gain: f64,
+    /// Additive increase, bytes per RTT, applied while unmarked.
+    pub additive_increase: f64,
+    /// Queueing delay (seconds) above which the QDisc marks flows.
+    pub mark_threshold: f64,
+}
+
+impl Default for FlowLevelCfg {
+    fn default() -> Self {
+        let p = FlowLevelParams::default();
+        Self {
+            prop_delay: 0.02,
+            per_node_delay_step: 0.0,
+            window: p.window,
+            gain: p.gain,
+            additive_increase: p.additive_increase,
+            mark_threshold: p.mark_threshold,
+        }
+    }
+}
+
+impl FlowLevelCfg {
+    /// The degenerate configuration: zero delay, unbounded window. By the
+    /// degeneracy guarantee this reproduces max–min bit for bit.
+    pub fn degenerate() -> Self {
+        Self { prop_delay: 0.0, per_node_delay_step: 0.0, window: None, ..Self::default() }
+    }
+
+    /// One-way propagation delay seen by node `node`.
+    pub fn delay_for_node(&self, node: usize) -> f64 {
+        self.prop_delay + node as f64 * self.per_node_delay_step
+    }
+
+    /// Panic unless the configuration is valid.
+    pub fn validate(&self) {
+        assert!(
+            self.prop_delay.is_finite() && self.prop_delay >= 0.0,
+            "WAN propagation delay must be non-negative"
+        );
+        assert!(
+            self.per_node_delay_step.is_finite() && self.per_node_delay_step >= 0.0,
+            "per-node delay step must be non-negative"
+        );
+        // Window/gain/increase/threshold invariants live with the engine
+        // params; lower and let them check.
+        FlowLevelParams {
+            window: self.window,
+            gain: self.gain,
+            additive_increase: self.additive_increase,
+            mark_threshold: self.mark_threshold,
+            ..FlowLevelParams::default()
+        }
+        .validate();
+    }
+}
 
 /// Stochastic-realism configuration.
 ///
@@ -77,6 +188,9 @@ pub struct SimConfig {
     /// hence every trace — is identical across backends; this knob trades
     /// nothing but time.
     pub event_list: EventListBackend,
+    /// Bandwidth model for the WAN resource. [`WanModel::MaxMin`] (the
+    /// default) reproduces the historical traces byte for byte.
+    pub wan_model: WanModel,
 }
 
 impl SimConfig {
@@ -91,6 +205,7 @@ impl SimConfig {
             scheduler: SchedulerPolicy::default(),
             release_time_scale: 1.0,
             event_list: EventListBackend::default(),
+            wan_model: WanModel::default(),
         }
     }
 
@@ -115,6 +230,9 @@ impl SimConfig {
             self.release_time_scale.is_finite() && self.release_time_scale >= 0.0,
             "release time scale must be non-negative"
         );
+        if let WanModel::FlowLevel(cfg) = &self.wan_model {
+            cfg.validate();
+        }
     }
 }
 

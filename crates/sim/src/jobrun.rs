@@ -14,7 +14,7 @@ use simcal_des::{Engine, FlowSpec};
 use simcal_storage::CachePlan;
 use simcal_workload::{Distribution, JobSpec};
 
-use crate::config::SimConfig;
+use crate::config::{SimConfig, WanModel};
 use crate::resources::PlatformResources;
 use crate::tags::{encode, Kind};
 
@@ -27,6 +27,19 @@ pub(crate) struct Ctx<'a> {
     pub res: &'a PlatformResources,
     pub cfg: &'a SimConfig,
     pub rng: &'a mut StdRng,
+}
+
+impl Ctx<'_> {
+    /// Annotate a WAN transfer issued from `node` for the active bandwidth
+    /// model: under the flow-level model the flow carries its propagation
+    /// delay and QDisc bottleneck; under max–min the spec is untouched, so
+    /// default-model traces stay byte-identical.
+    fn annotate_wan(&self, spec: FlowSpec, node: usize) -> FlowSpec {
+        match &self.cfg.wan_model {
+            WanModel::MaxMin => spec,
+            WanModel::FlowLevel(cfg) => spec.with_wan(cfg.delay_for_node(node), self.res.wan),
+        }
+    }
 }
 
 /// Job lifecycle phase.
@@ -363,14 +376,14 @@ impl JobRun {
             return;
         }
         let end = (self.net_pos + ctx.cfg.granularity.buffer_size).min(self.server_done);
-        ctx.engine.start_flow(
-            FlowSpec::new(
-                end - self.net_pos,
-                &[ctx.res.wan, ctx.res.node_link[self.node]],
-                encode(Kind::NetChunk, self.job),
-            )
-            .with_latency(ctx.cfg.hardware.wan_latency),
-        );
+        let spec = FlowSpec::new(
+            end - self.net_pos,
+            &[ctx.res.wan, ctx.res.node_link[self.node]],
+            encode(Kind::NetChunk, self.job),
+        )
+        .with_latency(ctx.cfg.hardware.wan_latency);
+        let spec = ctx.annotate_wan(spec, self.node);
+        ctx.engine.start_flow(spec);
         self.net_pos = end;
         self.net_busy = true;
     }
@@ -400,14 +413,14 @@ impl JobRun {
             return;
         }
         let end = (self.out_net_pos + ctx.cfg.granularity.buffer_size).min(self.output_bytes);
-        ctx.engine.start_flow(
-            FlowSpec::new(
-                end - self.out_net_pos,
-                &[ctx.res.node_link[self.node], ctx.res.wan],
-                encode(Kind::OutNet, self.job),
-            )
-            .with_latency(ctx.cfg.hardware.wan_latency),
-        );
+        let spec = FlowSpec::new(
+            end - self.out_net_pos,
+            &[ctx.res.node_link[self.node], ctx.res.wan],
+            encode(Kind::OutNet, self.job),
+        )
+        .with_latency(ctx.cfg.hardware.wan_latency);
+        let spec = ctx.annotate_wan(spec, self.node);
+        ctx.engine.start_flow(spec);
         self.out_net_pos = end;
         self.out_net_busy = true;
     }

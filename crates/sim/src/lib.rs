@@ -62,7 +62,7 @@ pub mod tags;
 pub mod validate;
 
 pub use codec::{decode_scenario, encode_scenario, CodecError, Json};
-pub use config::{NoiseConfig, SimConfig};
+pub use config::{FlowLevelCfg, NoiseConfig, SimConfig, WanModel};
 pub use multisite::{
     simulate_multisite, try_simulate_multisite, try_simulate_multisite_with_stats, StageMsg,
 };
@@ -73,6 +73,10 @@ pub use scheduler::{Scheduler, SchedulerPolicy};
 // Re-exported so downstream crates can pick an event-list backend without
 // depending on `simcal-des` directly.
 pub use simcal_des::EventListBackend;
+// Re-exported so downstream crates can inspect or build workload sources
+// (`WorkloadSource::Spec` embeds these types) without depending on
+// `simcal-workload` directly.
+pub use simcal_workload::{Distribution, Workload, WorkloadSpec};
 pub use simulator::{simulate, try_simulate, HorizonRun, SimError, SimSession};
 pub use stream::{HorizonReport, HorizonSpec, HorizonStats, P2Quantile, DEFAULT_SLO_WAIT};
 pub use validate::check_trace;

@@ -20,7 +20,7 @@ use simcal_platform::{
 use simcal_storage::XRootDConfig;
 use simcal_workload::{cms_workload_spec, ArrivalProcess, Distribution, WorkloadSpec};
 
-use crate::config::{NoiseConfig, SimConfig};
+use crate::config::{FlowLevelCfg, NoiseConfig, SimConfig, WanModel};
 use crate::scenario::{CacheSpec, Scenario, WorkloadSource};
 use crate::scheduler::SchedulerPolicy;
 use crate::stream::HorizonSpec;
@@ -97,6 +97,7 @@ impl ScenarioRegistry {
         reg.push_arrival_family(scale);
         reg.push_multisite_family(scale);
         reg.push_steady_family(scale);
+        reg.push_wan_family(scale);
         reg
     }
 
@@ -668,6 +669,95 @@ impl ScenarioRegistry {
             );
         }
     }
+
+    /// Flow-level WAN scenarios: the regimes a scalar max–min cap cannot
+    /// express, each keyed to one failure mode of the fluid model. All
+    /// three run the flow-level bandwidth model ([`WanModel::FlowLevel`])
+    /// with windows sized so the congestion machinery actually binds —
+    /// their makespans measurably diverge from the max–min answer (the
+    /// divergence is asserted in a test and surfaced in `BENCH_wan.json`).
+    fn push_wan_family(&mut self, scale: Scale) {
+        const SALT: u64 = 0x7761_6E66; // "wanf"
+        let (n_jobs, files, bytes) = match scale {
+            Scale::Full => (48, 8, 150e6),
+            Scale::Reduced => (8, 3, 24e6),
+        };
+        // A multi-node pool behind a thin shared WAN: enough concurrent
+        // senders that windows and queueing, not the scalar cap, decide
+        // who gets what.
+        let platform = match scale {
+            Scale::Full => PlatformKind::Scsn.spec(),
+            Scale::Reduced => {
+                let mut b = PlatformBuilder::new("WAN-POOL").wan_gbps(1.0);
+                for i in 0..4 {
+                    b = b.node(format!("w{i}"), 2);
+                }
+                b.build()
+            }
+        };
+        struct Variant {
+            name: &'static str,
+            summary: &'static str,
+            icd: f64,
+            cfg: FlowLevelCfg,
+        }
+        let variants: [Variant; 3] = [
+            Variant {
+                name: "wan-miss-storm",
+                summary: "all-remote cache-miss storm under windowed senders",
+                icd: 0.0,
+                cfg: FlowLevelCfg {
+                    prop_delay: 0.02,
+                    window: Some(2e6),
+                    ..FlowLevelCfg::default()
+                },
+            },
+            Variant {
+                name: "wan-rtt-unfair",
+                summary: "per-node RTT ladder: near nodes out-window far ones",
+                icd: 0.2,
+                cfg: FlowLevelCfg {
+                    prop_delay: 0.01,
+                    per_node_delay_step: 0.015,
+                    window: Some(2e6),
+                    ..FlowLevelCfg::default()
+                },
+            },
+            Variant {
+                name: "wan-bufferbloat",
+                summary: "oversized windows, late marking: standing-queue WAN",
+                icd: 0.0,
+                cfg: FlowLevelCfg {
+                    prop_delay: 0.005,
+                    window: Some(8e6),
+                    mark_threshold: 0.25,
+                    ..FlowLevelCfg::default()
+                },
+            },
+        ];
+        for (i, v) in variants.into_iter().enumerate() {
+            let seed = scenario_seed(SALT, i as u64);
+            let mut config = SimConfig::new(calibrated_hardware(), granularity(scale));
+            config.hardware.wan_bw = effective_wan(platform.nominal_wan_bw);
+            config.wan_model = WanModel::FlowLevel(v.cfg);
+            self.register(
+                "wan",
+                v.summary.to_string(),
+                Scenario {
+                    name: v.name.to_string(),
+                    platform: platform.clone(),
+                    workload: WorkloadSource::Spec {
+                        spec: WorkloadSpec::constant(n_jobs, files, bytes, 6.0, bytes * 0.1),
+                        seed,
+                    },
+                    cache: CacheSpec::canonical(v.icd),
+                    config,
+                    multisite: None,
+                    horizon: None,
+                },
+            );
+        }
+    }
 }
 
 /// Anchored glob match: `pat` (which contains at least one `*`) matches
@@ -711,7 +801,7 @@ mod tests {
         let reg = ScenarioRegistry::builtin();
         assert!(reg.len() >= 16, "need >= 16 scenarios, have {}", reg.len());
         for family in
-            ["paper", "hetero", "straggler", "deepcache", "arrival", "multisite", "steady"]
+            ["paper", "hetero", "straggler", "deepcache", "arrival", "multisite", "steady", "wan"]
         {
             assert!(
                 reg.entries().iter().filter(|e| e.family == family).count() >= 3,
@@ -889,6 +979,60 @@ mod tests {
             assert_eq!(again.trace.jobs, report.trace.jobs, "{}", sc.name);
             assert_eq!(again.horizon.unwrap(), hr, "{}", sc.name);
         }
+    }
+
+    #[test]
+    fn degenerate_flow_level_is_bit_identical_across_reduced_registry() {
+        // The tentpole's correctness anchor: zero propagation delay plus an
+        // unbounded window collapses the flow-level WAN to max–min *bit for
+        // bit* — on every reduced scenario, including multisite (partitioned
+        // engines) and steady (horizon) members.
+        let reg = ScenarioRegistry::reduced();
+        let mut session = crate::SimSession::new();
+        for e in reg.entries() {
+            let name = &e.scenario.name;
+            let mut maxmin = e.scenario.clone();
+            maxmin.config.wan_model = WanModel::MaxMin;
+            let mut degen = e.scenario.clone();
+            degen.config.wan_model = WanModel::FlowLevel(FlowLevelCfg::degenerate());
+            let a = maxmin.try_run_report(&mut session, 1).expect(name);
+            let b = degen.try_run_report(&mut session, 1).expect(name);
+            assert_eq!(a.trace.jobs, b.trace.jobs, "{name}: job traces diverged");
+            assert_eq!(
+                a.trace.engine_events, b.trace.engine_events,
+                "{name}: event counts diverged"
+            );
+            assert_eq!(a.horizon, b.horizon, "{name}: horizon reports diverged");
+        }
+    }
+
+    #[test]
+    fn wan_family_exercises_the_flow_level_model() {
+        // Every member runs the flow-level model; at least one member's
+        // makespan must measurably diverge from the same scenario under
+        // max–min — otherwise the family exercises nothing the scalar cap
+        // couldn't express.
+        let reg = ScenarioRegistry::reduced();
+        let mut session = crate::SimSession::new();
+        let mut diverged = 0usize;
+        for e in reg.entries().iter().filter(|e| e.family == "wan") {
+            let sc = &e.scenario;
+            assert!(
+                matches!(sc.config.wan_model, WanModel::FlowLevel(_)),
+                "{}: wan scenarios run the flow-level model",
+                sc.name
+            );
+            let flow = sc.run(&mut session);
+            let mut alt = sc.clone();
+            alt.config.wan_model = WanModel::MaxMin;
+            let maxmin = alt.run(&mut session);
+            assert_eq!(flow.jobs.len(), maxmin.jobs.len(), "{}", sc.name);
+            let rel = (flow.makespan() - maxmin.makespan()).abs() / maxmin.makespan();
+            if rel > 1e-3 {
+                diverged += 1;
+            }
+        }
+        assert!(diverged >= 1, "no wan scenario diverged from max-min");
     }
 
     #[test]

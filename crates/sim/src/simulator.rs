@@ -172,6 +172,7 @@ impl SimSession {
         let engine = &mut self.engine;
         engine.reset();
         engine.set_event_list_backend(config.event_list);
+        engine.set_bandwidth_model(config.wan_model.to_engine());
         let resources = PlatformResources::build(engine, platform, &config.hardware);
         let cores: Vec<u32> = platform.nodes.iter().map(|n| n.cores).collect();
         let scheduler = match self.scheduler.as_mut() {
@@ -315,6 +316,7 @@ impl SimSession {
         let engine = &mut self.engine;
         engine.reset();
         engine.set_event_list_backend(config.event_list);
+        engine.set_bandwidth_model(config.wan_model.to_engine());
         let resources = PlatformResources::build(engine, platform, &config.hardware);
         let cores: Vec<u32> = platform.nodes.iter().map(|n| n.cores).collect();
         let scheduler = match self.scheduler.as_mut() {

@@ -32,7 +32,7 @@ fn assert_round_trips(sc: &Scenario) {
 #[test]
 fn every_builtin_scenario_round_trips() {
     let reg = ScenarioRegistry::builtin();
-    assert_eq!(reg.len(), 25, "the registry's 25 built-ins are the covered universe");
+    assert_eq!(reg.len(), 28, "the registry's 28 built-ins are the covered universe");
     for e in reg.entries() {
         assert_round_trips(&e.scenario);
     }
